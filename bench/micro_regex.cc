@@ -1,0 +1,67 @@
+// google-benchmark microbenchmarks for the restricted regex engine:
+// parsing, matching, and capture extraction throughput on the paper's
+// figure-7 patterns.
+#include <benchmark/benchmark.h>
+
+#include "regex/matcher.h"
+#include "regex/parser.h"
+
+namespace {
+
+using namespace hoiho;
+
+constexpr const char* kZayo =
+    "^.+\\.([a-z]{3})\\d+\\.([a-z]{2})\\.[a-z]{3}\\.zayo\\.com$";
+constexpr const char* kNtt =
+    "^.+\\.([a-z]{6})\\d+\\.([a-z]{2})\\.[a-z]{2}\\.gin\\.ntt\\.net$";
+constexpr const char* kSubjectHit = "zayo-ntt.mpr1.lhr15.uk.zip.zayo.com";
+constexpr const char* kSubjectMiss = "ae-5.r20.snjsca04.us.bb.gin.ntt.net";
+
+void BM_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto rx = rx::parse(kZayo);
+    benchmark::DoNotOptimize(rx);
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_MatchHit(benchmark::State& state) {
+  const auto rx = *rx::parse(kZayo);
+  for (auto _ : state) {
+    auto m = rx::match(rx, kSubjectHit);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MatchHit);
+
+void BM_MatchMiss(benchmark::State& state) {
+  const auto rx = *rx::parse(kZayo);
+  for (auto _ : state) {
+    auto m = rx::match(rx, kSubjectMiss);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MatchMiss);
+
+void BM_CaptureStrings(benchmark::State& state) {
+  const auto rx = *rx::parse(kNtt);
+  for (auto _ : state) {
+    auto caps = rx::capture_strings(rx, kSubjectMiss);
+    benchmark::DoNotOptimize(caps);
+  }
+}
+BENCHMARK(BM_CaptureStrings);
+
+void BM_MatchWithSpans(benchmark::State& state) {
+  const auto rx = *rx::parse(kNtt);
+  std::vector<rx::Capture> spans;
+  for (auto _ : state) {
+    auto m = rx::match_with_spans(rx, kSubjectMiss, spans);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MatchWithSpans);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Geolocation comparison on a synthetic world with ground truth: learn
+// conventions with Hoiho, then geolocate every geohint-bearing hostname
+// with Hoiho, DRoP, HLOC, undns, CBG and Shortest Ping, reporting each
+// method's accuracy against the simulator's ground truth.
+//
+// Run: ./build/examples/geolocate_hostnames [n_operators]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "baselines/cbg.h"
+#include "baselines/drop.h"
+#include "baselines/hloc.h"
+#include "baselines/shortest_ping.h"
+#include "baselines/undns.h"
+#include "core/geolocate.h"
+#include "core/hoiho.h"
+#include "sim/probing.h"
+
+using namespace hoiho;
+
+int main(int argc, char** argv) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+
+  sim::WorldConfig config;
+  config.seed = 20260707;
+  config.operators = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 60;
+  config.geohint_scheme_rate = 0.8;
+  const sim::World world = sim::generate_world(dict, config);
+  const measure::Measurements pings = sim::probe_pings(world, {});
+  const measure::Measurements traces = sim::probe_traceroutes(world, {});
+
+  std::printf("world: %zu operators, %zu routers, %zu hostnames\n\n", world.operators.size(),
+              world.topology.size(), world.truths.size());
+
+  // Learn conventions with the full pipeline.
+  const core::Hoiho hoiho(dict);
+  const core::HoihoResult result = hoiho.run(world.topology, pings);
+  core::Geolocator geolocator(dict);
+  for (const core::SuffixResult& sr : result.suffixes)
+    if (sr.usable()) geolocator.add(sr.nc);
+  std::printf("learned %zu usable conventions\n", geolocator.convention_count());
+
+  // Prepare the baselines.
+  baselines::Drop drop(dict);
+  drop.train(world.topology, traces);
+  const baselines::Hloc hloc(dict);
+  const baselines::Undns undns = baselines::Undns::from_world(world);
+
+  // Score every hostname that truly carries a geohint. A hostname-based
+  // answer is correct within 40 km of the router's true location;
+  // delay-based answers (CBG, shortest ping) get the same bar.
+  struct Tally {
+    std::size_t answered = 0, correct = 0;
+  };
+  std::map<std::string, Tally> tallies;
+  std::size_t total = 0;
+  const auto judge = [&](const char* method, const geo::Coordinate& answer,
+                         const geo::Coordinate& truth) {
+    Tally& t = tallies[method];
+    ++t.answered;
+    if (geo::distance_km(answer, truth) <= 40.0) ++t.correct;
+  };
+
+  for (const sim::HostnameTruth& truth : world.truths) {
+    if (!truth.has_geohint) continue;
+    ++total;
+    const geo::Coordinate& at = dict.location(world.topology.router(truth.router).true_location).coord;
+    const auto host = dns::parse_hostname(truth.hostname);
+    if (!host) continue;
+
+    if (const auto loc = geolocator.locate(truth.hostname)) judge("hoiho", loc->coord, at);
+    if (const auto loc = drop.locate(*host)) judge("drop", dict.location(*loc).coord, at);
+    if (const auto loc = hloc.locate(*host, truth.router, pings))
+      judge("hloc", dict.location(*loc).coord, at);
+    if (const auto loc = undns.locate(*host)) judge("undns", dict.location(*loc).coord, at);
+    if (const auto sp = baselines::shortest_ping(pings, truth.router))
+      judge("shortest-ping", sp->coord, at);
+  }
+
+  // CBG once per responsive router (it is delay-only; hostname-independent).
+  std::size_t cbg_routers = 0, cbg_correct = 0;
+  double cbg_error_sum = 0;
+  for (const topo::Router& r : world.topology.routers()) {
+    if (!pings.pings.responsive(r.id)) continue;
+    const auto cbg = baselines::cbg_locate(pings, r.id);
+    if (!cbg) continue;
+    ++cbg_routers;
+    cbg_error_sum += cbg->error_km;
+    if (geo::distance_km(cbg->estimate, dict.location(r.true_location).coord) <= 40.0)
+      ++cbg_correct;
+  }
+
+  std::printf("\n%zu hostnames with geohints\n\n", total);
+  std::printf("%-14s %10s %10s %10s\n", "method", "answered", "correct", "correct%");
+  for (const char* m : {"hoiho", "hloc", "drop", "undns", "shortest-ping"}) {
+    const Tally& t = tallies[m];
+    std::printf("%-14s %10zu %10zu %9.1f%%\n", m, t.answered, t.correct,
+                t.answered == 0 ? 0.0 : 100.0 * static_cast<double>(t.correct) /
+                                            static_cast<double>(t.answered));
+  }
+  std::printf("\nCBG (per router): %zu multilaterated, %zu within 40 km, mean error radius %.0f km\n",
+              cbg_routers, cbg_correct,
+              cbg_routers == 0 ? 0.0 : cbg_error_sum / static_cast<double>(cbg_routers));
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "baselines/cbg.h"
+
+#include <cmath>
+#include <vector>
+
+#include "geo/coord.h"
+
+namespace hoiho::baselines {
+
+std::optional<CbgResult> cbg_locate(const measure::Measurements& meas, topo::RouterId r,
+                                    const CbgConfig& config) {
+  // Collect constraints.
+  struct Disk {
+    geo::Coordinate center;
+    double radius_km;
+  };
+  std::vector<Disk> disks;
+  for (measure::VpId v = 0; v < meas.vps.size(); ++v) {
+    const auto rtt = meas.pings.rtt(r, v);
+    if (!rtt) continue;
+    disks.push_back(Disk{meas.vps[v].coord, geo::max_distance_km(*rtt)});
+  }
+  if (disks.empty()) return std::nullopt;
+
+  // Grid scan for feasible cells.
+  std::vector<geo::Coordinate> feasible;
+  for (double lat = config.lat_min; lat <= config.lat_max; lat += config.grid_step_deg) {
+    for (double lon = -180.0; lon < 180.0; lon += config.grid_step_deg) {
+      const geo::Coordinate p{lat, lon};
+      bool ok = true;
+      for (const Disk& d : disks) {
+        if (geo::distance_km(p, d.center) > d.radius_km) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) feasible.push_back(p);
+    }
+  }
+  if (feasible.empty()) return std::nullopt;
+
+  // Centroid (adequate at city scale; regions are compact) and width.
+  double lat_sum = 0;
+  double x = 0, y = 0;  // unit-circle average for longitude wraparound
+  for (const geo::Coordinate& p : feasible) {
+    lat_sum += p.lat;
+    const double rad = p.lon * 3.14159265358979323846 / 180.0;
+    x += std::cos(rad);
+    y += std::sin(rad);
+  }
+  CbgResult result;
+  result.estimate.lat = lat_sum / static_cast<double>(feasible.size());
+  result.estimate.lon = std::atan2(y, x) * 180.0 / 3.14159265358979323846;
+  result.feasible_cells = feasible.size();
+  for (const geo::Coordinate& p : feasible) {
+    result.error_km = std::max(result.error_km, geo::distance_km(result.estimate, p));
+  }
+  return result;
+}
+
+}  // namespace hoiho::baselines

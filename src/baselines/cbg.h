@@ -1,0 +1,35 @@
+// Constraint-Based Geolocation (Gueye et al., IMC 2004) — the seminal
+// delay-based method (paper §3.1).
+//
+// Each (VP, RTT) sample constrains the target to a disk around the VP of
+// radius max_distance_km(rtt). CBG estimates the target at the centroid of
+// the intersection of all disks and reports the region width as the error
+// estimate. This implementation evaluates the constraint region on a
+// regular lat/lon grid; Hoiho uses the same physics as a feasibility test
+// only, but CBG is the natural comparison point and is exercised by tests
+// and the fig. 5 narrative.
+#pragma once
+
+#include <optional>
+
+#include "measure/rtt_matrix.h"
+
+namespace hoiho::baselines {
+
+struct CbgConfig {
+  double grid_step_deg = 2.0;  // grid resolution
+  double lat_min = -60, lat_max = 72;
+};
+
+struct CbgResult {
+  geo::Coordinate estimate;  // centroid of the feasible region
+  double error_km = 0;       // max distance from centroid to feasible cell
+  std::size_t feasible_cells = 0;
+};
+
+// Multilaterates router `r`; nullopt when the router has no samples or the
+// constraints are contradictory at grid resolution.
+std::optional<CbgResult> cbg_locate(const measure::Measurements& meas, topo::RouterId r,
+                                    const CbgConfig& config = {});
+
+}  // namespace hoiho::baselines

@@ -1,0 +1,124 @@
+#include "baselines/drop.h"
+
+#include <cctype>
+#include <map>
+#include <tuple>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace hoiho::baselines {
+
+namespace {
+
+// The leading alphabetic run of a label ("lhr" from "lhr15"), empty if the
+// label does not start with a letter.
+std::string_view leading_alpha(std::string_view label) {
+  std::size_t n = 0;
+  while (n < label.size() && std::isalpha(static_cast<unsigned char>(label[n]))) ++n;
+  return label.substr(0, n);
+}
+
+// Candidate hint types DRoP tries for a token of this width.
+std::vector<geo::HintType> types_for_width(std::size_t w) {
+  std::vector<geo::HintType> out;
+  if (w == 3) out.push_back(geo::HintType::kIata);
+  if (w == 4) out.push_back(geo::HintType::kIcao);
+  if (w == 5) out.push_back(geo::HintType::kLocode);
+  if (w == 6) out.push_back(geo::HintType::kClli);
+  if (w >= 4) out.push_back(geo::HintType::kCityName);
+  return out;
+}
+
+}  // namespace
+
+void Drop::train(const topo::Topology& topo, const measure::Measurements& trace_rtts) {
+  util::Rng retention(config_.retention_seed);
+  for (const topo::SuffixGroup& group : topo.group_by_suffix()) {
+    // A stale ruleset simply lacks some of today's suffixes.
+    if (config_.rule_retention < 1.0 && !retention.next_bool(config_.rule_retention)) continue;
+    // Tallies per (label_count, pos_from_end, seg_count, seg_pos, type) —
+    // one candidate per punctuation-delimited position, as DRoP's rules
+    // fixed both the dot- and dash-structure of the hostname.
+    struct Tally {
+      std::size_t found = 0, consistent = 0;
+    };
+    std::map<std::tuple<std::size_t, std::size_t, std::size_t, std::size_t, int>, Tally> tallies;
+
+    for (const topo::HostnameRef& ref : group.hostnames) {
+      const auto labels = ref.hostname->labels();
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        const std::size_t pos_from_end = labels.size() - 1 - i;
+        const auto segments = util::split_tokens(labels[i].text, '-');
+        for (std::size_t s = 0; s < segments.size(); ++s) {
+          const std::string token = util::to_lower(leading_alpha(segments[s].text));
+          if (token.empty()) continue;
+          for (geo::HintType type : types_for_width(token.size())) {
+            const auto ids = dict_.lookup(type, token);
+            if (ids.empty()) continue;
+            Tally& t = tallies[{labels.size(), pos_from_end, segments.size(), s,
+                                static_cast<int>(type)}];
+            ++t.found;
+            for (geo::LocationId id : ids) {
+              if (measure::rtt_consistent(trace_rtts.pings, trace_rtts.vps, ref.router,
+                                          dict_.location(id).coord)) {
+                ++t.consistent;
+                break;
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // Best tally meeting the majority rule becomes the suffix's rule.
+    bool found_rule = false;
+    std::size_t best_consistent = 0;
+    DropRule best_rule;
+    for (const auto& [key, t] : tallies) {
+      if (t.consistent < config_.min_matches) continue;
+      if (static_cast<double>(t.consistent) <=
+          config_.majority * static_cast<double>(t.found))
+        continue;
+      if (t.consistent > best_consistent) {
+        best_consistent = t.consistent;
+        best_rule.label_count = std::get<0>(key);
+        best_rule.pos_from_end = std::get<1>(key);
+        best_rule.seg_count = std::get<2>(key);
+        best_rule.seg_pos = std::get<3>(key);
+        best_rule.type = static_cast<geo::HintType>(std::get<4>(key));
+        found_rule = true;
+      }
+    }
+    if (found_rule) rules_.emplace(group.suffix, best_rule);
+  }
+}
+
+const DropRule* Drop::rule(std::string_view suffix) const {
+  const auto it = rules_.find(std::string(suffix));
+  return it == rules_.end() ? nullptr : &it->second;
+}
+
+std::optional<geo::LocationId> Drop::locate(const dns::Hostname& host) const {
+  const DropRule* r = rule(host.suffix());
+  if (r == nullptr) return std::nullopt;
+  const auto labels = host.labels();
+  if (labels.size() != r->label_count) return std::nullopt;  // fig. 2 limitation
+  const std::size_t idx = labels.size() - 1 - r->pos_from_end;
+  const auto segments = util::split_tokens(labels[idx].text, '-');
+  if (segments.size() != r->seg_count || r->seg_pos >= segments.size()) return std::nullopt;
+  const std::string token = util::to_lower(leading_alpha(segments[r->seg_pos].text));
+  if (token.empty()) return std::nullopt;
+  const std::size_t want = geo::code_length(r->type);
+  if (want != 0 && token.size() != want) return std::nullopt;
+  const auto ids = dict_.lookup(r->type, token);
+  if (ids.empty()) return std::nullopt;
+  // No RTTs at apply time: break ambiguity by population (DRoP's dictionary
+  // was location-unique; ours is not).
+  geo::LocationId best = ids[0];
+  for (geo::LocationId id : ids)
+    if (dict_.location(id).population > dict_.location(best).population) best = id;
+  return best;
+}
+
+}  // namespace hoiho::baselines

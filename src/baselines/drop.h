@@ -1,0 +1,67 @@
+// DRoP baseline (Huffaker et al., CCR 2014) — reimplemented with the
+// limitations the Hoiho paper documents (§3.3, fig. 2):
+//   * rules locate the geohint at a fixed label position relative to the end
+//     of the hostname, and assume a fixed number of labels — hostnames with
+//     extra segments do not match;
+//   * extraction is a single sequence (the label's leading alphabetic run);
+//   * a rule is accepted when a bare majority (>50%) of its extractions are
+//     consistent with training RTTs;
+//   * training RTTs are only those observed in the traceroutes that built
+//     the topology (coarse constraints — the VP that sees a router in a
+//     traceroute is rarely the closest);
+//   * the dictionary is used verbatim: no custom geohints are ever learned.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "geo/dictionary.h"
+#include "measure/consistency.h"
+#include "topo/topology.h"
+
+namespace hoiho::baselines {
+
+struct DropConfig {
+  double majority = 0.5;          // fraction of consistent extractions required
+  std::size_t min_matches = 2;    // minimum consistent extractions
+
+  // Fraction of learned rules retained, modelling the staleness of the
+  // published 2013 ruleset relative to the evaluation snapshot (suffixes
+  // whose conventions changed, networks born later). 1.0 = fresh rules.
+  double rule_retention = 1.0;
+  std::uint64_t retention_seed = 13;
+};
+
+struct DropRule {
+  std::size_t label_count = 0;   // prefix labels the rule expects
+  std::size_t pos_from_end = 0;  // 0 = label adjacent to the suffix
+  std::size_t seg_count = 1;     // dash-segments the hint's label must have
+  std::size_t seg_pos = 0;       // which dash-segment carries the hint
+  geo::HintType type = geo::HintType::kIata;
+};
+
+class Drop {
+ public:
+  explicit Drop(const geo::GeoDictionary& dict, DropConfig config = {})
+      : dict_(dict), config_(config) {}
+
+  // Learns one rule per suffix from the topology and the traceroute-observed
+  // RTTs.
+  void train(const topo::Topology& topo, const measure::Measurements& trace_rtts);
+
+  std::size_t rule_count() const { return rules_.size(); }
+  const DropRule* rule(std::string_view suffix) const;
+
+  // Applies the suffix's rule; geolocation without RTTs (most-populous
+  // location of the extracted code). nullopt if no rule, the hostname shape
+  // differs from the rule, or the code is unknown.
+  std::optional<geo::LocationId> locate(const dns::Hostname& host) const;
+
+ private:
+  const geo::GeoDictionary& dict_;
+  DropConfig config_;
+  std::unordered_map<std::string, DropRule> rules_;
+};
+
+}  // namespace hoiho::baselines

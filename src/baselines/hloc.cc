@@ -1,0 +1,70 @@
+#include "baselines/hloc.h"
+
+#include "geo/coord.h"
+#include "util/strings.h"
+
+namespace hoiho::baselines {
+
+namespace {
+
+// A small stand-in for HLOC's 468-entry manual blocklist: common router
+// hostname vocabulary that collides with geo codes.
+constexpr const char* kDefaultBlocklist[] = {
+    "net",  "com",  "org", "core", "edge", "peer", "cust", "host", "atlas",
+    "level", "vodafone", "static", "dynamic", "dsl", "fiber", "cable",
+    "gig", "eth", "cpe",  // interface vocabulary colliding with IATA codes
+};
+
+}  // namespace
+
+Hloc::Hloc(const geo::GeoDictionary& dict, HlocConfig config)
+    : dict_(dict), config_(config) {
+  for (const char* s : kDefaultBlocklist) blocklist_.insert(s);
+}
+
+void Hloc::block(std::string_view token) {
+  blocklist_.insert(util::to_lower(token));
+}
+
+std::optional<geo::LocationId> Hloc::locate(const dns::Hostname& host, topo::RouterId router,
+                                            const measure::Measurements& pings,
+                                            bool reachable) const {
+  if (!reachable) return std::nullopt;
+
+  // Gather candidate locations from every token (no structural knowledge).
+  std::vector<geo::LocationId> candidates;
+  for (const util::Token& t : util::alpha_runs(host.prefix())) {
+    const std::string token = util::to_lower(t.text);
+    if (blocklist_.contains(token)) continue;
+    for (geo::HintType type : {geo::HintType::kIata, geo::HintType::kLocode,
+                               geo::HintType::kClli, geo::HintType::kCityName}) {
+      if (type != geo::HintType::kCityName && token.size() != geo::code_length(type)) continue;
+      if (type == geo::HintType::kCityName && token.size() < 4) continue;
+      for (geo::LocationId id : dict_.lookup(type, token)) candidates.push_back(id);
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  // Verify each candidate using only the VPs near it (confirmation bias):
+  // the candidate survives if every near-VP sample is speed-of-light
+  // consistent with the router being at the candidate. VPs far from the
+  // candidate — the ones that could refute it — are never consulted.
+  std::optional<geo::LocationId> best;
+  for (geo::LocationId id : candidates) {
+    const geo::Coordinate& cand = dict_.location(id).coord;
+    bool any_sample = false;
+    bool refuted = false;
+    for (measure::VpId v = 0; v < pings.vps.size() && !refuted; ++v) {
+      if (geo::distance_km(cand, pings.vps[v].coord) > config_.vp_radius_km) continue;
+      const auto rtt = pings.pings.rtt(router, v);
+      if (!rtt) continue;
+      any_sample = true;
+      if (*rtt < geo::min_rtt_ms(cand, pings.vps[v].coord)) refuted = true;
+    }
+    if (!any_sample || refuted) continue;
+    if (!best || dict_.location(id).population > dict_.location(*best).population) best = id;
+  }
+  return best;
+}
+
+}  // namespace hoiho::baselines

@@ -1,0 +1,52 @@
+// HLOC baseline (Scheitle et al., TMA 2017) — reimplemented with the
+// behaviours the Hoiho paper documents (§3.2, §6.1):
+//   * no learned structure: every token of every hostname is looked up in
+//     the geolocation dictionaries at run time, minus a hand-built blocklist
+//     of strings known not to be geohints;
+//   * confirmation bias: a candidate location is verified using only the
+//     VPs *near* that candidate; distant VPs that could refute it are never
+//     consulted;
+//   * no custom geohints: dictionary meanings are taken verbatim;
+//   * routers that HLOC's measurement platform cannot probe (paper:
+//     nysernet, reachable only from R&E networks) yield no answer.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "geo/dictionary.h"
+#include "measure/rtt_matrix.h"
+#include "topo/topology.h"
+
+namespace hoiho::baselines {
+
+struct HlocConfig {
+  double vp_radius_km = 1000.0;  // only VPs within this range of a candidate are consulted
+};
+
+class Hloc {
+ public:
+  explicit Hloc(const geo::GeoDictionary& dict, HlocConfig config = {});
+
+  // Adds a blocklist entry (strings never considered as geohints).
+  void block(std::string_view token);
+
+  // Runs HLOC for one hostname/router. `reachable` is false when HLOC's
+  // platform cannot probe the router (it then returns nothing). A candidate
+  // is *verified* when the VPs near it (and only those) see RTTs that are
+  // speed-of-light consistent with the candidate — distant VPs that could
+  // refute it are never consulted, so distant wrong candidates verify
+  // trivially (the paper's Waco/Chiclayo example). Verified candidates are
+  // ranked by population.
+  std::optional<geo::LocationId> locate(const dns::Hostname& host, topo::RouterId router,
+                                        const measure::Measurements& pings,
+                                        bool reachable = true) const;
+
+ private:
+  const geo::GeoDictionary& dict_;
+  HlocConfig config_;
+  std::set<std::string, std::less<>> blocklist_;
+};
+
+}  // namespace hoiho::baselines

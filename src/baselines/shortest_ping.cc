@@ -1,0 +1,16 @@
+#include "baselines/shortest_ping.h"
+
+namespace hoiho::baselines {
+
+std::optional<ShortestPingResult> shortest_ping(const measure::Measurements& meas,
+                                                topo::RouterId r) {
+  const auto closest = meas.pings.closest_vp(r);
+  if (!closest) return std::nullopt;
+  ShortestPingResult result;
+  result.vp = closest->first;
+  result.rtt_ms = closest->second;
+  result.coord = meas.vps[closest->first].coord;
+  return result;
+}
+
+}  // namespace hoiho::baselines

@@ -1,0 +1,23 @@
+// Shortest Ping (Katz-Bassett et al., IMC 2006) — geolocate the target to
+// the location of the vantage point with the smallest RTT (paper §3.1).
+// Trammell (2018) showed this captures most of the benefit of delay-based
+// geolocation in practice; it is the physics floor our benches compare
+// hostname methods against.
+#pragma once
+
+#include <optional>
+
+#include "measure/rtt_matrix.h"
+
+namespace hoiho::baselines {
+
+struct ShortestPingResult {
+  measure::VpId vp = 0;
+  double rtt_ms = 0;
+  geo::Coordinate coord;
+};
+
+std::optional<ShortestPingResult> shortest_ping(const measure::Measurements& meas,
+                                                topo::RouterId r);
+
+}  // namespace hoiho::baselines

@@ -1,0 +1,54 @@
+#include "baselines/undns.h"
+
+#include <cctype>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace hoiho::baselines {
+
+Undns Undns::from_world(const sim::World& world, const UndnsConfig& config) {
+  util::Rng rng(config.seed);
+  Undns out;
+  const geo::GeoDictionary& dict = *world.dict;
+  for (const sim::OperatorSpec& op : world.operators) {
+    if (!op.scheme.has_geohint) continue;
+    if (!rng.next_bool(config.suffix_coverage)) continue;  // born after 2014
+    auto& codes = out.rules_[op.suffix];
+    for (geo::LocationId loc : op.footprint) {
+      if (!rng.next_bool(config.code_coverage)) continue;  // newer site
+      const auto code = sim::geo_code_for(op.scheme, dict, loc);
+      if (!code) continue;
+      // The human who wrote the rule knew the operator's intent — including
+      // custom codes — which is why undns precision is so high.
+      codes.emplace(*code, loc);
+    }
+    if (codes.empty()) out.rules_.erase(op.suffix);
+  }
+  return out;
+}
+
+std::size_t Undns::rule_count() const { return rules_.size(); }
+
+std::optional<geo::LocationId> Undns::locate(const dns::Hostname& host) const {
+  const auto it = rules_.find(std::string(host.suffix()));
+  if (it == rules_.end()) return std::nullopt;
+  const auto& codes = it->second;
+  for (const util::Token& t : util::alnum_runs(host.prefix())) {
+    const std::string token = util::to_lower(t.text);
+    const auto hit = codes.find(token);
+    if (hit != codes.end()) return hit->second;
+    // Codes may carry trailing digits in hostnames ("lhr15"): try the
+    // leading alphabetic part too.
+    std::size_t alpha = 0;
+    while (alpha < token.size() && std::isalpha(static_cast<unsigned char>(token[alpha])))
+      ++alpha;
+    if (alpha > 0 && alpha < token.size()) {
+      const auto hit2 = codes.find(token.substr(0, alpha));
+      if (hit2 != codes.end()) return hit2->second;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace hoiho::baselines

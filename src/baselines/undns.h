@@ -1,0 +1,47 @@
+// undns baseline (Spring et al., Rocketfuel 2002) — emulated as the Hoiho
+// paper characterizes it (§3.2, §6.1):
+//   * a manually assembled, per-suffix ruleset: high precision, because a
+//     human interpreted each location code;
+//   * stale: last updated years before the evaluation snapshot, so it knows
+//     only a subset of today's suffixes and, within a covered suffix, only
+//     the location codes that existed when the rules were written.
+//
+// Since our ground truth comes from the simulator, the "manual" ruleset is
+// built from an earlier epoch of the world: a fraction of the operators
+// (those that existed when the database was maintained) and, per operator, a
+// fraction of its footprint's codes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "dns/hostname.h"
+#include "geo/dictionary.h"
+#include "sim/internet.h"
+
+namespace hoiho::baselines {
+
+struct UndnsConfig {
+  double suffix_coverage = 0.75;  // operators present in the old database
+  double code_coverage = 0.65;    // per-suffix codes present in the old rules
+  std::uint64_t seed = 11;
+};
+
+class Undns {
+ public:
+  // Builds the stale ruleset from an earlier epoch of `world`.
+  static Undns from_world(const sim::World& world, const UndnsConfig& config = {});
+
+  std::size_t rule_count() const;
+
+  // Applies the suffix's hand-written dictionary: any token matching a known
+  // code yields its (human-verified) location.
+  std::optional<geo::LocationId> locate(const dns::Hostname& host) const;
+
+ private:
+  // suffix -> (code -> location)
+  std::unordered_map<std::string, std::unordered_map<std::string, geo::LocationId>> rules_;
+};
+
+}  // namespace hoiho::baselines

@@ -1,0 +1,148 @@
+#include "core/apparent.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace hoiho::core {
+
+ApparentTagger::ApparentTagger(const geo::GeoDictionary& dict, const measure::Measurements& meas,
+                               ApparentConfig config)
+    : dict_(dict), meas_(meas), config_(config) {}
+
+std::vector<geo::LocationId> ApparentTagger::consistent_locations(
+    topo::RouterId router, std::span<const geo::LocationId> ids) const {
+  std::vector<geo::LocationId> out;
+  for (geo::LocationId id : ids) {
+    if (measure::rtt_consistent(meas_.pings, meas_.vps, router, dict_.location(id).coord,
+                                config_.slack_ms)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+void ApparentTagger::attach_annotations(const dns::Hostname& host, ApparentHint& hint) const {
+  const std::string_view prefix = host.prefix();
+  for (const util::Token& t : util::alpha_runs(prefix)) {
+    if (t.size() != 2 && t.size() != 3) continue;  // "va", "uk", "nsw", "qld"
+    if (t.begin < hint.end && hint.begin < t.end) continue;  // overlaps the hint itself
+    const std::string code = util::to_lower(t.text);
+
+    // Country code: keep candidate locations in that country, if any match.
+    std::vector<geo::LocationId> narrowed;
+    if (t.size() == 2) {
+      for (geo::LocationId id : hint.locations)
+        if (dict_.matches_country(code, id)) narrowed.push_back(id);
+      if (!narrowed.empty()) {
+        hint.locations = std::move(narrowed);
+        hint.annotations.push_back(HintAnnotation{Role::kCountryCode, code, t.begin, t.end});
+        continue;
+      }
+    }
+
+    // State code.
+    narrowed.clear();
+    for (geo::LocationId id : hint.locations)
+      if (dict_.matches_state(code, id)) narrowed.push_back(id);
+    if (!narrowed.empty()) {
+      hint.locations = std::move(narrowed);
+      hint.annotations.push_back(HintAnnotation{Role::kStateCode, code, t.begin, t.end});
+    }
+  }
+}
+
+TaggedHostname ApparentTagger::tag(const topo::HostnameRef& ref) const {
+  TaggedHostname out;
+  out.ref = ref;
+  const dns::Hostname& host = *ref.hostname;
+  const std::string_view prefix = host.prefix();
+  if (prefix.empty()) return out;
+
+  const auto try_hint = [&](Role role, std::string_view code, std::size_t begin, std::size_t end,
+                            bool split = false) {
+    const auto ids = dict_.lookup(dictionary_for(role), code);
+    if (ids.empty()) return;
+    auto consistent = consistent_locations(ref.router, ids);
+    if (consistent.empty()) return;
+    // Dedupe on (role, code, begin).
+    for (const ApparentHint& h : out.hints)
+      if (h.role == role && h.code == code && h.begin == begin) return;
+    ApparentHint hint;
+    hint.role = role;
+    hint.code = std::string(code);
+    hint.begin = begin;
+    hint.end = end;
+    hint.locations = std::move(consistent);
+    hint.split_clli = split;
+    out.hints.push_back(std::move(hint));
+  };
+
+  const std::vector<util::Token> tokens = util::alpha_runs(prefix);
+  for (const util::Token& t : tokens) {
+    const std::string code = util::to_lower(t.text);
+    switch (t.size()) {
+      case 3:
+        try_hint(Role::kIata, code, t.begin, t.end);
+        break;
+      case 4:
+        if (config_.consider_icao) try_hint(Role::kIcao, code, t.begin, t.end);
+        break;
+      case 5:
+        try_hint(Role::kLocode, code, t.begin, t.end);
+        break;
+      case 6:
+        try_hint(Role::kClli, code, t.begin, t.end);
+        break;
+      default:
+        break;
+    }
+    // CLLI prefix embedded in a longer code (paper fig. 6d).
+    if (t.size() > 6) {
+      try_hint(Role::kClli, std::string_view(code).substr(0, 6), t.begin, t.begin + 6);
+    }
+    // City names.
+    if (t.size() >= config_.min_city_len) {
+      try_hint(Role::kCityName, code, t.begin, t.end);
+    }
+  }
+
+  // Split CLLI prefixes: a 4-letter token followed closely by a 2-letter
+  // token within the same dot-label (paper fig. 6e).
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const util::Token& a = tokens[i];
+    const util::Token& b = tokens[i + 1];
+    if (a.size() != 4 || b.size() != 2) continue;
+    if (b.begin - a.end > 4) continue;
+    // The gap must not contain a dot (same label).
+    const std::string_view gap = prefix.substr(a.end, b.begin - a.end);
+    if (gap.find('.') != std::string_view::npos) continue;
+    const std::string code = util::to_lower(a.text) + util::to_lower(b.text);
+    try_hint(Role::kClli, code, a.begin, b.end, /*split=*/true);
+  }
+
+  // Facility street addresses: whole dot-labels, squashed (paper fig. 6f).
+  if (config_.consider_facility) {
+    for (const util::Token& label : util::split_tokens(prefix, '.')) {
+      std::string squashed;
+      for (char c : label.text)
+        if (std::isalnum(static_cast<unsigned char>(c)))
+          squashed.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      if (squashed.size() < 4) continue;
+      try_hint(Role::kFacility, squashed, label.begin, label.end);
+    }
+  }
+
+  for (ApparentHint& hint : out.hints) attach_annotations(host, hint);
+  return out;
+}
+
+std::vector<TaggedHostname> ApparentTagger::tag_all(
+    std::span<const topo::HostnameRef> refs) const {
+  std::vector<TaggedHostname> out;
+  out.reserve(refs.size());
+  for (const topo::HostnameRef& ref : refs) out.push_back(tag(ref));
+  return out;
+}
+
+}  // namespace hoiho::core

@@ -1,0 +1,50 @@
+// Stage 2: identify apparent geohints in hostnames (paper §5.2).
+//
+// For each hostname, the tagger scans the alphabetic tokens of the prefix
+// (everything left of the registered-domain suffix) against every
+// dictionary, keeps hits whose locations are RTT-consistent for the router,
+// handles CLLI prefixes embedded in longer strings and CLLI prefixes split
+// into adjacent 4- and 2-letter tokens, matches facility street addresses,
+// and attaches adjacent state/country codes that corroborate a hit.
+#pragma once
+
+#include <span>
+
+#include "core/geohint.h"
+#include "geo/dictionary.h"
+#include "measure/consistency.h"
+
+namespace hoiho::core {
+
+struct ApparentConfig {
+  double slack_ms = 0.0;        // extra allowance on each RTT constraint
+  bool consider_icao = true;    // look up 4-letter tokens in the ICAO table
+  bool consider_facility = true;
+  std::size_t min_city_len = 4;  // shortest token checked against city names
+};
+
+class ApparentTagger {
+ public:
+  ApparentTagger(const geo::GeoDictionary& dict, const measure::Measurements& meas,
+                 ApparentConfig config = {});
+
+  // Tags one hostname with its apparent geohints.
+  TaggedHostname tag(const topo::HostnameRef& ref) const;
+
+  // Tags every hostname in a suffix group.
+  std::vector<TaggedHostname> tag_all(std::span<const topo::HostnameRef> refs) const;
+
+ private:
+  const geo::GeoDictionary& dict_;
+  const measure::Measurements& meas_;
+  ApparentConfig config_;
+
+  // Keeps only RTT-consistent locations for this router; empty result means
+  // the hit is not an apparent geohint.
+  std::vector<geo::LocationId> consistent_locations(topo::RouterId router,
+                                                    std::span<const geo::LocationId> ids) const;
+
+  void attach_annotations(const dns::Hostname& host, ApparentHint& hint) const;
+};
+
+}  // namespace hoiho::core

@@ -1,0 +1,146 @@
+#include "core/eval.h"
+
+#include <algorithm>
+
+#include "regex/matcher.h"
+#include "util/strings.h"
+
+namespace hoiho::core {
+
+std::string_view to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kNone: return "none";
+    case Outcome::kTP: return "tp";
+    case Outcome::kFP: return "fp";
+    case Outcome::kFN: return "fn";
+    case Outcome::kUNK: return "unk";
+  }
+  return "?";
+}
+
+Evaluator::Evaluator(const geo::GeoDictionary& dict, const measure::Measurements& meas,
+                     double slack_ms)
+    : dict_(dict), meas_(meas), slack_ms_(slack_ms) {}
+
+geo::LocationId Evaluator::choose_location(std::span<const geo::LocationId> ids) const {
+  geo::LocationId best = geo::kInvalidLocation;
+  for (geo::LocationId id : ids) {
+    if (best == geo::kInvalidLocation) {
+      best = id;
+      continue;
+    }
+    const geo::Location& a = dict_.location(id);
+    const geo::Location& b = dict_.location(best);
+    if (a.has_facility != b.has_facility) {
+      if (a.has_facility) best = id;
+    } else if (a.population != b.population) {
+      if (a.population > b.population) best = id;
+    }
+  }
+  return best;
+}
+
+HostnameEval Evaluator::evaluate_one(const NamingConvention& nc,
+                                     const TaggedHostname& tagged) const {
+  HostnameEval ev;
+  const dns::Hostname& host = *tagged.ref.hostname;
+
+  // Apply regexes in order; first match interprets the hostname.
+  const std::optional<Extraction> ex = extract(nc, host);
+  if (!ex) {
+    ev.outcome = tagged.has_hint() ? Outcome::kFN : Outcome::kNone;
+    return ev;
+  }
+  ev.regex_index = ex->regex_index;
+  ev.code = ex->code;
+  ev.cc = ex->cc;
+  ev.st = ex->st;
+  const geo::HintType dt = dictionary_for(ex->primary);
+
+  // Dictionary lookup: learned per-suffix geohints first, then reference.
+  std::vector<geo::LocationId> candidates;
+  const auto learned_it = nc.learned.find(LearnedKey{dt, ev.code});
+  if (learned_it != nc.learned.end()) {
+    candidates.push_back(learned_it->second);
+    ev.via_learned = true;
+  } else {
+    const auto ids = dict_.lookup(dt, ev.code);
+    candidates.assign(ids.begin(), ids.end());
+  }
+
+  // Narrow by extracted annotations.
+  if (!ev.cc.empty()) {
+    std::erase_if(candidates,
+                  [&](geo::LocationId id) { return !dict_.matches_country(ev.cc, id); });
+  }
+  if (!ev.st.empty()) {
+    std::erase_if(candidates, [&](geo::LocationId id) { return !dict_.matches_state(ev.st, id); });
+  }
+  if (candidates.empty()) {
+    ev.outcome = Outcome::kUNK;
+    return ev;
+  }
+
+  // RTT consistency.
+  std::vector<geo::LocationId> consistent;
+  for (geo::LocationId id : candidates) {
+    if (measure::rtt_consistent(meas_.pings, meas_.vps, tagged.ref.router,
+                                dict_.location(id).coord, slack_ms_)) {
+      consistent.push_back(id);
+    }
+  }
+  ev.locations = candidates;
+  if (consistent.empty()) {
+    ev.outcome = Outcome::kFP;
+    return ev;
+  }
+
+  // Completeness: if the apparent geohint carried state/country annotations,
+  // the regex must have extracted them (paper: extracting "lhr" without "uk"
+  // from fig. 6a is a FN).
+  for (const ApparentHint& hint : tagged.hints) {
+    if (hint.code != ev.code || dictionary_for(hint.role) != dt) continue;
+    for (const HintAnnotation& ann : hint.annotations) {
+      if (ann.role == Role::kCountryCode && ev.cc.empty()) {
+        ev.outcome = Outcome::kFN;
+        return ev;
+      }
+      if (ann.role == Role::kStateCode && ev.st.empty()) {
+        ev.outcome = Outcome::kFN;
+        return ev;
+      }
+    }
+    break;
+  }
+
+  ev.outcome = Outcome::kTP;
+  ev.locations = consistent;
+  ev.best_location = choose_location(consistent);
+  return ev;
+}
+
+NcEvaluation Evaluator::evaluate(const NamingConvention& nc,
+                                 std::span<const TaggedHostname> tagged) const {
+  NcEvaluation out;
+  out.per_hostname.reserve(tagged.size());
+  out.regex_unique_tp.resize(nc.regexes.size());
+  for (const TaggedHostname& th : tagged) {
+    HostnameEval ev = evaluate_one(nc, th);
+    switch (ev.outcome) {
+      case Outcome::kTP:
+        ++out.counts.tp;
+        out.unique_tp_codes.insert(ev.code);
+        if (ev.regex_index >= 0)
+          out.regex_unique_tp[static_cast<std::size_t>(ev.regex_index)].insert(ev.code);
+        break;
+      case Outcome::kFP: ++out.counts.fp; break;
+      case Outcome::kFN: ++out.counts.fn; break;
+      case Outcome::kUNK: ++out.counts.unk; break;
+      case Outcome::kNone: ++out.counts.none; break;
+    }
+    out.per_hostname.push_back(std::move(ev));
+  }
+  return out;
+}
+
+}  // namespace hoiho::core

@@ -1,0 +1,84 @@
+// Stage 3 (evaluation half): score a naming convention against the tagged
+// hostnames of a suffix (paper §5.3).
+//
+// Per-hostname outcomes:
+//   TP  — extracted geohint is RTT-consistent AND the regex also extracted
+//         any state/country code that was part of the apparent geohint;
+//   FP  — extracted geohint is in the dictionary but not RTT-consistent;
+//   FN  — no extraction although the hostname has an apparent geohint, or a
+//         required state/country code was not extracted;
+//   UNK — extracted string is not in the dictionary (the raw material of
+//         stage 4 learning);
+//   none — no extraction and no apparent geohint (not counted).
+// Scores: ATP = TP - (FP + FN + UNK); PPV = TP / (TP + FP).
+#pragma once
+
+#include <set>
+#include <span>
+
+#include "core/geohint.h"
+#include "measure/consistency.h"
+
+namespace hoiho::core {
+
+enum class Outcome : std::uint8_t { kNone, kTP, kFP, kFN, kUNK };
+std::string_view to_string(Outcome o);
+
+// How one hostname fared under a naming convention.
+struct HostnameEval {
+  Outcome outcome = Outcome::kNone;
+  int regex_index = -1;         // which regex in the NC matched; -1 if none
+  std::string code;             // primary extraction (lower-case), if matched
+  std::string cc, st;           // extracted country/state codes, if any
+  std::vector<geo::LocationId> locations;  // candidates after narrowing
+  geo::LocationId best_location = geo::kInvalidLocation;  // TP only
+  bool via_learned = false;     // code resolved through NC.learned
+};
+
+struct EvalCounts {
+  std::size_t tp = 0, fp = 0, fn = 0, unk = 0, none = 0;
+
+  long atp() const {
+    return static_cast<long>(tp) - static_cast<long>(fp + fn + unk);
+  }
+  double ppv() const {
+    return (tp + fp) == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+  }
+  std::size_t scored() const { return tp + fp + fn + unk; }
+};
+
+// Full evaluation of a naming convention over a suffix group.
+struct NcEvaluation {
+  EvalCounts counts;
+  std::vector<HostnameEval> per_hostname;          // parallel to input
+  std::set<std::string> unique_tp_codes;           // distinct TP geohints
+  std::vector<std::set<std::string>> regex_unique_tp;  // per regex in the NC
+
+  std::size_t unique_count() const { return unique_tp_codes.size(); }
+};
+
+class Evaluator {
+ public:
+  Evaluator(const geo::GeoDictionary& dict, const measure::Measurements& meas,
+            double slack_ms = 0.0);
+
+  NcEvaluation evaluate(const NamingConvention& nc,
+                        std::span<const TaggedHostname> tagged) const;
+
+  HostnameEval evaluate_one(const NamingConvention& nc, const TaggedHostname& tagged) const;
+
+  // Ranks candidate locations the way stage 4 does (facility, then
+  // population, then id for determinism) and returns the best.
+  geo::LocationId choose_location(std::span<const geo::LocationId> ids) const;
+
+  const geo::GeoDictionary& dictionary() const { return dict_; }
+  const measure::Measurements& measurements() const { return meas_; }
+  double slack_ms() const { return slack_ms_; }
+
+ private:
+  const geo::GeoDictionary& dict_;
+  const measure::Measurements& meas_;
+  double slack_ms_;
+};
+
+}  // namespace hoiho::core

@@ -1,0 +1,107 @@
+#include "core/geohint.h"
+
+#include "regex/matcher.h"
+#include "util/strings.h"
+
+namespace hoiho::core {
+
+std::string_view to_string(Role r) {
+  switch (r) {
+    case Role::kIata: return "iata";
+    case Role::kIcao: return "icao";
+    case Role::kLocode: return "locode";
+    case Role::kClli: return "clli";
+    case Role::kClli4: return "clli4";
+    case Role::kClli2: return "clli2";
+    case Role::kCityName: return "city";
+    case Role::kFacility: return "facility";
+    case Role::kCountryCode: return "cc";
+    case Role::kStateCode: return "st";
+  }
+  return "?";
+}
+
+geo::HintType dictionary_for(Role r) {
+  switch (r) {
+    case Role::kIata: return geo::HintType::kIata;
+    case Role::kIcao: return geo::HintType::kIcao;
+    case Role::kLocode: return geo::HintType::kLocode;
+    case Role::kClli:
+    case Role::kClli4:
+    case Role::kClli2: return geo::HintType::kClli;
+    case Role::kCityName: return geo::HintType::kCityName;
+    case Role::kFacility: return geo::HintType::kFacility;
+    case Role::kCountryCode: return geo::HintType::kCountryCode;
+    case Role::kStateCode: return geo::HintType::kStateCode;
+  }
+  return geo::HintType::kCityName;
+}
+
+Role Plan::primary() const {
+  for (Role r : roles) {
+    if (is_annotation(r)) continue;
+    if (r == Role::kClli4 || r == Role::kClli2) return Role::kClli;
+    return r;
+  }
+  return Role::kCityName;
+}
+
+bool Plan::extracts(Role r) const {
+  for (Role x : roles)
+    if (x == r) return true;
+  return false;
+}
+
+std::string Plan::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < roles.size(); ++i) {
+    if (i) out += ",";
+    out += std::string(core::to_string(roles[i]));
+  }
+  return out;
+}
+
+std::string_view to_string(NcClass c) {
+  switch (c) {
+    case NcClass::kGood: return "good";
+    case NcClass::kPromising: return "promising";
+    case NcClass::kPoor: return "poor";
+  }
+  return "?";
+}
+
+bool NamingConvention::extracts_annotation() const {
+  for (const GeoRegex& gr : regexes)
+    if (gr.plan.extracts(Role::kCountryCode) || gr.plan.extracts(Role::kStateCode)) return true;
+  return false;
+}
+
+std::optional<Extraction> extract(const NamingConvention& nc, const dns::Hostname& host) {
+  for (std::size_t i = 0; i < nc.regexes.size(); ++i) {
+    const GeoRegex& gr = nc.regexes[i];
+    const std::vector<std::string> caps = rx::capture_strings(gr.regex, host.full);
+    if (caps.empty()) continue;
+
+    Extraction ex;
+    ex.regex_index = static_cast<int>(i);
+    std::string clli4, clli2;
+    for (std::size_t c = 0; c < gr.plan.roles.size() && c < caps.size(); ++c) {
+      const std::string cap = util::to_lower(caps[c]);
+      switch (gr.plan.roles[c]) {
+        case Role::kCountryCode: ex.cc = cap; break;
+        case Role::kStateCode: ex.st = cap; break;
+        case Role::kClli4: clli4 = cap; break;
+        case Role::kClli2: clli2 = cap; break;
+        default: ex.code = cap; break;
+      }
+    }
+    if (!clli4.empty() || !clli2.empty()) ex.code = clli4 + clli2;
+    if (ex.code.empty()) continue;
+    ex.primary = gr.plan.primary();
+    if (ex.primary == Role::kFacility) ex.code = util::squash_alnum(ex.code);
+    return ex;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hoiho::core

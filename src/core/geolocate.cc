@@ -1,0 +1,70 @@
+#include "core/geolocate.h"
+
+#include <vector>
+
+namespace hoiho::core {
+
+void Geolocator::add(NamingConvention nc) {
+  if (nc.suffix.empty()) return;
+  std::string key = nc.suffix;
+  by_suffix_[std::move(key)] = std::move(nc);
+}
+
+const NamingConvention* Geolocator::convention(std::string_view suffix) const {
+  const auto it = by_suffix_.find(std::string(suffix));
+  return it == by_suffix_.end() ? nullptr : &it->second;
+}
+
+std::optional<Geolocation> Geolocator::locate(std::string_view hostname) const {
+  const auto host = dns::parse_hostname(hostname);
+  if (!host) return std::nullopt;
+  const NamingConvention* nc = convention(host->suffix());
+  if (nc == nullptr) return std::nullopt;
+
+  const std::optional<Extraction> ex = extract(*nc, *host);
+  if (!ex) return std::nullopt;
+
+  const geo::HintType dt = dictionary_for(ex->primary);
+  std::vector<geo::LocationId> candidates;
+  bool via_learned = false;
+  const auto learned_it = nc->learned.find(LearnedKey{dt, ex->code});
+  if (learned_it != nc->learned.end()) {
+    candidates.push_back(learned_it->second);
+    via_learned = true;
+  } else {
+    const auto ids = dict_.lookup(dt, ex->code);
+    candidates.assign(ids.begin(), ids.end());
+  }
+  if (!ex->cc.empty()) {
+    std::erase_if(candidates,
+                  [&](geo::LocationId id) { return !dict_.matches_country(ex->cc, id); });
+  }
+  if (!ex->st.empty()) {
+    std::erase_if(candidates,
+                  [&](geo::LocationId id) { return !dict_.matches_state(ex->st, id); });
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  // Break ambiguity: facility presence, then population (stage-4 ranking).
+  geo::LocationId best = candidates[0];
+  for (geo::LocationId id : candidates) {
+    const geo::Location& a = dict_.location(id);
+    const geo::Location& b = dict_.location(best);
+    if (a.has_facility != b.has_facility) {
+      if (a.has_facility) best = id;
+    } else if (a.population > b.population) {
+      best = id;
+    }
+  }
+
+  Geolocation out;
+  out.location = best;
+  out.coord = dict_.location(best).coord;
+  out.code = ex->code;
+  out.role = ex->primary;
+  out.via_learned = via_learned;
+  out.suffix = nc->suffix;
+  return out;
+}
+
+}  // namespace hoiho::core

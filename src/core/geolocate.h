@@ -1,0 +1,49 @@
+// Geolocator: the apply-side API.
+//
+// Once conventions are learned (or loaded), geolocating a hostname needs no
+// measurement infrastructure — one of the paper's key arguments for regexes
+// over run-time delay probing. The Geolocator indexes naming conventions by
+// suffix and decodes any hostname they cover.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/geohint.h"
+#include "dns/hostname.h"
+
+namespace hoiho::core {
+
+struct Geolocation {
+  geo::LocationId location = geo::kInvalidLocation;
+  geo::Coordinate coord;
+  std::string code;        // the geohint that produced the location
+  Role role = Role::kIata; // how the code was interpreted
+  bool via_learned = false;
+  std::string suffix;      // convention that matched
+};
+
+class Geolocator {
+ public:
+  explicit Geolocator(const geo::GeoDictionary& dict) : dict_(dict) {}
+
+  // Registers a convention; replaces any previous one for the same suffix.
+  void add(NamingConvention nc);
+
+  std::size_t convention_count() const { return by_suffix_.size(); }
+  const NamingConvention* convention(std::string_view suffix) const;
+
+  // Geolocates one hostname: applies the suffix's convention, interprets the
+  // extraction via the learned then the reference dictionary, narrows by any
+  // extracted state/country code, and breaks ambiguity by facility presence
+  // then population. nullopt if no convention matches or the code is
+  // unknown.
+  std::optional<Geolocation> locate(std::string_view hostname) const;
+
+ private:
+  const geo::GeoDictionary& dict_;
+  std::unordered_map<std::string, NamingConvention> by_suffix_;
+};
+
+}  // namespace hoiho::core

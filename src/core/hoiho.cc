@@ -1,0 +1,144 @@
+#include "core/hoiho.h"
+
+#include <algorithm>
+#include <set>
+
+namespace hoiho::core {
+
+std::size_t HoihoResult::geolocated_router_count() const {
+  std::set<topo::RouterId> routers;
+  for (const SuffixResult& sr : suffixes) {
+    if (!sr.usable()) continue;
+    for (std::size_t i = 0; i < sr.eval.per_hostname.size(); ++i) {
+      if (sr.eval.per_hostname[i].outcome == Outcome::kTP)
+        routers.insert(sr.tagged[i].ref.router);
+    }
+  }
+  return routers.size();
+}
+
+std::size_t HoihoResult::count(NcClass c) const {
+  std::size_t n = 0;
+  for (const SuffixResult& sr : suffixes)
+    if (sr.has_nc() && sr.cls == c) ++n;
+  return n;
+}
+
+SuffixResult Hoiho::run_suffix(const topo::SuffixGroup& group,
+                               const measure::Measurements& meas) const {
+  SuffixResult result;
+  result.suffix = group.suffix;
+  result.hostname_count = group.hostnames.size();
+
+  // Stage 2: tag apparent geohints.
+  const ApparentTagger tagger(dict_, meas, config_.apparent);
+  result.tagged = tagger.tag_all(group.hostnames);
+  for (const TaggedHostname& th : result.tagged)
+    if (th.has_hint()) ++result.tagged_count;
+  if (result.tagged_count < config_.min_tagged_hostnames) return result;
+
+  const Evaluator evaluator(dict_, meas, config_.apparent.slack_ms);
+
+  // Stage 3 phase 1: base regexes, seeded from a bounded prefix of the
+  // tagged hostnames.
+  const RegexGenerator generator(config_.gen);
+  std::vector<TaggedHostname> seeds;
+  for (const TaggedHostname& th : result.tagged) {
+    if (!th.has_hint()) continue;
+    seeds.push_back(th);
+    if (seeds.size() >= config_.max_seed_hostnames) break;
+  }
+  std::vector<GeoRegex> candidates = generator.generate_base(seeds);
+  if (candidates.empty()) return result;
+
+  // Rank base candidates by ATP and prune.
+  {
+    struct Ranked {
+      GeoRegex gr;
+      long atp;
+    };
+    std::vector<Ranked> ranked;
+    ranked.reserve(candidates.size());
+    for (GeoRegex& gr : candidates) {
+      NamingConvention nc;
+      nc.suffix = group.suffix;
+      nc.regexes.push_back(gr);
+      const NcEvaluation ev = evaluator.evaluate(nc, result.tagged);
+      if (ev.counts.tp == 0) continue;
+      ranked.push_back(Ranked{std::move(gr), ev.counts.atp()});
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const Ranked& a, const Ranked& b) { return a.atp > b.atp; });
+    if (ranked.size() > config_.max_candidates) ranked.resize(config_.max_candidates);
+    candidates.clear();
+    for (Ranked& r : ranked) candidates.push_back(std::move(r.gr));
+  }
+  if (candidates.empty()) return result;
+
+  // Stage 3 phase 2: merge similar regexes.
+  {
+    const std::vector<GeoRegex> merged = generator.merge(candidates);
+    candidates.insert(candidates.end(), merged.begin(), merged.end());
+  }
+  // Stage 3 phase 3: embed character classes.
+  {
+    std::vector<GeoRegex> refined;
+    for (const GeoRegex& gr : candidates) {
+      if (auto r = generator.embed_classes(gr, result.tagged)) refined.push_back(std::move(*r));
+    }
+    candidates.insert(candidates.end(), refined.begin(), refined.end());
+  }
+  dedup_regexes(candidates);
+
+  // Stage 3 phase 4: build candidate NCs.
+  const NcBuilder builder(evaluator, config_.sets);
+  std::vector<NcBuilder::Candidate> ncs = builder.build(group.suffix, std::move(candidates),
+                                                        result.tagged);
+  if (ncs.empty()) return result;
+
+  // Stage 4: learn operator geohints for the top candidates, then
+  // re-evaluate them (learning can reorder the ranking).
+  std::vector<std::vector<LearnedHint>> learned_per(ncs.size());
+  if (config_.enable_learning) {
+    const GeohintLearner learner(evaluator, config_.learn);
+    const std::size_t n = std::min(ncs.size(), config_.learn_top_n);
+    for (std::size_t i = 0; i < n; ++i) {
+      learned_per[i] = learner.learn(ncs[i].nc, result.tagged, ncs[i].eval);
+      if (!learned_per[i].empty()) ncs[i].eval = evaluator.evaluate(ncs[i].nc, result.tagged);
+    }
+    std::vector<std::size_t> order(ncs.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return ncs[a].eval.counts.atp() > ncs[b].eval.counts.atp();
+    });
+    std::vector<NcBuilder::Candidate> ncs2;
+    std::vector<std::vector<LearnedHint>> learned2;
+    for (std::size_t idx : order) {
+      ncs2.push_back(std::move(ncs[idx]));
+      learned2.push_back(std::move(learned_per[idx]));
+    }
+    ncs = std::move(ncs2);
+    learned_per = std::move(learned2);
+  }
+
+  // Stage 5: select and classify.
+  const NcBuilder::Candidate* best = select_best(ncs, config_.rank);
+  if (best == nullptr) return result;
+  const std::size_t best_idx = static_cast<std::size_t>(best - ncs.data());
+  result.nc = best->nc;
+  result.eval = best->eval;
+  result.learned = learned_per[best_idx];
+  result.cls = classify(result.eval, config_.rank);
+  return result;
+}
+
+HoihoResult Hoiho::run(const topo::Topology& topo, const measure::Measurements& meas) const {
+  HoihoResult result;
+  for (const topo::SuffixGroup& group : topo.group_by_suffix()) {
+    SuffixResult sr = run_suffix(group, meas);
+    if (sr.hostname_count > 0) result.suffixes.push_back(std::move(sr));
+  }
+  return result;
+}
+
+}  // namespace hoiho::core

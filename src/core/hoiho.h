@@ -1,0 +1,95 @@
+// The Hoiho-geo driver: runs the five-stage method end-to-end over a
+// topology + measurement campaign, producing one result per suffix
+// (paper §5, fig. 4).
+//
+// This is the main entry point of the library:
+//
+//   hoiho::core::Hoiho hoiho(geo::builtin_dictionary());
+//   hoiho::core::HoihoResult result = hoiho.run(topology, measurements);
+//
+// Each SuffixResult carries the chosen naming convention, its evaluation,
+// the geohints learned in stage 4, and the stage-5 classification.
+#pragma once
+
+#include "core/apparent.h"
+#include "core/eval.h"
+#include "core/learn.h"
+#include "core/rank.h"
+#include "core/regex_gen.h"
+#include "core/regex_sets.h"
+
+namespace hoiho::core {
+
+struct HoihoConfig {
+  ApparentConfig apparent;
+  GenConfig gen;
+  SetConfig sets;
+  LearnConfig learn;
+  RankConfig rank;
+
+  // Suffixes with fewer tagged hostnames than this are skipped outright
+  // (too little signal to learn a convention).
+  std::size_t min_tagged_hostnames = 3;
+
+  // Generation is seeded from at most this many tagged hostnames per suffix
+  // (deterministic prefix); conventions are still *evaluated* on all.
+  std::size_t max_seed_hostnames = 64;
+
+  // At most this many base regexes survive per suffix (ranked by ATP)
+  // before merging / class embedding / set building.
+  std::size_t max_candidates = 48;
+
+  // Stage 4 is applied to at most this many top-ranked candidate NCs.
+  std::size_t learn_top_n = 4;
+
+  // Stage 4 on/off — the paper's own ablation (§6.1: 94.0% vs 82.4%).
+  bool enable_learning = true;
+};
+
+// Result for one suffix.
+struct SuffixResult {
+  std::string suffix;
+  std::size_t hostname_count = 0;      // hostnames under this suffix
+  std::size_t tagged_count = 0;        // hostnames with an apparent geohint
+  std::vector<TaggedHostname> tagged;  // stage-2 output (all hostnames)
+
+  NamingConvention nc;                 // chosen NC (empty if none learned)
+  NcEvaluation eval;                   // final evaluation of `nc`
+  NcClass cls = NcClass::kPoor;
+  std::vector<LearnedHint> learned;    // stage-4 output
+
+  bool has_nc() const { return !nc.empty(); }
+  bool usable() const { return has_nc() && is_usable(cls); }
+};
+
+struct HoihoResult {
+  std::vector<SuffixResult> suffixes;
+
+  // Routers geolocated by usable NCs (distinct router ids).
+  std::size_t geolocated_router_count() const;
+
+  // Suffix counts by class.
+  std::size_t count(NcClass c) const;
+};
+
+class Hoiho {
+ public:
+  explicit Hoiho(const geo::GeoDictionary& dict, HoihoConfig config = {})
+      : dict_(dict), config_(config) {}
+
+  // Runs the full pipeline over every suffix group in `topo`.
+  HoihoResult run(const topo::Topology& topo, const measure::Measurements& meas) const;
+
+  // Runs the pipeline for one suffix group.
+  SuffixResult run_suffix(const topo::SuffixGroup& group,
+                          const measure::Measurements& meas) const;
+
+  const HoihoConfig& config() const { return config_; }
+  const geo::GeoDictionary& dictionary() const { return dict_; }
+
+ private:
+  const geo::GeoDictionary& dict_;
+  HoihoConfig config_;
+};
+
+}  // namespace hoiho::core

@@ -1,0 +1,162 @@
+#include "core/learn.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "measure/consistency.h"
+
+namespace hoiho::core {
+
+namespace {
+
+// Everything known about one candidate code to be learned.
+struct CodeGroup {
+  Role role = Role::kIata;
+  std::string code, cc, st;               // extraction + annotations
+  std::set<topo::RouterId> routers;       // routers the code was extracted for
+};
+
+}  // namespace
+
+std::vector<LearnedHint> GeohintLearner::learn(NamingConvention& nc,
+                                               std::span<const TaggedHostname> tagged,
+                                               const NcEvaluation& evaluation) const {
+  std::vector<LearnedHint> out;
+  if (evaluation.unique_count() < config_.min_unique_seed) return out;
+  if (evaluation.counts.ppv() <= config_.seed_ppv) return out;
+
+  const geo::GeoDictionary& dict = eval_.dictionary();
+  const measure::Measurements& meas = eval_.measurements();
+
+  // Group FP/UNK extractions by (code, annotations).
+  std::map<std::string, CodeGroup> groups;
+  for (std::size_t i = 0; i < evaluation.per_hostname.size(); ++i) {
+    const HostnameEval& ev = evaluation.per_hostname[i];
+    if (ev.outcome != Outcome::kFP && ev.outcome != Outcome::kUNK) continue;
+    if (ev.regex_index < 0 || ev.code.empty()) continue;
+    const Role role = nc.regexes[static_cast<std::size_t>(ev.regex_index)].plan.primary();
+    if (role == Role::kFacility) continue;  // street addresses are not abbreviations
+    const std::string key = ev.code + "|" + ev.cc + "|" + ev.st;
+    CodeGroup& g = groups[key];
+    g.role = role;
+    g.code = ev.code;
+    g.cc = ev.cc;
+    g.st = ev.st;
+    g.routers.insert(tagged[i].ref.router);
+  }
+
+  for (auto& [key, g] : groups) {
+    const geo::HintType dt = dictionary_for(g.role);
+    if (nc.learned.contains(LearnedKey{dt, g.code})) continue;
+
+    // Find the place names this code could abbreviate (paper §5.4 rules per
+    // geohint type).
+    std::vector<geo::LocationId> candidates;
+    geo::AbbrevOptions opts;
+    switch (g.role) {
+      case Role::kCityName: {
+        opts.require_contiguous4 = true;
+        candidates = dict.abbreviation_candidates(g.code, opts);
+        break;
+      }
+      case Role::kClli: {
+        // 4-letter city part + 2-letter state/country part.
+        if (g.code.size() != 6) continue;
+        const std::string abbrev = g.code.substr(0, 4);
+        const std::string tail = g.code.substr(4, 2);
+        for (geo::LocationId id : dict.abbreviation_candidates(abbrev)) {
+          const geo::Location& loc = dict.location(id);
+          // The two-letter tail must name the state (three-letter codes such
+          // as "nsw" are written with their first two letters) or country.
+          const bool state_match = !loc.state.empty() && loc.state.substr(0, 2) == tail;
+          if (state_match || geo::same_country(tail, loc.country)) candidates.push_back(id);
+        }
+        break;
+      }
+      case Role::kLocode: {
+        // 2-letter country + 3-letter place part.
+        if (g.code.size() != 5) continue;
+        const std::string cc2 = g.code.substr(0, 2);
+        const std::string abbrev = g.code.substr(2, 3);
+        for (geo::LocationId id : dict.abbreviation_candidates(abbrev)) {
+          if (geo::same_country(cc2, dict.location(id).country)) candidates.push_back(id);
+        }
+        break;
+      }
+      default:
+        candidates = dict.abbreviation_candidates(g.code);
+        break;
+    }
+
+    // Extracted annotations must agree with the candidate.
+    if (!g.cc.empty()) {
+      std::erase_if(candidates,
+                    [&](geo::LocationId id) { return !dict.matches_country(g.cc, id); });
+    }
+    if (!g.st.empty()) {
+      std::erase_if(candidates, [&](geo::LocationId id) { return !dict.matches_state(g.st, id); });
+    }
+    if (candidates.empty()) continue;
+
+    // Score each candidate by router RTT-consistency.
+    struct Scored {
+      geo::LocationId id;
+      std::size_t tp = 0, fp = 0;
+    };
+    std::vector<Scored> scored;
+    scored.reserve(candidates.size());
+    for (geo::LocationId id : candidates) {
+      Scored s{id, 0, 0};
+      const geo::Coordinate& coord = dict.location(id).coord;
+      for (topo::RouterId r : g.routers) {
+        if (measure::rtt_consistent(meas.pings, meas.vps, r, coord, eval_.slack_ms()))
+          ++s.tp;
+        else
+          ++s.fp;
+      }
+      if (s.tp > 0) scored.push_back(s);
+    }
+    if (scored.empty()) continue;
+
+    // Rank: facility first, then population, then TPs (paper fig. 8a).
+    std::stable_sort(scored.begin(), scored.end(), [&](const Scored& a, const Scored& b) {
+      const geo::Location& la = dict.location(a.id);
+      const geo::Location& lb = dict.location(b.id);
+      if (la.has_facility != lb.has_facility) return la.has_facility;
+      if (la.population != lb.population) return la.population > lb.population;
+      return a.tp > b.tp;
+    });
+    const Scored& best = scored.front();
+
+    // Support for the existing dictionary meaning of the code, if any.
+    const bool exists_in_dict = !dict.lookup(dt, g.code).empty();
+    std::size_t existing_tp = 0;
+    for (topo::RouterId r : g.routers) {
+      for (geo::LocationId id : dict.lookup(dt, g.code)) {
+        if (measure::rtt_consistent(meas.pings, meas.vps, r, dict.location(id).coord,
+                                    eval_.slack_ms())) {
+          ++existing_tp;
+          break;
+        }
+      }
+    }
+
+    // Acceptance tests (paper §5.4). The "beat the existing meaning by more
+    // than one TP" rule only applies when the code has an existing meaning
+    // to beat (FP collisions like "ash"); unknown codes (UNKs like
+    // "mlanit") are gated by the congruence rule below instead.
+    const double ppv = static_cast<double>(best.tp) / static_cast<double>(best.tp + best.fp);
+    if (ppv + 1e-12 < config_.accept_ppv) continue;
+    if (exists_in_dict && best.tp <= existing_tp + config_.tp_improvement) continue;
+    const bool annotated = !g.cc.empty() || !g.st.empty();
+    const std::size_t need = annotated ? config_.congruent_annotated : config_.congruent_plain;
+    if (best.tp < need) continue;
+
+    nc.learned[LearnedKey{dt, g.code}] = best.id;
+    out.push_back(LearnedHint{dt, g.code, best.id, best.tp, best.fp, existing_tp});
+  }
+  return out;
+}
+
+}  // namespace hoiho::core

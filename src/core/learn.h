@@ -1,0 +1,58 @@
+// Stage 4: learn operator geohints that deviate from the reference
+// dictionary (paper §5.4, fig. 8).
+//
+// Starting from a naming convention that credibly extracts geohints (at
+// least `min_unique_seed` unique RTT-consistent hints, PPV > `seed_ppv`),
+// the learner examines the FP extractions (dictionary hits that are not
+// RTT-consistent — "ash" used for Ashburn) and UNK extractions (strings not
+// in the dictionary — NTT's home-made CLLI "mlanit"). For each such code it
+// finds place names the code could abbreviate, scores candidate locations by
+// how many of the code's routers are RTT-consistent with them, ranks by
+// facility presence, then population, then TPs, and accepts the winner when
+// its PPV is at least `accept_ppv`, it beats the existing dictionary meaning
+// by more than `tp_improvement` TPs, and enough congruent routers support it
+// (three without a corroborating state/country extraction, one with).
+#pragma once
+
+#include <span>
+
+#include "core/eval.h"
+
+namespace hoiho::core {
+
+struct LearnConfig {
+  std::size_t min_unique_seed = 3;
+  double seed_ppv = 0.40;
+  double accept_ppv = 0.80;
+  std::size_t tp_improvement = 1;  // must beat existing by MORE than this
+  std::size_t congruent_plain = 3;
+  std::size_t congruent_annotated = 1;
+};
+
+// One learned per-suffix geohint, with its supporting evidence.
+struct LearnedHint {
+  geo::HintType type = geo::HintType::kIata;
+  std::string code;
+  geo::LocationId location = geo::kInvalidLocation;
+  std::size_t tp = 0, fp = 0;        // routers consistent / inconsistent
+  std::size_t existing_tp = 0;       // support for the dictionary meaning
+};
+
+class GeohintLearner {
+ public:
+  GeohintLearner(const Evaluator& evaluator, LearnConfig config = {})
+      : eval_(evaluator), config_(config) {}
+
+  // Learns geohints for `nc` given its evaluation; inserts accepted hints
+  // into nc.learned and returns them. The caller re-evaluates afterwards.
+  std::vector<LearnedHint> learn(NamingConvention& nc, std::span<const TaggedHostname> tagged,
+                                 const NcEvaluation& evaluation) const;
+
+  const LearnConfig& config() const { return config_; }
+
+ private:
+  const Evaluator& eval_;
+  LearnConfig config_;
+};
+
+}  // namespace hoiho::core

@@ -1,0 +1,147 @@
+#include "core/nc_io.h"
+
+#include <istream>
+#include <ostream>
+
+#include "geo/dictionary.h"
+#include "regex/parser.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace hoiho::core {
+
+namespace {
+
+std::optional<Role> role_from_token(std::string_view s) {
+  for (const Role r : {Role::kIata, Role::kIcao, Role::kLocode, Role::kClli, Role::kClli4,
+                       Role::kClli2, Role::kCityName, Role::kFacility, Role::kCountryCode,
+                       Role::kStateCode}) {
+    if (s == to_string(r)) return r;
+  }
+  return std::nullopt;
+}
+
+std::optional<geo::HintType> hint_type_from_token(std::string_view s) {
+  for (const geo::HintType t :
+       {geo::HintType::kIata, geo::HintType::kIcao, geo::HintType::kLocode,
+        geo::HintType::kClli, geo::HintType::kCityName, geo::HintType::kFacility}) {
+    if (s == to_string(t)) return t;
+  }
+  return std::nullopt;
+}
+
+std::optional<NcClass> class_from_token(std::string_view s) {
+  for (const NcClass c : {NcClass::kGood, NcClass::kPromising, NcClass::kPoor})
+    if (s == to_string(c)) return c;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string plan_to_token(const Plan& plan) {
+  std::string out;
+  for (std::size_t i = 0; i < plan.roles.size(); ++i) {
+    if (i) out += "+";
+    out += std::string(to_string(plan.roles[i]));
+  }
+  return out;
+}
+
+std::optional<Plan> plan_from_token(std::string_view token) {
+  Plan plan;
+  for (const std::string_view part : util::split(token, "+")) {
+    const auto role = role_from_token(part);
+    if (!role) return std::nullopt;
+    plan.roles.push_back(*role);
+  }
+  if (plan.roles.empty()) return std::nullopt;
+  return plan;
+}
+
+void save_conventions(std::ostream& out, const std::vector<StoredConvention>& conventions,
+                      const geo::GeoDictionary& dict) {
+  out << "# hoiho-geo naming conventions v1\n";
+  for (const StoredConvention& sc : conventions) {
+    util::write_csv_row(out, {"S", sc.nc.suffix, std::string(to_string(sc.cls))});
+    for (const GeoRegex& gr : sc.nc.regexes)
+      util::write_csv_row(out, {"R", plan_to_token(gr.plan), gr.regex.to_string()});
+    // Learned geohints are stored by place name so the file survives
+    // dictionary rebuilds.
+    for (const auto& [key, loc] : sc.nc.learned) {
+      const geo::Location& l = dict.location(loc);
+      util::write_csv_row(out, {"L", std::string(to_string(key.first)), key.second, l.city,
+                                l.state, l.country});
+    }
+  }
+}
+
+std::optional<std::vector<StoredConvention>> load_conventions(
+    std::istream& in, const geo::GeoDictionary& dict, std::string* error,
+    std::vector<std::string>* warnings) {
+  auto fail = [&](const std::string& msg) -> std::optional<std::vector<StoredConvention>> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  std::vector<StoredConvention> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const util::CsvRow row = util::parse_csv_line(line);
+    const std::string where = "line " + std::to_string(lineno);
+    if (row.empty()) continue;
+    if (row[0] == "S") {
+      if (row.size() < 3) return fail(where + ": S record needs 3 fields");
+      const auto cls = class_from_token(row[2]);
+      if (!cls) return fail(where + ": unknown class '" + row[2] + "'");
+      StoredConvention sc;
+      sc.nc.suffix = row[1];
+      sc.cls = *cls;
+      out.push_back(std::move(sc));
+    } else if (row[0] == "R") {
+      if (out.empty()) return fail(where + ": R record before any S record");
+      if (row.size() < 3) return fail(where + ": R record needs 3 fields");
+      const auto plan = plan_from_token(row[1]);
+      if (!plan) return fail(where + ": bad plan '" + row[1] + "'");
+      std::string rx_error;
+      const auto regex = rx::parse(row[2], &rx_error);
+      if (!regex) return fail(where + ": bad regex: " + rx_error);
+      if (regex->capture_count() != plan->roles.size())
+        return fail(where + ": plan has " + std::to_string(plan->roles.size()) +
+                    " roles but regex has " + std::to_string(regex->capture_count()) +
+                    " captures");
+      GeoRegex gr;
+      gr.regex = *regex;
+      gr.plan = *plan;
+      out.back().nc.regexes.push_back(std::move(gr));
+    } else if (row[0] == "L") {
+      if (out.empty()) return fail(where + ": L record before any S record");
+      if (row.size() < 6) return fail(where + ": L record needs 6 fields");
+      const auto type = hint_type_from_token(row[1]);
+      if (!type) return fail(where + ": unknown dictionary type '" + row[1] + "'");
+      // Resolve the stored place against the load-time dictionary.
+      geo::LocationId resolved = geo::kInvalidLocation;
+      for (geo::LocationId id :
+           dict.lookup(geo::HintType::kCityName, geo::squash_place_name(row[3]))) {
+        const geo::Location& loc = dict.location(id);
+        if (!geo::same_country(loc.country, row[5])) continue;
+        if (!row[4].empty() && loc.state != util::to_lower(row[4])) continue;
+        resolved = id;
+        break;
+      }
+      if (resolved == geo::kInvalidLocation) {
+        if (warnings != nullptr)
+          warnings->push_back(where + ": dropped learned hint '" + row[2] + "' -> " + row[3] +
+                              " (place not in dictionary)");
+        continue;
+      }
+      out.back().nc.learned[LearnedKey{*type, util::to_lower(row[2])}] = resolved;
+    } else {
+      return fail(where + ": unknown record type '" + row[0] + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace hoiho::core

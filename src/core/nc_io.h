@@ -1,0 +1,51 @@
+// Serialization for learned naming conventions.
+//
+// The paper's authors published their inferred regexes on a public website
+// so that researchers without measurement infrastructure can geolocate
+// hostnames. This module is that artifact: save_conventions() writes every
+// usable convention (regexes, plans, classifications, learned geohints) in
+// a line-oriented text format, and load_conventions() reconstructs a set of
+// NamingConventions ready to drop into a Geolocator.
+//
+// Format ('#' comments allowed):
+//   S,<suffix>,<class>                  starts a convention block
+//   R,<plan>,<regex>                    plan is comma-free: "iata" or "city+cc"
+//   L,<dict-type>,<code>,<city>,<state>,<country>   learned geohint
+// Learned geohints are stored by place so files survive dictionary rebuilds;
+// load resolves them against the dictionary given at load time.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/geohint.h"
+#include "geo/dictionary.h"
+
+namespace hoiho::core {
+
+// One serialized convention with its stage-5 classification.
+struct StoredConvention {
+  NamingConvention nc;
+  NcClass cls = NcClass::kPoor;
+};
+
+// Writes `conventions` in the format above. `dict` is the dictionary the
+// conventions were learned against (needed to spell out learned places).
+void save_conventions(std::ostream& out, const std::vector<StoredConvention>& conventions,
+                      const geo::GeoDictionary& dict);
+
+// Parses conventions, resolving learned geohints against `dict`. Learned
+// entries whose place is not in `dict` are dropped (with a note appended to
+// *warnings if non-null). Returns std::nullopt with a message in *error on
+// malformed input.
+std::optional<std::vector<StoredConvention>> load_conventions(
+    std::istream& in, const geo::GeoDictionary& dict, std::string* error = nullptr,
+    std::vector<std::string>* warnings = nullptr);
+
+// Plan <-> string helpers ("iata", "city+cc+st").
+std::string plan_to_token(const Plan& plan);
+std::optional<Plan> plan_from_token(std::string_view token);
+
+}  // namespace hoiho::core

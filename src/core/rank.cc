@@ -1,0 +1,28 @@
+#include "core/rank.h"
+
+namespace hoiho::core {
+
+NcClass classify(const NcEvaluation& evaluation, const RankConfig& config) {
+  if (evaluation.unique_count() >= config.min_unique) {
+    const double ppv = evaluation.counts.ppv();
+    if (ppv + 1e-12 >= config.good_ppv) return NcClass::kGood;
+    if (ppv + 1e-12 >= config.promising_ppv) return NcClass::kPromising;
+  }
+  return NcClass::kPoor;
+}
+
+const NcBuilder::Candidate* select_best(std::span<const NcBuilder::Candidate> candidates,
+                                        const RankConfig& config) {
+  if (candidates.empty()) return nullptr;
+  const NcBuilder::Candidate* chosen = &candidates[0];
+  for (const NcBuilder::Candidate& c : candidates.subspan(1)) {
+    // Prefer a simpler NC that matches nearly as well as the current choice.
+    if (c.nc.regexes.size() < chosen->nc.regexes.size() &&
+        chosen->eval.counts.tp <= c.eval.counts.tp + config.tp_margin) {
+      chosen = &c;
+    }
+  }
+  return chosen;
+}
+
+}  // namespace hoiho::core

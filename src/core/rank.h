@@ -1,0 +1,35 @@
+// Stage 5: select the best naming convention per suffix and classify it
+// (paper §5.5).
+//
+// NCs are ranked by ATP. The top NC wins unless a lower-ranked NC uses fewer
+// regexes while matching nearly as well (no more than `tp_margin` TPs
+// fewer). The chosen NC is classified:
+//   good       >= min_unique unique hints and PPV >= good_ppv  (90%)
+//   promising  >= min_unique unique hints and PPV >= promising_ppv (80%)
+//   poor       otherwise
+// Good and promising NCs are "usable".
+#pragma once
+
+#include <span>
+
+#include "core/regex_sets.h"
+
+namespace hoiho::core {
+
+struct RankConfig {
+  std::size_t min_unique = 3;
+  double good_ppv = 0.90;
+  double promising_ppv = 0.80;
+  std::size_t tp_margin = 3;
+};
+
+NcClass classify(const NcEvaluation& evaluation, const RankConfig& config = {});
+
+inline bool is_usable(NcClass c) { return c != NcClass::kPoor; }
+
+// Picks the winning candidate (see header comment); nullptr if `candidates`
+// is empty. The pointer refers into `candidates`.
+const NcBuilder::Candidate* select_best(std::span<const NcBuilder::Candidate> candidates,
+                                        const RankConfig& config = {});
+
+}  // namespace hoiho::core

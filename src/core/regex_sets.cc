@@ -1,0 +1,68 @@
+#include "core/regex_sets.h"
+
+#include <algorithm>
+
+namespace hoiho::core {
+
+std::vector<NcBuilder::Candidate> NcBuilder::build(std::string_view suffix,
+                                                   std::vector<GeoRegex> regexes,
+                                                   std::span<const TaggedHostname> tagged) const {
+  std::vector<Candidate> singles;
+  singles.reserve(regexes.size());
+  for (GeoRegex& gr : regexes) {
+    Candidate c;
+    c.nc.suffix = std::string(suffix);
+    c.nc.regexes.push_back(std::move(gr));
+    c.eval = eval_.evaluate(c.nc, tagged);
+    if (c.eval.counts.tp == 0) continue;  // never correct: discard outright
+    singles.push_back(std::move(c));
+  }
+  std::stable_sort(singles.begin(), singles.end(), [](const Candidate& a, const Candidate& b) {
+    return a.eval.counts.atp() > b.eval.counts.atp();
+  });
+  if (singles.size() > config_.max_singles) singles.resize(config_.max_singles);
+  if (singles.empty()) return singles;
+
+  // Combination phase, seeded with the top-ranked regex.
+  Candidate working = singles.front();
+  const double start_ppv = working.eval.counts.ppv();
+  bool grew = true;
+  std::size_t passes = 0;
+  while (grew && ++passes <= config_.max_passes) {
+    grew = false;
+    for (std::size_t i = 1; i < singles.size(); ++i) {
+      // Skip regexes already in the working NC.
+      const std::string key = singles[i].nc.regexes[0].regex.to_string();
+      bool present = false;
+      for (const GeoRegex& gr : working.nc.regexes)
+        if (gr.regex.to_string() == key) present = true;
+      if (present) continue;
+
+      Candidate trial;
+      trial.nc.suffix = working.nc.suffix;
+      trial.nc.regexes = working.nc.regexes;
+      trial.nc.regexes.push_back(singles[i].nc.regexes[0]);
+      trial.eval = eval_.evaluate(trial.nc, tagged);
+
+      if (trial.eval.counts.atp() <= working.eval.counts.atp()) continue;
+      if (trial.eval.counts.ppv() + 1e-12 < start_ppv - config_.ppv_tolerance) continue;
+      bool all_unique = true;
+      for (const auto& codes : trial.eval.regex_unique_tp)
+        if (codes.size() < config_.min_unique_per_regex) all_unique = false;
+      if (!all_unique) continue;
+
+      working = std::move(trial);
+      grew = true;
+    }
+  }
+
+  std::vector<Candidate> out;
+  if (working.nc.regexes.size() > 1) out.push_back(std::move(working));
+  for (Candidate& c : singles) out.push_back(std::move(c));
+  std::stable_sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    return a.eval.counts.atp() > b.eval.counts.atp();
+  });
+  return out;
+}
+
+}  // namespace hoiho::core

@@ -1,0 +1,47 @@
+// Stage 3 phase 4: build naming conventions — sets of regexes — to cover
+// suffixes whose operators use multiple hostname formats (paper appendix A,
+// "Build Regex Sets", and fig. 13 #7).
+//
+// Candidate regexes are ranked by descending ATP. Starting from the top
+// regex, the builder repeatedly tries to append each lower-ranked regex,
+// keeping an expansion when (1) the combined ATP improves, (2) every regex
+// in the expanded NC still extracts at least `min_unique_per_regex` unique
+// geohints, and (3) the PPV is no more than `ppv_tolerance` below the PPV of
+// the NC the pass started with.
+#pragma once
+
+#include <span>
+
+#include "core/eval.h"
+
+namespace hoiho::core {
+
+struct SetConfig {
+  std::size_t min_unique_per_regex = 3;
+  double ppv_tolerance = 0.10;
+  std::size_t max_singles = 40;  // rank cutoff before combination
+  std::size_t max_passes = 8;    // safety bound on combination passes
+};
+
+class NcBuilder {
+ public:
+  struct Candidate {
+    NamingConvention nc;
+    NcEvaluation eval;
+  };
+
+  NcBuilder(const Evaluator& evaluator, SetConfig config = {})
+      : eval_(evaluator), config_(config) {}
+
+  // Returns all candidate NCs: each surviving single regex as a singleton
+  // NC, plus any multi-regex NCs the combination phase built. Sorted by
+  // descending ATP.
+  std::vector<Candidate> build(std::string_view suffix, std::vector<GeoRegex> regexes,
+                               std::span<const TaggedHostname> tagged) const;
+
+ private:
+  const Evaluator& eval_;
+  SetConfig config_;
+};
+
+}  // namespace hoiho::core

@@ -1,0 +1,34 @@
+#include "dns/hostname.h"
+
+#include <cctype>
+
+namespace hoiho::dns {
+
+bool valid_hostname(std::string_view s) {
+  if (s.empty() || s.size() > 255) return false;
+  if (s.front() == '.' || s.back() == '.') return false;
+  std::size_t label_len = 0;
+  for (char c : s) {
+    if (c == '.') {
+      if (label_len == 0) return false;  // empty label
+      label_len = 0;
+      continue;
+    }
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (!(std::islower(u) || std::isdigit(u) || c == '-' || c == '_')) return false;
+    if (++label_len > 63) return false;
+  }
+  return label_len > 0;
+}
+
+std::optional<Hostname> parse_hostname(std::string_view raw, const PublicSuffixList& psl) {
+  Hostname h;
+  h.full = util::to_lower(raw);
+  if (!valid_hostname(h.full)) return std::nullopt;
+  const std::string_view suffix = psl.registered_domain(h.full);
+  if (suffix.empty()) return std::nullopt;
+  h.suffix_pos = h.full.size() - suffix.size();
+  return h;
+}
+
+}  // namespace hoiho::dns

@@ -1,0 +1,46 @@
+// Hostname parsing: canonical form, suffix extraction, and the token views
+// the learner works with.
+//
+// A parsed hostname carries its registered-domain suffix (the grouping key
+// of the whole method) and exposes the *prefix* — everything left of the
+// suffix — which is where operators embed geohints.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/public_suffix.h"
+#include "util/strings.h"
+
+namespace hoiho::dns {
+
+// True if `s` is a plausible DNS hostname for our purposes: non-empty,
+// at most 255 chars, labels of [a-z0-9_-] separated by single dots.
+// Expects lower-case input.
+bool valid_hostname(std::string_view s);
+
+struct Hostname {
+  std::string full;    // lower-cased full hostname
+  std::size_t suffix_pos = 0;  // offset of the registered-domain suffix
+
+  // The registered-domain suffix, e.g. "ntt.net".
+  std::string_view suffix() const { return std::string_view(full).substr(suffix_pos); }
+
+  // Everything before ".suffix" — may be empty for the apex name.
+  std::string_view prefix() const {
+    return suffix_pos == 0 ? std::string_view{}
+                           : std::string_view(full).substr(0, suffix_pos - 1);
+  }
+
+  // Dot-separated labels of the prefix, with positions into full.
+  std::vector<util::Token> labels() const { return util::split_tokens(prefix(), '.'); }
+};
+
+// Canonicalizes (lower-cases) and parses `raw`; std::nullopt if the hostname
+// is invalid or has no registered-domain suffix under `psl`.
+std::optional<Hostname> parse_hostname(std::string_view raw,
+                                       const PublicSuffixList& psl = PublicSuffixList::builtin());
+
+}  // namespace hoiho::dns

@@ -1,0 +1,547 @@
+// Embedded world atlas: the library's stand-in for the paper's licensed /
+// online dictionary feeds (OurAirports, GeoNames, UN/LOCODE, iconectiv CLLI,
+// PeeringDB). See DESIGN.md §2 for the substitution rationale.
+//
+// Rows are real cities with approximate coordinates and populations, and
+// real IATA codes (including metropolitan-area codes such as "lon", "nyc",
+// "chi", and the collision examples the paper relies on: "ash" = Nashua NH,
+// "gig" = Rio de Janeiro Galeão, "eth" = Eilat, "cpe" = Campeche).
+//
+// CLLI prefixes and LOCODEs are supplied explicitly where widely known
+// (e.g. asbnva, nycmny, londen) and otherwise derived with the documented
+// rules below, which mirror how the real code systems are constructed:
+//   CLLI   = first four letters of the squashed city name + state code
+//            (US/CA) or ISO country code (elsewhere);
+//   LOCODE = ISO country code + (IATA code if any, else first three letters
+//            of the squashed city name);
+//   ICAO   = continent/region letter (K=US, C=CA, E=Europe, ...) + IATA.
+// The learning method never depends on which specific string a code is; it
+// depends on code *shape* and on code->location->lat/long joins, which these
+// rules preserve.
+
+#include "geo/dictionary.h"
+
+#include <cstring>
+#include <string>
+
+#include "util/strings.h"
+
+namespace hoiho::geo {
+
+namespace {
+
+struct CityRow {
+  const char* city;
+  const char* state;    // ISO-3166-2 subdivision (lowercase) or ""
+  const char* country;  // ISO-3166 alpha-2 lowercase
+  double lat;
+  double lon;
+  unsigned pop_k;       // approximate population, thousands
+  const char* iata;     // comma-separated IATA codes (airport + metro), or ""
+  const char* clli;     // explicit 6-letter CLLI prefix, or "" to derive
+  bool facility;        // colocation facility known here (PeeringDB stand-in)
+};
+
+// clang-format off
+constexpr CityRow kCities[] = {
+  // --- United States ------------------------------------------------------
+  {"New York", "ny", "us", 40.71, -74.01, 8336, "jfk,lga,nyc", "nycmny", true},
+  {"Newark", "nj", "us", 40.74, -74.17, 282, "ewr", "nwrknj", true},
+  {"Los Angeles", "ca", "us", 34.05, -118.24, 3980, "lax", "lsanca", true},
+  {"Chicago", "il", "us", 41.88, -87.63, 2746, "ord,mdw,chi", "chcgil", true},
+  {"Houston", "tx", "us", 29.76, -95.37, 2320, "iah,hou", "hstntx", true},
+  {"Phoenix", "az", "us", 33.45, -112.07, 1680, "phx", "phnxaz", true},
+  {"Philadelphia", "pa", "us", 39.95, -75.17, 1584, "phl", "phlapa", true},
+  {"San Antonio", "tx", "us", 29.42, -98.49, 1547, "sat", "snantx", false},
+  {"San Diego", "ca", "us", 32.72, -117.16, 1423, "san", "sndgca", true},
+  {"Dallas", "tx", "us", 32.78, -96.80, 1343, "dfw,dal", "dllstx", true},
+  {"San Jose", "ca", "us", 37.34, -121.89, 1021, "sjc", "snjsca", true},
+  {"Austin", "tx", "us", 30.27, -97.74, 978, "aus", "astntx", true},
+  {"Jacksonville", "fl", "us", 30.33, -81.66, 911, "jax", "jcvlfl", false},
+  {"Fort Worth", "tx", "us", 32.76, -97.33, 909, "ftw", "frwotx", false},
+  {"Columbus", "oh", "us", 39.96, -83.00, 898, "cmh", "clmboh", true},
+  {"San Francisco", "ca", "us", 37.77, -122.42, 881, "sfo", "snfcca", true},
+  {"Charlotte", "nc", "us", 35.23, -80.84, 885, "clt", "chrlnc", false},
+  {"Indianapolis", "in", "us", 39.77, -86.16, 876, "ind", "ipslin", false},
+  {"Seattle", "wa", "us", 47.61, -122.33, 744, "sea", "sttlwa", true},
+  {"Denver", "co", "us", 39.74, -104.99, 727, "den", "dnvrco", true},
+  {"Washington", "dc", "us", 38.91, -77.04, 705, "dca,iad,was", "washdc", true},
+  {"Boston", "ma", "us", 42.36, -71.06, 692, "bos", "bstnma", true},
+  {"Nashville", "tn", "us", 36.16, -86.78, 670, "bna", "nsvltn", false},
+  {"El Paso", "tx", "us", 31.76, -106.49, 682, "elp", "elpstx", false},
+  {"Detroit", "mi", "us", 42.33, -83.05, 670, "dtw,dtt", "dtrtmi", true},
+  {"Oklahoma City", "ok", "us", 35.47, -97.52, 655, "okc", "okcyok", false},
+  {"Portland", "or", "us", 45.52, -122.68, 654, "pdx", "ptldor", true},
+  {"Las Vegas", "nv", "us", 36.17, -115.14, 651, "las", "lsvgnv", true},
+  {"Memphis", "tn", "us", 35.15, -90.05, 651, "mem", "mmphtn", false},
+  {"Louisville", "ky", "us", 38.25, -85.76, 620, "sdf", "lsvlky", false},
+  {"Baltimore", "md", "us", 39.29, -76.61, 593, "bwi", "bltmmd", false},
+  {"Milwaukee", "wi", "us", 43.04, -87.91, 590, "mke", "mlwkwi", false},
+  {"Albuquerque", "nm", "us", 35.08, -106.65, 561, "abq", "albqnm", false},
+  {"Tucson", "az", "us", 32.22, -110.97, 548, "tus", "tcsnaz", false},
+  {"Fresno", "ca", "us", 36.74, -119.79, 531, "fat", "frsnca", false},
+  {"Sacramento", "ca", "us", 38.58, -121.49, 513, "smf", "scrmca", true},
+  {"Kansas City", "mo", "us", 39.10, -94.58, 495, "mci,mkc", "kscymo", true},
+  {"Mesa", "az", "us", 33.42, -111.83, 518, "", "mesaaz", false},
+  {"Atlanta", "ga", "us", 33.75, -84.39, 506, "atl", "atlnga", true},
+  {"Omaha", "ne", "us", 41.26, -95.94, 478, "oma", "omahne", false},
+  {"Colorado Springs", "co", "us", 38.83, -104.82, 478, "cos", "clspco", false},
+  {"Raleigh", "nc", "us", 35.78, -78.64, 474, "rdu", "ralgnc", false},
+  {"Miami", "fl", "us", 25.76, -80.19, 467, "mia", "miamfl", true},
+  {"Long Beach", "ca", "us", 33.77, -118.19, 462, "lgb", "lnbhca", false},
+  {"Virginia Beach", "va", "us", 36.85, -75.98, 450, "orf", "vabhva", false},
+  {"Oakland", "ca", "us", 37.80, -122.27, 433, "oak", "oklnca", false},
+  {"Minneapolis", "mn", "us", 44.98, -93.27, 429, "msp", "mplsmn", true},
+  {"Tulsa", "ok", "us", 36.15, -95.99, 401, "tul", "tulsok", false},
+  {"Tampa", "fl", "us", 27.95, -82.46, 399, "tpa", "tampfl", true},
+  {"Arlington", "tx", "us", 32.74, -97.11, 398, "", "arlntx", false},
+  {"New Orleans", "la", "us", 29.95, -90.07, 390, "msy", "nworla", false},
+  {"Wichita", "ks", "us", 37.69, -97.34, 390, "ict", "wchtks", false},
+  {"Cleveland", "oh", "us", 41.50, -81.69, 381, "cle", "clevoh", true},
+  {"Bakersfield", "ca", "us", 35.37, -119.02, 380, "bfl", "bkfdca", false},
+  {"Aurora", "co", "us", 39.73, -104.83, 379, "", "aurrco", false},
+  {"Anaheim", "ca", "us", 33.84, -117.91, 352, "", "anhmca", false},
+  {"Honolulu", "hi", "us", 21.31, -157.86, 345, "hnl", "hnluhi", false},
+  {"Santa Ana", "ca", "us", 33.75, -117.87, 332, "sna", "snanca", false},
+  {"Riverside", "ca", "us", 33.95, -117.40, 331, "ral", "rvsdca", false},
+  {"Corpus Christi", "tx", "us", 27.80, -97.40, 326, "crp", "crchtx", false},
+  {"Lexington", "ky", "us", 38.04, -84.50, 323, "lex", "lxtnky", false},
+  {"Stockton", "ca", "us", 37.96, -121.29, 312, "sck", "stknca", false},
+  {"Pittsburgh", "pa", "us", 40.44, -80.00, 300, "pit", "ptbgpa", true},
+  {"Saint Louis", "mo", "us", 38.63, -90.20, 300, "stl", "stlsmo", true},
+  {"Cincinnati", "oh", "us", 39.10, -84.51, 303, "cvg", "cnctoh", false},
+  {"Anchorage", "ak", "us", 61.22, -149.90, 291, "anc", "anchak", false},
+  {"Henderson", "nv", "us", 36.04, -114.98, 310, "hnd", "hndsnv", false},
+  {"Greensboro", "nc", "us", 36.07, -79.79, 296, "gso", "grbonc", false},
+  {"Plano", "tx", "us", 33.02, -96.70, 285, "", "plnotx", false},
+  {"Lincoln", "ne", "us", 40.81, -96.70, 289, "lnk", "lncnne", false},
+  {"Orlando", "fl", "us", 28.54, -81.38, 287, "mco,orl", "orldfl", true},
+  {"Irvine", "ca", "us", 33.68, -117.83, 287, "", "irvnca", false},
+  {"Toledo", "oh", "us", 41.65, -83.54, 275, "tol", "tldooh", false},
+  {"Jersey City", "nj", "us", 40.73, -74.08, 262, "", "jrcynj", false},
+  {"Chula Vista", "ca", "us", 32.64, -117.08, 271, "", "chvsca", false},
+  {"Durham", "nc", "us", 35.99, -78.90, 278, "", "drhmnc", false},
+  {"Fort Wayne", "in", "us", 41.08, -85.14, 270, "fwa", "frwain", false},
+  {"Buffalo", "ny", "us", 42.89, -78.88, 255, "buf", "bflony", false},
+  {"Chandler", "az", "us", 33.31, -111.84, 261, "", "chndaz", false},
+  {"Madison", "wi", "us", 43.07, -89.40, 259, "msn", "mdsnwi", false},
+  {"Laredo", "tx", "us", 27.51, -99.51, 262, "lrd", "lrdotx", false},
+  {"Lubbock", "tx", "us", 33.58, -101.86, 258, "lbb", "lbbktx", false},
+  {"Scottsdale", "az", "us", 33.49, -111.93, 258, "sdl", "sctdaz", false},
+  {"Reno", "nv", "us", 39.53, -119.81, 255, "rno", "renonv", true},
+  {"Glendale", "az", "us", 33.54, -112.19, 252, "", "glndaz", false},
+  {"Boise", "id", "us", 43.62, -116.20, 228, "boi", "boisid", false},
+  {"Richmond", "va", "us", 37.54, -77.44, 230, "ric", "rchmva", true},
+  {"Spokane", "wa", "us", 47.66, -117.43, 222, "geg", "spknwa", false},
+  {"Rochester", "ny", "us", 43.16, -77.61, 206, "roc", "rchsny", false},
+  {"Salt Lake City", "ut", "us", 40.76, -111.89, 200, "slc", "slkcut", true},
+  {"Tacoma", "wa", "us", 47.25, -122.44, 217, "", "tacmwa", false},
+  {"Fremont", "ca", "us", 37.55, -121.99, 241, "", "frmtca", true},
+  {"Santa Clara", "ca", "us", 37.35, -121.96, 130, "", "snclca", true},
+  {"Palo Alto", "ca", "us", 37.44, -122.14, 66, "pao", "plalca", true},
+  {"Eugene", "or", "us", 44.05, -123.09, 172, "eug", "eugnor", false},
+  {"Des Moines", "ia", "us", 41.59, -93.62, 215, "dsm", "dsmnia", false},
+  {"Montgomery", "al", "us", 32.38, -86.31, 199, "mgm", "mngmal", false},
+  {"Birmingham", "al", "us", 33.52, -86.81, 209, "bhm", "brhmal", false},
+  {"Little Rock", "ar", "us", 34.75, -92.29, 198, "lit", "ltrkar", false},
+  {"Albany", "ny", "us", 42.65, -73.75, 97, "alb", "albyny", false},
+  {"Syracuse", "ny", "us", 43.05, -76.15, 143, "syr", "srcsny", false},
+  {"Hartford", "ct", "us", 41.77, -72.67, 122, "bdl,hfd", "hrfdct", false},
+  {"Providence", "ri", "us", 41.82, -71.41, 179, "pvd", "prvdri", false},
+  {"Manchester", "nh", "us", 42.99, -71.45, 112, "mht", "mncsnh", false},
+  {"Nashua", "nh", "us", 42.77, -71.47, 89, "ash", "nashnh", false},
+  {"Ashburn", "va", "us", 39.04, -77.49, 43, "", "asbnva", true},
+  {"Ashburn", "ga", "us", 31.71, -83.65, 4, "", "asbnga", false},
+  {"Ashland", "va", "us", 37.76, -77.48, 7, "", "ashlva", false},
+  {"Ashland", "or", "us", 42.19, -122.71, 21, "", "ashlor", false},
+  {"Reston", "va", "us", 38.96, -77.36, 62, "", "rstnva", true},
+  {"Vienna", "va", "us", 38.90, -77.27, 16, "", "vinnva", true},
+  {"McLean", "va", "us", 38.93, -77.18, 50, "", "mclnva", false},
+  {"College Park", "md", "us", 38.99, -76.94, 32, "cgs", "clpkmd", false},
+  {"Chico", "ca", "us", 39.73, -121.84, 103, "cic", "chicca", false},
+  {"Santa Rosa", "ca", "us", 38.44, -122.71, 178, "sts", "snrsca", false},
+  {"Billings", "mt", "us", 45.78, -108.50, 110, "bil", "blngmt", false},
+  {"Fargo", "nd", "us", 46.88, -96.79, 125, "far", "fargnd", false},
+  {"Sioux Falls", "sd", "us", 43.55, -96.73, 192, "fsd", "sxflsd", false},
+  {"Charleston", "sc", "us", 32.78, -79.93, 150, "chs", "chtnsc", false},
+  {"Charleston", "wv", "us", 38.35, -81.63, 46, "crw", "chtnwv", false},
+  {"Savannah", "ga", "us", 32.08, -81.09, 147, "sav", "svnhga", false},
+  {"Knoxville", "tn", "us", 35.96, -83.92, 190, "tys", "knvltn", false},
+  {"Chattanooga", "tn", "us", 35.05, -85.31, 182, "cha", "chtntn", false},
+  {"Jackson", "ms", "us", 32.30, -90.18, 154, "jan", "jcsnms", false},
+  {"Baton Rouge", "la", "us", 30.45, -91.19, 222, "btr", "btrgla", false},
+  {"Shreveport", "la", "us", 32.52, -93.75, 188, "shv", "shptla", false},
+  {"Mobile", "al", "us", 30.69, -88.04, 188, "mob", "mobial", false},
+  {"Huntsville", "al", "us", 34.73, -86.59, 215, "hsv", "hnvlal", false},
+  {"Columbia", "sc", "us", 34.00, -81.03, 137, "cae", "clmbsc", false},
+  {"Augusta", "ga", "us", 33.47, -81.97, 202, "ags", "agstga", false},
+  {"Gainesville", "fl", "us", 29.65, -82.32, 141, "gnv", "gnvlfl", false},
+  {"Tallahassee", "fl", "us", 30.44, -84.28, 196, "tlh", "tlhsfl", false},
+  {"Pensacola", "fl", "us", 30.42, -87.22, 54, "pns", "pnscfl", false},
+  {"Fort Lauderdale", "fl", "us", 26.12, -80.14, 182, "fll", "frldfl", false},
+  {"West Palm Beach", "fl", "us", 26.71, -80.05, 117, "pbi", "wpbhfl", false},
+  {"Sarasota", "fl", "us", 27.34, -82.53, 58, "srq", "srstfl", false},
+  {"Daytona Beach", "fl", "us", 29.21, -81.02, 72, "dab", "dybhfl", false},
+  {"Melbourne", "fl", "us", 28.08, -80.61, 84, "mlb", "mlbnfl", false},
+  {"Ocala", "fl", "us", 29.19, -82.14, 63, "ocf", "ocalfl", false},
+  {"Richardson", "tx", "us", 32.95, -96.73, 121, "", "rchdtx", true},
+  {"Brecksville", "oh", "us", 41.32, -81.63, 13, "", "brkvoh", false},
+  {"Herndon", "va", "us", 38.97, -77.39, 24, "", "hrndva", true},
+  {"Secaucus", "nj", "us", 40.79, -74.06, 22, "", "sccsnj", true},
+  {"Piscataway", "nj", "us", 40.55, -74.46, 60, "", "psctnj", false},
+  {"Pennsauken", "nj", "us", 39.96, -75.06, 37, "", "pnsknj", false},
+  {"Cheyenne", "wy", "us", 41.14, -104.82, 65, "cys", "chynwy", false},
+  {"Prineville", "or", "us", 44.30, -120.83, 11, "", "prnvor", false},
+  {"Forest City", "nc", "us", 35.33, -81.87, 7, "", "frcync", false},
+  {"Altoona", "ia", "us", 41.65, -93.46, 21, "", "altnia", false},
+  {"Papillion", "ne", "us", 41.15, -96.04, 24, "", "pplnne", false},
+  {"New Albany", "oh", "us", 40.08, -82.81, 11, "", "nwaboh", false},
+  {"Eemshaven", "", "nl", 53.45, 6.83, 1, "", "", false},
+  {"Clonee", "", "ie", 53.41, -6.44, 10, "", "", false},
+  {"Lulea", "", "se", 65.58, 22.15, 78, "lla", "", false},
+  {"Odense", "", "dk", 55.40, 10.40, 180, "ode", "", false},
+  // --- Canada ---------------------------------------------------------------
+  {"Toronto", "on", "ca", 43.65, -79.38, 2930, "yyz,ytz,yto", "toroon", true},
+  {"Montreal", "qc", "ca", 45.50, -73.57, 1780, "yul,ymq", "mtrlpq", true},
+  {"Vancouver", "bc", "ca", 49.28, -123.12, 675, "yvr", "vancbc", true},
+  {"Calgary", "ab", "ca", 51.05, -114.07, 1336, "yyc", "clgrab", true},
+  {"Edmonton", "ab", "ca", 53.55, -113.49, 1010, "yeg", "edmtab", false},
+  {"Ottawa", "on", "ca", 45.42, -75.70, 1017, "yow", "ottwon", false},
+  {"Winnipeg", "mb", "ca", 49.90, -97.14, 749, "ywg", "wnpgmb", false},
+  {"Quebec City", "qc", "ca", 46.81, -71.21, 549, "yqb", "qbecpq", false},
+  {"Halifax", "ns", "ca", 44.65, -63.58, 439, "yhz", "hlfxns", false},
+  {"Saskatoon", "sk", "ca", 52.13, -106.67, 273, "yxe", "ssktsk", false},
+  {"London", "on", "ca", 42.98, -81.25, 404, "yxu", "london", false},
+  // --- Europe ---------------------------------------------------------------
+  {"London", "", "gb", 51.51, -0.13, 8982, "lhr,lgw,stn,ltn,lcy,lon", "londen", true},
+  {"Manchester", "", "gb", 53.48, -2.24, 553, "man", "mnchen", true},
+  {"Birmingham", "", "gb", 52.49, -1.89, 1141, "bhx", "brhmen", false},
+  {"Leeds", "", "gb", 53.80, -1.55, 793, "lba", "leeden", false},
+  {"Glasgow", "", "gb", 55.86, -4.25, 633, "gla", "glgwsc", false},
+  {"Edinburgh", "", "gb", 55.95, -3.19, 524, "edi", "ednbsc", false},
+  {"Bristol", "", "gb", 51.45, -2.59, 463, "brs", "brsten", false},
+  {"Liverpool", "", "gb", 53.41, -2.99, 498, "lpl", "lvplen", false},
+  {"Newcastle", "", "gb", 54.98, -1.61, 300, "ncl", "ncsten", false},
+  {"Cambridge", "", "gb", 52.21, 0.12, 124, "cbg", "cmbren", false},
+  {"Slough", "", "gb", 51.51, -0.59, 164, "", "slghen", true},
+  {"Dublin", "", "ie", 53.35, -6.26, 554, "dub", "dblnir", true},
+  {"Cork", "", "ie", 51.90, -8.47, 210, "ork", "corkir", false},
+  {"Paris", "", "fr", 48.86, 2.35, 2161, "cdg,ory,par", "parsfr", true},
+  {"Marseille", "", "fr", 43.30, 5.37, 870, "mrs", "mrslfr", true},
+  {"Lyon", "", "fr", 45.76, 4.84, 516, "lys", "lyonfr", false},
+  {"Toulouse", "", "fr", 43.60, 1.44, 493, "tls", "tlsefr", false},
+  {"Nice", "", "fr", 43.70, 7.27, 342, "nce", "nicefr", false},
+  {"Bordeaux", "", "fr", 44.84, -0.58, 257, "bod", "brdxfr", false},
+  {"Nantes", "", "fr", 47.22, -1.55, 314, "nte", "nntsfr", false},
+  {"Strasbourg", "", "fr", 48.57, 7.75, 280, "sxb", "strsfr", false},
+  {"Lille", "", "fr", 50.63, 3.07, 233, "lil", "lillfr", false},
+  {"Frankfurt", "", "de", 50.11, 8.68, 753, "fra", "frntge", true},
+  {"Berlin", "", "de", 52.52, 13.41, 3645, "ber,txl,sxf", "brlnge", true},
+  {"Munich", "", "de", 48.14, 11.58, 1472, "muc", "mnchge", true},
+  {"Hamburg", "", "de", 53.55, 9.99, 1841, "ham", "hmbgge", true},
+  {"Cologne", "", "de", 50.94, 6.96, 1086, "cgn", "clgnge", false},
+  {"Dusseldorf", "", "de", 51.23, 6.77, 619, "dus", "dsslge", true},
+  {"Stuttgart", "", "de", 48.78, 9.18, 634, "str", "sttgge", false},
+  {"Dresden", "", "de", 51.05, 13.74, 554, "drs", "drsdge", false},
+  {"Leipzig", "", "de", 51.34, 12.37, 587, "lej", "lpzgge", false},
+  {"Nuremberg", "", "de", 49.45, 11.08, 518, "nue", "nrmbge", false},
+  {"Hanover", "", "de", 52.38, 9.73, 538, "haj", "hnvrge", false},
+  {"Dortmund", "", "de", 51.51, 7.47, 587, "dtm", "drtmge", false},
+  {"Essen", "", "de", 51.46, 7.01, 583, "ess", "essnge", false},
+  {"Bremen", "", "de", 53.08, 8.80, 569, "bre", "brmnge", false},
+  {"Amsterdam", "", "nl", 52.37, 4.90, 872, "ams", "amstnl", true},
+  {"Rotterdam", "", "nl", 51.92, 4.48, 651, "rtm", "rttdnl", false},
+  {"The Hague", "", "nl", 52.08, 4.30, 545, "hag", "thgenl", false},
+  {"Eindhoven", "", "nl", 51.44, 5.47, 235, "ein", "endhnl", false},
+  {"Utrecht", "", "nl", 52.09, 5.12, 357, "utc", "utrcnl", false},
+  {"Groningen", "", "nl", 53.22, 6.57, 233, "grq", "grngnl", false},
+  {"Haarlem", "", "nl", 52.38, 4.64, 161, "", "hrlmnl", false},
+  {"Helmond", "", "nl", 51.48, 5.66, 92, "", "hlmdnl", false},
+  {"Hilversum", "", "nl", 52.22, 5.17, 90, "", "hlvsnl", false},
+  {"Brussels", "", "be", 50.85, 4.35, 1209, "bru", "brssbe", true},
+  {"Antwerp", "", "be", 51.22, 4.40, 523, "anr", "antwbe", false},
+  {"Ghent", "", "be", 51.05, 3.72, 263, "", "ghntbe", false},
+  {"Luxembourg", "", "lu", 49.61, 6.13, 125, "lux", "lxmblu", false},
+  {"Zurich", "", "ch", 47.37, 8.54, 415, "zrh", "zrchsz", true},
+  {"Geneva", "", "ch", 46.20, 6.14, 201, "gva", "gnvasz", true},
+  {"Basel", "", "ch", 47.56, 7.59, 178, "bsl", "bslesz", false},
+  {"Bern", "", "ch", 46.95, 7.45, 134, "brn", "bernsz", false},
+  {"Vienna", "", "at", 48.21, 16.37, 1897, "vie", "vinnau", true},
+  {"Graz", "", "at", 47.07, 15.44, 291, "grz", "grazau", false},
+  {"Prague", "", "cz", 50.08, 14.44, 1309, "prg", "prgucz", true},
+  {"Brno", "", "cz", 49.20, 16.61, 381, "brq", "brnocz", false},
+  {"Bratislava", "", "sk", 48.15, 17.11, 433, "bts", "brtssk", false},
+  {"Warsaw", "", "pl", 52.23, 21.01, 1790, "waw", "wrswpl", true},
+  {"Krakow", "", "pl", 50.06, 19.94, 780, "krk", "krkwpl", false},
+  {"Wroclaw", "", "pl", 51.11, 17.03, 643, "wro", "wrclpl", false},
+  {"Poznan", "", "pl", 52.41, 16.93, 534, "poz", "pznnpl", false},
+  {"Gdansk", "", "pl", 54.35, 18.65, 470, "gdn", "gdnkpl", false},
+  {"Budapest", "", "hu", 47.50, 19.04, 1752, "bud", "bdpshu", true},
+  {"Bucharest", "", "ro", 44.43, 26.10, 1883, "otp,buh", "bchrro", true},
+  {"Sofia", "", "bg", 42.70, 23.32, 1236, "sof", "sofibu", true},
+  {"Zagreb", "", "hr", 45.81, 15.98, 806, "zag", "zgrbhr", false},
+  {"Belgrade", "", "rs", 44.79, 20.45, 1166, "beg", "blgdrs", false},
+  {"Ljubljana", "", "si", 46.06, 14.51, 295, "lju", "ljblsi", false},
+  {"Athens", "", "gr", 37.98, 23.73, 664, "ath", "athngr", true},
+  {"Thessaloniki", "", "gr", 40.64, 22.94, 315, "skg", "thslgr", false},
+  {"Istanbul", "", "tr", 41.01, 28.98, 15460, "ist,saw", "istntu", true},
+  {"Ankara", "", "tr", 39.93, 32.86, 5445, "esb", "ankrtu", false},
+  {"Rome", "", "it", 41.90, 12.50, 2873, "fco,cia,rom", "romeit", true},
+  {"Milan", "", "it", 45.46, 9.19, 1372, "mxp,lin,mil", "milnit", true},
+  {"Naples", "", "it", 40.85, 14.27, 967, "nap", "nplsit", false},
+  {"Turin", "", "it", 45.07, 7.69, 886, "trn", "turnit", false},
+  {"Palermo", "", "it", 38.12, 13.36, 674, "pmo", "plrmit", false},
+  {"Bologna", "", "it", 44.49, 11.34, 389, "blq", "blgnit", false},
+  {"Florence", "", "it", 43.77, 11.26, 383, "flr", "flrnit", false},
+  {"Venice", "", "it", 45.44, 12.32, 261, "vce", "vencit", false},
+  {"Montesilvano Marina", "", "it", 42.51, 14.15, 46, "", "mntsit", false},
+  {"Madrid", "", "es", 40.42, -3.70, 3223, "mad", "mdrdsp", true},
+  {"Barcelona", "", "es", 41.39, 2.17, 1620, "bcn", "brclsp", true},
+  {"Valencia", "", "es", 39.47, -0.38, 791, "vlc", "vlncsp", false},
+  {"Seville", "", "es", 37.39, -5.98, 688, "svq", "svllsp", false},
+  {"Bilbao", "", "es", 43.26, -2.93, 345, "bio", "blbosp", false},
+  {"Lisbon", "", "pt", 38.72, -9.14, 505, "lis", "lsbnpo", true},
+  {"Porto", "", "pt", 41.15, -8.61, 237, "opo", "portpo", false},
+  {"Stockholm", "", "se", 59.33, 18.07, 975, "arn,bma,sto", "stkhsw", true},
+  {"Gothenburg", "", "se", 57.71, 11.97, 583, "got", "gthbsw", false},
+  {"Malmo", "", "se", 55.60, 13.00, 344, "mmx", "mlmosw", false},
+  {"Oslo", "", "no", 59.91, 10.75, 693, "osl", "oslono", true},
+  {"Bergen", "", "no", 60.39, 5.32, 284, "bgo", "brgnno", false},
+  {"Copenhagen", "", "dk", 55.68, 12.57, 794, "cph", "cpnhdk", true},
+  {"Helsinki", "", "fi", 60.17, 24.94, 656, "hel", "hlsnfi", true},
+  {"Reykjavik", "", "is", 64.15, -21.94, 131, "kef,rek", "rkjvic", false},
+  {"Riga", "", "lv", 56.95, 24.11, 632, "rix", "rigalv", false},
+  {"Vilnius", "", "lt", 54.69, 25.28, 588, "vno", "vlnslt", false},
+  {"Tallinn", "", "ee", 59.44, 24.75, 437, "tll", "tllnee", false},
+  {"Kyiv", "", "ua", 50.45, 30.52, 2962, "kbp,iev", "kyivua", false},
+  {"Moscow", "", "ru", 55.76, 37.62, 12506, "svo,dme,mow", "mscwru", true},
+  {"Saint Petersburg", "", "ru", 59.93, 30.34, 5384, "led", "stptru", false},
+  // --- Asia-Pacific ----------------------------------------------------------
+  {"Tokyo", "", "jp", 35.68, 139.69, 13960, "nrt,hnd,tyo", "tokyjp", true},
+  {"Osaka", "", "jp", 34.69, 135.50, 2691, "kix,itm,osa", "osakjp", true},
+  {"Nagoya", "", "jp", 35.18, 136.91, 2296, "ngo", "ngoyjp", false},
+  {"Fukuoka", "", "jp", 33.59, 130.40, 1539, "fuk", "fkokjp", false},
+  {"Sapporo", "", "jp", 43.06, 141.35, 1953, "cts,spk", "spprjp", false},
+  {"Sendai", "", "jp", 38.27, 140.87, 1089, "sdj", "sendjp", false},
+  {"Hiroshima", "", "jp", 34.39, 132.46, 1194, "hij", "hrsmjp", false},
+  {"Tokuyama", "", "jp", 34.05, 131.81, 140, "", "tkymjp", false},
+  {"Seoul", "", "kr", 37.57, 126.98, 9776, "icn,gmp,sel", "seolko", true},
+  {"Busan", "", "kr", 35.18, 129.08, 3449, "pus", "busnko", false},
+  {"Beijing", "", "cn", 39.90, 116.41, 21540, "pek,pkx,bjs", "bjngch", true},
+  {"Shanghai", "", "cn", 31.23, 121.47, 24280, "pvg,sha", "shngch", true},
+  {"Guangzhou", "", "cn", 23.13, 113.26, 14900, "can", "gngzch", false},
+  {"Shenzhen", "", "cn", 22.54, 114.06, 12530, "szx", "shzhch", false},
+  {"Chengdu", "", "cn", 30.57, 104.07, 16330, "ctu", "chngch", false},
+  {"Hong Kong", "", "hk", 22.32, 114.17, 7482, "hkg", "hknghk", true},
+  {"Taipei", "", "tw", 25.03, 121.57, 2646, "tpe,tsa", "tapetw", true},
+  {"Singapore", "", "sg", 1.35, 103.82, 5686, "sin", "sngpsi", true},
+  {"Kuala Lumpur", "", "my", 3.14, 101.69, 1808, "kul", "klmpmy", true},
+  {"Kuala Selangor", "", "my", 3.34, 101.25, 221, "", "kslrmy", false},
+  {"Bangkok", "", "th", 13.76, 100.50, 10539, "bkk,dmk", "bngkth", true},
+  {"Jakarta", "", "id", -6.21, 106.85, 10562, "cgk,hlp,jkt", "jkrtid", true},
+  {"Manila", "", "ph", 14.60, 120.98, 1780, "mnl", "mnilph", true},
+  {"Ho Chi Minh City", "", "vn", 10.82, 106.63, 8993, "sgn", "hchmvn", false},
+  {"Hanoi", "", "vn", 21.03, 105.85, 8054, "han", "hanovn", false},
+  {"Delhi", "", "in", 28.70, 77.10, 16788, "del", "delhin", true},
+  {"Mumbai", "", "in", 19.08, 72.88, 12442, "bom", "mmbain", true},
+  {"Chennai", "", "in", 13.08, 80.27, 7088, "maa", "chnnin", true},
+  {"Bangalore", "", "in", 12.97, 77.59, 8443, "blr", "bnglin", false},
+  {"Hyderabad", "", "in", 17.39, 78.49, 6810, "hyd", "hydrin", false},
+  {"Kolkata", "", "in", 22.57, 88.36, 4497, "ccu", "klktin", false},
+  {"Karachi", "", "pk", 24.86, 67.00, 14910, "khi", "krchpk", false},
+  {"Dhaka", "", "bd", 23.81, 90.41, 8906, "dac", "dhakbd", false},
+  {"Colombo", "", "lk", 6.93, 79.85, 753, "cmb", "clmblk", false},
+  {"Sydney", "nsw", "au", -33.87, 151.21, 5312, "syd", "sydnau", true},
+  {"Melbourne", "vic", "au", -37.81, 144.96, 5078, "mel", "mlbnau", true},
+  {"Brisbane", "qld", "au", -27.47, 153.03, 2514, "bne", "brsbau", true},
+  {"Perth", "wa", "au", -31.95, 115.86, 2059, "per", "pertau", true},
+  {"Adelaide", "sa", "au", -34.93, 138.60, 1345, "adl", "adldau", false},
+  {"Canberra", "act", "au", -35.28, 149.13, 426, "cbr", "cnbrau", false},
+  {"Hobart", "tas", "au", -42.88, 147.33, 240, "hba", "hbrtau", false},
+  {"Darwin", "nt", "au", -12.46, 130.84, 147, "drw", "drwnau", false},
+  {"Auckland", "", "nz", -36.85, 174.76, 1571, "akl", "aklnnz", true},
+  {"Wellington", "", "nz", -41.29, 174.78, 212, "wlg", "wlgtnz", false},
+  {"Christchurch", "", "nz", -43.53, 172.64, 381, "chc", "chchnz", false},
+  {"Hamilton", "", "nz", -37.79, 175.28, 176, "hlz", "hmltnz", false},
+  // --- Latin America ---------------------------------------------------------
+  {"Sao Paulo", "", "br", -23.55, -46.63, 12330, "gru,cgh,sao", "soplbr", true},
+  {"Rio de Janeiro", "", "br", -22.91, -43.17, 6748, "gig,sdu,rio", "riodbr", true},
+  {"Brasilia", "", "br", -15.83, -47.86, 3055, "bsb", "brslbr", false},
+  {"Fortaleza", "", "br", -3.72, -38.54, 2669, "for", "frtlbr", true},
+  {"Salvador", "", "br", -12.97, -38.50, 2886, "ssa", "slvdbr", false},
+  {"Curitiba", "", "br", -25.43, -49.27, 1948, "cwb", "crtbbr", false},
+  {"Porto Alegre", "", "br", -30.03, -51.23, 1484, "poa", "prtabr", false},
+  {"Buenos Aires", "", "ar", -34.60, -58.38, 2891, "eze,aep,bue", "bnsrar", true},
+  {"Cordoba", "", "ar", -31.42, -64.18, 1391, "cor", "crdbar", false},
+  {"Santiago", "", "cl", -33.45, -70.67, 5614, "scl", "sntgcl", true},
+  {"Lima", "", "pe", -12.05, -77.04, 8852, "lim", "limape", true},
+  {"Chiclayo", "", "pe", -6.77, -79.84, 552, "cix", "chclpe", false},
+  {"Bogota", "", "co", 4.71, -74.07, 7413, "bog", "bgtaco", true},
+  {"Medellin", "", "co", 6.25, -75.56, 2533, "mde", "mdllco", false},
+  {"Quito", "", "ec", -0.18, -78.47, 1978, "uio", "quitec", false},
+  {"Caracas", "", "ve", 10.48, -66.90, 1943, "ccs", "crcsve", false},
+  {"Panama City", "", "pa", 8.98, -79.52, 880, "pty", "pnmcpa", true},
+  {"San Jose", "", "cr", 9.93, -84.08, 342, "sjo", "snjscr", false},
+  {"Guatemala City", "", "gt", 14.63, -90.51, 995, "gua", "gtmcgt", false},
+  {"Mexico City", "", "mx", 19.43, -99.13, 9209, "mex", "mxcymx", true},
+  {"Guadalajara", "", "mx", 20.66, -103.35, 1495, "gdl", "gdljmx", false},
+  {"Monterrey", "", "mx", 25.69, -100.32, 1142, "mty", "mtrymx", false},
+  {"Campeche", "", "mx", 19.85, -90.53, 249, "cpe", "cmpcmx", false},
+  {"Queretaro", "", "mx", 20.59, -100.39, 878, "qro", "qrtrmx", true},
+  // --- Africa & Middle East --------------------------------------------------
+  {"Johannesburg", "", "za", -26.20, 28.05, 957, "jnb", "jhnbza", true},
+  {"Cape Town", "", "za", -33.92, 18.42, 433, "cpt", "cptnza", true},
+  {"Durban", "", "za", -29.86, 31.02, 595, "dur", "drbnza", false},
+  {"Nairobi", "", "ke", -1.29, 36.82, 4397, "nbo", "nrbike", true},
+  {"Mombasa", "", "ke", -4.04, 39.67, 1208, "mba", "mmbske", false},
+  {"Lagos", "", "ng", 6.52, 3.38, 14862, "los", "lagsng", true},
+  {"Abuja", "", "ng", 9.06, 7.49, 3564, "abv", "abjang", false},
+  {"Accra", "", "gh", 5.60, -0.19, 2291, "acc", "accrgh", false},
+  {"Cairo", "", "eg", 30.04, 31.24, 9540, "cai", "caireg", false},
+  {"Casablanca", "", "ma", 33.57, -7.59, 3359, "cmn", "csblma", false},
+  {"Tunis", "", "tn", 36.81, 10.18, 1056, "tun", "tunstn", false},
+  {"Algiers", "", "dz", 36.74, 3.09, 2988, "alg", "algrdz", false},
+  {"Dubai", "", "ae", 25.20, 55.27, 3331, "dxb", "dubaae", true},
+  {"Abu Dhabi", "", "ae", 24.45, 54.38, 1483, "auh", "abdhae", false},
+  {"Doha", "", "qa", 25.29, 51.53, 1450, "doh", "dohaqa", false},
+  {"Riyadh", "", "sa", 24.71, 46.68, 7676, "ruh", "riydsa", false},
+  {"Jeddah", "", "sa", 21.49, 39.18, 4697, "jed", "jddhsa", false},
+  {"Kuwait City", "", "kw", 29.38, 47.99, 637, "kwi", "kwctkw", false},
+  {"Manama", "", "bh", 26.23, 50.59, 158, "bah", "mnmabh", false},
+  {"Muscat", "", "om", 23.59, 58.38, 1421, "mct", "msctom", false},
+  {"Tel Aviv", "", "il", 32.09, 34.78, 460, "tlv", "tlavil", true},
+  {"Eilat", "", "il", 29.56, 34.95, 52, "eth,vda", "eiltil", false},
+  {"Amman", "", "jo", 31.96, 35.95, 4008, "amm", "ammnjo", false},
+  {"Beirut", "", "lb", 33.89, 35.50, 361, "bey", "bertlb", false},
+};
+// clang-format on
+
+// Facility street addresses attached to well-known colocation metros
+// (PeeringDB-style records; paper figure 6f).
+struct FacilityRow {
+  const char* address;
+  const char* city;
+  const char* country;
+};
+
+constexpr FacilityRow kFacilities[] = {
+    {"111 8th Ave", "New York", "us"},
+    {"60 Hudson", "New York", "us"},
+    {"32 Avenue of the Americas", "New York", "us"},
+    {"165 Halsey", "Newark", "us"},
+    {"529 Bryant", "Palo Alto", "us"},
+    {"1 Wilshire", "Los Angeles", "us"},
+    {"600 West 7th", "Los Angeles", "us"},
+    {"350 East Cermak", "Chicago", "us"},
+    {"56 Marietta", "Atlanta", "us"},
+    {"1950 N Stemmons", "Dallas", "us"},
+    {"2001 Sixth Ave", "Seattle", "us"},
+    {"910 15th St", "Denver", "us"},
+    {"365 Main", "San Francisco", "us"},
+    {"11 Great Oaks", "San Jose", "us"},
+    {"21715 Filigree Ct", "Ashburn", "us"},
+    {"44470 Chilum Pl", "Ashburn", "us"},
+    {"151 Front St", "Toronto", "ca"},
+    {"Telehouse North", "London", "gb"},
+    {"8 Buckingham Ave", "Slough", "gb"},
+    {"Science Park 120", "Amsterdam", "nl"},
+    {"Kleyerstrasse 90", "Frankfurt", "de"},
+    {"137 Boulevard Voltaire", "Paris", "fr"},
+    {"Otemachi 1-8-1", "Tokyo", "jp"},
+    {"9 Temasek Blvd", "Singapore", "sg"},
+    {"17 Bourke Rd", "Sydney", "au"},
+};
+
+// Continent letter used when deriving ICAO codes from IATA codes.
+char icao_region_letter(std::string_view country) {
+  static const struct { const char* cc; char letter; } kRegions[] = {
+      {"us", 'k'}, {"ca", 'c'}, {"mx", 'm'}, {"gt", 'm'}, {"pa", 'm'}, {"cr", 'm'},
+      {"br", 's'}, {"ar", 's'}, {"cl", 's'}, {"pe", 's'}, {"co", 's'}, {"ec", 's'},
+      {"ve", 's'},
+      {"jp", 'r'}, {"kr", 'r'}, {"ph", 'r'},
+      {"cn", 'z'}, {"hk", 'v'}, {"tw", 'r'}, {"sg", 'w'}, {"my", 'w'}, {"th", 'v'},
+      {"id", 'w'}, {"vn", 'v'}, {"in", 'v'}, {"pk", 'o'}, {"bd", 'v'}, {"lk", 'v'},
+      {"au", 'y'}, {"nz", 'n'},
+      {"za", 'f'}, {"ke", 'h'}, {"ng", 'd'}, {"gh", 'd'}, {"eg", 'h'}, {"ma", 'g'},
+      {"tn", 'd'}, {"dz", 'd'},
+      {"ae", 'o'}, {"qa", 'o'}, {"sa", 'o'}, {"kw", 'o'}, {"bh", 'o'}, {"om", 'o'},
+      {"il", 'l'}, {"jo", 'o'}, {"lb", 'o'}, {"tr", 'l'}, {"ru", 'u'}, {"ua", 'u'},
+  };
+  for (const auto& r : kRegions)
+    if (country == r.cc) return r.letter;
+  return 'e';  // Europe default
+}
+
+// Derives a 6-letter CLLI prefix when the table does not supply one.
+std::string derive_clli(const CityRow& row) {
+  std::string city4 = squash_place_name(row.city);
+  if (city4.size() > 4) city4.resize(4);
+  while (city4.size() < 4) city4.push_back('x');
+  std::string tail = row.state[0] != '\0' ? std::string(row.state) : std::string(row.country);
+  if (tail.size() > 2) tail.resize(2);
+  while (tail.size() < 2) tail.push_back('x');
+  return city4 + tail;
+}
+
+GeoDictionary build_builtin() {
+  GeoDictionary dict;
+  for (const CityRow& row : kCities) {
+    Location loc;
+    loc.city = row.city;
+    loc.state = row.state;
+    loc.country = row.country;
+    loc.coord = Coordinate{row.lat, row.lon};
+    loc.population = static_cast<std::uint64_t>(row.pop_k) * 1000;
+    const LocationId id = dict.add_location(std::move(loc));
+
+    // IATA codes (and derived ICAO / LOCODE codes).
+    std::string first_iata;
+    if (row.iata[0] != '\0') {
+      for (std::string_view code : util::split(row.iata, ",")) {
+        dict.add_code(HintType::kIata, code, id);
+        if (first_iata.empty()) first_iata = std::string(code);
+        if (code.size() == 3) {
+          std::string icao;
+          icao.push_back(icao_region_letter(row.country));
+          icao.append(code);
+          dict.add_code(HintType::kIcao, icao, id);
+        }
+      }
+    }
+
+    // LOCODE: country + iata, else country + first three letters of the name.
+    std::string place3 = first_iata;
+    if (place3.empty()) {
+      place3 = squash_place_name(row.city);
+      if (place3.size() > 3) place3.resize(3);
+    }
+    if (place3.size() == 3) {
+      dict.add_code(HintType::kLocode, std::string(row.country) + place3, id);
+    }
+
+    // CLLI prefix.
+    std::string clli = row.clli[0] != '\0' ? std::string(row.clli) : derive_clli(row);
+    if (clli.size() == 6) dict.add_code(HintType::kClli, clli, id);
+  }
+
+  // Facility street addresses.
+  for (const FacilityRow& f : kFacilities) {
+    const std::string key = squash_place_name(f.city);
+    for (LocationId id : dict.lookup(HintType::kCityName, key)) {
+      if (same_country(dict.location(id).country, f.country)) {
+        dict.add_facility_address(f.address, id);
+        break;
+      }
+    }
+  }
+  return dict;
+}
+
+}  // namespace
+
+const GeoDictionary& builtin_dictionary() {
+  static const GeoDictionary dict = build_builtin();
+  return dict;
+}
+
+}  // namespace hoiho::geo

@@ -1,0 +1,30 @@
+#include "geo/coord.h"
+
+#include <cmath>
+
+namespace hoiho::geo {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+double deg2rad(double d) { return d * kPi / 180.0; }
+}  // namespace
+
+double distance_km(const Coordinate& a, const Coordinate& b) {
+  if (!a.valid() || !b.valid()) return 1e9;  // unconstrained
+  const double lat1 = deg2rad(a.lat), lat2 = deg2rad(b.lat);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon - a.lon);
+  const double s1 = std::sin(dlat / 2), s2 = std::sin(dlon / 2);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(std::min(1.0, h)));
+}
+
+double min_rtt_ms(double km) { return 2.0 * km / kFiberSpeedKmPerMs; }
+
+double min_rtt_ms(const Coordinate& a, const Coordinate& b) {
+  return min_rtt_ms(distance_km(a, b));
+}
+
+double max_distance_km(double rtt_ms) { return rtt_ms * kFiberSpeedKmPerMs / 2.0; }
+
+}  // namespace hoiho::geo

@@ -1,0 +1,48 @@
+// Geodesic primitives: coordinates, great-circle distance, and the
+// speed-of-light-in-fiber RTT lower bound that the whole method relies on
+// (paper §5.2: a geohint is "RTT-consistent" iff for every vantage point
+// the theoretical best-case RTT is <= the measured RTT).
+#pragma once
+
+namespace hoiho::geo {
+
+// Degrees latitude/longitude. Invalid coordinates are represented by
+// Coordinate::invalid() (lat = 999), used for dictionary entries lacking a
+// lat/long annotation.
+struct Coordinate {
+  double lat = 999.0;
+  double lon = 999.0;
+
+  static Coordinate invalid() { return Coordinate{}; }
+  bool valid() const { return lat >= -90.0 && lat <= 90.0; }
+
+  friend bool operator==(const Coordinate& a, const Coordinate& b) {
+    return a.lat == b.lat && a.lon == b.lon;
+  }
+};
+
+// Mean Earth radius, km.
+inline constexpr double kEarthRadiusKm = 6371.0;
+
+// Speed of light in vacuum, km/s.
+inline constexpr double kSpeedOfLightKmPerSec = 299792.458;
+
+// Propagation speed in fiber is ~2/3 c (refractive index ~1.5), the constant
+// used by CBG and by the paper. In these units light covers ~200 km per
+// millisecond one-way, i.e. ~100 km per RTT-millisecond.
+inline constexpr double kFiberSpeedKmPerMs = kSpeedOfLightKmPerSec * (2.0 / 3.0) / 1000.0;
+
+// Great-circle distance between two points, km (haversine formula).
+double distance_km(const Coordinate& a, const Coordinate& b);
+
+// Theoretical best-case round-trip time in milliseconds over `km` of fiber.
+double min_rtt_ms(double km);
+
+// Theoretical best-case RTT between two coordinates, ms.
+double min_rtt_ms(const Coordinate& a, const Coordinate& b);
+
+// Maximum distance in km a target can be from a vantage point given a
+// measured RTT in ms (the CBG constraint radius).
+double max_distance_km(double rtt_ms);
+
+}  // namespace hoiho::geo

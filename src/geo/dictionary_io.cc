@@ -1,0 +1,96 @@
+#include "geo/dictionary_io.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace hoiho::geo {
+
+namespace {
+
+std::optional<HintType> hint_type_from(std::string_view s) {
+  if (s == "iata") return HintType::kIata;
+  if (s == "icao") return HintType::kIcao;
+  if (s == "locode") return HintType::kLocode;
+  if (s == "clli") return HintType::kClli;
+  return std::nullopt;
+}
+
+}  // namespace
+
+void save_dictionary(std::ostream& out, const GeoDictionary& dict) {
+  out << "# hoiho-geo dictionary v1\n";
+  for (LocationId id = 0; id < dict.size(); ++id) {
+    const Location& loc = dict.location(id);
+    util::write_csv_row(out, {"L", loc.city, loc.state, loc.country,
+                              util::fmt_double(loc.coord.lat, 4),
+                              util::fmt_double(loc.coord.lon, 4),
+                              std::to_string(loc.population)});
+  }
+  for (LocationId id = 0; id < dict.size(); ++id) {
+    const LocationCodes& codes = dict.codes(id);
+    for (const auto& c : codes.iata)
+      util::write_csv_row(out, {"C", "iata", c, std::to_string(id)});
+    for (const auto& c : codes.icao)
+      util::write_csv_row(out, {"C", "icao", c, std::to_string(id)});
+    for (const auto& c : codes.locode)
+      util::write_csv_row(out, {"C", "locode", c, std::to_string(id)});
+    for (const auto& c : codes.clli)
+      util::write_csv_row(out, {"C", "clli", c, std::to_string(id)});
+    for (const auto& addr : dict.facility_addresses(id))
+      util::write_csv_row(out, {"F", addr, std::to_string(id)});
+  }
+}
+
+std::optional<GeoDictionary> load_dictionary(std::istream& in, std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<GeoDictionary> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  GeoDictionary dict;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const util::CsvRow row = util::parse_csv_line(line);
+    const std::string where = "line " + std::to_string(lineno);
+    if (row.empty()) continue;
+    if (row[0] == "L") {
+      if (row.size() < 7) return fail(where + ": L record needs 7 fields");
+      Location loc;
+      loc.city = row[1];
+      loc.state = util::to_lower(row[2]);
+      loc.country = util::to_lower(row[3]);
+      char* end = nullptr;
+      loc.coord.lat = std::strtod(row[4].c_str(), &end);
+      loc.coord.lon = std::strtod(row[5].c_str(), &end);
+      loc.population = std::strtoull(row[6].c_str(), &end, 10);
+      dict.add_location(std::move(loc));
+    } else if (row[0] == "C") {
+      if (row.size() < 4) return fail(where + ": C record needs 4 fields");
+      const auto type = hint_type_from(row[1]);
+      if (!type) return fail(where + ": unknown code type '" + row[1] + "'");
+      const std::size_t idx = std::strtoull(row[3].c_str(), nullptr, 10);
+      if (idx >= dict.size()) return fail(where + ": location index out of range");
+      dict.add_code(*type, row[2], static_cast<LocationId>(idx));
+    } else if (row[0] == "A") {
+      if (row.size() < 3) return fail(where + ": A record needs 3 fields");
+      const std::size_t idx = std::strtoull(row[2].c_str(), nullptr, 10);
+      if (idx >= dict.size()) return fail(where + ": location index out of range");
+      dict.add_city_alias(row[1], static_cast<LocationId>(idx));
+    } else if (row[0] == "F") {
+      if (row.size() < 3) return fail(where + ": F record needs 3 fields");
+      const std::size_t idx = std::strtoull(row[2].c_str(), nullptr, 10);
+      if (idx >= dict.size()) return fail(where + ": location index out of range");
+      dict.add_facility_address(row[1], static_cast<LocationId>(idx));
+    } else {
+      return fail(where + ": unknown record type '" + row[0] + "'");
+    }
+  }
+  return dict;
+}
+
+}  // namespace hoiho::geo

@@ -1,0 +1,30 @@
+// CSV serialization for GeoDictionary.
+//
+// Users with access to the real feeds the paper used (OurAirports, GeoNames,
+// UN/LOCODE, a CLLI license, PeeringDB) can join them into this one-file
+// format and load it in place of the embedded atlas.
+//
+// Format (one record per line, '#' comments allowed):
+//   L,<city>,<state>,<country>,<lat>,<lon>,<population>
+//   C,<type>,<code>,<location-index>        type in {iata,icao,locode,clli}
+//   A,<alias-name>,<location-index>         extra city name
+//   F,<street-address>,<location-index>     facility record
+// Location indexes refer to the 0-based order of preceding L records.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "geo/dictionary.h"
+
+namespace hoiho::geo {
+
+// Writes `dict` in the format above.
+void save_dictionary(std::ostream& out, const GeoDictionary& dict);
+
+// Parses a dictionary; returns std::nullopt (with a message in *error if
+// non-null) on malformed input.
+std::optional<GeoDictionary> load_dictionary(std::istream& in, std::string* error = nullptr);
+
+}  // namespace hoiho::geo

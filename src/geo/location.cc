@@ -1,0 +1,109 @@
+#include "geo/location.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hoiho::geo {
+
+std::string squash_place_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalpha(u)) out.push_back(static_cast<char>(std::tolower(u)));
+  }
+  return out;
+}
+
+std::vector<std::string> place_words(std::string_view name) {
+  std::vector<std::string> words;
+  std::string cur;
+  for (char c : name) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalpha(u)) {
+      cur.push_back(static_cast<char>(std::tolower(u)));
+    } else if (!cur.empty()) {
+      words.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) words.push_back(std::move(cur));
+  return words;
+}
+
+bool same_country(std::string_view a, std::string_view b) {
+  auto canon = [](std::string_view cc) -> std::string {
+    std::string s;
+    for (char c : cc) s.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    if (s == "uk") s = "gb";
+    return s;
+  };
+  return canon(a) == canon(b);
+}
+
+namespace {
+
+// Recursive subsequence match implementing the word-initial rule (§5.4).
+// i: next abbrev char; w: current word; j: next candidate position in word w;
+// initial: whether word w's first character has been matched.
+bool abbrev_rec(std::string_view abbrev, std::size_t i,
+                const std::vector<std::string>& words, std::size_t w, std::size_t j,
+                bool initial) {
+  if (i == abbrev.size()) return true;
+  if (w == words.size()) return false;
+  // Option 1: abandon the current word and move to the next.
+  if (w + 1 < words.size() && abbrev_rec(abbrev, i, words, w + 1, 0, false)) return true;
+  // Option 2: match abbrev[i] at some position >= j within the current word.
+  const std::string& word = words[w];
+  for (std::size_t k = j; k < word.size(); ++k) {
+    if (word[k] != abbrev[i]) continue;
+    if (k > 0 && !initial) continue;  // word-initial rule
+    if (abbrev_rec(abbrev, i + 1, words, w, k + 1, initial || k == 0)) return true;
+  }
+  return false;
+}
+
+// Length of the longest common substring of a and b.
+std::size_t longest_common_substring(std::string_view a, std::string_view b) {
+  std::size_t best = 0;
+  std::vector<std::size_t> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      cur[j] = (a[i - 1] == b[j - 1]) ? prev[j - 1] + 1 : 0;
+      best = std::max(best, cur[j]);
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+}  // namespace
+
+bool is_location_abbrev(std::string_view abbrev, const Location& loc,
+                        const AbbrevOptions& opts) {
+  if (is_place_abbrev(abbrev, loc.city, opts)) return true;
+  if (!loc.state.empty() && is_place_abbrev(abbrev, loc.city + " " + loc.state, opts))
+    return true;
+  if (!loc.country.empty() && is_place_abbrev(abbrev, loc.city + " " + loc.country, opts))
+    return true;
+  return false;
+}
+
+bool is_place_abbrev(std::string_view abbrev, std::string_view name,
+                     const AbbrevOptions& opts) {
+  if (abbrev.empty()) return false;
+  const std::vector<std::string> words = place_words(name);
+  if (words.empty()) return false;
+  // The first character of the abbreviation must match the first character
+  // of the place name.
+  if (abbrev[0] != words[0][0]) return false;
+  if (!abbrev_rec(abbrev, 0, words, 0, 0, false)) return false;
+  if (opts.require_contiguous4) {
+    const std::string squashed = squash_place_name(name);
+    const std::size_t need = std::min<std::size_t>(4, squashed.size());
+    if (longest_common_substring(abbrev, squashed) < need) return false;
+  }
+  return true;
+}
+
+}  // namespace hoiho::geo

@@ -1,0 +1,72 @@
+// Location records and place-name matching.
+//
+// A Location is the unit of geolocation in this library: a city or town
+// (the granularity of the paper's CLLI license) annotated with ISO-3166
+// country/state codes, a coordinate, a population, and whether a colocation
+// facility is known there (PeeringDB in the paper). Dictionaries (geo/
+// dictionary.h) map geohint codes to LocationIds.
+//
+// This header also implements the abbreviation heuristics of paper §5.4 used
+// to learn operator geohints: "ash" ~ "Ashburn", "mlan" ~ "Milan",
+// "nyk" ~ "New York" (but not "nwk"), and the >=4-contiguous-characters rule
+// for conventions that extract whole city names ("ftcollins" ~ "Fort
+// Collins").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/coord.h"
+
+namespace hoiho::geo {
+
+using LocationId = std::uint32_t;
+inline constexpr LocationId kInvalidLocation = 0xffffffffu;
+
+struct Location {
+  std::string city;            // display name, e.g. "Ashburn" or "New York"
+  std::string state;           // ISO-3166-2 subdivision code, lowercase ("va"); may be empty
+  std::string country;         // ISO-3166 alpha-2, lowercase ("us")
+  Coordinate coord;            // lat/long; may be invalid for unannotated entries
+  std::uint64_t population = 0;
+  bool has_facility = false;   // a colocation facility is known at this location
+};
+
+// Lower-cases and strips non-alphabetic characters: "New York" -> "newyork".
+// City-name dictionary keys and hostname city tokens use this form.
+std::string squash_place_name(std::string_view name);
+
+// Splits a place name into lower-cased words: "New York" -> {"new","york"}.
+std::vector<std::string> place_words(std::string_view name);
+
+// True if country codes refer to the same country. Handles the UK/GB
+// equivalence the paper calls out (ISO says GB; operators write uk).
+bool same_country(std::string_view a, std::string_view b);
+
+// Options for abbreviation matching (paper §5.4).
+struct AbbrevOptions {
+  // When the regex plan extracts whole city names, require the abbreviation
+  // to share >=4 contiguous characters with the place name.
+  bool require_contiguous4 = false;
+};
+
+// True if `abbrev` plausibly abbreviates the place `loc` refers to: its
+// city name, or the city name followed by the state or country code (the
+// community code "wdc" abbreviates "Washington DC", not "Washington").
+bool is_location_abbrev(std::string_view abbrev, const Location& loc,
+                        const AbbrevOptions& opts = {});
+
+// True if `abbrev` is a plausible abbreviation of place name `name` under
+// the paper's heuristics:
+//   * every character of `abbrev` appears in `name` in order;
+//   * the first character of `abbrev` matches the first character of `name`;
+//   * in multi-word names, a word's first letter must be matched before any
+//     of its other letters ("nyk" ok for "New York", "nwk" not);
+//   * with require_contiguous4, at least one run of 4 contiguous characters
+//     of `name` appears contiguously in `abbrev`.
+bool is_place_abbrev(std::string_view abbrev, std::string_view name,
+                     const AbbrevOptions& opts = {});
+
+}  // namespace hoiho::geo

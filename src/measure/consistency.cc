@@ -1,0 +1,28 @@
+#include "measure/consistency.h"
+
+namespace hoiho::measure {
+
+bool rtt_consistent(const RttMatrix& m, std::span<const VantagePoint> vps, topo::RouterId r,
+                    const geo::Coordinate& loc, double slack_ms) {
+  if (!loc.valid()) return false;
+  for (VpId v = 0; v < vps.size(); ++v) {
+    const auto measured = m.rtt(r, v);
+    if (!measured) continue;
+    if (geo::min_rtt_ms(loc, vps[v].coord) > *measured + slack_ms) return false;
+  }
+  return true;
+}
+
+std::optional<Violation> worst_violation(const RttMatrix& m, std::span<const VantagePoint> vps,
+                                         topo::RouterId r, const geo::Coordinate& loc) {
+  std::optional<Violation> worst;
+  for (VpId v = 0; v < vps.size(); ++v) {
+    const auto measured = m.rtt(r, v);
+    if (!measured) continue;
+    const double deficit = geo::min_rtt_ms(loc, vps[v].coord) - *measured;
+    if (deficit > 0 && (!worst || deficit > worst->deficit_ms)) worst = Violation{v, deficit};
+  }
+  return worst;
+}
+
+}  // namespace hoiho::measure

@@ -1,0 +1,31 @@
+// RTT-consistency: the feasibility test at the heart of the method
+// (paper §5.2).
+//
+// A candidate location for a router is RTT-consistent iff, for every vantage
+// point with a measured RTT to that router, the theoretical best-case RTT
+// from the candidate location to the VP (speed of light in fiber) does not
+// exceed the measurement. A router with no samples is vacuously consistent —
+// there is no constraint to violate.
+#pragma once
+
+#include <span>
+
+#include "measure/rtt_matrix.h"
+
+namespace hoiho::measure {
+
+// True if `loc` is RTT-consistent for router `r` under `m`. `slack_ms`
+// loosens each constraint (useful for sensitivity analyses; 0 in the paper).
+bool rtt_consistent(const RttMatrix& m, std::span<const VantagePoint> vps, topo::RouterId r,
+                    const geo::Coordinate& loc, double slack_ms = 0.0);
+
+// Identifies the VP (if any) whose constraint `loc` violates the most, and
+// by how many ms — diagnostic companion to rtt_consistent.
+struct Violation {
+  VpId vp = 0;
+  double deficit_ms = 0;  // best_case - measured (positive = violated)
+};
+std::optional<Violation> worst_violation(const RttMatrix& m, std::span<const VantagePoint> vps,
+                                         topo::RouterId r, const geo::Coordinate& loc);
+
+}  // namespace hoiho::measure

@@ -1,0 +1,94 @@
+#include "measure/rtt_io.h"
+
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace hoiho::measure {
+
+void save_measurements(std::ostream& out, const Measurements& meas) {
+  out << "# hoiho-geo measurements v1\n";
+  for (const VantagePoint& vp : meas.vps) {
+    util::write_csv_row(out, {"V", vp.name, vp.country, util::fmt_double(vp.coord.lat, 4),
+                              util::fmt_double(vp.coord.lon, 4)});
+  }
+  for (topo::RouterId r = 0; r < meas.pings.router_count(); ++r) {
+    for (VpId v = 0; v < meas.pings.vp_count(); ++v) {
+      const auto rtt = meas.pings.rtt(r, v);
+      if (!rtt) continue;
+      util::write_csv_row(out, {"R", std::to_string(r), meas.vps[v].name,
+                                util::fmt_double(*rtt, 3)});
+    }
+  }
+}
+
+std::optional<Measurements> load_measurements(std::istream& in, std::size_t router_count,
+                                              std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<Measurements> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+
+  // Two passes over the stream are awkward for pipes, so buffer sample rows
+  // until all VPs are known (VP rows conventionally come first, but the
+  // format does not require it).
+  std::vector<VantagePoint> vps;
+  std::unordered_map<std::string, VpId> vp_index;
+  struct Sample {
+    topo::RouterId router;
+    std::string vp;
+    double rtt;
+    std::size_t lineno;
+  };
+  std::vector<Sample> samples;
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const util::CsvRow row = util::parse_csv_line(line);
+    const std::string where = "line " + std::to_string(lineno);
+    if (row.empty()) continue;
+    if (row[0] == "V") {
+      if (row.size() < 5) return fail(where + ": V record needs 5 fields");
+      VantagePoint vp;
+      vp.name = row[1];
+      vp.country = row[2];
+      vp.coord.lat = std::strtod(row[3].c_str(), nullptr);
+      vp.coord.lon = std::strtod(row[4].c_str(), nullptr);
+      if (!vp.coord.valid()) return fail(where + ": invalid coordinates");
+      if (!vp_index.emplace(vp.name, static_cast<VpId>(vps.size())).second)
+        return fail(where + ": duplicate VP name '" + vp.name + "'");
+      vps.push_back(std::move(vp));
+    } else if (row[0] == "R") {
+      if (row.size() < 4) return fail(where + ": R record needs 4 fields");
+      Sample s;
+      s.router = static_cast<topo::RouterId>(std::strtoul(row[1].c_str(), nullptr, 10));
+      s.vp = row[2];
+      s.rtt = std::strtod(row[3].c_str(), nullptr);
+      s.lineno = lineno;
+      if (s.router >= router_count)
+        return fail(where + ": router id " + row[1] + " out of range (topology has " +
+                    std::to_string(router_count) + " routers)");
+      if (s.rtt < 0) return fail(where + ": negative RTT");
+      samples.push_back(std::move(s));
+    } else {
+      return fail(where + ": unknown record type '" + row[0] + "'");
+    }
+  }
+
+  Measurements meas(std::move(vps), router_count);
+  for (const Sample& s : samples) {
+    const auto it = vp_index.find(s.vp);
+    if (it == vp_index.end())
+      return fail("line " + std::to_string(s.lineno) + ": unknown VP '" + s.vp + "'");
+    meas.pings.record(s.router, it->second, s.rtt);
+  }
+  return meas;
+}
+
+}  // namespace hoiho::measure

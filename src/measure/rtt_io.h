@@ -1,0 +1,29 @@
+// File I/O for measurement campaigns, so real VP/RTT data can be fed to
+// the learner without writing code (see examples/itdk_pipeline.cpp and the
+// README's "Using real data" section).
+//
+// Format ('#' comments allowed):
+//   V,<name>,<country>,<lat>,<lon>          one vantage point, in VP order
+//   R,<router-id>,<vp-name>,<rtt-ms>        one minimum-RTT sample
+// Router ids are the dense 0-based ids of the topology the samples belong
+// to (the order of `node` lines in the ITDK nodes file).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "measure/rtt_matrix.h"
+
+namespace hoiho::measure {
+
+// Writes the VPs and every sample of `meas`.
+void save_measurements(std::ostream& out, const Measurements& meas);
+
+// Parses a measurement file for a topology with `router_count` routers.
+// Samples for unknown VPs or out-of-range routers are errors. Repeated
+// samples keep the minimum (RttMatrix semantics).
+std::optional<Measurements> load_measurements(std::istream& in, std::size_t router_count,
+                                              std::string* error = nullptr);
+
+}  // namespace hoiho::measure

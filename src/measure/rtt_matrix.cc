@@ -1,0 +1,41 @@
+#include "measure/rtt_matrix.h"
+
+namespace hoiho::measure {
+
+void RttMatrix::record(topo::RouterId r, VpId v, double rtt_ms) {
+  float& cell = cells_[index(r, v)];
+  const float x = static_cast<float>(rtt_ms);
+  if (cell < 0 || x < cell) cell = x;
+}
+
+bool RttMatrix::responsive(topo::RouterId r) const {
+  for (VpId v = 0; v < vps_; ++v)
+    if (cells_[index(r, v)] >= 0) return true;
+  return false;
+}
+
+std::size_t RttMatrix::sample_count(topo::RouterId r) const {
+  std::size_t n = 0;
+  for (VpId v = 0; v < vps_; ++v)
+    if (cells_[index(r, v)] >= 0) ++n;
+  return n;
+}
+
+std::optional<std::pair<VpId, double>> RttMatrix::closest_vp(topo::RouterId r) const {
+  std::optional<std::pair<VpId, double>> best;
+  for (VpId v = 0; v < vps_; ++v) {
+    const float x = cells_[index(r, v)];
+    if (x < 0) continue;
+    if (!best || x < best->second) best = {v, x};
+  }
+  return best;
+}
+
+std::size_t RttMatrix::responsive_router_count() const {
+  std::size_t n = 0;
+  for (topo::RouterId r = 0; r < router_count(); ++r)
+    if (responsive(r)) ++n;
+  return n;
+}
+
+}  // namespace hoiho::measure

@@ -1,0 +1,82 @@
+// RTT measurement substrate (paper §5.1.4).
+//
+// VantagePoints are probes with known locations (Ark monitors in the
+// paper). The RttMatrix stores the minimum observed RTT for each
+// (router, VP) pair; the learner only ever consumes these minima as
+// speed-of-light distance constraints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/coord.h"
+#include "geo/location.h"
+#include "topo/topology.h"
+
+namespace hoiho::measure {
+
+using VpId = std::uint32_t;
+
+struct VantagePoint {
+  std::string name;       // conventionally an IATA-style code, e.g. "sjc"
+  std::string country;    // ISO country code, for display ("sjc, us")
+  geo::Coordinate coord;  // known location
+};
+
+// Dense router x VP matrix of minimum RTTs in milliseconds. Missing samples
+// are encoded as a negative sentinel. Memory: 4 bytes per cell.
+class RttMatrix {
+ public:
+  RttMatrix(std::size_t routers, std::size_t vps)
+      : vps_(vps), cells_(routers * vps, kNoSample) {}
+
+  std::size_t router_count() const { return vps_ == 0 ? 0 : cells_.size() / vps_; }
+  std::size_t vp_count() const { return vps_; }
+
+  // Records a sample, keeping the minimum across calls.
+  void record(topo::RouterId r, VpId v, double rtt_ms);
+
+  // The minimum RTT for (r, v); nullopt if never measured.
+  std::optional<double> rtt(topo::RouterId r, VpId v) const {
+    const float x = cells_[index(r, v)];
+    if (x < 0) return std::nullopt;
+    return x;
+  }
+
+  // True if any VP has a sample for r.
+  bool responsive(topo::RouterId r) const;
+
+  // Number of VPs with a sample for r.
+  std::size_t sample_count(topo::RouterId r) const;
+
+  // The VP with the smallest RTT to r, with that RTT; nullopt if none.
+  std::optional<std::pair<VpId, double>> closest_vp(topo::RouterId r) const;
+
+  // Number of routers with at least one sample.
+  std::size_t responsive_router_count() const;
+
+ private:
+  static constexpr float kNoSample = -1.0f;
+
+  std::size_t index(topo::RouterId r, VpId v) const {
+    return static_cast<std::size_t>(r) * vps_ + v;
+  }
+
+  std::size_t vps_;
+  std::vector<float> cells_;
+};
+
+// A full measurement campaign: the VPs plus the matrix they produced.
+struct Measurements {
+  std::vector<VantagePoint> vps;
+  RttMatrix pings;
+
+  Measurements() : pings(0, 0) {}
+  Measurements(std::vector<VantagePoint> v, std::size_t routers)
+      : vps(std::move(v)), pings(routers, vps.size()) {}
+};
+
+}  // namespace hoiho::measure

@@ -1,0 +1,146 @@
+#include "regex/ast.h"
+
+#include "util/strings.h"
+
+namespace hoiho::rx {
+
+namespace {
+
+std::bitset<128> range_bits(char lo, char hi) {
+  std::bitset<128> b;
+  for (int c = lo; c <= hi; ++c) b.set(static_cast<std::size_t>(c));
+  return b;
+}
+
+}  // namespace
+
+CharClass CharClass::alpha() {
+  return CharClass{range_bits('a', 'z'), "[a-z]"};
+}
+
+CharClass CharClass::digit() {
+  return CharClass{range_bits('0', '9'), "\\d"};
+}
+
+CharClass CharClass::alnum() {
+  return CharClass{range_bits('a', 'z') | range_bits('0', '9'), "[a-z\\d]"};
+}
+
+CharClass CharClass::any() {
+  std::bitset<128> b;
+  b.set();
+  return CharClass{b, "."};
+}
+
+CharClass CharClass::not_chars(std::string_view excluded) {
+  std::bitset<128> b;
+  b.set();
+  std::string repr = "[^";
+  for (char c : excluded) {
+    b.reset(static_cast<std::size_t>(static_cast<unsigned char>(c)));
+    repr += util::regex_escape(std::string_view(&c, 1));
+  }
+  repr += "]";
+  return CharClass{b, repr};
+}
+
+std::string Quant::to_string() const {
+  std::string out;
+  if (min == 1 && max == 1) {
+    out = "";
+  } else if (min == 1 && max < 0) {
+    out = "+";
+  } else if (min == 0 && max < 0) {
+    out = "*";
+  } else if (min == max) {
+    out = "{" + std::to_string(min) + "}";
+  } else {
+    out = "{" + std::to_string(min) + "," + (max < 0 ? "" : std::to_string(max)) + "}";
+  }
+  if (possessive) out += "+";
+  return out;
+}
+
+Node Node::lit(std::string_view s) {
+  Node n;
+  n.kind = Kind::kLiteral;
+  n.literal = std::string(s);
+  return n;
+}
+
+Node Node::cls_node(CharClass c, Quant q) {
+  Node n;
+  n.kind = Kind::kClass;
+  n.cls = std::move(c);
+  n.quant = q;
+  return n;
+}
+
+std::string Node::to_string() const {
+  if (kind == Kind::kLiteral) return util::regex_escape(literal);
+  return cls.repr + quant.to_string();
+}
+
+bool operator==(const Node& a, const Node& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == Node::Kind::kLiteral) return a.literal == b.literal;
+  return a.cls == b.cls && a.quant == b.quant;
+}
+
+std::string Regex::to_string() const {
+  std::string out = "^";
+  std::size_t g = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (g < groups.size() && groups[g].first == i) out += "(";
+    out += nodes[i].to_string();
+    if (g < groups.size() && groups[g].last == i) {
+      out += ")";
+      ++g;
+    }
+  }
+  out += "$";
+  return out;
+}
+
+RegexBuilder& RegexBuilder::lit(std::string_view s) {
+  if (s.empty()) return *this;
+  // Merge adjacent literals unless doing so would cross a group boundary:
+  // a group opening at the node about to be added, or the previous node
+  // closing an already-built group.
+  const bool group_opens_here = group_start_ == rx_.nodes.size();
+  const bool prev_closes_group =
+      !rx_.groups.empty() && rx_.groups.back().last + 1 == rx_.nodes.size();
+  if (!rx_.nodes.empty() && rx_.nodes.back().kind == Node::Kind::kLiteral &&
+      !group_opens_here && !prev_closes_group) {
+    rx_.nodes.back().literal += std::string(s);
+  } else {
+    rx_.nodes.push_back(Node::lit(s));
+  }
+  return *this;
+}
+
+RegexBuilder& RegexBuilder::cls(CharClass c, Quant q) {
+  rx_.nodes.push_back(Node::cls_node(std::move(c), q));
+  return *this;
+}
+
+RegexBuilder& RegexBuilder::any_plus() {
+  return cls(CharClass::any(), Quant::plus());
+}
+
+RegexBuilder& RegexBuilder::begin_group() {
+  group_start_ = rx_.nodes.size();
+  return *this;
+}
+
+RegexBuilder& RegexBuilder::end_group() {
+  rx_.groups.push_back(Group{group_start_, rx_.nodes.size() - 1});
+  group_start_ = static_cast<std::size_t>(-1);
+  return *this;
+}
+
+Regex RegexBuilder::build() && {
+  return std::move(rx_);
+}
+
+}  // namespace hoiho::rx

@@ -1,0 +1,119 @@
+// AST for the restricted regex dialect Hoiho generates (paper appendix A).
+//
+// The dialect is deliberately small — everything the learner emits is a
+// full-string-anchored sequence of:
+//   * literal strings                         zayo\.com
+//   * character classes with a quantifier     [a-z]{3}  [a-z]+  \d+  \d*
+//                                             [^\.]+  [^-]++  [a-z\d]+  .+
+//   * capture groups over a run of elements   ([a-z]{3})  (\d+[a-z]+)
+// Quantifiers: {n}, +, *, and possessive ++ / {n}+ (no backtracking into the
+// repeat). Groups never nest. Matching is always anchored (^...$).
+//
+// Regex objects are built either programmatically (core/regex_gen) or by
+// parsing the printed form (regex/parser.h); to_string() round-trips.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hoiho::rx {
+
+// A set of characters plus its canonical printed representation.
+struct CharClass {
+  std::bitset<128> set;
+  std::string repr;  // "[a-z]", "\\d", "[a-z\\d]", "[^\\.]", "[^-]", "."
+
+  bool matches(char c) const {
+    const auto u = static_cast<unsigned char>(c);
+    return u < 128 && set[u];
+  }
+
+  // Factories for the dialect's standard classes.
+  static CharClass alpha();               // [a-z]
+  static CharClass digit();               // \d
+  static CharClass alnum();               // [a-z\d]
+  static CharClass any();                 // . (any char)
+  static CharClass not_chars(std::string_view excluded);  // [^...]
+
+  friend bool operator==(const CharClass& a, const CharClass& b) { return a.repr == b.repr; }
+};
+
+// Repetition counts; max < 0 means unbounded.
+struct Quant {
+  int min = 1;
+  int max = 1;
+  bool possessive = false;
+
+  bool is_single() const { return min == 1 && max == 1 && !possessive; }
+  std::string to_string() const;
+
+  static Quant one() { return {1, 1, false}; }
+  static Quant exactly(int n) { return {n, n, false}; }
+  static Quant plus(bool possessive = false) { return {1, -1, possessive}; }
+  static Quant star(bool possessive = false) { return {0, -1, possessive}; }
+
+  friend bool operator==(const Quant& a, const Quant& b) {
+    return a.min == b.min && a.max == b.max && a.possessive == b.possessive;
+  }
+};
+
+// One element of the sequence: a literal string or a quantified class.
+struct Node {
+  enum class Kind : std::uint8_t { kLiteral, kClass };
+
+  Kind kind = Kind::kLiteral;
+  std::string literal;  // kLiteral only (raw characters; escaping on print)
+  CharClass cls;        // kClass only
+  Quant quant;          // kClass only (literals repeat exactly once)
+
+  static Node lit(std::string_view s);
+  static Node cls_node(CharClass c, Quant q);
+
+  std::string to_string() const;
+  friend bool operator==(const Node& a, const Node& b);
+};
+
+// A capture group covering nodes [first, last] inclusive.
+struct Group {
+  std::size_t first = 0;
+  std::size_t last = 0;
+  friend bool operator==(const Group&, const Group&) = default;
+};
+
+// A full regex: anchored sequence of nodes with non-nested groups.
+struct Regex {
+  std::vector<Node> nodes;
+  std::vector<Group> groups;  // ordered by position; non-overlapping
+
+  std::size_t capture_count() const { return groups.size(); }
+
+  // Canonical printed form, e.g. "^.+\\.([a-z]{3})\\d+\\.alter\\.net$".
+  std::string to_string() const;
+
+  friend bool operator==(const Regex& a, const Regex& b) {
+    return a.nodes == b.nodes && a.groups == b.groups;
+  }
+};
+
+// Convenience builder so generation code reads naturally:
+//   RegexBuilder b;
+//   b.any_plus().lit(".").begin_group().cls(CharClass::alpha(), Quant::exactly(3))
+//    .end_group().cls(CharClass::digit(), Quant::plus()).lit(".alter.net");
+class RegexBuilder {
+ public:
+  RegexBuilder& lit(std::string_view s);
+  RegexBuilder& cls(CharClass c, Quant q);
+  RegexBuilder& any_plus();  // ".+"
+  RegexBuilder& begin_group();
+  RegexBuilder& end_group();
+  Regex build() &&;
+
+ private:
+  Regex rx_;
+  std::size_t group_start_ = static_cast<std::size_t>(-1);
+};
+
+}  // namespace hoiho::rx

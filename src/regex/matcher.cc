@@ -1,0 +1,129 @@
+#include "regex/matcher.h"
+
+namespace hoiho::rx {
+
+namespace {
+
+// Bounds total backtracking work; generated patterns stay far below this,
+// and hitting the bound reports a non-match instead of hanging.
+constexpr std::uint64_t kMaxSteps = 1'000'000;
+
+class Engine {
+ public:
+  Engine(const Regex& rx, std::string_view subject)
+      : rx_(rx), s_(subject), open_(rx.nodes.size(), -1), close_(rx.nodes.size(), -1) {
+    for (std::size_t g = 0; g < rx.groups.size(); ++g) {
+      open_[rx.groups[g].first] = static_cast<int>(g);
+      close_[rx.groups[g].last] = static_cast<int>(g);
+    }
+    caps_.resize(rx.groups.size());
+  }
+
+  bool run(std::vector<Capture>& out) {
+    if (!match_from(0, 0)) return false;
+    out = caps_;
+    return true;
+  }
+
+  // Enables per-node span recording; must be called before run().
+  void record_spans(std::vector<Capture>* spans) {
+    spans_ = spans;
+    if (spans_ != nullptr) spans_->assign(rx_.nodes.size(), Capture{});
+  }
+
+ private:
+  const Regex& rx_;
+  std::string_view s_;
+  std::vector<int> open_, close_;
+  std::vector<Capture> caps_;
+  std::vector<Capture>* spans_ = nullptr;
+  std::uint64_t steps_ = 0;
+
+  // Records the span consumed by `node` once the suffix match succeeded —
+  // spans on failed branches are unwound for free by never being recorded.
+  void note_span(std::size_t node, std::size_t begin, std::size_t end) {
+    if (spans_ != nullptr) (*spans_)[node] = Capture{begin, end};
+  }
+
+  // How many consecutive chars starting at `pos` the class matches, capped
+  // at `limit`.
+  std::size_t run_length(const CharClass& cls, std::size_t pos, std::size_t limit) const {
+    std::size_t n = 0;
+    while (n < limit && pos + n < s_.size() && cls.matches(s_[pos + n])) ++n;
+    return n;
+  }
+
+  bool match_from(std::size_t node, std::size_t pos) {
+    if (++steps_ > kMaxSteps) return false;
+    if (node == rx_.nodes.size()) return pos == s_.size();
+
+    if (open_[node] >= 0) caps_[static_cast<std::size_t>(open_[node])].begin = pos;
+
+    const Node& n = rx_.nodes[node];
+    if (n.kind == Node::Kind::kLiteral) {
+      const std::string& lit = n.literal;
+      if (s_.compare(pos, lit.size(), lit) != 0) return false;
+      const std::size_t next = pos + lit.size();
+      if (close_[node] >= 0) caps_[static_cast<std::size_t>(close_[node])].end = next;
+      if (!match_from(node + 1, next)) return false;
+      note_span(node, pos, next);
+      return true;
+    }
+
+    // Class node with quantifier.
+    const std::size_t remaining = s_.size() - pos;
+    const std::size_t max_take =
+        n.quant.max < 0 ? remaining : std::min<std::size_t>(remaining, static_cast<std::size_t>(n.quant.max));
+    const std::size_t avail = run_length(n.cls, pos, max_take);
+    const std::size_t min_take = static_cast<std::size_t>(n.quant.min);
+    if (avail < min_take) return false;
+
+    if (n.quant.possessive) {
+      const std::size_t next = pos + avail;
+      if (close_[node] >= 0) caps_[static_cast<std::size_t>(close_[node])].end = next;
+      if (!match_from(node + 1, next)) return false;
+      note_span(node, pos, next);
+      return true;
+    }
+    // Greedy with backtracking: longest first.
+    for (std::size_t take = avail + 1; take-- > min_take;) {
+      const std::size_t next = pos + take;
+      if (close_[node] >= 0) caps_[static_cast<std::size_t>(close_[node])].end = next;
+      if (match_from(node + 1, next)) {
+        note_span(node, pos, next);
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+MatchResult match(const Regex& rx, std::string_view subject) {
+  MatchResult result;
+  Engine engine(rx, subject);
+  result.matched = engine.run(result.captures);
+  return result;
+}
+
+MatchResult match_with_spans(const Regex& rx, std::string_view subject,
+                             std::vector<Capture>& node_spans) {
+  MatchResult result;
+  Engine engine(rx, subject);
+  engine.record_spans(&node_spans);
+  result.matched = engine.run(result.captures);
+  if (!result.matched) node_spans.clear();
+  return result;
+}
+
+std::vector<std::string> capture_strings(const Regex& rx, std::string_view subject) {
+  std::vector<std::string> out;
+  const MatchResult m = match(rx, subject);
+  if (!m.matched) return out;
+  out.reserve(m.captures.size());
+  for (const Capture& c : m.captures) out.emplace_back(c.view(subject));
+  return out;
+}
+
+}  // namespace hoiho::rx

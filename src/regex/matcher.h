@@ -1,0 +1,48 @@
+// Backtracking matcher with capture extraction for the restricted dialect.
+//
+// Matching is always anchored at both ends. The matcher is a classic
+// recursive backtracker; because the dialect has no alternation or nesting
+// and generated patterns have few unbounded repeats, worst-case behaviour is
+// tame (a depth guard turns pathological inputs into a non-match rather
+// than a stack overflow).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "regex/ast.h"
+
+namespace hoiho::rx {
+
+// Capture positions into the subject string.
+struct Capture {
+  std::size_t begin = 0;
+  std::size_t end = 0;  // one past the last char
+
+  std::string_view view(std::string_view subject) const {
+    return subject.substr(begin, end - begin);
+  }
+};
+
+struct MatchResult {
+  bool matched = false;
+  std::vector<Capture> captures;  // one per group, in group order
+
+  explicit operator bool() const { return matched; }
+};
+
+// Matches `subject` against `rx` (full-string). On success, captures hold
+// one entry per group.
+MatchResult match(const Regex& rx, std::string_view subject);
+
+// Like match(), but additionally reports the span of subject text each node
+// consumed on the successful path (used by the learner's character-class
+// embedding phase). `node_spans` is resized to rx.nodes.size() on success.
+MatchResult match_with_spans(const Regex& rx, std::string_view subject,
+                             std::vector<Capture>& node_spans);
+
+// Convenience: captured strings on success, empty vector on failure.
+std::vector<std::string> capture_strings(const Regex& rx, std::string_view subject);
+
+}  // namespace hoiho::rx

@@ -1,0 +1,241 @@
+#include "regex/parser.h"
+
+#include <cctype>
+
+namespace hoiho::rx {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : src_(src) {}
+
+  std::optional<Regex> run(std::string* error) {
+    if (!consume('^')) return fail("expected '^' anchor", error);
+    Regex rx;
+    while (pos_ < src_.size() && src_[pos_] != '$') {
+      const char c = src_[pos_];
+      if (c == '(') {
+        if (in_group_) return fail("nested groups are not in the dialect", error);
+        ++pos_;
+        in_group_ = true;
+        group_first_ = rx.nodes.size();
+        continue;
+      }
+      if (c == ')') {
+        if (!in_group_) return fail("unbalanced ')'", error);
+        if (rx.nodes.size() == group_first_) return fail("empty group", error);
+        ++pos_;
+        in_group_ = false;
+        rx.groups.push_back(Group{group_first_, rx.nodes.size() - 1});
+        continue;
+      }
+      if (!parse_piece(rx, error)) return std::nullopt;
+    }
+    if (in_group_) return fail("unterminated group", error);
+    if (!consume('$')) return fail("expected '$' anchor", error);
+    if (pos_ != src_.size()) return fail("trailing characters after '$'", error);
+    return rx;
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  bool in_group_ = false;
+  std::size_t group_first_ = 0;
+
+  bool consume(char c) {
+    if (pos_ < src_.size() && src_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Regex> fail(std::string_view msg, std::string* error) {
+    if (error != nullptr)
+      *error = std::string(msg) + " at offset " + std::to_string(pos_);
+    return std::nullopt;
+  }
+
+  // Parses one atom (+ optional quantifier) and appends node(s) to rx.
+  bool parse_piece(Regex& rx, std::string* error) {
+    const std::size_t start = pos_;
+    CharClass cls;
+    bool is_class = false;
+    std::string lit;
+
+    const char c = src_[pos_];
+    if (c == '.') {
+      cls = CharClass::any();
+      is_class = true;
+      ++pos_;
+    } else if (c == '[') {
+      if (!parse_class(cls, error)) return false;
+      is_class = true;
+    } else if (c == '\\') {
+      if (pos_ + 1 >= src_.size()) {
+        fail("dangling backslash", error);
+        return false;
+      }
+      const char e = src_[pos_ + 1];
+      if (e == 'd') {
+        cls = CharClass::digit();
+        is_class = true;
+        pos_ += 2;
+      } else {
+        lit.push_back(e);  // escaped literal char: \. \- \\ etc.
+        pos_ += 2;
+      }
+    } else if (c == '*' || c == '+' || c == '{' || c == '?' || c == '|') {
+      fail("quantifier without atom (or unsupported operator)", error);
+      return false;
+    } else {
+      lit.push_back(c);
+      ++pos_;
+    }
+
+    // Optional quantifier.
+    Quant q = Quant::one();
+    bool has_quant = false;
+    if (pos_ < src_.size()) {
+      const char qc = src_[pos_];
+      if (qc == '+') {
+        q = Quant::plus();
+        has_quant = true;
+        ++pos_;
+      } else if (qc == '*') {
+        q = Quant::star();
+        has_quant = true;
+        ++pos_;
+      } else if (qc == '{') {
+        std::size_t close = src_.find('}', pos_);
+        if (close == std::string_view::npos) {
+          fail("unterminated '{'", error);
+          return false;
+        }
+        int n = 0;
+        for (std::size_t i = pos_ + 1; i < close; ++i) {
+          if (!std::isdigit(static_cast<unsigned char>(src_[i]))) {
+            pos_ = i;
+            fail("only {n} repetition is in the dialect", error);
+            return false;
+          }
+          n = n * 10 + (src_[i] - '0');
+        }
+        if (close == pos_ + 1) {
+          fail("empty '{}'", error);
+          return false;
+        }
+        q = Quant::exactly(n);
+        has_quant = true;
+        pos_ = close + 1;
+      }
+      // Possessive modifier: a second '+'.
+      if (has_quant && pos_ < src_.size() && src_[pos_] == '+') {
+        q.possessive = true;
+        ++pos_;
+      }
+    }
+
+    if (is_class) {
+      rx.nodes.push_back(Node::cls_node(std::move(cls), q));
+      return true;
+    }
+    if (has_quant) {
+      // Quantified literal char: model as a single-char class.
+      CharClass single;
+      single.set.set(static_cast<unsigned char>(lit[0]));
+      const std::size_t atom_len = (src_[start] == '\\') ? 2 : 1;
+      single.repr = std::string(src_.substr(start, atom_len));
+      rx.nodes.push_back(Node::cls_node(std::move(single), q));
+      return true;
+    }
+    // Plain literal: merge with a preceding literal node when legal — not
+    // across a group boundary in either direction (the previous node closing
+    // a group, or the current group opening right here).
+    const bool prev_closes_group =
+        !rx.groups.empty() && rx.groups.back().last + 1 == rx.nodes.size();
+    const bool group_opens_here = in_group_ && rx.nodes.size() == group_first_;
+    if (!rx.nodes.empty() && rx.nodes.back().kind == Node::Kind::kLiteral &&
+        !prev_closes_group && !group_opens_here) {
+      rx.nodes.back().literal += lit;
+    } else {
+      rx.nodes.push_back(Node::lit(lit));
+    }
+    return true;
+  }
+
+  // Parses "[...]" starting at '['.
+  bool parse_class(CharClass& out, std::string* error) {
+    ++pos_;  // '['
+    bool negated = false;
+    if (pos_ < src_.size() && src_[pos_] == '^') {
+      negated = true;
+      ++pos_;
+    }
+    std::bitset<128> bits;
+    std::string repr = negated ? "[^" : "[";
+    bool closed = false;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == ']') {
+        ++pos_;
+        closed = true;
+        break;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= src_.size()) {
+          fail("dangling backslash in class", error);
+          return false;
+        }
+        const char e = src_[pos_ + 1];
+        if (e == 'd') {
+          for (char d = '0'; d <= '9'; ++d) bits.set(static_cast<unsigned char>(d));
+          repr += "\\d";
+        } else {
+          bits.set(static_cast<unsigned char>(e));
+          repr += '\\';
+          repr += e;
+        }
+        pos_ += 2;
+        continue;
+      }
+      // Range "a-z" (only when '-' is between two chars; trailing '-' is a
+      // literal dash).
+      if (pos_ + 2 < src_.size() && src_[pos_ + 1] == '-' && src_[pos_ + 2] != ']') {
+        const char lo = c, hi = src_[pos_ + 2];
+        if (lo > hi) {
+          fail("inverted range in class", error);
+          return false;
+        }
+        for (char d = lo; d <= hi; ++d) bits.set(static_cast<unsigned char>(d));
+        repr += lo;
+        repr += '-';
+        repr += hi;
+        pos_ += 3;
+        continue;
+      }
+      bits.set(static_cast<unsigned char>(c));
+      repr += c;
+      ++pos_;
+    }
+    if (!closed) {
+      fail("unterminated class", error);
+      return false;
+    }
+    repr += ']';
+    if (negated) bits.flip();
+    out.set = bits;
+    out.repr = repr;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::optional<Regex> parse(std::string_view pattern, std::string* error) {
+  return Parser(pattern).run(error);
+}
+
+}  // namespace hoiho::rx

@@ -1,0 +1,23 @@
+// Parser for the restricted regex dialect (see regex/ast.h).
+//
+// Accepts exactly the forms the learner prints: full-string anchors ^...$,
+// literals with backslash escapes, the standard character classes, {n} / + /
+// * / possessive + quantifiers, and non-nested capture groups. Returns
+// std::nullopt with a diagnostic for anything outside the dialect (e.g.
+// alternation, nested groups), since such patterns cannot have come from
+// this library.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "regex/ast.h"
+
+namespace hoiho::rx {
+
+// Parses `pattern`; on failure returns std::nullopt and, if `error` is
+// non-null, stores a human-readable message with the offset.
+std::optional<Regex> parse(std::string_view pattern, std::string* error = nullptr);
+
+}  // namespace hoiho::rx

@@ -1,0 +1,107 @@
+// Synthetic Internet generator — the stand-in for CAIDA's ITDK (DESIGN.md
+// §2).
+//
+// A World is a set of operators (suffixes), each with a naming scheme and a
+// footprint of cities, a router-level topology whose routers carry ground-
+// truth locations, the vantage points that will probe it, and a per-hostname
+// truth record (does this hostname embed a geohint, and for which intended
+// location). Ground truth lets the benches score inferences exactly — the
+// luxury the paper could only obtain from 13 cooperating operators.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "measure/rtt_matrix.h"
+#include "sim/naming.h"
+#include "topo/topology.h"
+
+namespace hoiho::sim {
+
+struct OperatorSpec {
+  std::string suffix;
+  NamingScheme scheme;
+  std::vector<geo::LocationId> footprint;
+  std::size_t router_count = 0;
+};
+
+// Ground truth for one rendered hostname.
+struct HostnameTruth {
+  topo::RouterId router = topo::kInvalidRouter;
+  std::string hostname;
+  bool has_geohint = false;
+  geo::LocationId intended = geo::kInvalidLocation;  // location the name encodes
+  bool stale = false;  // intended != the router's true location
+};
+
+struct World {
+  const geo::GeoDictionary* dict = nullptr;
+  bool ipv6 = false;
+  std::size_t addr_counter = 0;  // next interface address ordinal
+  std::vector<OperatorSpec> operators;
+  topo::Topology topology;
+  std::vector<measure::VantagePoint> vps;
+  std::vector<HostnameTruth> truths;
+  std::unordered_map<std::string, std::size_t> truth_index;  // hostname -> truths idx
+
+  const HostnameTruth* truth_for(std::string_view hostname) const {
+    const auto it = truth_index.find(std::string(hostname));
+    return it == truth_index.end() ? nullptr : &truths[it->second];
+  }
+};
+
+struct WorldConfig {
+  std::uint64_t seed = 1;
+  bool ipv6 = false;            // address style only
+  std::size_t operators = 120;
+
+  // Operator size: 2 + Pareto(alpha, xm), clamped.
+  double size_alpha = 1.1;
+  double size_xm = 4.0;
+  std::size_t max_routers_per_operator = 320;
+
+  std::size_t vp_count = 100;
+
+  double hostname_rate = 0.55;        // routers that get PTR records
+  double geohint_scheme_rate = 0.35;  // operators whose scheme embeds geohints
+  double inconsistent_rate = 0.08;    // sloppy operators (inconsistency 0.35)
+  double stale_rate = 0.005;          // stale hostnames (paper §4 challenge 3)
+
+  // Some operators hand out interconnect addresses whose hostnames encode
+  // the *provider's* router location (paper fig. 3b) or keep many stale
+  // names; their conventions evaluate with a depressed PPV (the paper's
+  // "promising" band).
+  double mislabel_operator_rate = 0.10;
+  double mislabel_rate = 0.12;
+
+  // Custom geohints (paper §6.2: 38.2% of IATA NCs had at least one).
+  double custom_operator_rate = 0.38;
+  double custom_loc_frac = 0.30;      // fraction of footprint renamed
+
+  // Convention mix among geohint operators (paper table 4).
+  double w_iata = 0.517, w_city = 0.389, w_clli = 0.121, w_locode = 0.013,
+         w_facility = 0.003;
+  double p_split_clli = 0.25;         // CLLI operators that split 4+2
+  // Annotation probabilities (paper table 4: IATA operators embed a country
+  // code far more often than city/CLLI operators do).
+  double p_country_iata = 0.22, p_state_iata = 0.02;
+  double p_country_city = 0.015, p_state_city = 0.05;
+  double p_country_clli = 0.05;
+};
+
+// Builds the vantage-point set: the `count` highest-ranked locations
+// (facility first, then population), one VP each, named by IATA code.
+std::vector<measure::VantagePoint> make_vps(const geo::GeoDictionary& dict, std::size_t count);
+
+// Generates a full world.
+World generate_world(const geo::GeoDictionary& dict, const WorldConfig& config);
+
+// Adds one hand-specified operator to `world` (used by the validation
+// scenario); renders its routers/hostnames and truth records.
+// `stale_rate` and `custom` behaviour come from `spec.scheme` /
+// pre-populated custom_codes.
+void add_operator(World& world, OperatorSpec spec, double hostname_rate, double stale_rate,
+                  util::Rng& rng);
+
+}  // namespace hoiho::sim

@@ -1,0 +1,327 @@
+#include "sim/naming.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace hoiho::sim {
+
+const std::vector<std::string> kRoleTokens = {
+    "core", "cr", "br", "bcr", "gw", "edge", "er", "agg", "mse", "rtr", "bb", "pe", "p",
+};
+
+const std::vector<std::string> kIfaceTokens = {
+    "xe", "ge", "ae", "et", "so", "te", "hu", "po", "vl", "hundredgige", "tengige", "be",
+};
+
+const std::vector<std::string> kIfaceDecoys = {
+    "gig", "eth", "cpe",  // all are real IATA codes (paper challenge 5)
+};
+
+namespace {
+// Material for free-form kWord parts (customer names, vanity labels).
+const std::vector<std::string> kWordSyllables = {
+    "fer", "dun", "mak", "tob", "ras", "wil", "hes", "pod", "gan", "lor",
+    "ving", "ser", "dat", "hol", "bran", "mor", "tek", "sys", "web", "max",
+};
+}  // namespace
+
+namespace {
+
+// The community custom codes of paper table 5.
+struct WellKnown {
+  const char* city;
+  const char* country;
+  const char* code;
+};
+constexpr WellKnown kWellKnownCustom[] = {
+    {"Ashburn", "us", "ash"}, {"Toronto", "ca", "tor"},  {"Washington", "us", "wdc"},
+    {"Tokyo", "jp", "tok"},   {"Zurich", "ch", "zur"},   {"London", "gb", "ldn"},
+};
+
+std::string render_country(const geo::Location& loc) {
+  // Operators conventionally write "uk", not ISO's "gb" (paper §5.2).
+  return loc.country == "gb" ? "uk" : loc.country;
+}
+
+// True if `code` equals any dictionary code of the given type for `loc`.
+bool clashes_with_dictionary(const geo::GeoDictionary& dict, geo::LocationId loc,
+                             core::Role role, std::string_view code) {
+  const geo::LocationCodes& codes = dict.codes(loc);
+  const std::vector<std::string>* list = nullptr;
+  switch (role) {
+    case core::Role::kIata: list = &codes.iata; break;
+    case core::Role::kLocode: list = &codes.locode; break;
+    case core::Role::kClli: list = &codes.clli; break;
+    default: return false;
+  }
+  return std::find(list->begin(), list->end(), std::string(code)) != list->end();
+}
+
+// A subsequence abbreviation of the place name that starts with its first
+// character and has exactly `len` characters, or nullopt.
+std::optional<std::string> place_abbrev(const geo::Location& loc, std::size_t len,
+                                        std::size_t variant) {
+  const std::vector<std::string> words = geo::place_words(loc.city);
+  if (words.empty()) return std::nullopt;
+  std::string out;
+  if (words.size() == 1 || variant == 0) {
+    const std::string& w = words[0];
+    if (w.size() < len) {
+      // Pad from the following words' initials ("nyk" style).
+      out = w;
+      for (std::size_t i = 1; i < words.size() && out.size() < len; ++i) out += words[i][0];
+      if (out.size() > len) out.resize(len);
+      if (out.size() < len) return std::nullopt;
+    } else if (variant == 0) {
+      out = w.substr(0, len);
+    } else {
+      // Keep the first char, then every (variant)th-offset subsequence.
+      out.push_back(w[0]);
+      for (std::size_t i = 1 + variant; i < w.size() && out.size() < len; ++i) {
+        out.push_back(w[i]);
+      }
+      if (out.size() < len) return std::nullopt;
+    }
+  } else {
+    // Multi-word: word initials, then fill from the last word.
+    for (const std::string& w : words) out.push_back(w[0]);
+    const std::string& lastw = words.back();
+    for (std::size_t i = 1; i < lastw.size() && out.size() < len; ++i) out.push_back(lastw[i]);
+    if (out.size() < len) return std::nullopt;
+    out.resize(len);
+  }
+  if (!geo::is_place_abbrev(out, loc.city)) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::string> make_custom_code(core::Role role, const geo::GeoDictionary& dict,
+                                            geo::LocationId loc, util::Rng& rng,
+                                            bool well_known) {
+  const geo::Location& location = dict.location(loc);
+  if (role == core::Role::kIata && well_known) {
+    for (const WellKnown& wk : kWellKnownCustom) {
+      if (location.city == wk.city && geo::same_country(location.country, wk.country)) {
+        return std::string(wk.code);
+      }
+    }
+  }
+  const std::size_t first_variant = rng.next_below(3);
+  switch (role) {
+    case core::Role::kIata: {
+      for (std::size_t v = 0; v < 3; ++v) {
+        const auto code = place_abbrev(location, 3, (first_variant + v) % 3);
+        if (code && !clashes_with_dictionary(dict, loc, role, *code)) return code;
+      }
+      return std::nullopt;
+    }
+    case core::Role::kLocode: {
+      for (std::size_t v = 0; v < 3; ++v) {
+        const auto part = place_abbrev(location, 3, (first_variant + v) % 3);
+        if (!part) continue;
+        const std::string code = location.country + *part;
+        if (!clashes_with_dictionary(dict, loc, role, code)) return code;
+      }
+      return std::nullopt;
+    }
+    case core::Role::kClli: {
+      std::string tail = !location.state.empty() ? location.state : location.country;
+      if (tail.size() > 2) tail.resize(2);  // CLLI area codes are two letters
+      for (std::size_t v = 0; v < 3; ++v) {
+        const auto part = place_abbrev(location, 4, (first_variant + v) % 3);
+        if (!part) continue;
+        const std::string code = *part + tail;
+        if (!clashes_with_dictionary(dict, loc, role, code)) return code;
+      }
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::string make_irregular_code(core::Role role, util::Rng& rng) {
+  std::size_t len = 3;
+  if (role == core::Role::kLocode) len = 5;
+  if (role == core::Role::kClli) len = 6;
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i)
+    out.push_back(static_cast<char>('a' + rng.next_below(26)));
+  return out;
+}
+
+std::optional<std::string> geo_code_for(const NamingScheme& scheme,
+                                        const geo::GeoDictionary& dict, geo::LocationId loc) {
+  const auto it = scheme.custom_codes.find(loc);
+  if (it != scheme.custom_codes.end()) return it->second;
+  const geo::LocationCodes& codes = dict.codes(loc);
+  switch (scheme.hint_role) {
+    case core::Role::kIata:
+      if (codes.iata.empty()) return std::nullopt;
+      return codes.iata.front();
+    case core::Role::kLocode:
+      if (codes.locode.empty()) return std::nullopt;
+      return codes.locode.front();
+    case core::Role::kClli:
+      if (codes.clli.empty()) return std::nullopt;
+      return codes.clli.front();
+    case core::Role::kCityName:
+      return geo::squash_place_name(dict.location(loc).city);
+    case core::Role::kFacility: {
+      const auto addrs = dict.facility_addresses(loc);
+      if (addrs.empty()) return std::nullopt;
+      return addrs.front();
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<Rendered> render_hostname(const NamingScheme& scheme,
+                                        const geo::GeoDictionary& dict, geo::LocationId loc,
+                                        std::string_view suffix, util::Rng& rng) {
+  const geo::Location& location = dict.location(loc);
+  std::optional<std::string> code;
+  if (scheme.has_geohint) {
+    code = geo_code_for(scheme, dict, loc);
+    if (!code) return std::nullopt;
+  }
+
+  // Inconsistent rendering: drop the convention for this hostname.
+  if (scheme.inconsistency > 0 && rng.next_bool(scheme.inconsistency)) {
+    return Rendered{std::string(kRoleTokens[rng.next_below(kRoleTokens.size())]) +
+                        std::to_string(rng.next_int(1, 29)) + "." + std::string(suffix),
+                    false};
+  }
+
+  std::string out;
+  if (scheme.extra_label_rate > 0 && rng.next_bool(scheme.extra_label_rate)) {
+    out += std::to_string(rng.next_below(2));
+    out.push_back('.');
+  }
+  for (std::size_t li = 0; li < scheme.labels.size(); ++li) {
+    if (!out.empty() && out.back() != '.') out.push_back('.');
+    for (const Part& part : scheme.labels[li]) {
+      switch (part.kind) {
+        case PartKind::kRole:
+          out += kRoleTokens[rng.next_below(kRoleTokens.size())];
+          break;
+        case PartKind::kIface:
+          if (rng.next_bool(0.10)) {
+            out += kIfaceDecoys[rng.next_below(kIfaceDecoys.size())];
+          } else {
+            out += kIfaceTokens[rng.next_below(kIfaceTokens.size())];
+          }
+          break;
+        case PartKind::kGeo:
+          if (scheme.split_clli && code->size() == 6) {
+            out += code->substr(0, 4);
+            out += std::to_string(rng.next_int(1, 9));
+            out.push_back('-');
+            out += code->substr(4, 2);
+          } else {
+            out += *code;
+          }
+          break;
+        case PartKind::kCountry:
+          out += render_country(location);
+          break;
+        case PartKind::kState:
+          out += !location.state.empty() ? location.state : render_country(location);
+          break;
+        case PartKind::kNum:
+          out += std::to_string(rng.next_int(1, 29));
+          break;
+        case PartKind::kConst:
+          out += part.text;
+          break;
+        case PartKind::kDash:
+          out.push_back('-');
+          break;
+        case PartKind::kWord: {
+          // A fifth of free-form words happen to collide with a geo code —
+          // an IATA code or a city name of some unrelated location (paper
+          // challenge 5: "gig", "eth", "cpe", "francetelecom"...).
+          if (rng.next_bool(0.2) && dict.size() > 0) {
+            const auto id = static_cast<geo::LocationId>(rng.next_below(dict.size()));
+            const geo::LocationCodes& codes = dict.codes(id);
+            if (!codes.iata.empty() && rng.next_bool(0.5)) {
+              out += codes.iata.front();
+            } else {
+              out += geo::squash_place_name(dict.location(id).city);
+            }
+          } else {
+            out += kWordSyllables[rng.next_below(kWordSyllables.size())];
+            out += kWordSyllables[rng.next_below(kWordSyllables.size())];
+          }
+          break;
+        }
+      }
+    }
+  }
+  out.push_back('.');
+  out += std::string(suffix);
+  return Rendered{std::move(out), scheme.has_geohint};
+}
+
+NamingScheme sample_scheme(core::Role hint_role, bool embed_country, bool embed_state,
+                           util::Rng& rng) {
+  NamingScheme scheme;
+  scheme.hint_role = hint_role;
+  scheme.embed_country = embed_country;
+  scheme.embed_state = embed_state;
+
+  using P = Part;
+  const std::size_t style = rng.next_below(5);
+  switch (style) {
+    case 0:
+      // core1.ash1.<suffix>  (he.net style)
+      scheme.labels = {{P::role(), P::num()}, {P::geo(), P::num()}};
+      break;
+    case 1:
+      // xe-0-0-ash1-bcr1.bb.<suffix>  (ebay style)
+      scheme.labels = {{P::iface(), P::dash(), P::num(), P::dash(), P::num(), P::dash(),
+                        P::geo(), P::num(), P::dash(), P::role(), P::num()},
+                       {P::konst("bb")}};
+      break;
+    case 2:
+      // ae-1.r02.lhr15.<suffix>  (ntt/alter style)
+      scheme.labels = {{P::iface(), P::dash(), P::num()},
+                       {P::role(), P::num()},
+                       {P::geo(), P::num()}};
+      break;
+    case 3:
+      // ash-core-r1.<suffix>  (peak style)
+      scheme.labels = {{P::geo(), P::dash(), P::role(), P::dash(), P::konst("r"), P::num()}};
+      break;
+    default:
+      // xe-1-2-0.cr1.lhr2.zip.<suffix>  (zayo style, trailing constant label)
+      scheme.labels = {{P::iface(), P::dash(), P::num(), P::dash(), P::num(), P::dash(), P::num()},
+                       {P::role(), P::num()},
+                       {P::geo(), P::num()},
+                       {P::konst(rng.next_bool(0.5) ? "zip" : "net")}};
+      break;
+  }
+
+  // Facility codes are long and live in their own label.
+  if (hint_role == core::Role::kFacility) {
+    scheme.labels = {{P::iface(), P::dash(), P::num()}, {P::geo()}, {P::role(), P::num()}};
+  }
+
+  // Annotation labels directly after the geohint label (xo.net / ntt style).
+  std::size_t geo_label = 0;
+  for (std::size_t i = 0; i < scheme.labels.size(); ++i)
+    for (const Part& p : scheme.labels[i])
+      if (p.kind == PartKind::kGeo) geo_label = i;
+  if (embed_state)
+    scheme.labels.insert(scheme.labels.begin() + static_cast<long>(geo_label) + 1, {P::state()});
+  if (embed_country) {
+    const std::size_t at = geo_label + (embed_state ? 2 : 1);
+    scheme.labels.insert(scheme.labels.begin() + static_cast<long>(at), {P::country()});
+  }
+  return scheme;
+}
+
+}  // namespace hoiho::sim

@@ -1,0 +1,124 @@
+// Operator naming schemes: how a synthetic operator renders router
+// hostnames, including where it embeds geohints (paper §2) and how it
+// deviates from the public dictionaries (paper §5.4, §6.2).
+//
+// A scheme is a sequence of label templates; each label is a sequence of
+// parts (role token, interface token, geohint, country/state code, number,
+// constant). The generator samples schemes matching the observed mix of
+// conventions (paper table 4) and renders each router's hostnames from them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/geohint.h"
+#include "geo/dictionary.h"
+#include "util/rng.h"
+
+namespace hoiho::sim {
+
+// One element of a hostname label.
+enum class PartKind : std::uint8_t {
+  kRole,     // router role token: core, br, gw, bcr, mse, ...
+  kIface,    // interface token: xe, ae, ge, hundredgige, eth, gig, ...
+  kGeo,      // the geohint (rendered per the scheme's hint role)
+  kCountry,  // ISO country code of the router's location
+  kState,    // state code of the router's location
+  kNum,      // small decimal number
+  kConst,    // fixed text
+  kDash,     // literal '-'
+  kWord,     // free-form word (customer names, vanity labels); sometimes
+             // collides with a geo code by chance (paper challenge 5)
+};
+
+struct Part {
+  PartKind kind = PartKind::kConst;
+  std::string text;  // kConst only
+
+  static Part role() { return {PartKind::kRole, ""}; }
+  static Part iface() { return {PartKind::kIface, ""}; }
+  static Part geo() { return {PartKind::kGeo, ""}; }
+  static Part country() { return {PartKind::kCountry, ""}; }
+  static Part state() { return {PartKind::kState, ""}; }
+  static Part num() { return {PartKind::kNum, ""}; }
+  static Part konst(std::string s) { return {PartKind::kConst, std::move(s)}; }
+  static Part dash() { return {PartKind::kDash, ""}; }
+  static Part word() { return {PartKind::kWord, ""}; }
+};
+
+// A label is a sequence of parts; a template is a sequence of labels
+// (joined with dots, then followed by the operator's suffix).
+using LabelTemplate = std::vector<Part>;
+
+struct NamingScheme {
+  // Primary geohint type; kCityName/kIata/kClli/kLocode/kFacility. If
+  // has_geohint is false, hostnames carry no location information.
+  core::Role hint_role = core::Role::kIata;
+  bool has_geohint = true;
+  bool split_clli = false;   // render CLLI as "xxxx<digits>-yy"
+  bool embed_country = false;
+  bool embed_state = false;
+
+  std::vector<LabelTemplate> labels;
+
+  // Per-location custom codes overriding the dictionary (stage-4 material).
+  std::map<geo::LocationId, std::string> custom_codes;
+
+  // Probability a rendered hostname ignores the template entirely (an
+  // operator that is sloppy about its own convention).
+  double inconsistency = 0.0;
+
+  // Probability a rendered hostname gains an extra leading label ("0." /
+  // "xe-1."), varying the label count within the suffix — harmless for
+  // structural learners, fatal for DRoP's fixed-position rules (fig. 2).
+  double extra_label_rate = 0.0;
+};
+
+// Vocabularies used when rendering role/interface parts. kIfaceDecoys are
+// interface tokens that collide with IATA codes (paper challenge 5: gig,
+// eth, cpe).
+extern const std::vector<std::string> kRoleTokens;
+extern const std::vector<std::string> kIfaceTokens;
+extern const std::vector<std::string> kIfaceDecoys;
+
+// Renders the code for `loc` under `scheme` (custom code if present, else
+// the dictionary code of the scheme's hint role). Returns nullopt if the
+// location has no code of that type (caller should pick another location).
+std::optional<std::string> geo_code_for(const NamingScheme& scheme,
+                                        const geo::GeoDictionary& dict, geo::LocationId loc);
+
+// One rendered hostname plus whether a geohint actually went into it (an
+// inconsistent render drops the convention, paper fig. 9 above.net /
+// aorta.net).
+struct Rendered {
+  std::string hostname;
+  bool has_geohint = false;
+};
+
+// Renders one hostname (prefix + "." + suffix) for a router at `loc`.
+// Returns nullopt if the location lacks a code of the scheme's hint type.
+std::optional<Rendered> render_hostname(const NamingScheme& scheme,
+                                        const geo::GeoDictionary& dict, geo::LocationId loc,
+                                        std::string_view suffix, util::Rng& rng);
+
+// Builds a custom code for `loc` of the kind `role` implies that (a) obeys
+// the abbreviation heuristics of §5.4 so it is learnable, and (b) differs
+// from every dictionary code of that type for the location. Returns nullopt
+// if no such code can be built. `well_known` biases toward the community
+// codes of paper table 5 (ash, tor, wdc, tok, zur, ldn) when applicable.
+std::optional<std::string> make_custom_code(core::Role role, const geo::GeoDictionary& dict,
+                                            geo::LocationId loc, util::Rng& rng,
+                                            bool well_known = true);
+
+// Builds an intentionally unlearnable custom code (random letters violating
+// the abbreviation rules) — the paper's tfbnw case (§6.2).
+std::string make_irregular_code(core::Role role, util::Rng& rng);
+
+// Samples a random scheme template structure for the given hint role /
+// annotation flags (used by the world generator).
+NamingScheme sample_scheme(core::Role hint_role, bool embed_country, bool embed_state,
+                           util::Rng& rng);
+
+}  // namespace hoiho::sim

@@ -1,0 +1,306 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace hoiho::sim {
+
+std::string_view to_string(ItdkKind k) {
+  switch (k) {
+    case ItdkKind::kIpv4Aug20: return "IPv4 Aug '20";
+    case ItdkKind::kIpv4Mar21: return "IPv4 Mar '21";
+    case ItdkKind::kIpv6Nov20: return "IPv6 Nov '20";
+    case ItdkKind::kIpv6Mar21: return "IPv6 Mar '21";
+  }
+  return "?";
+}
+
+ItdkScenario make_itdk(ItdkKind kind, double scale) {
+  WorldConfig wc;
+  PingConfig pc;
+  TraceConfig tc;
+  switch (kind) {
+    case ItdkKind::kIpv4Aug20:
+      wc.seed = 0x41a820;
+      wc.operators = static_cast<std::size_t>(260 * scale);
+      wc.vp_count = 106;
+      wc.hostname_rate = 0.55;
+      pc.router_response_rate = 0.82;
+      break;
+    case ItdkKind::kIpv4Mar21:
+      wc.seed = 0x41a321;
+      wc.operators = static_cast<std::size_t>(260 * scale);
+      wc.vp_count = 100;
+      wc.hostname_rate = 0.54;
+      pc.router_response_rate = 0.82;
+      break;
+    case ItdkKind::kIpv6Nov20:
+      wc.seed = 0x6b1120;
+      wc.operators = static_cast<std::size_t>(52 * scale);
+      wc.ipv6 = true;
+      wc.vp_count = 46;
+      wc.hostname_rate = 0.151;
+      // IPv6 deployment concentrates in larger transit networks whose
+      // hostnames are more likely to carry geohints (paper §6).
+      wc.size_xm = 9.0;
+      wc.geohint_scheme_rate = 0.62;
+      pc.router_response_rate = 0.473;
+      break;
+    case ItdkKind::kIpv6Mar21:
+      wc.seed = 0x6b0321;
+      wc.operators = static_cast<std::size_t>(52 * scale);
+      wc.ipv6 = true;
+      wc.vp_count = 39;
+      wc.hostname_rate = 0.16;
+      wc.size_xm = 9.0;
+      wc.geohint_scheme_rate = 0.62;
+      pc.router_response_rate = 0.452;
+      break;
+  }
+  pc.seed = wc.seed ^ 0x9999;
+  tc.seed = wc.seed ^ 0x7777;
+
+  ItdkScenario sc;
+  sc.name = std::string(to_string(kind));
+  sc.world = generate_world(geo::builtin_dictionary(), wc);
+  sc.pings = probe_pings(sc.world, pc);
+  sc.traces = probe_traceroutes(sc.world, tc);
+  return sc;
+}
+
+namespace {
+
+// Reference to an atlas city (state disambiguates the two Ashburns etc.).
+struct CityRef {
+  const char* city;
+  const char* state;    // "" = any
+  const char* country;
+};
+
+geo::LocationId find_loc(const geo::GeoDictionary& dict, const CityRef& ref) {
+  for (geo::LocationId id : dict.lookup(geo::HintType::kCityName,
+                                        geo::squash_place_name(ref.city))) {
+    const geo::Location& loc = dict.location(id);
+    if (!geo::same_country(loc.country, ref.country)) continue;
+    if (ref.state[0] != '\0' && loc.state != ref.state) continue;
+    return id;
+  }
+  return geo::kInvalidLocation;
+}
+
+// One validation operator: the conventions and custom-hint volumes the
+// paper reports for that network.
+struct ValSpec {
+  const char* suffix;
+  core::Role role;
+  std::size_t routers;
+  bool cc, st;
+  double inconsistency;
+  std::size_t footprint_extra;            // extra sampled code-bearing cities
+  std::vector<CityRef> customs;           // learnable custom geohints (truth)
+  std::vector<std::pair<CityRef, CityRef>> shadows;  // (truth town, shadowing metro)
+  bool split_clli = false;
+};
+
+const std::vector<ValSpec>& validation_specs() {
+  static const std::vector<ValSpec> specs = {
+      // above.net: IATA, sloppy convention -> visible FNs, no custom codes.
+      {"above.net", core::Role::kIata, 90, false, false, 0.18, 14, {}, {}, false},
+      // aorta.net: city names + country codes, somewhat sloppy, few customs.
+      {"aorta.net", core::Role::kIata, 70, true, false, 0.12, 10,
+       {{"Vienna", "", "at"}, {"Budapest", "", "hu"}, {"Zurich", "", "ch"}},
+       {{{"Ashland", "va", "us"}, {"Ashburn", "va", "us"}}}, false},
+      // as8218.eu: IATA, three clean customs.
+      {"as8218.eu", core::Role::kIata, 60, false, false, 0.0, 8,
+       {{"Paris", "", "fr"}, {"Lyon", "", "fr"}, {"Brussels", "", "be"}}, {}, false},
+      // geant.net: IATA with eight learnable customs across Europe.
+      {"geant.net", core::Role::kIata, 130, false, false, 0.0, 24,
+       {{"London", "", "gb"}, {"Amsterdam", "", "nl"}, {"Frankfurt", "", "de"},
+        {"Geneva", "", "ch"}, {"Vienna", "", "at"}, {"Prague", "", "cz"},
+        {"Budapest", "", "hu"}, {"Madrid", "", "es"}},
+       {}, false},
+      // gtt.net: IATA, twelve customs, a few shadowed by nearby metros.
+      {"gtt.net", core::Role::kIata, 170, false, false, 0.0, 30,
+       {{"Washington", "dc", "us"}, {"Toronto", "on", "ca"}, {"Tokyo", "", "jp"},
+        {"Zurich", "", "ch"}, {"London", "", "gb"}, {"Milan", "", "it"},
+        {"Stockholm", "", "se"}, {"Warsaw", "", "pl"}, {"Dublin", "", "ie"}},
+       {{{"Ashland", "va", "us"}, {"Ashburn", "va", "us"}},
+        {{"Prineville", "or", "us"}, {"Portland", "or", "us"}},
+        {{"Santa Rosa", "ca", "us"}, {"San Francisco", "ca", "us"}}}, false},
+      // he.net: IATA, four clean customs including the canonical "ash".
+      {"he.net", core::Role::kIata, 120, false, false, 0.0, 16,
+       {{"Ashburn", "va", "us"}, {"Toronto", "on", "ca"}, {"Tokyo", "", "jp"},
+        {"London", "", "gb"}}, {}, false},
+      // ntt.net: home-made CLLI codes + country codes; the Kuala Selangor /
+      // Kuala Lumpur confusion (the paper's one undns error, §6.1).
+      {"ntt.net", core::Role::kClli, 170, true, false, 0.0, 18,
+       {{"Milan", "", "it"}, {"Tokyo", "", "jp"}, {"Osaka", "", "jp"},
+        {"Singapore", "", "sg"}, {"Hong Kong", "", "hk"}, {"Taipei", "", "tw"},
+        {"Sydney", "nsw", "au"}, {"Frankfurt", "", "de"}, {"Amsterdam", "", "nl"},
+        {"London", "", "gb"}, {"Madrid", "", "es"}, {"Seattle", "wa", "us"},
+        {"Dallas", "tx", "us"}, {"Chicago", "il", "us"}, {"Boston", "ma", "us"},
+        {"Ashburn", "va", "us"}, {"Denver", "co", "us"}},
+       {{{"Kuala Selangor", "", "my"}, {"Kuala Lumpur", "", "my"}}}, false},
+      // nysernet.net: regional IATA; unreachable from HLOC's VPs.
+      {"nysernet.net", core::Role::kIata, 45, false, false, 0.0, 0,
+       {}, {}, false},
+      // peak.org: small regional operator (paper fig. 3b).
+      {"peak.org", core::Role::kIata, 35, false, false, 0.0, 6, {}, {}, false},
+      // retn.net: IATA + cc, many customs, several shadowed.
+      {"retn.net", core::Role::kIata, 200, true, false, 0.05, 38,
+       {{"Riga", "", "lv"}, {"Vilnius", "", "lt"}, {"Tallinn", "", "ee"},
+        {"Kyiv", "", "ua"}, {"Moscow", "", "ru"}, {"Warsaw", "", "pl"},
+        {"Prague", "", "cz"}, {"Bucharest", "", "ro"}, {"Sofia", "", "bg"},
+        {"Belgrade", "", "rs"}, {"Zagreb", "", "hr"}, {"Istanbul", "", "tr"},
+        {"Helsinki", "", "fi"}, {"Stockholm", "", "se"}, {"Oslo", "", "no"},
+        {"Copenhagen", "", "dk"}, {"Hamburg", "", "de"}, {"Dresden", "", "de"},
+        {"Milan", "", "it"}, {"Madrid", "", "es"}, {"Lisbon", "", "pt"},
+        {"London", "", "gb"}, {"Dublin", "", "ie"}, {"Ashburn", "va", "us"},
+        {"Tokyo", "", "jp"}},
+       {{{"Haarlem", "", "nl"}, {"Amsterdam", "", "nl"}},
+        {{"Helmond", "", "nl"}, {"Eindhoven", "", "nl"}},
+        {{"Tokuyama", "", "jp"}, {"Hiroshima", "", "jp"}},
+        {{"Ashland", "or", "us"}, {"Portland", "or", "us"}}}, false},
+      // seabone.net: IATA-style three-letter customs (Sparkle).
+      {"seabone.net", core::Role::kIata, 150, false, false, 0.0, 32,
+       {{"Athens", "", "gr"}, {"Istanbul", "", "tr"}, {"Milan", "", "it"},
+        {"Rome", "", "it"}, {"Naples", "", "it"}, {"Turin", "", "it"},
+        {"Palermo", "", "it"}, {"Barcelona", "", "es"}, {"Marseille", "", "fr"},
+        {"Lisbon", "", "pt"}, {"Miami", "fl", "us"}, {"Sao Paulo", "", "br"},
+        {"Buenos Aires", "", "ar"}, {"Singapore", "", "sg"}},
+       {{{"Montesilvano Marina", "", "it"}, {"Milan", "", "it"}}}, false},
+      // tfbnw.net: IATA backbone plus small-town data centers whose codes
+      // point at the nearest metro (paper §6.2: 2/14 correct).
+      {"tfbnw.net", core::Role::kIata, 160, false, false, 0.0, 40,
+       {{"Ashburn", "va", "us"}, {"Toronto", "on", "ca"}},
+       {{{"Prineville", "or", "us"}, {"Portland", "or", "us"}},
+        {{"Forest City", "nc", "us"}, {"Charlotte", "nc", "us"}},
+        {{"Altoona", "ia", "us"}, {"Des Moines", "ia", "us"}},
+        {{"Papillion", "ne", "us"}, {"Omaha", "ne", "us"}},
+        {{"New Albany", "oh", "us"}, {"Columbus", "oh", "us"}},
+        {{"Lulea", "", "se"}, {"Stockholm", "", "se"}},
+        {{"Clonee", "", "ie"}, {"Dublin", "", "ie"}},
+        {{"Odense", "", "dk"}, {"Copenhagen", "", "dk"}},
+        {{"Eemshaven", "", "nl"}, {"Amsterdam", "", "nl"}},
+        {{"Ashland", "va", "us"}, {"Ashburn", "va", "us"}},
+        {{"Santa Rosa", "ca", "us"}, {"San Francisco", "ca", "us"}},
+        {{"Ashburn", "ga", "us"}, {"Atlanta", "ga", "us"}}}, false},
+      // zayo.com: IATA + cc, clean customs.
+      {"zayo.com", core::Role::kIata, 130, true, false, 0.0, 18,
+       {{"Washington", "dc", "us"}, {"Toronto", "on", "ca"},
+        {"Ashburn", "va", "us"}, {"Denver", "co", "us"}}, {}, false},
+  };
+  return specs;
+}
+
+}  // namespace
+
+ValidationScenario make_validation(std::uint64_t seed, std::size_t vp_count) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  util::Rng rng(seed);
+
+  ValidationScenario sc;
+  sc.world.dict = &dict;
+  sc.world.vps = make_vps(dict, vp_count);
+  sc.hloc_unreachable = {"nysernet.net"};
+
+  // Code-bearing city pool for footprint sampling.
+  std::vector<geo::LocationId> iata_pool, clli_pool;
+  std::vector<double> iata_w, clli_w;
+  for (geo::LocationId id = 0; id < dict.size(); ++id) {
+    const geo::LocationCodes& codes = dict.codes(id);
+    const double w = 1.0 + static_cast<double>(dict.location(id).population);
+    if (!codes.iata.empty()) {
+      iata_pool.push_back(id);
+      iata_w.push_back(w);
+    }
+    if (!codes.clli.empty()) {
+      clli_pool.push_back(id);
+      clli_w.push_back(w);
+    }
+  }
+
+  // nysernet's footprint is upstate New York.
+  const std::vector<CityRef> nysernet_cities = {
+      {"New York", "ny", "us"}, {"Buffalo", "ny", "us"},  {"Rochester", "ny", "us"},
+      {"Syracuse", "ny", "us"}, {"Albany", "ny", "us"}},
+      peak_cities = {{"Eugene", "or", "us"}, {"Portland", "or", "us"}, {"Seattle", "wa", "us"}};
+
+  for (const ValSpec& vs : validation_specs()) {
+    OperatorSpec spec;
+    spec.suffix = vs.suffix;
+    spec.router_count = vs.routers;
+    spec.scheme = sample_scheme(vs.role, vs.cc, vs.st, rng);
+    spec.scheme.split_clli = vs.split_clli;
+    spec.scheme.inconsistency = vs.inconsistency;
+    // Several networks vary their hostname shapes (extra leading labels) and
+    // carry customer/vanity words — harmless to structural learning, fatal
+    // to fixed-position rules and run-time dictionary matching.
+    if (spec.suffix == "gtt.net" || spec.suffix == "retn.net" ||
+        spec.suffix == "seabone.net" || spec.suffix == "above.net" ||
+        spec.suffix == "ntt.net") {
+      spec.scheme.extra_label_rate = 0.45;
+    }
+    if (spec.suffix == "gtt.net" || spec.suffix == "retn.net" ||
+        spec.suffix == "tfbnw.net" || spec.suffix == "aorta.net") {
+      spec.scheme.labels.insert(spec.scheme.labels.begin(),
+                                {Part::word(), Part::dash(), Part::num()});
+    }
+
+    std::set<geo::LocationId> footprint;
+    const auto add_city = [&](const CityRef& ref) -> geo::LocationId {
+      const geo::LocationId id = find_loc(dict, ref);
+      if (id != geo::kInvalidLocation) footprint.insert(id);
+      return id;
+    };
+
+    if (spec.suffix == "nysernet.net") {
+      for (const CityRef& c : nysernet_cities) add_city(c);
+    } else if (spec.suffix == "peak.org") {
+      for (const CityRef& c : peak_cities) add_city(c);
+    }
+
+    // Learnable custom codes at their true locations.
+    for (const CityRef& c : vs.customs) {
+      const geo::LocationId id = add_city(c);
+      if (id == geo::kInvalidLocation) continue;
+      const auto code = make_custom_code(vs.role, dict, id, rng);
+      if (code) spec.scheme.custom_codes[id] = *code;
+    }
+    // Shadowed customs: the operator deploys in a small town but names it
+    // with a code that reads as the nearby metro.
+    for (const auto& [small_ref, big_ref] : vs.shadows) {
+      const geo::LocationId small = add_city(small_ref);
+      const geo::LocationId big = find_loc(dict, big_ref);
+      if (small == geo::kInvalidLocation || big == geo::kInvalidLocation) continue;
+      const auto code = make_custom_code(vs.role, dict, big, rng, /*well_known=*/false);
+      if (code) spec.scheme.custom_codes[small] = *code;
+    }
+    // Extra sampled footprint.
+    const std::vector<geo::LocationId>& pool =
+        vs.role == core::Role::kClli ? clli_pool : iata_pool;
+    const std::vector<double>& weights = vs.role == core::Role::kClli ? clli_w : iata_w;
+    for (int attempt = 0; footprint.size() < vs.customs.size() + vs.shadows.size() +
+                                                  vs.footprint_extra &&
+                          attempt < 2000;
+         ++attempt) {
+      footprint.insert(pool[rng.next_weighted(weights)]);
+    }
+    spec.footprint.assign(footprint.begin(), footprint.end());
+
+    sc.suffixes.push_back(spec.suffix);
+    add_operator(sc.world, std::move(spec), /*hostname_rate=*/0.95, /*stale_rate=*/0.01, rng);
+  }
+
+  PingConfig pc;
+  pc.seed = seed ^ 0x5151;
+  pc.router_response_rate = 0.9;
+  sc.pings = probe_pings(sc.world, pc);
+  TraceConfig tc;
+  tc.seed = seed ^ 0x2323;
+  sc.traces = probe_traceroutes(sc.world, tc);
+  return sc;
+}
+
+}  // namespace hoiho::sim

@@ -1,0 +1,52 @@
+// Canned experiment scenarios used by the benches and integration tests.
+//
+// make_itdk() builds laptop-scale analogues of the paper's four ITDKs
+// (table 1): two IPv4 snapshots with ~55% hostname coverage and ~82% ping
+// responsiveness probed from ~100 VPs, and two IPv6 snapshots with ~16%
+// hostname coverage, ~46% responsiveness and ~40 VPs.
+//
+// make_validation() builds the 13-network ground-truth scenario of paper
+// §6.1 (fig. 9, tables 5/6, figs 10/11): named operators with the
+// conventions, custom-geohint volumes, and failure modes the paper reports
+// (he.net's "ash", NTT's home-made CLLI codes and the Kuala Selangor
+// confusion, tfbnw's irregularly-named small-town data centers, above.net /
+// aorta.net inconsistency, nysernet's unreachability from HLOC's VPs).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "sim/internet.h"
+#include "sim/probing.h"
+
+namespace hoiho::sim {
+
+enum class ItdkKind { kIpv4Aug20, kIpv4Mar21, kIpv6Nov20, kIpv6Mar21 };
+
+std::string_view to_string(ItdkKind k);
+
+struct ItdkScenario {
+  std::string name;  // "IPv4 Aug '20"
+  World world;
+  measure::Measurements pings;
+  measure::Measurements traces;
+};
+
+// `scale` multiplies the default operator count (1.0 ~ a few thousand
+// routers; keep <= 1 for quick runs).
+ItdkScenario make_itdk(ItdkKind kind, double scale = 1.0);
+
+struct ValidationScenario {
+  World world;
+  measure::Measurements pings;
+  measure::Measurements traces;
+  std::vector<std::string> suffixes;        // validation networks, display order
+  std::set<std::string> hloc_unreachable;   // suffixes HLOC's VPs cannot probe
+};
+
+// `vp_count` thins the vantage-point field; the paper's fig. 11 gradient
+// (learned hints far from all VPs are less often correct) only appears when
+// parts of the world are weakly covered.
+ValidationScenario make_validation(std::uint64_t seed = 7, std::size_t vp_count = 100);
+
+}  // namespace hoiho::sim

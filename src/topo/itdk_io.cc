@@ -1,0 +1,69 @@
+#include "topo/itdk_io.h"
+
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace hoiho::topo {
+
+void write_nodes(std::ostream& out, const Topology& topo) {
+  out << "# hoiho-geo nodes file\n";
+  for (const Router& r : topo.routers()) {
+    out << "node N" << r.id << ": ";
+    for (std::size_t i = 0; i < r.interfaces.size(); ++i) {
+      if (i) out << ' ';
+      out << r.interfaces[i].address;
+    }
+    out << '\n';
+  }
+}
+
+void write_names(std::ostream& out, const Topology& topo) {
+  out << "# hoiho-geo names file\n";
+  for (const Router& r : topo.routers()) {
+    for (const Interface& ifc : r.interfaces) {
+      if (ifc.hostname) out << ifc.address << ' ' << ifc.hostname->full << '\n';
+    }
+  }
+}
+
+std::optional<Topology> read_itdk(std::istream& nodes, std::istream* names, std::string* error,
+                                  const dns::PublicSuffixList& psl) {
+  // First pass over names (if given): address -> hostname.
+  std::unordered_map<std::string, std::string> name_of;
+  if (names != nullptr) {
+    std::string line;
+    while (std::getline(*names, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const auto fields = util::split(line, " \t");
+      if (fields.size() >= 2) name_of.emplace(std::string(fields[0]), std::string(fields[1]));
+    }
+  }
+
+  Topology topo;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(nodes, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = util::split(line, " \t");
+    if (fields.size() < 2 || fields[0] != "node") {
+      if (error != nullptr)
+        *error = "line " + std::to_string(lineno) + ": expected 'node N<id>: addr...'";
+      return std::nullopt;
+    }
+    // fields[1] is "N<id>:" — the id itself is implied by insertion order,
+    // as in the real files (ids are dense and ascending).
+    const RouterId id = topo.add_router();
+    for (std::size_t i = 2; i < fields.size(); ++i) {
+      const std::string addr(fields[i]);
+      const auto it = name_of.find(addr);
+      topo.add_interface(id, addr, it == name_of.end() ? std::string_view{} : it->second, psl);
+    }
+  }
+  return topo;
+}
+
+}  // namespace hoiho::topo

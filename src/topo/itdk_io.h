@@ -1,0 +1,36 @@
+// ITDK-style file I/O.
+//
+// CAIDA's ITDK ships router-level graphs as a `.nodes` file (one router per
+// line with its interface addresses) and a DNS names file (address ->
+// hostname). This module reads and writes the same shapes so topologies can
+// be exchanged with tooling that understands the CAIDA formats:
+//
+//   nodes file:   node N<id>:  <addr> <addr> ...
+//   names file:   <addr> <hostname>           (one per line)
+//
+// Lines starting with '#' are comments in both files.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "topo/topology.h"
+
+namespace hoiho::topo {
+
+// Writes the `.nodes` view of `topo`.
+void write_nodes(std::ostream& out, const Topology& topo);
+
+// Writes the names view of `topo` (only interfaces that have hostnames).
+void write_names(std::ostream& out, const Topology& topo);
+
+// Reads a topology from a nodes stream plus an optional names stream.
+// Unknown addresses in `names` are ignored (the real files overlap only
+// partially too). Returns std::nullopt with a message in *error on
+// malformed node lines.
+std::optional<Topology> read_itdk(std::istream& nodes, std::istream* names,
+                                  std::string* error = nullptr,
+                                  const dns::PublicSuffixList& psl = dns::PublicSuffixList::builtin());
+
+}  // namespace hoiho::topo

@@ -1,0 +1,57 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <map>
+
+namespace hoiho::topo {
+
+RouterId Topology::add_router(geo::LocationId true_location) {
+  const RouterId id = static_cast<RouterId>(routers_.size());
+  Router r;
+  r.id = id;
+  r.true_location = true_location;
+  routers_.push_back(std::move(r));
+  return id;
+}
+
+bool Topology::add_interface(RouterId router, std::string_view address,
+                             std::string_view raw_hostname, const dns::PublicSuffixList& psl) {
+  Interface ifc;
+  ifc.address = std::string(address);
+  bool ok = true;
+  if (!raw_hostname.empty()) {
+    ifc.hostname = dns::parse_hostname(raw_hostname, psl);
+    ok = ifc.hostname.has_value();
+  }
+  routers_[router].interfaces.push_back(std::move(ifc));
+  return ok;
+}
+
+std::size_t Topology::count_with_hostname() const {
+  std::size_t n = 0;
+  for (const Router& r : routers_)
+    if (r.has_hostname()) ++n;
+  return n;
+}
+
+std::vector<SuffixGroup> Topology::group_by_suffix(std::size_t min_hostnames) const {
+  std::map<std::string, std::vector<HostnameRef>, std::less<>> groups;
+  for (const Router& r : routers_) {
+    for (const Interface& ifc : r.interfaces) {
+      if (!ifc.hostname) continue;
+      const std::string_view suffix = ifc.hostname->suffix();
+      auto it = groups.find(suffix);
+      if (it == groups.end()) it = groups.emplace(std::string(suffix), std::vector<HostnameRef>{}).first;
+      it->second.push_back(HostnameRef{r.id, &*ifc.hostname});
+    }
+  }
+  std::vector<SuffixGroup> out;
+  out.reserve(groups.size());
+  for (auto& [suffix, refs] : groups) {
+    if (refs.size() < min_hostnames) continue;
+    out.push_back(SuffixGroup{suffix, std::move(refs)});
+  }
+  return out;
+}
+
+}  // namespace hoiho::topo

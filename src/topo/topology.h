@@ -1,0 +1,84 @@
+// Router-level topology model (the ITDK of paper §5.1.3).
+//
+// A Topology is a set of routers, each with interfaces that may carry a
+// hostname (PTR record). Routers are the unit of RTT measurement and of
+// ground-truth location; hostnames are the unit of regex evaluation. The
+// simulator annotates each router with its true location; topologies loaded
+// from real data leave it unset.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/hostname.h"
+#include "geo/location.h"
+
+namespace hoiho::topo {
+
+using RouterId = std::uint32_t;
+inline constexpr RouterId kInvalidRouter = 0xffffffffu;
+
+struct Interface {
+  std::string address;                    // textual IP address
+  std::optional<dns::Hostname> hostname;  // parsed PTR record, if any
+};
+
+struct Router {
+  RouterId id = kInvalidRouter;
+  std::vector<Interface> interfaces;
+
+  // Ground truth (set by the simulator; kInvalidLocation for real data).
+  geo::LocationId true_location = geo::kInvalidLocation;
+
+  bool has_hostname() const {
+    for (const Interface& ifc : interfaces)
+      if (ifc.hostname) return true;
+    return false;
+  }
+};
+
+// One hostname observation: the router it belongs to plus the parsed name.
+struct HostnameRef {
+  RouterId router = kInvalidRouter;
+  const dns::Hostname* hostname = nullptr;
+};
+
+// All hostnames sharing one registered-domain suffix — the unit the learner
+// operates on.
+struct SuffixGroup {
+  std::string suffix;
+  std::vector<HostnameRef> hostnames;
+};
+
+class Topology {
+ public:
+  // Adds an empty router, returning its id.
+  RouterId add_router(geo::LocationId true_location = geo::kInvalidLocation);
+
+  // Adds an interface; `raw_hostname` may be empty (no PTR record). Invalid
+  // hostnames are treated as absent. Returns false if the hostname was
+  // supplied but rejected.
+  bool add_interface(RouterId router, std::string_view address, std::string_view raw_hostname,
+                     const dns::PublicSuffixList& psl = dns::PublicSuffixList::builtin());
+
+  const Router& router(RouterId id) const { return routers_[id]; }
+  Router& router(RouterId id) { return routers_[id]; }
+  std::span<const Router> routers() const { return routers_; }
+  std::size_t size() const { return routers_.size(); }
+
+  std::size_t count_with_hostname() const;
+
+  // Groups hostnames by suffix; groups with fewer than `min_hostnames`
+  // entries are dropped. Hostname pointers remain valid while the Topology
+  // is alive and unmodified. Groups are sorted by suffix for determinism.
+  std::vector<SuffixGroup> group_by_suffix(std::size_t min_hostnames = 1) const;
+
+ private:
+  std::vector<Router> routers_;
+};
+
+}  // namespace hoiho::topo

@@ -1,0 +1,63 @@
+#include "util/csv.h"
+
+namespace hoiho::util {
+
+CsvRow parse_csv_line(std::string_view line) {
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+  }
+  row.push_back(std::move(field));
+  return row;
+}
+
+std::vector<CsvRow> read_csv(std::istream& in) {
+  std::vector<CsvRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    rows.push_back(parse_csv_line(line));
+  }
+  return rows;
+}
+
+void write_csv_row(std::ostream& out, const CsvRow& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out << ',';
+    const std::string& f = row[i];
+    if (f.find_first_of(",\"\n") != std::string::npos) {
+      out << '"';
+      for (char c : f) {
+        if (c == '"') out << "\"\"";
+        else out << c;
+      }
+      out << '"';
+    } else {
+      out << f;
+    }
+  }
+  out << '\n';
+}
+
+}  // namespace hoiho::util

@@ -1,0 +1,30 @@
+// Minimal CSV reader/writer used by the dictionary and ITDK I/O code.
+//
+// The dialect is deliberately simple: comma-separated, '#' comment lines,
+// double-quote quoting with "" as an escaped quote, no multi-line fields.
+// This matches the public data feeds (OurAirports, UN/LOCODE exports) that
+// users of this library would load in place of the embedded atlas.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hoiho::util {
+
+// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+// Parses one CSV line into fields. Handles quoted fields with embedded
+// commas and doubled quotes.
+CsvRow parse_csv_line(std::string_view line);
+
+// Reads all rows from `in`, skipping blank lines and lines starting with '#'.
+std::vector<CsvRow> read_csv(std::istream& in);
+
+// Writes one row to `out`, quoting fields that contain commas or quotes.
+void write_csv_row(std::ostream& out, const CsvRow& row);
+
+}  // namespace hoiho::util

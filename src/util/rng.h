@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in this library (the synthetic Internet
+// generator, the probing simulator, benches) takes an explicit seed so that
+// all experiments are exactly reproducible. The generator is SplitMix64 —
+// tiny, fast, and statistically adequate for workload synthesis.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace hoiho::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit value (SplitMix64).
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform double in [lo, hi).
+  double next_range(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  // Bernoulli trial with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  // Approximately-normal sample via the sum of uniforms (Irwin–Hall, 12
+  // terms), adequate for noise modelling in the probing simulator.
+  double next_gauss(double mean, double stddev) {
+    double s = 0;
+    for (int i = 0; i < 12; ++i) s += next_double();
+    return mean + stddev * (s - 6.0);
+  }
+
+  // Pareto-distributed sample (heavy tail) with shape `alpha`, scale `xm`.
+  // Used for operator (suffix) size distribution.
+  double next_pareto(double xm, double alpha) {
+    double u = next_double();
+    if (u >= 1.0) u = 0.999999;
+    return xm / std::pow(1.0 - u, 1.0 / alpha);
+  }
+
+  // Picks an index in [0, weights.size()) proportionally to weights.
+  // Returns 0 if all weights are zero or the vector is empty (callers
+  // guarantee non-empty in practice).
+  std::size_t next_weighted(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    if (total <= 0) return 0;
+    double x = next_double() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x <= 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = next_below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hoiho::util

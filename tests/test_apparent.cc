@@ -1,0 +1,212 @@
+// Unit tests for stage 2 (core/apparent.h) — the paper's fig. 6 cases.
+#include "core/apparent.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "geo/dictionary.h"
+
+namespace hoiho::core {
+namespace {
+
+using geo::builtin_dictionary;
+
+class ApparentTest : public ::testing::Test {
+ protected:
+  ApparentTest() : dict_(builtin_dictionary()), meas_({}, 16) {
+    // Three VPs: Washington DC, London, Tokyo.
+    meas_.vps = {
+        measure::VantagePoint{"was", "us", {38.91, -77.04}},
+        measure::VantagePoint{"lon", "uk", {51.51, -0.13}},
+        measure::VantagePoint{"tyo", "jp", {35.68, 139.69}},
+    };
+    meas_.pings = measure::RttMatrix(16, meas_.vps.size());
+  }
+
+  // Registers hostname `raw` for router `r` and tags it.
+  TaggedHostname tag(topo::RouterId r, std::string_view raw, ApparentConfig config = {}) {
+    hostnames_.push_back(*dns::parse_hostname(raw));
+    const ApparentTagger tagger(dict_, meas_, config);
+    return tagger.tag(topo::HostnameRef{r, &hostnames_.back()});
+  }
+
+  // Sets RTTs so router `r` is near the given VP (rtt_ms there, large
+  // elsewhere but physically sane: big everywhere).
+  void place_near(topo::RouterId r, measure::VpId vp, double rtt_ms) {
+    for (measure::VpId v = 0; v < meas_.vps.size(); ++v)
+      meas_.pings.record(r, v, v == vp ? rtt_ms : 300.0);
+  }
+
+  const geo::GeoDictionary& dict_;
+  measure::Measurements meas_;
+  std::deque<dns::Hostname> hostnames_;
+};
+
+TEST_F(ApparentTest, ZayoStyleIataWithCountry) {
+  // Paper fig. 6a: lhr is the hint, uk is attached; ntt/zip/zayo are not
+  // RTT-consistent or not codes.
+  place_near(0, 1, 2.0);  // near London
+  const TaggedHostname th = tag(0, "zayo-ntt.mpr1.lhr15.uk.zip.zayo.com");
+  bool found_lhr = false;
+  for (const ApparentHint& h : th.hints) {
+    if (h.code == "lhr") {
+      found_lhr = true;
+      EXPECT_EQ(h.role, Role::kIata);
+      ASSERT_EQ(h.annotations.size(), 1u);
+      EXPECT_EQ(h.annotations[0].code, "uk");
+      EXPECT_EQ(h.annotations[0].role, Role::kCountryCode);
+    }
+    EXPECT_NE(h.code, "ntt");  // Tokyo's nrt? "ntt" is not a code; never tagged
+  }
+  EXPECT_TRUE(found_lhr);
+}
+
+TEST_F(ApparentTest, InconsistentHintNotTagged) {
+  // A router near Washington cannot be in London.
+  place_near(1, 0, 2.0);
+  const TaggedHostname th = tag(1, "cr1.lhr2.example.net");
+  for (const ApparentHint& h : th.hints) EXPECT_NE(h.code, "lhr");
+}
+
+TEST_F(ApparentTest, CityNameHint) {
+  place_near(2, 0, 1.0);
+  const TaggedHostname th = tag(2, "ae1.ashburn2.example.net");
+  bool found = false;
+  for (const ApparentHint& h : th.hints) {
+    if (h.role == Role::kCityName && h.code == "ashburn") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ApparentTest, CityNameNarrowedByState) {
+  // "washington" + "dc": candidates narrowed to Washington, DC.
+  place_near(3, 0, 1.0);
+  const TaggedHostname th = tag(3, "ge0.washington.dc.example.net");
+  bool found = false;
+  for (const ApparentHint& h : th.hints) {
+    if (h.role != Role::kCityName || h.code != "washington") continue;
+    found = true;
+    ASSERT_EQ(h.locations.size(), 1u);
+    EXPECT_EQ(dict_.location(h.locations[0]).state, "dc");
+    ASSERT_EQ(h.annotations.size(), 1u);
+    EXPECT_EQ(h.annotations[0].role, Role::kStateCode);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ApparentTest, ClliPrefix) {
+  place_near(4, 0, 1.0);
+  const TaggedHostname th = tag(4, "ae-1.r02.asbnva03.example.net");
+  bool found = false;
+  for (const ApparentHint& h : th.hints) {
+    if (h.role == Role::kClli && h.code == "asbnva") {
+      found = true;
+      EXPECT_FALSE(h.split_clli);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ApparentTest, ClliPrefixOfLongerString) {
+  // Paper fig. 6d: first six letters of an 8-letter CLLI code.
+  place_near(5, 0, 1.0);
+  const TaggedHostname th = tag(5, "0.af0.asbnva83-mse01-a-ie1.example.net");
+  bool found = false;
+  for (const ApparentHint& h : th.hints) {
+    if (h.role == Role::kClli && h.code == "asbnva") {
+      found = true;
+      EXPECT_EQ(h.end - h.begin, 6u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ApparentTest, SplitClli) {
+  // Paper fig. 6e: 4+2 split across punctuation/digits within a label.
+  place_near(6, 0, 1.0);
+  const TaggedHostname th = tag(6, "ae1.asbn01-va.example.net");
+  bool found = false;
+  for (const ApparentHint& h : th.hints) {
+    if (h.role == Role::kClli && h.code == "asbnva") {
+      found = true;
+      EXPECT_TRUE(h.split_clli);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ApparentTest, SplitClliNotAcrossLabels) {
+  place_near(7, 0, 1.0);
+  const TaggedHostname th = tag(7, "asbn.va.example.net");
+  for (const ApparentHint& h : th.hints) {
+    EXPECT_FALSE(h.split_clli && h.code == "asbnva");
+  }
+}
+
+TEST_F(ApparentTest, FacilityStreetAddress) {
+  // Paper fig. 6f: "111 8th Ave" as a label. DC -> NYC is ~330 km, so a
+  // 4 ms sample from the DC VP keeps the facility feasible.
+  place_near(8, 0, 4.0);
+  const TaggedHostname th = tag(8, "ae-5.111-8th-ave.ny.example.net");
+  bool found = false;
+  for (const ApparentHint& h : th.hints) {
+    if (h.role == Role::kFacility && h.code == "1118thave") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ApparentTest, NoRttSamplesVacuouslyTagged) {
+  // Router 9 has no samples: dictionary hits are unconstrained.
+  const TaggedHostname th = tag(9, "cr1.lhr2.example.net");
+  bool found = false;
+  for (const ApparentHint& h : th.hints)
+    if (h.code == "lhr") found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ApparentTest, NoHintsInPlainHostname) {
+  place_near(10, 0, 1.0);
+  const TaggedHostname th = tag(10, "core1.example.net");
+  EXPECT_FALSE(th.has_hint());
+}
+
+TEST_F(ApparentTest, MultipleApparentHints) {
+  // Paper fig. 6b: several strings can be apparent hints at once.
+  place_near(11, 1, 3.0);  // near London: both lhr and eg. "lon" feasible
+  const TaggedHostname th = tag(11, "lon-lhr1.example.net");
+  std::size_t hints = 0;
+  for (const ApparentHint& h : th.hints)
+    if (h.code == "lon" || h.code == "lhr") ++hints;
+  EXPECT_EQ(hints, 2u);
+}
+
+TEST_F(ApparentTest, IcaoCanBeDisabled) {
+  place_near(12, 0, 2.0);
+  ApparentConfig config;
+  config.consider_icao = false;
+  const TaggedHostname with = tag(12, "kiad1.example.net");
+  const TaggedHostname without = tag(12, "kiad1.example.net", config);
+  bool with_found = false, without_found = false;
+  for (const ApparentHint& h : with.hints)
+    if (h.role == Role::kIcao) with_found = true;
+  for (const ApparentHint& h : without.hints)
+    if (h.role == Role::kIcao) without_found = true;
+  EXPECT_TRUE(with_found);  // "kiad" is a derived ICAO for Washington
+  EXPECT_FALSE(without_found);
+}
+
+TEST_F(ApparentTest, AnnotationMustNotOverlapHint) {
+  // A bare two-letter hostname token that is itself the hint's text cannot
+  // self-annotate.
+  place_near(13, 1, 2.0);
+  const TaggedHostname th = tag(13, "cr1.lhr1.uk.example.net");
+  for (const ApparentHint& h : th.hints) {
+    for (const HintAnnotation& a : h.annotations) {
+      EXPECT_FALSE(a.begin >= h.begin && a.end <= h.end);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hoiho::core

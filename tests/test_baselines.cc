@@ -1,0 +1,331 @@
+// Unit tests for the baseline implementations (DRoP, HLOC, undns, CBG,
+// Shortest Ping), including the failure modes the paper attributes to each.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "baselines/cbg.h"
+#include "baselines/drop.h"
+#include "baselines/hloc.h"
+#include "baselines/shortest_ping.h"
+#include "baselines/undns.h"
+#include "geo/dictionary.h"
+#include "sim/probing.h"
+
+namespace hoiho::baselines {
+namespace {
+
+const geo::Coordinate kDc{38.91, -77.04};
+const geo::Coordinate kLondon{51.51, -0.13};
+const geo::Coordinate kTokyo{35.68, 139.69};
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest() : dict_(geo::builtin_dictionary()), meas_({}, 32) {
+    meas_.vps = {
+        measure::VantagePoint{"was", "us", kDc},
+        measure::VantagePoint{"lon", "uk", kLondon},
+        measure::VantagePoint{"tyo", "jp", kTokyo},
+    };
+    meas_.pings = measure::RttMatrix(32, meas_.vps.size());
+  }
+
+  void place_near(topo::RouterId r, measure::VpId vp, double rtt_ms) {
+    for (measure::VpId v = 0; v < meas_.vps.size(); ++v)
+      meas_.pings.record(r, v, v == vp ? rtt_ms : 300.0);
+  }
+
+  const dns::Hostname& host(std::string_view raw) {
+    hostnames_.push_back(*dns::parse_hostname(raw));
+    return hostnames_.back();
+  }
+
+  const geo::GeoDictionary& dict_;
+  measure::Measurements meas_;
+  std::deque<dns::Hostname> hostnames_;
+};
+
+// --- DRoP --------------------------------------------------------------------
+
+TEST_F(BaselineTest, DropLearnsPositionalRule) {
+  topo::Topology topo;
+  for (int i = 0; i < 4; ++i) topo.add_router();
+  place_near(0, 1, 3.0);  // lhr router near London
+  place_near(1, 2, 3.0);  // nrt router near Tokyo
+  place_near(2, 0, 3.0);  // iad router near DC
+  place_near(3, 1, 3.0);  // lon router near London
+  topo.add_interface(0, "a1", "cr1.lhr2.x360.net");
+  topo.add_interface(1, "a2", "cr1.nrt1.x360.net");
+  topo.add_interface(2, "a3", "cr2.iad3.x360.net");
+  topo.add_interface(3, "a4", "cr9.lon1.x360.net");
+
+  Drop drop(dict_);
+  drop.train(topo, meas_);
+  const DropRule* rule = drop.rule("x360.net");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->type, geo::HintType::kIata);
+  EXPECT_EQ(rule->pos_from_end, 0u);
+  EXPECT_EQ(rule->label_count, 2u);
+
+  const auto loc = drop.locate(host("cr5.lhr9.x360.net"));
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(dict_.location(*loc).city, "London");
+}
+
+TEST_F(BaselineTest, DropMissesExtraSegments) {
+  // Fig. 2's limitation: the rule pins the label count.
+  topo::Topology topo;
+  for (int i = 0; i < 4; ++i) topo.add_router();
+  place_near(0, 1, 3.0);  // lhr router near London
+  place_near(1, 2, 3.0);  // nrt router near Tokyo
+  place_near(2, 0, 3.0);  // iad router near DC
+  place_near(3, 1, 3.0);  // lon router near London
+  topo.add_interface(0, "a1", "cr1.lhr2.x360.net");
+  topo.add_interface(1, "a2", "cr1.nrt1.x360.net");
+  topo.add_interface(2, "a3", "cr2.iad3.x360.net");
+  topo.add_interface(3, "a4", "cr9.lon1.x360.net");
+  Drop drop(dict_);
+  drop.train(topo, meas_);
+  EXPECT_FALSE(drop.locate(host("0.ge-0-0-0.cr5.lhr9.x360.net")).has_value());
+}
+
+TEST_F(BaselineTest, DropNoCustomHints) {
+  // DRoP interprets "ash" verbatim as Nashua even when RTTs say otherwise.
+  topo::Topology topo;
+  for (int i = 0; i < 4; ++i) {
+    const topo::RouterId r = topo.add_router();
+    place_near(r, 0, 2.0);  // all near DC
+  }
+  topo.add_interface(0, "a1", "cr1.iad2.he0.net");
+  topo.add_interface(1, "a2", "cr1.wdc1.he0.net");  // not a dictionary code
+  topo.add_interface(2, "a3", "cr2.ash3.he0.net");
+  topo.add_interface(3, "a4", "cr9.ric1.he0.net");
+  Drop drop(dict_);
+  drop.train(topo, meas_);
+  const auto loc = drop.locate(host("cr7.ash1.he0.net"));
+  if (loc.has_value()) {
+    EXPECT_EQ(dict_.location(*loc).city, "Nashua");
+  }
+}
+
+TEST_F(BaselineTest, DropMajorityRuleRejectsNoise) {
+  // Most extractions inconsistent -> no rule.
+  topo::Topology topo;
+  for (int i = 0; i < 4; ++i) {
+    const topo::RouterId r = topo.add_router();
+    place_near(r, 2, 2.0);  // all in Tokyo
+  }
+  topo.add_interface(0, "a1", "cr1.lhr2.y360.net");  // says London
+  topo.add_interface(1, "a2", "cr1.lon1.y360.net");
+  topo.add_interface(2, "a3", "cr2.iad3.y360.net");
+  topo.add_interface(3, "a4", "cr9.sea1.y360.net");
+  Drop drop(dict_);
+  drop.train(topo, meas_);
+  EXPECT_EQ(drop.rule("y360.net"), nullptr);
+}
+
+TEST_F(BaselineTest, DropLearnsMidLabelSegmentRule) {
+  // Geohints embedded mid-label ("xe-4-16-jfk4-br9") need the dash-segment
+  // dimension of DRoP's rules.
+  topo::Topology topo;
+  for (int i = 0; i < 4; ++i) topo.add_router();
+  place_near(0, 1, 3.0);
+  place_near(1, 2, 3.0);
+  place_near(2, 0, 3.0);
+  place_near(3, 1, 3.0);
+  topo.add_interface(0, "a1", "xe-4-16-lhr4-br9.bb.z360.net");
+  topo.add_interface(1, "a2", "ae-2-9-nrt1-cr2.bb.z360.net");
+  topo.add_interface(2, "a3", "te-7-18-iad11-rtr16.bb.z360.net");
+  topo.add_interface(3, "a4", "hu-9-29-lon9-br26.bb.z360.net");
+  Drop drop(dict_);
+  drop.train(topo, meas_);
+  const DropRule* rule = drop.rule("z360.net");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->seg_count, 5u);
+  EXPECT_EQ(rule->seg_pos, 3u);
+  const auto loc = drop.locate(host("ge-1-2-sea3-p4.bb.z360.net"));
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(dict_.location(*loc).city, "Seattle");
+  // A hostname with a different dash structure does not match the rule.
+  EXPECT_FALSE(drop.locate(host("ge-1-sea3-p4.bb.z360.net")).has_value());
+}
+
+TEST_F(BaselineTest, DropRetentionDropsSuffixes) {
+  topo::Topology topo;
+  for (int i = 0; i < 4; ++i) topo.add_router();
+  place_near(0, 1, 3.0);
+  place_near(1, 2, 3.0);
+  place_near(2, 0, 3.0);
+  place_near(3, 1, 3.0);
+  topo.add_interface(0, "a1", "cr1.lhr2.w360.net");
+  topo.add_interface(1, "a2", "cr1.nrt1.w360.net");
+  topo.add_interface(2, "a3", "cr2.iad3.w360.net");
+  topo.add_interface(3, "a4", "cr9.lon1.w360.net");
+  DropConfig config;
+  config.rule_retention = 0.0;  // the 2013 database knew none of this
+  Drop drop(dict_, config);
+  drop.train(topo, meas_);
+  EXPECT_EQ(drop.rule_count(), 0u);
+}
+
+// --- HLOC --------------------------------------------------------------------
+
+TEST_F(BaselineTest, HlocVerifiesTrueHint) {
+  place_near(0, 1, 3.0);
+  Hloc hloc(dict_);
+  const auto loc = hloc.locate(host("cr1.lhr2.example.net"), 0, meas_);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(dict_.location(*loc).city, "London");
+}
+
+TEST_F(BaselineTest, HlocConfirmationBias) {
+  // A Tokyo router with a hostname containing "lon": HLOC asks only the
+  // London-area VP... which has a large RTT, so it is not verified. But a
+  // token matching Tokyo *and* a wrong token matching a city near another
+  // VP can both verify; the Frankfurt example of §6.1 is modelled by a
+  // hostname with two codes where the wrong one also verifies.
+  place_near(1, 2, 3.0);
+  place_near(2, 0, 3.0);
+  Hloc hloc(dict_);
+  // Router near DC whose hostname contains "iad" (true) and "cic" (Chico,
+  // CA — wrong, and its nearest VP is >1000 km away so never verified).
+  const auto loc = hloc.locate(host("cic-gw.iad1.example.net"), 2, meas_);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(dict_.location(*loc).city, "Washington");
+}
+
+TEST_F(BaselineTest, HlocWrongCandidateCanWin) {
+  // Both tokens near VPs with small RTTs: HLOC picks by population and can
+  // be wrong — a router in DC labelled iad but also containing "nyc"
+  // (population tiebreak selects New York).
+  place_near(3, 0, 4.0);
+  meas_.pings.record(3, 1, 80.0);
+  HlocConfig config;
+  config.vp_radius_km = 600.0;  // DC VP can "verify" NYC (330 km away)
+  Hloc biased(dict_, config);
+  const auto loc = biased.locate(host("nyc-po1.iad2.example.net"), 3, meas_);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(dict_.location(*loc).city, "New York");
+}
+
+TEST_F(BaselineTest, HlocUnreachableRouterYieldsNothing) {
+  place_near(4, 0, 2.0);
+  Hloc hloc(dict_);
+  EXPECT_FALSE(hloc.locate(host("cr1.iad2.nyser0.net"), 4, meas_, /*reachable=*/false)
+                   .has_value());
+}
+
+TEST_F(BaselineTest, HlocBlocklistSuppressesTokens) {
+  place_near(5, 0, 2.0);
+  Hloc hloc(dict_);
+  hloc.block("iad");
+  EXPECT_FALSE(hloc.locate(host("cr1.iad2.example.net"), 5, meas_).has_value());
+}
+
+TEST_F(BaselineTest, HlocNoCustomHintsOnAsh) {
+  // "ash" on a DC-area router: HLOC cannot learn the custom meaning.
+  // Here the DC VP happens to be within range of Nashua, and its 2 ms
+  // sample refutes Nashua outright — so HLOC returns nothing at all (a
+  // false negative; with sparser VPs it reports Nashua, a false positive).
+  place_near(6, 0, 2.0);
+  Hloc hloc(dict_);
+  EXPECT_FALSE(hloc.locate(host("core1.ash1.example.net"), 6, meas_).has_value());
+}
+
+// --- undns -------------------------------------------------------------------
+
+TEST_F(BaselineTest, UndnsKnowsOldCodesOnly) {
+  sim::World world;
+  world.dict = &dict_;
+  world.vps = meas_.vps;
+  sim::OperatorSpec op;
+  op.suffix = "old.net";
+  op.scheme.hint_role = core::Role::kIata;
+  op.scheme.labels = {{sim::Part::role(), sim::Part::num()},
+                      {sim::Part::geo(), sim::Part::num()}};
+  for (geo::LocationId id : dict_.lookup(geo::HintType::kIata, "lhr")) op.footprint.push_back(id);
+  for (geo::LocationId id : dict_.lookup(geo::HintType::kIata, "nrt")) op.footprint.push_back(id);
+  op.router_count = 6;
+  util::Rng rng(1);
+  sim::add_operator(world, op, 1.0, 0.0, rng);
+
+  UndnsConfig config;
+  config.suffix_coverage = 1.0;
+  config.code_coverage = 1.0;
+  const Undns undns = Undns::from_world(world, config);
+  EXPECT_EQ(undns.rule_count(), 1u);
+  const auto loc = undns.locate(host("cr1.lhr7.old.net"));
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(dict_.location(*loc).city, "London");
+  // A code the 2014-era database never saw:
+  EXPECT_FALSE(undns.locate(host("cr1.sea7.old.net")).has_value());
+  // A suffix it never covered:
+  EXPECT_FALSE(undns.locate(host("cr1.lhr7.new.net")).has_value());
+}
+
+TEST_F(BaselineTest, UndnsKnowsCustomCodes) {
+  // The human who wrote undns rules interpreted custom codes correctly.
+  sim::World world;
+  world.dict = &dict_;
+  sim::OperatorSpec op;
+  op.suffix = "he0.net";
+  op.scheme.hint_role = core::Role::kIata;
+  op.scheme.labels = {{sim::Part::geo(), sim::Part::num()}};
+  geo::LocationId ashburn = geo::kInvalidLocation;
+  for (geo::LocationId id : dict_.lookup(geo::HintType::kCityName, "ashburn"))
+    if (dict_.location(id).state == "va") ashburn = id;
+  op.scheme.custom_codes[ashburn] = "ash";
+  op.footprint = {ashburn};
+  op.router_count = 3;
+  util::Rng rng(1);
+  sim::add_operator(world, op, 1.0, 0.0, rng);
+
+  UndnsConfig config;
+  config.suffix_coverage = 1.0;
+  config.code_coverage = 1.0;
+  const Undns undns = Undns::from_world(world, config);
+  const auto loc = undns.locate(host("ash3.he0.net"));
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(dict_.location(*loc).city, "Ashburn");
+}
+
+// --- CBG / Shortest Ping -----------------------------------------------------
+
+TEST_F(BaselineTest, CbgBoundsTarget) {
+  // Router near DC: 2 ms from the DC VP, large elsewhere.
+  place_near(7, 0, 2.0);
+  const auto result = cbg_locate(meas_, 7);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(geo::distance_km(result->estimate, kDc), 400.0);
+  EXPECT_GT(result->feasible_cells, 0u);
+}
+
+TEST_F(BaselineTest, CbgTighterWithSmallerRtt) {
+  place_near(8, 0, 2.0);
+  place_near(9, 0, 30.0);
+  const auto tight = cbg_locate(meas_, 8);
+  const auto loose = cbg_locate(meas_, 9);
+  ASSERT_TRUE(tight.has_value());
+  ASSERT_TRUE(loose.has_value());
+  EXPECT_LT(tight->error_km, loose->error_km);
+}
+
+TEST_F(BaselineTest, CbgNoSamples) {
+  EXPECT_FALSE(cbg_locate(meas_, 30).has_value());
+}
+
+TEST_F(BaselineTest, ShortestPingPicksClosestVp) {
+  place_near(10, 2, 5.0);
+  const auto result = shortest_ping(meas_, 10);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->vp, 2u);
+  EXPECT_DOUBLE_EQ(result->rtt_ms, 5.0);
+  EXPECT_NEAR(geo::distance_km(result->coord, kTokyo), 0.0, 1.0);
+}
+
+TEST_F(BaselineTest, ShortestPingNoSamples) {
+  EXPECT_FALSE(shortest_ping(meas_, 31).has_value());
+}
+
+}  // namespace
+}  // namespace hoiho::baselines

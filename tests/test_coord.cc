@@ -1,0 +1,71 @@
+// Unit tests for geo/coord.h — geodesy and the speed-of-light RTT bound.
+#include "geo/coord.h"
+
+#include <gtest/gtest.h>
+
+namespace hoiho::geo {
+namespace {
+
+constexpr Coordinate kNewYork{40.71, -74.01};
+constexpr Coordinate kLondon{51.51, -0.13};
+constexpr Coordinate kSydney{-33.87, 151.21};
+constexpr Coordinate kTokyo{35.68, 139.69};
+
+TEST(Coordinate, Validity) {
+  EXPECT_TRUE(kNewYork.valid());
+  EXPECT_FALSE(Coordinate::invalid().valid());
+  EXPECT_FALSE((Coordinate{91.0, 0.0}).valid());
+  EXPECT_TRUE((Coordinate{-90.0, 180.0}).valid());
+}
+
+TEST(Distance, ZeroForSamePoint) {
+  EXPECT_NEAR(distance_km(kLondon, kLondon), 0.0, 1e-9);
+}
+
+TEST(Distance, KnownCityPairs) {
+  // Reference values from standard great-circle calculators (+-1%).
+  EXPECT_NEAR(distance_km(kNewYork, kLondon), 5570, 60);
+  EXPECT_NEAR(distance_km(kLondon, kSydney), 16994, 170);
+  EXPECT_NEAR(distance_km(kNewYork, kTokyo), 10850, 120);
+}
+
+TEST(Distance, Symmetric) {
+  EXPECT_DOUBLE_EQ(distance_km(kNewYork, kLondon), distance_km(kLondon, kNewYork));
+}
+
+TEST(Distance, InvalidCoordinateUnconstrained) {
+  EXPECT_GE(distance_km(Coordinate::invalid(), kLondon), 1e8);
+}
+
+TEST(MinRtt, HundredKmPerMs) {
+  // ~200 km per one-way ms in fiber => ~100 km per RTT ms (paper fig. 5:
+  // 16 ms ~ 1600 km).
+  EXPECT_NEAR(min_rtt_ms(1600.0), 16.0, 0.2);
+  EXPECT_NEAR(min_rtt_ms(100.0), 1.0, 0.02);
+  EXPECT_DOUBLE_EQ(min_rtt_ms(0.0), 0.0);
+}
+
+TEST(MinRtt, CoordinateOverloadMatches) {
+  EXPECT_DOUBLE_EQ(min_rtt_ms(kNewYork, kLondon), min_rtt_ms(distance_km(kNewYork, kLondon)));
+}
+
+TEST(MaxDistance, InverseOfMinRtt) {
+  for (double rtt : {1.0, 7.0, 16.0, 68.0}) {
+    EXPECT_NEAR(min_rtt_ms(max_distance_km(rtt)), rtt, 1e-9);
+  }
+}
+
+TEST(MinRtt, TransatlanticSanity) {
+  // NY <-> London best case is just under 56 ms RTT: real measurements of
+  // ~70 ms are consistent, claims of 40 ms are not.
+  const double bound = min_rtt_ms(kNewYork, kLondon);
+  EXPECT_GT(bound, 50.0);
+  EXPECT_LT(bound, 60.0);
+}
+
+TEST(FiberSpeed, TwoThirdsOfC) {
+  EXPECT_NEAR(kFiberSpeedKmPerMs, 199.86, 0.05);
+}
+
+}  // namespace
+}  // namespace hoiho::geo

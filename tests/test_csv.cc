@@ -1,0 +1,67 @@
+// Unit tests for util/csv.h.
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hoiho::util {
+namespace {
+
+TEST(CsvParse, SimpleFields) {
+  const CsvRow row = parse_csv_line("a,b,c");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "a");
+  EXPECT_EQ(row[2], "c");
+}
+
+TEST(CsvParse, EmptyFields) {
+  const CsvRow row = parse_csv_line("a,,c,");
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[1], "");
+  EXPECT_EQ(row[3], "");
+}
+
+TEST(CsvParse, QuotedCommas) {
+  const CsvRow row = parse_csv_line("\"New York, NY\",us");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], "New York, NY");
+}
+
+TEST(CsvParse, EscapedQuotes) {
+  const CsvRow row = parse_csv_line("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], "say \"hi\"");
+}
+
+TEST(CsvParse, StripsCarriageReturn) {
+  const CsvRow row = parse_csv_line("a,b\r");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[1], "b");
+}
+
+TEST(CsvRead, SkipsCommentsAndBlanks) {
+  std::istringstream in("# header\n\na,b\nc,d\n");
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "a");
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(CsvWrite, QuotesWhenNeeded) {
+  std::ostringstream out;
+  write_csv_row(out, {"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(out.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(CsvRoundTrip, WriteThenParse) {
+  std::ostringstream out;
+  const CsvRow row = {"a", "b,c", "d\"e", ""};
+  write_csv_row(out, row);
+  std::string line = out.str();
+  line.pop_back();  // trailing newline
+  EXPECT_EQ(parse_csv_line(line), row);
+}
+
+}  // namespace
+}  // namespace hoiho::util

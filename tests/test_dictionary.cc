@@ -1,0 +1,210 @@
+// Unit tests for geo/dictionary.h and the embedded atlas, including the
+// collision examples the paper's narrative depends on.
+#include "geo/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace hoiho::geo {
+namespace {
+
+// Finds a location by city/country in a dictionary (test helper).
+LocationId find(const GeoDictionary& dict, std::string_view city, std::string_view country,
+                std::string_view state = "") {
+  for (LocationId id : dict.lookup(HintType::kCityName, squash_place_name(city))) {
+    const Location& loc = dict.location(id);
+    if (!same_country(loc.country, country)) continue;
+    if (!state.empty() && loc.state != state) continue;
+    return id;
+  }
+  return kInvalidLocation;
+}
+
+TEST(Dictionary, AddAndLookupCodes) {
+  GeoDictionary dict;
+  const LocationId id = dict.add_location({"Testville", "tx", "us", {30.0, -97.0}, 1000, false});
+  dict.add_code(HintType::kIata, "tvl", id);
+  const auto hits = dict.lookup(HintType::kIata, "tvl");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], id);
+  EXPECT_TRUE(dict.lookup(HintType::kIata, "xxx").empty());
+}
+
+TEST(Dictionary, RejectsWrongWidthCodes) {
+  GeoDictionary dict;
+  const LocationId id = dict.add_location({"X", "", "us", {}, 0, false});
+  dict.add_code(HintType::kIata, "toolong", id);
+  EXPECT_TRUE(dict.lookup(HintType::kIata, "toolong").empty());
+  EXPECT_TRUE(dict.codes(id).iata.empty());
+}
+
+TEST(Dictionary, CityNameIndexUsesSquashedForm) {
+  GeoDictionary dict;
+  const LocationId id = dict.add_location({"New York", "ny", "us", {40.7, -74.0}, 8000000, false});
+  const auto hits = dict.lookup(HintType::kCityName, "newyork");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], id);
+}
+
+TEST(Dictionary, CityAliases) {
+  GeoDictionary dict;
+  const LocationId id = dict.add_location({"Athens", "", "gr", {38.0, 23.7}, 664000, false});
+  dict.add_city_alias("Atene", id);  // the seabone.net Italian name (paper §6.1)
+  const auto hits = dict.lookup(HintType::kCityName, "atene");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], id);
+}
+
+TEST(Dictionary, FacilityAddressSquashing) {
+  GeoDictionary dict;
+  const LocationId id = dict.add_location({"New York", "ny", "us", {40.7, -74.0}, 8000000, false});
+  dict.add_facility_address("111 8th Ave", id);
+  EXPECT_FALSE(dict.lookup(HintType::kFacility, "1118thave").empty());
+  EXPECT_TRUE(dict.location(id).has_facility);
+  ASSERT_EQ(dict.facility_addresses(id).size(), 1u);
+  EXPECT_EQ(dict.facility_addresses(id)[0], "1118thave");
+}
+
+TEST(Dictionary, CountryAndStateKnowledge) {
+  GeoDictionary dict;
+  dict.add_location({"Ashburn", "va", "us", {39.0, -77.5}, 43000, false});
+  EXPECT_TRUE(dict.country_known("us"));
+  EXPECT_FALSE(dict.country_known("fr"));
+  EXPECT_TRUE(dict.state_known("us", "va"));
+  EXPECT_FALSE(dict.state_known("us", "tx"));
+  EXPECT_TRUE(dict.any_state_known("va"));
+}
+
+TEST(Dictionary, MatchesCountryHandlesUk) {
+  GeoDictionary dict;
+  const LocationId id = dict.add_location({"London", "", "gb", {51.5, -0.1}, 8982000, false});
+  EXPECT_TRUE(dict.matches_country("uk", id));
+  EXPECT_TRUE(dict.matches_country("gb", id));
+  EXPECT_FALSE(dict.matches_country("us", id));
+}
+
+TEST(Dictionary, DuplicateCodeRegistrationIsIdempotent) {
+  GeoDictionary dict;
+  const LocationId id = dict.add_location({"X", "", "us", {}, 0, false});
+  dict.add_code(HintType::kIata, "abc", id);
+  dict.add_code(HintType::kIata, "abc", id);
+  EXPECT_EQ(dict.lookup(HintType::kIata, "abc").size(), 1u);
+  EXPECT_EQ(dict.codes(id).iata.size(), 1u);
+}
+
+// --- embedded atlas ----------------------------------------------------------
+
+TEST(BuiltinAtlas, HasSubstantialCoverage) {
+  const GeoDictionary& dict = builtin_dictionary();
+  EXPECT_GE(dict.size(), 250u);
+}
+
+TEST(BuiltinAtlas, AshIsNashuaNotAshburn) {
+  // Figure 1's fundamental challenge: IATA "ash" is Nashua, NH.
+  const GeoDictionary& dict = builtin_dictionary();
+  const auto hits = dict.lookup(HintType::kIata, "ash");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(dict.location(hits[0]).city, "Nashua");
+  EXPECT_EQ(dict.location(hits[0]).state, "nh");
+  // Ashburn VA itself has no IATA code.
+  const LocationId ashburn = find(dict, "Ashburn", "us", "va");
+  ASSERT_NE(ashburn, kInvalidLocation);
+  EXPECT_TRUE(dict.codes(ashburn).iata.empty());
+  EXPECT_TRUE(dict.location(ashburn).has_facility);
+}
+
+TEST(BuiltinAtlas, InterfaceTokenCollisions) {
+  // Challenge 5: "gig", "eth", "cpe" are all real IATA codes.
+  const GeoDictionary& dict = builtin_dictionary();
+  ASSERT_FALSE(dict.lookup(HintType::kIata, "gig").empty());
+  EXPECT_EQ(dict.location(dict.lookup(HintType::kIata, "gig")[0]).city, "Rio de Janeiro");
+  ASSERT_FALSE(dict.lookup(HintType::kIata, "eth").empty());
+  EXPECT_EQ(dict.location(dict.lookup(HintType::kIata, "eth")[0]).city, "Eilat");
+  ASSERT_FALSE(dict.lookup(HintType::kIata, "cpe").empty());
+  EXPECT_EQ(dict.location(dict.lookup(HintType::kIata, "cpe")[0]).city, "Campeche");
+}
+
+TEST(BuiltinAtlas, MetroCodes) {
+  const GeoDictionary& dict = builtin_dictionary();
+  for (const char* code : {"lon", "nyc", "chi", "was", "tyo"}) {
+    EXPECT_FALSE(dict.lookup(HintType::kIata, code).empty()) << code;
+  }
+}
+
+TEST(BuiltinAtlas, CllidPrefixes) {
+  const GeoDictionary& dict = builtin_dictionary();
+  const auto asbn = dict.lookup(HintType::kClli, "asbnva");
+  ASSERT_EQ(asbn.size(), 1u);
+  EXPECT_EQ(dict.location(asbn[0]).city, "Ashburn");
+  const auto lond = dict.lookup(HintType::kClli, "londen");
+  ASSERT_EQ(lond.size(), 1u);
+  EXPECT_TRUE(same_country(dict.location(lond[0]).country, "uk"));
+}
+
+TEST(BuiltinAtlas, LondonCityNameCollidesWithLondonOntario) {
+  // Challenge 1: "london" the city name refers to London UK and London ON.
+  const GeoDictionary& dict = builtin_dictionary();
+  const auto hits = dict.lookup(HintType::kCityName, "london");
+  ASSERT_GE(hits.size(), 2u);
+  bool gb = false, ca = false;
+  for (LocationId id : hits) {
+    if (same_country(dict.location(id).country, "gb")) gb = true;
+    if (same_country(dict.location(id).country, "ca")) ca = true;
+  }
+  EXPECT_TRUE(gb);
+  EXPECT_TRUE(ca);
+}
+
+TEST(BuiltinAtlas, LocodesEmbedCountry) {
+  const GeoDictionary& dict = builtin_dictionary();
+  const auto hits = dict.lookup(HintType::kLocode, "gblhr");
+  ASSERT_FALSE(hits.empty());
+  EXPECT_TRUE(same_country(dict.location(hits[0]).country, "gb"));
+}
+
+TEST(BuiltinAtlas, MultipleWashingtons) {
+  // Paper §2: city names are ambiguous (10 Washingtons in their dictionary).
+  const GeoDictionary& dict = builtin_dictionary();
+  EXPECT_GE(dict.lookup(HintType::kCityName, "washington").size(), 1u);
+  EXPECT_GE(dict.lookup(HintType::kCityName, "ashburn").size(), 2u);  // VA and GA
+  EXPECT_GE(dict.lookup(HintType::kCityName, "ashland").size(), 2u);  // VA and OR
+}
+
+TEST(BuiltinAtlas, AbbreviationCandidates) {
+  const GeoDictionary& dict = builtin_dictionary();
+  const auto cands = dict.abbreviation_candidates("ash");
+  bool has_ashburn = false, has_ashland = false;
+  for (LocationId id : cands) {
+    if (dict.location(id).city == "Ashburn") has_ashburn = true;
+    if (dict.location(id).city == "Ashland") has_ashland = true;
+  }
+  EXPECT_TRUE(has_ashburn);
+  EXPECT_TRUE(has_ashland);
+}
+
+TEST(BuiltinAtlas, FacilityRecords) {
+  const GeoDictionary& dict = builtin_dictionary();
+  const auto hits = dict.lookup(HintType::kFacility, "1118thave");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(dict.location(hits[0]).city, "New York");
+  EXPECT_FALSE(dict.lookup(HintType::kFacility, "529bryant").empty());
+}
+
+TEST(BuiltinAtlas, CoordinatesAnnotated) {
+  const GeoDictionary& dict = builtin_dictionary();
+  for (const Location& loc : dict.all_locations()) {
+    EXPECT_TRUE(loc.coord.valid()) << loc.city;
+    EXPECT_FALSE(loc.country.empty()) << loc.city;
+  }
+}
+
+TEST(BuiltinAtlas, ClliPrefixesAreSixLetters) {
+  const GeoDictionary& dict = builtin_dictionary();
+  for (LocationId id = 0; id < dict.size(); ++id) {
+    for (const std::string& clli : dict.codes(id).clli) {
+      EXPECT_EQ(clli.size(), 6u) << dict.location(id).city;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hoiho::geo

@@ -1,0 +1,99 @@
+// Unit tests for geo/dictionary_io.h.
+#include "geo/dictionary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hoiho::geo {
+namespace {
+
+GeoDictionary sample() {
+  GeoDictionary dict;
+  const LocationId ash = dict.add_location({"Ashburn", "va", "us", {39.04, -77.49}, 43511, false});
+  const LocationId lon = dict.add_location({"London", "", "gb", {51.51, -0.13}, 8982000, false});
+  dict.add_code(HintType::kIata, "lhr", lon);
+  dict.add_code(HintType::kIata, "lon", lon);
+  dict.add_code(HintType::kClli, "asbnva", ash);
+  dict.add_code(HintType::kLocode, "gblon", lon);
+  dict.add_facility_address("Telehouse North", lon);
+  return dict;
+}
+
+TEST(DictionaryIo, RoundTrip) {
+  const GeoDictionary original = sample();
+  std::ostringstream out;
+  save_dictionary(out, original);
+  std::istringstream in(out.str());
+  std::string error;
+  const auto loaded = load_dictionary(in, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+
+  EXPECT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->lookup(HintType::kIata, "lhr").size(), 1u);
+  EXPECT_EQ(loaded->lookup(HintType::kClli, "asbnva").size(), 1u);
+  EXPECT_EQ(loaded->lookup(HintType::kLocode, "gblon").size(), 1u);
+  EXPECT_EQ(loaded->lookup(HintType::kFacility, "telehousenorth").size(), 1u);
+  const Location& ash = loaded->location(loaded->lookup(HintType::kClli, "asbnva")[0]);
+  EXPECT_EQ(ash.city, "Ashburn");
+  EXPECT_EQ(ash.state, "va");
+  EXPECT_NEAR(ash.coord.lat, 39.04, 1e-3);
+  EXPECT_EQ(ash.population, 43511u);
+}
+
+TEST(DictionaryIo, CommentsAndBlanksIgnored) {
+  std::istringstream in("# comment\nL,Rome,,it,41.90,12.50,2873000\n\nC,iata,fco,0\n");
+  const auto dict = load_dictionary(in);
+  ASSERT_TRUE(dict.has_value());
+  EXPECT_EQ(dict->size(), 1u);
+  EXPECT_EQ(dict->lookup(HintType::kIata, "fco").size(), 1u);
+}
+
+TEST(DictionaryIo, AliasRecords) {
+  std::istringstream in("L,Athens,,gr,37.98,23.73,664000\nA,Atene,0\n");
+  const auto dict = load_dictionary(in);
+  ASSERT_TRUE(dict.has_value());
+  EXPECT_EQ(dict->lookup(HintType::kCityName, "atene").size(), 1u);
+}
+
+TEST(DictionaryIo, RejectsUnknownRecordType) {
+  std::istringstream in("Z,whatever\n");
+  std::string error;
+  EXPECT_FALSE(load_dictionary(in, &error).has_value());
+  EXPECT_NE(error.find("unknown record"), std::string::npos);
+}
+
+TEST(DictionaryIo, RejectsShortLRecord) {
+  std::istringstream in("L,OnlyCity\n");
+  std::string error;
+  EXPECT_FALSE(load_dictionary(in, &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(DictionaryIo, RejectsOutOfRangeIndex) {
+  std::istringstream in("L,Rome,,it,41.90,12.50,2873000\nC,iata,fco,5\n");
+  std::string error;
+  EXPECT_FALSE(load_dictionary(in, &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(DictionaryIo, RejectsUnknownCodeType) {
+  std::istringstream in("L,Rome,,it,41.90,12.50,2873000\nC,zipcode,00100,0\n");
+  std::string error;
+  EXPECT_FALSE(load_dictionary(in, &error).has_value());
+  EXPECT_NE(error.find("unknown code type"), std::string::npos);
+}
+
+TEST(DictionaryIo, BuiltinAtlasRoundTrips) {
+  std::ostringstream out;
+  save_dictionary(out, builtin_dictionary());
+  std::istringstream in(out.str());
+  std::string error;
+  const auto loaded = load_dictionary(in, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->size(), builtin_dictionary().size());
+  EXPECT_EQ(loaded->lookup(HintType::kIata, "ash").size(), 1u);
+}
+
+}  // namespace
+}  // namespace hoiho::geo

@@ -1,0 +1,142 @@
+// Unit tests for the apply-side API (core/geolocate.h).
+#include "core/geolocate.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/dictionary.h"
+#include "regex/parser.h"
+
+namespace hoiho::core {
+namespace {
+
+geo::LocationId find_city(const geo::GeoDictionary& dict, std::string_view city,
+                          std::string_view country, std::string_view state = "") {
+  for (geo::LocationId id : dict.lookup(geo::HintType::kCityName,
+                                        geo::squash_place_name(city))) {
+    if (!geo::same_country(dict.location(id).country, country)) continue;
+    if (!state.empty() && dict.location(id).state != state) continue;
+    return id;
+  }
+  return geo::kInvalidLocation;
+}
+
+NamingConvention he_nc(const geo::GeoDictionary& dict, bool with_learned) {
+  NamingConvention nc;
+  nc.suffix = "he.net";
+  GeoRegex gr;
+  gr.regex = *rx::parse("^.+\\.([a-z]{3})\\d+\\.he\\.net$");
+  gr.plan.roles = {Role::kIata};
+  nc.regexes.push_back(std::move(gr));
+  if (with_learned) {
+    nc.learned[{geo::HintType::kIata, "ash"}] = find_city(dict, "Ashburn", "us", "va");
+  }
+  return nc;
+}
+
+TEST(Geolocator, LocatesViaDictionary) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  Geolocator g(dict);
+  g.add(he_nc(dict, false));
+  EXPECT_EQ(g.convention_count(), 1u);
+  const auto loc = g.locate("100ge1.core1.lhr2.he.net");
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(dict.location(loc->location).city, "London");
+  EXPECT_EQ(loc->code, "lhr");
+  EXPECT_EQ(loc->role, Role::kIata);
+  EXPECT_FALSE(loc->via_learned);
+  EXPECT_EQ(loc->suffix, "he.net");
+  EXPECT_TRUE(loc->coord.valid());
+}
+
+TEST(Geolocator, LearnedCodeOverrides) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  Geolocator g(dict);
+  g.add(he_nc(dict, true));
+  const auto loc = g.locate("100ge1.core1.ash2.he.net");
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(dict.location(loc->location).city, "Ashburn");
+  EXPECT_TRUE(loc->via_learned);
+
+  // Without the learned entry, "ash" reads as Nashua.
+  Geolocator g2(dict);
+  g2.add(he_nc(dict, false));
+  const auto loc2 = g2.locate("100ge1.core1.ash2.he.net");
+  ASSERT_TRUE(loc2.has_value());
+  EXPECT_EQ(dict.location(loc2->location).city, "Nashua");
+}
+
+TEST(Geolocator, NoConventionNoResult) {
+  Geolocator g(geo::builtin_dictionary());
+  EXPECT_FALSE(g.locate("core1.lhr1.unknown.net").has_value());
+  EXPECT_EQ(g.convention(""), nullptr);
+}
+
+TEST(Geolocator, InvalidHostnameNoResult) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  Geolocator g(dict);
+  g.add(he_nc(dict, false));
+  EXPECT_FALSE(g.locate("..bad..").has_value());
+  EXPECT_FALSE(g.locate("").has_value());
+}
+
+TEST(Geolocator, NonMatchingHostnameNoResult) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  Geolocator g(dict);
+  g.add(he_nc(dict, false));
+  EXPECT_FALSE(g.locate("weird-structure.he.net").has_value());
+}
+
+TEST(Geolocator, UnknownCodeNoResult) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  Geolocator g(dict);
+  g.add(he_nc(dict, false));
+  EXPECT_FALSE(g.locate("c1.core1.qqq1.he.net").has_value());
+}
+
+TEST(Geolocator, AnnotationDisambiguates) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  NamingConvention nc;
+  nc.suffix = "x.net";
+  GeoRegex gr;
+  gr.regex = *rx::parse("^([a-z]+)\\d*\\.([a-z]{2})\\.x\\.net$");
+  gr.plan.roles = {Role::kCityName, Role::kCountryCode};
+  nc.regexes.push_back(std::move(gr));
+  Geolocator g(dict);
+  g.add(std::move(nc));
+  const auto uk = g.locate("london1.uk.x.net");
+  ASSERT_TRUE(uk.has_value());
+  EXPECT_TRUE(geo::same_country(dict.location(uk->location).country, "uk"));
+  const auto ca = g.locate("london1.ca.x.net");
+  ASSERT_TRUE(ca.has_value());
+  EXPECT_TRUE(geo::same_country(dict.location(ca->location).country, "ca"));
+}
+
+TEST(Geolocator, AmbiguityBrokenByFacilityThenPopulation) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  NamingConvention nc;
+  nc.suffix = "x.net";
+  GeoRegex gr;
+  gr.regex = *rx::parse("^([a-z]+)\\d*\\.x\\.net$");
+  gr.plan.roles = {Role::kCityName};
+  nc.regexes.push_back(std::move(gr));
+  Geolocator g(dict);
+  g.add(std::move(nc));
+  // "london" without a country code: London UK (facility + larger) wins.
+  const auto loc = g.locate("london1.x.net");
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_TRUE(geo::same_country(dict.location(loc->location).country, "uk"));
+}
+
+TEST(Geolocator, ReplacesConventionForSameSuffix) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  Geolocator g(dict);
+  g.add(he_nc(dict, false));
+  g.add(he_nc(dict, true));
+  EXPECT_EQ(g.convention_count(), 1u);
+  const auto loc = g.locate("c1.core1.ash2.he.net");
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_TRUE(loc->via_learned);
+}
+
+}  // namespace
+}  // namespace hoiho::core

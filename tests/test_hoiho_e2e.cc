@@ -1,0 +1,209 @@
+// End-to-end integration tests: the five-stage pipeline against synthetic
+// worlds with known ground truth.
+#include <gtest/gtest.h>
+
+#include "core/hoiho.h"
+#include "sim/scenario.h"
+
+namespace hoiho::core {
+namespace {
+
+geo::LocationId find_city(const geo::GeoDictionary& dict, std::string_view city,
+                          std::string_view country, std::string_view state = "") {
+  for (geo::LocationId id : dict.lookup(geo::HintType::kCityName,
+                                        geo::squash_place_name(city))) {
+    if (!geo::same_country(dict.location(id).country, country)) continue;
+    if (!state.empty() && dict.location(id).state != state) continue;
+    return id;
+  }
+  return geo::kInvalidLocation;
+}
+
+// A clean single-operator world with one naming scheme.
+sim::World simple_world(core::Role role, bool cc, std::size_t routers_per_city,
+                        std::uint64_t seed) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  sim::World world;
+  world.dict = &dict;
+  world.vps = sim::make_vps(dict, 90);
+  sim::OperatorSpec op;
+  op.suffix = "testnet.net";
+  util::Rng scheme_rng(seed);
+  op.scheme = sim::sample_scheme(role, cc, false, scheme_rng);
+  op.router_count = 0;  // routers added below
+  const char* cities[][2] = {{"London", "gb"}, {"Tokyo", "jp"},      {"Seattle", "us"},
+                             {"Frankfurt", "de"}, {"Singapore", "sg"}, {"Sydney", "au"}};
+  util::Rng rng(seed);
+  for (const auto& c : cities) {
+    const geo::LocationId loc = find_city(dict, c[0], c[1]);
+    for (std::size_t i = 0; i < routers_per_city; ++i) {
+      const topo::RouterId rid = world.topology.add_router(loc);
+      const auto rendered = sim::render_hostname(op.scheme, dict, loc, op.suffix, rng);
+      if (rendered) {
+        world.topology.add_interface(rid, "10.0.0.1", rendered->hostname);
+      }
+    }
+  }
+  world.operators.push_back(op);
+  return world;
+}
+
+TEST(HoihoE2e, LearnsGoodIataConvention) {
+  const sim::World world = simple_world(Role::kIata, false, 5, 21);
+  const auto meas = sim::probe_pings(world, {});
+  const Hoiho hoiho(geo::builtin_dictionary());
+  const HoihoResult result = hoiho.run(world.topology, meas);
+  ASSERT_EQ(result.suffixes.size(), 1u);
+  const SuffixResult& sr = result.suffixes[0];
+  ASSERT_TRUE(sr.has_nc());
+  EXPECT_EQ(sr.cls, NcClass::kGood);
+  EXPECT_GE(sr.eval.counts.tp, 25u);
+  EXPECT_EQ(sr.eval.counts.fp, 0u);
+  EXPECT_GE(sr.eval.unique_count(), 5u);
+}
+
+TEST(HoihoE2e, LearnsCityConvention) {
+  const sim::World world = simple_world(Role::kCityName, false, 5, 23);
+  const auto meas = sim::probe_pings(world, {});
+  const Hoiho hoiho(geo::builtin_dictionary());
+  const HoihoResult result = hoiho.run(world.topology, meas);
+  ASSERT_EQ(result.suffixes.size(), 1u);
+  const SuffixResult& sr = result.suffixes[0];
+  ASSERT_TRUE(sr.has_nc());
+  EXPECT_TRUE(is_usable(sr.cls));
+  bool city_plan = false;
+  for (const GeoRegex& gr : sr.nc.regexes)
+    if (gr.plan.primary() == Role::kCityName) city_plan = true;
+  EXPECT_TRUE(city_plan);
+}
+
+TEST(HoihoE2e, LearnsClliWithCountryConvention) {
+  const sim::World world = simple_world(Role::kClli, true, 5, 27);
+  const auto meas = sim::probe_pings(world, {});
+  const Hoiho hoiho(geo::builtin_dictionary());
+  const HoihoResult result = hoiho.run(world.topology, meas);
+  ASSERT_EQ(result.suffixes.size(), 1u);
+  const SuffixResult& sr = result.suffixes[0];
+  ASSERT_TRUE(sr.has_nc());
+  EXPECT_TRUE(is_usable(sr.cls));
+  bool clli_plan = false;
+  for (const GeoRegex& gr : sr.nc.regexes)
+    if (gr.plan.primary() == Role::kClli) clli_plan = true;
+  EXPECT_TRUE(clli_plan);
+}
+
+TEST(HoihoE2e, SkipsSuffixWithTooFewHints) {
+  sim::World world;
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  world.dict = &dict;
+  world.vps = sim::make_vps(dict, 40);
+  const topo::RouterId r = world.topology.add_router(0);
+  world.topology.add_interface(r, "10.0.0.1", "core1.tiny.net");
+  const auto meas = sim::probe_pings(world, {});
+  const Hoiho hoiho(dict);
+  const HoihoResult result = hoiho.run(world.topology, meas);
+  ASSERT_EQ(result.suffixes.size(), 1u);
+  EXPECT_FALSE(result.suffixes[0].has_nc());
+}
+
+TEST(HoihoE2e, AblationLearningImprovesCoverage) {
+  // The paper's §6.1 ablation: disabling stage 4 lowers correct coverage.
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  sim::World world;
+  world.dict = &dict;
+  world.vps = sim::make_vps(dict, 90);
+  sim::OperatorSpec op;
+  op.suffix = "testnet.net";
+  op.scheme.hint_role = Role::kIata;
+  op.scheme.labels = {{sim::Part::role(), sim::Part::num()},
+                      {sim::Part::geo(), sim::Part::num()}};
+  const geo::LocationId ashburn = find_city(dict, "Ashburn", "us", "va");
+  op.scheme.custom_codes[ashburn] = "ash";
+  util::Rng rng(31);
+  for (const geo::LocationId loc :
+       {ashburn, find_city(dict, "London", "gb"), find_city(dict, "Tokyo", "jp"),
+        find_city(dict, "Seattle", "us"), find_city(dict, "Frankfurt", "de")}) {
+    for (int i = 0; i < 5; ++i) {
+      const topo::RouterId rid = world.topology.add_router(loc);
+      const auto rendered = sim::render_hostname(op.scheme, dict, loc, op.suffix, rng);
+      world.topology.add_interface(rid, "10.0.0.1", rendered->hostname);
+    }
+  }
+  const auto meas = sim::probe_pings(world, {});
+
+  HoihoConfig with;
+  HoihoConfig without;
+  without.enable_learning = false;
+  const HoihoResult on = Hoiho(dict, with).run(world.topology, meas);
+  const HoihoResult off = Hoiho(dict, without).run(world.topology, meas);
+  ASSERT_EQ(on.suffixes.size(), 1u);
+  ASSERT_EQ(off.suffixes.size(), 1u);
+  EXPECT_GT(on.suffixes[0].eval.counts.tp, off.suffixes[0].eval.counts.tp);
+  EXPECT_FALSE(on.suffixes[0].nc.learned.empty());
+  EXPECT_TRUE(off.suffixes[0].nc.learned.empty());
+}
+
+TEST(HoihoE2e, GeneratedWorldMostGeohintOperatorsUsable) {
+  sim::WorldConfig config;
+  config.seed = 1234;
+  config.operators = 25;
+  config.geohint_scheme_rate = 1.0;  // every operator embeds geohints
+  config.hostname_rate = 0.9;
+  const sim::World world = sim::generate_world(geo::builtin_dictionary(), config);
+  const auto meas = sim::probe_pings(world, {});
+  const Hoiho hoiho(geo::builtin_dictionary());
+  const HoihoResult result = hoiho.run(world.topology, meas);
+  std::size_t usable = 0, attempted = 0;
+  for (const SuffixResult& sr : result.suffixes) {
+    if (sr.tagged_count < 3) continue;
+    ++attempted;
+    if (sr.usable()) ++usable;
+  }
+  ASSERT_GT(attempted, 10u);
+  EXPECT_GT(static_cast<double>(usable) / static_cast<double>(attempted), 0.5);
+}
+
+TEST(HoihoE2e, StaleHostnamesDoNotBreakGoodConventions) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  sim::World world;
+  world.dict = &dict;
+  world.vps = sim::make_vps(dict, 90);
+  sim::OperatorSpec op;
+  op.suffix = "testnet.net";
+  op.scheme.hint_role = Role::kIata;
+  op.scheme.labels = {{sim::Part::role(), sim::Part::num()},
+                      {sim::Part::geo(), sim::Part::num()}};
+  // Comparable populations so the population-weighted placement spreads
+  // routers across all four cities.
+  op.footprint = {find_city(dict, "Seattle", "us"), find_city(dict, "Frankfurt", "de"),
+                  find_city(dict, "Denver", "us"), find_city(dict, "Boston", "us")};
+  op.router_count = 40;
+  util::Rng rng(37);
+  sim::add_operator(world, op, 1.0, /*stale_rate=*/0.05, rng);
+  const auto meas = sim::probe_pings(world, {});
+  const Hoiho hoiho(dict);
+  const HoihoResult result = hoiho.run(world.topology, meas);
+  ASSERT_EQ(result.suffixes.size(), 1u);
+  EXPECT_TRUE(result.suffixes[0].usable());
+}
+
+TEST(HoihoE2e, GeolocatedRouterCountCountsDistinctRouters) {
+  const sim::World world = simple_world(Role::kIata, false, 4, 41);
+  const auto meas = sim::probe_pings(world, {});
+  const Hoiho hoiho(geo::builtin_dictionary());
+  const HoihoResult result = hoiho.run(world.topology, meas);
+  EXPECT_LE(result.geolocated_router_count(), world.topology.size());
+  EXPECT_GT(result.geolocated_router_count(), 0u);
+  EXPECT_EQ(result.count(NcClass::kGood) + result.count(NcClass::kPromising) +
+                result.count(NcClass::kPoor),
+            result.suffixes.size() -
+                [&] {
+                  std::size_t none = 0;
+                  for (const auto& sr : result.suffixes)
+                    if (!sr.has_nc()) ++none;
+                  return none;
+                }());
+}
+
+}  // namespace
+}  // namespace hoiho::core

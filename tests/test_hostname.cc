@@ -1,0 +1,71 @@
+// Unit tests for dns/hostname.h.
+#include "dns/hostname.h"
+
+#include <gtest/gtest.h>
+
+namespace hoiho::dns {
+namespace {
+
+TEST(ValidHostname, AcceptsRouterNames) {
+  EXPECT_TRUE(valid_hostname("xe-0-0.gw1.sfo16.alter.net"));
+  EXPECT_TRUE(valid_hostname("100ge1-2.core1.ash1.he.net"));
+  EXPECT_TRUE(valid_hostname("a_b.example.net"));  // underscores occur in PTRs
+}
+
+TEST(ValidHostname, RejectsMalformed) {
+  EXPECT_FALSE(valid_hostname(""));
+  EXPECT_FALSE(valid_hostname(".leading.net"));
+  EXPECT_FALSE(valid_hostname("trailing.net."));
+  EXPECT_FALSE(valid_hostname("dou..ble.net"));
+  EXPECT_FALSE(valid_hostname("Upper.Case.net"));  // expects canonical lower-case
+  EXPECT_FALSE(valid_hostname("spa ce.net"));
+  EXPECT_FALSE(valid_hostname(std::string(64, 'a') + ".net"));  // label > 63
+  EXPECT_FALSE(valid_hostname(std::string(300, 'a')));
+}
+
+TEST(ParseHostname, CanonicalizesCase) {
+  const auto h = parse_hostname("Core1.ASH1.He.Net");
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->full, "core1.ash1.he.net");
+}
+
+TEST(ParseHostname, SuffixAndPrefix) {
+  const auto h = parse_hostname("xe-0-0-ash1-bcr1.bb.ebay.com");
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->suffix(), "ebay.com");
+  EXPECT_EQ(h->prefix(), "xe-0-0-ash1-bcr1.bb");
+}
+
+TEST(ParseHostname, ApexHasEmptyPrefix) {
+  const auto h = parse_hostname("ebay.com");
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->suffix(), "ebay.com");
+  EXPECT_EQ(h->prefix(), "");
+  EXPECT_TRUE(h->labels().empty());
+}
+
+TEST(ParseHostname, RejectsUnknownTld) {
+  EXPECT_FALSE(parse_hostname("router.something.invalidtld").has_value());
+}
+
+TEST(ParseHostname, LabelsCarryPositionsInFull) {
+  const auto h = parse_hostname("gw1.sfo16.alter.net");
+  ASSERT_TRUE(h.has_value());
+  const auto labels = h->labels();
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0].text, "gw1");
+  EXPECT_EQ(labels[1].text, "sfo16");
+  EXPECT_EQ(labels[1].begin, 4u);
+  EXPECT_EQ(h->full.substr(labels[1].begin, labels[1].size()), "sfo16");
+}
+
+TEST(ParseHostname, CustomPsl) {
+  PublicSuffixList psl;
+  psl.add_rule("lab");
+  const auto h = parse_hostname("r1.group.lab", psl);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->suffix(), "group.lab");
+}
+
+}  // namespace
+}  // namespace hoiho::dns

@@ -1,0 +1,116 @@
+// Unit tests for geo/location.h — place names and the §5.4 abbreviation
+// heuristics, including every example the paper gives.
+#include "geo/location.h"
+
+#include <gtest/gtest.h>
+
+namespace hoiho::geo {
+namespace {
+
+TEST(SquashPlaceName, Basics) {
+  EXPECT_EQ(squash_place_name("New York"), "newyork");
+  EXPECT_EQ(squash_place_name("Ashburn"), "ashburn");
+  EXPECT_EQ(squash_place_name("Fort-Collins"), "fortcollins");
+  EXPECT_EQ(squash_place_name("Ho Chi Minh City"), "hochiminhcity");
+  EXPECT_EQ(squash_place_name("42"), "");
+}
+
+TEST(PlaceWords, SplitsAndLowercases) {
+  const auto words = place_words("New York");
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], "new");
+  EXPECT_EQ(words[1], "york");
+  EXPECT_EQ(place_words("Zurich").size(), 1u);
+  EXPECT_TRUE(place_words("--").empty());
+}
+
+TEST(SameCountry, UkGbEquivalence) {
+  // Paper §5.2: operators write "uk"; ISO says "GB".
+  EXPECT_TRUE(same_country("uk", "gb"));
+  EXPECT_TRUE(same_country("gb", "uk"));
+  EXPECT_TRUE(same_country("UK", "gb"));
+  EXPECT_TRUE(same_country("us", "US"));
+  EXPECT_FALSE(same_country("us", "ca"));
+}
+
+// --- paper §5.4 abbreviation examples ---------------------------------------
+
+TEST(Abbrev, AshMatchesAshburn) {
+  EXPECT_TRUE(is_place_abbrev("ash", "Ashburn"));
+}
+
+TEST(Abbrev, MlanMatchesMilan) {
+  EXPECT_TRUE(is_place_abbrev("mlan", "Milan"));
+}
+
+TEST(Abbrev, TkyMatchesTokyo) {
+  EXPECT_TRUE(is_place_abbrev("tky", "Tokyo"));
+}
+
+TEST(Abbrev, NykAllowedNwkNot) {
+  // Multi-word rule: a word's first letter must match before its other
+  // letters ("we allow 'nyk' but not 'nwk'").
+  EXPECT_TRUE(is_place_abbrev("nyk", "New York"));
+  EXPECT_FALSE(is_place_abbrev("nwk", "New York"));
+}
+
+TEST(Abbrev, FirstCharacterMustMatch) {
+  EXPECT_FALSE(is_place_abbrev("shb", "Ashburn"));  // chars in order, but 's' != 'a'
+  EXPECT_FALSE(is_place_abbrev("ork", "New York"));
+}
+
+TEST(Abbrev, CharsMustAppearInOrder) {
+  EXPECT_FALSE(is_place_abbrev("hsa", "Ashburn"));
+  EXPECT_TRUE(is_place_abbrev("abr", "Ashburn"));
+}
+
+TEST(Abbrev, EmptyInputsRejected) {
+  EXPECT_FALSE(is_place_abbrev("", "Ashburn"));
+  EXPECT_FALSE(is_place_abbrev("a", ""));
+}
+
+TEST(Abbrev, WholeNameMatchesItself) {
+  EXPECT_TRUE(is_place_abbrev("ashburn", "Ashburn"));
+}
+
+TEST(Abbrev, WordInitialsMatch) {
+  EXPECT_TRUE(is_place_abbrev("kl", "Kuala Lumpur"));
+  EXPECT_TRUE(is_place_abbrev("kual", "Kuala Lumpur"));
+  EXPECT_TRUE(is_place_abbrev("kslr", "Kuala Selangor"));
+}
+
+TEST(Abbrev, Contiguous4ForCityNamePlans) {
+  // "ftcollins" for "Fort Collins": >=4 contiguous characters required when
+  // the regex extracts whole city names.
+  AbbrevOptions opts;
+  opts.require_contiguous4 = true;
+  EXPECT_TRUE(is_place_abbrev("ftcollins", "Fort Collins", opts));
+  EXPECT_FALSE(is_place_abbrev("ftcl", "Fort Collins", opts));  // no 4 contiguous
+  EXPECT_TRUE(is_place_abbrev("fortc", "Fort Collins", opts));
+}
+
+TEST(Abbrev, Contiguous4ShortNamesUseNameLength) {
+  AbbrevOptions opts;
+  opts.require_contiguous4 = true;
+  EXPECT_TRUE(is_place_abbrev("rome", "Rome", opts));
+}
+
+TEST(Abbrev, ThreeLetterIsTooLossyWithContiguous4) {
+  AbbrevOptions opts;
+  opts.require_contiguous4 = true;
+  EXPECT_FALSE(is_place_abbrev("ash", "Ashburn", opts));
+  // Without the option the same abbreviation passes.
+  EXPECT_TRUE(is_place_abbrev("ash", "Ashburn"));
+}
+
+TEST(Abbrev, HlmAmbiguity) {
+  // Paper fig. 3c: "hlm" is ambiguous across Haarlem / Helmond / Hilversum —
+  // all three satisfy the abbreviation heuristics, which is exactly why
+  // lossy abbreviations challenge inference (challenge 4).
+  EXPECT_TRUE(is_place_abbrev("hlm", "Haarlem"));
+  EXPECT_TRUE(is_place_abbrev("hlm", "Helmond"));
+  EXPECT_TRUE(is_place_abbrev("hlm", "Hilversum"));
+}
+
+}  // namespace
+}  // namespace hoiho::geo

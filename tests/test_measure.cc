@@ -1,0 +1,112 @@
+// Unit tests for measure/rtt_matrix.h and measure/consistency.h.
+#include <gtest/gtest.h>
+
+#include "measure/consistency.h"
+#include "measure/rtt_matrix.h"
+
+namespace hoiho::measure {
+namespace {
+
+const geo::Coordinate kDc{38.91, -77.04};       // Washington DC
+const geo::Coordinate kAshburn{39.04, -77.49};  // ~35 km from DC
+const geo::Coordinate kNashua{42.77, -71.47};   // ~620 km from DC
+const geo::Coordinate kLondon{51.51, -0.13};
+
+Measurements one_vp_setup(double rtt_ms) {
+  Measurements meas({VantagePoint{"was", "us", kDc}}, 1);
+  meas.pings.record(0, 0, rtt_ms);
+  return meas;
+}
+
+TEST(RttMatrix, RecordsMinimum) {
+  RttMatrix m(2, 2);
+  m.record(0, 1, 10.0);
+  m.record(0, 1, 7.0);
+  m.record(0, 1, 9.0);
+  ASSERT_TRUE(m.rtt(0, 1).has_value());
+  EXPECT_DOUBLE_EQ(*m.rtt(0, 1), 7.0);
+}
+
+TEST(RttMatrix, MissingSamples) {
+  RttMatrix m(2, 2);
+  EXPECT_FALSE(m.rtt(1, 1).has_value());
+  EXPECT_FALSE(m.responsive(1));
+  EXPECT_EQ(m.sample_count(1), 0u);
+  EXPECT_FALSE(m.closest_vp(1).has_value());
+}
+
+TEST(RttMatrix, ClosestVp) {
+  RttMatrix m(1, 3);
+  m.record(0, 0, 30.0);
+  m.record(0, 2, 5.0);
+  const auto closest = m.closest_vp(0);
+  ASSERT_TRUE(closest.has_value());
+  EXPECT_EQ(closest->first, 2u);
+  EXPECT_DOUBLE_EQ(closest->second, 5.0);
+  EXPECT_EQ(m.sample_count(0), 2u);
+}
+
+TEST(RttMatrix, ResponsiveRouterCount) {
+  RttMatrix m(3, 1);
+  m.record(0, 0, 1.0);
+  m.record(2, 0, 2.0);
+  EXPECT_EQ(m.responsive_router_count(), 2u);
+}
+
+TEST(Consistency, NearLocationConsistent) {
+  // 1 ms from DC reaches ~100 km: Ashburn (35 km) is feasible.
+  const Measurements meas = one_vp_setup(1.0);
+  EXPECT_TRUE(rtt_consistent(meas.pings, meas.vps, 0, kAshburn));
+}
+
+TEST(Consistency, FarLocationInconsistent) {
+  // Nashua is ~620 km from DC: needs >= ~6.2 ms.
+  const Measurements meas = one_vp_setup(3.0);
+  EXPECT_FALSE(rtt_consistent(meas.pings, meas.vps, 0, kNashua));
+  EXPECT_TRUE(rtt_consistent(one_vp_setup(7.0).pings, meas.vps, 0, kNashua));
+}
+
+TEST(Consistency, SlackLoosens) {
+  const Measurements meas = one_vp_setup(3.0);
+  EXPECT_FALSE(rtt_consistent(meas.pings, meas.vps, 0, kNashua, 0.0));
+  EXPECT_TRUE(rtt_consistent(meas.pings, meas.vps, 0, kNashua, 5.0));
+}
+
+TEST(Consistency, NoSamplesVacuouslyConsistent) {
+  Measurements meas({VantagePoint{"was", "us", kDc}}, 1);
+  EXPECT_TRUE(rtt_consistent(meas.pings, meas.vps, 0, kLondon));
+}
+
+TEST(Consistency, InvalidLocationNeverConsistent) {
+  Measurements meas({VantagePoint{"was", "us", kDc}}, 1);
+  EXPECT_FALSE(rtt_consistent(meas.pings, meas.vps, 0, geo::Coordinate::invalid()));
+}
+
+TEST(Consistency, AllVpsMustAgree) {
+  // Paper fig. 3a: the DC VP's 3 ms sample refutes Las Vegas even though a
+  // far VP's large RTT would allow it.
+  Measurements meas({VantagePoint{"was", "us", kDc}, VantagePoint{"lon", "uk", kLondon}}, 1);
+  meas.pings.record(0, 0, 3.0);
+  meas.pings.record(0, 1, 80.0);
+  const geo::Coordinate las_vegas{36.17, -115.14};
+  EXPECT_FALSE(rtt_consistent(meas.pings, meas.vps, 0, las_vegas));
+  EXPECT_TRUE(rtt_consistent(meas.pings, meas.vps, 0, kAshburn));
+}
+
+TEST(Violation, ReportsWorstDeficit) {
+  Measurements meas({VantagePoint{"was", "us", kDc}, VantagePoint{"lon", "uk", kLondon}}, 1);
+  meas.pings.record(0, 0, 1.0);
+  meas.pings.record(0, 1, 1.0);  // impossible: London is ~5900 km from DC-area
+  const auto v = worst_violation(meas.pings, meas.vps, 0, kAshburn);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->vp, 1u);  // the London constraint is violated hardest
+  EXPECT_GT(v->deficit_ms, 30.0);
+}
+
+TEST(Violation, NoneWhenConsistent) {
+  const Measurements meas = one_vp_setup(1.0);
+  EXPECT_FALSE(worst_violation(meas.pings, meas.vps, 0, kAshburn).has_value());
+}
+
+}  // namespace
+}  // namespace hoiho::measure

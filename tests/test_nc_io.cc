@@ -1,0 +1,143 @@
+// Unit tests for naming-convention serialization (core/nc_io.h) — the
+// "published regex website" artifact.
+#include "core/nc_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/geolocate.h"
+#include "regex/parser.h"
+
+namespace hoiho::core {
+namespace {
+
+geo::LocationId find_city(const geo::GeoDictionary& dict, std::string_view city,
+                          std::string_view country, std::string_view state = "") {
+  for (geo::LocationId id : dict.lookup(geo::HintType::kCityName,
+                                        geo::squash_place_name(city))) {
+    if (!geo::same_country(dict.location(id).country, country)) continue;
+    if (!state.empty() && dict.location(id).state != state) continue;
+    return id;
+  }
+  return geo::kInvalidLocation;
+}
+
+std::vector<StoredConvention> sample(const geo::GeoDictionary& dict) {
+  std::vector<StoredConvention> out(2);
+  out[0].nc.suffix = "he.net";
+  out[0].cls = NcClass::kGood;
+  GeoRegex a;
+  a.regex = *rx::parse("^.+\\.([a-z]{3})\\d+\\.he\\.net$");
+  a.plan.roles = {Role::kIata};
+  out[0].nc.regexes.push_back(std::move(a));
+  out[0].nc.learned[{geo::HintType::kIata, "ash"}] = find_city(dict, "Ashburn", "us", "va");
+
+  out[1].nc.suffix = "windstream.net";
+  out[1].cls = NcClass::kPromising;
+  GeoRegex b;
+  b.regex = *rx::parse("^.+\\.([a-z]{4})\\d+-([a-z]{2})\\.([a-z]{2})\\.windstream\\.net$");
+  b.plan.roles = {Role::kClli4, Role::kClli2, Role::kCountryCode};
+  out[1].nc.regexes.push_back(std::move(b));
+  return out;
+}
+
+TEST(NcIo, PlanTokens) {
+  Plan plan;
+  plan.roles = {Role::kCityName, Role::kCountryCode};
+  EXPECT_EQ(plan_to_token(plan), "city+cc");
+  const auto back = plan_from_token("city+cc");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->roles, plan.roles);
+  EXPECT_FALSE(plan_from_token("city+bogus").has_value());
+  EXPECT_FALSE(plan_from_token("").has_value());
+}
+
+TEST(NcIo, RoundTrip) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const auto original = sample(dict);
+  std::ostringstream out;
+  save_conventions(out, original, dict);
+
+  std::istringstream in(out.str());
+  std::string error;
+  const auto loaded = load_conventions(in, dict, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].nc.suffix, "he.net");
+  EXPECT_EQ((*loaded)[0].cls, NcClass::kGood);
+  ASSERT_EQ((*loaded)[0].nc.regexes.size(), 1u);
+  EXPECT_EQ((*loaded)[0].nc.regexes[0].regex.to_string(),
+            original[0].nc.regexes[0].regex.to_string());
+  ASSERT_EQ((*loaded)[0].nc.learned.size(), 1u);
+  EXPECT_EQ((*loaded)[0].nc.learned.begin()->second,
+            original[0].nc.learned.begin()->second);
+  EXPECT_EQ((*loaded)[1].nc.regexes[0].plan.roles,
+            (std::vector<Role>{Role::kClli4, Role::kClli2, Role::kCountryCode}));
+}
+
+TEST(NcIo, LoadedConventionsGeolocate) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::ostringstream out;
+  save_conventions(out, sample(dict), dict);
+  std::istringstream in(out.str());
+  const auto loaded = load_conventions(in, dict);
+  ASSERT_TRUE(loaded.has_value());
+
+  Geolocator g(dict);
+  for (const StoredConvention& sc : *loaded)
+    if (sc.cls != NcClass::kPoor) g.add(sc.nc);
+  const auto loc = g.locate("100ge1.core1.ash2.he.net");
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(dict.location(loc->location).city, "Ashburn");
+  EXPECT_TRUE(loc->via_learned);
+}
+
+TEST(NcIo, UnknownPlaceDropsLearnedWithWarning) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::istringstream in(
+      "S,x.net,good\nR,iata,^([a-z]{3})\\.x\\.net$\nL,iata,zzq,Atlantis,,xx\n");
+  std::vector<std::string> warnings;
+  const auto loaded = load_conventions(in, dict, nullptr, &warnings);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE((*loaded)[0].nc.learned.empty());
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("Atlantis"), std::string::npos);
+}
+
+TEST(NcIo, RejectsMalformedRecords) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::string error;
+
+  std::istringstream no_s("R,iata,^([a-z]{3})\\.x\\.net$\n");
+  EXPECT_FALSE(load_conventions(no_s, dict, &error).has_value());
+  EXPECT_NE(error.find("before any S"), std::string::npos);
+
+  std::istringstream bad_class("S,x.net,excellent\n");
+  EXPECT_FALSE(load_conventions(bad_class, dict, &error).has_value());
+
+  std::istringstream bad_regex("S,x.net,good\nR,iata,([a-z]{3}\n");
+  EXPECT_FALSE(load_conventions(bad_regex, dict, &error).has_value());
+
+  std::istringstream bad_type("S,x.net,good\nZ,zzz\n");
+  EXPECT_FALSE(load_conventions(bad_type, dict, &error).has_value());
+}
+
+TEST(NcIo, RejectsPlanCaptureMismatch) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::string error;
+  std::istringstream in("S,x.net,good\nR,iata+cc,^([a-z]{3})\\.x\\.net$\n");
+  EXPECT_FALSE(load_conventions(in, dict, &error).has_value());
+  EXPECT_NE(error.find("captures"), std::string::npos);
+}
+
+TEST(NcIo, EmptyInputYieldsEmptyList) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::istringstream in("# just a comment\n");
+  const auto loaded = load_conventions(in, dict);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+}
+
+}  // namespace
+}  // namespace hoiho::core

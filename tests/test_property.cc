@@ -1,0 +1,229 @@
+// Property-based tests: parameterized sweeps over seeds checking the
+// invariants the system's correctness rests on.
+#include <gtest/gtest.h>
+
+#include <regex>
+
+#include "core/hoiho.h"
+#include "geo/dictionary.h"
+#include "regex/matcher.h"
+#include "regex/parser.h"
+#include "sim/probing.h"
+#include "util/rng.h"
+
+namespace hoiho {
+namespace {
+
+// --- regex engine vs std::regex reference ------------------------------------
+
+class RegexAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Builds a random pattern within the dialect (no possessive — std::regex has
+// none) plus subject strings that sometimes match.
+std::string random_pattern(util::Rng& rng) {
+  static const char* pieces[] = {
+      "[a-z]{3}", "[a-z]{2}", "[a-z]+",  "\\d+",  "\\d*",  "[a-z\\d]+",
+      "[^\\.]+",  "xe",       "core",    "-",     "\\.",   "net",
+  };
+  std::string out = "^";
+  const std::size_t n = 2 + rng.next_below(5);
+  bool grouped = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const char* piece = pieces[rng.next_below(std::size(pieces))];
+    if (!grouped && rng.next_bool(0.3)) {
+      out += "(";
+      out += piece;
+      out += ")";
+      grouped = true;
+    } else {
+      out += piece;
+    }
+  }
+  out += "$";
+  return out;
+}
+
+std::string random_subject(util::Rng& rng) {
+  static const char* atoms[] = {"xe", "core", "lhr", "12", "3", "-", ".", "net", "a", "gw"};
+  std::string out;
+  const std::size_t n = 1 + rng.next_below(6);
+  for (std::size_t i = 0; i < n; ++i) out += atoms[rng.next_below(std::size(atoms))];
+  return out;
+}
+
+TEST_P(RegexAgreement, MatchesStdRegexOnDialect) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 60; ++round) {
+    const std::string pattern = random_pattern(rng);
+    const auto mine = rx::parse(pattern);
+    ASSERT_TRUE(mine.has_value()) << pattern;
+    const std::regex reference(pattern.substr(1, pattern.size() - 2),
+                               std::regex::ECMAScript);
+    for (int s = 0; s < 25; ++s) {
+      const std::string subject = random_subject(rng);
+      const bool a = rx::match(*mine, subject).matched;
+      const bool b = std::regex_match(subject, reference);
+      ASSERT_EQ(a, b) << pattern << " on \"" << subject << "\"";
+    }
+  }
+}
+
+TEST_P(RegexAgreement, CapturesMatchStdRegex) {
+  util::Rng rng(GetParam() ^ 0xabcd);
+  for (int round = 0; round < 60; ++round) {
+    const std::string pattern = random_pattern(rng);
+    const auto mine = rx::parse(pattern);
+    ASSERT_TRUE(mine.has_value());
+    if (mine->groups.empty()) continue;
+    const std::regex reference(pattern.substr(1, pattern.size() - 2));
+    for (int s = 0; s < 25; ++s) {
+      const std::string subject = random_subject(rng);
+      const auto caps = rx::capture_strings(*mine, subject);
+      std::smatch m;
+      const bool b = std::regex_match(subject, m, reference);
+      ASSERT_EQ(!caps.empty(), b) << pattern << " on " << subject;
+      if (b) {
+        ASSERT_EQ(caps[0], m[1].str()) << pattern << " on " << subject;
+      }
+    }
+  }
+}
+
+TEST_P(RegexAgreement, PrintParseRoundTrip) {
+  util::Rng rng(GetParam() ^ 0x1111);
+  for (int round = 0; round < 100; ++round) {
+    const std::string pattern = random_pattern(rng);
+    const auto rx1 = rx::parse(pattern);
+    ASSERT_TRUE(rx1.has_value());
+    const std::string printed = rx1->to_string();
+    const auto rx2 = rx::parse(printed);
+    ASSERT_TRUE(rx2.has_value()) << printed;
+    EXPECT_EQ(rx2->to_string(), printed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegexAgreement, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// --- geodesy invariants --------------------------------------------------------
+
+class GeodesyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeodesyProperty, TriangleInequalityish) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const geo::Coordinate a{rng.next_range(-80, 80), rng.next_range(-180, 180)};
+    const geo::Coordinate b{rng.next_range(-80, 80), rng.next_range(-180, 180)};
+    const geo::Coordinate c{rng.next_range(-80, 80), rng.next_range(-180, 180)};
+    const double ab = geo::distance_km(a, b);
+    const double bc = geo::distance_km(b, c);
+    const double ac = geo::distance_km(a, c);
+    EXPECT_LE(ac, ab + bc + 1e-6);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 20038.0);  // half the circumference
+  }
+}
+
+TEST_P(GeodesyProperty, RttBoundMonotoneInDistance) {
+  util::Rng rng(GetParam() ^ 0x77);
+  for (int i = 0; i < 200; ++i) {
+    const double d1 = rng.next_range(0, 10000);
+    const double d2 = d1 + rng.next_range(0, 5000);
+    EXPECT_LE(geo::min_rtt_ms(d1), geo::min_rtt_ms(d2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeodesyProperty, ::testing::Values(10u, 20u, 30u));
+
+// --- consistency invariants ----------------------------------------------------
+
+class ConsistencyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConsistencyProperty, SlackIsMonotone) {
+  util::Rng rng(GetParam());
+  measure::Measurements meas({}, 8);
+  meas.vps = {measure::VantagePoint{"a", "us", {40.0, -74.0}},
+              measure::VantagePoint{"b", "de", {50.0, 8.7}}};
+  meas.pings = measure::RttMatrix(8, 2);
+  for (topo::RouterId r = 0; r < 8; ++r)
+    for (measure::VpId v = 0; v < 2; ++v) meas.pings.record(r, v, rng.next_range(1, 120));
+  for (int i = 0; i < 100; ++i) {
+    const geo::Coordinate p{rng.next_range(-60, 70), rng.next_range(-180, 180)};
+    const auto r = static_cast<topo::RouterId>(rng.next_below(8));
+    const double s1 = rng.next_range(0, 10), s2 = s1 + rng.next_range(0, 20);
+    if (measure::rtt_consistent(meas.pings, meas.vps, r, p, s1)) {
+      EXPECT_TRUE(measure::rtt_consistent(meas.pings, meas.vps, r, p, s2));
+    }
+  }
+}
+
+TEST_P(ConsistencyProperty, TruthAlwaysConsistentAcrossWorlds) {
+  sim::WorldConfig config;
+  config.seed = GetParam();
+  config.operators = 12;
+  const sim::World world = sim::generate_world(geo::builtin_dictionary(), config);
+  sim::PingConfig pc;
+  pc.seed = GetParam() ^ 0xfeed;
+  const auto meas = sim::probe_pings(world, pc);
+  for (const topo::Router& r : world.topology.routers()) {
+    ASSERT_TRUE(measure::rtt_consistent(
+        meas.pings, meas.vps, r.id,
+        geo::builtin_dictionary().location(r.true_location).coord));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyProperty,
+                         ::testing::Values(100u, 200u, 300u, 400u));
+
+// --- abbreviation invariants ---------------------------------------------------
+
+TEST(AbbrevProperty, EveryAtlasNameAbbreviatesItself) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  for (const geo::Location& loc : dict.all_locations()) {
+    const std::string squashed = geo::squash_place_name(loc.city);
+    EXPECT_TRUE(geo::is_place_abbrev(squashed, loc.city)) << loc.city;
+    geo::AbbrevOptions opts;
+    opts.require_contiguous4 = true;
+    EXPECT_TRUE(geo::is_place_abbrev(squashed, loc.city, opts)) << loc.city;
+  }
+}
+
+TEST(AbbrevProperty, PrefixesAreAbbreviations) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  for (const geo::Location& loc : dict.all_locations()) {
+    const std::vector<std::string> words = geo::place_words(loc.city);
+    if (words.empty() || words[0].size() < 3) continue;
+    EXPECT_TRUE(geo::is_place_abbrev(words[0].substr(0, 3), loc.city)) << loc.city;
+  }
+}
+
+// --- pipeline determinism --------------------------------------------------------
+
+class PipelineDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineDeterminism, SameSeedSameResult) {
+  sim::WorldConfig config;
+  config.seed = GetParam();
+  config.operators = 8;
+  config.geohint_scheme_rate = 1.0;
+  const auto run = [&] {
+    const sim::World world = sim::generate_world(geo::builtin_dictionary(), config);
+    sim::PingConfig pc;
+    pc.seed = GetParam() ^ 0xaa;
+    const auto meas = sim::probe_pings(world, pc);
+    const core::Hoiho hoiho(geo::builtin_dictionary());
+    const core::HoihoResult result = hoiho.run(world.topology, meas);
+    std::string digest;
+    for (const core::SuffixResult& sr : result.suffixes) {
+      digest += sr.suffix + ":" + std::to_string(sr.eval.counts.tp) + "/" +
+                std::to_string(sr.eval.counts.fp) + ";";
+      for (const core::GeoRegex& gr : sr.nc.regexes) digest += gr.to_string() + ",";
+    }
+    return digest;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineDeterminism, ::testing::Values(11u, 22u));
+
+}  // namespace
+}  // namespace hoiho

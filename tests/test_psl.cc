@@ -1,0 +1,73 @@
+// Unit tests for dns/public_suffix.h.
+#include "dns/public_suffix.h"
+
+#include <gtest/gtest.h>
+
+namespace hoiho::dns {
+namespace {
+
+TEST(Psl, BuiltinKnowsCommonTlds) {
+  const PublicSuffixList& psl = PublicSuffixList::builtin();
+  EXPECT_EQ(psl.public_suffix("core1.ntt.net"), "net");
+  EXPECT_EQ(psl.public_suffix("x.cogentco.com"), "com");
+}
+
+TEST(Psl, SecondLevelRegistries) {
+  // Paper §5.1.2 examples: .net.au and ccnw.net.au.
+  const PublicSuffixList& psl = PublicSuffixList::builtin();
+  EXPECT_EQ(psl.public_suffix("r1.ccnw.net.au"), "net.au");
+  EXPECT_EQ(psl.registered_domain("r1.ccnw.net.au"), "ccnw.net.au");
+}
+
+TEST(Psl, RegisteredDomainIsSuffixPlusOneLabel) {
+  const PublicSuffixList& psl = PublicSuffixList::builtin();
+  EXPECT_EQ(psl.registered_domain("xe-0.core1.ash1.he.net"), "he.net");
+  EXPECT_EQ(psl.registered_domain("hundredgige0-0-0-0.amscr6.opentransit.net"),
+            "opentransit.net");
+}
+
+TEST(Psl, ApexDomain) {
+  const PublicSuffixList& psl = PublicSuffixList::builtin();
+  // "as8218.eu" is itself a registered domain (eu is the public suffix).
+  EXPECT_EQ(psl.registered_domain("r1.as8218.eu"), "as8218.eu");
+  EXPECT_EQ(psl.registered_domain("as8218.eu"), "as8218.eu");
+}
+
+TEST(Psl, NoMatchYieldsEmpty) {
+  const PublicSuffixList& psl = PublicSuffixList::builtin();
+  EXPECT_EQ(psl.public_suffix("foo.invalidtld"), "");
+  EXPECT_EQ(psl.registered_domain("foo.invalidtld"), "");
+}
+
+TEST(Psl, BareSuffixHasNoRegisteredDomain) {
+  const PublicSuffixList& psl = PublicSuffixList::builtin();
+  EXPECT_EQ(psl.registered_domain("net"), "");
+  EXPECT_EQ(psl.registered_domain("net.au"), "");
+}
+
+TEST(Psl, LongestRuleWins) {
+  PublicSuffixList psl;
+  psl.add_rule("uk");
+  psl.add_rule("co.uk");
+  EXPECT_EQ(psl.public_suffix("www.bbc.co.uk"), "co.uk");
+  EXPECT_EQ(psl.registered_domain("www.bbc.co.uk"), "bbc.co.uk");
+}
+
+TEST(Psl, AddRuleToleratesFileNoise) {
+  PublicSuffixList psl;
+  psl.add_rule("// comment");
+  psl.add_rule("");
+  psl.add_rule("# other comment");
+  psl.add_rule(".dotted");
+  EXPECT_EQ(psl.rule_count(), 1u);
+  EXPECT_EQ(psl.public_suffix("a.dotted"), "dotted");
+}
+
+TEST(Psl, CustomRules) {
+  PublicSuffixList psl;
+  psl.add_rule("internal");
+  EXPECT_EQ(psl.registered_domain("r1.corp.internal"), "corp.internal");
+}
+
+}  // namespace
+}  // namespace hoiho::dns

@@ -1,0 +1,273 @@
+// Unit tests for the restricted regex engine (ast / parser / matcher),
+// anchored on the exact regexes the paper prints in figures 7 and 13.
+#include <gtest/gtest.h>
+
+#include "regex/ast.h"
+#include "regex/matcher.h"
+#include "regex/parser.h"
+
+namespace hoiho::rx {
+namespace {
+
+Regex parse_ok(std::string_view pattern) {
+  std::string error;
+  auto rx = parse(pattern, &error);
+  EXPECT_TRUE(rx.has_value()) << pattern << ": " << error;
+  return rx.value_or(Regex{});
+}
+
+// --- construction / printing -------------------------------------------------
+
+TEST(Ast, BuilderProducesPaperRegex) {
+  RegexBuilder b;
+  b.any_plus().lit(".").begin_group().cls(CharClass::alpha(), Quant::exactly(3)).end_group();
+  b.cls(CharClass::digit(), Quant::plus()).lit(".alter.net");
+  const Regex rx = std::move(b).build();
+  EXPECT_EQ(rx.to_string(), "^.+\\.([a-z]{3})\\d+\\.alter\\.net$");
+}
+
+TEST(Ast, QuantPrinting) {
+  EXPECT_EQ(Quant::one().to_string(), "");
+  EXPECT_EQ(Quant::plus().to_string(), "+");
+  EXPECT_EQ(Quant::star().to_string(), "*");
+  EXPECT_EQ(Quant::exactly(6).to_string(), "{6}");
+  EXPECT_EQ(Quant::plus(true).to_string(), "++");
+}
+
+TEST(Ast, CharClassMembership) {
+  EXPECT_TRUE(CharClass::alpha().matches('k'));
+  EXPECT_FALSE(CharClass::alpha().matches('5'));
+  EXPECT_TRUE(CharClass::digit().matches('5'));
+  EXPECT_TRUE(CharClass::alnum().matches('5'));
+  EXPECT_TRUE(CharClass::alnum().matches('z'));
+  EXPECT_FALSE(CharClass::alnum().matches('-'));
+  EXPECT_TRUE(CharClass::not_chars(".").matches('-'));
+  EXPECT_FALSE(CharClass::not_chars(".").matches('.'));
+  EXPECT_TRUE(CharClass::any().matches('.'));
+}
+
+// --- parser ------------------------------------------------------------------
+
+TEST(Parser, RoundTripsPaperFigure7) {
+  // The six final regexes of paper figure 7 (and fig. 13 #7's set).
+  const char* patterns[] = {
+      "^.+\\.([a-z]{3})\\d+\\.([a-z]{2})\\.[a-z]{3}\\.zayo\\.com$",
+      "^.+\\.([a-z]+)\\d*\\.level3\\.net$",
+      "^.+\\.([a-z]{6})\\d+\\.([a-z]{2})\\.[a-z]{2}\\.gin\\.ntt\\.net$",
+      "^.+\\.([a-z]{4})\\d+-([a-z]{2})\\.([a-z]{2})\\.windstream\\.net$",
+      "^.+\\.([a-z]{6})[a-z\\d]+-[a-z]+\\d+-[^\\.]+\\.alter\\.net$",
+      "^[^\\.]+\\.(\\d+[a-z]+)\\.([a-z]{2})\\.[a-z]+\\.comcast\\.net$",
+      "^\\d+\\.[a-z]+\\d+\\.([a-z]{6})[a-z\\d]++\\.alter\\.net$",
+  };
+  for (const char* p : patterns) {
+    const Regex rx = parse_ok(p);
+    EXPECT_EQ(rx.to_string(), p);
+  }
+}
+
+TEST(Parser, GroupRanges) {
+  const Regex rx = parse_ok("^([a-z]{3})\\d+\\.(\\d+[a-z]+)\\.x\\.net$");
+  ASSERT_EQ(rx.groups.size(), 2u);
+  EXPECT_EQ(rx.groups[0].first, rx.groups[0].last);     // single node group
+  EXPECT_EQ(rx.groups[1].last - rx.groups[1].first, 1u);  // \d+ then [a-z]+
+}
+
+TEST(Parser, RejectsMissingAnchors) {
+  std::string error;
+  EXPECT_FALSE(parse("abc$", &error).has_value());
+  EXPECT_FALSE(parse("^abc", &error).has_value());
+}
+
+TEST(Parser, RejectsNestedGroups) {
+  std::string error;
+  EXPECT_FALSE(parse("^(a(b))$", &error).has_value());
+  EXPECT_NE(error.find("nested"), std::string::npos);
+}
+
+TEST(Parser, RejectsUnbalancedGroups) {
+  EXPECT_FALSE(parse("^(abc$", nullptr).has_value());
+  EXPECT_FALSE(parse("^abc)$", nullptr).has_value());
+  EXPECT_FALSE(parse("^()$", nullptr).has_value());
+}
+
+TEST(Parser, RejectsAlternation) {
+  EXPECT_FALSE(parse("^a|b$", nullptr).has_value());
+}
+
+TEST(Parser, RejectsDanglingQuantifier) {
+  EXPECT_FALSE(parse("^+a$", nullptr).has_value());
+}
+
+TEST(Parser, RejectsRangeRepetition) {
+  EXPECT_FALSE(parse("^[a-z]{2,3}$", nullptr).has_value());
+}
+
+TEST(Parser, AcceptsTrailingDashInClass) {
+  const Regex rx = parse_ok("^[a-z-]+$");
+  EXPECT_TRUE(match(rx, "ab-cd").matched);
+}
+
+TEST(Parser, PossessiveQuantifiers) {
+  const Regex rx = parse_ok("^[^-]++x$");
+  ASSERT_EQ(rx.nodes.size(), 2u);
+  EXPECT_TRUE(rx.nodes[0].quant.possessive);
+}
+
+TEST(Parser, QuantifiedLiteralChar) {
+  const Regex rx = parse_ok("^ab+c$");
+  EXPECT_TRUE(match(rx, "abbbc").matched);
+  EXPECT_FALSE(match(rx, "ac").matched);
+}
+
+// --- matcher -----------------------------------------------------------------
+
+TEST(Matcher, ZayoExtraction) {
+  // Paper fig. 6a / 7a.
+  const Regex rx = parse_ok("^.+\\.([a-z]{3})\\d+\\.([a-z]{2})\\.[a-z]{3}\\.zayo\\.com$");
+  const auto caps = capture_strings(rx, "zayo-ntt.mpr1.lhr15.uk.zip.zayo.com");
+  ASSERT_EQ(caps.size(), 2u);
+  EXPECT_EQ(caps[0], "lhr");
+  EXPECT_EQ(caps[1], "uk");
+}
+
+TEST(Matcher, NttClliExtraction) {
+  // Paper fig. 6c / 7c.
+  const Regex rx = parse_ok("^.+\\.([a-z]{6})\\d+\\.([a-z]{2})\\.[a-z]{2}\\.gin\\.ntt\\.net$");
+  const auto caps = capture_strings(rx, "xe-0-0-28-0.a02.snjsca04.us.ce.gin.ntt.net");
+  ASSERT_EQ(caps.size(), 2u);
+  EXPECT_EQ(caps[0], "snjsca");
+  EXPECT_EQ(caps[1], "us");
+}
+
+TEST(Matcher, WindstreamSplitClli) {
+  // Paper fig. 6d-e / 7d: 4+2 split CLLI plus a country code.
+  const Regex rx = parse_ok("^.+\\.([a-z]{4})\\d+-([a-z]{2})\\.([a-z]{2})\\.windstream\\.net$");
+  const auto caps = capture_strings(rx, "ae1-0.rcmd01-va.us.windstream.net");
+  ASSERT_EQ(caps.size(), 3u);
+  EXPECT_EQ(caps[0], "rcmd");
+  EXPECT_EQ(caps[1], "va");
+  EXPECT_EQ(caps[2], "us");
+}
+
+TEST(Matcher, ComcastFacility) {
+  // Paper fig. 6f / 7f: a street address with leading digits.
+  const Regex rx = parse_ok("^[^\\.]+\\.(\\d+[a-z]+)\\.([a-z]{2})\\.[a-z]+\\.comcast\\.net$");
+  const auto caps = capture_strings(rx, "ae-5.1118thave.ny.ibone.comcast.net");
+  ASSERT_EQ(caps.size(), 2u);
+  EXPECT_EQ(caps[0], "1118thave");
+  EXPECT_EQ(caps[1], "ny");
+}
+
+TEST(Matcher, AnchorsAreStrict) {
+  const Regex rx = parse_ok("^abc$");
+  EXPECT_TRUE(match(rx, "abc").matched);
+  EXPECT_FALSE(match(rx, "xabc").matched);
+  EXPECT_FALSE(match(rx, "abcx").matched);
+  EXPECT_FALSE(match(rx, "").matched);
+}
+
+TEST(Matcher, StarAllowsAbsence) {
+  // Phase-2 merged regex (fig. 13 #5): \d* matches with and without digits.
+  const Regex rx = parse_ok("^([a-z]+)\\d*\\.([a-z]{2})\\.alter\\.net$");
+  EXPECT_EQ(capture_strings(rx, "stuttgart9.de.alter.net")[0], "stuttgart");
+  EXPECT_EQ(capture_strings(rx, "frankfurt.de.alter.net")[0], "frankfurt");
+}
+
+TEST(Matcher, GreedyBacktracking) {
+  const Regex rx = parse_ok("^([a-z]+)x$");
+  const auto caps = capture_strings(rx, "aaax");
+  ASSERT_EQ(caps.size(), 1u);
+  EXPECT_EQ(caps[0], "aaa");
+}
+
+TEST(Matcher, PossessiveRefusesToBacktrack) {
+  // [a-z]++x can never match "abcx" in one token... it can: 'x' is alpha, so
+  // the possessive run eats it and the literal fails. Use a digit tail to
+  // show the difference.
+  const Regex greedy = parse_ok("^[a-z]+a$");
+  EXPECT_TRUE(match(greedy, "bba").matched);
+  const Regex possessive = parse_ok("^[a-z]++a$");
+  EXPECT_FALSE(match(possessive, "bba").matched);  // ++ consumed the final 'a'
+}
+
+TEST(Matcher, ExactWidthCounts) {
+  const Regex rx = parse_ok("^[a-z]{6}$");
+  EXPECT_TRUE(match(rx, "asbnva").matched);
+  EXPECT_FALSE(match(rx, "asbnv").matched);
+  EXPECT_FALSE(match(rx, "asbnvax").matched);
+}
+
+TEST(Matcher, DotPlusSpansDots) {
+  const Regex rx = parse_ok("^.+\\.([a-z]{3})\\d+\\.alter\\.net$");
+  const auto caps = capture_strings(rx, "0.xe-10-0-0.gw1.sfo16.alter.net");
+  ASSERT_EQ(caps.size(), 1u);
+  EXPECT_EQ(caps[0], "sfo");
+}
+
+TEST(Matcher, CaptureOfMultiNodeGroup) {
+  const Regex rx = parse_ok("^(\\d+[a-z]+)$");
+  const auto caps = capture_strings(rx, "529bryant");
+  ASSERT_EQ(caps.size(), 1u);
+  EXPECT_EQ(caps[0], "529bryant");
+}
+
+TEST(Matcher, NodeSpans) {
+  const Regex rx = parse_ok("^[^\\.]+\\.([a-z]{3})\\d+\\.x\\.net$");
+  std::vector<Capture> spans;
+  const auto m = match_with_spans(rx, "gw1.lhr15.x.net", spans);
+  ASSERT_TRUE(m.matched);
+  ASSERT_EQ(spans.size(), rx.nodes.size());
+  EXPECT_EQ(spans[0].view("gw1.lhr15.x.net"), "gw1");   // [^\.]+
+  // Find the digit node's span.
+  bool found_digits = false;
+  for (std::size_t i = 0; i < rx.nodes.size(); ++i) {
+    if (rx.nodes[i].kind == Node::Kind::kClass && rx.nodes[i].cls == CharClass::digit()) {
+      EXPECT_EQ(spans[i].view("gw1.lhr15.x.net"), "15");
+      found_digits = true;
+    }
+  }
+  EXPECT_TRUE(found_digits);
+}
+
+TEST(Matcher, NodeSpansClearedOnFailure) {
+  const Regex rx = parse_ok("^abc$");
+  std::vector<Capture> spans;
+  EXPECT_FALSE(match_with_spans(rx, "zzz", spans).matched);
+  EXPECT_TRUE(spans.empty());
+}
+
+TEST(Matcher, PathologicalInputTerminates) {
+  // Many unbounded classes + a final mismatch: the step bound must fire
+  // rather than hang.
+  const Regex rx = parse_ok("^[^-]+[^-]+[^-]+[^-]+[^-]+[^-]+x$");
+  const std::string subject(120, 'a');
+  EXPECT_FALSE(match(rx, subject).matched);
+}
+
+TEST(Matcher, CaptureViewsPointIntoSubject) {
+  const Regex rx = parse_ok("^([a-z]+)\\.net$");
+  const std::string subject = "hoiho.net";
+  const MatchResult m = match(rx, subject);
+  ASSERT_TRUE(m.matched);
+  ASSERT_EQ(m.captures.size(), 1u);
+  EXPECT_EQ(m.captures[0].begin, 0u);
+  EXPECT_EQ(m.captures[0].end, 5u);
+}
+
+TEST(Matcher, EmptyCaptureListWhenNoGroups) {
+  const Regex rx = parse_ok("^[a-z]+\\.net$");
+  const MatchResult m = match(rx, "hoiho.net");
+  EXPECT_TRUE(m.matched);
+  EXPECT_TRUE(m.captures.empty());
+}
+
+TEST(Matcher, DropStyleRegexMissesExtraSegments) {
+  // Paper fig. 2: DRoP's rule expects two prefix segments, so it misses
+  // hostnames with more structure.
+  const Regex rx = parse_ok("^([a-z]+)\\d*\\.[^\\.]+\\.360\\.net$");
+  EXPECT_TRUE(match(rx, "sjc1.ge2-3.360.net").matched);
+  EXPECT_FALSE(match(rx, "0.ge-0-0-0.sjc1.ge2-3.360.net").matched);
+}
+
+}  // namespace
+}  // namespace hoiho::rx

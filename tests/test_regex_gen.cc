@@ -1,0 +1,263 @@
+// Unit tests for stage 3 generation (core/regex_gen.h): base regexes,
+// merging, and character-class embedding (paper appendix A).
+#include "core/regex_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+
+#include "core/apparent.h"
+#include "geo/dictionary.h"
+#include "regex/matcher.h"
+#include "regex/parser.h"
+
+namespace hoiho::core {
+namespace {
+
+class RegexGenTest : public ::testing::Test {
+ protected:
+  RegexGenTest() : dict_(geo::builtin_dictionary()), meas_({}, 64) {
+    meas_.vps = {
+        measure::VantagePoint{"was", "us", {38.91, -77.04}},
+        measure::VantagePoint{"lon", "uk", {51.51, -0.13}},
+        measure::VantagePoint{"tyo", "jp", {35.68, 139.69}},
+        measure::VantagePoint{"sea", "us", {47.61, -122.33}},
+    };
+    meas_.pings = measure::RttMatrix(64, meas_.vps.size());
+  }
+
+  void place_near(topo::RouterId r, measure::VpId vp, double rtt_ms) {
+    for (measure::VpId v = 0; v < meas_.vps.size(); ++v)
+      meas_.pings.record(r, v, v == vp ? rtt_ms : 300.0);
+  }
+
+  const TaggedHostname& add(topo::RouterId r, std::string_view raw) {
+    hostnames_.push_back(*dns::parse_hostname(raw));
+    const ApparentTagger tagger(dict_, meas_, {});
+    tagged_.push_back(tagger.tag(topo::HostnameRef{r, &hostnames_.back()}));
+    return tagged_.back();
+  }
+
+  // All base regexes as strings, for containment checks.
+  static std::set<std::string> patterns(const std::vector<GeoRegex>& v) {
+    std::set<std::string> out;
+    for (const GeoRegex& gr : v) out.insert(gr.regex.to_string());
+    return out;
+  }
+
+  const geo::GeoDictionary& dict_;
+  measure::Measurements meas_;
+  std::deque<dns::Hostname> hostnames_;
+  std::vector<TaggedHostname> tagged_;
+  RegexGenerator gen_;
+};
+
+TEST_F(RegexGenTest, BaseRegexForSimpleIataHostname) {
+  place_near(0, 1, 2.0);
+  add(0, "gw1.lhr16.alter.net");
+  const auto regexes = gen_.generate_base(tagged_);
+  ASSERT_FALSE(regexes.empty());
+  const auto pats = patterns(regexes);
+  // The paper's canonical shapes must both be generated.
+  EXPECT_TRUE(pats.contains("^.+\\.([a-z]{3})\\d+\\.alter\\.net$") ||
+              pats.contains("^[^\\.]+\\.([a-z]{3})\\d+\\.alter\\.net$"))
+      << *pats.begin();
+  for (const GeoRegex& gr : regexes) {
+    if (gr.plan.primary() == Role::kIata) {
+      const auto caps = rx::capture_strings(gr.regex, "gw1.lhr16.alter.net");
+      ASSERT_FALSE(caps.empty());
+      EXPECT_EQ(caps[0], "lhr");
+    }
+  }
+}
+
+TEST_F(RegexGenTest, AnnotationVariantCapturesCountry) {
+  place_near(1, 1, 2.0);
+  add(1, "xe-0.mpr1.lhr15.uk.zip.zayo.com");
+  const auto regexes = gen_.generate_base(tagged_);
+  bool with_cc = false;
+  for (const GeoRegex& gr : regexes) {
+    if (gr.plan.extracts(Role::kCountryCode)) {
+      const auto caps = rx::capture_strings(gr.regex, "xe-0.mpr1.lhr15.uk.zip.zayo.com");
+      if (caps.size() == 2 && caps[0] == "lhr" && caps[1] == "uk") with_cc = true;
+    }
+  }
+  EXPECT_TRUE(with_cc);
+}
+
+TEST_F(RegexGenTest, CityNamePlanUsesAlphaPlus) {
+  place_near(2, 1, 2.0);
+  add(2, "ae1.london9.example.net");
+  const auto regexes = gen_.generate_base(tagged_);
+  bool found = false;
+  for (const GeoRegex& gr : regexes) {
+    if (gr.plan.primary() != Role::kCityName) continue;
+    const auto caps = rx::capture_strings(gr.regex, "ae1.london9.example.net");
+    if (!caps.empty() && caps[0] == "london") found = true;
+    // City plans must also match other city names at the same position.
+    if (!caps.empty()) {
+      const auto caps2 = rx::capture_strings(gr.regex, "ae7.frankfurt12.example.net");
+      if (!caps2.empty()) {
+        EXPECT_EQ(caps2[0], "frankfurt");
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RegexGenTest, SplitClliTwoCaptures) {
+  place_near(3, 0, 1.0);
+  add(3, "ae1.asbn01-va.example.net");
+  const auto regexes = gen_.generate_base(tagged_);
+  bool found = false;
+  for (const GeoRegex& gr : regexes) {
+    if (gr.plan.primary() != Role::kClli) continue;
+    if (gr.plan.roles.size() >= 2 && gr.plan.roles[0] == Role::kClli4) {
+      const auto caps = rx::capture_strings(gr.regex, "ae1.asbn01-va.example.net");
+      if (caps.size() >= 2 && caps[0] == "asbn" && caps[1] == "va") found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RegexGenTest, ClliPrefixOfLongerTokenHasResidue) {
+  place_near(4, 0, 1.0);
+  add(4, "0.af0.asbnva83-mse01.example.net");
+  const auto regexes = gen_.generate_base(tagged_);
+  bool found = false;
+  for (const GeoRegex& gr : regexes) {
+    if (gr.plan.primary() != Role::kClli) continue;
+    const auto caps = rx::capture_strings(gr.regex, "0.af0.asbnva83-mse01.example.net");
+    if (caps.size() == 1 && caps[0] == "asbnva") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RegexGenTest, DedupRemovesDuplicates) {
+  place_near(5, 1, 2.0);
+  add(5, "gw1.lhr16.alter.net");
+  add(5, "gw2.lhr17.alter.net");  // same structure -> same regexes
+  const auto regexes = gen_.generate_base(tagged_);
+  std::set<std::string> keys;
+  for (const GeoRegex& gr : regexes) {
+    const std::string key = gr.regex.to_string() + "|" + gr.plan.to_string();
+    EXPECT_TRUE(keys.insert(key).second) << "duplicate: " << key;
+  }
+}
+
+TEST_F(RegexGenTest, MergeDigitsToStar) {
+  // Paper fig. 13 #5: ([a-z]+)\d+... and ([a-z]+)... merge into ([a-z]+)\d*.
+  GeoRegex a, b;
+  a.regex = *rx::parse("^([a-z]+)\\d+\\.([a-z]{2})\\.alter\\.net$");
+  a.plan.roles = {Role::kCityName, Role::kCountryCode};
+  b.regex = *rx::parse("^([a-z]+)\\.([a-z]{2})\\.alter\\.net$");
+  b.plan.roles = {Role::kCityName, Role::kCountryCode};
+  const std::vector<GeoRegex> in = {a, b};
+  const auto merged = gen_.merge(in);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].regex.to_string(), "^([a-z]+)\\d*\\.([a-z]{2})\\.alter\\.net$");
+  // The merged regex matches both input shapes.
+  EXPECT_FALSE(rx::capture_strings(merged[0].regex, "stuttgart9.de.alter.net").empty());
+  EXPECT_FALSE(rx::capture_strings(merged[0].regex, "frankfurt.de.alter.net").empty());
+}
+
+TEST_F(RegexGenTest, MergeRequiresSamePlan) {
+  GeoRegex a, b;
+  a.regex = *rx::parse("^([a-z]+)\\d+\\.x\\.net$");
+  a.plan.roles = {Role::kCityName};
+  b.regex = *rx::parse("^([a-z]+)\\.x\\.net$");
+  b.plan.roles = {Role::kIata};
+  const std::vector<GeoRegex> in = {a, b};
+  EXPECT_TRUE(gen_.merge(in).empty());
+}
+
+TEST_F(RegexGenTest, MergeIgnoresUnrelatedPairs) {
+  GeoRegex a, b;
+  a.regex = *rx::parse("^([a-z]{3})\\d+\\.x\\.net$");
+  a.plan.roles = {Role::kIata};
+  b.regex = *rx::parse("^cr\\.([a-z]{3})\\.y\\.net$");
+  b.plan.roles = {Role::kIata};
+  const std::vector<GeoRegex> in = {a, b};
+  EXPECT_TRUE(gen_.merge(in).empty());
+}
+
+TEST_F(RegexGenTest, EmbedClassesRefinesCoarseNode) {
+  // Paper fig. 13 #6 and fig. 7a ("zip" -> [a-z]{3}): a [^\.]+ component
+  // whose matches are uniformly 3 letters becomes [a-z]{3}.
+  place_near(6, 1, 2.0);
+  add(6, "xe-0.mpr1.lhr15.uk.zip.zayo.com");
+  add(6, "xe-1.mpr2.lhr16.uk.zip.zayo.com");
+  GeoRegex coarse;
+  coarse.regex = *rx::parse("^[^\\.]+\\.[^\\.]+\\.([a-z]{3})\\d+\\.([a-z]{2})\\.[^\\.]+\\.zayo\\.com$");
+  coarse.plan.roles = {Role::kIata, Role::kCountryCode};
+  const auto refined = gen_.embed_classes(coarse, tagged_);
+  ASSERT_TRUE(refined.has_value());
+  const std::string out = refined->regex.to_string();
+  EXPECT_NE(out.find("[a-z]{3}\\.zayo"), std::string::npos) << out;
+  // Captures still work.
+  const auto caps = rx::capture_strings(refined->regex, "xe-0.mpr1.lhr15.uk.zip.zayo.com");
+  ASSERT_EQ(caps.size(), 2u);
+  EXPECT_EQ(caps[0], "lhr");
+}
+
+TEST_F(RegexGenTest, EmbedClassesNeedsTwoMatches) {
+  place_near(7, 1, 2.0);
+  add(7, "gw1.lhr16.alter.net");
+  GeoRegex coarse;
+  coarse.regex = *rx::parse("^[^\\.]+\\.([a-z]{3})\\d+\\.alter\\.net$");
+  coarse.plan.roles = {Role::kIata};
+  EXPECT_FALSE(gen_.embed_classes(coarse, tagged_).has_value());
+}
+
+TEST_F(RegexGenTest, EmbedClassesBailsOnNonUniform) {
+  place_near(8, 1, 2.0);
+  add(8, "gw1.lhr16.alter.net");    // "gw1" = alpha+digit
+  add(8, "0.lhr17.alter.net");      // "0" = digit only
+  GeoRegex coarse;
+  coarse.regex = *rx::parse("^[^\\.]+\\.([a-z]{3})\\d+\\.alter\\.net$");
+  coarse.plan.roles = {Role::kIata};
+  // Either nullopt (nothing refined) or the coarse node kept as-is.
+  const auto refined = gen_.embed_classes(coarse, tagged_);
+  if (refined.has_value()) {
+    EXPECT_NE(refined->regex.to_string().find("[^\\.]+"), std::string::npos);
+  }
+}
+
+TEST_F(RegexGenTest, EmbedClassesGroupsSurviveShift) {
+  place_near(9, 1, 2.0);
+  add(9, "ae1.cr7.lhr16.alter.net");
+  add(9, "ae2.cr9.lhr17.alter.net");
+  GeoRegex coarse;
+  coarse.regex = *rx::parse("^[^\\.]+\\.[^\\.]+\\.([a-z]{3})\\d+\\.alter\\.net$");
+  coarse.plan.roles = {Role::kIata};
+  const auto refined = gen_.embed_classes(coarse, tagged_);
+  ASSERT_TRUE(refined.has_value());
+  const auto caps = rx::capture_strings(refined->regex, "ae1.cr7.lhr16.alter.net");
+  ASSERT_EQ(caps.size(), 1u);
+  EXPECT_EQ(caps[0], "lhr");
+}
+
+TEST_F(RegexGenTest, FacilityCapture) {
+  place_near(10, 0, 4.0);
+  add(10, "ae-5.111-8th-ave.ny.example.net");
+  const auto regexes = gen_.generate_base(tagged_);
+  bool found = false;
+  for (const GeoRegex& gr : regexes) {
+    if (gr.plan.primary() != Role::kFacility) continue;
+    const auto caps = rx::capture_strings(gr.regex, "ae-5.111-8th-ave.ny.example.net");
+    if (!caps.empty() && caps[0] == "111-8th-ave") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RegexGenTest, SuffixAlwaysLiteral) {
+  place_near(11, 1, 2.0);
+  add(11, "gw1.lhr16.alter.net");
+  for (const GeoRegex& gr : gen_.generate_base(tagged_)) {
+    EXPECT_NE(gr.regex.to_string().find("\\.alter\\.net$"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hoiho::core

@@ -1,0 +1,112 @@
+// Unit tests for util/rng.h — determinism and distribution sanity.
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hoiho::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(13), 13u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng r(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_int(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three values appear
+}
+
+TEST(Rng, NextDoubleUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextRangeBounds) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.next_range(1.15, 2.2);
+    EXPECT_GE(v, 1.15);
+    EXPECT_LT(v, 2.2);
+  }
+}
+
+TEST(Rng, BoolProbabilityRoughlyHolds) {
+  Rng r(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (r.next_bool(0.3)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ParetoAtLeastScale) {
+  Rng r(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.next_pareto(4.0, 1.1), 4.0);
+}
+
+TEST(Rng, WeightedRespectsZeroWeights) {
+  Rng r(19);
+  const std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_weighted(w), 1u);
+}
+
+TEST(Rng, WeightedProportions) {
+  Rng r(23);
+  const std::vector<double> w = {1.0, 3.0};
+  int second = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (r.next_weighted(w) == 1) ++second;
+  EXPECT_NEAR(second / 10000.0, 0.75, 0.03);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng r(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  r.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, GaussRoughMoments) {
+  Rng r(31);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.next_gauss(10.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+}  // namespace
+}  // namespace hoiho::util

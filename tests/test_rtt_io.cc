@@ -1,0 +1,90 @@
+// Unit tests for measurement-campaign file I/O (measure/rtt_io.h).
+#include "measure/rtt_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hoiho::measure {
+namespace {
+
+Measurements sample() {
+  Measurements meas({VantagePoint{"was", "us", {38.91, -77.04}},
+                     VantagePoint{"lon", "uk", {51.51, -0.13}}},
+                    3);
+  meas.pings.record(0, 0, 1.25);
+  meas.pings.record(0, 1, 72.5);
+  meas.pings.record(2, 1, 3.0);
+  return meas;
+}
+
+TEST(RttIo, RoundTrip) {
+  const Measurements original = sample();
+  std::ostringstream out;
+  save_measurements(out, original);
+  std::istringstream in(out.str());
+  std::string error;
+  const auto loaded = load_measurements(in, 3, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->vps.size(), 2u);
+  EXPECT_EQ(loaded->vps[1].name, "lon");
+  EXPECT_NEAR(loaded->vps[0].coord.lat, 38.91, 1e-3);
+  ASSERT_TRUE(loaded->pings.rtt(0, 0).has_value());
+  EXPECT_NEAR(*loaded->pings.rtt(0, 0), 1.25, 1e-3);
+  EXPECT_NEAR(*loaded->pings.rtt(2, 1), 3.0, 1e-3);
+  EXPECT_FALSE(loaded->pings.rtt(1, 0).has_value());
+}
+
+TEST(RttIo, SamplesBeforeVpDeclarationsAccepted) {
+  std::istringstream in("R,0,was,5.0\nV,was,us,38.91,-77.04\n");
+  const auto loaded = load_measurements(in, 1);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_NEAR(*loaded->pings.rtt(0, 0), 5.0, 1e-9);
+}
+
+TEST(RttIo, RepeatedSamplesKeepMinimum) {
+  std::istringstream in("V,was,us,38.91,-77.04\nR,0,was,5.0\nR,0,was,2.0\nR,0,was,9.0\n");
+  const auto loaded = load_measurements(in, 1);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_NEAR(*loaded->pings.rtt(0, 0), 2.0, 1e-9);
+}
+
+TEST(RttIo, RejectsUnknownVp) {
+  std::istringstream in("V,was,us,38.91,-77.04\nR,0,nowhere,5.0\n");
+  std::string error;
+  EXPECT_FALSE(load_measurements(in, 1, &error).has_value());
+  EXPECT_NE(error.find("unknown VP"), std::string::npos);
+}
+
+TEST(RttIo, RejectsOutOfRangeRouter) {
+  std::istringstream in("V,was,us,38.91,-77.04\nR,7,was,5.0\n");
+  std::string error;
+  EXPECT_FALSE(load_measurements(in, 3, &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(RttIo, RejectsDuplicateVp) {
+  std::istringstream in("V,was,us,38.91,-77.04\nV,was,us,1,1\n");
+  std::string error;
+  EXPECT_FALSE(load_measurements(in, 1, &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(RttIo, RejectsBadCoordinatesAndNegativeRtt) {
+  std::istringstream bad_coord("V,was,us,123.0,-77.04\n");
+  EXPECT_FALSE(load_measurements(bad_coord, 1).has_value());
+  std::istringstream bad_rtt("V,was,us,38.91,-77.04\nR,0,was,-1\n");
+  EXPECT_FALSE(load_measurements(bad_rtt, 1).has_value());
+}
+
+TEST(RttIo, CommentsAndUnknownRecords) {
+  std::istringstream ok("# header\nV,was,us,38.91,-77.04\n");
+  EXPECT_TRUE(load_measurements(ok, 1).has_value());
+  std::istringstream bad("Q,strange\n");
+  std::string error;
+  EXPECT_FALSE(load_measurements(bad, 1, &error).has_value());
+  EXPECT_NE(error.find("unknown record"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hoiho::measure

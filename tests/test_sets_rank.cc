@@ -1,0 +1,156 @@
+// Unit tests for phase 4 (core/regex_sets.h) and stage 5 (core/rank.h).
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/apparent.h"
+#include "core/rank.h"
+#include "core/regex_sets.h"
+#include "geo/dictionary.h"
+#include "regex/parser.h"
+
+namespace hoiho::core {
+namespace {
+
+class SetsTest : public ::testing::Test {
+ protected:
+  SetsTest() : dict_(geo::builtin_dictionary()), meas_({}, 64) {
+    meas_.vps = {
+        measure::VantagePoint{"was", "us", {38.91, -77.04}},
+        measure::VantagePoint{"lon", "uk", {51.51, -0.13}},
+        measure::VantagePoint{"tyo", "jp", {35.68, 139.69}},
+        measure::VantagePoint{"fra", "de", {50.11, 8.68}},
+        measure::VantagePoint{"sea", "us", {47.61, -122.33}},
+    };
+    meas_.pings = measure::RttMatrix(64, meas_.vps.size());
+  }
+
+  void add_near(std::string_view raw, measure::VpId vp, double rtt = 2.0) {
+    const topo::RouterId r = next_router_++;
+    for (measure::VpId v = 0; v < meas_.vps.size(); ++v)
+      meas_.pings.record(r, v, v == vp ? rtt : 300.0);
+    hostnames_.push_back(*dns::parse_hostname(raw));
+    const ApparentTagger tagger(dict_, meas_, {});
+    tagged_.push_back(tagger.tag(topo::HostnameRef{r, &hostnames_.back()}));
+  }
+
+  static GeoRegex geo_regex(std::string_view pattern, std::vector<Role> roles) {
+    GeoRegex gr;
+    gr.regex = *rx::parse(pattern);
+    gr.plan.roles = std::move(roles);
+    return gr;
+  }
+
+  const geo::GeoDictionary& dict_;
+  measure::Measurements meas_;
+  std::deque<dns::Hostname> hostnames_;
+  std::vector<TaggedHostname> tagged_;
+  topo::RouterId next_router_ = 0;
+};
+
+TEST_F(SetsTest, BuildsMultiRegexNcForMixedFormats) {
+  // An alter.net-style operator using IATA codes in one format and city
+  // names in another (paper fig. 13): the builder must combine regexes.
+  add_near("gw1.lhr16.alter.net", 1);
+  add_near("gw2.nrt2.alter.net", 2);
+  add_near("gw3.sea7.alter.net", 4);
+  add_near("gw4.fra3.alter.net", 3);
+  add_near("dialup-x.london.uk.alter.net", 1);
+  add_near("dialup-y.frankfurt.de.alter.net", 3);
+  add_near("dialup-z.tokyo.jp.alter.net", 2);
+
+  std::vector<GeoRegex> regexes;
+  regexes.push_back(geo_regex("^[^\\.]+\\.([a-z]{3})\\d+\\.alter\\.net$", {Role::kIata}));
+  regexes.push_back(geo_regex("^[^\\.]+\\.([a-z]+)\\.([a-z]{2})\\.alter\\.net$",
+                              {Role::kCityName, Role::kCountryCode}));
+
+  const Evaluator ev(dict_, meas_);
+  const NcBuilder builder(ev);
+  const auto candidates = builder.build("alter.net", regexes, tagged_);
+  ASSERT_FALSE(candidates.empty());
+  // The best candidate covers all seven hostnames with two regexes.
+  EXPECT_EQ(candidates[0].nc.regexes.size(), 2u);
+  EXPECT_EQ(candidates[0].eval.counts.tp, 7u);
+  EXPECT_EQ(candidates[0].eval.counts.atp(), 7);
+}
+
+TEST_F(SetsTest, RejectsRegexWithTooFewUniqueHints) {
+  // The second regex only ever extracts two unique codes: it cannot join.
+  add_near("gw1.lhr16.alter.net", 1);
+  add_near("gw2.nrt2.alter.net", 2);
+  add_near("gw3.sea7.alter.net", 4);
+  add_near("dialup-x.london.uk.alter.net", 1);
+  add_near("dialup-y.frankfurt.de.alter.net", 3);
+
+  std::vector<GeoRegex> regexes;
+  regexes.push_back(geo_regex("^[^\\.]+\\.([a-z]{3})\\d+\\.alter\\.net$", {Role::kIata}));
+  regexes.push_back(geo_regex("^[^\\.]+\\.([a-z]+)\\.([a-z]{2})\\.alter\\.net$",
+                              {Role::kCityName, Role::kCountryCode}));
+
+  const Evaluator ev(dict_, meas_);
+  const NcBuilder builder(ev);
+  const auto candidates = builder.build("alter.net", regexes, tagged_);
+  ASSERT_FALSE(candidates.empty());
+  for (const auto& c : candidates) EXPECT_EQ(c.nc.regexes.size(), 1u);
+}
+
+TEST_F(SetsTest, DiscardsZeroTpRegexes) {
+  add_near("gw1.lhr16.alter.net", 1);
+  std::vector<GeoRegex> regexes;
+  regexes.push_back(geo_regex("^[^\\.]+\\.([a-z]{3})\\d+\\.other\\.net$", {Role::kIata}));
+  const Evaluator ev(dict_, meas_);
+  const NcBuilder builder(ev);
+  EXPECT_TRUE(builder.build("alter.net", regexes, tagged_).empty());
+}
+
+TEST(Classify, ThresholdsPerPaper) {
+  RankConfig config;
+  NcEvaluation e;
+  e.counts.tp = 18;
+  e.counts.fp = 1;  // PPV ~94.7%
+  e.unique_tp_codes = {"a", "b", "c"};
+  EXPECT_EQ(classify(e, config), NcClass::kGood);
+  e.counts.fp = 3;  // PPV ~85.7%
+  EXPECT_EQ(classify(e, config), NcClass::kPromising);
+  e.counts.fp = 6;  // PPV 75%
+  EXPECT_EQ(classify(e, config), NcClass::kPoor);
+}
+
+TEST(Classify, NeedsThreeUniqueHints) {
+  NcEvaluation e;
+  e.counts.tp = 50;
+  e.unique_tp_codes = {"a", "b"};
+  EXPECT_EQ(classify(e, {}), NcClass::kPoor);
+  EXPECT_FALSE(is_usable(NcClass::kPoor));
+  EXPECT_TRUE(is_usable(NcClass::kPromising));
+  EXPECT_TRUE(is_usable(NcClass::kGood));
+}
+
+TEST(SelectBest, PrefersSimplerWithinMargin) {
+  std::vector<NcBuilder::Candidate> candidates(2);
+  candidates[0].nc.regexes.resize(3);
+  candidates[0].eval.counts.tp = 20;
+  candidates[1].nc.regexes.resize(1);
+  candidates[1].eval.counts.tp = 18;  // within 3 TPs, fewer regexes
+  const auto* best = select_best(candidates, {});
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->nc.regexes.size(), 1u);
+}
+
+TEST(SelectBest, KeepsTopWhenMarginExceeded) {
+  std::vector<NcBuilder::Candidate> candidates(2);
+  candidates[0].nc.regexes.resize(3);
+  candidates[0].eval.counts.tp = 20;
+  candidates[1].nc.regexes.resize(1);
+  candidates[1].eval.counts.tp = 10;
+  const auto* best = select_best(candidates, {});
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->nc.regexes.size(), 3u);
+}
+
+TEST(SelectBest, EmptyInput) {
+  EXPECT_EQ(select_best({}, {}), nullptr);
+}
+
+}  // namespace
+}  // namespace hoiho::core

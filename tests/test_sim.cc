@@ -1,0 +1,287 @@
+// Unit and invariant tests for the synthetic Internet generator and the
+// probing simulator.
+#include <gtest/gtest.h>
+
+#include "geo/coord.h"
+#include "measure/consistency.h"
+#include <set>
+
+#include "dns/hostname.h"
+#include "sim/scenario.h"
+
+namespace hoiho::sim {
+namespace {
+
+TEST(Naming, RenderBasicTemplate) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  NamingScheme scheme;
+  scheme.hint_role = core::Role::kIata;
+  scheme.labels = {{Part::role(), Part::num()}, {Part::geo(), Part::num()}};
+  geo::LocationId london = dict.lookup(geo::HintType::kCityName, "london")[0];
+  for (geo::LocationId id : dict.lookup(geo::HintType::kCityName, "london"))
+    if (geo::same_country(dict.location(id).country, "uk")) london = id;
+  util::Rng rng(1);
+  const auto rendered = render_hostname(scheme, dict, london, "x.net", rng);
+  ASSERT_TRUE(rendered.has_value());
+  EXPECT_TRUE(rendered->has_geohint);
+  EXPECT_NE(rendered->hostname.find("lhr"), std::string::npos);
+  EXPECT_NE(rendered->hostname.find(".x.net"), std::string::npos);
+}
+
+TEST(Naming, CustomCodeOverridesDictionary) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  NamingScheme scheme;
+  scheme.hint_role = core::Role::kIata;
+  scheme.labels = {{Part::geo()}};
+  geo::LocationId tokyo = geo::kInvalidLocation;
+  for (geo::LocationId id : dict.lookup(geo::HintType::kCityName, "tokyo")) tokyo = id;
+  scheme.custom_codes[tokyo] = "tok";
+  util::Rng rng(1);
+  const auto rendered = render_hostname(scheme, dict, tokyo, "x.net", rng);
+  ASSERT_TRUE(rendered.has_value());
+  EXPECT_EQ(rendered->hostname, "tok.x.net");
+}
+
+TEST(Naming, LocationWithoutCodeYieldsNothing) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  NamingScheme scheme;
+  scheme.hint_role = core::Role::kIata;
+  scheme.labels = {{Part::geo()}};
+  geo::LocationId ashburn = geo::kInvalidLocation;  // no IATA code
+  for (geo::LocationId id : dict.lookup(geo::HintType::kCityName, "ashburn"))
+    if (dict.location(id).state == "va") ashburn = id;
+  util::Rng rng(1);
+  EXPECT_FALSE(render_hostname(scheme, dict, ashburn, "x.net", rng).has_value());
+}
+
+TEST(Naming, SplitClliRendering) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  NamingScheme scheme;
+  scheme.hint_role = core::Role::kClli;
+  scheme.split_clli = true;
+  scheme.labels = {{Part::geo()}};
+  geo::LocationId ashburn = geo::kInvalidLocation;
+  for (geo::LocationId id : dict.lookup(geo::HintType::kCityName, "ashburn"))
+    if (dict.location(id).state == "va") ashburn = id;
+  util::Rng rng(1);
+  const auto rendered = render_hostname(scheme, dict, ashburn, "x.net", rng);
+  ASSERT_TRUE(rendered.has_value());
+  // "asbn<digit>-va.x.net"
+  EXPECT_EQ(rendered->hostname.substr(0, 4), "asbn");
+  EXPECT_NE(rendered->hostname.find("-va."), std::string::npos);
+}
+
+TEST(Naming, ExtraLabelRateVariesShape) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  NamingScheme scheme;
+  scheme.hint_role = core::Role::kIata;
+  scheme.extra_label_rate = 0.5;
+  scheme.labels = {{Part::role(), Part::num()}, {Part::geo(), Part::num()}};
+  geo::LocationId london = geo::kInvalidLocation;
+  for (geo::LocationId id : dict.lookup(geo::HintType::kCityName, "london"))
+    if (geo::same_country(dict.location(id).country, "uk")) london = id;
+  util::Rng rng(9);
+  std::set<std::size_t> label_counts;
+  for (int i = 0; i < 40; ++i) {
+    const auto rendered = render_hostname(scheme, dict, london, "x.net", rng);
+    ASSERT_TRUE(rendered.has_value());
+    const auto h = dns::parse_hostname(rendered->hostname);
+    ASSERT_TRUE(h.has_value()) << rendered->hostname;
+    label_counts.insert(h->labels().size());
+  }
+  // Both the 2-label and the 3-label (extra leading "0"/"1") shapes occur.
+  EXPECT_EQ(label_counts, (std::set<std::size_t>{2, 3}));
+}
+
+TEST(Naming, GbRenderedAsUk) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  NamingScheme scheme;
+  scheme.hint_role = core::Role::kIata;
+  scheme.labels = {{Part::geo()}, {Part::country()}};
+  geo::LocationId london = geo::kInvalidLocation;
+  for (geo::LocationId id : dict.lookup(geo::HintType::kCityName, "london"))
+    if (geo::same_country(dict.location(id).country, "uk")) london = id;
+  util::Rng rng(1);
+  const auto rendered = render_hostname(scheme, dict, london, "x.net", rng);
+  ASSERT_TRUE(rendered.has_value());
+  EXPECT_NE(rendered->hostname.find(".uk."), std::string::npos);
+}
+
+TEST(Naming, CustomCodesAreLearnable) {
+  // Every code make_custom_code() builds must satisfy the §5.4 abbreviation
+  // heuristics the learner uses — otherwise the simulator would generate
+  // unlearnable worlds.
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  util::Rng rng(3);
+  std::size_t made = 0;
+  for (geo::LocationId id = 0; id < dict.size(); ++id) {
+    const auto code = make_custom_code(core::Role::kIata, dict, id, rng);
+    if (!code) continue;
+    ++made;
+    EXPECT_EQ(code->size(), 3u);
+    EXPECT_TRUE(geo::is_location_abbrev(*code, dict.location(id)))
+        << *code << " vs " << dict.location(id).city;
+  }
+  EXPECT_GT(made, dict.size() / 2);
+}
+
+TEST(Naming, CustomClliCodesCarryStateOrCountry) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  util::Rng rng(5);
+  for (geo::LocationId id = 0; id < dict.size(); id += 7) {
+    const auto code = make_custom_code(core::Role::kClli, dict, id, rng);
+    if (!code) continue;
+    ASSERT_EQ(code->size(), 6u);
+    const geo::Location& loc = dict.location(id);
+    const std::string tail = code->substr(4, 2);
+    const std::string state2 = loc.state.substr(0, 2);
+    EXPECT_TRUE(tail == state2 || geo::same_country(tail, loc.country))
+        << *code << " for " << loc.city;
+  }
+}
+
+TEST(Naming, WellKnownCommunityCodes) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  util::Rng rng(5);
+  geo::LocationId toronto = geo::kInvalidLocation;
+  for (geo::LocationId id : dict.lookup(geo::HintType::kCityName, "toronto")) toronto = id;
+  const auto code = make_custom_code(core::Role::kIata, dict, toronto, rng);
+  ASSERT_TRUE(code.has_value());
+  EXPECT_EQ(*code, "tor");  // paper table 5
+}
+
+TEST(World, GenerateBasicInvariants) {
+  WorldConfig config;
+  config.seed = 99;
+  config.operators = 30;
+  const World world = generate_world(geo::builtin_dictionary(), config);
+  EXPECT_EQ(world.operators.size(), 30u);
+  EXPECT_GT(world.topology.size(), 60u);  // >= 2 routers per operator
+  EXPECT_EQ(world.vps.size(), config.vp_count);
+  // Every router has a valid true location.
+  for (const topo::Router& r : world.topology.routers()) {
+    EXPECT_LT(r.true_location, geo::builtin_dictionary().size());
+    EXPECT_FALSE(r.interfaces.empty());
+  }
+  // Truth records index correctly.
+  for (const HostnameTruth& t : world.truths) {
+    const HostnameTruth* via_index = world.truth_for(t.hostname);
+    ASSERT_NE(via_index, nullptr);
+    EXPECT_EQ(via_index->hostname, t.hostname);
+  }
+}
+
+TEST(World, HostnameRateRoughlyHolds) {
+  WorldConfig config;
+  config.seed = 7;
+  config.operators = 60;
+  config.hostname_rate = 0.55;
+  const World world = generate_world(geo::builtin_dictionary(), config);
+  const double rate = static_cast<double>(world.topology.count_with_hostname()) /
+                      static_cast<double>(world.topology.size());
+  // Hostname rates differ per operator class (backbones name more of
+  // their routers), so the aggregate varies with the operator mix.
+  EXPECT_NEAR(rate, 0.55, 0.13);
+}
+
+TEST(Probing, MeasuredNeverBeatsSpeedOfLight) {
+  // The physical invariant the whole method rests on.
+  WorldConfig config;
+  config.seed = 13;
+  config.operators = 15;
+  const World world = generate_world(geo::builtin_dictionary(), config);
+  const measure::Measurements meas = probe_pings(world, PingConfig{});
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  for (const topo::Router& r : world.topology.routers()) {
+    const geo::Coordinate& at = dict.location(r.true_location).coord;
+    for (measure::VpId v = 0; v < meas.vps.size(); ++v) {
+      const auto rtt = meas.pings.rtt(r.id, v);
+      if (!rtt) continue;
+      EXPECT_GE(*rtt + 1e-9, geo::min_rtt_ms(at, meas.vps[v].coord));
+    }
+  }
+}
+
+TEST(Probing, TrueLocationAlwaysConsistent) {
+  WorldConfig config;
+  config.seed = 17;
+  config.operators = 10;
+  const World world = generate_world(geo::builtin_dictionary(), config);
+  const measure::Measurements meas = probe_pings(world, PingConfig{});
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  for (const topo::Router& r : world.topology.routers()) {
+    EXPECT_TRUE(measure::rtt_consistent(meas.pings, meas.vps, r.id,
+                                        dict.location(r.true_location).coord));
+  }
+}
+
+TEST(Probing, ResponseRateRoughlyHolds) {
+  WorldConfig config;
+  config.seed = 19;
+  config.operators = 60;
+  const World world = generate_world(geo::builtin_dictionary(), config);
+  PingConfig pc;
+  pc.router_response_rate = 0.82;
+  const measure::Measurements meas = probe_pings(world, pc);
+  const double rate = static_cast<double>(meas.pings.responsive_router_count()) /
+                      static_cast<double>(world.topology.size());
+  EXPECT_NEAR(rate, 0.82, 0.06);
+}
+
+TEST(Probing, TracerouteSparserAndSlower) {
+  // Fig. 5's premise: traceroute-observed RTTs come from fewer VPs and are
+  // larger than ping RTTs.
+  WorldConfig config;
+  config.seed = 23;
+  config.operators = 40;
+  const World world = generate_world(geo::builtin_dictionary(), config);
+  const measure::Measurements pings = probe_pings(world, PingConfig{});
+  const measure::Measurements traces = probe_traceroutes(world, TraceConfig{});
+
+  double ping_sum = 0, trace_sum = 0;
+  std::size_t both = 0, ping_vps = 0, trace_vps = 0;
+  for (const topo::Router& r : world.topology.routers()) {
+    const auto p = pings.pings.closest_vp(r.id);
+    const auto t = traces.pings.closest_vp(r.id);
+    ping_vps += pings.pings.sample_count(r.id);
+    trace_vps += traces.pings.sample_count(r.id);
+    if (!p || !t) continue;
+    ping_sum += p->second;
+    trace_sum += t->second;
+    ++both;
+  }
+  ASSERT_GT(both, 50u);
+  EXPECT_GT(trace_sum / static_cast<double>(both), 2.0 * ping_sum / static_cast<double>(both));
+  EXPECT_GT(ping_vps, 5 * trace_vps);
+}
+
+TEST(Scenario, ItdkShapesMatchTable1) {
+  const ItdkScenario v4 = make_itdk(ItdkKind::kIpv4Aug20, 0.15);
+  const ItdkScenario v6 = make_itdk(ItdkKind::kIpv6Nov20, 0.3);
+  EXPECT_EQ(v4.pings.vps.size(), 106u);
+  EXPECT_EQ(v6.pings.vps.size(), 46u);
+  const double v4_rate = static_cast<double>(v4.world.topology.count_with_hostname()) /
+                         static_cast<double>(v4.world.topology.size());
+  const double v6_rate = static_cast<double>(v6.world.topology.count_with_hostname()) /
+                         static_cast<double>(v6.world.topology.size());
+  EXPECT_GT(v4_rate, 0.4);
+  EXPECT_LT(v6_rate, 0.3);
+}
+
+TEST(Scenario, ValidationHasThirteenNetworks) {
+  const ValidationScenario sc = make_validation(7);
+  EXPECT_EQ(sc.suffixes.size(), 13u);
+  EXPECT_TRUE(sc.hloc_unreachable.contains("nysernet.net"));
+  // he.net must carry the canonical "ash" custom code at Ashburn.
+  bool found_ash = false;
+  for (const OperatorSpec& op : sc.world.operators) {
+    if (op.suffix != "he.net") continue;
+    for (const auto& [loc, code] : op.scheme.custom_codes) {
+      if (code == "ash" && sc.world.dict->location(loc).city == "Ashburn") found_ash = true;
+    }
+  }
+  EXPECT_TRUE(found_ash);
+}
+
+}  // namespace
+}  // namespace hoiho::sim

@@ -1,0 +1,108 @@
+// Unit tests for topo/topology.h and topo/itdk_io.h.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topo/itdk_io.h"
+#include "topo/topology.h"
+
+namespace hoiho::topo {
+namespace {
+
+Topology sample() {
+  Topology topo;
+  const RouterId r0 = topo.add_router(7);
+  topo.add_interface(r0, "10.0.0.1", "core1.ash1.he.net");
+  topo.add_interface(r0, "10.0.0.2", "core1-b.ash1.he.net");
+  const RouterId r1 = topo.add_router();
+  topo.add_interface(r1, "10.0.0.3", "gw1.sfo16.alter.net");
+  const RouterId r2 = topo.add_router();
+  topo.add_interface(r2, "10.0.0.4", {});  // no PTR
+  return topo;
+}
+
+TEST(Topology, AddAndQuery) {
+  const Topology topo = sample();
+  EXPECT_EQ(topo.size(), 3u);
+  EXPECT_EQ(topo.router(0).true_location, 7u);
+  EXPECT_EQ(topo.router(1).true_location, geo::kInvalidLocation);
+  EXPECT_EQ(topo.router(0).interfaces.size(), 2u);
+  EXPECT_TRUE(topo.router(0).has_hostname());
+  EXPECT_FALSE(topo.router(2).has_hostname());
+  EXPECT_EQ(topo.count_with_hostname(), 2u);
+}
+
+TEST(Topology, InvalidHostnameTreatedAsAbsent) {
+  Topology topo;
+  const RouterId r = topo.add_router();
+  EXPECT_FALSE(topo.add_interface(r, "10.0.0.1", "..bad.."));
+  EXPECT_FALSE(topo.router(r).interfaces[0].hostname.has_value());
+  EXPECT_TRUE(topo.add_interface(r, "10.0.0.2", "ok.he.net"));
+}
+
+TEST(Topology, GroupBySuffix) {
+  const Topology topo = sample();
+  const auto groups = topo.group_by_suffix();
+  ASSERT_EQ(groups.size(), 2u);  // sorted: alter.net, he.net
+  EXPECT_EQ(groups[0].suffix, "alter.net");
+  EXPECT_EQ(groups[0].hostnames.size(), 1u);
+  EXPECT_EQ(groups[1].suffix, "he.net");
+  EXPECT_EQ(groups[1].hostnames.size(), 2u);
+  EXPECT_EQ(groups[1].hostnames[0].router, 0u);
+}
+
+TEST(Topology, GroupBySuffixMinimum) {
+  const Topology topo = sample();
+  const auto groups = topo.group_by_suffix(2);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].suffix, "he.net");
+}
+
+TEST(ItdkIo, WriteNodesFormat) {
+  std::ostringstream out;
+  write_nodes(out, sample());
+  EXPECT_NE(out.str().find("node N0: 10.0.0.1 10.0.0.2"), std::string::npos);
+  EXPECT_NE(out.str().find("node N2: 10.0.0.4"), std::string::npos);
+}
+
+TEST(ItdkIo, RoundTrip) {
+  const Topology original = sample();
+  std::ostringstream nodes_out, names_out;
+  write_nodes(nodes_out, original);
+  write_names(names_out, original);
+
+  std::istringstream nodes_in(nodes_out.str()), names_in(names_out.str());
+  std::string error;
+  const auto loaded = read_itdk(nodes_in, &names_in, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->count_with_hostname(), original.count_with_hostname());
+  ASSERT_TRUE(loaded->router(0).interfaces[0].hostname.has_value());
+  EXPECT_EQ(loaded->router(0).interfaces[0].hostname->full, "core1.ash1.he.net");
+}
+
+TEST(ItdkIo, NodesWithoutNames) {
+  std::istringstream nodes_in("node N0: 1.2.3.4 5.6.7.8\nnode N1: 9.9.9.9\n");
+  const auto loaded = read_itdk(nodes_in, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->count_with_hostname(), 0u);
+}
+
+TEST(ItdkIo, RejectsMalformedNodeLine) {
+  std::istringstream nodes_in("nodule N0: 1.2.3.4\n");
+  std::string error;
+  EXPECT_FALSE(read_itdk(nodes_in, nullptr, &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(ItdkIo, UnknownAddressesInNamesIgnored) {
+  std::istringstream nodes_in("node N0: 1.2.3.4\n");
+  std::istringstream names_in("8.8.8.8 dns.google\n1.2.3.4 r1.he.net\n");
+  const auto loaded = read_itdk(nodes_in, &names_in);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->count_with_hostname(), 1u);
+}
+
+}  // namespace
+}  // namespace hoiho::topo
