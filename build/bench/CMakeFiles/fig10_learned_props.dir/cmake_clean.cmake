@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_learned_props.dir/fig10_learned_props.cc.o"
+  "CMakeFiles/fig10_learned_props.dir/fig10_learned_props.cc.o.d"
+  "fig10_learned_props"
+  "fig10_learned_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_learned_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_learned_rtt.dir/fig11_learned_rtt.cc.o"
+  "CMakeFiles/fig11_learned_rtt.dir/fig11_learned_rtt.cc.o.d"
+  "fig11_learned_rtt"
+  "fig11_learned_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_learned_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_alternet.cc" "bench/CMakeFiles/fig13_alternet.dir/fig13_alternet.cc.o" "gcc" "bench/CMakeFiles/fig13_alternet.dir/fig13_alternet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_geo_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_alternet.dir/fig13_alternet.cc.o"
+  "CMakeFiles/fig13_alternet.dir/fig13_alternet.cc.o.d"
+  "fig13_alternet"
+  "fig13_alternet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_alternet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

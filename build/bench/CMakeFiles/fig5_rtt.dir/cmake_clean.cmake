@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_rtt.dir/fig5_rtt.cc.o"
+  "CMakeFiles/fig5_rtt.dir/fig5_rtt.cc.o.d"
+  "fig5_rtt"
+  "fig5_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_regex.dir/micro_regex.cc.o"
+  "CMakeFiles/micro_regex.dir/micro_regex.cc.o.d"
+  "micro_regex"
+  "micro_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

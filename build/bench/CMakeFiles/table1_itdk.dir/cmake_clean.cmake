@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_itdk.dir/table1_itdk.cc.o"
+  "CMakeFiles/table1_itdk.dir/table1_itdk.cc.o.d"
+  "table1_itdk"
+  "table1_itdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_itdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_types.dir/table4_types.cc.o"
+  "CMakeFiles/table4_types.dir/table4_types.cc.o.d"
+  "table4_types"
+  "table4_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

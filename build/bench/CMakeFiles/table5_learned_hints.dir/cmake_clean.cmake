@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_learned_hints.dir/table5_learned_hints.cc.o"
+  "CMakeFiles/table5_learned_hints.dir/table5_learned_hints.cc.o.d"
+  "table5_learned_hints"
+  "table5_learned_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_learned_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

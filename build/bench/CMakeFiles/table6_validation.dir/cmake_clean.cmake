@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_validation.dir/table6_validation.cc.o"
+  "CMakeFiles/table6_validation.dir/table6_validation.cc.o.d"
+  "table6_validation"
+  "table6_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_geohints.dir/custom_geohints.cpp.o"
+  "CMakeFiles/custom_geohints.dir/custom_geohints.cpp.o.d"
+  "custom_geohints"
+  "custom_geohints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_geohints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolocate_hostnames.dir/geolocate_hostnames.cpp.o"
+  "CMakeFiles/geolocate_hostnames.dir/geolocate_hostnames.cpp.o.d"
+  "geolocate_hostnames"
+  "geolocate_hostnames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolocate_hostnames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

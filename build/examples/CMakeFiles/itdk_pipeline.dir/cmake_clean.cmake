@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdk_pipeline.dir/itdk_pipeline.cpp.o"
+  "CMakeFiles/itdk_pipeline.dir/itdk_pipeline.cpp.o.d"
+  "itdk_pipeline"
+  "itdk_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdk_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

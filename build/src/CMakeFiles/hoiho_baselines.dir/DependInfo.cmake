@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cbg.cc" "src/CMakeFiles/hoiho_baselines.dir/baselines/cbg.cc.o" "gcc" "src/CMakeFiles/hoiho_baselines.dir/baselines/cbg.cc.o.d"
+  "/root/repo/src/baselines/drop.cc" "src/CMakeFiles/hoiho_baselines.dir/baselines/drop.cc.o" "gcc" "src/CMakeFiles/hoiho_baselines.dir/baselines/drop.cc.o.d"
+  "/root/repo/src/baselines/hloc.cc" "src/CMakeFiles/hoiho_baselines.dir/baselines/hloc.cc.o" "gcc" "src/CMakeFiles/hoiho_baselines.dir/baselines/hloc.cc.o.d"
+  "/root/repo/src/baselines/shortest_ping.cc" "src/CMakeFiles/hoiho_baselines.dir/baselines/shortest_ping.cc.o" "gcc" "src/CMakeFiles/hoiho_baselines.dir/baselines/shortest_ping.cc.o.d"
+  "/root/repo/src/baselines/undns.cc" "src/CMakeFiles/hoiho_baselines.dir/baselines/undns.cc.o" "gcc" "src/CMakeFiles/hoiho_baselines.dir/baselines/undns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hoiho_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_geo_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoiho_baselines.dir/baselines/cbg.cc.o"
+  "CMakeFiles/hoiho_baselines.dir/baselines/cbg.cc.o.d"
+  "CMakeFiles/hoiho_baselines.dir/baselines/drop.cc.o"
+  "CMakeFiles/hoiho_baselines.dir/baselines/drop.cc.o.d"
+  "CMakeFiles/hoiho_baselines.dir/baselines/hloc.cc.o"
+  "CMakeFiles/hoiho_baselines.dir/baselines/hloc.cc.o.d"
+  "CMakeFiles/hoiho_baselines.dir/baselines/shortest_ping.cc.o"
+  "CMakeFiles/hoiho_baselines.dir/baselines/shortest_ping.cc.o.d"
+  "CMakeFiles/hoiho_baselines.dir/baselines/undns.cc.o"
+  "CMakeFiles/hoiho_baselines.dir/baselines/undns.cc.o.d"
+  "libhoiho_baselines.a"
+  "libhoiho_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoiho_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/apparent.cc" "src/CMakeFiles/hoiho_core.dir/core/apparent.cc.o" "gcc" "src/CMakeFiles/hoiho_core.dir/core/apparent.cc.o.d"
+  "/root/repo/src/core/eval.cc" "src/CMakeFiles/hoiho_core.dir/core/eval.cc.o" "gcc" "src/CMakeFiles/hoiho_core.dir/core/eval.cc.o.d"
+  "/root/repo/src/core/geohint.cc" "src/CMakeFiles/hoiho_core.dir/core/geohint.cc.o" "gcc" "src/CMakeFiles/hoiho_core.dir/core/geohint.cc.o.d"
+  "/root/repo/src/core/geolocate.cc" "src/CMakeFiles/hoiho_core.dir/core/geolocate.cc.o" "gcc" "src/CMakeFiles/hoiho_core.dir/core/geolocate.cc.o.d"
+  "/root/repo/src/core/hoiho.cc" "src/CMakeFiles/hoiho_core.dir/core/hoiho.cc.o" "gcc" "src/CMakeFiles/hoiho_core.dir/core/hoiho.cc.o.d"
+  "/root/repo/src/core/learn.cc" "src/CMakeFiles/hoiho_core.dir/core/learn.cc.o" "gcc" "src/CMakeFiles/hoiho_core.dir/core/learn.cc.o.d"
+  "/root/repo/src/core/nc_io.cc" "src/CMakeFiles/hoiho_core.dir/core/nc_io.cc.o" "gcc" "src/CMakeFiles/hoiho_core.dir/core/nc_io.cc.o.d"
+  "/root/repo/src/core/rank.cc" "src/CMakeFiles/hoiho_core.dir/core/rank.cc.o" "gcc" "src/CMakeFiles/hoiho_core.dir/core/rank.cc.o.d"
+  "/root/repo/src/core/regex_gen.cc" "src/CMakeFiles/hoiho_core.dir/core/regex_gen.cc.o" "gcc" "src/CMakeFiles/hoiho_core.dir/core/regex_gen.cc.o.d"
+  "/root/repo/src/core/regex_sets.cc" "src/CMakeFiles/hoiho_core.dir/core/regex_sets.cc.o" "gcc" "src/CMakeFiles/hoiho_core.dir/core/regex_sets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hoiho_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_geo_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoiho_core.dir/core/apparent.cc.o"
+  "CMakeFiles/hoiho_core.dir/core/apparent.cc.o.d"
+  "CMakeFiles/hoiho_core.dir/core/eval.cc.o"
+  "CMakeFiles/hoiho_core.dir/core/eval.cc.o.d"
+  "CMakeFiles/hoiho_core.dir/core/geohint.cc.o"
+  "CMakeFiles/hoiho_core.dir/core/geohint.cc.o.d"
+  "CMakeFiles/hoiho_core.dir/core/geolocate.cc.o"
+  "CMakeFiles/hoiho_core.dir/core/geolocate.cc.o.d"
+  "CMakeFiles/hoiho_core.dir/core/hoiho.cc.o"
+  "CMakeFiles/hoiho_core.dir/core/hoiho.cc.o.d"
+  "CMakeFiles/hoiho_core.dir/core/learn.cc.o"
+  "CMakeFiles/hoiho_core.dir/core/learn.cc.o.d"
+  "CMakeFiles/hoiho_core.dir/core/nc_io.cc.o"
+  "CMakeFiles/hoiho_core.dir/core/nc_io.cc.o.d"
+  "CMakeFiles/hoiho_core.dir/core/rank.cc.o"
+  "CMakeFiles/hoiho_core.dir/core/rank.cc.o.d"
+  "CMakeFiles/hoiho_core.dir/core/regex_gen.cc.o"
+  "CMakeFiles/hoiho_core.dir/core/regex_gen.cc.o.d"
+  "CMakeFiles/hoiho_core.dir/core/regex_sets.cc.o"
+  "CMakeFiles/hoiho_core.dir/core/regex_sets.cc.o.d"
+  "libhoiho_core.a"
+  "libhoiho_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoiho_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoiho_dns.dir/dns/hostname.cc.o"
+  "CMakeFiles/hoiho_dns.dir/dns/hostname.cc.o.d"
+  "CMakeFiles/hoiho_dns.dir/dns/public_suffix.cc.o"
+  "CMakeFiles/hoiho_dns.dir/dns/public_suffix.cc.o.d"
+  "libhoiho_dns.a"
+  "libhoiho_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoiho_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

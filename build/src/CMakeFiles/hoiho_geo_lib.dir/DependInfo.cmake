@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/builtin_data.cc" "src/CMakeFiles/hoiho_geo_lib.dir/geo/builtin_data.cc.o" "gcc" "src/CMakeFiles/hoiho_geo_lib.dir/geo/builtin_data.cc.o.d"
+  "/root/repo/src/geo/coord.cc" "src/CMakeFiles/hoiho_geo_lib.dir/geo/coord.cc.o" "gcc" "src/CMakeFiles/hoiho_geo_lib.dir/geo/coord.cc.o.d"
+  "/root/repo/src/geo/dictionary.cc" "src/CMakeFiles/hoiho_geo_lib.dir/geo/dictionary.cc.o" "gcc" "src/CMakeFiles/hoiho_geo_lib.dir/geo/dictionary.cc.o.d"
+  "/root/repo/src/geo/dictionary_io.cc" "src/CMakeFiles/hoiho_geo_lib.dir/geo/dictionary_io.cc.o" "gcc" "src/CMakeFiles/hoiho_geo_lib.dir/geo/dictionary_io.cc.o.d"
+  "/root/repo/src/geo/location.cc" "src/CMakeFiles/hoiho_geo_lib.dir/geo/location.cc.o" "gcc" "src/CMakeFiles/hoiho_geo_lib.dir/geo/location.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hoiho_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

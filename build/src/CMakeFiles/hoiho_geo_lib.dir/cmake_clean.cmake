@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoiho_geo_lib.dir/geo/builtin_data.cc.o"
+  "CMakeFiles/hoiho_geo_lib.dir/geo/builtin_data.cc.o.d"
+  "CMakeFiles/hoiho_geo_lib.dir/geo/coord.cc.o"
+  "CMakeFiles/hoiho_geo_lib.dir/geo/coord.cc.o.d"
+  "CMakeFiles/hoiho_geo_lib.dir/geo/dictionary.cc.o"
+  "CMakeFiles/hoiho_geo_lib.dir/geo/dictionary.cc.o.d"
+  "CMakeFiles/hoiho_geo_lib.dir/geo/dictionary_io.cc.o"
+  "CMakeFiles/hoiho_geo_lib.dir/geo/dictionary_io.cc.o.d"
+  "CMakeFiles/hoiho_geo_lib.dir/geo/location.cc.o"
+  "CMakeFiles/hoiho_geo_lib.dir/geo/location.cc.o.d"
+  "libhoiho_geo_lib.a"
+  "libhoiho_geo_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoiho_geo_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/consistency.cc" "src/CMakeFiles/hoiho_measure.dir/measure/consistency.cc.o" "gcc" "src/CMakeFiles/hoiho_measure.dir/measure/consistency.cc.o.d"
+  "/root/repo/src/measure/rtt_io.cc" "src/CMakeFiles/hoiho_measure.dir/measure/rtt_io.cc.o" "gcc" "src/CMakeFiles/hoiho_measure.dir/measure/rtt_io.cc.o.d"
+  "/root/repo/src/measure/rtt_matrix.cc" "src/CMakeFiles/hoiho_measure.dir/measure/rtt_matrix.cc.o" "gcc" "src/CMakeFiles/hoiho_measure.dir/measure/rtt_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hoiho_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_geo_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

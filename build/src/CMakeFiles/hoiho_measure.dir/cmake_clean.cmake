@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoiho_measure.dir/measure/consistency.cc.o"
+  "CMakeFiles/hoiho_measure.dir/measure/consistency.cc.o.d"
+  "CMakeFiles/hoiho_measure.dir/measure/rtt_io.cc.o"
+  "CMakeFiles/hoiho_measure.dir/measure/rtt_io.cc.o.d"
+  "CMakeFiles/hoiho_measure.dir/measure/rtt_matrix.cc.o"
+  "CMakeFiles/hoiho_measure.dir/measure/rtt_matrix.cc.o.d"
+  "libhoiho_measure.a"
+  "libhoiho_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoiho_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

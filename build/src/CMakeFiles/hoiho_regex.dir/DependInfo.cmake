@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regex/ast.cc" "src/CMakeFiles/hoiho_regex.dir/regex/ast.cc.o" "gcc" "src/CMakeFiles/hoiho_regex.dir/regex/ast.cc.o.d"
+  "/root/repo/src/regex/matcher.cc" "src/CMakeFiles/hoiho_regex.dir/regex/matcher.cc.o" "gcc" "src/CMakeFiles/hoiho_regex.dir/regex/matcher.cc.o.d"
+  "/root/repo/src/regex/parser.cc" "src/CMakeFiles/hoiho_regex.dir/regex/parser.cc.o" "gcc" "src/CMakeFiles/hoiho_regex.dir/regex/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hoiho_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoiho_regex.dir/regex/ast.cc.o"
+  "CMakeFiles/hoiho_regex.dir/regex/ast.cc.o.d"
+  "CMakeFiles/hoiho_regex.dir/regex/matcher.cc.o"
+  "CMakeFiles/hoiho_regex.dir/regex/matcher.cc.o.d"
+  "CMakeFiles/hoiho_regex.dir/regex/parser.cc.o"
+  "CMakeFiles/hoiho_regex.dir/regex/parser.cc.o.d"
+  "libhoiho_regex.a"
+  "libhoiho_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoiho_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhoiho_regex.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/internet.cc" "src/CMakeFiles/hoiho_sim.dir/sim/internet.cc.o" "gcc" "src/CMakeFiles/hoiho_sim.dir/sim/internet.cc.o.d"
+  "/root/repo/src/sim/naming.cc" "src/CMakeFiles/hoiho_sim.dir/sim/naming.cc.o" "gcc" "src/CMakeFiles/hoiho_sim.dir/sim/naming.cc.o.d"
+  "/root/repo/src/sim/probing.cc" "src/CMakeFiles/hoiho_sim.dir/sim/probing.cc.o" "gcc" "src/CMakeFiles/hoiho_sim.dir/sim/probing.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/CMakeFiles/hoiho_sim.dir/sim/scenario.cc.o" "gcc" "src/CMakeFiles/hoiho_sim.dir/sim/scenario.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hoiho_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_geo_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hoiho_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoiho_sim.dir/sim/internet.cc.o"
+  "CMakeFiles/hoiho_sim.dir/sim/internet.cc.o.d"
+  "CMakeFiles/hoiho_sim.dir/sim/naming.cc.o"
+  "CMakeFiles/hoiho_sim.dir/sim/naming.cc.o.d"
+  "CMakeFiles/hoiho_sim.dir/sim/probing.cc.o"
+  "CMakeFiles/hoiho_sim.dir/sim/probing.cc.o.d"
+  "CMakeFiles/hoiho_sim.dir/sim/scenario.cc.o"
+  "CMakeFiles/hoiho_sim.dir/sim/scenario.cc.o.d"
+  "libhoiho_sim.a"
+  "libhoiho_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoiho_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoiho_topo.dir/topo/itdk_io.cc.o"
+  "CMakeFiles/hoiho_topo.dir/topo/itdk_io.cc.o.d"
+  "CMakeFiles/hoiho_topo.dir/topo/topology.cc.o"
+  "CMakeFiles/hoiho_topo.dir/topo/topology.cc.o.d"
+  "libhoiho_topo.a"
+  "libhoiho_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoiho_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

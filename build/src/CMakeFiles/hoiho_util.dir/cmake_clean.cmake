@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoiho_util.dir/util/csv.cc.o"
+  "CMakeFiles/hoiho_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/hoiho_util.dir/util/strings.cc.o"
+  "CMakeFiles/hoiho_util.dir/util/strings.cc.o.d"
+  "libhoiho_util.a"
+  "libhoiho_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoiho_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

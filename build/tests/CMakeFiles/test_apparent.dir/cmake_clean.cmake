@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apparent.dir/test_apparent.cc.o"
+  "CMakeFiles/test_apparent.dir/test_apparent.cc.o.d"
+  "test_apparent"
+  "test_apparent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apparent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_apparent.
+# This may be replaced when dependencies are built.

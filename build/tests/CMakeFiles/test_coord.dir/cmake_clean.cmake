@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coord.dir/test_coord.cc.o"
+  "CMakeFiles/test_coord.dir/test_coord.cc.o.d"
+  "test_coord"
+  "test_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geolocate.dir/test_geolocate.cc.o"
+  "CMakeFiles/test_geolocate.dir/test_geolocate.cc.o.d"
+  "test_geolocate"
+  "test_geolocate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geolocate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hostname.dir/test_hostname.cc.o"
+  "CMakeFiles/test_hostname.dir/test_hostname.cc.o.d"
+  "test_hostname"
+  "test_hostname.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hostname.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_learn.dir/test_learn.cc.o"
+  "CMakeFiles/test_learn.dir/test_learn.cc.o.d"
+  "test_learn"
+  "test_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

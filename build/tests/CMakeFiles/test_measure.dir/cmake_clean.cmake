@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measure.dir/test_measure.cc.o"
+  "CMakeFiles/test_measure.dir/test_measure.cc.o.d"
+  "test_measure"
+  "test_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

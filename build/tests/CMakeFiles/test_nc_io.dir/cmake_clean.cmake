@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nc_io.dir/test_nc_io.cc.o"
+  "CMakeFiles/test_nc_io.dir/test_nc_io.cc.o.d"
+  "test_nc_io"
+  "test_nc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

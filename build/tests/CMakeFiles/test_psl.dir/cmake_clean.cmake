@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_psl.dir/test_psl.cc.o"
+  "CMakeFiles/test_psl.dir/test_psl.cc.o.d"
+  "test_psl"
+  "test_psl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_psl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regex_gen.dir/test_regex_gen.cc.o"
+  "CMakeFiles/test_regex_gen.dir/test_regex_gen.cc.o.d"
+  "test_regex_gen"
+  "test_regex_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regex_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

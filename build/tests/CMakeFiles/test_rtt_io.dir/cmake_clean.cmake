@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtt_io.dir/test_rtt_io.cc.o"
+  "CMakeFiles/test_rtt_io.dir/test_rtt_io.cc.o.d"
+  "test_rtt_io"
+  "test_rtt_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtt_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sets_rank.dir/test_sets_rank.cc.o"
+  "CMakeFiles/test_sets_rank.dir/test_sets_rank.cc.o.d"
+  "test_sets_rank"
+  "test_sets_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sets_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
