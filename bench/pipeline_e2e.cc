@@ -1,0 +1,151 @@
+// End-to-end pipeline performance bench: runs the full five-stage method
+// over a multi-operator world and reports wall time, hostname throughput,
+// and consistency-cache hit rate for the uncached baseline, the cached
+// sequential run, and cached runs at increasing thread counts.
+//
+// Emits BENCH_PIPELINE.json (path overridable via argv) so the perf
+// trajectory is tracked across PRs; the checked-in copy records the numbers
+// from the machine that produced this revision.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "util/thread_pool.h"
+
+using namespace hoiho;
+
+namespace {
+
+struct RunResult {
+  std::string label;
+  std::size_t threads = 1;
+  bool cache = true;
+  double wall_ms = 0;
+  double hostnames_per_sec = 0;
+  measure::ConsistencyCache::Stats stats;
+  std::size_t suffixes = 0, usable = 0;
+};
+
+RunResult time_run(const std::string& label, const sim::World& world,
+                   const measure::Measurements& pings, std::size_t threads, bool cache,
+                   std::size_t hostnames, int reps) {
+  core::HoihoConfig config;
+  config.threads = threads;
+  config.consistency_cache = cache;
+
+  RunResult out;
+  out.label = label;
+  out.threads = threads;
+  out.cache = cache;
+  out.wall_ms = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::HoihoResult result = bench::run_hoiho(world, pings, config);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < out.wall_ms) out.wall_ms = ms;
+    if (rep == 0) {
+      out.suffixes = result.suffixes.size();
+      for (const core::SuffixResult& sr : result.suffixes) {
+        out.stats += sr.cache_stats;
+        if (sr.usable()) ++out.usable;
+      }
+    }
+  }
+  out.hostnames_per_sec = out.wall_ms <= 0 ? 0 : static_cast<double>(hostnames) / (out.wall_ms / 1e3);
+  return out;
+}
+
+std::string fmt3(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PIPELINE.json";
+  const int reps = std::max(1, argc > 2 ? std::atoi(argv[2]) : 3);
+
+  // A multi-operator world heavy enough that per-suffix work dominates.
+  sim::WorldConfig wc;
+  wc.seed = 99;
+  wc.operators = 48;
+  wc.geohint_scheme_rate = 0.8;
+  wc.hostname_rate = 0.8;
+  const sim::World world = sim::generate_world(geo::builtin_dictionary(), wc);
+  const measure::Measurements pings = sim::probe_pings(world, {});
+
+  std::size_t hostnames = 0;
+  const auto groups = world.topology.group_by_suffix();
+  for (const topo::SuffixGroup& g : groups) hostnames += g.hostnames.size();
+
+  const std::size_t hw = util::ThreadPool::resolve(0);
+  std::printf("pipeline_e2e: %zu operators, %zu routers, %zu hostnames, %zu suffix groups, "
+              "%zu hardware threads, best of %d reps\n\n",
+              world.operators.size(), world.topology.size(), hostnames, groups.size(), hw, reps);
+
+  std::vector<RunResult> runs;
+  runs.push_back(time_run("uncached_1t", world, pings, 1, false, hostnames, reps));
+  runs.push_back(time_run("cached_1t", world, pings, 1, true, hostnames, reps));
+  for (std::size_t t : {std::size_t{2}, std::size_t{4}}) {
+    runs.push_back(time_run("cached_" + std::to_string(t) + "t", world, pings, t, true,
+                            hostnames, reps));
+  }
+  if (hw > 4)
+    runs.push_back(time_run("cached_" + std::to_string(hw) + "t", world, pings, hw, true,
+                            hostnames, reps));
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"run", "threads", "cache", "wall ms", "hostnames/s", "hit rate", "usable NCs"});
+  for (const RunResult& r : runs) {
+    char hit[32];
+    std::snprintf(hit, sizeof hit, "%.1f%%", 100.0 * r.stats.hit_rate());
+    rows.push_back({r.label, std::to_string(r.threads), r.cache ? "on" : "off",
+                    fmt3(r.wall_ms),
+                    fmt3(r.hostnames_per_sec), hit,
+                    std::to_string(r.usable) + "/" + std::to_string(r.suffixes)});
+  }
+  bench::print_table(rows);
+
+  const double cache_speedup = runs[1].wall_ms <= 0 ? 0 : runs[0].wall_ms / runs[1].wall_ms;
+  const double scale4 = runs[3].wall_ms <= 0 ? 0 : runs[1].wall_ms / runs[3].wall_ms;
+  std::printf("\ncache speedup (1 thread): %.2fx; 4-thread speedup over 1: %.2fx\n",
+              cache_speedup, scale4);
+
+  std::ofstream out(out_path);
+  out << "{\n";
+  out << "  \"bench\": \"pipeline_e2e\",\n";
+  out << "  \"hardware_concurrency\": " << hw << ",\n";
+  out << "  \"reps\": " << reps << ",\n";
+  out << "  \"world\": {\"operators\": " << world.operators.size()
+      << ", \"routers\": " << world.topology.size() << ", \"hostnames\": " << hostnames
+      << ", \"suffix_groups\": " << groups.size() << "},\n";
+  out << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    out << "    {\"label\": \"" << r.label << "\", \"threads\": " << r.threads
+        << ", \"consistency_cache\": " << (r.cache ? "true" : "false")
+        << ", \"wall_ms\": " << fmt3(r.wall_ms)
+        << ", \"hostnames_per_sec\": " << fmt3(r.hostnames_per_sec)
+        << ", \"cache_hit_rate\": " << fmt3(r.stats.hit_rate())
+        << ", \"cache_hits\": " << r.stats.hits << ", \"cache_misses\": " << r.stats.misses
+        << ", \"prefilter_rejects\": " << r.stats.prefilter_rejects
+        << ", \"suffixes\": " << r.suffixes << ", \"usable\": " << r.usable << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"derived\": {\"cache_speedup_1t\": " << fmt3(cache_speedup)
+      << ", \"speedup_4t_vs_1t\": " << fmt3(scale4) << "}\n";
+  out << "}\n";
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -7,17 +7,19 @@
 namespace hoiho::core {
 
 ApparentTagger::ApparentTagger(const geo::GeoDictionary& dict, const measure::Measurements& meas,
-                               ApparentConfig config)
-    : dict_(dict), meas_(meas), config_(config) {}
+                               ApparentConfig config, measure::ConsistencyCache* cache)
+    : dict_(dict), meas_(meas), config_(config), cache_(cache) {}
 
 std::vector<geo::LocationId> ApparentTagger::consistent_locations(
     topo::RouterId router, std::span<const geo::LocationId> ids) const {
   std::vector<geo::LocationId> out;
   for (geo::LocationId id : ids) {
-    if (measure::rtt_consistent(meas_.pings, meas_.vps, router, dict_.location(id).coord,
-                                config_.slack_ms)) {
-      out.push_back(id);
-    }
+    const geo::Coordinate& coord = dict_.location(id).coord;
+    const bool ok = cache_ != nullptr
+                        ? cache_->consistent(router, id, coord, config_.slack_ms)
+                        : measure::rtt_consistent(meas_.pings, meas_.vps, router, coord,
+                                                  config_.slack_ms);
+    if (ok) out.push_back(id);
   }
   return out;
 }

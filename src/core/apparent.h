@@ -13,6 +13,7 @@
 #include "core/geohint.h"
 #include "geo/dictionary.h"
 #include "measure/consistency.h"
+#include "measure/consistency_cache.h"
 
 namespace hoiho::core {
 
@@ -25,8 +26,10 @@ struct ApparentConfig {
 
 class ApparentTagger {
  public:
+  // `cache`, if non-null, memoizes RTT-consistency verdicts; it must be
+  // built over the same measurements and slack and outlive the tagger.
   ApparentTagger(const geo::GeoDictionary& dict, const measure::Measurements& meas,
-                 ApparentConfig config = {});
+                 ApparentConfig config = {}, measure::ConsistencyCache* cache = nullptr);
 
   // Tags one hostname with its apparent geohints.
   TaggedHostname tag(const topo::HostnameRef& ref) const;
@@ -38,6 +41,7 @@ class ApparentTagger {
   const geo::GeoDictionary& dict_;
   const measure::Measurements& meas_;
   ApparentConfig config_;
+  measure::ConsistencyCache* cache_;
 
   // Keeps only RTT-consistent locations for this router; empty result means
   // the hit is not an apparent geohint.

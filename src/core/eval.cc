@@ -19,8 +19,14 @@ std::string_view to_string(Outcome o) {
 }
 
 Evaluator::Evaluator(const geo::GeoDictionary& dict, const measure::Measurements& meas,
-                     double slack_ms)
-    : dict_(dict), meas_(meas), slack_ms_(slack_ms) {}
+                     double slack_ms, measure::ConsistencyCache* cache)
+    : dict_(dict), meas_(meas), slack_ms_(slack_ms), cache_(cache) {}
+
+bool Evaluator::rtt_consistent_for(topo::RouterId r, geo::LocationId id) const {
+  const geo::Coordinate& coord = dict_.location(id).coord;
+  if (cache_ != nullptr) return cache_->consistent(r, id, coord, slack_ms_);
+  return measure::rtt_consistent(meas_.pings, meas_.vps, r, coord, slack_ms_);
+}
 
 geo::LocationId Evaluator::choose_location(std::span<const geo::LocationId> ids) const {
   geo::LocationId best = geo::kInvalidLocation;
@@ -84,10 +90,7 @@ HostnameEval Evaluator::evaluate_one(const NamingConvention& nc,
   // RTT consistency.
   std::vector<geo::LocationId> consistent;
   for (geo::LocationId id : candidates) {
-    if (measure::rtt_consistent(meas_.pings, meas_.vps, tagged.ref.router,
-                                dict_.location(id).coord, slack_ms_)) {
-      consistent.push_back(id);
-    }
+    if (rtt_consistent_for(tagged.ref.router, id)) consistent.push_back(id);
   }
   ev.locations = candidates;
   if (consistent.empty()) {

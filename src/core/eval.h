@@ -18,6 +18,7 @@
 
 #include "core/geohint.h"
 #include "measure/consistency.h"
+#include "measure/consistency_cache.h"
 
 namespace hoiho::core {
 
@@ -59,8 +60,10 @@ struct NcEvaluation {
 
 class Evaluator {
  public:
+  // `cache`, if non-null, memoizes RTT-consistency verdicts; it must be
+  // built over the same measurements and slack and outlive the evaluator.
   Evaluator(const geo::GeoDictionary& dict, const measure::Measurements& meas,
-            double slack_ms = 0.0);
+            double slack_ms = 0.0, measure::ConsistencyCache* cache = nullptr);
 
   NcEvaluation evaluate(const NamingConvention& nc,
                         std::span<const TaggedHostname> tagged) const;
@@ -71,6 +74,11 @@ class Evaluator {
   // population, then id for determinism) and returns the best.
   geo::LocationId choose_location(std::span<const geo::LocationId> ids) const;
 
+  // RTT-consistency of dictionary location `id` for router `r` at the
+  // evaluator's slack, through the cache when one is attached. Shared by
+  // evaluation and stage-4 learning so both hit the same cache.
+  bool rtt_consistent_for(topo::RouterId r, geo::LocationId id) const;
+
   const geo::GeoDictionary& dictionary() const { return dict_; }
   const measure::Measurements& measurements() const { return meas_; }
   double slack_ms() const { return slack_ms_; }
@@ -79,6 +87,7 @@ class Evaluator {
   const geo::GeoDictionary& dict_;
   const measure::Measurements& meas_;
   double slack_ms_;
+  measure::ConsistencyCache* cache_;
 };
 
 }  // namespace hoiho::core

@@ -1,19 +1,22 @@
 #include "core/hoiho.h"
 
 #include <algorithm>
-#include <set>
+
+#include "util/thread_pool.h"
 
 namespace hoiho::core {
 
 std::size_t HoihoResult::geolocated_router_count() const {
-  std::set<topo::RouterId> routers;
+  std::vector<topo::RouterId> routers;
   for (const SuffixResult& sr : suffixes) {
     if (!sr.usable()) continue;
     for (std::size_t i = 0; i < sr.eval.per_hostname.size(); ++i) {
       if (sr.eval.per_hostname[i].outcome == Outcome::kTP)
-        routers.insert(sr.tagged[i].ref.router);
+        routers.push_back(sr.tagged[i].ref.router);
     }
   }
+  std::sort(routers.begin(), routers.end());
+  routers.erase(std::unique(routers.begin(), routers.end()), routers.end());
   return routers.size();
 }
 
@@ -26,18 +29,31 @@ std::size_t HoihoResult::count(NcClass c) const {
 
 SuffixResult Hoiho::run_suffix(const topo::SuffixGroup& group,
                                const measure::Measurements& meas) const {
+  if (!config_.consistency_cache) return run_suffix_impl(group, meas, nullptr);
+  // One cache per suffix run, shared by stages 2-4. The cache is used from
+  // this thread only; cross-suffix parallelism in run() gives each worker
+  // its own cache.
+  measure::ConsistencyCache cache(meas, dict_.size(), config_.apparent.slack_ms);
+  SuffixResult result = run_suffix_impl(group, meas, &cache);
+  result.cache_stats = cache.stats();
+  return result;
+}
+
+SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
+                                    const measure::Measurements& meas,
+                                    measure::ConsistencyCache* cache) const {
   SuffixResult result;
   result.suffix = group.suffix;
   result.hostname_count = group.hostnames.size();
 
   // Stage 2: tag apparent geohints.
-  const ApparentTagger tagger(dict_, meas, config_.apparent);
+  const ApparentTagger tagger(dict_, meas, config_.apparent, cache);
   result.tagged = tagger.tag_all(group.hostnames);
   for (const TaggedHostname& th : result.tagged)
     if (th.has_hint()) ++result.tagged_count;
   if (result.tagged_count < config_.min_tagged_hostnames) return result;
 
-  const Evaluator evaluator(dict_, meas, config_.apparent.slack_ms);
+  const Evaluator evaluator(dict_, meas, config_.apparent.slack_ms, cache);
 
   // Stage 3 phase 1: base regexes, seeded from a bounded prefix of the
   // tagged hostnames.
@@ -133,11 +149,26 @@ SuffixResult Hoiho::run_suffix(const topo::SuffixGroup& group,
 }
 
 HoihoResult Hoiho::run(const topo::Topology& topo, const measure::Measurements& meas) const {
-  HoihoResult result;
-  for (const topo::SuffixGroup& group : topo.group_by_suffix()) {
-    SuffixResult sr = run_suffix(group, meas);
-    if (sr.hostname_count > 0) result.suffixes.push_back(std::move(sr));
+  const std::vector<topo::SuffixGroup> groups = topo.group_by_suffix();
+  std::vector<SuffixResult> slots(groups.size());
+
+  std::size_t threads = util::ThreadPool::resolve(config_.threads);
+  if (!groups.empty()) threads = std::min(threads, groups.size());
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < groups.size(); ++i) slots[i] = run_suffix(groups[i], meas);
+  } else {
+    // Suffix runs are independent: each reads only the shared const inputs
+    // (dictionary, topology, measurements) and writes its own slot. Results
+    // land by group index, so output order matches the sequential path.
+    util::ThreadPool pool(threads);
+    for (std::size_t i = 0; i < groups.size(); ++i)
+      pool.submit([this, &slots, &groups, &meas, i] { slots[i] = run_suffix(groups[i], meas); });
+    pool.wait_idle();
   }
+
+  HoihoResult result;
+  for (SuffixResult& sr : slots)
+    if (sr.hostname_count > 0) result.suffixes.push_back(std::move(sr));
   return result;
 }
 

@@ -44,6 +44,16 @@ struct HoihoConfig {
 
   // Stage 4 on/off — the paper's own ablation (§6.1: 94.0% vs 82.4%).
   bool enable_learning = true;
+
+  // Worker threads for run(): suffix groups are independent (the method is
+  // per-suffix, paper §5) and are processed in parallel. 0 = one worker per
+  // hardware thread; 1 = sequential. Output is deterministic regardless:
+  // results are collected by group index, identical to the sequential order.
+  std::size_t threads = 0;
+
+  // Memoize RTT-consistency verdicts in a per-suffix-run cache shared by
+  // stages 2-4 (off reproduces the uncached hot path, for benchmarking).
+  bool consistency_cache = true;
 };
 
 // Result for one suffix.
@@ -57,6 +67,10 @@ struct SuffixResult {
   NcEvaluation eval;                   // final evaluation of `nc`
   NcClass cls = NcClass::kPoor;
   std::vector<LearnedHint> learned;    // stage-4 output
+
+  // Consistency-cache counters for this suffix run (all zero when the
+  // cache is disabled); benches aggregate these into pipeline hit rates.
+  measure::ConsistencyCache::Stats cache_stats;
 
   bool has_nc() const { return !nc.empty(); }
   bool usable() const { return has_nc() && is_usable(cls); }
@@ -88,6 +102,9 @@ class Hoiho {
   const geo::GeoDictionary& dictionary() const { return dict_; }
 
  private:
+  SuffixResult run_suffix_impl(const topo::SuffixGroup& group, const measure::Measurements& meas,
+                               measure::ConsistencyCache* cache) const;
+
   const geo::GeoDictionary& dict_;
   HoihoConfig config_;
 };

@@ -27,7 +27,6 @@ std::vector<LearnedHint> GeohintLearner::learn(NamingConvention& nc,
   if (evaluation.counts.ppv() <= config_.seed_ppv) return out;
 
   const geo::GeoDictionary& dict = eval_.dictionary();
-  const measure::Measurements& meas = eval_.measurements();
 
   // Group FP/UNK extractions by (code, annotations).
   std::map<std::string, CodeGroup> groups;
@@ -108,9 +107,8 @@ std::vector<LearnedHint> GeohintLearner::learn(NamingConvention& nc,
     scored.reserve(candidates.size());
     for (geo::LocationId id : candidates) {
       Scored s{id, 0, 0};
-      const geo::Coordinate& coord = dict.location(id).coord;
       for (topo::RouterId r : g.routers) {
-        if (measure::rtt_consistent(meas.pings, meas.vps, r, coord, eval_.slack_ms()))
+        if (eval_.rtt_consistent_for(r, id))
           ++s.tp;
         else
           ++s.fp;
@@ -130,12 +128,12 @@ std::vector<LearnedHint> GeohintLearner::learn(NamingConvention& nc,
     const Scored& best = scored.front();
 
     // Support for the existing dictionary meaning of the code, if any.
-    const bool exists_in_dict = !dict.lookup(dt, g.code).empty();
+    const std::span<const geo::LocationId> existing_ids = dict.lookup(dt, g.code);
+    const bool exists_in_dict = !existing_ids.empty();
     std::size_t existing_tp = 0;
     for (topo::RouterId r : g.routers) {
-      for (geo::LocationId id : dict.lookup(dt, g.code)) {
-        if (measure::rtt_consistent(meas.pings, meas.vps, r, dict.location(id).coord,
-                                    eval_.slack_ms())) {
+      for (geo::LocationId id : existing_ids) {
+        if (eval_.rtt_consistent_for(r, id)) {
           ++existing_tp;
           break;
         }

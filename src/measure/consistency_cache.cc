@@ -1,0 +1,73 @@
+#include "measure/consistency_cache.h"
+
+namespace hoiho::measure {
+
+ConsistencyCache::ConsistencyCache(const Measurements& meas, std::size_t location_count,
+                                   double slack_ms, bool prefilter)
+    : meas_(meas),
+      slack_ms_(slack_ms),
+      prefilter_(prefilter),
+      location_count_(location_count),
+      rows_(meas.pings.router_count()),
+      bounds_(meas.pings.router_count()) {}
+
+ConsistencyCache::Verdict ConsistencyCache::cell(topo::RouterId r, geo::LocationId loc) const {
+  const std::vector<std::uint8_t>& row = rows_[r];
+  if (row.empty()) return kUnknown;
+  return static_cast<Verdict>((row[loc / 4] >> ((loc % 4) * 2)) & 0x3u);
+}
+
+void ConsistencyCache::set_cell(topo::RouterId r, geo::LocationId loc, bool verdict) {
+  std::vector<std::uint8_t>& row = rows_[r];
+  if (row.empty()) row.resize((location_count_ + 3) / 4, 0);
+  const std::uint8_t v = verdict ? kTrue : kFalse;
+  std::uint8_t& byte = row[loc / 4];
+  const unsigned shift = (loc % 4) * 2;
+  byte = static_cast<std::uint8_t>((byte & ~(0x3u << shift)) | (v << shift));
+}
+
+const ConsistencyCache::RouterBound& ConsistencyCache::bound(topo::RouterId r) {
+  RouterBound& b = bounds_[r];
+  if (!b.computed) {
+    b.computed = true;
+    if (const auto closest = meas_.pings.closest_vp(r)) {
+      b.constrained = true;
+      b.vp_coord = meas_.vps[closest->first].coord;
+      b.budget_ms = closest->second + slack_ms_;
+    }
+  }
+  return b;
+}
+
+bool ConsistencyCache::consistent(topo::RouterId r, geo::LocationId loc,
+                                  const geo::Coordinate& coord, double slack_ms) {
+  // A different slack, an out-of-range router (not covered by the matrix),
+  // or an out-of-range location cannot use the table.
+  if (slack_ms != slack_ms_ || r >= rows_.size() || loc >= location_count_) {
+    ++stats_.bypasses;
+    return rtt_consistent(meas_.pings, meas_.vps, r, coord, slack_ms);
+  }
+
+  const Verdict v = cell(r, loc);
+  if (v != kUnknown) {
+    ++stats_.hits;
+    return v == kTrue;
+  }
+
+  ++stats_.misses;
+  bool verdict;
+  const RouterBound& b = prefilter_ ? bound(r) : bounds_[r];
+  if (prefilter_ && b.constrained && coord.valid() &&
+      geo::min_rtt_ms(coord, b.vp_coord) > b.budget_ms) {
+    // Same test rtt_consistent() would apply for the closest VP: reject on
+    // one haversine instead of scanning every VP.
+    verdict = false;
+    ++stats_.prefilter_rejects;
+  } else {
+    verdict = rtt_consistent(meas_.pings, meas_.vps, r, coord, slack_ms_);
+  }
+  set_cell(r, loc, verdict);
+  return verdict;
+}
+
+}  // namespace hoiho::measure

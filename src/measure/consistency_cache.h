@@ -1,0 +1,95 @@
+// Memoization of rtt_consistent() verdicts (paper §5.2).
+//
+// The pipeline asks "is location L feasible for router R?" for the same
+// (R, L) pair many times: stage-2 tagging, every candidate-NC evaluation in
+// stage 3, and stage-4 learning all test the same routers against the same
+// dictionary locations. Each test is an O(#VPs) haversine scan. This cache
+// stores the verdict in a packed 2-bit cell (unknown / false / true) per
+// (router, location) pair, with rows allocated lazily on a router's first
+// query so a per-suffix cache only pays for the routers the suffix touches.
+//
+// On a miss the cache first applies a per-router prefilter: the VP with the
+// smallest measured RTT bounds how far the router can be, so a candidate
+// farther than that is rejected with a single haversine instead of a full
+// scan. The prefilter evaluates exactly one term of rtt_consistent()'s
+// conjunction with identical arithmetic, so verdicts are bit-identical with
+// and without it.
+//
+// A cache is valid for one RttMatrix + VP set + slack value; queries with a
+// different slack bypass the table and compute directly. Not thread-safe:
+// the intended scope is one cache per suffix run, used by a single thread.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "measure/consistency.h"
+
+namespace hoiho::measure {
+
+class ConsistencyCache {
+ public:
+  // `location_count` is the dictionary size (LocationIds must be < it);
+  // `prefilter` disables the closest-VP radius test (for benchmarking).
+  ConsistencyCache(const Measurements& meas, std::size_t location_count, double slack_ms = 0.0,
+                   bool prefilter = true);
+
+  // Memoized rtt_consistent(meas.pings, meas.vps, r, coord, slack_ms).
+  // `coord` must be the coordinate of dictionary location `loc`; callers are
+  // expected to pass dict.location(loc).coord. A `slack_ms` different from
+  // the cache's is computed directly without touching the table.
+  bool consistent(topo::RouterId r, geo::LocationId loc, const geo::Coordinate& coord,
+                  double slack_ms);
+  bool consistent(topo::RouterId r, geo::LocationId loc, const geo::Coordinate& coord) {
+    return consistent(r, loc, coord, slack_ms_);
+  }
+
+  double slack_ms() const { return slack_ms_; }
+
+  struct Stats {
+    std::uint64_t hits = 0;              // answered from the table
+    std::uint64_t misses = 0;            // computed and stored
+    std::uint64_t prefilter_rejects = 0;  // misses settled by the radius test
+    std::uint64_t bypasses = 0;          // mismatched slack, computed uncached
+
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+
+    Stats& operator+=(const Stats& o) {
+      hits += o.hits;
+      misses += o.misses;
+      prefilter_rejects += o.prefilter_rejects;
+      bypasses += o.bypasses;
+      return *this;
+    }
+    friend bool operator==(const Stats&, const Stats&) = default;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum Verdict : std::uint8_t { kUnknown = 0, kFalse = 2, kTrue = 3 };
+
+  // Closest-VP bound for one router, computed on first query.
+  struct RouterBound {
+    bool computed = false;
+    bool constrained = false;   // router has at least one RTT sample
+    geo::Coordinate vp_coord;   // VP with the minimum measured RTT
+    double budget_ms = 0.0;     // that minimum RTT + slack
+  };
+
+  Verdict cell(topo::RouterId r, geo::LocationId loc) const;
+  void set_cell(topo::RouterId r, geo::LocationId loc, bool verdict);
+  const RouterBound& bound(topo::RouterId r);
+
+  const Measurements& meas_;
+  double slack_ms_;
+  bool prefilter_;
+  std::size_t location_count_;
+  std::vector<std::vector<std::uint8_t>> rows_;  // [router] -> packed 2-bit cells
+  std::vector<RouterBound> bounds_;
+  Stats stats_;
+};
+
+}  // namespace hoiho::measure

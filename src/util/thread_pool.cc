@@ -1,0 +1,67 @@
+#include "util/thread_pool.h"
+
+#include <utility>
+
+namespace hoiho::util {
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+    : queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this](std::stop_token stop) { worker(stop); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  for (std::jthread& w : workers_) w.request_stop();
+  cv_work_.notify_all();
+  // jthread destructors join; workers drain the queue before exiting.
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock lock(mu_);
+    cv_room_.wait(lock, [this] { return queue_.size() < queue_capacity_ || stopping_; });
+    if (stopping_) return;  // shutting down: drop the task
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker(std::stop_token stop) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_work_.wait(lock, [&] { return !queue_.empty() || stopping_ || stop.stop_requested(); });
+      if (queue_.empty()) return;  // only leave once the queue is drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    cv_room_.notify_one();
+    task();
+    {
+      std::lock_guard lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+std::size_t ThreadPool::resolve(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace hoiho::util

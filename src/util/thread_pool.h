@@ -1,0 +1,61 @@
+// A small fixed-size worker pool over a bounded task queue.
+//
+// The pool exists so the learning pipeline can fan out across independent
+// DNS suffixes (paper §5: the method is per-suffix, so suffix runs share no
+// mutable state). submit() applies backpressure — it blocks while the queue
+// is at capacity — so a producer enumerating millions of suffixes cannot
+// balloon memory. wait_idle() is the join point: it returns once every
+// submitted task has finished executing, after which the pool can be reused
+// for another batch.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hoiho::util {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (must be >= 1; use resolve() to map a user
+  // knob). `queue_capacity` bounds the number of queued-but-unstarted tasks.
+  explicit ThreadPool(std::size_t threads, std::size_t queue_capacity = 256);
+
+  // Requests stop and joins the workers; queued tasks are still drained
+  // (destruction is equivalent to wait_idle() then shutdown).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task, blocking while the queue is full.
+  void submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished executing.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  // Maps a config knob to a worker count: 0 means "use the hardware"
+  // (hardware_concurrency, at least 1), anything else passes through.
+  static std::size_t resolve(std::size_t requested);
+
+ private:
+  void worker(std::stop_token stop);
+
+  std::mutex mu_;
+  std::condition_variable cv_room_;  // queue has room (producers wait here)
+  std::condition_variable cv_work_;  // queue has work, or stop requested
+  std::condition_variable cv_idle_;  // in-flight count reached zero
+  std::deque<std::function<void()>> queue_;
+  std::size_t queue_capacity_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+  std::vector<std::jthread> workers_;  // last member: joins before the rest die
+};
+
+}  // namespace hoiho::util

@@ -27,6 +27,32 @@ TEST(RttMatrix, RecordsMinimum) {
   EXPECT_DOUBLE_EQ(*m.rtt(0, 1), 7.0);
 }
 
+TEST(RttMatrix, KeepsMinimumRegardlessOfArrivalOrder) {
+  RttMatrix ascending(1, 1), descending(1, 1);
+  for (double rtt : {3.0, 5.0, 9.0}) ascending.record(0, 0, rtt);
+  for (double rtt : {9.0, 5.0, 3.0}) descending.record(0, 0, rtt);
+  EXPECT_DOUBLE_EQ(*ascending.rtt(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(*descending.rtt(0, 0), 3.0);
+}
+
+TEST(RttMatrix, RecordingOnePairLeavesOthersUntouched) {
+  RttMatrix m(2, 2);
+  m.record(1, 0, 4.0);
+  EXPECT_FALSE(m.rtt(0, 0).has_value());
+  EXPECT_FALSE(m.rtt(0, 1).has_value());
+  EXPECT_FALSE(m.rtt(1, 1).has_value());
+  EXPECT_DOUBLE_EQ(*m.rtt(1, 0), 4.0);
+}
+
+TEST(RttMatrix, ZeroRttIsAValidSample) {
+  // 0 ms must not be confused with the missing-sample sentinel.
+  RttMatrix m(1, 1);
+  m.record(0, 0, 0.0);
+  ASSERT_TRUE(m.rtt(0, 0).has_value());
+  EXPECT_DOUBLE_EQ(*m.rtt(0, 0), 0.0);
+  EXPECT_TRUE(m.responsive(0));
+}
+
 TEST(RttMatrix, MissingSamples) {
   RttMatrix m(2, 2);
   EXPECT_FALSE(m.rtt(1, 1).has_value());
