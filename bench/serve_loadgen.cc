@@ -1,0 +1,339 @@
+// Load generator for the hoihod serving subsystem.
+//
+// Drives N concurrent connections of pipelined lookups against a server and
+// reports sustained throughput and p50/p99/p999 request latency, plus the
+// outcome of a RELOAD issued mid-run (the hot-swap acceptance check: it
+// must complete with zero request errors). Emits BENCH_SERVE.json.
+//
+// Two modes:
+//   --spawn (default)    learn a model on a synthetic world, start an
+//                        in-process Server on an ephemeral loopback port,
+//                        and drive it — fully self-contained (CI mode).
+//   --port P [--host H]  drive an externally started hoihod; requires
+//                        --hosts FILE (e.g. from hoihod --write-demo-model
+//                        conv.txt --hosts-out hosts.txt).
+//
+// Exit code 0 iff hits > 0, request errors == 0, and the mid-run RELOAD
+// (when enabled) succeeded.
+//
+// Run: ./build/bench/serve_loadgen [--connections N] [--pipeline W]
+//      [--duration-s S] [--operators N] [--no-reload] [--json PATH]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hoiho.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "sim/probing.h"
+#include "util/strings.h"
+
+using namespace hoiho;
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct ThreadResult {
+  std::uint64_t sent = 0, hits = 0, misses = 0, errors = 0;
+  std::vector<std::uint64_t> latencies_ns;
+  bool io_failed = false;
+};
+
+struct Options {
+  bool spawn = true;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string hosts_file;
+  std::string json_path = "BENCH_SERVE.json";
+  std::size_t connections = 4;
+  std::size_t pipeline = 64;
+  double duration_s = 2.0;
+  std::size_t operators = 48;
+  bool reload_mid_run = true;
+};
+
+void drive(const Options& opt, const std::vector<std::string>& hostnames,
+           std::size_t offset, std::uint64_t deadline_ns, ThreadResult* result) {
+  std::string error;
+  auto client = serve::Client::connect(opt.host, opt.port, &error);
+  if (!client) {
+    std::fprintf(stderr, "loadgen: connect: %s\n", error.c_str());
+    result->io_failed = true;
+    return;
+  }
+  result->latencies_ns.reserve(1 << 18);
+  std::vector<std::string> batch(opt.pipeline);
+  std::size_t cursor = offset % hostnames.size();
+  while (now_ns() < deadline_ns) {
+    for (std::string& slot : batch) {
+      slot = hostnames[cursor];
+      cursor = (cursor + 1) % hostnames.size();
+    }
+    const std::uint64_t t0 = now_ns();
+    if (!client->send_lines(batch)) {
+      result->io_failed = true;
+      return;
+    }
+    result->sent += batch.size();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto line = client->read_line();
+      if (!line) {
+        result->io_failed = true;
+        return;
+      }
+      switch (serve::classify_response(*line)) {
+        case serve::ResponseKind::kHit: ++result->hits; break;
+        case serve::ResponseKind::kMiss: ++result->misses; break;
+        default: ++result->errors; break;
+      }
+      result->latencies_ns.push_back(now_ns() - t0);
+    }
+  }
+}
+
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) / 100.0 + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+// Builds the spawn-mode model + hostname corpus: learn on a synthetic
+// world, keep the usable conventions, and collect every hostname the model
+// answers (plus a sprinkle of unanswerable ones so the MISS path is hot).
+void build_corpus(std::size_t operators, std::vector<core::StoredConvention>* stored,
+                  std::vector<std::string>* hostnames) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  sim::WorldConfig config;
+  config.seed = 20260805;
+  config.operators = operators;
+  config.geohint_scheme_rate = 0.8;
+  const sim::World world = sim::generate_world(dict, config);
+  const measure::Measurements pings = sim::probe_pings(world, {});
+  const core::Hoiho hoiho(dict);
+  const core::HoihoResult result = hoiho.run(world.topology, pings);
+  core::Geolocator check(dict);
+  for (const core::SuffixResult& sr : result.suffixes) {
+    if (!sr.usable()) continue;
+    stored->push_back(core::StoredConvention{sr.nc, sr.cls});
+    check.add(sr.nc);
+  }
+  std::size_t misses_kept = 0;
+  for (const sim::HostnameTruth& truth : world.truths) {
+    if (check.locate(truth.hostname)) {
+      hostnames->push_back(truth.hostname);
+    } else if (misses_kept < world.truths.size() / 20) {
+      hostnames->push_back(truth.hostname);  // ~5% misses
+      ++misses_kept;
+    }
+  }
+}
+
+std::vector<std::string> read_hosts(const std::string& path) {
+  std::vector<std::string> out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) out.push_back(line);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = value();
+      if (v == nullptr) return 1;
+      opt.port = static_cast<std::uint16_t>(std::atoi(v));
+      opt.spawn = false;
+    } else if (arg == "--host") {
+      const char* v = value();
+      if (v == nullptr) return 1;
+      opt.host = v;
+    } else if (arg == "--hosts") {
+      const char* v = value();
+      if (v == nullptr) return 1;
+      opt.hosts_file = v;
+    } else if (arg == "--json") {
+      const char* v = value();
+      if (v == nullptr) return 1;
+      opt.json_path = v;
+    } else if (arg == "--connections") {
+      const char* v = value();
+      if (v == nullptr) return 1;
+      opt.connections = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--pipeline") {
+      const char* v = value();
+      if (v == nullptr) return 1;
+      opt.pipeline = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--duration-s") {
+      const char* v = value();
+      if (v == nullptr) return 1;
+      opt.duration_s = std::atof(v);
+    } else if (arg == "--operators") {
+      const char* v = value();
+      if (v == nullptr) return 1;
+      opt.operators = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--spawn") {
+      opt.spawn = true;
+    } else if (arg == "--no-reload") {
+      opt.reload_mid_run = false;
+    } else {
+      std::fprintf(stderr, "loadgen: unknown flag '%s'\n", std::string(arg).c_str());
+      return 1;
+    }
+  }
+
+  // Assemble the corpus and (in spawn mode) the in-process server.
+  std::vector<std::string> hostnames;
+  std::unique_ptr<serve::ModelStore> store;
+  std::unique_ptr<serve::Server> server;
+  std::thread server_thread;
+  if (opt.spawn) {
+    std::vector<core::StoredConvention> stored;
+    build_corpus(opt.operators, &stored, &hostnames);
+    // Serve from a real model file so the mid-run RELOAD verb exercises the
+    // full disk -> nc_io -> snapshot-swap path, same as the daemon.
+    const std::string model_path = opt.json_path + ".model.tmp";
+    {
+      std::ofstream out(model_path);
+      core::save_conventions(out, stored, geo::builtin_dictionary());
+    }
+    store = std::make_unique<serve::ModelStore>(geo::builtin_dictionary(), model_path);
+    if (const auto err = store->reload()) {
+      std::fprintf(stderr, "loadgen: %s\n", err->c_str());
+      return 1;
+    }
+    serve::ServerConfig sc;
+    sc.port = 0;
+    server = std::make_unique<serve::Server>(*store, sc);
+    std::string error;
+    if (!server->start(&error)) {
+      std::fprintf(stderr, "loadgen: server start: %s\n", error.c_str());
+      return 1;
+    }
+    opt.port = server->port();
+    server_thread = std::thread([&server] { server->run(); });
+    std::printf("loadgen: spawned in-process server on 127.0.0.1:%u (%zu conventions, "
+                "%zu hostnames)\n",
+                static_cast<unsigned>(opt.port), store->current()->convention_count,
+                hostnames.size());
+  } else {
+    if (opt.hosts_file.empty()) {
+      std::fprintf(stderr, "loadgen: --port mode requires --hosts FILE\n");
+      return 1;
+    }
+    hostnames = read_hosts(opt.hosts_file);
+  }
+  if (hostnames.empty()) {
+    std::fprintf(stderr, "loadgen: no hostnames to send\n");
+    return 1;
+  }
+
+  const std::uint64_t t_start = now_ns();
+  const std::uint64_t deadline =
+      t_start + static_cast<std::uint64_t>(opt.duration_s * 1e9);
+  std::vector<ThreadResult> results(opt.connections);
+  std::vector<std::thread> threads;
+  threads.reserve(opt.connections);
+  for (std::size_t i = 0; i < opt.connections; ++i)
+    threads.emplace_back(drive, std::cref(opt), std::cref(hostnames),
+                         i * hostnames.size() / opt.connections, deadline, &results[i]);
+
+  // The hot-swap check: the RELOAD verb halfway through, on its own
+  // connection, while every driver connection keeps hammering lookups.
+  bool reload_attempted = false, reload_ok = false;
+  if (opt.reload_mid_run) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int>(opt.duration_s * 500)));
+    reload_attempted = true;
+    auto admin = serve::Client::connect(opt.host, opt.port);
+    const auto resp = admin ? admin->request("RELOAD") : std::nullopt;
+    reload_ok = resp && serve::classify_response(*resp) == serve::ResponseKind::kReload;
+    std::printf("loadgen: mid-run RELOAD -> %s\n",
+                resp ? resp->c_str() : "(connection failed)");
+  }
+
+  for (std::thread& t : threads) t.join();
+  const double wall_s = static_cast<double>(now_ns() - t_start) / 1e9;
+
+  std::uint64_t sent = 0, hits = 0, misses = 0, errors = 0;
+  bool io_failed = false;
+  std::vector<std::uint64_t> latencies;
+  for (ThreadResult& r : results) {
+    sent += r.sent;
+    hits += r.hits;
+    misses += r.misses;
+    errors += r.errors;
+    io_failed = io_failed || r.io_failed;
+    latencies.insert(latencies.end(), r.latencies_ns.begin(), r.latencies_ns.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double rate = wall_s > 0 ? static_cast<double>(sent) / wall_s : 0;
+  const double p50_ms = static_cast<double>(percentile(latencies, 50)) / 1e6;
+  const double p99_ms = static_cast<double>(percentile(latencies, 99)) / 1e6;
+  const double p999_ms = static_cast<double>(percentile(latencies, 99.9)) / 1e6;
+
+  if (server) {
+    server->stop();
+    server_thread.join();
+    std::remove((opt.json_path + ".model.tmp").c_str());
+  }
+
+  std::printf("loadgen: %llu lookups in %.2fs over %zu connections (pipeline %zu)\n",
+              static_cast<unsigned long long>(sent), wall_s, opt.connections,
+              opt.pipeline);
+  std::printf("loadgen: %.0f lookups/sec, hits %llu, misses %llu, errors %llu\n", rate,
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses),
+              static_cast<unsigned long long>(errors));
+  std::printf("loadgen: latency p50 %.3fms  p99 %.3fms  p99.9 %.3fms\n", p50_ms, p99_ms,
+              p999_ms);
+
+  std::ofstream json(opt.json_path);
+  json << "{\n"
+       << "  \"bench\": \"serve_loadgen\",\n"
+       << "  \"mode\": \"" << (opt.spawn ? "spawn" : "external") << "\",\n"
+       << "  \"connections\": " << opt.connections << ",\n"
+       << "  \"pipeline\": " << opt.pipeline << ",\n"
+       << "  \"duration_s\": " << util::fmt_double(wall_s, 3) << ",\n"
+       << "  \"hostname_corpus\": " << hostnames.size() << ",\n"
+       << "  \"lookups\": " << sent << ",\n"
+       << "  \"lookups_per_sec\": " << util::fmt_double(rate, 1) << ",\n"
+       << "  \"hits\": " << hits << ",\n"
+       << "  \"misses\": " << misses << ",\n"
+       << "  \"errors\": " << errors << ",\n"
+       << "  \"latency_ms\": {\"p50\": " << util::fmt_double(p50_ms, 3)
+       << ", \"p99\": " << util::fmt_double(p99_ms, 3)
+       << ", \"p999\": " << util::fmt_double(p999_ms, 3) << "},\n"
+       << "  \"reload_mid_run\": {\"attempted\": " << (reload_attempted ? "true" : "false")
+       << ", \"ok\": " << (reload_ok ? "true" : "false") << "}\n"
+       << "}\n";
+  std::printf("loadgen: wrote %s\n", opt.json_path.c_str());
+
+  const bool pass = hits > 0 && errors == 0 && !io_failed &&
+                    (!reload_attempted || reload_ok);
+  if (!pass) std::fprintf(stderr, "loadgen: FAILED acceptance (see counters above)\n");
+  return pass ? 0 : 1;
+}

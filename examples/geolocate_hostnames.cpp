@@ -1,13 +1,23 @@
-// Geolocation comparison on a synthetic world with ground truth: learn
-// conventions with Hoiho, then geolocate every geohint-bearing hostname
-// with Hoiho, DRoP, HLOC, undns, CBG and Shortest Ping, reporting each
-// method's accuracy against the simulator's ground truth.
+// Geolocation comparison on a synthetic world with ground truth: obtain
+// naming conventions — either loaded from a saved model file or learned
+// with Hoiho and round-tripped through nc_io — then geolocate every
+// geohint-bearing hostname with Hoiho, DRoP, HLOC, undns, CBG and
+// Shortest Ping, reporting each method's accuracy against the simulator's
+// ground truth.
 //
-// Run: ./build/examples/geolocate_hostnames [n_operators]
+// Run: ./build/examples/geolocate_hostnames [n_operators] [--model FILE]
+//
+// With --model, conventions come from FILE (as written by save_conventions
+// or `hoihod --write-demo-model`) instead of re-running the learning
+// pipeline. Without it, the example learns, saves, and reloads through a
+// temporary file so the serialized path is exercised either way.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
+#include <sstream>
+#include <string>
 
 #include "baselines/cbg.h"
 #include "baselines/drop.h"
@@ -16,16 +26,53 @@
 #include "baselines/undns.h"
 #include "core/geolocate.h"
 #include "core/hoiho.h"
+#include "core/nc_io.h"
 #include "sim/probing.h"
 
 using namespace hoiho;
 
+namespace {
+
+// Loads conventions from `path`, exiting with a message on failure.
+std::vector<core::StoredConvention> load_model(const std::string& path,
+                                               const geo::GeoDictionary& dict) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open model file %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::string error;
+  std::vector<std::string> warnings;
+  auto loaded = core::load_conventions(in, dict, &error, &warnings);
+  if (!loaded) {
+    std::fprintf(stderr, "bad model file %s: %s\n", path.c_str(), error.c_str());
+    std::exit(1);
+  }
+  for (const std::string& w : warnings)
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  std::printf("loaded %zu conventions from %s\n", loaded->size(), path.c_str());
+  return *loaded;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const geo::GeoDictionary& dict = geo::builtin_dictionary();
 
+  std::string model_path;
+  std::size_t operators = 60;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--model" && i + 1 < argc) {
+      model_path = argv[++i];
+    } else {
+      operators = static_cast<std::size_t>(std::atoi(argv[i]));
+    }
+  }
+
   sim::WorldConfig config;
   config.seed = 20260707;
-  config.operators = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 60;
+  config.operators = operators;
   config.geohint_scheme_rate = 0.8;
   const sim::World world = sim::generate_world(dict, config);
   const measure::Measurements pings = sim::probe_pings(world, {});
@@ -34,13 +81,33 @@ int main(int argc, char** argv) {
   std::printf("world: %zu operators, %zu routers, %zu hostnames\n\n", world.operators.size(),
               world.topology.size(), world.truths.size());
 
-  // Learn conventions with the full pipeline.
-  const core::Hoiho hoiho(dict);
-  const core::HoihoResult result = hoiho.run(world.topology, pings);
+  // Obtain conventions: from the given model file, or by learning and then
+  // round-tripping the result through the nc_io text format in memory.
+  std::vector<core::StoredConvention> stored;
+  if (!model_path.empty()) {
+    stored = load_model(model_path, dict);
+  } else {
+    const core::Hoiho hoiho(dict);
+    const core::HoihoResult result = hoiho.run(world.topology, pings);
+    std::vector<core::StoredConvention> learned;
+    for (const core::SuffixResult& sr : result.suffixes)
+      if (sr.usable()) learned.push_back({sr.nc, sr.cls});
+    std::stringstream io;
+    core::save_conventions(io, learned, dict);
+    std::string error;
+    auto reloaded = core::load_conventions(io, dict, &error);
+    if (!reloaded) {
+      std::fprintf(stderr, "learned model failed to round-trip: %s\n", error.c_str());
+      return 1;
+    }
+    stored = *reloaded;
+    std::printf("learned %zu usable conventions (round-tripped through nc_io)\n",
+                stored.size());
+  }
+
   core::Geolocator geolocator(dict);
-  for (const core::SuffixResult& sr : result.suffixes)
-    if (sr.usable()) geolocator.add(sr.nc);
-  std::printf("learned %zu usable conventions\n", geolocator.convention_count());
+  for (const core::StoredConvention& sc : stored)
+    if (core::is_usable(sc.cls)) geolocator.add(sc.nc);
 
   // Prepare the baselines.
   baselines::Drop drop(dict);

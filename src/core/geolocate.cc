@@ -11,7 +11,7 @@ void Geolocator::add(NamingConvention nc) {
 }
 
 const NamingConvention* Geolocator::convention(std::string_view suffix) const {
-  const auto it = by_suffix_.find(std::string(suffix));
+  const auto it = by_suffix_.find(suffix);
   return it == by_suffix_.end() ? nullptr : &it->second;
 }
 

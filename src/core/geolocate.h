@@ -4,6 +4,12 @@
 // measurement infrastructure — one of the paper's key arguments for regexes
 // over run-time delay probing. The Geolocator indexes naming conventions by
 // suffix and decodes any hostname they cover.
+//
+// Thread safety: after the last add(), a Geolocator is immutable and every
+// const method (locate, convention, convention_count) is safe to call from
+// any number of threads concurrently — the serving subsystem (src/serve/)
+// relies on this, hammering one snapshot from all workers while a reload
+// builds the next one aside.
 #pragma once
 
 #include <optional>
@@ -32,6 +38,9 @@ class Geolocator {
   void add(NamingConvention nc);
 
   std::size_t convention_count() const { return by_suffix_.size(); }
+
+  // Suffix-match fast path: heterogeneous lookup, so the per-request
+  // suffix string_view never materializes a std::string.
   const NamingConvention* convention(std::string_view suffix) const;
 
   // Geolocates one hostname: applies the suffix's convention, interprets the
@@ -42,8 +51,20 @@ class Geolocator {
   std::optional<Geolocation> locate(std::string_view hostname) const;
 
  private:
+  // Transparent hash so find(string_view) needs no temporary std::string
+  // (locate() runs once per served request; see src/serve/).
+  struct SuffixHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+    std::size_t operator()(const std::string& s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   const geo::GeoDictionary& dict_;
-  std::unordered_map<std::string, NamingConvention> by_suffix_;
+  std::unordered_map<std::string, NamingConvention, SuffixHash, std::equal_to<>> by_suffix_;
 };
 
 }  // namespace hoiho::core

@@ -75,33 +75,91 @@ void save_conventions(std::ostream& out, const std::vector<StoredConvention>& co
   }
 }
 
+namespace {
+
+// True if any byte falls outside printable ASCII. The file format is
+// ASCII-only (parse_csv_line already strips '\r'); control characters or
+// high bytes can only come from corruption, and the regex engine's
+// 128-wide character classes must never see them.
+bool has_control_bytes(std::string_view s) {
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20 || u >= 0x7f) return true;
+  }
+  return false;
+}
+
+// Loose structural check for a stored suffix: dot-separated labels of
+// hostname-legal characters (the file stores what save wrote, which came
+// from parsed hostnames — anything else is corruption).
+bool plausible_suffix(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '.' ||
+                    c == '-' || c == '_';
+    if (!ok) return false;
+  }
+  return s.front() != '.' && s.back() != '.';
+}
+
+}  // namespace
+
 std::optional<std::vector<StoredConvention>> load_conventions(
     std::istream& in, const geo::GeoDictionary& dict, std::string* error,
-    std::vector<std::string>* warnings) {
+    std::vector<std::string>* warnings, const LoadLimits& limits) {
   auto fail = [&](const std::string& msg) -> std::optional<std::vector<StoredConvention>> {
     if (error != nullptr) *error = msg;
     return std::nullopt;
+  };
+  auto note = [&](std::string msg) {
+    if (warnings != nullptr) warnings->push_back(std::move(msg));
   };
   std::vector<StoredConvention> out;
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
+    const std::string where = "line " + std::to_string(lineno);
+    if (line.size() > limits.max_line)
+      return fail(where + ": line exceeds " + std::to_string(limits.max_line) + " bytes");
     if (line.empty() || line[0] == '#') continue;
     const util::CsvRow row = util::parse_csv_line(line);
-    const std::string where = "line " + std::to_string(lineno);
-    if (row.empty()) continue;
+    if (row.empty() || (row.size() == 1 && row[0].empty())) continue;
+    for (const std::string& field : row)
+      if (has_control_bytes(field))
+        return fail(where + ": control bytes in field");
     if (row[0] == "S") {
-      if (row.size() < 3) return fail(where + ": S record needs 3 fields");
+      if (row.size() != 3)
+        return fail(where + ": S record needs 3 fields, got " + std::to_string(row.size()));
+      if (out.size() >= limits.max_conventions)
+        return fail(where + ": more than " + std::to_string(limits.max_conventions) +
+                    " conventions");
+      if (row[1].size() > limits.max_suffix || !plausible_suffix(row[1]))
+        return fail(where + ": bad suffix '" + row[1] + "'");
       const auto cls = class_from_token(row[2]);
       if (!cls) return fail(where + ": unknown class '" + row[2] + "'");
+      if (!out.empty() && out.back().nc.regexes.empty())
+        note("line " + std::to_string(lineno) + ": suffix '" + out.back().nc.suffix +
+             "' has no regexes (truncated block?)");
+      for (const StoredConvention& sc : out)
+        if (sc.nc.suffix == row[1]) {
+          note(where + ": duplicate suffix '" + row[1] +
+               "' (last block wins when applied)");
+          break;
+        }
       StoredConvention sc;
       sc.nc.suffix = row[1];
       sc.cls = *cls;
       out.push_back(std::move(sc));
     } else if (row[0] == "R") {
       if (out.empty()) return fail(where + ": R record before any S record");
-      if (row.size() < 3) return fail(where + ": R record needs 3 fields");
+      if (row.size() != 3)
+        return fail(where + ": R record needs 3 fields, got " + std::to_string(row.size()));
+      if (row[1].size() > limits.max_plan)
+        return fail(where + ": plan token exceeds " + std::to_string(limits.max_plan) +
+                    " bytes");
+      if (row[2].size() > limits.max_regex)
+        return fail(where + ": regex exceeds " + std::to_string(limits.max_regex) + " bytes");
       const auto plan = plan_from_token(row[1]);
       if (!plan) return fail(where + ": bad plan '" + row[1] + "'");
       std::string rx_error;
@@ -117,7 +175,15 @@ std::optional<std::vector<StoredConvention>> load_conventions(
       out.back().nc.regexes.push_back(std::move(gr));
     } else if (row[0] == "L") {
       if (out.empty()) return fail(where + ": L record before any S record");
-      if (row.size() < 6) return fail(where + ": L record needs 6 fields");
+      if (row.size() != 6)
+        return fail(where + ": L record needs 6 fields, got " + std::to_string(row.size()));
+      if (row[2].size() > limits.max_code)
+        return fail(where + ": code exceeds " + std::to_string(limits.max_code) + " bytes");
+      if (row[3].size() > limits.max_place || row[4].size() > limits.max_place ||
+          row[5].size() > limits.max_place)
+        return fail(where + ": place field exceeds " + std::to_string(limits.max_place) +
+                    " bytes");
+      if (row[2].empty()) return fail(where + ": empty learned code");
       const auto type = hint_type_from_token(row[1]);
       if (!type) return fail(where + ": unknown dictionary type '" + row[1] + "'");
       // Resolve the stored place against the load-time dictionary.
@@ -141,6 +207,9 @@ std::optional<std::vector<StoredConvention>> load_conventions(
       return fail(where + ": unknown record type '" + row[0] + "'");
     }
   }
+  if (in.bad()) return fail("read error after line " + std::to_string(lineno));
+  if (!out.empty() && out.back().nc.regexes.empty())
+    note("suffix '" + out.back().nc.suffix + "' has no regexes (truncated file?)");
   return out;
 }
 

@@ -36,13 +36,29 @@ struct StoredConvention {
 void save_conventions(std::ostream& out, const std::vector<StoredConvention>& conventions,
                       const geo::GeoDictionary& dict);
 
+// Hard limits the loader enforces. Model files are untrusted input (the
+// daemon hot-reloads whatever is on disk), so every field is bounded and
+// every violation is a named error, never a silent mis-parse.
+struct LoadLimits {
+  std::size_t max_line = 64 * 1024;   // bytes per physical line
+  std::size_t max_suffix = 255;       // DNS limit
+  std::size_t max_regex = 4096;
+  std::size_t max_plan = 256;
+  std::size_t max_code = 64;          // learned geohint code
+  std::size_t max_place = 256;        // city/state/country fields
+  std::size_t max_conventions = 1u << 20;
+};
+
 // Parses conventions, resolving learned geohints against `dict`. Learned
 // entries whose place is not in `dict` are dropped (with a note appended to
-// *warnings if non-null). Returns std::nullopt with a message in *error on
-// malformed input.
+// *warnings if non-null); duplicate suffix blocks and conventions without
+// regexes also produce warnings. Returns std::nullopt with a message in
+// *error on malformed input: wrong field counts, unknown record/class/plan
+// tokens, regexes outside the dialect, plan/capture mismatches, oversized
+// fields (see LoadLimits), control bytes, or a stream read failure.
 std::optional<std::vector<StoredConvention>> load_conventions(
     std::istream& in, const geo::GeoDictionary& dict, std::string* error = nullptr,
-    std::vector<std::string>* warnings = nullptr);
+    std::vector<std::string>* warnings = nullptr, const LoadLimits& limits = {});
 
 // Plan <-> string helpers ("iata", "city+cc+st").
 std::string plan_to_token(const Plan& plan);

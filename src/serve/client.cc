@@ -1,0 +1,71 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace hoiho::serve {
+
+std::optional<Client> Client::connect(std::string_view host, std::uint16_t port,
+                                      std::string* error) {
+  util::Fd fd = util::connect_tcp(host, port, error);
+  if (!fd) return std::nullopt;
+  return Client(std::move(fd));
+}
+
+bool Client::send_line(std::string_view line) {
+  if (!fd_) return false;
+  std::string framed(line);
+  framed += '\n';
+  return util::write_all(fd_.get(), framed);
+}
+
+bool Client::send_lines(const std::vector<std::string>& lines) {
+  if (!fd_) return false;
+  std::string framed;
+  std::size_t total = 0;
+  for (const std::string& l : lines) total += l.size() + 1;
+  framed.reserve(total);
+  for (const std::string& l : lines) {
+    framed += l;
+    framed += '\n';
+  }
+  return util::write_all(fd_.get(), framed);
+}
+
+std::optional<std::string> Client::read_line() {
+  if (!fd_) return std::nullopt;
+  for (;;) {
+    const std::size_t pos = buf_.find('\n', buf_off_);
+    if (pos != std::string::npos) {
+      std::string line = buf_.substr(buf_off_, pos - buf_off_);
+      buf_off_ = pos + 1;
+      if (buf_off_ == buf_.size()) {
+        buf_.clear();
+        buf_off_ = 0;
+      } else if (buf_off_ > (1u << 16)) {
+        buf_.erase(0, buf_off_);
+        buf_off_ = 0;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      return std::nullopt;  // EOF
+    } else if (errno != EINTR) {
+      return std::nullopt;
+    }
+  }
+}
+
+std::optional<std::string> Client::request(std::string_view line) {
+  if (!send_line(line)) return std::nullopt;
+  return read_line();
+}
+
+}  // namespace hoiho::serve

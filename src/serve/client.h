@@ -1,0 +1,50 @@
+// Minimal blocking client for the hoihod protocol — used by tests, the
+// load generator, and as the reference for anyone wiring up another
+// language (the protocol is just lines over TCP; see serve/protocol.h).
+//
+// Not thread-safe: one Client per thread. Supports pipelining: send any
+// number of request lines with send_line(s), then read the same number of
+// responses with read_line().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/net.h"
+
+namespace hoiho::serve {
+
+class Client {
+ public:
+  // Connects to `host`:`port`; nullopt (with *error) on failure.
+  static std::optional<Client> connect(std::string_view host, std::uint16_t port,
+                                       std::string* error = nullptr);
+
+  // Sends one request line (newline appended); false on socket error.
+  bool send_line(std::string_view line);
+
+  // Sends many request lines in one write (pipelined).
+  bool send_lines(const std::vector<std::string>& lines);
+
+  // Reads one '\n'-terminated response line (newline stripped); nullopt on
+  // EOF or socket error.
+  std::optional<std::string> read_line();
+
+  // send_line + read_line.
+  std::optional<std::string> request(std::string_view line);
+
+  bool connected() const { return fd_.valid(); }
+  void close() { fd_.reset(); }
+
+ private:
+  explicit Client(util::Fd fd) : fd_(std::move(fd)) {}
+
+  util::Fd fd_;
+  std::string buf_;        // bytes read but not yet returned
+  std::size_t buf_off_ = 0;
+};
+
+}  // namespace hoiho::serve

@@ -1,0 +1,214 @@
+// hoihod — the geolocation serving daemon.
+//
+// Serve a saved convention file over the line protocol:
+//
+//   hoihod --model conv.txt --port 9009
+//   printf 'ae2.cr1.lhr1.example.net\n' | nc 127.0.0.1 9009
+//
+// The model hot-reloads: SIGHUP forces a reload, and --watch-ms polls the
+// file's mtime so an atomic rename() deploy is picked up automatically.
+// In-flight requests keep the snapshot they started with (see
+// serve/model_store.h); a reload never drops a request.
+//
+// For demos/CI without a learned model on hand, --write-demo-model runs
+// the full learning pipeline on a synthetic world and writes a convention
+// file plus (with --hosts-out) a hostname list that the model answers —
+// ready-made input for bench/serve_loadgen.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/geolocate.h"
+#include "core/hoiho.h"
+#include "core/nc_io.h"
+#include "serve/server.h"
+#include "sim/probing.h"
+
+using namespace hoiho;
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --model FILE [--port N] [--workers N] [--bind-any]\n"
+               "          [--port-file FILE] [--watch-ms N]\n"
+               "       %s --write-demo-model FILE [--operators N] [--hosts-out FILE]\n",
+               argv0, argv0);
+  return 1;
+}
+
+int write_demo_model(const std::string& model_path, std::size_t operators,
+                     const std::string& hosts_path) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  sim::WorldConfig config;
+  config.seed = 20260805;
+  config.operators = operators;
+  config.geohint_scheme_rate = 0.8;
+  const sim::World world = sim::generate_world(dict, config);
+  const measure::Measurements pings = sim::probe_pings(world, {});
+
+  const core::Hoiho hoiho(dict);
+  const core::HoihoResult result = hoiho.run(world.topology, pings);
+  std::vector<core::StoredConvention> stored;
+  core::Geolocator check(dict);
+  for (const core::SuffixResult& sr : result.suffixes) {
+    if (!sr.usable()) continue;
+    stored.push_back(core::StoredConvention{sr.nc, sr.cls});
+    check.add(sr.nc);
+  }
+  std::ofstream out(model_path);
+  if (!out) {
+    std::fprintf(stderr, "hoihod: cannot write '%s'\n", model_path.c_str());
+    return 2;
+  }
+  core::save_conventions(out, stored, dict);
+  std::printf("hoihod: wrote %zu conventions to %s\n", stored.size(), model_path.c_str());
+
+  if (!hosts_path.empty()) {
+    std::ofstream hosts(hosts_path);
+    if (!hosts) {
+      std::fprintf(stderr, "hoihod: cannot write '%s'\n", hosts_path.c_str());
+      return 2;
+    }
+    std::size_t n = 0;
+    for (const sim::HostnameTruth& truth : world.truths) {
+      if (!check.locate(truth.hostname)) continue;
+      hosts << truth.hostname << '\n';
+      ++n;
+    }
+    std::printf("hoihod: wrote %zu answerable hostnames to %s\n", n, hosts_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_path, demo_path, hosts_path, port_file;
+  std::uint16_t port = 9009;
+  std::size_t workers = 0, operators = 60;
+  int watch_ms = 1000;
+  bool bind_any = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--model") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      model_path = v;
+    } else if (arg == "--write-demo-model") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      demo_path = v;
+    } else if (arg == "--hosts-out") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      hosts_path = v;
+    } else if (arg == "--port-file") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      port_file = v;
+    } else if (arg == "--port") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--workers") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      workers = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--operators") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      operators = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--watch-ms") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      watch_ms = std::atoi(v);
+    } else if (arg == "--bind-any") {
+      bind_any = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (!demo_path.empty()) return write_demo_model(demo_path, operators, hosts_path);
+  if (model_path.empty()) return usage(argv[0]);
+
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  serve::ModelStore store(dict, model_path);
+  if (const auto err = store.reload()) {
+    std::fprintf(stderr, "hoihod: %s\n", err->c_str());
+    return 2;
+  }
+  const auto snap = store.current();
+  std::printf("hoihod: loaded %zu conventions (generation %llu) from %s\n",
+              snap->convention_count,
+              static_cast<unsigned long long>(snap->generation), model_path.c_str());
+  for (const std::string& w : snap->warnings)
+    std::fprintf(stderr, "hoihod: model warning: %s\n", w.c_str());
+
+  serve::ServerConfig config;
+  config.port = port;
+  config.bind_any = bind_any;
+  config.workers = workers;
+  config.tick_ms = watch_ms > 0 ? watch_ms : 500;
+  // Tick (every tick_ms on the loop thread): translate signals into server
+  // actions, and pick up model-file rewrites by mtime. server_ptr is set
+  // right after construction, before run() can tick.
+  serve::Server* server_ptr = nullptr;
+  config.on_tick = [&server_ptr, &store, watch_ms]() {
+    const int sig = g_signal.exchange(0, std::memory_order_relaxed);
+    if (sig == SIGTERM || sig == SIGINT) {
+      std::printf("hoihod: signal %d, shutting down\n", sig);
+      server_ptr->stop();
+      return;
+    }
+    if (sig == SIGHUP) {
+      if (const auto err = store.reload())
+        std::fprintf(stderr, "hoihod: reload failed: %s\n", err->c_str());
+      else
+        std::printf("hoihod: reloaded (generation %llu)\n",
+                    static_cast<unsigned long long>(store.generation()));
+      return;
+    }
+    if (watch_ms > 0 && store.reload_if_changed())
+      std::printf("hoihod: model file changed, reloaded (generation %llu)\n",
+                  static_cast<unsigned long long>(store.generation()));
+  };
+  serve::Server server(store, config);
+  server_ptr = &server;
+
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "hoihod: %s\n", error.c_str());
+    return 1;
+  }
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file);
+    pf << server.port() << '\n';
+  }
+  std::printf("hoihod: listening on %s:%u\n", bind_any ? "0.0.0.0" : "127.0.0.1",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGHUP, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  server.run();
+  std::printf("hoihod: bye\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Lock-free serving counters.
+//
+// One Metrics object lives for the lifetime of a Server; workers and the
+// event loop bump counters with relaxed atomics (each counter is an
+// independent statistic — no cross-counter invariant is promised, so a
+// snapshot taken mid-flight may show e.g. hits+misses briefly behind
+// requests). snapshot() materializes a plain-struct copy for formatting.
+// The header is deliberately free of serving-specific types so later
+// subsystems (sharding proxies, replication feeders) can reuse it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hoiho::serve {
+
+struct Metrics {
+  // Request outcomes.
+  std::atomic<std::uint64_t> requests{0};  // lookup lines received
+  std::atomic<std::uint64_t> hits{0};      // lookups that produced a location
+  std::atomic<std::uint64_t> misses{0};    // well-formed lookups with no answer
+  std::atomic<std::uint64_t> errors{0};    // malformed/oversized/unservable lines
+  std::atomic<std::uint64_t> admin{0};     // STATS / RELOAD verbs
+
+  // Model lifecycle.
+  std::atomic<std::uint64_t> reloads{0};
+  std::atomic<std::uint64_t> reload_failures{0};
+
+  // Batching shape: avg batch size = batched_lines / batches.
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> batched_lines{0};
+
+  // Connection churn.
+  std::atomic<std::uint64_t> connections_opened{0};
+  std::atomic<std::uint64_t> connections_closed{0};
+
+  // Per-stage wall time, nanoseconds (event-loop parse/write, worker lookup).
+  std::atomic<std::uint64_t> parse_ns{0};
+  std::atomic<std::uint64_t> lookup_ns{0};
+  std::atomic<std::uint64_t> write_ns{0};
+
+  struct Snapshot {
+    std::uint64_t requests = 0, hits = 0, misses = 0, errors = 0, admin = 0;
+    std::uint64_t reloads = 0, reload_failures = 0;
+    std::uint64_t batches = 0, batched_lines = 0;
+    std::uint64_t connections_opened = 0, connections_closed = 0;
+    std::uint64_t parse_ns = 0, lookup_ns = 0, write_ns = 0;
+
+    double avg_batch() const {
+      return batches == 0 ? 0.0
+                          : static_cast<double>(batched_lines) / static_cast<double>(batches);
+    }
+  };
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.requests = requests.load(std::memory_order_relaxed);
+    s.hits = hits.load(std::memory_order_relaxed);
+    s.misses = misses.load(std::memory_order_relaxed);
+    s.errors = errors.load(std::memory_order_relaxed);
+    s.admin = admin.load(std::memory_order_relaxed);
+    s.reloads = reloads.load(std::memory_order_relaxed);
+    s.reload_failures = reload_failures.load(std::memory_order_relaxed);
+    s.batches = batches.load(std::memory_order_relaxed);
+    s.batched_lines = batched_lines.load(std::memory_order_relaxed);
+    s.connections_opened = connections_opened.load(std::memory_order_relaxed);
+    s.connections_closed = connections_closed.load(std::memory_order_relaxed);
+    s.parse_ns = parse_ns.load(std::memory_order_relaxed);
+    s.lookup_ns = lookup_ns.load(std::memory_order_relaxed);
+    s.write_ns = write_ns.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void add(std::atomic<std::uint64_t>& counter, std::uint64_t n) {
+    counter.fetch_add(n, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace hoiho::serve

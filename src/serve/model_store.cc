@@ -1,0 +1,86 @@
+#include "serve/model_store.h"
+
+#include <sys/stat.h>
+
+#include <fstream>
+#include <utility>
+
+namespace hoiho::serve {
+
+namespace {
+
+std::time_t file_mtime(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return st.st_mtime;
+}
+
+}  // namespace
+
+ModelStore::ModelStore(const geo::GeoDictionary& dict, std::string path)
+    : dict_(dict), path_(std::move(path)) {
+  auto empty = std::make_shared<ModelSnapshot>(dict_);
+  empty->source = path_.empty() ? "<memory>" : path_;
+  std::lock_guard lock(snap_mu_);
+  snap_ = std::move(empty);
+}
+
+void ModelStore::publish(std::shared_ptr<ModelSnapshot> snap) {
+  snap->generation = next_generation_++;
+  std::shared_ptr<const ModelSnapshot> next(std::move(snap));
+  std::lock_guard lock(snap_mu_);
+  snap_.swap(next);
+  // `next` (the previous snapshot) is released outside the lock when it
+  // goes out of scope — possibly the last reference, freeing the model.
+}
+
+std::optional<std::string> ModelStore::reload() {
+  std::lock_guard lock(reload_mu_);
+  if (path_.empty()) return "model store has no file path";
+  // Record the mtime before parsing so a write racing the load triggers one
+  // more reload_if_changed() rather than being missed.
+  last_mtime_ = file_mtime(path_);
+  std::ifstream in(path_);
+  if (!in) return "cannot open model file '" + path_ + "'";
+
+  std::string error;
+  std::vector<std::string> warnings;
+  const auto loaded = core::load_conventions(in, dict_, &error, &warnings);
+  if (!loaded) return "model file '" + path_ + "': " + error;
+
+  auto snap = std::make_shared<ModelSnapshot>(dict_);
+  snap->source = path_;
+  snap->warnings = std::move(warnings);
+  for (const core::StoredConvention& sc : *loaded) {
+    if (sc.cls == core::NcClass::kPoor) continue;  // unusable per stage 5
+    snap->geolocator.add(sc.nc);
+  }
+  snap->convention_count = snap->geolocator.convention_count();
+  publish(std::move(snap));
+  return std::nullopt;
+}
+
+void ModelStore::install(const std::vector<core::StoredConvention>& conventions,
+                         std::string source) {
+  std::lock_guard lock(reload_mu_);
+  auto snap = std::make_shared<ModelSnapshot>(dict_);
+  snap->source = std::move(source);
+  for (const core::StoredConvention& sc : conventions) {
+    if (sc.cls == core::NcClass::kPoor) continue;
+    snap->geolocator.add(sc.nc);
+  }
+  snap->convention_count = snap->geolocator.convention_count();
+  publish(std::move(snap));
+}
+
+bool ModelStore::reload_if_changed() {
+  {
+    std::lock_guard lock(reload_mu_);
+    if (path_.empty()) return false;
+    if (file_mtime(path_) == last_mtime_) return false;
+  }
+  reload();
+  return true;
+}
+
+}  // namespace hoiho::serve

@@ -1,0 +1,87 @@
+// Hot-reloadable model storage for the serving subsystem.
+//
+// A ModelStore turns a saved convention file (core/nc_io format) into an
+// immutable ModelSnapshot — a fully-built Geolocator plus provenance —
+// published behind a mutex-guarded shared_ptr (one uncontended lock per
+// current() call; the server takes one snapshot per request batch, so the
+// lock is off the per-lookup path). Readers grab the current snapshot and
+// keep lookups on it even while a reload swaps in a successor, so a reload
+// never drops or torn-reads a request:
+//
+//   reader:  auto snap = store.current();   // refcount pins the model
+//            snap->geolocator.locate(...)   // const, thread-safe
+//   admin:   store.reload()                 // builds aside, swaps atomically
+//
+// Failed reloads (missing file, malformed model) keep the previous snapshot
+// serving and report the error; there is no window with no model installed.
+#pragma once
+
+#include <cstdint>
+#include <ctime>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/geolocate.h"
+#include "core/nc_io.h"
+#include "geo/dictionary.h"
+
+namespace hoiho::serve {
+
+// One immutable, reference-counted model generation.
+struct ModelSnapshot {
+  core::Geolocator geolocator;
+  std::uint64_t generation = 0;      // monotonically increasing per install
+  std::size_t convention_count = 0;  // usable conventions actually added
+  std::string source;                // file path or "<memory>"
+  std::vector<std::string> warnings; // loader notes (dropped hints, dupes)
+
+  explicit ModelSnapshot(const geo::GeoDictionary& dict) : geolocator(dict) {}
+};
+
+class ModelStore {
+ public:
+  // `path` may be empty for stores fed only via install() (tests, benches).
+  // Construction installs an empty generation-0 snapshot; call reload() to
+  // load the file.
+  explicit ModelStore(const geo::GeoDictionary& dict, std::string path = {});
+
+  // The current snapshot; never null. Safe from any thread.
+  std::shared_ptr<const ModelSnapshot> current() const {
+    std::lock_guard lock(snap_mu_);
+    return snap_;
+  }
+
+  // Re-reads the model file and atomically swaps in the new snapshot.
+  // Returns the error message on failure (previous snapshot stays current).
+  // Serialized internally; safe from any thread.
+  std::optional<std::string> reload();
+
+  // Installs an in-memory model (conventions classified kPoor are skipped,
+  // matching the daemon's file path). Always succeeds.
+  void install(const std::vector<core::StoredConvention>& conventions,
+               std::string source = "<memory>");
+
+  // Reloads only if the model file's mtime changed since the last (attempted)
+  // load. Returns true if a reload was attempted.
+  bool reload_if_changed();
+
+  std::uint64_t generation() const { return current()->generation; }
+  const std::string& path() const { return path_; }
+  const geo::GeoDictionary& dictionary() const { return dict_; }
+
+ private:
+  void publish(std::shared_ptr<ModelSnapshot> snap);
+
+  const geo::GeoDictionary& dict_;
+  std::string path_;
+  std::mutex reload_mu_;       // serializes reload/install; readers never take it
+  std::uint64_t next_generation_ = 1;  // guarded by reload_mu_
+  std::time_t last_mtime_ = 0;         // guarded by reload_mu_
+  mutable std::mutex snap_mu_;         // guards snap_ swap/copy only
+  std::shared_ptr<const ModelSnapshot> snap_;
+};
+
+}  // namespace hoiho::serve

@@ -1,0 +1,88 @@
+#include "serve/protocol.h"
+
+#include "util/strings.h"
+
+namespace hoiho::serve {
+
+Request parse_request(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  Request req;
+  if (line.empty()) {
+    req.kind = RequestKind::kEmpty;
+  } else if (line == "STATS") {
+    req.kind = RequestKind::kStats;
+  } else if (line == "RELOAD") {
+    req.kind = RequestKind::kReload;
+  } else {
+    req.kind = RequestKind::kLookup;
+    req.hostname = line;
+  }
+  return req;
+}
+
+std::string format_hit(const core::Geolocation& g) {
+  std::string out = util::fmt_double(g.coord.lat, 4);
+  out += ',';
+  out += util::fmt_double(g.coord.lon, 4);
+  out += ',';
+  out += g.code;
+  out += ',';
+  out += g.via_learned ? "learned" : "dictionary";
+  return out;
+}
+
+std::string format_miss() { return "MISS"; }
+
+std::string format_error(std::string_view reason) {
+  return "ERR," + std::string(reason);
+}
+
+std::string format_stats(const Metrics::Snapshot& m, std::uint64_t generation,
+                         std::size_t conventions) {
+  std::string out = "STATS";
+  const auto kv = [&out](std::string_view key, std::uint64_t value) {
+    out += ',';
+    out += key;
+    out += '=';
+    out += std::to_string(value);
+  };
+  kv("requests", m.requests);
+  kv("hits", m.hits);
+  kv("misses", m.misses);
+  kv("errors", m.errors);
+  kv("admin", m.admin);
+  kv("reloads", m.reloads);
+  kv("reload_failures", m.reload_failures);
+  kv("batches", m.batches);
+  kv("batched_lines", m.batched_lines);
+  out += ",avg_batch=" + util::fmt_double(m.avg_batch(), 2);
+  kv("connections_opened", m.connections_opened);
+  kv("connections_closed", m.connections_closed);
+  kv("parse_ns", m.parse_ns);
+  kv("lookup_ns", m.lookup_ns);
+  kv("write_ns", m.write_ns);
+  kv("generation", generation);
+  kv("conventions", conventions);
+  return out;
+}
+
+std::string format_reload_ok(std::uint64_t generation, std::size_t conventions) {
+  return "RELOAD,ok,generation=" + std::to_string(generation) +
+         ",conventions=" + std::to_string(conventions);
+}
+
+std::string format_reload_error(std::string_view message) {
+  return "RELOAD,error," + std::string(message);
+}
+
+ResponseKind classify_response(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  if (line == "MISS") return ResponseKind::kMiss;
+  if (util::starts_with(line, "STATS")) return ResponseKind::kStats;
+  if (util::starts_with(line, "RELOAD,ok")) return ResponseKind::kReload;
+  if (util::starts_with(line, "RELOAD,error")) return ResponseKind::kReloadError;
+  if (util::starts_with(line, "ERR,")) return ResponseKind::kError;
+  return ResponseKind::kHit;
+}
+
+}  // namespace hoiho::serve

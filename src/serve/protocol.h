@@ -1,0 +1,57 @@
+// The hoihod wire protocol: one request line in, one response line out.
+//
+// Grammar (all lines '\n'-terminated; '\r' before '\n' is tolerated):
+//
+//   request   = lookup | "STATS" | "RELOAD"
+//   lookup    = hostname                     ; anything that is not a verb
+//
+//   response  = hit | miss | stats | reload-ok | reload-err | err
+//   hit       = lat "," lon "," code "," method
+//   method    = "learned" | "dictionary"     ; how the code was resolved
+//   miss      = "MISS"                       ; no convention / unknown code
+//   stats     = "STATS," kv *("," kv)        ; kv = key "=" value
+//   reload-ok = "RELOAD,ok,generation=" N ",conventions=" N
+//   reload-err= "RELOAD,error," message
+//   err       = "ERR," reason                ; empty or oversized line
+//
+// Responses preserve request order within a connection. Requests are
+// independent across connections; pipelining any number of request lines
+// before reading is allowed and is how the load generator reaches peak
+// throughput.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/geolocate.h"
+#include "serve/metrics.h"
+#include "serve/model_store.h"
+
+namespace hoiho::serve {
+
+enum class RequestKind { kLookup, kStats, kReload, kEmpty };
+
+struct Request {
+  RequestKind kind = RequestKind::kLookup;
+  std::string_view hostname;  // views into the request line; kLookup only
+};
+
+// Classifies one request line (without the trailing newline).
+Request parse_request(std::string_view line);
+
+// Response formatters. None include the trailing '\n'; the server appends
+// it when framing.
+std::string format_hit(const core::Geolocation& g);
+std::string format_miss();
+std::string format_error(std::string_view reason);
+std::string format_stats(const Metrics::Snapshot& m, std::uint64_t generation,
+                         std::size_t conventions);
+std::string format_reload_ok(std::uint64_t generation, std::size_t conventions);
+std::string format_reload_error(std::string_view message);
+
+// Response classification (client side: tests, load generator).
+enum class ResponseKind { kHit, kMiss, kStats, kReload, kReloadError, kError };
+ResponseKind classify_response(std::string_view line);
+
+}  // namespace hoiho::serve

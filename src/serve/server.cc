@@ -1,0 +1,369 @@
+#include "serve/server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "serve/protocol.h"
+
+namespace hoiho::serve {
+
+namespace {
+
+constexpr std::uint64_t kListenToken = 0;
+constexpr std::uint64_t kWakeToken = 1;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool epoll_add(int epfd, int fd, std::uint64_t token, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = token;
+  return ::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+}  // namespace
+
+Server::Server(ModelStore& store, ServerConfig config)
+    : store_(store), config_(std::move(config)) {}
+
+Server::~Server() {
+  // Drain the worker pool before tearing down the members its tasks touch
+  // (wake_fd_, completions_). Pool destruction runs queued batches to
+  // completion; their results are simply never flushed.
+  pool_.reset();
+}
+
+bool Server::start(std::string* error) {
+  listen_fd_ = util::listen_tcp(config_.port, error, config_.bind_any);
+  if (!listen_fd_) return false;
+  if (!util::set_nonblocking(listen_fd_.get())) {
+    if (error != nullptr) *error = "cannot set listen socket non-blocking";
+    return false;
+  }
+  const auto bound = util::local_port(listen_fd_.get());
+  if (!bound) {
+    if (error != nullptr) *error = "getsockname failed";
+    return false;
+  }
+  port_ = *bound;
+
+  epoll_fd_.reset(::epoll_create1(EPOLL_CLOEXEC));
+  wake_fd_.reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!epoll_fd_ || !wake_fd_) {
+    if (error != nullptr) *error = std::string("epoll/eventfd: ") + std::strerror(errno);
+    return false;
+  }
+  if (!epoll_add(epoll_fd_.get(), listen_fd_.get(), kListenToken, EPOLLIN) ||
+      !epoll_add(epoll_fd_.get(), wake_fd_.get(), kWakeToken, EPOLLIN)) {
+    if (error != nullptr) *error = std::string("epoll_ctl: ") + std::strerror(errno);
+    return false;
+  }
+  pool_ = std::make_unique<util::ThreadPool>(util::ThreadPool::resolve(config_.workers));
+  return true;
+}
+
+void Server::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+void Server::stop() {
+  stopping_.store(true, std::memory_order_release);
+  wake();
+}
+
+void Server::run() {
+  using Clock = std::chrono::steady_clock;
+  auto next_tick = Clock::now() + std::chrono::milliseconds(
+                                      config_.tick_ms > 0 ? config_.tick_ms : 0);
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int timeout = -1;
+    if (config_.tick_ms > 0) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          next_tick - Clock::now());
+      timeout = static_cast<int>(std::max<long long>(0, remaining.count()));
+    }
+    const int n = ::epoll_wait(epoll_fd_.get(), events, 64, timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (config_.tick_ms > 0 && Clock::now() >= next_tick) {
+      next_tick = Clock::now() + std::chrono::milliseconds(config_.tick_ms);
+      if (config_.on_tick) config_.on_tick();
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t token = events[i].data.u64;
+      if (token == kWakeToken) {
+        std::uint64_t count = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_.get(), &count, sizeof(count));
+        drain_completions();
+      } else if (token == kListenToken) {
+        accept_ready();
+      } else {
+        const auto it = conns_.find(token);
+        if (it == conns_.end()) continue;  // closed earlier this wakeup
+        Connection& c = *it->second;
+        if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 &&
+            (events[i].events & EPOLLIN) == 0) {
+          close_connection(c);
+          continue;
+        }
+        if ((events[i].events & EPOLLOUT) != 0) on_writable(c);
+        if (conns_.find(token) == conns_.end()) continue;
+        if ((events[i].events & EPOLLIN) != 0) on_readable(c);
+      }
+    }
+  }
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listen socket stays armed
+    }
+    util::set_tcp_nodelay(fd);
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_id_++;
+    conn->fd.reset(fd);
+    if (!epoll_add(epoll_fd_.get(), fd, conn->id, EPOLLIN)) continue;
+    metrics_.connections_opened.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void Server::on_readable(Connection& c) {
+  const std::uint64_t t0 = now_ns();
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(c.fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      c.in_buf.append(buf, static_cast<std::size_t>(n));
+      if (c.in_buf.size() >= config_.max_line) break;  // parse before reading on
+    } else if (n == 0) {
+      // EOF: deregister EPOLLIN immediately — a level-triggered fd at EOF
+      // stays readable forever and would spin the loop while in-flight
+      // batches finish.
+      c.peer_closed = true;
+      update_epoll(c);
+      break;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    } else if (errno == EINTR) {
+      continue;
+    } else {
+      close_connection(c);
+      return;
+    }
+  }
+
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  bool oversized = false;
+  for (std::size_t pos; (pos = c.in_buf.find('\n', start)) != std::string::npos;
+       start = pos + 1) {
+    if (pos - start > config_.max_line) {
+      oversized = true;
+      break;
+    }
+    lines.emplace_back(c.in_buf, start, pos - start);
+    if (lines.size() >= config_.max_batch) {
+      dispatch(c, std::move(lines));
+      lines.clear();
+    }
+  }
+  c.in_buf.erase(0, start);
+  if (!lines.empty()) dispatch(c, std::move(lines));
+
+  if (oversized || c.in_buf.size() >= config_.max_line) {
+    // A line over the cap — terminated or still streaming in — is a
+    // protocol violation. Answer through the ordered completion path
+    // (after any lines dispatched above), then drop the connection once
+    // everything is flushed.
+    metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+    c.done[c.next_submit_seq++] = format_error("oversized line") + "\n";
+    c.in_buf.clear();
+    c.peer_closed = true;
+    update_epoll(c);
+  }
+  metrics_.parse_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+
+  const std::uint64_t id = c.id;
+  drain_completions();
+  const auto it = conns_.find(id);
+  if (it != conns_.end()) flush_ready(*it->second);  // stashed errors + close
+}
+
+void Server::dispatch(Connection& c, std::vector<std::string> lines) {
+  const std::uint64_t seq = c.next_submit_seq++;
+  metrics_.batches.fetch_add(1, std::memory_order_relaxed);
+  metrics_.batched_lines.fetch_add(lines.size(), std::memory_order_relaxed);
+  pool_->submit([this, id = c.id, seq, lines = std::move(lines)]() mutable {
+    process_batch(id, seq, std::move(lines));
+  });
+}
+
+void Server::process_batch(std::uint64_t conn_id, std::uint64_t seq,
+                           std::vector<std::string> lines) {
+  const std::uint64_t t0 = now_ns();
+  // One snapshot per batch: lookups within a batch see one model generation
+  // even if a reload lands mid-batch.
+  std::shared_ptr<const ModelSnapshot> snap = store_.current();
+  std::string out;
+  out.reserve(lines.size() * 24);
+  for (const std::string& line : lines) {
+    const Request req = parse_request(line);
+    switch (req.kind) {
+      case RequestKind::kLookup: {
+        metrics_.requests.fetch_add(1, std::memory_order_relaxed);
+        const auto loc = snap->geolocator.locate(req.hostname);
+        if (loc) {
+          metrics_.hits.fetch_add(1, std::memory_order_relaxed);
+          out += format_hit(*loc);
+        } else {
+          metrics_.misses.fetch_add(1, std::memory_order_relaxed);
+          out += format_miss();
+        }
+        break;
+      }
+      case RequestKind::kStats:
+        metrics_.admin.fetch_add(1, std::memory_order_relaxed);
+        out += format_stats(metrics_.snapshot(), snap->generation,
+                            snap->convention_count);
+        break;
+      case RequestKind::kReload: {
+        metrics_.admin.fetch_add(1, std::memory_order_relaxed);
+        const auto err = store_.reload();
+        if (err) {
+          metrics_.reload_failures.fetch_add(1, std::memory_order_relaxed);
+          out += format_reload_error(*err);
+        } else {
+          metrics_.reloads.fetch_add(1, std::memory_order_relaxed);
+          const auto fresh = store_.current();
+          out += format_reload_ok(fresh->generation, fresh->convention_count);
+          snap = fresh;  // later lines in this batch see the new model
+        }
+        break;
+      }
+      case RequestKind::kEmpty:
+        metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+        out += format_error("empty request");
+        break;
+    }
+    out += '\n';
+  }
+  metrics_.lookup_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(completions_mu_);
+    completions_.push_back(Completion{conn_id, seq, std::move(out)});
+  }
+  wake();
+}
+
+void Server::drain_completions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard lock(completions_mu_);
+    done.swap(completions_);
+  }
+  for (Completion& comp : done) {
+    const auto it = conns_.find(comp.conn_id);
+    if (it == conns_.end()) continue;  // connection closed while in flight
+    it->second->done[comp.seq] = std::move(comp.data);
+  }
+  // Flush every connection that received data (re-find: flush can close).
+  for (Completion& comp : done) {
+    const auto it = conns_.find(comp.conn_id);
+    if (it == conns_.end()) continue;
+    flush_ready(*it->second);
+  }
+}
+
+void Server::flush_ready(Connection& c) {
+  while (true) {
+    const auto dit = c.done.find(c.next_flush_seq);
+    if (dit == c.done.end()) break;
+    c.out_buf += dit->second;
+    c.done.erase(dit);
+    ++c.next_flush_seq;
+  }
+  const std::uint64_t id = c.id;
+  flush(c);  // may close and destroy c
+  const auto again = conns_.find(id);
+  if (again != conns_.end()) maybe_close(*again->second);
+}
+
+void Server::flush(Connection& c) {
+  const std::uint64_t t0 = now_ns();
+  while (c.out_off < c.out_buf.size()) {
+    const ssize_t n = ::send(c.fd.get(), c.out_buf.data() + c.out_off,
+                             c.out_buf.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      metrics_.write_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+      close_connection(c);
+      return;
+    }
+  }
+  if (c.out_off == c.out_buf.size()) {
+    c.out_buf.clear();
+    c.out_off = 0;
+  } else if (c.out_off > (1u << 16)) {
+    c.out_buf.erase(0, c.out_off);
+    c.out_off = 0;
+  }
+  const bool want_write = c.out_off < c.out_buf.size();
+  const bool pause = c.out_buf.size() - c.out_off > config_.max_output_buffer;
+  const bool resume = c.reads_paused &&
+                      c.out_buf.size() - c.out_off < config_.max_output_buffer / 2;
+  if (want_write != c.want_write || pause != c.reads_paused || resume) {
+    c.want_write = want_write;
+    c.reads_paused = pause;
+    update_epoll(c);
+  }
+  metrics_.write_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+}
+
+void Server::update_epoll(Connection& c) {
+  epoll_event ev{};
+  ev.data.u64 = c.id;
+  ev.events = 0;
+  if (!c.reads_paused && !c.peer_closed) ev.events |= EPOLLIN;
+  if (c.want_write) ev.events |= EPOLLOUT;
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, c.fd.get(), &ev);
+}
+
+void Server::on_writable(Connection& c) { flush(c); }
+
+void Server::maybe_close(Connection& c) {
+  if (c.peer_closed && c.idle() && c.done.empty()) close_connection(c);
+}
+
+void Server::close_connection(Connection& c) {
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, c.fd.get(), nullptr);
+  metrics_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  conns_.erase(c.id);  // destroys c
+}
+
+}  // namespace hoiho::serve

@@ -1,0 +1,104 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hoiho::util {
+
+namespace {
+
+void set_error(std::string* error, const char* what) {
+  if (error != nullptr) *error = std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool set_tcp_nodelay(int fd) {
+  const int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
+}
+
+Fd listen_tcp(std::uint16_t port, std::string* error, bool any) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) {
+    set_error(error, "socket");
+    return {};
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(any ? INADDR_ANY : INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(error, "bind");
+    return {};
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) {
+    set_error(error, "listen");
+    return {};
+  }
+  return fd;
+}
+
+Fd connect_tcp(std::string_view host, std::uint16_t port, std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string host_str(host.empty() || host == "localhost" ? "127.0.0.1"
+                                                                 : std::string(host));
+  if (::inet_pton(AF_INET, host_str.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad IPv4 address '" + host_str + "'";
+    return {};
+  }
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) {
+    set_error(error, "socket");
+    return {};
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(error, "connect");
+    return {};
+  }
+  set_tcp_nodelay(fd.get());
+  return fd;
+}
+
+std::optional<std::uint16_t> local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return std::nullopt;
+  return ntohs(addr.sin_port);
+}
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace hoiho::util

@@ -1,0 +1,71 @@
+// Socket / file-descriptor RAII helpers for the serving subsystem.
+//
+// Everything here is a thin, error-returning wrapper over POSIX sockets:
+// no exceptions, no global state, and every descriptor owned by an Fd so
+// early returns cannot leak. IPv4 loopback/any only — the daemon fronts a
+// lookup library, not a general-purpose network stack.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hoiho::util {
+
+// Owning file descriptor: closes on destruction, move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  // Closes the held descriptor (if any) and takes ownership of `fd`.
+  void reset(int fd = -1);
+
+  // Releases ownership without closing.
+  int release() { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_ = -1;
+};
+
+// Sets O_NONBLOCK on `fd`; false on fcntl failure.
+bool set_nonblocking(int fd);
+
+// Disables Nagle (TCP_NODELAY) — the protocol is small request/response
+// lines, where batching-by-timer only adds latency.
+bool set_tcp_nodelay(int fd);
+
+// Creates a listening TCP socket bound to 127.0.0.1:`port` (`any` = false)
+// or 0.0.0.0:`port`. `port` 0 binds an ephemeral port; read it back with
+// local_port(). SO_REUSEADDR is set. Invalid Fd + *error on failure.
+Fd listen_tcp(std::uint16_t port, std::string* error = nullptr, bool any = false);
+
+// Blocking connect to `host`:`port` (numeric IPv4 or "localhost").
+Fd connect_tcp(std::string_view host, std::uint16_t port, std::string* error = nullptr);
+
+// The locally-bound port of a socket; nullopt on getsockname failure.
+std::optional<std::uint16_t> local_port(int fd);
+
+// write() in a loop until all of `data` is sent; false on error. Only for
+// blocking sockets (the Client); the Server manages partial writes itself.
+bool write_all(int fd, std::string_view data);
+
+}  // namespace hoiho::util

@@ -7,7 +7,10 @@
 #include <sstream>
 
 #include "core/geolocate.h"
+#include "core/hoiho.h"
 #include "regex/parser.h"
+#include "sim/probing.h"
+#include "util/rng.h"
 
 namespace hoiho::core {
 namespace {
@@ -137,6 +140,170 @@ TEST(NcIo, EmptyInputYieldsEmptyList) {
   const auto loaded = load_conventions(in, dict);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_TRUE(loaded->empty());
+}
+
+// --- hardened loader ---------------------------------------------------------
+
+TEST(NcIo, RejectsWrongArity) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::string error;
+
+  std::istringstream extra_s("S,x.net,good,surprise\n");
+  EXPECT_FALSE(load_conventions(extra_s, dict, &error).has_value());
+  EXPECT_NE(error.find("3 fields"), std::string::npos);
+
+  std::istringstream short_r("S,x.net,good\nR,iata\n");
+  EXPECT_FALSE(load_conventions(short_r, dict, &error).has_value());
+
+  std::istringstream long_l("S,x.net,good\nR,iata,^([a-z]{3})\\.x\\.net$\n"
+                            "L,iata,abc,City,,us,extra\n");
+  EXPECT_FALSE(load_conventions(long_l, dict, &error).has_value());
+  EXPECT_NE(error.find("6 fields"), std::string::npos);
+}
+
+TEST(NcIo, RejectsOversizedFields) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::string error;
+
+  const std::string big_regex(5000, 'a');
+  std::istringstream r("S,x.net,good\nR,iata,^" + big_regex + "$\n");
+  EXPECT_FALSE(load_conventions(r, dict, &error).has_value());
+  EXPECT_NE(error.find("regex exceeds"), std::string::npos);
+
+  const std::string big_suffix(300, 'x');
+  std::istringstream s("S," + big_suffix + ",good\n");
+  EXPECT_FALSE(load_conventions(s, dict, &error).has_value());
+
+  std::istringstream line_cap("# pad\nS,x.net,good\n");
+  LoadLimits tight;
+  tight.max_line = 4;
+  EXPECT_FALSE(load_conventions(line_cap, dict, &error, nullptr, tight).has_value());
+  EXPECT_NE(error.find("exceeds 4 bytes"), std::string::npos);
+}
+
+TEST(NcIo, RejectsBadSuffixAndControlBytes) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::string error;
+
+  std::istringstream bad_suffix("S,EXAMPLE .NET,good\n");
+  EXPECT_FALSE(load_conventions(bad_suffix, dict, &error).has_value());
+  EXPECT_NE(error.find("bad suffix"), std::string::npos);
+
+  std::istringstream ctrl(std::string("S,x.net,good\nR,iata,^([a-z]{3})\\.x\\.net$\n"
+                                      "L,iata,ab\x01..., City,,us\n"));
+  EXPECT_FALSE(load_conventions(ctrl, dict, &error).has_value());
+  EXPECT_NE(error.find("control bytes"), std::string::npos);
+}
+
+TEST(NcIo, WarnsOnDuplicateAndEmptyBlocks) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::vector<std::string> warnings;
+  std::istringstream in(
+      "S,x.net,good\nR,iata,^([a-z]{3})\\.x\\.net$\n"
+      "S,empty.net,good\n"
+      "S,x.net,promising\nR,iata,^([a-z]{3})-\\d+\\.x\\.net$\n");
+  const auto loaded = load_conventions(in, dict, nullptr, &warnings);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 3u);
+  bool saw_dup = false, saw_empty = false;
+  for (const std::string& w : warnings) {
+    if (w.find("duplicate suffix 'x.net'") != std::string::npos) saw_dup = true;
+    if (w.find("no regexes") != std::string::npos) saw_empty = true;
+  }
+  EXPECT_TRUE(saw_dup);
+  EXPECT_TRUE(saw_empty);
+}
+
+// Fuzz-style robustness: random byte mutations of a valid file must never
+// crash or hang the loader — every input either parses or produces a
+// non-empty error message. (The loader feeds the daemon's hot reload, so
+// it sees whatever lands on disk.)
+TEST(NcIo, FuzzedMutationsNeverCrash) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::ostringstream out;
+  save_conventions(out, sample(dict), dict);
+  const std::string valid = out.str();
+
+  util::Rng rng(20260805);
+  std::size_t parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string mutated = valid;
+    const std::size_t flips = 1 + rng.next_below(8);
+    for (std::size_t i = 0; i < flips; ++i) {
+      const std::size_t pos = rng.next_below(mutated.size());
+      mutated[pos] = static_cast<char>(rng.next_below(256));
+    }
+    std::istringstream in(mutated);
+    std::string error;
+    const auto loaded = load_conventions(in, dict, &error);
+    if (loaded) {
+      ++parsed;
+    } else {
+      ++rejected;
+      EXPECT_FALSE(error.empty());
+    }
+  }
+  // Both outcomes occur across 2000 mutations; neither dominates to 100%.
+  EXPECT_GT(parsed, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(NcIo, TruncatedPrefixesLoadOrFailCleanly) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::ostringstream out;
+  save_conventions(out, sample(dict), dict);
+  const std::string valid = out.str();
+  for (std::size_t len = 0; len <= valid.size(); ++len) {
+    std::istringstream in(valid.substr(0, len));
+    std::string error;
+    const auto loaded = load_conventions(in, dict, &error);
+    if (!loaded) {
+      EXPECT_FALSE(error.empty()) << "prefix length " << len;
+    }
+  }
+}
+
+// --- save/load/save byte-identity over simulator output ----------------------
+
+// Every convention class the pipeline produces (good / promising / poor,
+// with and without learned hints) must round-trip: save -> load -> save is
+// byte-identical. This is the contract that lets the daemon re-serve a
+// model file it (or anyone) re-saved.
+TEST(NcIo, SimulatorOutputRoundTripsByteIdentical) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  sim::WorldConfig config;
+  config.seed = 20260805;
+  config.operators = 24;
+  config.geohint_scheme_rate = 0.8;
+  const sim::World world = sim::generate_world(dict, config);
+  const measure::Measurements pings = sim::probe_pings(world, {});
+  const core::Hoiho hoiho(dict);
+  const core::HoihoResult result = hoiho.run(world.topology, pings);
+
+  std::vector<StoredConvention> stored;
+  std::size_t classes_seen[3] = {0, 0, 0};
+  for (const core::SuffixResult& sr : result.suffixes) {
+    if (!sr.has_nc()) continue;
+    stored.push_back(StoredConvention{sr.nc, sr.cls});
+    ++classes_seen[static_cast<int>(sr.cls)];
+  }
+  ASSERT_FALSE(stored.empty());
+  EXPECT_GT(classes_seen[static_cast<int>(NcClass::kGood)], 0u);
+
+  std::ostringstream first;
+  save_conventions(first, stored, dict);
+  std::istringstream in(first.str());
+  std::string error;
+  std::vector<std::string> warnings;
+  const auto loaded = load_conventions(in, dict, &error, &warnings);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->size(), stored.size());
+  for (const std::string& w : warnings)
+    EXPECT_EQ(w.find("dropped"), std::string::npos) << w;
+
+  std::ostringstream second;
+  save_conventions(second, *loaded, dict);
+  EXPECT_EQ(first.str(), second.str());
 }
 
 }  // namespace

@@ -1,0 +1,302 @@
+// End-to-end tests for the serving subsystem: protocol grammar, the
+// hot-reloadable ModelStore, and a live epoll Server driven through the
+// blocking Client over loopback.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/nc_io.h"
+#include "regex/parser.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace hoiho::serve {
+namespace {
+
+geo::LocationId find_city(const geo::GeoDictionary& dict, std::string_view city,
+                          std::string_view country, std::string_view state = "") {
+  for (geo::LocationId id :
+       dict.lookup(geo::HintType::kCityName, geo::squash_place_name(city))) {
+    if (!geo::same_country(dict.location(id).country, country)) continue;
+    if (!state.empty() && dict.location(id).state != state) continue;
+    return id;
+  }
+  return geo::kInvalidLocation;
+}
+
+// The he.net-style convention from test_nc_io: IATA extraction plus the
+// learned "ash" -> Ashburn VA deviation.
+std::vector<core::StoredConvention> he_net_model(const geo::GeoDictionary& dict) {
+  std::vector<core::StoredConvention> out(1);
+  out[0].nc.suffix = "he.net";
+  out[0].cls = core::NcClass::kGood;
+  core::GeoRegex gr;
+  gr.regex = *rx::parse("^.+\\.([a-z]{3})\\d+\\.he\\.net$");
+  gr.plan.roles = {core::Role::kIata};
+  out[0].nc.regexes.push_back(std::move(gr));
+  out[0].nc.learned[{geo::HintType::kIata, "ash"}] = find_city(dict, "Ashburn", "us", "va");
+  return out;
+}
+
+std::vector<core::StoredConvention> zayo_model(const geo::GeoDictionary& dict) {
+  (void)dict;
+  std::vector<core::StoredConvention> out(1);
+  out[0].nc.suffix = "zayo.com";
+  out[0].cls = core::NcClass::kGood;
+  core::GeoRegex gr;
+  gr.regex = *rx::parse("^([a-z]{3})\\d+\\.zayo\\.com$");
+  gr.plan.roles = {core::Role::kIata};
+  out[0].nc.regexes.push_back(std::move(gr));
+  return out;
+}
+
+void write_model(const std::string& path, const std::vector<core::StoredConvention>& m,
+                 const geo::GeoDictionary& dict) {
+  std::ofstream out(path);
+  core::save_conventions(out, m, dict);
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// A Server on an ephemeral loopback port, running in its own thread.
+class LiveServer {
+ public:
+  explicit LiveServer(ModelStore& store, ServerConfig config = {}) : server_(store, config) {
+    std::string error;
+    started_ = server_.start(&error);
+    EXPECT_TRUE(started_) << error;
+    if (started_) thread_ = std::thread([this] { server_.run(); });
+  }
+  ~LiveServer() {
+    if (started_) {
+      server_.stop();
+      thread_.join();
+    }
+  }
+  Server& operator*() { return server_; }
+  Server* operator->() { return &server_; }
+
+ private:
+  Server server_;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+// --- protocol ----------------------------------------------------------------
+
+TEST(Protocol, ParseRequestKinds) {
+  EXPECT_EQ(parse_request("foo.he.net").kind, RequestKind::kLookup);
+  EXPECT_EQ(parse_request("foo.he.net").hostname, "foo.he.net");
+  EXPECT_EQ(parse_request("STATS").kind, RequestKind::kStats);
+  EXPECT_EQ(parse_request("RELOAD").kind, RequestKind::kReload);
+  EXPECT_EQ(parse_request("").kind, RequestKind::kEmpty);
+  EXPECT_EQ(parse_request("\r").kind, RequestKind::kEmpty);
+  EXPECT_EQ(parse_request("STATS\r").kind, RequestKind::kStats);
+  // Verbs are case-sensitive; anything else is a hostname lookup.
+  EXPECT_EQ(parse_request("stats").kind, RequestKind::kLookup);
+}
+
+TEST(Protocol, FormatAndClassify) {
+  core::Geolocation g;
+  g.coord = {38.96, -77.35};
+  g.code = "ash";
+  g.via_learned = true;
+  EXPECT_EQ(format_hit(g), "38.9600,-77.3500,ash,learned");
+  EXPECT_EQ(classify_response(format_hit(g)), ResponseKind::kHit);
+  EXPECT_EQ(classify_response(format_miss()), ResponseKind::kMiss);
+  EXPECT_EQ(classify_response(format_error("x")), ResponseKind::kError);
+  EXPECT_EQ(classify_response(format_reload_ok(2, 5)), ResponseKind::kReload);
+  EXPECT_EQ(classify_response(format_reload_error("nope")), ResponseKind::kReloadError);
+  Metrics m;
+  EXPECT_EQ(classify_response(format_stats(m.snapshot(), 1, 3)), ResponseKind::kStats);
+}
+
+// --- ModelStore --------------------------------------------------------------
+
+TEST(ModelStore, InstallPublishesNewGeneration) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  ModelStore store(dict);
+  EXPECT_EQ(store.current()->generation, 0u);  // empty initial snapshot
+  store.install(he_net_model(dict));
+  const auto snap = store.current();
+  EXPECT_EQ(snap->generation, 1u);
+  EXPECT_EQ(snap->convention_count, 1u);
+  EXPECT_TRUE(snap->geolocator.locate("e0.cr1.ash1.he.net").has_value());
+}
+
+TEST(ModelStore, ReloadFromFileAndKeepOldOnFailure) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = temp_path("store_model.txt");
+  write_model(path, he_net_model(dict), dict);
+  ModelStore store(dict, path);
+  EXPECT_FALSE(store.reload().has_value());
+  const auto good = store.current();
+  EXPECT_EQ(good->convention_count, 1u);
+
+  {
+    std::ofstream out(path);
+    out << "Z,bogus\n";  // unknown record type
+  }
+  const auto err = store.reload();
+  EXPECT_TRUE(err.has_value());
+  // Old snapshot still serves.
+  EXPECT_EQ(store.current().get(), good.get());
+  EXPECT_TRUE(store.current()->geolocator.locate("e0.cr1.ash1.he.net").has_value());
+}
+
+TEST(ModelStore, SnapshotOutlivesSwap) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  ModelStore store(dict);
+  store.install(he_net_model(dict));
+  const auto pinned = store.current();
+  store.install(zayo_model(dict));
+  // The pinned snapshot still answers with the old model.
+  EXPECT_TRUE(pinned->geolocator.locate("e0.cr1.ash1.he.net").has_value());
+  // The current one answers with the new model only.
+  EXPECT_FALSE(store.current()->geolocator.locate("e0.cr1.ash1.he.net").has_value());
+  EXPECT_TRUE(store.current()->geolocator.locate("lhr1.zayo.com").has_value());
+}
+
+// --- Server ------------------------------------------------------------------
+
+TEST(Server, LookupStatsAndMiss) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  ModelStore store(dict);
+  store.install(he_net_model(dict));
+  LiveServer server(store);
+
+  auto client = Client::connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.has_value());
+
+  const auto hit = client->request("e0.cr1.ash1.he.net");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(classify_response(*hit), ResponseKind::kHit);
+  EXPECT_NE(hit->find("ash,learned"), std::string::npos);
+
+  const auto dict_hit = client->request("e0.cr1.lhr1.he.net");
+  ASSERT_TRUE(dict_hit.has_value());
+  EXPECT_NE(dict_hit->find("lhr,dictionary"), std::string::npos);
+
+  const auto miss = client->request("unknown.example.org");
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_EQ(*miss, "MISS");
+
+  const auto empty = client->request("");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(classify_response(*empty), ResponseKind::kError);
+
+  const auto stats = client->request("STATS");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(classify_response(*stats), ResponseKind::kStats);
+  EXPECT_NE(stats->find("requests=3"), std::string::npos);
+  EXPECT_NE(stats->find("hits=2"), std::string::npos);
+  EXPECT_NE(stats->find("misses=1"), std::string::npos);
+  EXPECT_NE(stats->find("errors=1"), std::string::npos);
+  EXPECT_NE(stats->find("conventions=1"), std::string::npos);
+}
+
+TEST(Server, PipelinedResponsesArriveInOrder) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  ModelStore store(dict);
+  store.install(he_net_model(dict));
+  ServerConfig config;
+  config.max_batch = 8;  // force many batches per burst
+  LiveServer server(store, config);
+
+  auto client = Client::connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.has_value());
+
+  // Alternate two requests with distinguishable answers across a burst far
+  // larger than one batch, so reordering across workers would be visible.
+  std::vector<std::string> requests;
+  for (int i = 0; i < 500; ++i)
+    requests.push_back(i % 2 == 0 ? "e0.ash1.he.net" : "e0.lhr1.he.net");
+  ASSERT_TRUE(client->send_lines(requests));
+  for (int i = 0; i < 500; ++i) {
+    const auto resp = client->read_line();
+    ASSERT_TRUE(resp.has_value()) << "response " << i;
+    const char* expected = i % 2 == 0 ? "ash,learned" : "lhr,dictionary";
+    EXPECT_NE(resp->find(expected), std::string::npos)
+        << "response " << i << " out of order: " << *resp;
+  }
+}
+
+TEST(Server, ReloadSwapsModelWithoutDroppingConnections) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = temp_path("reload_model.txt");
+  write_model(path, he_net_model(dict), dict);
+  ModelStore store(dict, path);
+  ASSERT_FALSE(store.reload().has_value());
+  LiveServer server(store);
+
+  auto client = Client::connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.has_value());
+  EXPECT_EQ(classify_response(*client->request("e0.ash1.he.net")), ResponseKind::kHit);
+
+  // Swap the file for a different operator's model and RELOAD in-band.
+  write_model(path, zayo_model(dict), dict);
+  const auto reload = client->request("RELOAD");
+  ASSERT_TRUE(reload.has_value());
+  EXPECT_EQ(classify_response(*reload), ResponseKind::kReload) << *reload;
+
+  // Same connection, new model: he.net now misses, zayo.com hits.
+  EXPECT_EQ(*client->request("e0.ash1.he.net"), "MISS");
+  EXPECT_EQ(classify_response(*client->request("lhr1.zayo.com")), ResponseKind::kHit);
+
+  // A botched model keeps the old one serving.
+  { std::ofstream out(path); out << "S,zayo.com\n"; }  // wrong arity
+  const auto bad = client->request("RELOAD");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(classify_response(*bad), ResponseKind::kReloadError) << *bad;
+  EXPECT_EQ(classify_response(*client->request("lhr1.zayo.com")), ResponseKind::kHit);
+}
+
+TEST(Server, OversizedLineIsRejected) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  ModelStore store(dict);
+  store.install(he_net_model(dict));
+  ServerConfig config;
+  config.max_line = 128;
+  LiveServer server(store, config);
+
+  auto client = Client::connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.has_value());
+  const std::string huge(4096, 'a');  // no newline until way past max_line
+  ASSERT_TRUE(client->send_line(huge));
+  const auto resp = client->read_line();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(classify_response(*resp), ResponseKind::kError);
+  // Server closes the connection after the error.
+  EXPECT_FALSE(client->read_line().has_value());
+}
+
+TEST(Server, ManyConnections) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  ModelStore store(dict);
+  store.install(he_net_model(dict));
+  LiveServer server(store);
+
+  std::vector<Client> clients;
+  for (int i = 0; i < 20; ++i) {
+    auto c = Client::connect("127.0.0.1", server->port());
+    ASSERT_TRUE(c.has_value()) << i;
+    clients.push_back(std::move(*c));
+  }
+  for (Client& c : clients) {
+    const auto resp = c.request("e0.cr1.ash1.he.net");
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(classify_response(*resp), ResponseKind::kHit);
+  }
+  const auto stats = clients[0].request("STATS");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NE(stats->find("connections_opened=20"), std::string::npos) << *stats;
+}
+
+}  // namespace
+}  // namespace hoiho::serve
