@@ -1,0 +1,400 @@
+// Chaos harness for the hoihod serving subsystem (DESIGN.md §9).
+//
+// Spawns the real daemon binary and drives it through a scripted gauntlet
+// of injected faults while verifying every response against precomputed
+// expected answers:
+//
+//   1. learn a model in-process, save it with the crash-safe writer, and
+//      record the exact response line each hostname must produce;
+//   2. exec hoihod with HOIHO_FAILPOINTS arming short writes, EINTR, accept
+//      failures, and worker latency;
+//   3. drive pipelined lookups from several connections (connect uses the
+//      client's jittered-backoff retry, so injected accept failures are
+//      survived, not special-cased);
+//   4. mid-run: two same-content atomic rewrites (watcher reloads), one
+//      corrupt-model rewrite (reload must fail; old model keeps answering),
+//      then restore;
+//   5. SIGKILL the daemon, verify the model file survived (checksum), and
+//      bring up a replacement that answers correctly;
+//   6. SIGTERM the replacement and require a graceful drain: exit code 0.
+//
+// Acceptance: zero wrong answers (ERR,busy / ERR,deadline count as shed,
+// anything else mismatching is wrong), shed fraction bounded, faults
+// actually fired, and both daemons leave with status 0 / SIGKILL as
+// scripted. Exit code 0 iff all hold.
+//
+// Run: ./build/bench/chaos_serve [--quick] [--hoihod PATH] [--operators N]
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hoiho.h"
+#include "core/nc_io.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "sim/probing.h"
+#include "util/failpoint.h"
+#include "util/strings.h"
+
+using namespace hoiho;
+
+namespace {
+
+struct DriveResult {
+  std::uint64_t sent = 0, ok = 0, shed = 0, wrong = 0;
+  bool io_failed = false;
+  std::string first_wrong;  // diagnostic for the report
+};
+
+std::string self_dir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return ".";
+  buf[n] = '\0';
+  std::string path(buf);
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+// Learn a model and precompute the exact wire response for each hostname.
+void build_corpus(std::size_t operators, std::vector<core::StoredConvention>* stored,
+                  std::vector<std::string>* hostnames, std::vector<std::string>* expected) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  sim::WorldConfig config;
+  config.seed = 20260805;
+  config.operators = operators;
+  config.geohint_scheme_rate = 0.8;
+  const sim::World world = sim::generate_world(dict, config);
+  const measure::Measurements pings = sim::probe_pings(world, {});
+  const core::Hoiho hoiho(dict);
+  const core::HoihoResult result = hoiho.run(world.topology, pings);
+  core::Geolocator check(dict);
+  for (const core::SuffixResult& sr : result.suffixes) {
+    if (!sr.usable()) continue;
+    stored->push_back(core::StoredConvention{sr.nc, sr.cls});
+    check.add(sr.nc);
+  }
+  std::size_t misses_kept = 0;
+  for (const sim::HostnameTruth& truth : world.truths) {
+    const auto loc = check.locate(truth.hostname);
+    if (!loc && misses_kept >= world.truths.size() / 20) continue;
+    if (!loc) ++misses_kept;
+    hostnames->push_back(truth.hostname);
+    expected->push_back(loc ? serve::format_hit(*loc) : serve::format_miss());
+  }
+}
+
+pid_t spawn_daemon(const std::string& binary, const std::vector<std::string>& args,
+                   const std::string& failpoints) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  if (failpoints.empty())
+    ::unsetenv("HOIHO_FAILPOINTS");
+  else
+    ::setenv("HOIHO_FAILPOINTS", failpoints.c_str(), 1);
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(binary.c_str()));
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  ::execv(binary.c_str(), argv.data());
+  std::fprintf(stderr, "chaos: execv %s: %s\n", binary.c_str(), std::strerror(errno));
+  ::_exit(127);
+}
+
+std::uint16_t wait_for_port(const std::string& port_file, pid_t pid) {
+  for (int i = 0; i < 200; ++i) {
+    std::ifstream in(port_file);
+    int port = 0;
+    if (in >> port && port > 0) return static_cast<std::uint16_t>(port);
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) return 0;  // died at startup
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return 0;
+}
+
+// Waits up to `timeout_ms`; returns the raw wait status, or -1 on timeout.
+int wait_for_exit(pid_t pid, int timeout_ms) {
+  for (int waited = 0; waited <= timeout_ms; waited += 50) {
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) return status;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return -1;
+}
+
+void drive(const std::string& host, std::uint16_t port,
+           const std::vector<std::string>& hostnames,
+           const std::vector<std::string>& expected, std::size_t offset,
+           std::size_t rounds, std::size_t pipeline, DriveResult* result) {
+  serve::ClientOptions copts;
+  copts.connect_timeout_ms = 2000;
+  copts.io_timeout_ms = 10000;
+  copts.max_attempts = 10;
+  copts.backoff_initial_ms = 20;
+  copts.backoff_seed = offset + 1;
+  std::string error;
+  auto client = serve::Client::connect_with_retry(host, port, copts, &error);
+  if (!client) {
+    std::fprintf(stderr, "chaos: connect: %s\n", error.c_str());
+    result->io_failed = true;
+    return;
+  }
+  std::size_t cursor = offset % hostnames.size();
+  std::vector<std::string> batch(pipeline);
+  std::vector<std::size_t> batch_idx(pipeline);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t i = 0; i < pipeline; ++i) {
+      batch[i] = hostnames[cursor];
+      batch_idx[i] = cursor;
+      cursor = (cursor + 1) % hostnames.size();
+    }
+    if (!client->send_lines(batch)) {
+      result->io_failed = true;
+      return;
+    }
+    result->sent += pipeline;
+    for (std::size_t i = 0; i < pipeline; ++i) {
+      const auto line = client->read_line();
+      if (!line) {
+        result->io_failed = true;
+        return;
+      }
+      if (*line == expected[batch_idx[i]]) {
+        ++result->ok;
+      } else if (*line == "ERR,busy" || *line == "ERR,deadline") {
+        ++result->shed;  // load shedding is allowed, wrong answers are not
+      } else {
+        ++result->wrong;
+        if (result->first_wrong.empty())
+          result->first_wrong = batch[i] + " -> '" + *line + "' (want '" +
+                                expected[batch_idx[i]] + "')";
+      }
+    }
+    // Pace the rounds so the run overlaps the mid-run reload script instead
+    // of finishing before the first rewrite lands.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+std::uint64_t stat_value(const std::string& stats, const std::string& key) {
+  const std::string needle = "," + key + "=";
+  const std::size_t pos = stats.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(stats.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string binary = self_dir() + "/../src/hoihod";
+  std::size_t operators = 32;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--hoihod" && i + 1 < argc) {
+      binary = argv[++i];
+    } else if (arg == "--operators" && i + 1 < argc) {
+      operators = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--hoihod PATH] [--operators N]\n", argv[0]);
+      return 1;
+    }
+  }
+  if (::access(binary.c_str(), X_OK) != 0) {
+    std::fprintf(stderr, "chaos: hoihod binary not found at %s (use --hoihod)\n",
+                 binary.c_str());
+    return 1;
+  }
+  ::signal(SIGPIPE, SIG_IGN);
+
+  const std::size_t connections = quick ? 2 : 4;
+  const std::size_t pipeline = quick ? 16 : 32;
+  const std::size_t rounds = quick ? 40 : 200;
+
+  const std::string model_path = "CHAOS_MODEL.txt";
+  const std::string port_file = "CHAOS_PORT.txt";
+  ::unlink(port_file.c_str());
+
+  std::vector<core::StoredConvention> stored;
+  std::vector<std::string> hostnames, expected;
+  build_corpus(operators, &stored, &hostnames, &expected);
+  if (hostnames.empty()) {
+    std::fprintf(stderr, "chaos: corpus came up empty\n");
+    return 1;
+  }
+  std::string error;
+  if (!core::save_conventions_to_file(model_path, stored, geo::builtin_dictionary(),
+                                      &error)) {
+    std::fprintf(stderr, "chaos: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("chaos: %zu conventions, %zu hostnames\n", stored.size(), hostnames.size());
+
+  // Daemon side: short writes fragment every flush, accept fails for the
+  // first attempts, and worker latency makes shedding/deadlines reachable.
+  // Client side (this process): EINTR injected into every util::write_all,
+  // so the drivers' own send path retries through interrupts.
+  const std::string failpoints =
+      "serve.write=short,p=0.3;"
+      "serve.accept=error:EMFILE,times=2;"
+      "serve.process=delay:1,p=0.05";
+  if (!util::failpoint::configure("net.write", "eintr,p=0.05", &error)) {
+    std::fprintf(stderr, "chaos: failpoint: %s\n", error.c_str());
+    return 1;
+  }
+  const std::vector<std::string> daemon_args = {
+      "--model", model_path, "--port", "0", "--port-file", port_file,
+      "--watch-ms", "50", "--deadline-ms", "2000", "--idle-timeout-ms", "30000",
+      "--max-inflight", "65536", "--drain-timeout-ms", "3000", "--workers", "2"};
+
+  pid_t pid = spawn_daemon(binary, daemon_args, failpoints);
+  std::uint16_t port = wait_for_port(port_file, pid);
+  if (port == 0) {
+    std::fprintf(stderr, "chaos: daemon did not come up\n");
+    return 1;
+  }
+  std::printf("chaos: daemon pid %d on port %u (faults armed)\n", pid,
+              static_cast<unsigned>(port));
+
+  // --- phase 1: drive under faults with mid-run reloads --------------------
+  std::vector<DriveResult> results(connections);
+  std::vector<std::thread> drivers;
+  for (std::size_t i = 0; i < connections; ++i)
+    drivers.emplace_back(drive, "127.0.0.1", port, std::cref(hostnames),
+                         std::cref(expected), i * 37, rounds, pipeline, &results[i]);
+
+  const auto settle = std::chrono::milliseconds(quick ? 200 : 400);
+  // Two good reloads: same content, new mtime; the watcher must debounce
+  // then pick each one up.
+  for (int i = 0; i < 2; ++i) {
+    std::this_thread::sleep_for(settle);
+    if (!core::save_conventions_to_file(model_path, stored, geo::builtin_dictionary(),
+                                        &error)) {
+      std::fprintf(stderr, "chaos: rewrite: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  // One corrupt reload: a torn/garbage model must fail to load while the old
+  // snapshot keeps answering (the drivers are still verifying responses).
+  std::this_thread::sleep_for(settle);
+  {
+    std::ofstream out(model_path, std::ios::trunc);
+    out << "S,example.com,promising\nthis is not a convention file\n";
+  }
+  std::this_thread::sleep_for(settle);
+  if (!core::save_conventions_to_file(model_path, stored, geo::builtin_dictionary(),
+                                      &error)) {
+    std::fprintf(stderr, "chaos: restore: %s\n", error.c_str());
+    return 1;
+  }
+
+  for (std::thread& t : drivers) t.join();
+
+  std::uint64_t sent = 0, ok = 0, shed = 0, wrong = 0;
+  bool io_failed = false;
+  for (const DriveResult& r : results) {
+    sent += r.sent;
+    ok += r.ok;
+    shed += r.shed;
+    wrong += r.wrong;
+    io_failed = io_failed || r.io_failed;
+    if (!r.first_wrong.empty())
+      std::fprintf(stderr, "chaos: WRONG ANSWER: %s\n", r.first_wrong.c_str());
+  }
+  std::printf("chaos: phase1 sent=%llu ok=%llu shed=%llu wrong=%llu\n",
+              static_cast<unsigned long long>(sent), static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(shed),
+              static_cast<unsigned long long>(wrong));
+
+  // STATS over a fresh connection: reloads landed, the corrupt one failed,
+  // and the armed faults actually fired.
+  std::uint64_t reloads = 0, reload_failures = 0, injected = 0;
+  {
+    serve::ClientOptions copts;
+    copts.connect_timeout_ms = 2000;
+    copts.io_timeout_ms = 5000;
+    auto admin = serve::Client::connect("127.0.0.1", port, &error, copts);
+    if (!admin) {
+      std::fprintf(stderr, "chaos: admin connect: %s\n", error.c_str());
+      return 1;
+    }
+    const auto stats = admin->request("STATS");
+    if (!stats) {
+      std::fprintf(stderr, "chaos: STATS failed\n");
+      return 1;
+    }
+    reloads = stat_value(*stats, "reloads");
+    reload_failures = stat_value(*stats, "reload_failures");
+    injected = stat_value(*stats, "injected_faults");
+    std::printf("chaos: reloads=%llu reload_failures=%llu injected_faults=%llu\n",
+                static_cast<unsigned long long>(reloads),
+                static_cast<unsigned long long>(reload_failures),
+                static_cast<unsigned long long>(injected));
+  }
+
+  // --- phase 2: SIGKILL, model must survive, replacement must serve --------
+  ::kill(pid, SIGKILL);
+  const int kill_status = wait_for_exit(pid, 5000);
+  if (kill_status < 0 || !WIFSIGNALED(kill_status)) {
+    std::fprintf(stderr, "chaos: daemon did not die on SIGKILL\n");
+    return 1;
+  }
+  {
+    // The crash-safe writer means the file on disk is always a complete,
+    // checksummed model — a kill can never leave a torn file behind.
+    std::ifstream in(model_path);
+    std::string load_error;
+    if (!core::load_conventions(in, geo::builtin_dictionary(), &load_error)) {
+      std::fprintf(stderr, "chaos: model corrupt after SIGKILL: %s\n", load_error.c_str());
+      return 1;
+    }
+  }
+  ::unlink(port_file.c_str());
+  pid = spawn_daemon(binary, daemon_args, "");
+  port = wait_for_port(port_file, pid);
+  if (port == 0) {
+    std::fprintf(stderr, "chaos: replacement daemon did not come up\n");
+    return 1;
+  }
+  DriveResult after;
+  drive("127.0.0.1", port, hostnames, expected, 0, quick ? 5 : 20, pipeline, &after);
+  std::printf("chaos: phase2 (post-kill) sent=%llu ok=%llu shed=%llu wrong=%llu\n",
+              static_cast<unsigned long long>(after.sent),
+              static_cast<unsigned long long>(after.ok),
+              static_cast<unsigned long long>(after.shed),
+              static_cast<unsigned long long>(after.wrong));
+
+  // --- phase 3: SIGTERM must drain gracefully and exit 0 -------------------
+  ::kill(pid, SIGTERM);
+  const int term_status = wait_for_exit(pid, 10000);
+  const bool clean_exit =
+      term_status >= 0 && WIFEXITED(term_status) && WEXITSTATUS(term_status) == 0;
+  if (!clean_exit) {
+    std::fprintf(stderr, "chaos: SIGTERM drain did not exit 0 (status %d)\n", term_status);
+    ::kill(pid, SIGKILL);
+  }
+
+  bool pass = clean_exit && !io_failed && wrong == 0 && after.wrong == 0 &&
+              after.io_failed == false && ok > 0 && after.ok > 0;
+  pass = pass && reloads >= 2 && reload_failures >= 1 && injected > 0;
+  // Shedding is allowed but must stay bounded: this load is far below the
+  // configured ceilings, so more than 20% shed means something is broken.
+  pass = pass && (sent == 0 || shed * 5 <= sent);
+  std::printf("chaos: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

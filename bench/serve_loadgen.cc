@@ -216,9 +216,11 @@ int main(int argc, char** argv) {
     // Serve from a real model file so the mid-run RELOAD verb exercises the
     // full disk -> nc_io -> snapshot-swap path, same as the daemon.
     const std::string model_path = opt.json_path + ".model.tmp";
-    {
-      std::ofstream out(model_path);
-      core::save_conventions(out, stored, geo::builtin_dictionary());
+    std::string save_error;
+    if (!core::save_conventions_to_file(model_path, stored, geo::builtin_dictionary(),
+                                        &save_error)) {
+      std::fprintf(stderr, "loadgen: %s\n", save_error.c_str());
+      return 2;
     }
     store = std::make_unique<serve::ModelStore>(geo::builtin_dictionary(), model_path);
     if (const auto err = store->reload()) {

@@ -1,16 +1,50 @@
 #include "core/nc_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "geo/dictionary.h"
 #include "regex/parser.h"
 #include "util/csv.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace hoiho::core {
 
 namespace {
+
+// FNV-1a 64 over raw bytes; the integrity footer of model files.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+constexpr std::string_view kChecksumPrefix = "# checksum,fnv1a,";
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view bytes) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string checksum_footer(std::uint64_t hash) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "# checksum,fnv1a,%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
 
 std::optional<Role> role_from_token(std::string_view s) {
   for (const Role r : {Role::kIata, Role::kIcao, Role::kLocode, Role::kClli, Role::kClli4,
@@ -117,11 +151,34 @@ std::optional<std::vector<StoredConvention>> load_conventions(
   std::vector<StoredConvention> out;
   std::string line;
   std::size_t lineno = 0;
+  std::uint64_t hash = kFnvOffset;
+  bool footer_seen = false;
   while (std::getline(in, line)) {
     ++lineno;
     const std::string where = "line " + std::to_string(lineno);
     if (line.size() > limits.max_line)
       return fail(where + ": line exceeds " + std::to_string(limits.max_line) + " bytes");
+    if (util::starts_with(line, kChecksumPrefix)) {
+      // Integrity footer (save_conventions_to_file): the FNV-1a of every
+      // byte above it. Verify and require nothing but blank lines after.
+      if (footer_seen) return fail(where + ": duplicate checksum footer");
+      const std::string_view hex = std::string_view(line).substr(kChecksumPrefix.size());
+      std::uint64_t stored = 0;
+      if (hex.size() != 16) return fail(where + ": malformed checksum footer");
+      for (const char c : hex) {
+        const int v = hex_digit(c);
+        if (v < 0) return fail(where + ": malformed checksum footer");
+        stored = stored * 16 + static_cast<std::uint64_t>(v);
+      }
+      if (stored != hash)
+        return fail(where + ": checksum mismatch (file corrupt or torn write)");
+      footer_seen = true;
+      continue;
+    }
+    if (footer_seen && !line.empty())
+      return fail(where + ": content after checksum footer");
+    hash = fnv1a(hash, line);
+    hash = fnv1a(hash, "\n");
     if (line.empty() || line[0] == '#') continue;
     const util::CsvRow row = util::parse_csv_line(line);
     if (row.empty() || (row.size() == 1 && row[0].empty())) continue;
@@ -211,6 +268,68 @@ std::optional<std::vector<StoredConvention>> load_conventions(
   if (!out.empty() && out.back().nc.regexes.empty())
     note("suffix '" + out.back().nc.suffix + "' has no regexes (truncated file?)");
   return out;
+}
+
+namespace {
+
+bool fd_write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool save_conventions_to_file(const std::string& path,
+                              const std::vector<StoredConvention>& conventions,
+                              const geo::GeoDictionary& dict, std::string* error) {
+  auto fail = [&](const std::string& what, const std::string& tmp) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (!tmp.empty()) ::unlink(tmp.c_str());
+    return false;
+  };
+  std::ostringstream buf;
+  save_conventions(buf, conventions, dict);
+  std::string data = buf.str();
+  data += checksum_footer(fnv1a(kFnvOffset, data));
+  data += '\n';
+
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  if (const auto f = util::failpoint::hit("nc.save")) {
+    errno = f.err;
+    return fail("save '" + path + "' (injected)", "");
+  }
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return fail("open '" + tmp + "'", "");
+  if (!fd_write_all(fd, data)) {
+    ::close(fd);
+    return fail("write '" + tmp + "'", tmp);
+  }
+  // fsync before rename: the rename must never become visible ahead of the
+  // data it points at, or a crash could publish an empty/torn model.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return fail("fsync '" + tmp + "'", tmp);
+  }
+  if (::close(fd) != 0) return fail("close '" + tmp + "'", tmp);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) return fail("rename to '" + path + "'", tmp);
+
+  // Best-effort directory fsync so the rename itself is durable; some
+  // filesystems reject O_DIRECTORY fsync, which is fine to ignore.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
 }
 
 }  // namespace hoiho::core

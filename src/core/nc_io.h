@@ -36,6 +36,17 @@ struct StoredConvention {
 void save_conventions(std::ostream& out, const std::vector<StoredConvention>& conventions,
                       const geo::GeoDictionary& dict);
 
+// Crash-safe save for files the daemon hot-reloads: writes to
+// `path + ".tmp.<pid>"`, fsyncs, then rename()s over `path` (and fsyncs the
+// directory), so a reader never observes a half-written model. Appends a
+// "# checksum,fnv1a,<hex>" footer over everything above it, which
+// load_conventions verifies when present — a torn or bit-flipped file is
+// rejected as a named error instead of silently loading a prefix.
+// False with *error on any I/O failure (the tmp file is removed).
+bool save_conventions_to_file(const std::string& path,
+                              const std::vector<StoredConvention>& conventions,
+                              const geo::GeoDictionary& dict, std::string* error = nullptr);
+
 // Hard limits the loader enforces. Model files are untrusted input (the
 // daemon hot-reloads whatever is on disk), so every field is bounded and
 // every violation is a named error, never a silent mis-parse.
@@ -55,7 +66,9 @@ struct LoadLimits {
 // regexes also produce warnings. Returns std::nullopt with a message in
 // *error on malformed input: wrong field counts, unknown record/class/plan
 // tokens, regexes outside the dialect, plan/capture mismatches, oversized
-// fields (see LoadLimits), control bytes, or a stream read failure.
+// fields (see LoadLimits), control bytes, a stream read failure, or a
+// checksum-footer mismatch (files written by save_conventions_to_file;
+// files without a footer are accepted unverified for compatibility).
 std::optional<std::vector<StoredConvention>> load_conventions(
     std::istream& in, const geo::GeoDictionary& dict, std::string* error = nullptr,
     std::vector<std::string>* warnings = nullptr, const LoadLimits& limits = {});

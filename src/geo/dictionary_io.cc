@@ -1,5 +1,6 @@
 #include "geo/dictionary_io.h"
 
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 
@@ -16,6 +17,22 @@ std::optional<HintType> hint_type_from(std::string_view s) {
   if (s == "locode") return HintType::kLocode;
   if (s == "clli") return HintType::kClli;
   return std::nullopt;
+}
+
+bool parse_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool parse_index(const std::string& s, std::size_t* out) {
+  if (s.empty()) return false;
+  for (const char c : s)
+    if (c < '0' || c > '9') return false;
+  char* end = nullptr;
+  *out = static_cast<std::size_t>(std::strtoull(s.c_str(), &end, 10));
+  return end == s.c_str() + s.size();
 }
 
 }  // namespace
@@ -44,52 +61,111 @@ void save_dictionary(std::ostream& out, const GeoDictionary& dict) {
   }
 }
 
-std::optional<GeoDictionary> load_dictionary(std::istream& in, std::string* error) {
-  auto fail = [&](const std::string& msg) -> std::optional<GeoDictionary> {
-    if (error != nullptr) *error = msg;
-    return std::nullopt;
-  };
+std::optional<GeoDictionary> load_dictionary(std::istream& in, const io::LoadOptions& opt,
+                                             io::LoadReport* report) {
+  io::LoadReport local;
+  io::LoadReport& rep = report != nullptr ? *report : local;
   GeoDictionary dict;
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
+    ++rep.lines;
+    if (line.size() > opt.max_line_bytes) {
+      if (!rep.skip(opt, "oversized_line", lineno,
+                    "line exceeds " + std::to_string(opt.max_line_bytes) + " bytes"))
+        return std::nullopt;
+      continue;
+    }
     if (line.empty() || line[0] == '#') continue;
     const util::CsvRow row = util::parse_csv_line(line);
-    const std::string where = "line " + std::to_string(lineno);
     if (row.empty()) continue;
     if (row[0] == "L") {
-      if (row.size() < 7) return fail(where + ": L record needs 7 fields");
+      if (row.size() < 7) {
+        if (!rep.skip(opt, "bad_fields", lineno, "L record needs 7 fields")) return std::nullopt;
+        continue;
+      }
+      if (opt.max_records > 0 && dict.size() >= opt.max_records) {
+        rep.fail("line " + std::to_string(lineno) + ": more than " +
+                 std::to_string(opt.max_records) + " locations (record cap)");
+        return std::nullopt;
+      }
       Location loc;
       loc.city = row[1];
       loc.state = util::to_lower(row[2]);
       loc.country = util::to_lower(row[3]);
-      char* end = nullptr;
-      loc.coord.lat = std::strtod(row[4].c_str(), &end);
-      loc.coord.lon = std::strtod(row[5].c_str(), &end);
-      loc.population = std::strtoull(row[6].c_str(), &end, 10);
+      std::size_t population = 0;
+      if (!parse_double(row[4], &loc.coord.lat) || !parse_double(row[5], &loc.coord.lon) ||
+          !parse_index(row[6], &population)) {
+        if (!rep.skip(opt, "bad_number", lineno, "non-numeric coordinate or population"))
+          return std::nullopt;
+        continue;
+      }
+      loc.population = population;
       dict.add_location(std::move(loc));
+      ++rep.records;
     } else if (row[0] == "C") {
-      if (row.size() < 4) return fail(where + ": C record needs 4 fields");
+      if (row.size() < 4) {
+        if (!rep.skip(opt, "bad_fields", lineno, "C record needs 4 fields")) return std::nullopt;
+        continue;
+      }
       const auto type = hint_type_from(row[1]);
-      if (!type) return fail(where + ": unknown code type '" + row[1] + "'");
-      const std::size_t idx = std::strtoull(row[3].c_str(), nullptr, 10);
-      if (idx >= dict.size()) return fail(where + ": location index out of range");
+      if (!type) {
+        if (!rep.skip(opt, "unknown_code_type", lineno, "unknown code type '" + row[1] + "'"))
+          return std::nullopt;
+        continue;
+      }
+      std::size_t idx = 0;
+      if (!parse_index(row[3], &idx) || idx >= dict.size()) {
+        if (!rep.skip(opt, "index_out_of_range", lineno, "location index out of range"))
+          return std::nullopt;
+        continue;
+      }
       dict.add_code(*type, row[2], static_cast<LocationId>(idx));
+      ++rep.records;
     } else if (row[0] == "A") {
-      if (row.size() < 3) return fail(where + ": A record needs 3 fields");
-      const std::size_t idx = std::strtoull(row[2].c_str(), nullptr, 10);
-      if (idx >= dict.size()) return fail(where + ": location index out of range");
+      if (row.size() < 3) {
+        if (!rep.skip(opt, "bad_fields", lineno, "A record needs 3 fields")) return std::nullopt;
+        continue;
+      }
+      std::size_t idx = 0;
+      if (!parse_index(row[2], &idx) || idx >= dict.size()) {
+        if (!rep.skip(opt, "index_out_of_range", lineno, "location index out of range"))
+          return std::nullopt;
+        continue;
+      }
       dict.add_city_alias(row[1], static_cast<LocationId>(idx));
+      ++rep.records;
     } else if (row[0] == "F") {
-      if (row.size() < 3) return fail(where + ": F record needs 3 fields");
-      const std::size_t idx = std::strtoull(row[2].c_str(), nullptr, 10);
-      if (idx >= dict.size()) return fail(where + ": location index out of range");
+      if (row.size() < 3) {
+        if (!rep.skip(opt, "bad_fields", lineno, "F record needs 3 fields")) return std::nullopt;
+        continue;
+      }
+      std::size_t idx = 0;
+      if (!parse_index(row[2], &idx) || idx >= dict.size()) {
+        if (!rep.skip(opt, "index_out_of_range", lineno, "location index out of range"))
+          return std::nullopt;
+        continue;
+      }
       dict.add_facility_address(row[1], static_cast<LocationId>(idx));
+      ++rep.records;
     } else {
-      return fail(where + ": unknown record type '" + row[0] + "'");
+      if (!rep.skip(opt, "unknown_record", lineno, "unknown record type '" + row[0] + "'"))
+        return std::nullopt;
+      continue;
     }
   }
+  if (in.bad()) {
+    rep.fail("read error after line " + std::to_string(lineno));
+    return std::nullopt;
+  }
+  return dict;
+}
+
+std::optional<GeoDictionary> load_dictionary(std::istream& in, std::string* error) {
+  io::LoadReport report;
+  auto dict = load_dictionary(in, io::LoadOptions{}, &report);
+  if (!dict && error != nullptr) *error = report.error;
   return dict;
 }
 

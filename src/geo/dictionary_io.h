@@ -10,6 +10,12 @@
 //   A,<alias-name>,<location-index>         extra city name
 //   F,<street-address>,<location-index>     facility record
 // Location indexes refer to the 0-based order of preceding L records.
+//
+// Joined feeds inherit each source's dirt (truncated exports, stray
+// encodings). The io::LoadOptions overload supports lenient loading (skip +
+// count per category in the io::LoadReport). Skip categories:
+// oversized_line, bad_fields, bad_number, unknown_code_type,
+// index_out_of_range, unknown_record.
 #pragma once
 
 #include <iosfwd>
@@ -17,14 +23,22 @@
 #include <string>
 
 #include "geo/dictionary.h"
+#include "io/load_report.h"
 
 namespace hoiho::geo {
 
 // Writes `dict` in the format above.
 void save_dictionary(std::ostream& out, const GeoDictionary& dict);
 
-// Parses a dictionary; returns std::nullopt (with a message in *error if
-// non-null) on malformed input.
+// Parses a dictionary. Strict mode fails with a named error in
+// report->error on the first malformed record; lenient mode skips and
+// counts it (a skipped L record also voids later C/A/F records that point
+// at indexes never created — those count as index_out_of_range).
+// opt.max_records caps accepted locations.
+std::optional<GeoDictionary> load_dictionary(std::istream& in, const io::LoadOptions& opt,
+                                             io::LoadReport* report = nullptr);
+
+// Strict-mode convenience wrapper (the original first-error-fatal API).
 std::optional<GeoDictionary> load_dictionary(std::istream& in, std::string* error = nullptr);
 
 }  // namespace hoiho::geo

@@ -1,0 +1,52 @@
+#include "io/load_report.h"
+
+namespace hoiho::io {
+
+std::size_t LoadReport::skipped_total() const {
+  std::size_t total = 0;
+  for (const auto& [category, count] : skipped) total += count;
+  return total;
+}
+
+std::size_t LoadReport::skipped_count(std::string_view category) const {
+  for (const auto& [name, count] : skipped)
+    if (name == category) return count;
+  return 0;
+}
+
+bool LoadReport::skip(const LoadOptions& opt, std::string_view category, std::size_t lineno,
+                      std::string detail) {
+  if (!opt.lenient) {
+    error = "line " + std::to_string(lineno) + ": " + detail;
+    return false;
+  }
+  bool counted = false;
+  for (auto& [name, count] : skipped) {
+    if (name == category) {
+      ++count;
+      counted = true;
+      break;
+    }
+  }
+  if (!counted) skipped.emplace_back(std::string(category), 1);
+  if (diagnostics.size() < opt.max_diagnostics)
+    diagnostics.push_back("line " + std::to_string(lineno) + ": " + detail + " [" +
+                          std::string(category) + "]");
+  return true;
+}
+
+void LoadReport::fail(std::string detail) { error = std::move(detail); }
+
+std::string LoadReport::summary() const {
+  if (!ok()) return "failed: " + error;
+  std::string out = std::to_string(records) + " records";
+  if (skipped.empty()) return out + ", no lines skipped";
+  out += ", skipped " + std::to_string(skipped_total()) + " lines (";
+  for (std::size_t i = 0; i < skipped.size(); ++i) {
+    if (i) out += ", ";
+    out += skipped[i].first + "=" + std::to_string(skipped[i].second);
+  }
+  return out + ")";
+}
+
+}  // namespace hoiho::io

@@ -1,0 +1,68 @@
+// Shared lenient-ingestion plumbing for the file loaders.
+//
+// The pipeline ingests large, messy real-world inputs (ITDK node/name
+// files, RTT matrices, geo dictionaries). Historically one malformed line
+// aborted the whole load; a LoadReport lets a loader run in lenient mode
+// instead — skip the bad record, count it under a category, keep the first
+// few diagnostics verbatim — so 5% corruption costs 5% of records, not the
+// dataset. Strict mode (the default everywhere) preserves the old
+// first-error-fatal contract with the same named errors.
+//
+//   io::LoadOptions opt;
+//   opt.lenient = true;
+//   io::LoadReport report;
+//   auto topo = topo::read_itdk(nodes, &names, opt, &report);
+//   // report.records, report.skipped_total(), report.summary() ...
+//
+// Caps (max_line_bytes, max_records) are hard limits for untrusted inputs
+// and abort the load in both modes — an attacker-sized line or record flood
+// should never be "skipped" into an OOM.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hoiho::io {
+
+struct LoadOptions {
+  bool lenient = false;  // false = first bad record is a named, fatal error
+
+  // Hard caps, enforced in both modes (0 = unlimited records).
+  std::size_t max_line_bytes = 1 << 20;
+  std::size_t max_records = 0;
+
+  // Diagnostics kept verbatim in the report; later skips only count.
+  std::size_t max_diagnostics = 8;
+};
+
+struct LoadReport {
+  std::size_t lines = 0;    // physical lines scanned (incl. blanks/comments)
+  std::size_t records = 0;  // records accepted
+  // category -> skipped-line count, in first-seen order.
+  std::vector<std::pair<std::string, std::size_t>> skipped;
+  std::vector<std::string> diagnostics;  // first-N "line L: why [category]"
+  std::string error;                     // non-empty = load failed
+
+  bool ok() const { return error.empty(); }
+  std::size_t skipped_total() const;
+  std::size_t skipped_count(std::string_view category) const;
+
+  // Records one bad line under `category`. Lenient: counts it, keeps the
+  // diagnostic if under the cap, returns true (caller skips the record).
+  // Strict: sets `error` to "line L: detail" and returns false (caller
+  // aborts the load).
+  bool skip(const LoadOptions& opt, std::string_view category, std::size_t lineno,
+            std::string detail);
+
+  // Unconditionally fatal (caps, stream failure). Sets `error`.
+  void fail(std::string detail);
+
+  // One-line human summary: "1900 records, skipped 100 lines
+  // (bad_fields=60, bad_number=40)" or "ok, N records".
+  std::string summary() const;
+};
+
+}  // namespace hoiho::io

@@ -1,5 +1,6 @@
 #include "measure/rtt_io.h"
 
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <unordered_map>
@@ -8,6 +9,28 @@
 #include "util/strings.h"
 
 namespace hoiho::measure {
+
+namespace {
+
+// Full-token numeric parses: trailing junk ("12.5ms", "3x") marks a corrupt
+// field rather than silently truncating to a prefix.
+bool parse_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool parse_index(const std::string& s, std::size_t* out) {
+  if (s.empty()) return false;
+  for (const char c : s)
+    if (c < '0' || c > '9') return false;
+  char* end = nullptr;
+  *out = static_cast<std::size_t>(std::strtoull(s.c_str(), &end, 10));
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
 
 void save_measurements(std::ostream& out, const Measurements& meas) {
   out << "# hoiho-geo measurements v1\n";
@@ -26,11 +49,10 @@ void save_measurements(std::ostream& out, const Measurements& meas) {
 }
 
 std::optional<Measurements> load_measurements(std::istream& in, std::size_t router_count,
-                                              std::string* error) {
-  auto fail = [&](const std::string& msg) -> std::optional<Measurements> {
-    if (error != nullptr) *error = msg;
-    return std::nullopt;
-  };
+                                              const io::LoadOptions& opt,
+                                              io::LoadReport* report) {
+  io::LoadReport local;
+  io::LoadReport& rep = report != nullptr ? *report : local;
 
   // Two passes over the stream are awkward for pipes, so buffer sample rows
   // until all VPs are known (VP rows conventionally come first, but the
@@ -49,45 +71,105 @@ std::optional<Measurements> load_measurements(std::istream& in, std::size_t rout
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
+    ++rep.lines;
+    if (line.size() > opt.max_line_bytes) {
+      if (!rep.skip(opt, "oversized_line", lineno,
+                    "line exceeds " + std::to_string(opt.max_line_bytes) + " bytes"))
+        return std::nullopt;
+      continue;
+    }
     if (line.empty() || line[0] == '#') continue;
     const util::CsvRow row = util::parse_csv_line(line);
-    const std::string where = "line " + std::to_string(lineno);
     if (row.empty()) continue;
     if (row[0] == "V") {
-      if (row.size() < 5) return fail(where + ": V record needs 5 fields");
+      if (row.size() < 5) {
+        if (!rep.skip(opt, "bad_fields", lineno, "V record needs 5 fields")) return std::nullopt;
+        continue;
+      }
       VantagePoint vp;
       vp.name = row[1];
       vp.country = row[2];
-      vp.coord.lat = std::strtod(row[3].c_str(), nullptr);
-      vp.coord.lon = std::strtod(row[4].c_str(), nullptr);
-      if (!vp.coord.valid()) return fail(where + ": invalid coordinates");
-      if (!vp_index.emplace(vp.name, static_cast<VpId>(vps.size())).second)
-        return fail(where + ": duplicate VP name '" + vp.name + "'");
+      if (!parse_double(row[3], &vp.coord.lat) || !parse_double(row[4], &vp.coord.lon)) {
+        if (!rep.skip(opt, "bad_number", lineno, "non-numeric coordinates")) return std::nullopt;
+        continue;
+      }
+      if (!vp.coord.valid()) {
+        if (!rep.skip(opt, "bad_coords", lineno, "invalid coordinates")) return std::nullopt;
+        continue;
+      }
+      if (vp.name.empty() || vp_index.count(vp.name) != 0) {
+        if (!rep.skip(opt, "duplicate_vp", lineno,
+                      vp.name.empty() ? "empty VP name"
+                                      : "duplicate VP name '" + vp.name + "'"))
+          return std::nullopt;
+        continue;
+      }
+      vp_index.emplace(vp.name, static_cast<VpId>(vps.size()));
       vps.push_back(std::move(vp));
+      ++rep.records;
     } else if (row[0] == "R") {
-      if (row.size() < 4) return fail(where + ": R record needs 4 fields");
+      if (row.size() < 4) {
+        if (!rep.skip(opt, "bad_fields", lineno, "R record needs 4 fields")) return std::nullopt;
+        continue;
+      }
       Sample s;
-      s.router = static_cast<topo::RouterId>(std::strtoul(row[1].c_str(), nullptr, 10));
+      std::size_t router_idx = 0;
+      if (!parse_index(row[1], &router_idx) || !parse_double(row[3], &s.rtt)) {
+        if (!rep.skip(opt, "bad_number", lineno, "non-numeric router id or RTT"))
+          return std::nullopt;
+        continue;
+      }
+      if (router_idx >= router_count) {
+        if (!rep.skip(opt, "router_out_of_range", lineno,
+                      "router id " + row[1] + " out of range (topology has " +
+                          std::to_string(router_count) + " routers)"))
+          return std::nullopt;
+        continue;
+      }
+      if (s.rtt < 0) {
+        if (!rep.skip(opt, "negative_rtt", lineno, "negative RTT")) return std::nullopt;
+        continue;
+      }
+      if (opt.max_records > 0 && samples.size() >= opt.max_records) {
+        rep.fail("line " + std::to_string(lineno) + ": more than " +
+                 std::to_string(opt.max_records) + " samples (record cap)");
+        return std::nullopt;
+      }
+      s.router = static_cast<topo::RouterId>(router_idx);
       s.vp = row[2];
-      s.rtt = std::strtod(row[3].c_str(), nullptr);
       s.lineno = lineno;
-      if (s.router >= router_count)
-        return fail(where + ": router id " + row[1] + " out of range (topology has " +
-                    std::to_string(router_count) + " routers)");
-      if (s.rtt < 0) return fail(where + ": negative RTT");
       samples.push_back(std::move(s));
+      ++rep.records;
     } else {
-      return fail(where + ": unknown record type '" + row[0] + "'");
+      if (!rep.skip(opt, "unknown_record", lineno, "unknown record type '" + row[0] + "'"))
+        return std::nullopt;
+      continue;
     }
+  }
+  if (in.bad()) {
+    rep.fail("read error after line " + std::to_string(lineno));
+    return std::nullopt;
   }
 
   Measurements meas(std::move(vps), router_count);
   for (const Sample& s : samples) {
     const auto it = vp_index.find(s.vp);
-    if (it == vp_index.end())
-      return fail("line " + std::to_string(s.lineno) + ": unknown VP '" + s.vp + "'");
+    if (it == vp_index.end()) {
+      if (!rep.skip(opt, "unknown_vp", s.lineno, "unknown VP '" + s.vp + "'"))
+        return std::nullopt;
+      --rep.records;  // the buffered sample never landed in the matrix
+      continue;
+    }
     meas.pings.record(s.router, it->second, s.rtt);
   }
+  return meas;
+}
+
+std::optional<Measurements> load_measurements(std::istream& in, std::size_t router_count,
+                                              std::string* error) {
+  io::LoadReport report;
+  auto meas = load_measurements(in, router_count, io::LoadOptions{}, &report);
+  if (!meas && error != nullptr) *error = report.error;
   return meas;
 }
 

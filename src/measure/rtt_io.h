@@ -7,12 +7,21 @@
 //   R,<router-id>,<vp-name>,<rtt-ms>        one minimum-RTT sample
 // Router ids are the dense 0-based ids of the topology the samples belong
 // to (the order of `node` lines in the ITDK nodes file).
+//
+// Measurement archives come off live probing infrastructure and routinely
+// contain truncated or garbled rows. The io::LoadOptions overload supports
+// lenient loading (skip + count per category in the io::LoadReport) so a
+// handful of corrupt samples does not discard the campaign. Skip
+// categories: oversized_line, bad_fields, bad_number, bad_coords,
+// duplicate_vp, router_out_of_range, negative_rtt, unknown_vp,
+// unknown_record.
 #pragma once
 
 #include <iosfwd>
 #include <optional>
 #include <string>
 
+#include "io/load_report.h"
 #include "measure/rtt_matrix.h"
 
 namespace hoiho::measure {
@@ -21,8 +30,14 @@ namespace hoiho::measure {
 void save_measurements(std::ostream& out, const Measurements& meas);
 
 // Parses a measurement file for a topology with `router_count` routers.
-// Samples for unknown VPs or out-of-range routers are errors. Repeated
-// samples keep the minimum (RttMatrix semantics).
+// Strict mode fails with a named error in report->error on the first bad
+// record; lenient mode skips and counts it. Repeated samples keep the
+// minimum (RttMatrix semantics). opt.max_records caps accepted samples.
+std::optional<Measurements> load_measurements(std::istream& in, std::size_t router_count,
+                                              const io::LoadOptions& opt,
+                                              io::LoadReport* report = nullptr);
+
+// Strict-mode convenience wrapper (the original first-error-fatal API).
 std::optional<Measurements> load_measurements(std::istream& in, std::size_t router_count,
                                               std::string* error = nullptr);
 

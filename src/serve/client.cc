@@ -3,15 +3,44 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.h"
 
 namespace hoiho::serve {
 
 std::optional<Client> Client::connect(std::string_view host, std::uint16_t port,
-                                      std::string* error) {
-  util::Fd fd = util::connect_tcp(host, port, error);
+                                      std::string* error, const ClientOptions& options) {
+  util::Fd fd = util::connect_tcp(host, port, error, options.connect_timeout_ms);
   if (!fd) return std::nullopt;
+  if (options.io_timeout_ms > 0 &&
+      !util::set_io_timeouts(fd.get(), options.io_timeout_ms, options.io_timeout_ms)) {
+    if (error != nullptr) *error = "cannot set socket timeouts";
+    return std::nullopt;
+  }
   return Client(std::move(fd));
+}
+
+std::optional<Client> Client::connect_with_retry(std::string_view host, std::uint16_t port,
+                                                 const ClientOptions& options,
+                                                 std::string* error) {
+  util::Rng rng(options.backoff_seed);
+  const int attempts = std::max(options.max_attempts, 1);
+  for (int attempt = 0;; ++attempt) {
+    auto client = connect(host, port, error, options);
+    if (client) return client;
+    if (attempt + 1 >= attempts) return std::nullopt;
+    // Full backoff would synchronize every client that failed at the same
+    // moment; the jitter spreads the retry instants across a 2:1 window.
+    long long delay = options.backoff_initial_ms;
+    for (int k = 0; k < attempt && delay < options.backoff_max_ms; ++k) delay *= 2;
+    delay = std::min<long long>(delay, options.backoff_max_ms);
+    delay = static_cast<long long>(static_cast<double>(delay) * rng.next_range(0.5, 1.5));
+    std::this_thread::sleep_for(std::chrono::milliseconds(std::max<long long>(delay, 1)));
+  }
 }
 
 bool Client::send_line(std::string_view line) {
@@ -49,6 +78,7 @@ std::optional<std::string> Client::read_line() {
         buf_off_ = 0;
       }
       if (!line.empty() && line.back() == '\r') line.pop_back();
+      timed_out_ = false;
       return line;
     }
     char chunk[16384];
@@ -57,6 +87,9 @@ std::optional<std::string> Client::read_line() {
       buf_.append(chunk, static_cast<std::size_t>(n));
     } else if (n == 0) {
       return std::nullopt;  // EOF
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      timed_out_ = true;  // SO_RCVTIMEO expired
+      return std::nullopt;
     } else if (errno != EINTR) {
       return std::nullopt;
     }

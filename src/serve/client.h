@@ -5,6 +5,13 @@
 // Not thread-safe: one Client per thread. Supports pipelining: send any
 // number of request lines with send_line(s), then read the same number of
 // responses with read_line().
+//
+// Robustness knobs live in ClientOptions: a connect timeout (non-blocking
+// connect + poll), per-socket I/O timeouts (SO_RCVTIMEO/SO_SNDTIMEO — a
+// hung daemon turns into a failed read, not a stuck client), and
+// connect_with_retry() for daemons that may be mid-restart: jittered
+// exponential backoff so a fleet of reconnecting clients doesn't stampede
+// the moment the listener returns.
 #pragma once
 
 #include <cstdint>
@@ -17,11 +24,31 @@
 
 namespace hoiho::serve {
 
+struct ClientOptions {
+  int connect_timeout_ms = 0;  // 0 = the OS default (minutes)
+  int io_timeout_ms = 0;       // 0 = block forever on read/write
+
+  // connect_with_retry() only: attempt k sleeps backoff_initial_ms * 2^k,
+  // capped at backoff_max_ms, scaled by a uniform jitter in [0.5, 1.5).
+  int max_attempts = 5;
+  int backoff_initial_ms = 50;
+  int backoff_max_ms = 2000;
+  std::uint64_t backoff_seed = 1;  // jitter is deterministic per seed
+};
+
 class Client {
  public:
   // Connects to `host`:`port`; nullopt (with *error) on failure.
   static std::optional<Client> connect(std::string_view host, std::uint16_t port,
-                                       std::string* error = nullptr);
+                                       std::string* error = nullptr,
+                                       const ClientOptions& options = {});
+
+  // connect() with jittered exponential backoff between attempts. Gives up
+  // (nullopt, *error from the last attempt) after options.max_attempts.
+  static std::optional<Client> connect_with_retry(std::string_view host,
+                                                  std::uint16_t port,
+                                                  const ClientOptions& options,
+                                                  std::string* error = nullptr);
 
   // Sends one request line (newline appended); false on socket error.
   bool send_line(std::string_view line);
@@ -30,11 +57,15 @@ class Client {
   bool send_lines(const std::vector<std::string>& lines);
 
   // Reads one '\n'-terminated response line (newline stripped); nullopt on
-  // EOF or socket error.
+  // EOF, socket error, or I/O timeout (check timed_out() to distinguish).
   std::optional<std::string> read_line();
 
   // send_line + read_line.
   std::optional<std::string> request(std::string_view line);
+
+  // True when the last failed read_line() hit the io_timeout_ms budget
+  // rather than EOF/error. Cleared by the next successful read.
+  bool timed_out() const { return timed_out_; }
 
   bool connected() const { return fd_.valid(); }
   void close() { fd_.reset(); }
@@ -45,6 +76,7 @@ class Client {
   util::Fd fd_;
   std::string buf_;        // bytes read but not yet returned
   std::size_t buf_off_ = 0;
+  bool timed_out_ = false;
 };
 
 }  // namespace hoiho::serve

@@ -28,6 +28,7 @@
 #include "core/nc_io.h"
 #include "serve/server.h"
 #include "sim/probing.h"
+#include "util/failpoint.h"
 
 using namespace hoiho;
 
@@ -40,8 +41,10 @@ void on_signal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --model FILE [--port N] [--workers N] [--bind-any]\n"
-               "          [--port-file FILE] [--watch-ms N]\n"
-               "       %s --write-demo-model FILE [--operators N] [--hosts-out FILE]\n",
+               "          [--port-file FILE] [--watch-ms N] [--deadline-ms N]\n"
+               "          [--idle-timeout-ms N] [--max-inflight N] [--drain-timeout-ms N]\n"
+               "       %s --write-demo-model FILE [--operators N] [--hosts-out FILE]\n"
+               "HOIHO_FAILPOINTS=site=spec;... injects faults (testing only).\n",
                argv0, argv0);
   return 1;
 }
@@ -65,12 +68,11 @@ int write_demo_model(const std::string& model_path, std::size_t operators,
     stored.push_back(core::StoredConvention{sr.nc, sr.cls});
     check.add(sr.nc);
   }
-  std::ofstream out(model_path);
-  if (!out) {
-    std::fprintf(stderr, "hoihod: cannot write '%s'\n", model_path.c_str());
+  std::string save_error;
+  if (!core::save_conventions_to_file(model_path, stored, dict, &save_error)) {
+    std::fprintf(stderr, "hoihod: %s\n", save_error.c_str());
     return 2;
   }
-  core::save_conventions(out, stored, dict);
   std::printf("hoihod: wrote %zu conventions to %s\n", stored.size(), model_path.c_str());
 
   if (!hosts_path.empty()) {
@@ -97,6 +99,8 @@ int main(int argc, char** argv) {
   std::uint16_t port = 9009;
   std::size_t workers = 0, operators = 60;
   int watch_ms = 1000;
+  int deadline_ms = 0, idle_timeout_ms = 0, drain_timeout_ms = 5000;
+  std::size_t max_inflight = 0;
   bool bind_any = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -136,6 +140,22 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       watch_ms = std::atoi(v);
+    } else if (arg == "--deadline-ms") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      deadline_ms = std::atoi(v);
+    } else if (arg == "--idle-timeout-ms") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      idle_timeout_ms = std::atoi(v);
+    } else if (arg == "--max-inflight") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      max_inflight = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--drain-timeout-ms") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      drain_timeout_ms = std::atoi(v);
     } else if (arg == "--bind-any") {
       bind_any = true;
     } else {
@@ -145,6 +165,16 @@ int main(int argc, char** argv) {
 
   if (!demo_path.empty()) return write_demo_model(demo_path, operators, hosts_path);
   if (model_path.empty()) return usage(argv[0]);
+
+  {
+    std::string fp_error;
+    const int fp = util::failpoint::configure_from_env("HOIHO_FAILPOINTS", &fp_error);
+    if (fp < 0) {
+      std::fprintf(stderr, "hoihod: HOIHO_FAILPOINTS: %s\n", fp_error.c_str());
+      return 1;
+    }
+    if (fp > 0) std::fprintf(stderr, "hoihod: %d failpoint(s) armed\n", fp);
+  }
 
   const geo::GeoDictionary& dict = geo::builtin_dictionary();
   serve::ModelStore store(dict, model_path);
@@ -163,6 +193,10 @@ int main(int argc, char** argv) {
   config.port = port;
   config.bind_any = bind_any;
   config.workers = workers;
+  config.request_deadline_ms = deadline_ms;
+  config.idle_timeout_ms = idle_timeout_ms;
+  config.max_inflight = max_inflight;
+  config.drain_timeout_ms = drain_timeout_ms;
   config.tick_ms = watch_ms > 0 ? watch_ms : 500;
   // Tick (every tick_ms on the loop thread): translate signals into server
   // actions, and pick up model-file rewrites by mtime. server_ptr is set
@@ -170,22 +204,53 @@ int main(int argc, char** argv) {
   serve::Server* server_ptr = nullptr;
   config.on_tick = [&server_ptr, &store, watch_ms]() {
     const int sig = g_signal.exchange(0, std::memory_order_relaxed);
-    if (sig == SIGTERM || sig == SIGINT) {
+    if (sig == SIGTERM) {
+      // Graceful: finish in-flight work, flush, then exit 0. A second
+      // SIGTERM during the drain still exits via drain_timeout_ms.
+      if (!server_ptr->draining()) {
+        std::printf("hoihod: SIGTERM, draining\n");
+        std::fflush(stdout);
+        server_ptr->drain();
+      }
+      return;
+    }
+    if (sig == SIGINT) {
       std::printf("hoihod: signal %d, shutting down\n", sig);
       server_ptr->stop();
       return;
     }
     if (sig == SIGHUP) {
-      if (const auto err = store.reload())
+      if (const auto err = store.reload()) {
+        server_ptr->metrics().reload_failures.fetch_add(1, std::memory_order_relaxed);
         std::fprintf(stderr, "hoihod: reload failed: %s\n", err->c_str());
-      else
+      } else {
+        server_ptr->metrics().reloads.fetch_add(1, std::memory_order_relaxed);
         std::printf("hoihod: reloaded (generation %llu)\n",
                     static_cast<unsigned long long>(store.generation()));
+      }
       return;
     }
-    if (watch_ms > 0 && store.reload_if_changed())
-      std::printf("hoihod: model file changed, reloaded (generation %llu)\n",
-                  static_cast<unsigned long long>(store.generation()));
+    if (watch_ms <= 0) return;
+    std::string watch_error;
+    switch (store.poll_watch(&watch_error)) {
+      case serve::ModelStore::WatchOutcome::kReloaded:
+        server_ptr->metrics().reloads.fetch_add(1, std::memory_order_relaxed);
+        std::printf("hoihod: model file changed, reloaded (generation %llu)\n",
+                    static_cast<unsigned long long>(store.generation()));
+        break;
+      case serve::ModelStore::WatchOutcome::kReloadFailed:
+        // Reported once per file change (the watcher reloads only after the
+        // mtime holds still), not once per poll.
+        server_ptr->metrics().reload_failures.fetch_add(1, std::memory_order_relaxed);
+        std::fprintf(stderr, "hoihod: reload failed: %s\n", watch_error.c_str());
+        break;
+      case serve::ModelStore::WatchOutcome::kDebounced:
+        server_ptr->metrics().reload_debounced.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case serve::ModelStore::WatchOutcome::kMissing:
+      case serve::ModelStore::WatchOutcome::kUnchanged:
+        break;
+    }
   };
   serve::Server server(store, config);
   server_ptr = &server;

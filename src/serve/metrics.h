@@ -25,6 +25,13 @@ struct Metrics {
   // Model lifecycle.
   std::atomic<std::uint64_t> reloads{0};
   std::atomic<std::uint64_t> reload_failures{0};
+  std::atomic<std::uint64_t> reload_debounced{0};  // watch polls deferred for stability
+
+  // Fault tolerance (see DESIGN.md §9).
+  std::atomic<std::uint64_t> deadline_expired{0};  // lines answered ERR,deadline
+  std::atomic<std::uint64_t> shed_busy{0};         // lines answered ERR,busy
+  std::atomic<std::uint64_t> idle_closed{0};       // connections reaped for idleness
+  std::atomic<std::uint64_t> injected_faults{0};   // failpoint firings observed
 
   // Batching shape: avg batch size = batched_lines / batches.
   std::atomic<std::uint64_t> batches{0};
@@ -41,7 +48,8 @@ struct Metrics {
 
   struct Snapshot {
     std::uint64_t requests = 0, hits = 0, misses = 0, errors = 0, admin = 0;
-    std::uint64_t reloads = 0, reload_failures = 0;
+    std::uint64_t reloads = 0, reload_failures = 0, reload_debounced = 0;
+    std::uint64_t deadline_expired = 0, shed_busy = 0, idle_closed = 0, injected_faults = 0;
     std::uint64_t batches = 0, batched_lines = 0;
     std::uint64_t connections_opened = 0, connections_closed = 0;
     std::uint64_t parse_ns = 0, lookup_ns = 0, write_ns = 0;
@@ -61,6 +69,11 @@ struct Metrics {
     s.admin = admin.load(std::memory_order_relaxed);
     s.reloads = reloads.load(std::memory_order_relaxed);
     s.reload_failures = reload_failures.load(std::memory_order_relaxed);
+    s.reload_debounced = reload_debounced.load(std::memory_order_relaxed);
+    s.deadline_expired = deadline_expired.load(std::memory_order_relaxed);
+    s.shed_busy = shed_busy.load(std::memory_order_relaxed);
+    s.idle_closed = idle_closed.load(std::memory_order_relaxed);
+    s.injected_faults = injected_faults.load(std::memory_order_relaxed);
     s.batches = batches.load(std::memory_order_relaxed);
     s.batched_lines = batched_lines.load(std::memory_order_relaxed);
     s.connections_opened = connections_opened.load(std::memory_order_relaxed);

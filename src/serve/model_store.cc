@@ -5,17 +5,9 @@
 #include <fstream>
 #include <utility>
 
+#include "util/failpoint.h"
+
 namespace hoiho::serve {
-
-namespace {
-
-std::time_t file_mtime(const std::string& path) {
-  struct stat st{};
-  if (::stat(path.c_str(), &st) != 0) return 0;
-  return st.st_mtime;
-}
-
-}  // namespace
 
 ModelStore::ModelStore(const geo::GeoDictionary& dict, std::string path)
     : dict_(dict), path_(std::move(path)) {
@@ -23,6 +15,16 @@ ModelStore::ModelStore(const geo::GeoDictionary& dict, std::string path)
   empty->source = path_.empty() ? "<memory>" : path_;
   std::lock_guard lock(snap_mu_);
   snap_ = std::move(empty);
+}
+
+ModelStore::FileStamp ModelStore::file_stamp(const std::string& path) {
+  struct stat st{};
+  FileStamp fs;
+  if (::stat(path.c_str(), &st) != 0) return fs;
+  fs.exists = true;
+  fs.sec = st.st_mtim.tv_sec;
+  fs.nsec = st.st_mtim.tv_nsec;
+  return fs;
 }
 
 void ModelStore::publish(std::shared_ptr<ModelSnapshot> snap) {
@@ -36,10 +38,16 @@ void ModelStore::publish(std::shared_ptr<ModelSnapshot> snap) {
 
 std::optional<std::string> ModelStore::reload() {
   std::lock_guard lock(reload_mu_);
+  return reload_locked();
+}
+
+std::optional<std::string> ModelStore::reload_locked() {
   if (path_.empty()) return "model store has no file path";
-  // Record the mtime before parsing so a write racing the load triggers one
-  // more reload_if_changed() rather than being missed.
-  last_mtime_ = file_mtime(path_);
+  // Record the stamp before parsing so a write racing the load triggers one
+  // more watch cycle rather than being missed.
+  loaded_stamp_ = file_stamp(path_);
+  if (const auto f = util::failpoint::hit("store.reload"))
+    return "model file '" + path_ + "': injected reload failure";
   std::ifstream in(path_);
   if (!in) return "cannot open model file '" + path_ + "'";
 
@@ -73,14 +81,34 @@ void ModelStore::install(const std::vector<core::StoredConvention>& conventions,
   publish(std::move(snap));
 }
 
-bool ModelStore::reload_if_changed() {
-  {
-    std::lock_guard lock(reload_mu_);
-    if (path_.empty()) return false;
-    if (file_mtime(path_) == last_mtime_) return false;
+ModelStore::WatchOutcome ModelStore::poll_watch(std::string* error) {
+  std::lock_guard lock(reload_mu_);
+  if (path_.empty()) return WatchOutcome::kUnchanged;
+  const FileStamp now = file_stamp(path_);
+  if (!now.exists) {
+    // Mid-rename window of a deploy (or a genuinely deleted model). Keep
+    // serving the loaded snapshot and keep watching; don't count this as a
+    // failed reload.
+    pending_valid_ = false;
+    return WatchOutcome::kMissing;
   }
-  reload();
-  return true;
+  if (now.same(loaded_stamp_)) {
+    pending_valid_ = false;
+    return WatchOutcome::kUnchanged;
+  }
+  if (!pending_valid_ || !now.same(pending_stamp_)) {
+    // New mtime: wait until it holds still for one full poll interval so we
+    // don't load a file another process is still writing.
+    pending_stamp_ = now;
+    pending_valid_ = true;
+    return WatchOutcome::kDebounced;
+  }
+  pending_valid_ = false;
+  if (const auto err = reload_locked()) {
+    if (error != nullptr) *error = *err;
+    return WatchOutcome::kReloadFailed;
+  }
+  return WatchOutcome::kReloaded;
 }
 
 }  // namespace hoiho::serve

@@ -64,22 +64,47 @@ class ModelStore {
   void install(const std::vector<core::StoredConvention>& conventions,
                std::string source = "<memory>");
 
-  // Reloads only if the model file's mtime changed since the last (attempted)
-  // load. Returns true if a reload was attempted.
-  bool reload_if_changed();
+  // One mtime-watch poll step (what --watch-ms drives). Deploys rewrite the
+  // model via rename(), so a poll can land mid-deploy: the file may be
+  // transiently missing or still being written. Rather than treating either
+  // as a failed reload (and logging every poll), the watcher:
+  //   - reports kMissing while the file is absent — not an error, no reload;
+  //   - debounces: a new mtime must be observed identical on two consecutive
+  //     polls before a reload is attempted (kDebounced while waiting);
+  //   - reloads only then, so a failure is reported once per file change,
+  //     not once per poll.
+  // Comparison uses nanosecond mtime (st_mtim), so back-to-back rewrites
+  // within the same second are still detected.
+  enum class WatchOutcome { kUnchanged, kMissing, kDebounced, kReloaded, kReloadFailed };
+  WatchOutcome poll_watch(std::string* error = nullptr);
 
   std::uint64_t generation() const { return current()->generation; }
   const std::string& path() const { return path_; }
   const geo::GeoDictionary& dictionary() const { return dict_; }
 
  private:
+  // Nanosecond-resolution mtime plus existence, so two rewrites within one
+  // second still compare unequal.
+  struct FileStamp {
+    bool exists = false;
+    std::time_t sec = 0;
+    long nsec = 0;
+    bool same(const FileStamp& o) const {
+      return exists == o.exists && sec == o.sec && nsec == o.nsec;
+    }
+  };
+
+  static FileStamp file_stamp(const std::string& path);
   void publish(std::shared_ptr<ModelSnapshot> snap);
+  std::optional<std::string> reload_locked();  // requires reload_mu_
 
   const geo::GeoDictionary& dict_;
   std::string path_;
   std::mutex reload_mu_;       // serializes reload/install; readers never take it
   std::uint64_t next_generation_ = 1;  // guarded by reload_mu_
-  std::time_t last_mtime_ = 0;         // guarded by reload_mu_
+  FileStamp loaded_stamp_;             // stamp at last (attempted) load; reload_mu_
+  FileStamp pending_stamp_;            // candidate stamp awaiting debounce; reload_mu_
+  bool pending_valid_ = false;         // guarded by reload_mu_
   mutable std::mutex snap_mu_;         // guards snap_ swap/copy only
   std::shared_ptr<const ModelSnapshot> snap_;
 };

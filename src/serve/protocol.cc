@@ -53,6 +53,11 @@ std::string format_stats(const Metrics::Snapshot& m, std::uint64_t generation,
   kv("admin", m.admin);
   kv("reloads", m.reloads);
   kv("reload_failures", m.reload_failures);
+  kv("reload_debounced", m.reload_debounced);
+  kv("deadline_expired", m.deadline_expired);
+  kv("shed_busy", m.shed_busy);
+  kv("idle_closed", m.idle_closed);
+  kv("injected_faults", m.injected_faults);
   kv("batches", m.batches);
   kv("batched_lines", m.batched_lines);
   out += ",avg_batch=" + util::fmt_double(m.avg_batch(), 2);

@@ -5,10 +5,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 #include "serve/protocol.h"
+#include "util/failpoint.h"
 
 namespace hoiho::serve {
 
@@ -23,6 +25,8 @@ std::uint64_t now_ns() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+std::uint64_t now_ms() { return now_ns() / 1000000u; }
 
 bool epoll_add(int epfd, int fd, std::uint64_t token, std::uint32_t events) {
   epoll_event ev{};
@@ -82,19 +86,37 @@ void Server::stop() {
   wake();
 }
 
+void Server::drain() {
+  draining_.store(true, std::memory_order_release);
+  wake();
+}
+
+int Server::loop_timeout_ms(std::chrono::steady_clock::time_point next_tick) const {
+  using std::chrono::duration_cast;
+  using std::chrono::milliseconds;
+  long long timeout = -1;
+  const auto clamp = [&timeout](long long ms) {
+    ms = std::max<long long>(0, ms);
+    if (timeout < 0 || ms < timeout) timeout = ms;
+  };
+  const auto now = std::chrono::steady_clock::now();
+  if (config_.tick_ms > 0)
+    clamp(duration_cast<milliseconds>(next_tick - now).count());
+  if (config_.idle_timeout_ms > 0 && !conns_.empty())
+    // Sweep at half the timeout so a connection is reaped at most 1.5x late.
+    clamp(std::max(config_.idle_timeout_ms / 2, 10));
+  if (drain_started_)
+    clamp(duration_cast<milliseconds>(drain_deadline_ - now).count());
+  return static_cast<int>(std::min<long long>(timeout, 1 << 30));
+}
+
 void Server::run() {
   using Clock = std::chrono::steady_clock;
   auto next_tick = Clock::now() + std::chrono::milliseconds(
                                       config_.tick_ms > 0 ? config_.tick_ms : 0);
   epoll_event events[64];
   while (!stopping_.load(std::memory_order_acquire)) {
-    int timeout = -1;
-    if (config_.tick_ms > 0) {
-      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-          next_tick - Clock::now());
-      timeout = static_cast<int>(std::max<long long>(0, remaining.count()));
-    }
-    const int n = ::epoll_wait(epoll_fd_.get(), events, 64, timeout);
+    const int n = ::epoll_wait(epoll_fd_.get(), events, 64, loop_timeout_ms(next_tick));
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
@@ -126,11 +148,61 @@ void Server::run() {
         if ((events[i].events & EPOLLIN) != 0) on_readable(c);
       }
     }
+    if (config_.idle_timeout_ms > 0) sweep_idle();
+    if (draining_.load(std::memory_order_acquire)) drain_step();
   }
+}
+
+void Server::sweep_idle() {
+  const std::uint64_t now = now_ms();
+  const auto limit = static_cast<std::uint64_t>(config_.idle_timeout_ms);
+  std::vector<std::uint64_t> reap;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->idle() && conn->done.empty() && now - conn->last_activity_ms > limit)
+      reap.push_back(id);
+  }
+  for (const std::uint64_t id : reap) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    metrics_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+    close_connection(*it->second);
+  }
+}
+
+void Server::drain_step() {
+  if (!drain_started_) {
+    drain_started_ = true;
+    drain_deadline_ = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(std::max(config_.drain_timeout_ms, 0));
+    // Stop accepting; connections already established keep being served.
+    // Closing the listen socket (not just deregistering it) makes new
+    // connects fail outright instead of parking in the kernel backlog.
+    ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listen_fd_.get(), nullptr);
+    listen_fd_.reset();
+  }
+  // Close connections as they go quiet. A connection with in-flight batches
+  // or unflushed output is left alone — its answers land first.
+  std::vector<std::uint64_t> done_ids;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->idle() && conn->done.empty()) done_ids.push_back(id);
+  }
+  for (const std::uint64_t id : done_ids) {
+    const auto it = conns_.find(id);
+    if (it != conns_.end()) close_connection(*it->second);
+  }
+  if (conns_.empty() || std::chrono::steady_clock::now() >= drain_deadline_)
+    stopping_.store(true, std::memory_order_release);
 }
 
 void Server::accept_ready() {
   for (;;) {
+    if (util::failpoint::any_active()) {
+      const auto f = util::failpoint::hit("serve.accept");
+      if (f.kind != util::failpoint::Kind::kOff)
+        metrics_.injected_faults.fetch_add(1, std::memory_order_relaxed);
+      if (f.kind == util::failpoint::Kind::kError)
+        return;  // simulated EMFILE/ENFILE: listen socket stays armed
+    }
     const int fd = ::accept4(listen_fd_.get(), nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
@@ -142,6 +214,7 @@ void Server::accept_ready() {
     auto conn = std::make_unique<Connection>();
     conn->id = next_conn_id_++;
     conn->fd.reset(fd);
+    conn->last_activity_ms = now_ms();
     if (!epoll_add(epoll_fd_.get(), fd, conn->id, EPOLLIN)) continue;
     metrics_.connections_opened.fetch_add(1, std::memory_order_relaxed);
     conns_.emplace(conn->id, std::move(conn));
@@ -155,6 +228,7 @@ void Server::on_readable(Connection& c) {
     const ssize_t n = ::recv(c.fd.get(), buf, sizeof(buf), 0);
     if (n > 0) {
       c.in_buf.append(buf, static_cast<std::size_t>(n));
+      c.last_activity_ms = now_ms();
       if (c.in_buf.size() >= config_.max_line) break;  // parse before reading on
     } else if (n == 0) {
       // EOF: deregister EPOLLIN immediately — a level-triggered fd at EOF
@@ -212,16 +286,51 @@ void Server::on_readable(Connection& c) {
 
 void Server::dispatch(Connection& c, std::vector<std::string> lines) {
   const std::uint64_t seq = c.next_submit_seq++;
+  if (config_.max_inflight > 0 && inflight_lines_ >= config_.max_inflight) {
+    // Shed at admission: answer every line ERR,busy through the ordered
+    // completion path without touching the worker pool, so an overloaded
+    // server degrades to fast rejections instead of unbounded queueing.
+    metrics_.shed_busy.fetch_add(lines.size(), std::memory_order_relaxed);
+    std::string out;
+    out.reserve(lines.size() * 10);
+    for (std::size_t i = 0; i < lines.size(); ++i) out += format_error("busy") + "\n";
+    c.done[seq] = std::move(out);
+    return;
+  }
+  inflight_lines_ += lines.size();
   metrics_.batches.fetch_add(1, std::memory_order_relaxed);
   metrics_.batched_lines.fetch_add(lines.size(), std::memory_order_relaxed);
-  pool_->submit([this, id = c.id, seq, lines = std::move(lines)]() mutable {
-    process_batch(id, seq, std::move(lines));
-  });
+  pool_->submit(
+      [this, id = c.id, seq, t0 = now_ns(), lines = std::move(lines)]() mutable {
+        process_batch(id, seq, t0, std::move(lines));
+      });
 }
 
 void Server::process_batch(std::uint64_t conn_id, std::uint64_t seq,
-                           std::vector<std::string> lines) {
+                           std::uint64_t enqueue_ns, std::vector<std::string> lines) {
+  if (util::failpoint::any_active()) {
+    // Artificial worker latency ("serve.process=delay:50"): the lever chaos
+    // tests use to force deadline expiry and inflight shedding on demand.
+    const auto f = util::failpoint::hit("serve.process");
+    if (f.kind != util::failpoint::Kind::kOff)
+      metrics_.injected_faults.fetch_add(1, std::memory_order_relaxed);
+  }
   const std::uint64_t t0 = now_ns();
+  if (config_.request_deadline_ms > 0 &&
+      t0 - enqueue_ns > static_cast<std::uint64_t>(config_.request_deadline_ms) * 1000000u) {
+    // The batch sat queued past its deadline; the client has likely timed
+    // out, so answer cheaply rather than burn lookup time on dead requests.
+    metrics_.deadline_expired.fetch_add(lines.size(), std::memory_order_relaxed);
+    std::string out;
+    out.reserve(lines.size() * 14);
+    for (std::size_t i = 0; i < lines.size(); ++i) out += format_error("deadline") + "\n";
+    {
+      std::lock_guard lock(completions_mu_);
+      completions_.push_back(Completion{conn_id, seq, lines.size(), std::move(out)});
+    }
+    wake();
+    return;
+  }
   // One snapshot per batch: lookups within a batch see one model generation
   // even if a reload lands mid-batch.
   std::shared_ptr<const ModelSnapshot> snap = store_.current();
@@ -271,7 +380,7 @@ void Server::process_batch(std::uint64_t conn_id, std::uint64_t seq,
   metrics_.lookup_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
   {
     std::lock_guard lock(completions_mu_);
-    completions_.push_back(Completion{conn_id, seq, std::move(out)});
+    completions_.push_back(Completion{conn_id, seq, lines.size(), std::move(out)});
   }
   wake();
 }
@@ -283,6 +392,9 @@ void Server::drain_completions() {
     done.swap(completions_);
   }
   for (Completion& comp : done) {
+    // Credit the inflight budget even for closed connections — their
+    // batches consumed worker capacity all the same.
+    inflight_lines_ -= std::min(inflight_lines_, comp.line_count);
     const auto it = conns_.find(comp.conn_id);
     if (it == conns_.end()) continue;  // connection closed while in flight
     it->second->done[comp.seq] = std::move(comp.data);
@@ -312,10 +424,24 @@ void Server::flush_ready(Connection& c) {
 void Server::flush(Connection& c) {
   const std::uint64_t t0 = now_ns();
   while (c.out_off < c.out_buf.size()) {
-    const ssize_t n = ::send(c.fd.get(), c.out_buf.data() + c.out_off,
-                             c.out_buf.size() - c.out_off, MSG_NOSIGNAL);
+    std::size_t want = c.out_buf.size() - c.out_off;
+    if (util::failpoint::any_active()) {
+      const auto f = util::failpoint::hit("serve.write");
+      if (f.kind != util::failpoint::Kind::kOff)
+        metrics_.injected_faults.fetch_add(1, std::memory_order_relaxed);
+      if (f.kind == util::failpoint::Kind::kEintr) continue;
+      if (f.kind == util::failpoint::Kind::kError) {
+        metrics_.write_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+        close_connection(c);  // simulated peer reset
+        return;
+      }
+      if (f.kind == util::failpoint::Kind::kShort) want = (want + 1) / 2;
+    }
+    const ssize_t n =
+        ::send(c.fd.get(), c.out_buf.data() + c.out_off, want, MSG_NOSIGNAL);
     if (n > 0) {
       c.out_off += static_cast<std::size_t>(n);
+      c.last_activity_ms = now_ms();
     } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       break;
     } else if (n < 0 && errno == EINTR) {

@@ -50,6 +50,13 @@ struct ServerConfig {
   std::size_t max_line = 1024;   // a longer line is a protocol violation
   std::size_t max_output_buffer = 1 << 20;  // pause reading a conn above this
 
+  // Fault tolerance (DESIGN.md §9). All default off so tests and embedders
+  // opt in explicitly.
+  int request_deadline_ms = 0;   // >0: batches queued longer answer ERR,deadline
+  int idle_timeout_ms = 0;       // >0: reap connections idle this long
+  std::size_t max_inflight = 0;  // >0: lines in flight above this answer ERR,busy
+  int drain_timeout_ms = 5000;   // drain() waits at most this for in-flight work
+
   // If > 0, on_tick runs every tick_ms on the event-loop thread (used by
   // the daemon for SIGHUP polling and model-file mtime watching).
   int tick_ms = 0;
@@ -80,6 +87,14 @@ class Server {
   // or write to their own descriptor.
   void stop();
 
+  // Graceful drain (what SIGTERM should do): stop accepting, let in-flight
+  // batches finish and flush, close connections as they go idle, then exit
+  // run(). Bounded by config.drain_timeout_ms — a client that never stops
+  // pipelining cannot wedge shutdown. Safe from any thread (same caveat as
+  // stop() for signal context).
+  void drain();
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
   Metrics& metrics() { return metrics_; }
   const ModelStore& store() const { return store_; }
 
@@ -96,6 +111,7 @@ class Server {
     bool peer_closed = false;
     bool want_write = false;
     bool reads_paused = false;
+    std::uint64_t last_activity_ms = 0;  // steady ms of last byte in/out
 
     bool idle() const {
       return next_flush_seq == next_submit_seq && out_off == out_buf.size();
@@ -105,6 +121,7 @@ class Server {
   struct Completion {
     std::uint64_t conn_id = 0;
     std::uint64_t seq = 0;
+    std::size_t line_count = 0;  // credits returned to the inflight budget
     std::string data;
   };
 
@@ -113,8 +130,11 @@ class Server {
   void on_writable(Connection& c);
   void dispatch(Connection& c, std::vector<std::string> lines);
   void process_batch(std::uint64_t conn_id, std::uint64_t seq,
-                     std::vector<std::string> lines);
+                     std::uint64_t enqueue_ns, std::vector<std::string> lines);
   void drain_completions();
+  void sweep_idle();   // close connections idle past idle_timeout_ms
+  void drain_step();   // progress graceful drain; may set stopping_
+  int loop_timeout_ms(std::chrono::steady_clock::time_point next_tick) const;
   void flush_ready(Connection& c);  // reorder done batches, flush, maybe close
   void flush(Connection& c);
   void update_epoll(Connection& c);
@@ -136,6 +156,10 @@ class Server {
   std::vector<Completion> completions_;
 
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  bool drain_started_ = false;  // loop thread only: listen fd deregistered
+  std::chrono::steady_clock::time_point drain_deadline_{};
+  std::size_t inflight_lines_ = 0;  // loop thread only: dispatched - completed
   std::uint64_t next_conn_id_ = 2;  // 0 = listen token, 1 = wake token
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
 };

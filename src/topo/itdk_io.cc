@@ -8,6 +8,20 @@
 
 namespace hoiho::topo {
 
+namespace {
+
+// Tab is the only control byte the formats use; anything else below 0x20
+// (NUL injection, binary garbage) marks a corrupt line.
+bool has_binary_bytes(std::string_view s) {
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20 && c != '\t') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 void write_nodes(std::ostream& out, const Topology& topo) {
   out << "# hoiho-geo nodes file\n";
   for (const Router& r : topo.routers()) {
@@ -29,16 +43,43 @@ void write_names(std::ostream& out, const Topology& topo) {
   }
 }
 
-std::optional<Topology> read_itdk(std::istream& nodes, std::istream* names, std::string* error,
+std::optional<Topology> read_itdk(std::istream& nodes, std::istream* names,
+                                  const io::LoadOptions& opt, io::LoadReport* report,
                                   const dns::PublicSuffixList& psl) {
+  io::LoadReport local;
+  io::LoadReport& rep = report != nullptr ? *report : local;
+
   // First pass over names (if given): address -> hostname.
   std::unordered_map<std::string, std::string> name_of;
   if (names != nullptr) {
     std::string line;
+    std::size_t lineno = 0;
     while (std::getline(*names, line)) {
+      ++lineno;
+      ++rep.lines;
+      if (line.size() > opt.max_line_bytes) {
+        if (!rep.skip(opt, "oversized_line", lineno,
+                      "names line exceeds " + std::to_string(opt.max_line_bytes) + " bytes"))
+          return std::nullopt;
+        continue;
+      }
       if (line.empty() || line[0] == '#') continue;
+      if (has_binary_bytes(line)) {
+        if (!rep.skip(opt, "bad_name_line", lineno, "control bytes in names line"))
+          return std::nullopt;
+        continue;
+      }
       const auto fields = util::split(line, " \t");
-      if (fields.size() >= 2) name_of.emplace(std::string(fields[0]), std::string(fields[1]));
+      if (fields.size() < 2) {
+        if (!rep.skip(opt, "bad_name_line", lineno, "expected '<addr> <hostname>'"))
+          return std::nullopt;
+        continue;
+      }
+      name_of.emplace(std::string(fields[0]), std::string(fields[1]));
+    }
+    if (names->bad()) {
+      rep.fail("read error in names stream after line " + std::to_string(lineno));
+      return std::nullopt;
     }
   }
 
@@ -47,22 +88,52 @@ std::optional<Topology> read_itdk(std::istream& nodes, std::istream* names, std:
   std::size_t lineno = 0;
   while (std::getline(nodes, line)) {
     ++lineno;
+    ++rep.lines;
+    if (line.size() > opt.max_line_bytes) {
+      if (!rep.skip(opt, "oversized_line", lineno,
+                    "nodes line exceeds " + std::to_string(opt.max_line_bytes) + " bytes"))
+        return std::nullopt;
+      continue;
+    }
     if (line.empty() || line[0] == '#') continue;
+    if (has_binary_bytes(line)) {
+      if (!rep.skip(opt, "bad_node_line", lineno, "control bytes in nodes line"))
+        return std::nullopt;
+      continue;
+    }
     const auto fields = util::split(line, " \t");
     if (fields.size() < 2 || fields[0] != "node") {
-      if (error != nullptr)
-        *error = "line " + std::to_string(lineno) + ": expected 'node N<id>: addr...'";
+      if (!rep.skip(opt, "bad_node_line", lineno, "expected 'node N<id>: addr...'"))
+        return std::nullopt;
+      continue;
+    }
+    if (opt.max_records > 0 && topo.size() >= opt.max_records) {
+      rep.fail("line " + std::to_string(lineno) + ": more than " +
+               std::to_string(opt.max_records) + " routers (record cap)");
       return std::nullopt;
     }
     // fields[1] is "N<id>:" — the id itself is implied by insertion order,
     // as in the real files (ids are dense and ascending).
     const RouterId id = topo.add_router();
+    ++rep.records;
     for (std::size_t i = 2; i < fields.size(); ++i) {
       const std::string addr(fields[i]);
       const auto it = name_of.find(addr);
       topo.add_interface(id, addr, it == name_of.end() ? std::string_view{} : it->second, psl);
     }
   }
+  if (nodes.bad()) {
+    rep.fail("read error in nodes stream after line " + std::to_string(lineno));
+    return std::nullopt;
+  }
+  return topo;
+}
+
+std::optional<Topology> read_itdk(std::istream& nodes, std::istream* names, std::string* error,
+                                  const dns::PublicSuffixList& psl) {
+  io::LoadReport report;
+  auto topo = read_itdk(nodes, names, io::LoadOptions{}, &report, psl);
+  if (!topo && error != nullptr) *error = report.error;
   return topo;
 }
 

@@ -9,12 +9,20 @@
 //   names file:   <addr> <hostname>           (one per line)
 //
 // Lines starting with '#' are comments in both files.
+//
+// Real ITDK snapshots are hundreds of millions of lines collected from the
+// live Internet; individual lines get truncated, interleaved, or corrupted.
+// The io::LoadOptions overload supports lenient loading — skip the bad
+// line, count it in the io::LoadReport — so one mangled record does not
+// discard the dataset. Skip categories: oversized_line, bad_node_line,
+// bad_name_line.
 #pragma once
 
 #include <iosfwd>
 #include <optional>
 #include <string>
 
+#include "io/load_report.h"
 #include "topo/topology.h"
 
 namespace hoiho::topo {
@@ -27,8 +35,14 @@ void write_names(std::ostream& out, const Topology& topo);
 
 // Reads a topology from a nodes stream plus an optional names stream.
 // Unknown addresses in `names` are ignored (the real files overlap only
-// partially too). Returns std::nullopt with a message in *error on
-// malformed node lines.
+// partially too). Strict mode (opt.lenient = false) fails with a named
+// error in report->error on the first malformed line; lenient mode skips
+// and counts it. opt.max_records caps accepted routers in both modes.
+std::optional<Topology> read_itdk(std::istream& nodes, std::istream* names,
+                                  const io::LoadOptions& opt, io::LoadReport* report = nullptr,
+                                  const dns::PublicSuffixList& psl = dns::PublicSuffixList::builtin());
+
+// Strict-mode convenience wrapper (the original first-error-fatal API).
 std::optional<Topology> read_itdk(std::istream& nodes, std::istream* names,
                                   std::string* error = nullptr,
                                   const dns::PublicSuffixList& psl = dns::PublicSuffixList::builtin());

@@ -1,0 +1,227 @@
+#include "util/failpoint.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace hoiho::util::failpoint {
+
+namespace {
+
+struct Spec {
+  Kind kind = Kind::kOff;
+  int err = EIO;             // kError
+  int delay_ms = 0;          // kDelay
+  double probability = 1.0;  // fire chance per eligible hit
+  std::uint64_t every = 1;   // only every nth hit is eligible
+  std::int64_t times = -1;   // stop after n fires; -1 = unlimited
+};
+
+struct Site {
+  Spec spec;
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t rng_state = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Site> sites;
+  std::atomic<std::uint64_t> total_fired{0};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: sites outlive static dtors
+  return *r;
+}
+
+std::uint64_t seed_from_name(std::string_view site) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h == 0 ? 1 : h;
+}
+
+bool parse_errno(std::string_view tok, int* out) {
+  if (tok == "EIO") return (*out = EIO), true;
+  if (tok == "EINTR") return (*out = EINTR), true;
+  if (tok == "EAGAIN") return (*out = EAGAIN), true;
+  if (tok == "ENOMEM") return (*out = ENOMEM), true;
+  if (tok == "ECONNRESET") return (*out = ECONNRESET), true;
+  if (tok == "EPIPE") return (*out = EPIPE), true;
+  if (tok == "EMFILE") return (*out = EMFILE), true;
+  int v = 0;
+  for (const char c : tok) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  if (tok.empty()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_spec(std::string_view text, Spec* spec, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string_view part =
+        text.substr(pos, comma == std::string_view::npos ? std::string_view::npos : comma - pos);
+    pos = comma == std::string_view::npos ? text.size() + 1 : comma + 1;
+    if (first) {
+      first = false;
+      if (part == "off") {
+        spec->kind = Kind::kOff;
+      } else if (part == "short") {
+        spec->kind = Kind::kShort;
+      } else if (part == "eintr") {
+        spec->kind = Kind::kEintr;
+      } else if (part == "error" || part.substr(0, 6) == "error:") {
+        spec->kind = Kind::kError;
+        if (part.size() > 6 && !parse_errno(part.substr(6), &spec->err))
+          return fail("bad errno in '" + std::string(part) + "'");
+      } else if (part.substr(0, 6) == "delay:") {
+        spec->kind = Kind::kDelay;
+        spec->delay_ms = std::atoi(std::string(part.substr(6)).c_str());
+        if (spec->delay_ms < 0) return fail("negative delay");
+      } else {
+        return fail("unknown failpoint kind '" + std::string(part) + "'");
+      }
+      continue;
+    }
+    if (part.empty()) continue;
+    const std::size_t eq = part.find('=');
+    if (eq == std::string_view::npos)
+      return fail("modifier '" + std::string(part) + "' needs key=value");
+    const std::string_view key = part.substr(0, eq);
+    const std::string value(part.substr(eq + 1));
+    if (key == "p") {
+      spec->probability = std::atof(value.c_str());
+      // Written as a negated conjunction so NaN (for which both comparisons
+      // are false) is rejected too.
+      if (!(spec->probability >= 0.0 && spec->probability <= 1.0))
+        return fail("p must be in [0,1]");
+    } else if (key == "every") {
+      spec->every = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+      if (spec->every == 0) return fail("every must be >= 1");
+    } else if (key == "times") {
+      spec->times = std::atoll(value.c_str());
+      if (spec->times < 0) return fail("times must be >= 0");
+    } else {
+      return fail("unknown modifier '" + std::string(key) + "'");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_active_sites{0};
+
+Fired hit_slow(std::string_view site) {
+  Registry& reg = registry();
+  Spec spec;
+  {
+    std::lock_guard lock(reg.mu);
+    const auto it = reg.sites.find(std::string(site));
+    if (it == reg.sites.end() || it->second.spec.kind == Kind::kOff) return {};
+    Site& s = it->second;
+    ++s.hits;
+    if (s.hits % s.spec.every != 0) return {};
+    if (s.spec.times >= 0 && static_cast<std::int64_t>(s.fired) >= s.spec.times) return {};
+    if (s.spec.probability < 1.0) {
+      // Inline SplitMix64 step so the decision stream is per-site state.
+      util::Rng rng(s.rng_state);
+      const bool fire = rng.next_bool(s.spec.probability);
+      s.rng_state += 0x9e3779b97f4a7c15ULL;
+      if (!fire) return {};
+    }
+    ++s.fired;
+    reg.total_fired.fetch_add(1, std::memory_order_relaxed);
+    spec = s.spec;
+  }
+  if (spec.kind == Kind::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec.delay_ms));
+    return Fired{Kind::kDelay, 0};
+  }
+  return Fired{spec.kind, spec.err};
+}
+
+}  // namespace detail
+
+bool configure(std::string_view site, std::string_view spec_text, std::string* error) {
+  Spec spec;
+  if (!parse_spec(spec_text, &spec, error)) return false;
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  Site& s = reg.sites[std::string(site)];
+  const bool was_active = s.spec.kind != Kind::kOff;
+  const bool now_active = spec.kind != Kind::kOff;
+  s.spec = spec;
+  s.hits = 0;
+  s.fired = 0;
+  s.rng_state = seed_from_name(site);
+  if (was_active != now_active)
+    detail::g_active_sites.fetch_add(now_active ? 1 : -1, std::memory_order_relaxed);
+  return true;
+}
+
+int configure_from_env(const char* var, std::string* error) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr || *raw == '\0') return 0;
+  const std::string_view text(raw);
+  int configured = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t semi = text.find(';', pos);
+    const std::string_view entry =
+        text.substr(pos, semi == std::string_view::npos ? std::string_view::npos : semi - pos);
+    pos = semi == std::string_view::npos ? text.size() + 1 : semi + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      if (error != nullptr) *error = "entry '" + std::string(entry) + "' needs site=spec";
+      return -1;
+    }
+    if (!configure(entry.substr(0, eq), entry.substr(eq + 1), error)) return -1;
+    ++configured;
+  }
+  return configured;
+}
+
+void reset() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  int active = 0;
+  for (const auto& [name, site] : reg.sites)
+    if (site.spec.kind != Kind::kOff) ++active;
+  reg.sites.clear();
+  reg.total_fired.store(0, std::memory_order_relaxed);
+  detail::g_active_sites.fetch_add(-active, std::memory_order_relaxed);
+}
+
+std::uint64_t total_fired() {
+  return registry().total_fired.load(std::memory_order_relaxed);
+}
+
+std::uint64_t fired(std::string_view site) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  const auto it = reg.sites.find(std::string(site));
+  return it == reg.sites.end() ? 0 : it->second.fired;
+}
+
+}  // namespace hoiho::util::failpoint

@@ -1,0 +1,80 @@
+// Failure-injection points for tests and chaos benches.
+//
+// A failpoint is a named site in production code where a test harness can
+// inject a fault: an I/O error with a chosen errno, a short read/write, a
+// spurious EINTR, or artificial latency. Sites are compiled in always —
+// the disabled fast path is a single relaxed atomic load — so the chaos
+// harness can exercise the exact binaries that ship, not a special build.
+//
+//   site code:   if (auto f = util::failpoint::hit("serve.write")) { ... }
+//   harness:     util::failpoint::configure("serve.write", "short,p=0.1");
+//   from env:    HOIHO_FAILPOINTS="serve.write=short,p=0.1;serve.read=eintr"
+//
+// Spec grammar (modifiers comma-separated, in any order after the kind):
+//
+//   spec      = kind *("," modifier)
+//   kind      = "off" | "error" [":" errno] | "short" | "eintr" | "delay:" ms
+//   errno     = "EIO" | "EINTR" | "EAGAIN" | "ENOMEM" | "ECONNRESET"
+//             | "EPIPE" | "EMFILE" | <decimal>
+//   modifier  = "p=" probability      ; fire chance per eligible hit (default 1)
+//             | "every=" n            ; only every nth hit is eligible
+//             | "times=" n            ; stop after n fires (default unlimited)
+//
+// Firing decisions are deterministic per site (SplitMix64 seeded from the
+// site name), so a chaos run with a fixed spec is reproducible. "delay"
+// sleeps inside hit() and reports kDelay; callers treat it as "proceed".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hoiho::util::failpoint {
+
+enum class Kind { kOff, kError, kShort, kEintr, kDelay };
+
+// What a site should simulate for this call. kOff = proceed normally.
+struct Fired {
+  Kind kind = Kind::kOff;
+  int err = 0;  // errno to simulate when kind == kError
+
+  explicit operator bool() const { return kind != Kind::kOff && kind != Kind::kDelay; }
+};
+
+namespace detail {
+extern std::atomic<int> g_active_sites;  // sites with a non-off spec
+Fired hit_slow(std::string_view site);
+}  // namespace detail
+
+// True when at least one site is armed. The only cost paid on hot paths
+// while fault injection is disabled.
+inline bool any_active() {
+  return detail::g_active_sites.load(std::memory_order_relaxed) != 0;
+}
+
+// The site-side check. Returns the fault to simulate this call (almost
+// always kOff). kDelay has already slept by the time it is returned.
+inline Fired hit(std::string_view site) {
+  if (!any_active()) return {};
+  return detail::hit_slow(site);
+}
+
+// Arms `site` with `spec` (see grammar above; "off" disarms). False with
+// *error on a malformed spec.
+bool configure(std::string_view site, std::string_view spec, std::string* error = nullptr);
+
+// Parses `var` (default HOIHO_FAILPOINTS) as "site=spec;site=spec...".
+// Returns the number of sites configured; -1 with *error on a bad entry.
+int configure_from_env(const char* var = "HOIHO_FAILPOINTS", std::string* error = nullptr);
+
+// Disarms every site and zeroes all counters.
+void reset();
+
+// Total faults fired across all sites since the last reset().
+std::uint64_t total_fired();
+
+// Faults fired at one site since the last reset().
+std::uint64_t fired(std::string_view site);
+
+}  // namespace hoiho::util::failpoint

@@ -4,11 +4,15 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+
+#include "util/failpoint.h"
 
 namespace hoiho::util {
 
@@ -59,7 +63,8 @@ Fd listen_tcp(std::uint16_t port, std::string* error, bool any) {
   return fd;
 }
 
-Fd connect_tcp(std::string_view host, std::uint16_t port, std::string* error) {
+Fd connect_tcp(std::string_view host, std::uint16_t port, std::string* error,
+               int timeout_ms) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -74,12 +79,77 @@ Fd connect_tcp(std::string_view host, std::uint16_t port, std::string* error) {
     set_error(error, "socket");
     return {};
   }
-  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    set_error(error, "connect");
+  if (const auto f = failpoint::hit("net.connect")) {
+    errno = f.err;
+    set_error(error, "connect (injected)");
     return {};
+  }
+  if (timeout_ms <= 0) {
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      set_error(error, "connect");
+      return {};
+    }
+  } else {
+    // Bounded connect: non-blocking connect, poll for writability, check
+    // SO_ERROR, then restore blocking mode for the caller.
+    if (!set_nonblocking(fd.get())) {
+      set_error(error, "fcntl");
+      return {};
+    }
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      if (errno != EINPROGRESS) {
+        set_error(error, "connect");
+        return {};
+      }
+      pollfd pfd{fd.get(), POLLOUT, 0};
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        if (error != nullptr)
+          *error = "connect timed out after " + std::to_string(timeout_ms) + "ms";
+        return {};
+      }
+      if (rc < 0) {
+        set_error(error, "poll");
+        return {};
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+          so_error != 0) {
+        errno = so_error != 0 ? so_error : errno;
+        set_error(error, "connect");
+        return {};
+      }
+    }
+    const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) != 0) {
+      set_error(error, "fcntl");
+      return {};
+    }
   }
   set_tcp_nodelay(fd.get());
   return fd;
+}
+
+bool set_io_timeouts(int fd, int recv_timeout_ms, int send_timeout_ms) {
+  const auto to_tv = [](int ms) {
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    return tv;
+  };
+  if (recv_timeout_ms > 0) {
+    const timeval tv = to_tv(recv_timeout_ms);
+    if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) return false;
+  }
+  if (send_timeout_ms > 0) {
+    const timeval tv = to_tv(send_timeout_ms);
+    if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) return false;
+  }
+  return true;
 }
 
 std::optional<std::uint16_t> local_port(int fd) {
@@ -91,7 +161,17 @@ std::optional<std::uint16_t> local_port(int fd) {
 
 bool write_all(int fd, std::string_view data) {
   while (!data.empty()) {
-    const ssize_t n = ::write(fd, data.data(), data.size());
+    std::size_t want = data.size();
+    if (failpoint::any_active()) {
+      const auto f = failpoint::hit("net.write");
+      if (f.kind == failpoint::Kind::kEintr) continue;  // as if a signal landed
+      if (f.kind == failpoint::Kind::kError) {
+        errno = f.err;
+        return false;
+      }
+      if (f.kind == failpoint::Kind::kShort) want = (want + 1) / 2;
+    }
+    const ssize_t n = ::write(fd, data.data(), want);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;

@@ -58,14 +58,23 @@ bool set_tcp_nodelay(int fd);
 // local_port(). SO_REUSEADDR is set. Invalid Fd + *error on failure.
 Fd listen_tcp(std::uint16_t port, std::string* error = nullptr, bool any = false);
 
-// Blocking connect to `host`:`port` (numeric IPv4 or "localhost").
-Fd connect_tcp(std::string_view host, std::uint16_t port, std::string* error = nullptr);
+// Connect to `host`:`port` (numeric IPv4 or "localhost"). timeout_ms > 0
+// bounds the connect (non-blocking connect + poll, then the socket is
+// returned to blocking mode); 0 means block indefinitely.
+Fd connect_tcp(std::string_view host, std::uint16_t port, std::string* error = nullptr,
+               int timeout_ms = 0);
+
+// Arms SO_RCVTIMEO / SO_SNDTIMEO on a blocking socket so recv()/send()
+// return EAGAIN instead of hanging on a dead peer. 0 disables either side.
+bool set_io_timeouts(int fd, int recv_timeout_ms, int send_timeout_ms);
 
 // The locally-bound port of a socket; nullopt on getsockname failure.
 std::optional<std::uint16_t> local_port(int fd);
 
-// write() in a loop until all of `data` is sent; false on error. Only for
-// blocking sockets (the Client); the Server manages partial writes itself.
+// write() in a loop until all of `data` is sent; false on error (including
+// an SO_SNDTIMEO expiry, which surfaces as EAGAIN). Only for blocking
+// sockets (the Client); the Server manages partial writes itself.
+// Failpoint: "net.write" (short / eintr / error).
 bool write_all(int fd, std::string_view data);
 
 }  // namespace hoiho::util

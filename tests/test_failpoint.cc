@@ -1,0 +1,129 @@
+// util::failpoint — spec parsing, firing semantics, env configuration, and
+// the zero-cost-when-disabled contract the hot paths rely on.
+
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <vector>
+
+namespace fp = hoiho::util::failpoint;
+
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fp::reset(); }
+  void TearDown() override { fp::reset(); }
+};
+
+TEST_F(FailpointTest, DisabledByDefault) {
+  EXPECT_FALSE(fp::any_active());
+  const auto f = fp::hit("anything");
+  EXPECT_EQ(f.kind, fp::Kind::kOff);
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_EQ(fp::total_fired(), 0u);
+}
+
+TEST_F(FailpointTest, ErrorKindCarriesErrno) {
+  ASSERT_TRUE(fp::configure("io.read", "error:ECONNRESET"));
+  EXPECT_TRUE(fp::any_active());
+  const auto f = fp::hit("io.read");
+  EXPECT_EQ(f.kind, fp::Kind::kError);
+  EXPECT_EQ(f.err, ECONNRESET);
+  EXPECT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(fp::fired("io.read"), 1u);
+}
+
+TEST_F(FailpointTest, ErrorDefaultsToEioAndAcceptsDecimal) {
+  ASSERT_TRUE(fp::configure("a", "error"));
+  EXPECT_EQ(fp::hit("a").err, EIO);
+  ASSERT_TRUE(fp::configure("b", "error:13"));
+  EXPECT_EQ(fp::hit("b").err, 13);
+}
+
+TEST_F(FailpointTest, OtherSitesUnaffected) {
+  ASSERT_TRUE(fp::configure("armed", "short"));
+  EXPECT_EQ(fp::hit("not.armed").kind, fp::Kind::kOff);
+  EXPECT_EQ(fp::hit("armed").kind, fp::Kind::kShort);
+}
+
+TEST_F(FailpointTest, TimesLimitsFireCount) {
+  ASSERT_TRUE(fp::configure("s", "eintr,times=2"));
+  EXPECT_EQ(fp::hit("s").kind, fp::Kind::kEintr);
+  EXPECT_EQ(fp::hit("s").kind, fp::Kind::kEintr);
+  EXPECT_EQ(fp::hit("s").kind, fp::Kind::kOff);
+  EXPECT_EQ(fp::fired("s"), 2u);
+}
+
+TEST_F(FailpointTest, EveryGatesEligibility) {
+  ASSERT_TRUE(fp::configure("s", "short,every=3"));
+  int fired = 0;
+  for (int i = 0; i < 9; ++i)
+    if (fp::hit("s").kind == fp::Kind::kShort) ++fired;
+  EXPECT_EQ(fired, 3);
+}
+
+TEST_F(FailpointTest, ProbabilityZeroNeverFires) {
+  ASSERT_TRUE(fp::configure("s", "error,p=0"));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fp::hit("s").kind, fp::Kind::kOff);
+  EXPECT_EQ(fp::fired("s"), 0u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicPerSite) {
+  ASSERT_TRUE(fp::configure("s", "short,p=0.5"));
+  std::vector<fp::Kind> first;
+  for (int i = 0; i < 32; ++i) first.push_back(fp::hit("s").kind);
+  fp::reset();
+  ASSERT_TRUE(fp::configure("s", "short,p=0.5"));
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(fp::hit("s").kind, first[i]) << i;
+}
+
+TEST_F(FailpointTest, OffDisarmsAndResetClearsEverything) {
+  ASSERT_TRUE(fp::configure("s", "short"));
+  EXPECT_NE(fp::hit("s").kind, fp::Kind::kOff);
+  ASSERT_TRUE(fp::configure("s", "off"));
+  EXPECT_FALSE(fp::any_active());
+  EXPECT_EQ(fp::hit("s").kind, fp::Kind::kOff);
+  ASSERT_TRUE(fp::configure("s", "short"));
+  fp::reset();
+  EXPECT_FALSE(fp::any_active());
+  EXPECT_EQ(fp::total_fired(), 0u);
+}
+
+TEST_F(FailpointTest, DelayIsNotTreatedAsFailure) {
+  ASSERT_TRUE(fp::configure("s", "delay:1"));
+  const auto f = fp::hit("s");
+  EXPECT_EQ(f.kind, fp::Kind::kDelay);
+  EXPECT_FALSE(static_cast<bool>(f));  // call sites proceed after the sleep
+}
+
+TEST_F(FailpointTest, MalformedSpecsRejected) {
+  std::string error;
+  EXPECT_FALSE(fp::configure("s", "", &error));
+  EXPECT_FALSE(fp::configure("s", "explode", &error));
+  EXPECT_FALSE(fp::configure("s", "short,p=nan", &error));
+  EXPECT_FALSE(fp::configure("s", "short,bogus=1", &error));
+  EXPECT_FALSE(fp::configure("s", "error:EBOGUS", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(fp::any_active());
+}
+
+TEST_F(FailpointTest, ConfigureFromEnv) {
+  ::setenv("HOIHO_FP_TEST", "a=short;b=error:EPIPE,times=1", 1);
+  EXPECT_EQ(fp::configure_from_env("HOIHO_FP_TEST"), 2);
+  EXPECT_EQ(fp::hit("a").kind, fp::Kind::kShort);
+  EXPECT_EQ(fp::hit("b").err, EPIPE);
+
+  ::setenv("HOIHO_FP_TEST", "not-a-spec", 1);
+  std::string error;
+  EXPECT_EQ(fp::configure_from_env("HOIHO_FP_TEST", &error), -1);
+  EXPECT_FALSE(error.empty());
+
+  ::unsetenv("HOIHO_FP_TEST");
+  EXPECT_EQ(fp::configure_from_env("HOIHO_FP_TEST"), 0);
+}
+
+}  // namespace

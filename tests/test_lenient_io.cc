@@ -1,0 +1,253 @@
+// Malformed-input corpus tests for the three file loaders (itdk_io, rtt_io,
+// dictionary_io): lenient mode must skip and count each corrupt line under
+// the right category, strict mode must fail with a named error, and the
+// hard caps must stay fatal in both modes.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "geo/dictionary_io.h"
+#include "measure/rtt_io.h"
+#include "topo/itdk_io.h"
+
+using namespace hoiho;
+
+namespace {
+
+// --- itdk_io -----------------------------------------------------------------
+
+std::string nodes_corpus(std::size_t good, const std::string& dirt) {
+  std::string out = "# test nodes\n";
+  for (std::size_t i = 0; i < good; ++i) {
+    out += "node N" + std::to_string(i) + ": 10.0." + std::to_string(i / 256) + "." +
+           std::to_string(i % 256) + "\n";
+    if (i == good / 2) out += dirt;  // bury the dirt mid-file
+  }
+  return out;
+}
+
+TEST(LenientItdk, SkipsAndCountsCorruptLines) {
+  // Three corrupt lines: truncated, NUL-injected, and plain garbage.
+  const std::string dirt =
+      "node\n"
+      "node N9: 10.9.9.9\x01garbage\n"
+      "this line fell off a truck\n";
+  std::istringstream nodes(nodes_corpus(40, dirt));
+  io::LoadOptions opt;
+  opt.lenient = true;
+  io::LoadReport report;
+  const auto topo = topo::read_itdk(nodes, nullptr, opt, &report);
+  ASSERT_TRUE(topo.has_value()) << report.error;
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(topo->size(), 40u);
+  EXPECT_EQ(report.records, 40u);
+  EXPECT_EQ(report.skipped_total(), 3u);
+  EXPECT_EQ(report.skipped_count("bad_node_line"), 3u);
+  EXPECT_FALSE(report.diagnostics.empty());
+}
+
+TEST(LenientItdk, StrictStillFailsWithNamedError) {
+  std::istringstream nodes(nodes_corpus(10, "not a node line\n"));
+  io::LoadReport report;
+  const auto topo = topo::read_itdk(nodes, nullptr, io::LoadOptions{}, &report);
+  EXPECT_FALSE(topo.has_value());
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.error.find("node"), std::string::npos) << report.error;
+}
+
+TEST(LenientItdk, NamesDirtCountedSeparately) {
+  std::istringstream nodes("node N0: 10.0.0.1\n");
+  std::istringstream names(
+      "10.0.0.1 r1.example.net\n"
+      "lonely-token\n"
+      "bad\x02""addr host\n");
+  io::LoadOptions opt;
+  opt.lenient = true;
+  io::LoadReport report;
+  const auto topo = topo::read_itdk(nodes, &names, opt, &report);
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(report.skipped_count("bad_name_line"), 2u);
+}
+
+TEST(LenientItdk, OversizedLineCategorized) {
+  std::string corpus = "node N0: 10.0.0.1\n";
+  corpus += "node N1: " + std::string(300, 'a') + "\n";
+  std::istringstream nodes(corpus);
+  io::LoadOptions opt;
+  opt.lenient = true;
+  opt.max_line_bytes = 128;
+  io::LoadReport report;
+  const auto topo = topo::read_itdk(nodes, nullptr, opt, &report);
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(report.skipped_count("oversized_line"), 1u);
+  EXPECT_EQ(topo->size(), 1u);
+}
+
+TEST(LenientItdk, RecordCapFatalEvenWhenLenient) {
+  std::istringstream nodes(nodes_corpus(20, ""));
+  io::LoadOptions opt;
+  opt.lenient = true;
+  opt.max_records = 5;
+  io::LoadReport report;
+  const auto topo = topo::read_itdk(nodes, nullptr, opt, &report);
+  EXPECT_FALSE(topo.has_value());
+  EXPECT_NE(report.error.find("record cap"), std::string::npos) << report.error;
+}
+
+// --- rtt_io ------------------------------------------------------------------
+
+TEST(LenientRtt, EveryCategoryCounted) {
+  const std::string corpus =
+      "# measurements\n"
+      "V,ams,nl,52.37,4.90\n"
+      "V,nyc,us,40.71,-74.00\n"
+      "V,ams,nl,52.37,4.90\n"        // duplicate_vp
+      "V,bad,xx,91.0,0.0\n"          // bad_coords (lat out of range)
+      "V,worse,xx,abc,0.0\n"         // bad_number
+      "V,short\n"                    // bad_fields
+      "R,0,ams,12.5\n"
+      "R,1,nyc,80.25\n"
+      "R,0,nyc,12.5ms\n"             // bad_number (trailing junk)
+      "R,9,ams,10.0\n"               // router_out_of_range (2 routers)
+      "R,1,ams,-3.0\n"               // negative_rtt
+      "R,0,ghost,5.0\n"              // unknown_vp
+      "X,mystery\n";                 // unknown_record
+  std::istringstream in(corpus);
+  io::LoadOptions opt;
+  opt.lenient = true;
+  io::LoadReport report;
+  const auto meas = measure::load_measurements(in, 2, opt, &report);
+  ASSERT_TRUE(meas.has_value()) << report.error;
+  EXPECT_EQ(meas->vps.size(), 2u);
+  EXPECT_EQ(report.records, 4u);  // 2 VPs + 2 samples survived
+  EXPECT_EQ(report.skipped_count("duplicate_vp"), 1u);
+  EXPECT_EQ(report.skipped_count("bad_coords"), 1u);
+  EXPECT_EQ(report.skipped_count("bad_number"), 2u);
+  EXPECT_EQ(report.skipped_count("bad_fields"), 1u);
+  EXPECT_EQ(report.skipped_count("router_out_of_range"), 1u);
+  EXPECT_EQ(report.skipped_count("negative_rtt"), 1u);
+  EXPECT_EQ(report.skipped_count("unknown_vp"), 1u);
+  EXPECT_EQ(report.skipped_count("unknown_record"), 1u);
+  EXPECT_EQ(report.skipped_total(), 9u);
+  ASSERT_TRUE(meas->pings.rtt(0, 0).has_value());
+  EXPECT_DOUBLE_EQ(*meas->pings.rtt(0, 0), 12.5);
+}
+
+TEST(LenientRtt, StrictFailsOnFirstBadLineWithLineNumber) {
+  std::istringstream in(
+      "V,ams,nl,52.37,4.90\n"
+      "R,0,ams,banana\n");
+  io::LoadReport report;
+  const auto meas = measure::load_measurements(in, 1, io::LoadOptions{}, &report);
+  EXPECT_FALSE(meas.has_value());
+  EXPECT_NE(report.error.find("line 2"), std::string::npos) << report.error;
+}
+
+TEST(LenientRtt, FivePercentCorruptionRecoversTheRest) {
+  // 1 VP + 200 samples, every 20th sample corrupted (5%): lenient load must
+  // recover exactly the 190 good samples and count exactly 10 skips.
+  std::string corpus = "V,vp0,nl,52.0,4.0\n";
+  std::size_t corrupted = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    if (i % 20 == 19) {
+      corpus += "R,0,vp0,\x7f\x01garbage\n";
+      ++corrupted;
+    } else {
+      corpus += "R,0,vp0," + std::to_string(1.0 + 0.25 * static_cast<double>(i)) + "\n";
+    }
+  }
+  std::istringstream in(corpus);
+  io::LoadOptions opt;
+  opt.lenient = true;
+  io::LoadReport report;
+  const auto meas = measure::load_measurements(in, 1, opt, &report);
+  ASSERT_TRUE(meas.has_value()) << report.error;
+  EXPECT_EQ(report.records, 1u + 200u - corrupted);
+  EXPECT_EQ(report.skipped_total(), corrupted);
+  EXPECT_GE(static_cast<double>(report.records),
+            0.95 * static_cast<double>(1 + 200));
+
+  std::istringstream again(corpus);
+  io::LoadReport strict_report;
+  EXPECT_FALSE(measure::load_measurements(again, 1, io::LoadOptions{}, &strict_report)
+                   .has_value());
+  EXPECT_FALSE(strict_report.ok());
+}
+
+TEST(LenientRtt, SampleCapFatal) {
+  std::string corpus = "V,vp0,nl,52.0,4.0\n";
+  for (int i = 0; i < 10; ++i) corpus += "R,0,vp0,1.0\n";
+  std::istringstream in(corpus);
+  io::LoadOptions opt;
+  opt.lenient = true;
+  opt.max_records = 4;
+  io::LoadReport report;
+  EXPECT_FALSE(measure::load_measurements(in, 1, opt, &report).has_value());
+  EXPECT_NE(report.error.find("record cap"), std::string::npos);
+}
+
+// --- dictionary_io -----------------------------------------------------------
+
+TEST(LenientDictionary, SkipsAndCountsPerCategory) {
+  const std::string corpus =
+      "L,amsterdam,nh,nl,52.37,4.90,800000\n"
+      "L,new york,ny,us,40.71,-74.00,8000000\n"
+      "L,broken,xx,yy,notalat,0.0,5\n"   // bad_number
+      "L,short,record\n"                 // bad_fields
+      "C,iata,ams,0\n"
+      "C,teleport,xyz,0\n"               // unknown_code_type
+      "C,iata,jfk,99\n"                  // index_out_of_range
+      "A,mokum,0\n"
+      "A,nowhere,42\n"                   // index_out_of_range
+      "F,1 nieuwezijds voorburgwal,0\n"
+      "Q,what,is,this\n";                // unknown_record
+  std::istringstream in(corpus);
+  io::LoadOptions opt;
+  opt.lenient = true;
+  io::LoadReport report;
+  const auto dict = geo::load_dictionary(in, opt, &report);
+  ASSERT_TRUE(dict.has_value()) << report.error;
+  EXPECT_EQ(dict->size(), 2u);
+  EXPECT_EQ(report.records, 5u);  // 2 L + 1 C + 1 A + 1 F
+  EXPECT_EQ(report.skipped_count("bad_number"), 1u);
+  EXPECT_EQ(report.skipped_count("bad_fields"), 1u);
+  EXPECT_EQ(report.skipped_count("unknown_code_type"), 1u);
+  EXPECT_EQ(report.skipped_count("index_out_of_range"), 2u);
+  EXPECT_EQ(report.skipped_count("unknown_record"), 1u);
+  EXPECT_EQ(report.skipped_total(), 6u);
+}
+
+TEST(LenientDictionary, StrictNamesTheProblem) {
+  std::istringstream in("L,city,st,cc,1.0,2.0,10\nC,teleport,xyz,0\n");
+  io::LoadOptions opt;  // strict
+  io::LoadReport report;
+  EXPECT_FALSE(geo::load_dictionary(in, opt, &report).has_value());
+  EXPECT_NE(report.error.find("teleport"), std::string::npos) << report.error;
+  EXPECT_NE(report.error.find("line 2"), std::string::npos) << report.error;
+}
+
+TEST(LenientDictionary, LegacyStrictWrapperStillReportsError) {
+  std::istringstream in("L,city,st,cc,bad,2.0,10\n");
+  std::string error;
+  EXPECT_FALSE(geo::load_dictionary(in, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(LenientDictionary, DiagnosticsCappedButCountsExact) {
+  std::string corpus;
+  for (int i = 0; i < 30; ++i) corpus += "Z,junk\n";
+  std::istringstream in(corpus);
+  io::LoadOptions opt;
+  opt.lenient = true;
+  opt.max_diagnostics = 4;
+  io::LoadReport report;
+  ASSERT_TRUE(geo::load_dictionary(in, opt, &report).has_value());
+  EXPECT_EQ(report.diagnostics.size(), 4u);
+  EXPECT_EQ(report.skipped_count("unknown_record"), 30u);
+  EXPECT_NE(report.summary().find("unknown_record=30"), std::string::npos)
+      << report.summary();
+}
+
+}  // namespace

@@ -4,12 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <fstream>
 #include <sstream>
 
 #include "core/geolocate.h"
 #include "core/hoiho.h"
 #include "regex/parser.h"
 #include "sim/probing.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 
 namespace hoiho::core {
@@ -304,6 +308,98 @@ TEST(NcIo, SimulatorOutputRoundTripsByteIdentical) {
   std::ostringstream second;
   save_conventions(second, *loaded, dict);
   EXPECT_EQ(first.str(), second.str());
+}
+
+// --- atomic, checksummed persistence -----------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(NcIo, SaveToFileIsChecksummedAndLoadable) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = ::testing::TempDir() + "/nc_save_atomic.txt";
+  std::string error;
+  ASSERT_TRUE(save_conventions_to_file(path, sample(dict), dict, &error)) << error;
+
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("# checksum,fnv1a,"), std::string::npos);
+  // No stray tmp file left behind.
+  std::ifstream tmp(path + ".tmp." + std::to_string(::getpid()));
+  EXPECT_FALSE(tmp.good());
+
+  std::ifstream in(path);
+  const auto loaded = load_conventions(in, dict, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->size(), 2u);
+}
+
+TEST(NcIo, CorruptedByteFailsChecksum) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = ::testing::TempDir() + "/nc_save_corrupt.txt";
+  std::string error;
+  ASSERT_TRUE(save_conventions_to_file(path, sample(dict), dict, &error)) << error;
+  std::string content = slurp(path);
+
+  // Flip a byte in a comment line: the file still parses record-by-record,
+  // so only the checksum can catch the damage.
+  const std::size_t hash_pos = content.find("# checksum");
+  ASSERT_NE(hash_pos, std::string::npos);
+  std::size_t flip = std::string::npos;
+  for (std::size_t i = 0; i + 1 < hash_pos; ++i) {
+    if (content[i] == '#' && (i == 0 || content[i - 1] == '\n')) {
+      flip = i + 1;
+      break;
+    }
+  }
+  ASSERT_NE(flip, std::string::npos) << "no comment line to corrupt";
+  content[flip] = content[flip] == '!' ? '?' : '!';
+
+  std::istringstream in(content);
+  EXPECT_FALSE(load_conventions(in, dict, &error).has_value());
+  EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
+}
+
+TEST(NcIo, ContentAfterFooterRejected) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = ::testing::TempDir() + "/nc_save_trailer.txt";
+  std::string error;
+  ASSERT_TRUE(save_conventions_to_file(path, sample(dict), dict, &error)) << error;
+  std::string content = slurp(path);
+  content += "S,sneaky.net,good\n";
+
+  std::istringstream in(content);
+  EXPECT_FALSE(load_conventions(in, dict, &error).has_value());
+  EXPECT_NE(error.find("after checksum footer"), std::string::npos) << error;
+}
+
+TEST(NcIo, FooterlessFilesStillLoad) {
+  // Files written by the plain stream writer (or by hand) carry no footer;
+  // they must keep loading for backward compatibility.
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::ostringstream out;
+  save_conventions(out, sample(dict), dict);
+  std::istringstream in(out.str());
+  std::string error;
+  const auto loaded = load_conventions(in, dict, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->size(), 2u);
+}
+
+TEST(NcIo, SaveFailpointSurfacesInjectedError) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = ::testing::TempDir() + "/nc_save_failpoint.txt";
+  ASSERT_TRUE(util::failpoint::configure("nc.save", "error:ENOMEM"));
+  std::string error;
+  const bool ok = save_conventions_to_file(path, sample(dict), dict, &error);
+  util::failpoint::reset();
+  EXPECT_FALSE(ok);
+  EXPECT_NE(error.find("injected"), std::string::npos) << error;
+  // Disarmed, the same save succeeds.
+  EXPECT_TRUE(save_conventions_to_file(path, sample(dict), dict, &error)) << error;
 }
 
 }  // namespace

@@ -3,8 +3,12 @@
 // blocking Client over loopback.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -13,6 +17,8 @@
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "util/failpoint.h"
+#include "util/net.h"
 
 namespace hoiho::serve {
 namespace {
@@ -296,6 +302,247 @@ TEST(Server, ManyConnections) {
   const auto stats = clients[0].request("STATS");
   ASSERT_TRUE(stats.has_value());
   EXPECT_NE(stats->find("connections_opened=20"), std::string::npos) << *stats;
+}
+
+// --- fault tolerance (DESIGN.md §9) ------------------------------------------
+
+// mtime on most filesystems ticks at jiffy granularity; back-to-back writes
+// within one tick would compare equal and defeat the watch tests.
+void let_mtime_tick() { std::this_thread::sleep_for(std::chrono::milliseconds(20)); }
+
+TEST(ModelStore, PollWatchDebouncesThenReloads) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = temp_path("watch_model.txt");
+  write_model(path, he_net_model(dict), dict);
+  ModelStore store(dict, path);
+  using WO = ModelStore::WatchOutcome;
+
+  // A new mtime must be seen twice before the reload happens.
+  EXPECT_EQ(store.poll_watch(), WO::kDebounced);
+  EXPECT_EQ(store.poll_watch(), WO::kReloaded);
+  EXPECT_EQ(store.current()->convention_count, 1u);
+  EXPECT_EQ(store.poll_watch(), WO::kUnchanged);
+  EXPECT_EQ(store.poll_watch(), WO::kUnchanged);
+
+  // A transiently missing file (mid-rename deploy) is not a failed reload.
+  ASSERT_EQ(::unlink(path.c_str()), 0);
+  EXPECT_EQ(store.poll_watch(), WO::kMissing);
+  EXPECT_EQ(store.poll_watch(), WO::kMissing);
+  EXPECT_TRUE(store.current()->geolocator.locate("e0.cr1.ash1.he.net").has_value());
+
+  let_mtime_tick();
+  write_model(path, zayo_model(dict), dict);
+  EXPECT_EQ(store.poll_watch(), WO::kDebounced);
+  EXPECT_EQ(store.poll_watch(), WO::kReloaded);
+  EXPECT_TRUE(store.current()->geolocator.locate("lhr1.zayo.com").has_value());
+}
+
+TEST(ModelStore, PollWatchReportsCorruptModelOncePerChange) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = temp_path("watch_corrupt.txt");
+  write_model(path, he_net_model(dict), dict);
+  ModelStore store(dict, path);
+  using WO = ModelStore::WatchOutcome;
+  EXPECT_EQ(store.poll_watch(), WO::kDebounced);
+  EXPECT_EQ(store.poll_watch(), WO::kReloaded);
+
+  let_mtime_tick();
+  { std::ofstream out(path); out << "Z,bogus\n"; }
+  std::string error;
+  EXPECT_EQ(store.poll_watch(&error), WO::kDebounced);
+  EXPECT_EQ(store.poll_watch(&error), WO::kReloadFailed);
+  EXPECT_FALSE(error.empty());
+  // The failure is not re-reported every poll: the bad stamp was recorded.
+  EXPECT_EQ(store.poll_watch(), WO::kUnchanged);
+  // And the old model keeps serving throughout.
+  EXPECT_TRUE(store.current()->geolocator.locate("e0.cr1.ash1.he.net").has_value());
+}
+
+TEST(ModelStore, ReloadFailpointInjectsFailure) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = temp_path("fp_model.txt");
+  write_model(path, he_net_model(dict), dict);
+  ModelStore store(dict, path);
+  ASSERT_TRUE(util::failpoint::configure("store.reload", "error"));
+  const auto err = store.reload();
+  util::failpoint::reset();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("injected"), std::string::npos) << *err;
+  EXPECT_FALSE(store.reload().has_value());  // disarmed: loads fine
+}
+
+TEST(Server, DeadlineExpiredBatchesAnswerErrDeadline) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  ModelStore store(dict);
+  store.install(he_net_model(dict));
+  ServerConfig config;
+  config.request_deadline_ms = 20;
+  ASSERT_TRUE(util::failpoint::configure("serve.process", "delay:80"));
+  LiveServer server(store, config);
+  auto client = Client::connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.has_value());
+  const auto resp = client->request("e0.cr1.ash1.he.net");
+  util::failpoint::reset();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(*resp, "ERR,deadline");
+  EXPECT_GE(server->metrics().deadline_expired.load(), 1u);
+  EXPECT_GE(server->metrics().injected_faults.load(), 1u);
+}
+
+TEST(Server, ShedsAboveMaxInflight) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  ModelStore store(dict);
+  store.install(he_net_model(dict));
+  ServerConfig config;
+  config.max_inflight = 1;
+  // One slow batch holds the single inflight slot; the next must shed.
+  ASSERT_TRUE(util::failpoint::configure("serve.process", "delay:200,times=1"));
+  LiveServer server(store, config);
+  auto client = Client::connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.has_value());
+  ASSERT_TRUE(client->send_line("e0.cr1.ash1.he.net"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(client->send_line("e0.cr1.ash1.he.net"));
+  const auto first = client->read_line();
+  const auto second = client->read_line();
+  util::failpoint::reset();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(classify_response(*first), ResponseKind::kHit) << *first;
+  EXPECT_EQ(*second, "ERR,busy");
+  EXPECT_EQ(server->metrics().shed_busy.load(), 1u);
+}
+
+TEST(Server, IdleConnectionsAreReaped) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  ModelStore store(dict);
+  store.install(he_net_model(dict));
+  ServerConfig config;
+  config.idle_timeout_ms = 50;
+  LiveServer server(store, config);
+  auto client = Client::connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.has_value());
+  const auto resp = client->request("e0.cr1.ash1.he.net");
+  ASSERT_TRUE(resp.has_value());
+  // Stop talking; the server must close the connection from its side.
+  EXPECT_FALSE(client->read_line().has_value());  // EOF from the reap
+  EXPECT_GE(server->metrics().idle_closed.load(), 1u);
+}
+
+TEST(Server, GracefulDrainDeliversInFlightThenExits) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  ModelStore store(dict);
+  store.install(he_net_model(dict));
+  ServerConfig config;
+  config.drain_timeout_ms = 2000;
+  // The in-flight batch sleeps in a worker while drain is requested.
+  ASSERT_TRUE(util::failpoint::configure("serve.process", "delay:100,times=1"));
+  LiveServer server(store, config);
+  auto client = Client::connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.has_value());
+  ASSERT_TRUE(client->send_line("e0.cr1.ash1.he.net"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server->drain();
+  // The in-flight answer still arrives, then the server closes the
+  // connection and the run loop exits on its own.
+  const auto resp = client->read_line();
+  util::failpoint::reset();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(classify_response(*resp), ResponseKind::kHit) << *resp;
+  EXPECT_FALSE(client->read_line().has_value());
+  // New connections are refused once the listener is gone.
+  for (int i = 0; i < 50; ++i) {
+    if (!Client::connect("127.0.0.1", server->port()).has_value()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(Client::connect("127.0.0.1", server->port()).has_value());
+}
+
+TEST(Client, ConnectWithRetryGivesUpAfterMaxAttempts) {
+  ClientOptions options;
+  options.max_attempts = 2;
+  options.backoff_initial_ms = 1;
+  options.connect_timeout_ms = 500;
+  std::string error;
+  // Port 1 on loopback: nothing listens there in any sane environment.
+  const auto client = Client::connect_with_retry("127.0.0.1", 1, options, &error);
+  EXPECT_FALSE(client.has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Client, ConnectWithRetrySurvivesLateServer) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  ModelStore store(dict);
+  store.install(he_net_model(dict));
+  // Reserve a port, then bring the server up only after a delay while the
+  // client is already retrying against it.
+  ServerConfig config;
+  std::unique_ptr<LiveServer> server;
+  std::thread starter;
+  {
+    // Find a free port by binding and closing (small race, fine for tests).
+    std::string error;
+    util::Fd probe = util::listen_tcp(0, &error, false);
+    ASSERT_TRUE(probe.valid()) << error;
+    const auto port = util::local_port(probe.get());
+    ASSERT_TRUE(port.has_value());
+    config.port = *port;
+    probe.reset();
+    starter = std::thread([&server, &store, config]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      server = std::make_unique<LiveServer>(store, config);
+    });
+  }
+  ClientOptions options;
+  options.max_attempts = 40;
+  options.backoff_initial_ms = 20;
+  options.backoff_max_ms = 100;
+  options.connect_timeout_ms = 500;
+  std::string error;
+  auto client = Client::connect_with_retry("127.0.0.1", config.port, options, &error);
+  starter.join();
+  ASSERT_TRUE(client.has_value()) << error;
+  const auto resp = client->request("e0.cr1.ash1.he.net");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(classify_response(*resp), ResponseKind::kHit);
+}
+
+TEST(Client, ReadTimeoutIsDistinguishableFromEof) {
+  // A listener that never accepts: the connect succeeds (backlog) but no
+  // response ever comes, so the read must time out rather than hang.
+  std::string error;
+  util::Fd listener = util::listen_tcp(0, &error, false);
+  ASSERT_TRUE(listener.valid()) << error;
+  const auto port = util::local_port(listener.get());
+  ASSERT_TRUE(port.has_value());
+  ClientOptions options;
+  options.io_timeout_ms = 50;
+  auto client = Client::connect("127.0.0.1", *port, &error, options);
+  ASSERT_TRUE(client.has_value()) << error;
+  ASSERT_TRUE(client->send_line("hello?"));
+  const auto start = std::chrono::steady_clock::now();
+  const auto resp = client->read_line();
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(resp.has_value());
+  EXPECT_TRUE(client->timed_out());
+  EXPECT_LT(waited, std::chrono::seconds(5));
+}
+
+TEST(Server, InjectedAcceptFailureIsTransient) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  ModelStore store(dict);
+  store.install(he_net_model(dict));
+  ASSERT_TRUE(util::failpoint::configure("serve.accept", "error:EMFILE,times=2"));
+  LiveServer server(store);
+  // The first accepts are injected failures; the connection stays in the
+  // backlog and is accepted once the failpoint is exhausted.
+  auto client = Client::connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.has_value());
+  const auto resp = client->request("e0.cr1.ash1.he.net");
+  util::failpoint::reset();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(classify_response(*resp), ResponseKind::kHit);
+  EXPECT_GE(server->metrics().injected_faults.load(), 2u);
 }
 
 }  // namespace
