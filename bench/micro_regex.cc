@@ -1,10 +1,17 @@
 // google-benchmark microbenchmarks for the restricted regex engine:
 // parsing, matching, and capture extraction throughput on the paper's
-// figure-7 patterns.
+// figure-7 patterns, plus compiled-engine (rx::Program) and candidate-set
+// (rx::SetMatcher) subjects sized like real per-suffix candidate pools.
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "regex/matcher.h"
 #include "regex/parser.h"
+#include "regex/program.h"
+#include "regex/set_matcher.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -61,6 +68,100 @@ void BM_MatchWithSpans(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MatchWithSpans);
+
+// --- compiled engine ---------------------------------------------------------
+
+void BM_ProgramMatchHit(benchmark::State& state) {
+  const auto rx = *rx::parse(kZayo);
+  const rx::Program program = rx::Program::compile(rx);
+  rx::MatchScratch scratch;
+  for (auto _ : state) {
+    bool m = program.match(kSubjectHit, scratch);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_ProgramMatchHit);
+
+void BM_ProgramMatchMiss(benchmark::State& state) {
+  const auto rx = *rx::parse(kZayo);
+  const rx::Program program = rx::Program::compile(rx);
+  rx::MatchScratch scratch;
+  for (auto _ : state) {
+    bool m = program.match(kSubjectMiss, scratch);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_ProgramMatchMiss);
+
+// --- set matching ------------------------------------------------------------
+
+// Candidate pools the size a suffix run actually produces (dozens) up to a
+// stress size (512). Patterns are dialect-shaped variations over distinct
+// operator tails; one of them matches kSetHit, none match kSetMiss.
+std::vector<rx::Regex> make_candidate_set(std::size_t n) {
+  util::Rng rng(n * 2654435761u);
+  static const char* mids[] = {"([a-z]{3})\\d+", "([a-z]{2})-\\d+", "([a-z]+)\\d*",
+                               "(\\d+)-[a-z]+",  "([a-z]{4})\\d++"};
+  static const char* tails[] = {"zayo\\.com", "gin\\.ntt\\.net", "he\\.net",
+                                "cogentco\\.com", "telia\\.net"};
+  std::vector<rx::Regex> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    std::string pattern = "^.+\\.";
+    pattern += mids[rng.next_below(std::size(mids))];
+    pattern += "\\.[a-z]{2}\\.";
+    pattern += tails[rng.next_below(std::size(tails))];
+    pattern += "$";
+    out.push_back(*rx::parse(pattern));
+  }
+  // The one that matches kSetHit, somewhere in the middle of the set.
+  out.insert(out.begin() + static_cast<long>(out.size() / 2), *rx::parse(kZayo));
+  return out;
+}
+
+constexpr const char* kSetHit = kSubjectHit;
+constexpr const char* kSetMiss = "ae-5.r20.snjsca04.us.bb.example.org";
+
+void BM_SetMatchHit(benchmark::State& state) {
+  const std::vector<rx::Regex> regexes = make_candidate_set(state.range(0));
+  rx::SetMatcher set;
+  for (const rx::Regex& r : regexes) set.add(r);
+  set.finalize();
+  rx::MatchScratch scratch;
+  rx::SetMatches matches;
+  for (auto _ : state) {
+    set.match_all(kSetHit, scratch, matches);
+    benchmark::DoNotOptimize(matches.indices.size());
+  }
+}
+BENCHMARK(BM_SetMatchHit)->Arg(8)->Arg(64)->Arg(512)->Name("BM_SetMatch/hit");
+
+void BM_SetMatchMiss(benchmark::State& state) {
+  const std::vector<rx::Regex> regexes = make_candidate_set(state.range(0));
+  rx::SetMatcher set;
+  for (const rx::Regex& r : regexes) set.add(r);
+  set.finalize();
+  rx::MatchScratch scratch;
+  rx::SetMatches matches;
+  for (auto _ : state) {
+    set.match_all(kSetMiss, scratch, matches);
+    benchmark::DoNotOptimize(matches.indices.size());
+  }
+}
+BENCHMARK(BM_SetMatchMiss)->Arg(8)->Arg(64)->Arg(512)->Name("BM_SetMatch/miss");
+
+// Oracle comparison subject: the same pools matched one regex at a time on
+// the AST backtracker — what candidate scoring cost before compilation.
+void BM_SetMatchLegacyLoop(benchmark::State& state) {
+  const std::vector<rx::Regex> regexes = make_candidate_set(state.range(0));
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const rx::Regex& r : regexes)
+      if (rx::match(r, kSetHit).matched) ++hits;
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_SetMatchLegacyLoop)->Arg(8)->Arg(64)->Arg(512)->Name("BM_SetMatch/legacy");
 
 }  // namespace
 

@@ -23,23 +23,27 @@ struct RunResult {
   std::string label;
   std::size_t threads = 1;
   bool cache = true;
+  bool compiled = true;
   double wall_ms = 0;
   double hostnames_per_sec = 0;
   measure::ConsistencyCache::Stats stats;
+  core::StageTimes stages;  // summed over suffixes, rep 0
   std::size_t suffixes = 0, usable = 0;
 };
 
 RunResult time_run(const std::string& label, const sim::World& world,
                    const measure::Measurements& pings, std::size_t threads, bool cache,
-                   std::size_t hostnames, int reps) {
+                   bool compiled, std::size_t hostnames, int reps) {
   core::HoihoConfig config;
   config.threads = threads;
   config.consistency_cache = cache;
+  config.compiled_regex = compiled;
 
   RunResult out;
   out.label = label;
   out.threads = threads;
   out.cache = cache;
+  out.compiled = compiled;
   out.wall_ms = 1e300;
   for (int rep = 0; rep < reps; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -51,6 +55,7 @@ RunResult time_run(const std::string& label, const sim::World& world,
       out.suffixes = result.suffixes.size();
       for (const core::SuffixResult& sr : result.suffixes) {
         out.stats += sr.cache_stats;
+        out.stages += sr.stage_ms;
         if (sr.usable()) ++out.usable;
       }
     }
@@ -90,32 +95,43 @@ int main(int argc, char** argv) {
               world.operators.size(), world.topology.size(), hostnames, groups.size(), hw, reps);
 
   std::vector<RunResult> runs;
-  runs.push_back(time_run("uncached_1t", world, pings, 1, false, hostnames, reps));
-  runs.push_back(time_run("cached_1t", world, pings, 1, true, hostnames, reps));
+  runs.push_back(time_run("uncached_1t", world, pings, 1, false, true, hostnames, reps));
+  runs.push_back(time_run("legacy_1t", world, pings, 1, true, false, hostnames, reps));
+  runs.push_back(time_run("cached_1t", world, pings, 1, true, true, hostnames, reps));
   for (std::size_t t : {std::size_t{2}, std::size_t{4}}) {
-    runs.push_back(time_run("cached_" + std::to_string(t) + "t", world, pings, t, true,
+    runs.push_back(time_run("cached_" + std::to_string(t) + "t", world, pings, t, true, true,
                             hostnames, reps));
   }
   if (hw > 4)
-    runs.push_back(time_run("cached_" + std::to_string(hw) + "t", world, pings, hw, true,
+    runs.push_back(time_run("cached_" + std::to_string(hw) + "t", world, pings, hw, true, true,
                             hostnames, reps));
 
   std::vector<std::vector<std::string>> rows;
-  rows.push_back({"run", "threads", "cache", "wall ms", "hostnames/s", "hit rate", "usable NCs"});
+  rows.push_back({"run", "threads", "cache", "engine", "wall ms", "hostnames/s", "hit rate",
+                  "tag/regex/eval/learn ms", "usable NCs"});
   for (const RunResult& r : runs) {
     char hit[32];
     std::snprintf(hit, sizeof hit, "%.1f%%", 100.0 * r.stats.hit_rate());
     rows.push_back({r.label, std::to_string(r.threads), r.cache ? "on" : "off",
+                    r.compiled ? "compiled" : "ast",
                     fmt3(r.wall_ms),
                     fmt3(r.hostnames_per_sec), hit,
+                    fmt3(r.stages.tag_ms) + "/" + fmt3(r.stages.regex_ms) + "/" +
+                        fmt3(r.stages.eval_ms) + "/" + fmt3(r.stages.learn_ms),
                     std::to_string(r.usable) + "/" + std::to_string(r.suffixes)});
   }
   bench::print_table(rows);
 
-  const double cache_speedup = runs[1].wall_ms <= 0 ? 0 : runs[0].wall_ms / runs[1].wall_ms;
-  const double scale4 = runs[3].wall_ms <= 0 ? 0 : runs[1].wall_ms / runs[3].wall_ms;
-  std::printf("\ncache speedup (1 thread): %.2fx; 4-thread speedup over 1: %.2fx\n",
-              cache_speedup, scale4);
+  const std::size_t i_cached = 2;  // "cached_1t"
+  const double cache_speedup =
+      runs[i_cached].wall_ms <= 0 ? 0 : runs[0].wall_ms / runs[i_cached].wall_ms;
+  const double compiled_speedup =
+      runs[i_cached].wall_ms <= 0 ? 0 : runs[1].wall_ms / runs[i_cached].wall_ms;
+  const double scale4 =
+      runs[i_cached + 2].wall_ms <= 0 ? 0 : runs[i_cached].wall_ms / runs[i_cached + 2].wall_ms;
+  std::printf("\ncache speedup (1 thread): %.2fx; compiled-engine speedup over AST: %.2fx; "
+              "4-thread speedup over 1: %.2fx\n",
+              cache_speedup, compiled_speedup, scale4);
 
   std::ofstream out(out_path);
   out << "{\n";
@@ -130,16 +146,22 @@ int main(int argc, char** argv) {
     const RunResult& r = runs[i];
     out << "    {\"label\": \"" << r.label << "\", \"threads\": " << r.threads
         << ", \"consistency_cache\": " << (r.cache ? "true" : "false")
+        << ", \"compiled_regex\": " << (r.compiled ? "true" : "false")
         << ", \"wall_ms\": " << fmt3(r.wall_ms)
         << ", \"hostnames_per_sec\": " << fmt3(r.hostnames_per_sec)
         << ", \"cache_hit_rate\": " << fmt3(r.stats.hit_rate())
         << ", \"cache_hits\": " << r.stats.hits << ", \"cache_misses\": " << r.stats.misses
         << ", \"prefilter_rejects\": " << r.stats.prefilter_rejects
+        << ", \"stage_ms\": {\"tag\": " << fmt3(r.stages.tag_ms)
+        << ", \"regex\": " << fmt3(r.stages.regex_ms)
+        << ", \"eval\": " << fmt3(r.stages.eval_ms)
+        << ", \"learn\": " << fmt3(r.stages.learn_ms) << "}"
         << ", \"suffixes\": " << r.suffixes << ", \"usable\": " << r.usable << "}"
         << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
   out << "  \"derived\": {\"cache_speedup_1t\": " << fmt3(cache_speedup)
+      << ", \"compiled_speedup_1t\": " << fmt3(compiled_speedup)
       << ", \"speedup_4t_vs_1t\": " << fmt3(scale4) << "}\n";
   out << "}\n";
   if (!out) {

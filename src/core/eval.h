@@ -15,10 +15,12 @@
 
 #include <set>
 #include <span>
+#include <unordered_map>
 
 #include "core/geohint.h"
 #include "measure/consistency.h"
 #include "measure/consistency_cache.h"
+#include "regex/set_matcher.h"
 
 namespace hoiho::core {
 
@@ -34,10 +36,14 @@ struct HostnameEval {
   std::vector<geo::LocationId> locations;  // candidates after narrowing
   geo::LocationId best_location = geo::kInvalidLocation;  // TP only
   bool via_learned = false;     // code resolved through NC.learned
+  bool budget_exhausted = false;  // a regex abandoned its match on the work bound
 };
 
 struct EvalCounts {
   std::size_t tp = 0, fp = 0, fn = 0, unk = 0, none = 0;
+  // Hostnames where at least one regex hit the backtracking work bound; the
+  // outcome recorded for them is inconclusive. Not part of scored().
+  std::size_t budget_exhausted = 0;
 
   long atp() const {
     return static_cast<long>(tp) - static_cast<long>(fp + fn + unk);
@@ -58,6 +64,12 @@ struct NcEvaluation {
   std::size_t unique_count() const { return unique_tp_codes.size(); }
 };
 
+// Scores naming conventions against tagged hostnames.
+//
+// Thread safety: an Evaluator memoizes compiled regex programs and reuses
+// match scratch across calls (the pipeline builds one per suffix run, like
+// the ConsistencyCache), so a single instance must not be shared across
+// threads. Cross-suffix parallelism gives each worker its own evaluator.
 class Evaluator {
  public:
   // `cache`, if non-null, memoizes RTT-consistency verdicts; it must be
@@ -68,7 +80,27 @@ class Evaluator {
   NcEvaluation evaluate(const NamingConvention& nc,
                         std::span<const TaggedHostname> tagged) const;
 
+  // Like evaluate(), but skips the per-hostname detail (per_hostname stays
+  // empty and TP location lists are not materialized). Counts, unique-TP
+  // sets, and therefore ATP/PPV are identical to evaluate() — this is the
+  // cheap form for trial NCs that are scored and discarded.
+  NcEvaluation evaluate_counts(const NamingConvention& nc,
+                               std::span<const TaggedHostname> tagged) const;
+
+  // Batch path for candidate scoring: evaluates every candidate as its own
+  // single-regex NC, equivalent to (but much faster than) calling
+  // evaluate() per candidate — the whole set is compiled into one
+  // rx::SetMatcher and each hostname is matched against it in one pass.
+  std::vector<NcEvaluation> evaluate_candidates(std::span<const GeoRegex> candidates,
+                                                std::span<const TaggedHostname> tagged) const;
+
   HostnameEval evaluate_one(const NamingConvention& nc, const TaggedHostname& tagged) const;
+
+  // Engine selection: compiled rx::Program execution (default) or the AST
+  // backtracker. Both produce byte-identical results (the differential test
+  // holds them to it); the knob exists for that test and for A/B benches.
+  void set_use_compiled(bool on) { use_compiled_ = on; }
+  bool use_compiled() const { return use_compiled_; }
 
   // Ranks candidate locations the way stage 4 does (facility, then
   // population, then id for determinism) and returns the best.
@@ -84,10 +116,44 @@ class Evaluator {
   double slack_ms() const { return slack_ms_; }
 
  private:
+  // The shared scoring core: everything after extraction (dictionary
+  // lookup through `learned` then the reference dictionary, annotation
+  // narrowing, RTT consistency, completeness). Both engines funnel here.
+  // `details` false skips materializing ev.locations / ev.best_location
+  // (counts and outcome are unaffected).
+  HostnameEval evaluate_extraction(const std::map<LearnedKey, geo::LocationId>& learned,
+                                   const TaggedHostname& tagged,
+                                   const std::optional<Extraction>& ex, bool details) const;
+
+  NcEvaluation evaluate_impl(const NamingConvention& nc, std::span<const TaggedHostname> tagged,
+                             bool details) const;
+
+  // Compiled program for `gr`, memoized by printed pattern (candidate sets
+  // and NC-combination trials reuse the same regexes heavily). The printed
+  // key is computed here once per resolution — callers must hoist the
+  // resolution out of per-hostname loops.
+  const rx::Program& program_for(const GeoRegex& gr) const;
+
+  // extract() over programs pre-resolved for one NC; first regex with a
+  // primary code wins. `progs` is parallel to nc.regexes.
+  std::optional<Extraction> extract_compiled(const NamingConvention& nc,
+                                             std::span<const rx::Program* const> progs,
+                                             const dns::Hostname& host,
+                                             bool* budget_exhausted) const;
+
   const geo::GeoDictionary& dict_;
   const measure::Measurements& meas_;
   double slack_ms_;
   measure::ConsistencyCache* cache_;
+  bool use_compiled_ = true;
+  mutable std::unordered_map<std::string, rx::Program> programs_;
+  mutable rx::MatchScratch scratch_;
+  mutable std::vector<rx::Capture> caps_;
+  // Per-call scratch (cleared on entry), so per-hostname scoring does not
+  // allocate: resolved programs for the NC under evaluation, and the
+  // candidate/consistent location lists.
+  mutable std::vector<const rx::Program*> progs_tmp_;
+  mutable std::vector<geo::LocationId> cand_tmp_, cons_tmp_;
 };
 
 }  // namespace hoiho::core

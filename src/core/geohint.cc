@@ -76,30 +76,38 @@ bool NamingConvention::extracts_annotation() const {
   return false;
 }
 
-std::optional<Extraction> extract(const NamingConvention& nc, const dns::Hostname& host) {
+std::optional<Extraction> decode_extraction(const GeoRegex& gr, int index,
+                                            std::string_view subject,
+                                            std::span<const rx::Capture> caps) {
+  if (caps.empty()) return std::nullopt;
+  Extraction ex;
+  ex.regex_index = index;
+  std::string clli4, clli2;
+  for (std::size_t c = 0; c < gr.plan.roles.size() && c < caps.size(); ++c) {
+    const std::string cap = util::to_lower(caps[c].view(subject));
+    switch (gr.plan.roles[c]) {
+      case Role::kCountryCode: ex.cc = cap; break;
+      case Role::kStateCode: ex.st = cap; break;
+      case Role::kClli4: clli4 = cap; break;
+      case Role::kClli2: clli2 = cap; break;
+      default: ex.code = cap; break;
+    }
+  }
+  if (!clli4.empty() || !clli2.empty()) ex.code = clli4 + clli2;
+  if (ex.code.empty()) return std::nullopt;
+  ex.primary = gr.plan.primary();
+  if (ex.primary == Role::kFacility) ex.code = util::squash_alnum(ex.code);
+  return ex;
+}
+
+std::optional<Extraction> extract(const NamingConvention& nc, const dns::Hostname& host,
+                                  bool* budget_exhausted) {
   for (std::size_t i = 0; i < nc.regexes.size(); ++i) {
     const GeoRegex& gr = nc.regexes[i];
-    const std::vector<std::string> caps = rx::capture_strings(gr.regex, host.full);
-    if (caps.empty()) continue;
-
-    Extraction ex;
-    ex.regex_index = static_cast<int>(i);
-    std::string clli4, clli2;
-    for (std::size_t c = 0; c < gr.plan.roles.size() && c < caps.size(); ++c) {
-      const std::string cap = util::to_lower(caps[c]);
-      switch (gr.plan.roles[c]) {
-        case Role::kCountryCode: ex.cc = cap; break;
-        case Role::kStateCode: ex.st = cap; break;
-        case Role::kClli4: clli4 = cap; break;
-        case Role::kClli2: clli2 = cap; break;
-        default: ex.code = cap; break;
-      }
-    }
-    if (!clli4.empty() || !clli2.empty()) ex.code = clli4 + clli2;
-    if (ex.code.empty()) continue;
-    ex.primary = gr.plan.primary();
-    if (ex.primary == Role::kFacility) ex.code = util::squash_alnum(ex.code);
-    return ex;
+    const rx::MatchResult m = rx::match(gr.regex, host.full);
+    if (budget_exhausted != nullptr && m.budget_exhausted) *budget_exhausted = true;
+    if (!m.matched) continue;
+    if (auto ex = decode_extraction(gr, static_cast<int>(i), host.full, m.captures)) return ex;
   }
   return std::nullopt;
 }

@@ -7,12 +7,14 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "geo/dictionary.h"
 #include "regex/ast.h"
+#include "regex/matcher.h"
 #include "topo/topology.h"
 
 namespace hoiho::core {
@@ -129,7 +131,18 @@ struct Extraction {
 };
 
 // Applies `nc` to `host` (first matching regex wins); nullopt if no regex
-// matches or the match yields no primary code.
-std::optional<Extraction> extract(const NamingConvention& nc, const dns::Hostname& host);
+// matches or the match yields no primary code. When `budget_exhausted` is
+// non-null it is set to true if any regex abandoned its match on the
+// backtracking work bound (the nullopt is then inconclusive).
+std::optional<Extraction> extract(const NamingConvention& nc, const dns::Hostname& host,
+                                  bool* budget_exhausted = nullptr);
+
+// Decodes the capture spans of `gr` (regex number `index` within its NC) on
+// `subject` into an Extraction; nullopt when the plan yields no primary
+// code. Shared by the interpreted path (extract) and the compiled engine
+// paths (Evaluator, Geolocator), so all of them agree byte-for-byte.
+std::optional<Extraction> decode_extraction(const GeoRegex& gr, int index,
+                                            std::string_view subject,
+                                            std::span<const rx::Capture> caps);
 
 }  // namespace hoiho::core

@@ -6,22 +6,41 @@ namespace hoiho::core {
 
 void Geolocator::add(NamingConvention nc) {
   if (nc.suffix.empty()) return;
-  std::string key = nc.suffix;
-  by_suffix_[std::move(key)] = std::move(nc);
+  CompiledConvention cc;
+  cc.nc = std::move(nc);
+  for (const GeoRegex& gr : cc.nc.regexes) cc.matcher.add(gr.regex);
+  cc.matcher.finalize();
+  std::string key = cc.nc.suffix;
+  by_suffix_[std::move(key)] = std::move(cc);
 }
 
 const NamingConvention* Geolocator::convention(std::string_view suffix) const {
   const auto it = by_suffix_.find(suffix);
-  return it == by_suffix_.end() ? nullptr : &it->second;
+  return it == by_suffix_.end() ? nullptr : &it->second.nc;
 }
 
 std::optional<Geolocation> Geolocator::locate(std::string_view hostname) const {
   const auto host = dns::parse_hostname(hostname);
   if (!host) return std::nullopt;
-  const NamingConvention* nc = convention(host->suffix());
-  if (nc == nullptr) return std::nullopt;
+  const auto it = by_suffix_.find(host->suffix());
+  if (it == by_suffix_.end()) return std::nullopt;
+  const CompiledConvention& cc = it->second;
+  const NamingConvention* nc = &cc.nc;
 
-  const std::optional<Extraction> ex = extract(*nc, *host);
+  // Concurrent locate() calls (serve workers) share the immutable matcher
+  // but need their own mutable match state.
+  static thread_local rx::MatchScratch scratch;
+  static thread_local rx::SetMatches matches;
+  cc.matcher.match_all(host->full, scratch, matches);
+
+  // Same semantics as extract(): first regex (in convention order) whose
+  // match decodes to a non-empty code wins.
+  std::optional<Extraction> ex;
+  for (std::size_t k = 0; k < matches.indices.size() && !ex; ++k) {
+    const std::size_t idx = matches.indices[k];
+    ex = decode_extraction(nc->regexes[idx], static_cast<int>(idx), host->full,
+                           matches.captures(k));
+  }
   if (!ex) return std::nullopt;
 
   const geo::HintType dt = dictionary_for(ex->primary);

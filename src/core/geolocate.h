@@ -18,6 +18,7 @@
 
 #include "core/geohint.h"
 #include "dns/hostname.h"
+#include "regex/set_matcher.h"
 
 namespace hoiho::core {
 
@@ -35,9 +36,19 @@ class Geolocator {
   explicit Geolocator(const geo::GeoDictionary& dict) : dict_(dict) {}
 
   // Registers a convention; replaces any previous one for the same suffix.
+  // The convention's regexes are compiled into an rx::SetMatcher here, once,
+  // so every locate() runs prebuilt programs (a ModelSnapshot in src/serve/
+  // therefore carries its matchers ready-made across hot reloads).
   void add(NamingConvention nc);
 
   std::size_t convention_count() const { return by_suffix_.size(); }
+
+  // Total compiled regex programs across all conventions (serving metrics).
+  std::size_t program_count() const {
+    std::size_t n = 0;
+    for (const auto& [suffix, cc] : by_suffix_) n += cc.matcher.size();
+    return n;
+  }
 
   // Suffix-match fast path: heterogeneous lookup, so the per-request
   // suffix string_view never materializes a std::string.
@@ -63,8 +74,14 @@ class Geolocator {
     }
   };
 
+  // A convention plus its regexes compiled for the serving hot path.
+  struct CompiledConvention {
+    NamingConvention nc;
+    rx::SetMatcher matcher;
+  };
+
   const geo::GeoDictionary& dict_;
-  std::unordered_map<std::string, NamingConvention, SuffixHash, std::equal_to<>> by_suffix_;
+  std::unordered_map<std::string, CompiledConvention, SuffixHash, std::equal_to<>> by_suffix_;
 };
 
 }  // namespace hoiho::core

@@ -1,6 +1,7 @@
 #include "core/hoiho.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/thread_pool.h"
 
@@ -27,17 +28,67 @@ std::size_t HoihoResult::count(NcClass c) const {
   return n;
 }
 
+std::shared_ptr<const measure::ExpectedRttGrid> Hoiho::expected_rtt_grid(
+    const measure::Measurements& meas) const {
+  // Cap the eager build: a 10k-location CSV dictionary against 1k VPs would
+  // be 10M haversines and 80 MB up front; the lazy per-cache memo handles
+  // that regime fine.
+  constexpr std::size_t kMaxGridCells = 4u << 20;
+  if (!config_.expected_rtt_grid || meas.vps.empty() ||
+      dict_.size() * meas.vps.size() > kMaxGridCells) {
+    return nullptr;
+  }
+  GridCache& gc = *grid_cache_;
+  const std::scoped_lock lock(gc.mu);
+  const auto same_vps = [&] {
+    if (gc.vp_coords.size() != meas.vps.size()) return false;
+    for (std::size_t i = 0; i < gc.vp_coords.size(); ++i)
+      if (!(gc.vp_coords[i] == meas.vps[i].coord)) return false;
+    return true;
+  };
+  if (gc.grid == nullptr || !same_vps()) {
+    std::vector<geo::Coordinate> coords(dict_.size());
+    for (std::size_t id = 0; id < coords.size(); ++id)
+      coords[id] = dict_.location(static_cast<geo::LocationId>(id)).coord;
+    gc.grid = std::make_shared<measure::ExpectedRttGrid>(coords, meas.vps);
+    gc.vp_coords.clear();
+    for (const measure::VantagePoint& vp : meas.vps) gc.vp_coords.push_back(vp.coord);
+  }
+  return gc.grid;
+}
+
 SuffixResult Hoiho::run_suffix(const topo::SuffixGroup& group,
                                const measure::Measurements& meas) const {
   if (!config_.consistency_cache) return run_suffix_impl(group, meas, nullptr);
   // One cache per suffix run, shared by stages 2-4. The cache is used from
   // this thread only; cross-suffix parallelism in run() gives each worker
-  // its own cache.
-  measure::ConsistencyCache cache(meas, dict_.size(), config_.apparent.slack_ms);
+  // its own cache. The expected-RTT grid behind it IS shared across workers
+  // (immutable once built).
+  const std::shared_ptr<const measure::ExpectedRttGrid> grid = expected_rtt_grid(meas);
+  measure::ConsistencyCache cache(meas, dict_.size(), config_.apparent.slack_ms,
+                                  /*prefilter=*/true, grid.get());
   SuffixResult result = run_suffix_impl(group, meas, &cache);
   result.cache_stats = cache.stats();
   return result;
 }
+
+namespace {
+
+// Accumulates wall time into a StageTimes field across interleaved stages.
+class Stopwatch {
+ public:
+  explicit Stopwatch(double& sink) : sink_(sink), t0_(std::chrono::steady_clock::now()) {}
+  ~Stopwatch() {
+    sink_ += std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0_)
+                 .count();
+  }
+
+ private:
+  double& sink_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace
 
 SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
                                     const measure::Measurements& meas,
@@ -47,75 +98,103 @@ SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
   result.hostname_count = group.hostnames.size();
 
   // Stage 2: tag apparent geohints.
-  const ApparentTagger tagger(dict_, meas, config_.apparent, cache);
-  result.tagged = tagger.tag_all(group.hostnames);
+  {
+    const Stopwatch sw(result.stage_ms.tag_ms);
+    const ApparentTagger tagger(dict_, meas, config_.apparent, cache);
+    result.tagged = tagger.tag_all(group.hostnames);
+  }
   for (const TaggedHostname& th : result.tagged)
     if (th.has_hint()) ++result.tagged_count;
   if (result.tagged_count < config_.min_tagged_hostnames) return result;
 
-  const Evaluator evaluator(dict_, meas, config_.apparent.slack_ms, cache);
+  Evaluator evaluator(dict_, meas, config_.apparent.slack_ms, cache);
+  evaluator.set_use_compiled(config_.compiled_regex);
 
   // Stage 3 phase 1: base regexes, seeded from a bounded prefix of the
   // tagged hostnames.
-  const RegexGenerator generator(config_.gen);
-  std::vector<TaggedHostname> seeds;
-  for (const TaggedHostname& th : result.tagged) {
-    if (!th.has_hint()) continue;
-    seeds.push_back(th);
-    if (seeds.size() >= config_.max_seed_hostnames) break;
+  GenConfig gen_config = config_.gen;
+  gen_config.compiled_matcher = config_.compiled_regex;
+  const RegexGenerator generator(gen_config);
+  std::vector<GeoRegex> candidates;
+  {
+    const Stopwatch sw(result.stage_ms.regex_ms);
+    std::vector<TaggedHostname> seeds;
+    for (const TaggedHostname& th : result.tagged) {
+      if (!th.has_hint()) continue;
+      seeds.push_back(th);
+      if (seeds.size() >= config_.max_seed_hostnames) break;
+    }
+    candidates = generator.generate_base(seeds);
   }
-  std::vector<GeoRegex> candidates = generator.generate_base(seeds);
   if (candidates.empty()) return result;
 
-  // Rank base candidates by ATP and prune.
+  // Rank base candidates by ATP and prune — the whole set is scored in one
+  // SetMatcher pass per hostname. The survivors' evaluations are kept and
+  // handed to the NC builder, which then only scores the regexes that
+  // merge/embed add below them.
+  std::vector<NcEvaluation> base_evals;
   {
+    const Stopwatch sw(result.stage_ms.eval_ms);
+    std::vector<NcEvaluation> evals = evaluator.evaluate_candidates(candidates, result.tagged);
     struct Ranked {
       GeoRegex gr;
-      long atp;
+      NcEvaluation eval;
     };
     std::vector<Ranked> ranked;
     ranked.reserve(candidates.size());
-    for (GeoRegex& gr : candidates) {
-      NamingConvention nc;
-      nc.suffix = group.suffix;
-      nc.regexes.push_back(gr);
-      const NcEvaluation ev = evaluator.evaluate(nc, result.tagged);
-      if (ev.counts.tp == 0) continue;
-      ranked.push_back(Ranked{std::move(gr), ev.counts.atp()});
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (evals[i].counts.tp == 0) continue;
+      ranked.push_back(Ranked{std::move(candidates[i]), std::move(evals[i])});
     }
-    std::stable_sort(ranked.begin(), ranked.end(),
-                     [](const Ranked& a, const Ranked& b) { return a.atp > b.atp; });
+    std::stable_sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+      return a.eval.counts.atp() > b.eval.counts.atp();
+    });
     if (ranked.size() > config_.max_candidates) ranked.resize(config_.max_candidates);
     candidates.clear();
-    for (Ranked& r : ranked) candidates.push_back(std::move(r.gr));
+    base_evals.reserve(ranked.size());
+    for (Ranked& r : ranked) {
+      candidates.push_back(std::move(r.gr));
+      base_evals.push_back(std::move(r.eval));
+    }
   }
   if (candidates.empty()) return result;
 
-  // Stage 3 phase 2: merge similar regexes.
   {
-    const std::vector<GeoRegex> merged = generator.merge(candidates);
-    candidates.insert(candidates.end(), merged.begin(), merged.end());
-  }
-  // Stage 3 phase 3: embed character classes.
-  {
-    std::vector<GeoRegex> refined;
-    for (const GeoRegex& gr : candidates) {
-      if (auto r = generator.embed_classes(gr, result.tagged)) refined.push_back(std::move(*r));
+    const Stopwatch sw(result.stage_ms.regex_ms);
+    // Stage 3 phase 2: merge similar regexes.
+    {
+      const std::vector<GeoRegex> merged = generator.merge(candidates);
+      candidates.insert(candidates.end(), merged.begin(), merged.end());
     }
-    candidates.insert(candidates.end(), refined.begin(), refined.end());
+    // Stage 3 phase 3: embed character classes.
+    {
+      std::vector<GeoRegex> refined;
+      for (const GeoRegex& gr : candidates) {
+        if (auto r = generator.embed_classes(gr, result.tagged)) refined.push_back(std::move(*r));
+      }
+      candidates.insert(candidates.end(), refined.begin(), refined.end());
+    }
+    dedup_regexes(candidates);
   }
-  dedup_regexes(candidates);
 
   // Stage 3 phase 4: build candidate NCs.
   const NcBuilder builder(evaluator, config_.sets);
-  std::vector<NcBuilder::Candidate> ncs = builder.build(group.suffix, std::move(candidates),
-                                                        result.tagged);
+  std::vector<NcBuilder::Candidate> ncs;
+  {
+    const Stopwatch sw(result.stage_ms.eval_ms);
+    // The pruned base regexes sit (deduplicated, in rank order) at the front
+    // of `candidates`: merge/embed only append, and dedup keeps first
+    // occurrences, so base_evals still lines up with the prefix.
+    ncs = builder.build(group.suffix, std::move(candidates), result.tagged,
+                        std::move(base_evals));
+  }
   if (ncs.empty()) return result;
 
   // Stage 4: learn operator geohints for the top candidates, then
   // re-evaluate them (learning can reorder the ranking).
   std::vector<std::vector<LearnedHint>> learned_per(ncs.size());
   if (config_.enable_learning) {
+    const Stopwatch sw(result.stage_ms.learn_ms);
     const GeohintLearner learner(evaluator, config_.learn);
     const std::size_t n = std::min(ncs.size(), config_.learn_top_n);
     for (std::size_t i = 0; i < n; ++i) {

@@ -11,6 +11,9 @@
 // the geohints learned in stage 4, and the stage-5 classification.
 #pragma once
 
+#include <memory>
+#include <mutex>
+
 #include "core/apparent.h"
 #include "core/eval.h"
 #include "core/learn.h"
@@ -54,6 +57,37 @@ struct HoihoConfig {
   // Memoize RTT-consistency verdicts in a per-suffix-run cache shared by
   // stages 2-4 (off reproduces the uncached hot path, for benchmarking).
   bool consistency_cache = true;
+
+  // Precompute the (location, VP) speed-of-light RTT grid once per VP set
+  // and share it read-only across suffix runs, instead of each suffix cache
+  // memoizing haversines lazily. Same doubles, same verdicts; skipped for
+  // dictionaries/VP sets whose product exceeds an internal size cap. Only
+  // meaningful with `consistency_cache` on.
+  bool expected_rtt_grid = true;
+
+  // Run regexes on the compiled engine (rx::Program / rx::SetMatcher); off
+  // falls back to the AST backtracker. Results are byte-identical either
+  // way (tests/test_regex_differential.cc); the knob exists for that test
+  // and for before/after benchmarking.
+  bool compiled_regex = true;
+};
+
+// Wall time per pipeline stage of one suffix run; benches aggregate these
+// into the per-stage breakdown in BENCH_PIPELINE.json.
+struct StageTimes {
+  double tag_ms = 0;    // stage 2: apparent-geohint tagging
+  double regex_ms = 0;  // stage 3 generation: base + merge + class embedding
+  double eval_ms = 0;   // stage 3 scoring: candidate ranking + NC building
+  double learn_ms = 0;  // stage 4: geohint learning + re-evaluation
+
+  StageTimes& operator+=(const StageTimes& o) {
+    tag_ms += o.tag_ms;
+    regex_ms += o.regex_ms;
+    eval_ms += o.eval_ms;
+    learn_ms += o.learn_ms;
+    return *this;
+  }
+  double total_ms() const { return tag_ms + regex_ms + eval_ms + learn_ms; }
 };
 
 // Result for one suffix.
@@ -71,6 +105,9 @@ struct SuffixResult {
   // Consistency-cache counters for this suffix run (all zero when the
   // cache is disabled); benches aggregate these into pipeline hit rates.
   measure::ConsistencyCache::Stats cache_stats;
+
+  // Per-stage wall time of this suffix run.
+  StageTimes stage_ms;
 
   bool has_nc() const { return !nc.empty(); }
   bool usable() const { return has_nc() && is_usable(cls); }
@@ -102,11 +139,27 @@ class Hoiho {
   const geo::GeoDictionary& dictionary() const { return dict_; }
 
  private:
+  // Expected-RTT grid memo, keyed by the VP coordinates it was built for
+  // (the dictionary half of the key is fixed per Hoiho). Held behind a
+  // shared_ptr so Hoiho stays copyable and worker threads can share one
+  // build under the mutex.
+  struct GridCache {
+    std::mutex mu;
+    std::vector<geo::Coordinate> vp_coords;
+    std::shared_ptr<const measure::ExpectedRttGrid> grid;
+  };
+
+  // Returns the grid for `meas` (building it on first use), or null when
+  // disabled or over the size cap. The returned pointer keeps it alive.
+  std::shared_ptr<const measure::ExpectedRttGrid> expected_rtt_grid(
+      const measure::Measurements& meas) const;
+
   SuffixResult run_suffix_impl(const topo::SuffixGroup& group, const measure::Measurements& meas,
                                measure::ConsistencyCache* cache) const;
 
   const geo::GeoDictionary& dict_;
   HoihoConfig config_;
+  std::shared_ptr<GridCache> grid_cache_ = std::make_shared<GridCache>();
 };
 
 }  // namespace hoiho::core

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "regex/matcher.h"
+#include "regex/program.h"
 #include "util/strings.h"
 
 namespace hoiho::core {
@@ -272,16 +273,31 @@ std::optional<GeoRegex> RegexGenerator::embed_classes(
   const std::size_t n_nodes = gr.regex.nodes.size();
   std::vector<std::vector<std::string>> texts(n_nodes);
   std::size_t matched = 0;
-  std::vector<rx::Capture> spans;
-  for (const TaggedHostname& th : tagged) {
-    if (!rx::match_with_spans(gr.regex, th.ref.hostname->full, spans)) continue;
-    ++matched;
-    for (std::size_t i = 0; i < n_nodes; ++i)
-      texts[i].emplace_back(spans[i].view(th.ref.hostname->full));
+  if (config_.compiled_matcher) {
+    // Compile once, then one prefiltered run per hostname; the successful
+    // path in the scratch is exactly the per-node span list.
+    const rx::Program program = rx::Program::compile(gr.regex);
+    rx::MatchScratch scratch;
+    for (const TaggedHostname& th : tagged) {
+      const std::string_view full = th.ref.hostname->full;
+      if (!program.match(full, scratch)) continue;
+      ++matched;
+      for (std::size_t i = 0; i < n_nodes; ++i)
+        texts[i].emplace_back(program.node_span(scratch, i).view(full));
+    }
+  } else {
+    std::vector<rx::Capture> spans;
+    for (const TaggedHostname& th : tagged) {
+      if (!rx::match_with_spans(gr.regex, th.ref.hostname->full, spans)) continue;
+      ++matched;
+      for (std::size_t i = 0; i < n_nodes; ++i)
+        texts[i].emplace_back(spans[i].view(th.ref.hostname->full));
+    }
   }
   if (matched < 2) return std::nullopt;
 
   rx::Regex refined;
+  refined.nodes.reserve(n_nodes + 4);
   std::vector<std::size_t> new_index(n_nodes + 1, 0);
   bool changed = false;
   for (std::size_t i = 0; i < n_nodes; ++i) {

@@ -1,20 +1,32 @@
 #include "core/regex_sets.h"
 
 #include <algorithm>
+#include <string_view>
+#include <unordered_set>
 
 namespace hoiho::core {
 
 std::vector<NcBuilder::Candidate> NcBuilder::build(std::string_view suffix,
                                                    std::vector<GeoRegex> regexes,
-                                                   std::span<const TaggedHostname> tagged) const {
+                                                   std::span<const TaggedHostname> tagged,
+                                                   std::vector<NcEvaluation> prefix_evals) const {
+  // Score every candidate not already scored by the caller in one
+  // set-matcher pass per hostname.
+  std::vector<NcEvaluation> evals = std::move(prefix_evals);
+  if (evals.size() > regexes.size()) evals.resize(regexes.size());
+  {
+    std::vector<NcEvaluation> rest = eval_.evaluate_candidates(
+        std::span<const GeoRegex>(regexes).subspan(evals.size()), tagged);
+    for (NcEvaluation& e : rest) evals.push_back(std::move(e));
+  }
   std::vector<Candidate> singles;
   singles.reserve(regexes.size());
-  for (GeoRegex& gr : regexes) {
+  for (std::size_t i = 0; i < regexes.size(); ++i) {
+    if (evals[i].counts.tp == 0) continue;  // never correct: discard outright
     Candidate c;
     c.nc.suffix = std::string(suffix);
-    c.nc.regexes.push_back(std::move(gr));
-    c.eval = eval_.evaluate(c.nc, tagged);
-    if (c.eval.counts.tp == 0) continue;  // never correct: discard outright
+    c.nc.regexes.push_back(std::move(regexes[i]));
+    c.eval = std::move(evals[i]);
     singles.push_back(std::move(c));
   }
   std::stable_sort(singles.begin(), singles.end(), [](const Candidate& a, const Candidate& b) {
@@ -24,40 +36,99 @@ std::vector<NcBuilder::Candidate> NcBuilder::build(std::string_view suffix,
   if (singles.empty()) return singles;
 
   // Combination phase, seeded with the top-ranked regex.
-  Candidate working = singles.front();
-  const double start_ppv = working.eval.counts.ppv();
+  //
+  // A trial NC extracts with "first member regex whose decode is non-empty",
+  // and trial NCs carry no learned geohints — exactly the conditions under
+  // which the per-single evaluations above are composable: for each
+  // hostname the trial's outcome is the outcome of its first member whose
+  // single-regex evaluation extracted (regex_index >= 0), or FN/none when
+  // no member extracted. Trials are therefore scored by table lookup over
+  // the singles' per_hostname records — no regex is re-executed and no
+  // hostname re-scored — and only the accepted combination is evaluated in
+  // full at the end (the learner and final results read per_hostname).
+  struct TrialScore {
+    EvalCounts counts;
+    std::vector<std::size_t> unique_tp;  // distinct TP codes per member
+  };
+  const auto score_members = [&](std::span<const std::size_t> members) {
+    TrialScore ts;
+    ts.unique_tp.resize(members.size());
+    std::vector<std::set<std::string_view>> uniq(members.size());
+    for (std::size_t h = 0; h < tagged.size(); ++h) {
+      const HostnameEval* win = nullptr;
+      std::size_t win_at = 0;
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        const HostnameEval& ev = singles[members[k]].eval.per_hostname[h];
+        if (ev.regex_index >= 0) {
+          win = &ev;
+          win_at = k;
+          break;
+        }
+      }
+      if (win == nullptr) {
+        if (tagged[h].has_hint())
+          ++ts.counts.fn;
+        else
+          ++ts.counts.none;
+        continue;
+      }
+      switch (win->outcome) {
+        case Outcome::kTP:
+          ++ts.counts.tp;
+          uniq[win_at].insert(win->code);
+          break;
+        case Outcome::kFP: ++ts.counts.fp; break;
+        case Outcome::kFN: ++ts.counts.fn; break;
+        case Outcome::kUNK: ++ts.counts.unk; break;
+        case Outcome::kNone: ++ts.counts.none; break;
+      }
+    }
+    for (std::size_t k = 0; k < members.size(); ++k) ts.unique_tp[k] = uniq[k].size();
+    return ts;
+  };
+
+  std::vector<std::size_t> members{0};
+  TrialScore working_score = score_members(members);
+  const double start_ppv = working_score.counts.ppv();
+  std::vector<std::string> keys(singles.size());
+  for (std::size_t i = 0; i < singles.size(); ++i)
+    keys[i] = singles[i].nc.regexes[0].regex.to_string();
+  std::unordered_set<std::string_view> in_working;
+  in_working.insert(keys[0]);
   bool grew = true;
   std::size_t passes = 0;
   while (grew && ++passes <= config_.max_passes) {
     grew = false;
     for (std::size_t i = 1; i < singles.size(); ++i) {
       // Skip regexes already in the working NC.
-      const std::string key = singles[i].nc.regexes[0].regex.to_string();
-      bool present = false;
-      for (const GeoRegex& gr : working.nc.regexes)
-        if (gr.regex.to_string() == key) present = true;
-      if (present) continue;
+      if (in_working.contains(keys[i])) continue;
 
-      Candidate trial;
-      trial.nc.suffix = working.nc.suffix;
-      trial.nc.regexes = working.nc.regexes;
-      trial.nc.regexes.push_back(singles[i].nc.regexes[0]);
-      trial.eval = eval_.evaluate(trial.nc, tagged);
-
-      if (trial.eval.counts.atp() <= working.eval.counts.atp()) continue;
-      if (trial.eval.counts.ppv() + 1e-12 < start_ppv - config_.ppv_tolerance) continue;
-      bool all_unique = true;
-      for (const auto& codes : trial.eval.regex_unique_tp)
-        if (codes.size() < config_.min_unique_per_regex) all_unique = false;
-      if (!all_unique) continue;
-
-      working = std::move(trial);
+      members.push_back(i);
+      const TrialScore trial = score_members(members);
+      bool accept = trial.counts.atp() > working_score.counts.atp() &&
+                    trial.counts.ppv() + 1e-12 >= start_ppv - config_.ppv_tolerance;
+      if (accept) {
+        for (const std::size_t u : trial.unique_tp)
+          if (u < config_.min_unique_per_regex) accept = false;
+      }
+      if (!accept) {
+        members.pop_back();
+        continue;
+      }
+      working_score = trial;
+      in_working.insert(keys[i]);
       grew = true;
     }
   }
 
   std::vector<Candidate> out;
-  if (working.nc.regexes.size() > 1) out.push_back(std::move(working));
+  if (members.size() > 1) {
+    Candidate working;
+    working.nc.suffix = std::string(suffix);
+    for (const std::size_t m : members) working.nc.regexes.push_back(singles[m].nc.regexes[0]);
+    working.eval = eval_.evaluate(working.nc, tagged);
+    out.push_back(std::move(working));
+  }
   for (Candidate& c : singles) out.push_back(std::move(c));
   std::stable_sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
     return a.eval.counts.atp() > b.eval.counts.atp();

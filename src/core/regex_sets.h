@@ -35,9 +35,14 @@ class NcBuilder {
 
   // Returns all candidate NCs: each surviving single regex as a singleton
   // NC, plus any multi-regex NCs the combination phase built. Sorted by
-  // descending ATP.
+  // descending ATP. `prefix_evals`, when non-empty, holds the
+  // evaluate_candidates() results for the first prefix_evals.size() entries
+  // of `regexes` (the caller already scored them while ranking); only the
+  // remainder is evaluated here. Per-regex evaluations are independent of
+  // the surrounding set, so reuse is exact.
   std::vector<Candidate> build(std::string_view suffix, std::vector<GeoRegex> regexes,
-                               std::span<const TaggedHostname> tagged) const;
+                               std::span<const TaggedHostname> tagged,
+                               std::vector<NcEvaluation> prefix_evals = {}) const;
 
  private:
   const Evaluator& eval_;

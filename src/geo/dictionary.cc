@@ -60,14 +60,25 @@ LocationId GeoDictionary::add_location(Location loc) {
       states_any_.insert(st);
     }
   }
+  // Precompute the abbreviation word splits and bucket the location by the
+  // first letter of each name variant (the first-char rule lets
+  // abbreviation_candidates skip every other bucket).
+  abbrev_index_.push_back(build_abbrev_index(loc));
+  bool bucketed[26] = {};
+  for (const auto& words : abbrev_index_.back().variant_words) {
+    if (words.empty()) continue;
+    const char c = words[0][0];
+    if (c < 'a' || c > 'z' || bucketed[c - 'a']) continue;
+    bucketed[c - 'a'] = true;
+    abbrev_first_[static_cast<std::size_t>(c - 'a')].push_back(id);
+  }
   locations_.push_back(std::move(loc));
   codes_.emplace_back();
   facility_addrs_.emplace_back();
   return id;
 }
 
-const std::unordered_map<std::string, std::vector<LocationId>>* GeoDictionary::map_for(
-    HintType t) const {
+const GeoDictionary::CodeMap* GeoDictionary::map_for(HintType t) const {
   switch (t) {
     case HintType::kIata: return &iata_;
     case HintType::kIcao: return &icao_;
@@ -79,9 +90,8 @@ const std::unordered_map<std::string, std::vector<LocationId>>* GeoDictionary::m
   }
 }
 
-std::unordered_map<std::string, std::vector<LocationId>>* GeoDictionary::map_for(HintType t) {
-  return const_cast<std::unordered_map<std::string, std::vector<LocationId>>*>(
-      static_cast<const GeoDictionary*>(this)->map_for(t));
+GeoDictionary::CodeMap* GeoDictionary::map_for(HintType t) {
+  return const_cast<CodeMap*>(static_cast<const GeoDictionary*>(this)->map_for(t));
 }
 
 void GeoDictionary::add_code(HintType type, std::string_view code, LocationId id) {
@@ -127,7 +137,9 @@ void GeoDictionary::add_city_alias(std::string_view name, LocationId id) {
 std::span<const LocationId> GeoDictionary::lookup(HintType type, std::string_view code) const {
   const auto* map = map_for(type);
   if (map == nullptr) return {};
-  const auto it = map->find(util::to_lower(code));
+  // Extracted codes are already lower-case; only allocate the canonical
+  // form when a caller passes mixed case.
+  const auto it = util::is_lower(code) ? map->find(code) : map->find(util::to_lower(code));
   if (it == map->end()) return {};
   return it->second;
 }
@@ -145,6 +157,7 @@ bool GeoDictionary::state_known(std::string_view cc, std::string_view st) const 
 }
 
 bool GeoDictionary::any_state_known(std::string_view st) const {
+  if (util::is_lower(st)) return states_any_.contains(st);
   return states_any_.contains(util::to_lower(st));
 }
 
@@ -154,7 +167,11 @@ bool GeoDictionary::matches_country(std::string_view cc, LocationId id) const {
 
 bool GeoDictionary::matches_state(std::string_view st, LocationId id) const {
   const std::string& s = locations_[id].state;
-  return !s.empty() && util::to_lower(st) == s;
+  if (s.empty() || st.size() != s.size()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(st[i])) != s[i]) return false;
+  }
+  return true;
 }
 
 std::span<const std::string> GeoDictionary::facility_addresses(LocationId id) const {
@@ -164,8 +181,12 @@ std::span<const std::string> GeoDictionary::facility_addresses(LocationId id) co
 std::vector<LocationId> GeoDictionary::abbreviation_candidates(
     std::string_view abbrev, const AbbrevOptions& opts) const {
   std::vector<LocationId> out;
-  for (LocationId id = 0; id < locations_.size(); ++id) {
-    if (is_location_abbrev(abbrev, locations_[id], opts)) out.push_back(id);
+  // Every accepted abbreviation starts with the first letter of the place
+  // name, so only that bucket can match; buckets are in add order, keeping
+  // the output ascending like the full scan it replaces.
+  if (abbrev.empty() || abbrev[0] < 'a' || abbrev[0] > 'z') return out;
+  for (LocationId id : abbrev_first_[static_cast<std::size_t>(abbrev[0] - 'a')]) {
+    if (is_location_abbrev(abbrev, abbrev_index_[id], opts)) out.push_back(id);
   }
   return out;
 }

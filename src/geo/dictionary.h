@@ -9,6 +9,7 @@
 // (geo/dictionary_io.h).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "geo/location.h"
+#include "util/strings.h"
 
 namespace hoiho::geo {
 
@@ -107,27 +109,37 @@ class GeoDictionary {
   std::span<const std::string> facility_addresses(LocationId id) const;
 
   // All locations whose place name `abbrev` plausibly abbreviates (§5.4).
-  // Scans the whole atlas; fine at dictionary scale.
+  // Only locations whose name starts with abbrev[0] are tested (the
+  // first-char rule), against word splits precomputed at add_location time.
   std::vector<LocationId> abbreviation_candidates(std::string_view abbrev,
                                                   const AbbrevOptions& opts = {}) const;
 
  private:
+  // String maps are probed with string_view keys (transparent hash) so hot
+  // lookups don't allocate a canonical copy.
+  using CodeMap = std::unordered_map<std::string, std::vector<LocationId>,
+                                     util::TransparentStringHash, std::equal_to<>>;
+  using CodeSet =
+      std::unordered_set<std::string, util::TransparentStringHash, std::equal_to<>>;
+
   std::vector<Location> locations_;
   std::vector<LocationCodes> codes_;
   std::vector<std::vector<std::string>> facility_addrs_;  // per location
+  std::vector<PlaceAbbrevIndex> abbrev_index_;            // per location
+  std::array<std::vector<LocationId>, 26> abbrev_first_;  // ids by name first letter
 
-  std::unordered_map<std::string, std::vector<LocationId>> iata_;
-  std::unordered_map<std::string, std::vector<LocationId>> icao_;
-  std::unordered_map<std::string, std::vector<LocationId>> locode_;
-  std::unordered_map<std::string, std::vector<LocationId>> clli_;
-  std::unordered_map<std::string, std::vector<LocationId>> city_;
-  std::unordered_map<std::string, std::vector<LocationId>> facility_;
-  std::unordered_set<std::string> countries_;
-  std::unordered_set<std::string> states_;            // "cc/st"
-  std::unordered_set<std::string> states_any_;        // "st"
+  CodeMap iata_;
+  CodeMap icao_;
+  CodeMap locode_;
+  CodeMap clli_;
+  CodeMap city_;
+  CodeMap facility_;
+  CodeSet countries_;
+  CodeSet states_;            // "cc/st"
+  CodeSet states_any_;        // "st"
 
-  const std::unordered_map<std::string, std::vector<LocationId>>* map_for(HintType t) const;
-  std::unordered_map<std::string, std::vector<LocationId>>* map_for(HintType t);
+  const CodeMap* map_for(HintType t) const;
+  CodeMap* map_for(HintType t);
 };
 
 // Returns the dictionary built from the embedded world atlas (~320 real

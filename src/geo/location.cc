@@ -32,13 +32,21 @@ std::vector<std::string> place_words(std::string_view name) {
 }
 
 bool same_country(std::string_view a, std::string_view b) {
-  auto canon = [](std::string_view cc) -> std::string {
-    std::string s;
-    for (char c : cc) s.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-    if (s == "uk") s = "gb";
-    return s;
+  // Case-insensitive compare with the uk==gb mapping, no allocation (this
+  // runs once per candidate location in annotation narrowing).
+  const auto eq_nocase = [](std::string_view x, std::string_view y) {
+    if (x.size() != y.size()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(x[i])) !=
+          std::tolower(static_cast<unsigned char>(y[i])))
+        return false;
+    }
+    return true;
   };
-  return canon(a) == canon(b);
+  const auto canon = [&](std::string_view cc) {
+    return eq_nocase(cc, "uk") ? std::string_view("gb") : cc;
+  };
+  return eq_nocase(canon(a), canon(b));
 }
 
 namespace {
@@ -89,21 +97,49 @@ bool is_location_abbrev(std::string_view abbrev, const Location& loc,
   return false;
 }
 
-bool is_place_abbrev(std::string_view abbrev, std::string_view name,
-                     const AbbrevOptions& opts) {
-  if (abbrev.empty()) return false;
-  const std::vector<std::string> words = place_words(name);
-  if (words.empty()) return false;
+PlaceAbbrevIndex build_abbrev_index(const Location& loc) {
+  PlaceAbbrevIndex idx;
+  const auto add_variant = [&](const std::string& name) {
+    idx.variant_words.push_back(place_words(name));
+    idx.variant_squashed.push_back(squash_place_name(name));
+  };
+  add_variant(loc.city);
+  if (!loc.state.empty()) add_variant(loc.city + " " + loc.state);
+  if (!loc.country.empty()) add_variant(loc.city + " " + loc.country);
+  return idx;
+}
+
+bool is_location_abbrev(std::string_view abbrev, const PlaceAbbrevIndex& idx,
+                        const AbbrevOptions& opts) {
+  for (std::size_t v = 0; v < idx.variant_words.size(); ++v) {
+    if (is_place_abbrev_words(abbrev, idx.variant_words[v], idx.variant_squashed[v], opts))
+      return true;
+  }
+  return false;
+}
+
+bool is_place_abbrev_words(std::string_view abbrev, const std::vector<std::string>& words,
+                           std::string_view squashed, const AbbrevOptions& opts) {
+  if (abbrev.empty() || words.empty()) return false;
   // The first character of the abbreviation must match the first character
   // of the place name.
   if (abbrev[0] != words[0][0]) return false;
   if (!abbrev_rec(abbrev, 0, words, 0, 0, false)) return false;
   if (opts.require_contiguous4) {
-    const std::string squashed = squash_place_name(name);
     const std::size_t need = std::min<std::size_t>(4, squashed.size());
     if (longest_common_substring(abbrev, squashed) < need) return false;
   }
   return true;
+}
+
+bool is_place_abbrev(std::string_view abbrev, std::string_view name,
+                     const AbbrevOptions& opts) {
+  if (abbrev.empty()) return false;
+  const std::vector<std::string> words = place_words(name);
+  if (words.empty()) return false;
+  const std::string squashed =
+      opts.require_contiguous4 ? squash_place_name(name) : std::string();
+  return is_place_abbrev_words(abbrev, words, squashed, opts);
 }
 
 }  // namespace hoiho::geo

@@ -69,4 +69,26 @@ bool is_location_abbrev(std::string_view abbrev, const Location& loc,
 bool is_place_abbrev(std::string_view abbrev, std::string_view name,
                      const AbbrevOptions& opts = {});
 
+// Precomputed form of the name variants is_location_abbrev(Location) tests:
+// word splits plus squashed names for the contiguous-4 rule. The learner
+// scans the whole atlas once per candidate code, so these are built once per
+// location (GeoDictionary does this on add_location) instead of re-splitting
+// the place name on every test.
+struct PlaceAbbrevIndex {
+  std::vector<std::vector<std::string>> variant_words;  // city, city+state, city+country
+  std::vector<std::string> variant_squashed;            // parallel to variant_words
+};
+PlaceAbbrevIndex build_abbrev_index(const Location& loc);
+
+// Equivalent to is_location_abbrev(abbrev, loc, opts) with idx built from
+// `loc`, without re-deriving the word splits.
+bool is_location_abbrev(std::string_view abbrev, const PlaceAbbrevIndex& idx,
+                        const AbbrevOptions& opts = {});
+
+// Core of is_place_abbrev over a precomputed word split; `squashed` is the
+// squash_place_name() form of the same name (used only when
+// opts.require_contiguous4 is set).
+bool is_place_abbrev_words(std::string_view abbrev, const std::vector<std::string>& words,
+                           std::string_view squashed, const AbbrevOptions& opts = {});
+
 }  // namespace hoiho::geo

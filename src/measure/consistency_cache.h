@@ -21,18 +21,42 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "measure/consistency.h"
 
 namespace hoiho::measure {
 
+// Dense speed-of-light RTT table over every (location, VP) pair. The
+// haversines in rtt_consistent() depend only on the location and VP
+// coordinates, never the router, so one grid serves every suffix cache built
+// over the same dictionary and VP set — including concurrently: the grid is
+// immutable after construction. Entries for invalid coordinates are NaN and
+// are never read (the cache rejects invalid coordinates before scanning).
+class ExpectedRttGrid {
+ public:
+  // `coords[id]` must be the coordinate of dictionary location `id`.
+  ExpectedRttGrid(std::span<const geo::Coordinate> coords, std::span<const VantagePoint> vps);
+
+  double at(geo::LocationId loc, VpId v) const { return rtts_[loc * vp_count_ + v]; }
+  std::size_t location_count() const { return vp_count_ == 0 ? 0 : rtts_.size() / vp_count_; }
+  std::size_t vp_count() const { return vp_count_; }
+
+ private:
+  std::size_t vp_count_;
+  std::vector<double> rtts_;  // [loc * vp_count_ + v]
+};
+
 class ConsistencyCache {
  public:
   // `location_count` is the dictionary size (LocationIds must be < it);
   // `prefilter` disables the closest-VP radius test (for benchmarking).
+  // `grid`, if non-null, supplies precomputed expected RTTs (it must cover
+  // the same locations and VPs and outlive the cache; a mismatched grid is
+  // ignored); without one, expected RTTs are memoized lazily per location.
   ConsistencyCache(const Measurements& meas, std::size_t location_count, double slack_ms = 0.0,
-                   bool prefilter = true);
+                   bool prefilter = true, const ExpectedRttGrid* grid = nullptr);
 
   // Memoized rtt_consistent(meas.pings, meas.vps, r, coord, slack_ms).
   // `coord` must be the coordinate of dictionary location `loc`; callers are
@@ -74,21 +98,28 @@ class ConsistencyCache {
   // Closest-VP bound for one router, computed on first query.
   struct RouterBound {
     bool computed = false;
-    bool constrained = false;   // router has at least one RTT sample
-    geo::Coordinate vp_coord;   // VP with the minimum measured RTT
-    double budget_ms = 0.0;     // that minimum RTT + slack
+    bool constrained = false;  // router has at least one RTT sample
+    VpId vp = 0;               // VP with the minimum measured RTT
+    double budget_ms = 0.0;    // that minimum RTT + slack
   };
 
   Verdict cell(topo::RouterId r, geo::LocationId loc) const;
   void set_cell(topo::RouterId r, geo::LocationId loc, bool verdict);
   const RouterBound& bound(topo::RouterId r);
 
+  // Speed-of-light minimum RTT from VP `v` to `loc`: read from the shared
+  // grid when one is attached, else memoized lazily per location. Verdicts
+  // are unchanged either way — the same doubles are compared.
+  double expected_rtt(geo::LocationId loc, const geo::Coordinate& coord, VpId v);
+
   const Measurements& meas_;
   double slack_ms_;
   bool prefilter_;
   std::size_t location_count_;
+  const ExpectedRttGrid* grid_;
   std::vector<std::vector<std::uint8_t>> rows_;  // [router] -> packed 2-bit cells
   std::vector<RouterBound> bounds_;
+  std::vector<std::vector<double>> loc_rtts_;  // [location] -> per-VP minimum RTT
   Stats stats_;
 };
 

@@ -6,6 +6,11 @@ void RttMatrix::record(topo::RouterId r, VpId v, double rtt_ms) {
   float& cell = cells_[index(r, v)];
   const float x = static_cast<float>(rtt_ms);
   if (cell < 0 || x < cell) cell = x;
+  auto& [best, best_vp] = closest_[r];
+  if (best < 0 || x < best || (x == best && v < best_vp)) {
+    best = x;
+    best_vp = v;
+  }
 }
 
 bool RttMatrix::responsive(topo::RouterId r) const {
@@ -23,11 +28,8 @@ std::size_t RttMatrix::sample_count(topo::RouterId r) const {
 
 std::optional<std::pair<VpId, double>> RttMatrix::closest_vp(topo::RouterId r) const {
   std::optional<std::pair<VpId, double>> best;
-  for (VpId v = 0; v < vps_; ++v) {
-    const float x = cells_[index(r, v)];
-    if (x < 0) continue;
-    if (!best || x < best->second) best = {v, x};
-  }
+  const auto& [min_rtt, min_vp] = closest_[r];
+  if (min_rtt >= 0) best = {min_vp, min_rtt};
   return best;
 }
 

@@ -31,7 +31,7 @@ struct VantagePoint {
 class RttMatrix {
  public:
   RttMatrix(std::size_t routers, std::size_t vps)
-      : vps_(vps), cells_(routers * vps, kNoSample) {}
+      : vps_(vps), cells_(routers * vps, kNoSample), closest_(routers, {kNoSample, 0}) {}
 
   std::size_t router_count() const { return vps_ == 0 ? 0 : cells_.size() / vps_; }
   std::size_t vp_count() const { return vps_; }
@@ -53,6 +53,8 @@ class RttMatrix {
   std::size_t sample_count(topo::RouterId r) const;
 
   // The VP with the smallest RTT to r, with that RTT; nullopt if none.
+  // O(1): maintained incrementally by record() (ties keep the lowest VpId,
+  // matching what a lowest-index-first scan would pick).
   std::optional<std::pair<VpId, double>> closest_vp(topo::RouterId r) const;
 
   // Number of routers with at least one sample.
@@ -67,6 +69,7 @@ class RttMatrix {
 
   std::size_t vps_;
   std::vector<float> cells_;
+  std::vector<std::pair<float, VpId>> closest_;  // per router: (min RTT, its VP)
 };
 
 // A full measurement campaign: the VPs plus the matrix they produced.

@@ -104,6 +104,7 @@ std::string Regex::to_string() const {
 
 RegexBuilder& RegexBuilder::lit(std::string_view s) {
   if (s.empty()) return *this;
+  if (rx_.nodes.capacity() == 0) rx_.nodes.reserve(8);
   // Merge adjacent literals unless doing so would cross a group boundary:
   // a group opening at the node about to be added, or the previous node
   // closing an already-built group.
@@ -120,6 +121,7 @@ RegexBuilder& RegexBuilder::lit(std::string_view s) {
 }
 
 RegexBuilder& RegexBuilder::cls(CharClass c, Quant q) {
+  if (rx_.nodes.capacity() == 0) rx_.nodes.reserve(8);
   rx_.nodes.push_back(Node::cls_node(std::move(c), q));
   return *this;
 }

@@ -4,10 +4,6 @@ namespace hoiho::rx {
 
 namespace {
 
-// Bounds total backtracking work; generated patterns stay far below this,
-// and hitting the bound reports a non-match instead of hanging.
-constexpr std::uint64_t kMaxSteps = 1'000'000;
-
 class Engine {
  public:
   Engine(const Regex& rx, std::string_view subject)
@@ -25,6 +21,8 @@ class Engine {
     return true;
   }
 
+  bool budget_exhausted() const { return exhausted_; }
+
   // Enables per-node span recording; must be called before run().
   void record_spans(std::vector<Capture>* spans) {
     spans_ = spans;
@@ -38,6 +36,7 @@ class Engine {
   std::vector<Capture> caps_;
   std::vector<Capture>* spans_ = nullptr;
   std::uint64_t steps_ = 0;
+  bool exhausted_ = false;
 
   // Records the span consumed by `node` once the suffix match succeeded —
   // spans on failed branches are unwound for free by never being recorded.
@@ -54,7 +53,10 @@ class Engine {
   }
 
   bool match_from(std::size_t node, std::size_t pos) {
-    if (++steps_ > kMaxSteps) return false;
+    if (++steps_ > kMaxMatchSteps) {
+      exhausted_ = true;
+      return false;
+    }
     if (node == rx_.nodes.size()) return pos == s_.size();
 
     if (open_[node] >= 0) caps_[static_cast<std::size_t>(open_[node])].begin = pos;
@@ -104,6 +106,7 @@ MatchResult match(const Regex& rx, std::string_view subject) {
   MatchResult result;
   Engine engine(rx, subject);
   result.matched = engine.run(result.captures);
+  result.budget_exhausted = engine.budget_exhausted();
   return result;
 }
 
@@ -113,6 +116,7 @@ MatchResult match_with_spans(const Regex& rx, std::string_view subject,
   Engine engine(rx, subject);
   engine.record_spans(&node_spans);
   result.matched = engine.run(result.captures);
+  result.budget_exhausted = engine.budget_exhausted();
   if (!result.matched) node_spans.clear();
   return result;
 }

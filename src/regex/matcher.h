@@ -15,6 +15,11 @@
 
 namespace hoiho::rx {
 
+// Bounds total backtracking work per match across both engines (the AST
+// backtracker here and the compiled rx::Program); hitting the bound reports
+// a non-match with budget_exhausted set instead of hanging.
+inline constexpr std::uint64_t kMaxMatchSteps = 1'000'000;
+
 // Capture positions into the subject string.
 struct Capture {
   std::size_t begin = 0;
@@ -28,6 +33,11 @@ struct Capture {
 struct MatchResult {
   bool matched = false;
   std::vector<Capture> captures;  // one per group, in group order
+
+  // True when the match was abandoned because it exceeded the backtracking
+  // work bound: the non-match verdict is then inconclusive, and evaluation
+  // counts the event rather than silently treating it as a clean miss.
+  bool budget_exhausted = false;
 
   explicit operator bool() const { return matched; }
 };

@@ -1,0 +1,133 @@
+#include "regex/program.h"
+
+#include <algorithm>
+
+namespace hoiho::rx {
+
+Program Program::compile(const Regex& rx) {
+  Program p;
+  p.code_.reserve(rx.nodes.size());
+  p.groups_ = rx.groups;
+
+  for (const Node& node : rx.nodes) {
+    Instr in;
+    if (node.kind == Node::Kind::kLiteral) {
+      in.op = Instr::Op::kLiteral;
+      in.arg = static_cast<std::uint32_t>(p.pool_.size());
+      in.len = static_cast<std::uint32_t>(node.literal.size());
+      p.pool_ += node.literal;
+      p.min_len_ += node.literal.size();
+      if (p.max_len_ >= 0) p.max_len_ += static_cast<long>(node.literal.size());
+      for (const char c : node.literal) {
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 128) p.required_.set(u);
+      }
+    } else {
+      // {n} quantifiers take exactly one repeat count, so they execute on the
+      // no-backtrack path just like possessive repeats.
+      const bool no_backtrack = node.quant.possessive || node.quant.min == node.quant.max;
+      in.op = no_backtrack ? Instr::Op::kClassPossessive : Instr::Op::kClassGreedy;
+      in.min = node.quant.min;
+      in.max = node.quant.max;
+      // Deduplicate classes: candidate sets reuse a handful of them.
+      const auto it = std::find(p.classes_.begin(), p.classes_.end(), node.cls.set);
+      in.arg = static_cast<std::uint32_t>(it - p.classes_.begin());
+      if (it == p.classes_.end()) p.classes_.push_back(node.cls.set);
+      p.min_len_ += static_cast<std::size_t>(node.quant.min);
+      if (node.quant.max < 0) {
+        p.max_len_ = -1;
+      } else if (p.max_len_ >= 0) {
+        p.max_len_ += node.quant.max;
+      }
+      if (node.quant.min >= 1 && node.cls.set.count() == 1) {
+        for (std::size_t b = 0; b < 128; ++b) {
+          if (node.cls.set[b]) p.required_.set(b);
+        }
+      }
+    }
+    p.code_.push_back(in);
+  }
+
+  // Literal texts land in the pool in node order, so the leading and
+  // trailing literal runs are contiguous pool ranges.
+  std::size_t head = 0;
+  for (const Node& node : rx.nodes) {
+    if (node.kind != Node::Kind::kLiteral) break;
+    head += node.literal.size();
+  }
+  p.head_len_ = static_cast<std::uint32_t>(head);
+  std::size_t tail = 0;
+  for (std::size_t i = rx.nodes.size(); i-- > 0;) {
+    if (rx.nodes[i].kind != Node::Kind::kLiteral) break;
+    tail += rx.nodes[i].literal.size();
+  }
+  p.tail_len_ = static_cast<std::uint32_t>(tail);
+  p.tail_off_ = static_cast<std::uint32_t>(p.pool_.size() - tail);
+  return p;
+}
+
+bool Program::run(std::string_view s, MatchScratch& scratch) const {
+  const std::size_t n = code_.size();
+  scratch.budget_exhausted = false;
+  if (scratch.pos.size() < n + 1) scratch.pos.resize(n + 1);
+  if (scratch.take.size() < n) scratch.take.resize(n, 0);
+  std::size_t* const pos = scratch.pos.data();
+  std::size_t* const take = scratch.take.data();
+  pos[0] = 0;
+  std::uint64_t steps = 0;
+  std::size_t i = 0;
+  for (;;) {
+    // Arrival at node i is one unit of work — the same accounting as the
+    // backtracker's match_from entries, so both engines exhaust the work
+    // bound on the same inputs.
+    if (++steps > kMaxMatchSteps) {
+      scratch.budget_exhausted = true;
+      return false;
+    }
+    if (i == n) {
+      if (pos[n] == s.size()) return true;
+    } else {
+      const Instr& in = code_[i];
+      const std::size_t p = pos[i];
+      if (in.op == Instr::Op::kLiteral) {
+        if (s.compare(p, in.len, pool_.data() + in.arg, in.len) == 0) {
+          pos[i + 1] = p + in.len;
+          ++i;
+          continue;
+        }
+      } else {
+        const std::bitset<128>& cls = classes_[in.arg];
+        const std::size_t remaining = s.size() - p;
+        const std::size_t cap =
+            in.max < 0 ? remaining
+                       : std::min<std::size_t>(remaining, static_cast<std::size_t>(in.max));
+        std::size_t avail = 0;
+        while (avail < cap) {
+          const auto u = static_cast<unsigned char>(s[p + avail]);
+          if (u >= 128 || !cls[u]) break;
+          ++avail;
+        }
+        if (avail >= static_cast<std::size_t>(in.min)) {
+          take[i] = avail;
+          pos[i + 1] = p + avail;
+          ++i;
+          continue;
+        }
+      }
+    }
+    // Backtrack: give one repeat back at the nearest greedy class with slack.
+    for (;;) {
+      if (i == 0) return false;
+      --i;
+      const Instr& in = code_[i];
+      if (in.op == Instr::Op::kClassGreedy && take[i] > static_cast<std::size_t>(in.min)) {
+        --take[i];
+        pos[i + 1] = pos[i] + take[i];
+        ++i;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace hoiho::rx

@@ -1,0 +1,127 @@
+// Compiled form of a dialect Regex: a flat instruction array executed by a
+// non-recursive matcher with caller-provided scratch.
+//
+// The AST interpreter in matcher.cc re-walks the tree and allocates capture
+// state for every (regex, subject) pair; compiling once per regex moves all
+// of that to setup time. A Program carries:
+//   * a flat instruction array (literal runs merged into one shared pool,
+//     character classes deduplicated into a table);
+//   * precomputed min/max subject length;
+//   * the anchored literal head and tail (leading/trailing literal runs);
+//   * a required-byte table: every byte that must appear in any matching
+//     subject (literal bytes and single-byte classes with min >= 1).
+// The prefilters reject most non-matching subjects in a few comparisons
+// without touching the instruction array; SetMatcher (set_matcher.h) shares
+// them across a whole candidate set.
+//
+// Execution is an explicit-stack rendering of the same greedy-longest-first
+// search the backtracker performs, so results — including capture spans,
+// per-node spans, and the work-bound behaviour — are byte-identical to
+// rx::match (tests/test_regex_differential.cc holds the two engines to that).
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "regex/ast.h"
+#include "regex/matcher.h"
+
+namespace hoiho::rx {
+
+// Reusable per-thread match state. One scratch serves any number of
+// programs; capacity warms up to the largest program seen, after which
+// matching allocates nothing.
+struct MatchScratch {
+  // Path state for the current/last run: node i consumed subject range
+  // [pos[i], pos[i+1]) on the successful path.
+  std::vector<std::size_t> pos;
+  std::vector<std::size_t> take;  // current repeat count per greedy class node
+
+  // True when the last run gave up because it exceeded the backtracking
+  // work bound (reported as a non-match, never a false match).
+  bool budget_exhausted = false;
+
+  // SetMatcher working storage (candidate indices from the tail trie).
+  std::vector<std::uint32_t> candidates;
+};
+
+class Program {
+ public:
+  Program() = default;
+
+  static Program compile(const Regex& rx);
+
+  // Anchored match. On success, scratch.pos holds the per-node spans of the
+  // matching path. Runs the cheap prefilters first; zero allocation once
+  // `scratch` has warmed capacity.
+  bool match(std::string_view subject, MatchScratch& scratch) const {
+    // Reset even when the prefilter short-circuits, so callers never read a
+    // stale exhaustion flag from an earlier program's run.
+    scratch.budget_exhausted = false;
+    return prefilter(subject) && run(subject, scratch);
+  }
+
+  // The engine proper, without prefilters (SetMatcher applies its own).
+  bool run(std::string_view subject, MatchScratch& scratch) const;
+
+  std::size_t node_count() const { return code_.size(); }
+  std::size_t capture_count() const { return groups_.size(); }
+
+  // Capture/span extraction from the successful path left in `scratch`.
+  // `out` must have room for capture_count() entries.
+  void captures(const MatchScratch& scratch, Capture* out) const {
+    for (std::size_t g = 0; g < groups_.size(); ++g)
+      out[g] = Capture{scratch.pos[groups_[g].first], scratch.pos[groups_[g].last + 1]};
+  }
+  Capture node_span(const MatchScratch& scratch, std::size_t i) const {
+    return Capture{scratch.pos[i], scratch.pos[i + 1]};
+  }
+
+  // --- prefilter facts (shared with SetMatcher) ------------------------------
+  std::size_t min_len() const { return min_len_; }
+  long max_len() const { return max_len_; }  // -1 = unbounded
+  std::string_view literal_head() const { return {pool_.data(), head_len_}; }
+  std::string_view literal_tail() const { return {pool_.data() + tail_off_, tail_len_}; }
+  const std::bitset<128>& required_bytes() const { return required_; }
+
+  // Length + anchored head/tail checks (everything except byte presence,
+  // which needs a per-subject table the caller may want to share).
+  bool prefilter(std::string_view subject) const {
+    if (subject.size() < min_len_) return false;
+    if (max_len_ >= 0 && subject.size() > static_cast<std::size_t>(max_len_)) return false;
+    if (head_len_ != 0 && subject.compare(0, head_len_, literal_head()) != 0) return false;
+    if (tail_len_ != 0 &&
+        (subject.size() < tail_len_ ||
+         subject.compare(subject.size() - tail_len_, tail_len_, literal_tail()) != 0))
+      return false;
+    return true;
+  }
+
+ private:
+  struct Instr {
+    enum class Op : std::uint8_t {
+      kLiteral,          // pool_[arg, arg+len)
+      kClassGreedy,      // classes_[arg], quant [min, max], backtracks
+      kClassPossessive,  // classes_[arg], takes the longest run, no backtrack
+    };
+    Op op = Op::kLiteral;
+    std::uint32_t arg = 0;
+    std::uint32_t len = 0;
+    std::int32_t min = 1;
+    std::int32_t max = 1;  // < 0 = unbounded
+  };
+
+  std::vector<Instr> code_;
+  std::vector<std::bitset<128>> classes_;
+  std::string pool_;
+  std::vector<Group> groups_;
+  std::size_t min_len_ = 0;
+  long max_len_ = 0;
+  std::uint32_t head_len_ = 0;
+  std::uint32_t tail_off_ = 0, tail_len_ = 0;
+  std::bitset<128> required_;
+};
+
+}  // namespace hoiho::rx

@@ -1,0 +1,82 @@
+#include "regex/set_matcher.h"
+
+#include <algorithm>
+
+namespace hoiho::rx {
+
+void SetMatcher::finalize() {
+  trie_.assign(1, TrieNode{});
+  for (std::uint32_t idx = 0; idx < programs_.size(); ++idx) {
+    const std::string_view tail = programs_[idx].literal_tail();
+    std::uint32_t node = 0;
+    for (std::size_t d = 0; d < tail.size(); ++d) {
+      const char c = tail[tail.size() - 1 - d];
+      std::uint32_t child = 0;
+      for (const auto& [ec, en] : trie_[node].next) {
+        if (ec == c) {
+          child = en;
+          break;
+        }
+      }
+      if (child == 0) {
+        child = static_cast<std::uint32_t>(trie_.size());
+        trie_[node].next.emplace_back(c, child);
+        trie_.emplace_back();
+      }
+      node = child;
+    }
+    trie_[node].terminal.push_back(idx);
+  }
+}
+
+void SetMatcher::match_all(std::string_view subject, MatchScratch& scratch,
+                           SetMatches& out) const {
+  out.clear();
+  if (programs_.empty()) return;
+
+  // Byte-presence table, computed once and shared by every candidate's
+  // required-byte check.
+  std::bitset<128> present;
+  for (const char c : subject) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u < 128) present.set(u);
+  }
+
+  // Walk the subject backwards through the tail trie; every terminal passed
+  // is a program whose anchored literal tail the subject ends with.
+  std::vector<std::uint32_t>& cand = scratch.candidates;
+  cand.clear();
+  const TrieNode* node = &trie_[0];
+  cand.insert(cand.end(), node->terminal.begin(), node->terminal.end());
+  for (std::size_t d = 0; d < subject.size(); ++d) {
+    const char c = subject[subject.size() - 1 - d];
+    std::uint32_t child = 0;
+    for (const auto& [ec, en] : node->next) {
+      if (ec == c) {
+        child = en;
+        break;
+      }
+    }
+    if (child == 0) break;
+    node = &trie_[child];
+    cand.insert(cand.end(), node->terminal.begin(), node->terminal.end());
+  }
+  std::sort(cand.begin(), cand.end());
+
+  for (const std::uint32_t idx : cand) {
+    const Program& p = programs_[idx];
+    if ((p.required_bytes() & ~present).any()) continue;
+    if (!p.prefilter(subject)) continue;
+    if (!p.run(subject, scratch)) {
+      if (scratch.budget_exhausted) out.exhausted.push_back(idx);
+      continue;
+    }
+    out.indices.push_back(idx);
+    const std::size_t base = out.caps.size();
+    out.caps.resize(base + p.capture_count());
+    p.captures(scratch, out.caps.data() + base);
+    out.cap_offsets.push_back(static_cast<std::uint32_t>(out.caps.size()));
+  }
+}
+
+}  // namespace hoiho::rx

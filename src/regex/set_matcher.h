@@ -1,0 +1,76 @@
+// SetMatcher: one compiled structure over a whole candidate set of regexes,
+// answering "which of these N regexes match this subject, with captures" in
+// one pass.
+//
+// The pipeline evaluates hundreds of candidate regexes per suffix against
+// every hostname of that suffix; almost all pairs are non-matches. Every
+// regex the generator emits is anchored and ends in a literal tail (at
+// minimum ".<suffix>", usually more), so the set is organised as a trie over
+// the *reversed* anchored literal tails: walking the subject backwards
+// through the trie yields exactly the programs whose tail the subject
+// carries, skipping the rest without touching them. Surviving candidates
+// then pass per-program prefilters — length bounds, the anchored literal
+// head, and a required-byte check against a byte-presence table computed
+// once per subject — before the compiled program runs.
+//
+// Results are deterministic: hits are reported in ascending regex index, so
+// "first matching regex wins" (naming-convention semantics) is hits[0].
+#pragma once
+
+#include <span>
+
+#include "regex/program.h"
+
+namespace hoiho::rx {
+
+// Reusable result buffer: indices of the matching programs plus a shared
+// capture arena (no per-hit allocation once capacity has warmed).
+struct SetMatches {
+  std::vector<std::uint32_t> indices;      // matching program indices, ascending
+  std::vector<std::uint32_t> cap_offsets;  // indices.size()+1 offsets into caps
+  std::vector<Capture> caps;               // capture arena
+  std::vector<std::uint32_t> exhausted;    // programs whose run hit the work bound
+
+  std::size_t size() const { return indices.size(); }
+  std::span<const Capture> captures(std::size_t k) const {
+    return {caps.data() + cap_offsets[k], cap_offsets[k + 1] - cap_offsets[k]};
+  }
+  void clear() {
+    indices.clear();
+    cap_offsets.assign(1, 0);
+    caps.clear();
+    exhausted.clear();
+  }
+};
+
+class SetMatcher {
+ public:
+  SetMatcher() = default;
+  explicit SetMatcher(std::span<const Regex> regexes) {
+    for (const Regex& rx : regexes) add(rx);
+    finalize();
+  }
+
+  // Incremental build: add() compiles one program; finalize() builds the
+  // tail trie. match_all() may only be called after finalize().
+  void add(const Regex& rx) { programs_.push_back(Program::compile(rx)); }
+  void finalize();
+
+  std::size_t size() const { return programs_.size(); }
+  const Program& program(std::size_t i) const { return programs_[i]; }
+
+  // Fills `out` with every matching program (ascending index) and its
+  // captures. `scratch` provides the execution stack and candidate buffer.
+  void match_all(std::string_view subject, MatchScratch& scratch, SetMatches& out) const;
+
+ private:
+  struct TrieNode {
+    std::vector<std::pair<char, std::uint32_t>> next;  // small fan-out: linear scan
+    std::vector<std::uint32_t> terminal;  // programs whose whole tail ends here
+  };
+
+  std::vector<Program> programs_;
+  std::vector<TrieNode> trie_;  // trie_[0] = root (programs with no literal tail)
+};
+
+}  // namespace hoiho::rx

@@ -183,8 +183,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   const auto snap = store.current();
-  std::printf("hoihod: loaded %zu conventions (generation %llu) from %s\n",
-              snap->convention_count,
+  std::printf("hoihod: loaded %zu conventions, %zu compiled programs (generation %llu) from %s\n",
+              snap->convention_count, snap->program_count,
               static_cast<unsigned long long>(snap->generation), model_path.c_str());
   for (const std::string& w : snap->warnings)
     std::fprintf(stderr, "hoihod: model warning: %s\n", w.c_str());

@@ -64,6 +64,7 @@ std::optional<std::string> ModelStore::reload_locked() {
     snap->geolocator.add(sc.nc);
   }
   snap->convention_count = snap->geolocator.convention_count();
+  snap->program_count = snap->geolocator.program_count();
   publish(std::move(snap));
   return std::nullopt;
 }
@@ -78,6 +79,7 @@ void ModelStore::install(const std::vector<core::StoredConvention>& conventions,
     snap->geolocator.add(sc.nc);
   }
   snap->convention_count = snap->geolocator.convention_count();
+  snap->program_count = snap->geolocator.program_count();
   publish(std::move(snap));
 }
 

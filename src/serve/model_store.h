@@ -35,6 +35,7 @@ struct ModelSnapshot {
   core::Geolocator geolocator;
   std::uint64_t generation = 0;      // monotonically increasing per install
   std::size_t convention_count = 0;  // usable conventions actually added
+  std::size_t program_count = 0;     // compiled regex programs prebuilt in add()
   std::string source;                // file path or "<memory>"
   std::vector<std::string> warnings; // loader notes (dropped hints, dupes)
 

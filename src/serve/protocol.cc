@@ -38,7 +38,7 @@ std::string format_error(std::string_view reason) {
 }
 
 std::string format_stats(const Metrics::Snapshot& m, std::uint64_t generation,
-                         std::size_t conventions) {
+                         std::size_t conventions, std::size_t programs) {
   std::string out = "STATS";
   const auto kv = [&out](std::string_view key, std::uint64_t value) {
     out += ',';
@@ -68,6 +68,7 @@ std::string format_stats(const Metrics::Snapshot& m, std::uint64_t generation,
   kv("write_ns", m.write_ns);
   kv("generation", generation);
   kv("conventions", conventions);
+  kv("programs", programs);
   return out;
 }
 

@@ -46,7 +46,7 @@ std::string format_hit(const core::Geolocation& g);
 std::string format_miss();
 std::string format_error(std::string_view reason);
 std::string format_stats(const Metrics::Snapshot& m, std::uint64_t generation,
-                         std::size_t conventions);
+                         std::size_t conventions, std::size_t programs = 0);
 std::string format_reload_ok(std::uint64_t generation, std::size_t conventions);
 std::string format_reload_error(std::string_view message);
 

@@ -354,7 +354,7 @@ void Server::process_batch(std::uint64_t conn_id, std::uint64_t seq,
       case RequestKind::kStats:
         metrics_.admin.fetch_add(1, std::memory_order_relaxed);
         out += format_stats(metrics_.snapshot(), snap->generation,
-                            snap->convention_count);
+                            snap->convention_count, snap->program_count);
         break;
       case RequestKind::kReload: {
         metrics_.admin.fetch_add(1, std::memory_order_relaxed);

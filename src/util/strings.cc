@@ -12,6 +12,12 @@ std::string to_lower(std::string_view s) {
   return out;
 }
 
+bool is_lower(std::string_view s) {
+  for (char c : s)
+    if (c >= 'A' && c <= 'Z') return false;
+  return true;
+}
+
 bool is_all_alpha(std::string_view s) {
   if (s.empty()) return false;
   for (char c : s)

@@ -15,6 +15,20 @@ namespace hoiho::util {
 // Returns a lower-cased copy of `s` (ASCII only; hostnames are ASCII).
 std::string to_lower(std::string_view s);
 
+// True if `s` contains no ASCII upper-case letter, i.e. to_lower(s) == s.
+// Lets hot paths skip the to_lower() allocation for already-canonical keys.
+bool is_lower(std::string_view s);
+
+// Transparent hash for unordered containers keyed by std::string but probed
+// with string_view (avoids a temporary std::string per lookup). Pair with
+// std::equal_to<> as the key-equality functor.
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 // True if every character of `s` satisfies the predicate implied by the name.
 bool is_all_alpha(std::string_view s);
 bool is_all_digit(std::string_view s);

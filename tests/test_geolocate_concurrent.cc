@@ -75,8 +75,13 @@ TEST(GeolocateConcurrent, EightReadersThroughHotSwaps) {
     });
   }
 
-  // Swap models as fast as we can for a bounded number of generations.
+  // Swap models as fast as we can for a bounded number of generations, then
+  // keep serving until every reader got scheduled at least once (on a loaded
+  // single-CPU box the swap loop can otherwise finish before any reader ran
+  // a single burst).
   for (int g = 0; g < 200; ++g) store.install(g % 2 == 0 ? model_b : model_a);
+  while (lookups.load(std::memory_order_relaxed) < kReaders * 128u)
+    std::this_thread::yield();
   stop.store(true, std::memory_order_release);
   for (std::thread& t : readers) t.join();
 
