@@ -115,6 +115,14 @@ class Evaluator {
   const measure::Measurements& measurements() const { return meas_; }
   double slack_ms() const { return slack_ms_; }
 
+  // Observability taps (DESIGN.md §11): set-matching work accumulated on
+  // this evaluator's scratch over its lifetime, and the size of the
+  // compiled-program memo. The pipeline folds these into the metrics
+  // registry once per suffix run — these replace the older pattern of
+  // bolting ad-hoc stat fields onto evaluation results.
+  const rx::MatchStats& match_stats() const { return scratch_.set_stats; }
+  std::size_t compiled_program_count() const { return programs_.size(); }
+
  private:
   // The shared scoring core: everything after extraction (dictionary
   // lookup through `learned` then the reference dictionary, annotation

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "util/thread_pool.h"
 
@@ -27,6 +28,61 @@ std::size_t HoihoResult::count(NcClass c) const {
     if (sr.has_nc() && sr.cls == c) ++n;
   return n;
 }
+
+std::string RunReport::to_json(std::string_view indent) const {
+  const std::string pad(indent);
+  std::string out = "{\n";
+  out += pad + "  \"metrics\": " + metrics.to_json(pad + "  ") + ",\n";
+  out += pad + "  \"spans\": " + obs::to_json(spans, pad + "  ") + ",\n";
+  out += pad + "  \"dropped_spans\": " + std::to_string(dropped_spans) + "\n";
+  out += pad + "}";
+  return out;
+}
+
+// Registry handles for the pipeline counters, resolved once per run so the
+// per-suffix hot path only pays relaxed adds. All handles live in the
+// registry passed to run_instrumented and stay valid for its lifetime.
+struct Hoiho::PipelineMetrics {
+  obs::Counter suffixes, suffixes_skipped, suffixes_usable;
+  obs::Counter hostnames, tagged_hostnames;
+  obs::Counter candidates_generated, ncs_built, learned_hints;
+  obs::Counter stage_us_tag, stage_us_regex, stage_us_eval, stage_us_learn;
+  obs::Counter cache_hits, cache_misses, cache_prefilter_rejects, cache_bypasses;
+  obs::Counter rx_subjects, rx_candidates, rx_programs_run, rx_hits, rx_programs_compiled;
+  obs::Counter budget_exhausted;
+  obs::Gauge grid_cells;
+  obs::Gauge pool_tasks_submitted, pool_tasks_executed, pool_max_queue_depth;
+  obs::Histogram suffix_ns;
+
+  explicit PipelineMetrics(obs::Registry& r)
+      : suffixes(r.counter("pipeline_suffixes")),
+        suffixes_skipped(r.counter("pipeline_suffixes_skipped")),
+        suffixes_usable(r.counter("pipeline_suffixes_usable")),
+        hostnames(r.counter("pipeline_hostnames")),
+        tagged_hostnames(r.counter("pipeline_tagged_hostnames")),
+        candidates_generated(r.counter("pipeline_candidates_generated")),
+        ncs_built(r.counter("pipeline_ncs_built")),
+        learned_hints(r.counter("pipeline_learned_hints")),
+        stage_us_tag(r.counter("pipeline_stage_us{stage=\"tag\"}")),
+        stage_us_regex(r.counter("pipeline_stage_us{stage=\"regex_gen\"}")),
+        stage_us_eval(r.counter("pipeline_stage_us{stage=\"eval\"}")),
+        stage_us_learn(r.counter("pipeline_stage_us{stage=\"learn\"}")),
+        cache_hits(r.counter("consistency_cache_hits")),
+        cache_misses(r.counter("consistency_cache_misses")),
+        cache_prefilter_rejects(r.counter("consistency_cache_prefilter_rejects")),
+        cache_bypasses(r.counter("consistency_cache_bypasses")),
+        rx_subjects(r.counter("rx_set_subjects")),
+        rx_candidates(r.counter("rx_set_candidates")),
+        rx_programs_run(r.counter("rx_set_programs_run")),
+        rx_hits(r.counter("rx_set_hits")),
+        rx_programs_compiled(r.counter("rx_programs_compiled")),
+        budget_exhausted(r.counter("pipeline_budget_exhausted")),
+        grid_cells(r.gauge("pipeline_expected_rtt_grid_cells")),
+        pool_tasks_submitted(r.gauge("pipeline_pool_tasks_submitted")),
+        pool_tasks_executed(r.gauge("pipeline_pool_tasks_executed")),
+        pool_max_queue_depth(r.gauge("pipeline_pool_max_queue_depth")),
+        suffix_ns(r.histogram("pipeline_suffix_ns")) {}
+};
 
 std::shared_ptr<const measure::ExpectedRttGrid> Hoiho::expected_rtt_grid(
     const measure::Measurements& meas) const {
@@ -59,16 +115,49 @@ std::shared_ptr<const measure::ExpectedRttGrid> Hoiho::expected_rtt_grid(
 
 SuffixResult Hoiho::run_suffix(const topo::SuffixGroup& group,
                                const measure::Measurements& meas) const {
-  if (!config_.consistency_cache) return run_suffix_impl(group, meas, nullptr);
-  // One cache per suffix run, shared by stages 2-4. The cache is used from
-  // this thread only; cross-suffix parallelism in run() gives each worker
-  // its own cache. The expected-RTT grid behind it IS shared across workers
-  // (immutable once built).
-  const std::shared_ptr<const measure::ExpectedRttGrid> grid = expected_rtt_grid(meas);
-  measure::ConsistencyCache cache(meas, dict_.size(), config_.apparent.slack_ms,
-                                  /*prefilter=*/true, grid.get());
-  SuffixResult result = run_suffix_impl(group, meas, &cache);
-  result.cache_stats = cache.stats();
+  return run_suffix_instrumented(group, meas, nullptr, nullptr);
+}
+
+SuffixResult Hoiho::run_suffix_instrumented(const topo::SuffixGroup& group,
+                                            const measure::Measurements& meas,
+                                            PipelineMetrics* pm, obs::Tracer* tracer) const {
+  const std::uint64_t t0 = obs::Tracer::now_ns();
+  obs::Span span(tracer, "suffix", group.suffix);
+  span.set_work(group.hostnames.size());
+
+  SuffixResult result;
+  if (!config_.consistency_cache) {
+    result = run_suffix_impl(group, meas, nullptr, pm, tracer);
+  } else {
+    // One cache per suffix run, shared by stages 2-4. The cache is used from
+    // this thread only; cross-suffix parallelism in run() gives each worker
+    // its own cache. The expected-RTT grid behind it IS shared across
+    // workers (immutable once built).
+    const std::shared_ptr<const measure::ExpectedRttGrid> grid = expected_rtt_grid(meas);
+    measure::ConsistencyCache cache(meas, dict_.size(), config_.apparent.slack_ms,
+                                    /*prefilter=*/true, grid.get());
+    result = run_suffix_impl(group, meas, &cache, pm, tracer);
+    result.cache_stats = cache.stats();
+  }
+
+  if (pm != nullptr) {
+    pm->suffixes.inc();
+    pm->hostnames.add(result.hostname_count);
+    pm->tagged_hostnames.add(result.tagged_count);
+    if (result.usable()) pm->suffixes_usable.inc();
+    pm->learned_hints.add(result.learned.size());
+    pm->budget_exhausted.add(result.eval.counts.budget_exhausted);
+    pm->stage_us_tag.add(static_cast<std::uint64_t>(result.stage_ms.tag_ms * 1e3));
+    pm->stage_us_regex.add(static_cast<std::uint64_t>(result.stage_ms.regex_ms * 1e3));
+    pm->stage_us_eval.add(static_cast<std::uint64_t>(result.stage_ms.eval_ms * 1e3));
+    pm->stage_us_learn.add(static_cast<std::uint64_t>(result.stage_ms.learn_ms * 1e3));
+    const measure::ConsistencyCache::Stats& cs = result.cache_stats;
+    pm->cache_hits.add(cs.hits);
+    pm->cache_misses.add(cs.misses);
+    pm->cache_prefilter_rejects.add(cs.prefilter_rejects);
+    pm->cache_bypasses.add(cs.bypasses);
+    pm->suffix_ns.observe(static_cast<double>(obs::Tracer::now_ns() - t0));
+  }
   return result;
 }
 
@@ -92,7 +181,8 @@ class Stopwatch {
 
 SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
                                     const measure::Measurements& meas,
-                                    measure::ConsistencyCache* cache) const {
+                                    measure::ConsistencyCache* cache, PipelineMetrics* pm,
+                                    obs::Tracer* tracer) const {
   SuffixResult result;
   result.suffix = group.suffix;
   result.hostname_count = group.hostnames.size();
@@ -100,15 +190,35 @@ SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
   // Stage 2: tag apparent geohints.
   {
     const Stopwatch sw(result.stage_ms.tag_ms);
+    obs::Span span(tracer, "tag", group.suffix);
+    span.set_work(group.hostnames.size());
     const ApparentTagger tagger(dict_, meas, config_.apparent, cache);
     result.tagged = tagger.tag_all(group.hostnames);
   }
   for (const TaggedHostname& th : result.tagged)
     if (th.has_hint()) ++result.tagged_count;
-  if (result.tagged_count < config_.min_tagged_hostnames) return result;
+  if (result.tagged_count < config_.min_tagged_hostnames) {
+    if (pm != nullptr) pm->suffixes_skipped.inc();
+    return result;
+  }
 
   Evaluator evaluator(dict_, meas, config_.apparent.slack_ms, cache);
   evaluator.set_use_compiled(config_.compiled_regex);
+  // Fold the evaluator's set-matching work into the registry on every exit
+  // path (the evaluator dies with this frame).
+  struct EvalObsFold {
+    PipelineMetrics* pm;
+    const Evaluator& ev;
+    ~EvalObsFold() {
+      if (pm == nullptr) return;
+      const rx::MatchStats& ms = ev.match_stats();
+      pm->rx_subjects.add(ms.subjects);
+      pm->rx_candidates.add(ms.candidates);
+      pm->rx_programs_run.add(ms.programs_run);
+      pm->rx_hits.add(ms.hits);
+      pm->rx_programs_compiled.add(ev.compiled_program_count());
+    }
+  } eval_fold{pm, evaluator};
 
   // Stage 3 phase 1: base regexes, seeded from a bounded prefix of the
   // tagged hostnames.
@@ -118,6 +228,7 @@ SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
   std::vector<GeoRegex> candidates;
   {
     const Stopwatch sw(result.stage_ms.regex_ms);
+    obs::Span span(tracer, "regex_gen", group.suffix);
     std::vector<TaggedHostname> seeds;
     for (const TaggedHostname& th : result.tagged) {
       if (!th.has_hint()) continue;
@@ -125,6 +236,8 @@ SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
       if (seeds.size() >= config_.max_seed_hostnames) break;
     }
     candidates = generator.generate_base(seeds);
+    span.set_work(candidates.size());
+    if (pm != nullptr) pm->candidates_generated.add(candidates.size());
   }
   if (candidates.empty()) return result;
 
@@ -135,6 +248,8 @@ SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
   std::vector<NcEvaluation> base_evals;
   {
     const Stopwatch sw(result.stage_ms.eval_ms);
+    obs::Span span(tracer, "eval", group.suffix);
+    span.set_work(candidates.size());
     std::vector<NcEvaluation> evals = evaluator.evaluate_candidates(candidates, result.tagged);
     struct Ranked {
       GeoRegex gr;
@@ -161,6 +276,7 @@ SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
 
   {
     const Stopwatch sw(result.stage_ms.regex_ms);
+    obs::Span span(tracer, "regex_gen", group.suffix);
     // Stage 3 phase 2: merge similar regexes.
     {
       const std::vector<GeoRegex> merged = generator.merge(candidates);
@@ -182,11 +298,14 @@ SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
   std::vector<NcBuilder::Candidate> ncs;
   {
     const Stopwatch sw(result.stage_ms.eval_ms);
+    obs::Span span(tracer, "eval", group.suffix);
     // The pruned base regexes sit (deduplicated, in rank order) at the front
     // of `candidates`: merge/embed only append, and dedup keeps first
     // occurrences, so base_evals still lines up with the prefix.
     ncs = builder.build(group.suffix, std::move(candidates), result.tagged,
                         std::move(base_evals));
+    span.set_work(ncs.size());
+    if (pm != nullptr) pm->ncs_built.add(ncs.size());
   }
   if (ncs.empty()) return result;
 
@@ -195,10 +314,12 @@ SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
   std::vector<std::vector<LearnedHint>> learned_per(ncs.size());
   if (config_.enable_learning) {
     const Stopwatch sw(result.stage_ms.learn_ms);
+    obs::Span span(tracer, "learn", group.suffix);
     const GeohintLearner learner(evaluator, config_.learn);
     const std::size_t n = std::min(ncs.size(), config_.learn_top_n);
     for (std::size_t i = 0; i < n; ++i) {
       learned_per[i] = learner.learn(ncs[i].nc, result.tagged, ncs[i].eval);
+      span.add_work(learned_per[i].size());
       if (!learned_per[i].empty()) ncs[i].eval = evaluator.evaluate(ncs[i].nc, result.tagged);
     }
     std::vector<std::size_t> order(ncs.size());
@@ -227,28 +348,76 @@ SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
   return result;
 }
 
-HoihoResult Hoiho::run(const topo::Topology& topo, const measure::Measurements& meas) const {
+HoihoResult Hoiho::run_instrumented(const topo::Topology& topo,
+                                    const measure::Measurements& meas, obs::Registry* registry,
+                                    obs::Tracer* tracer) const {
+  std::optional<PipelineMetrics> metrics;
+  if (registry != nullptr) metrics.emplace(*registry);
+  PipelineMetrics* pm = metrics ? &*metrics : nullptr;
+
+  obs::Span run_span(tracer, "run");
   const std::vector<topo::SuffixGroup> groups = topo.group_by_suffix();
+  run_span.set_work(groups.size());
   std::vector<SuffixResult> slots(groups.size());
+
+  if (pm != nullptr && config_.consistency_cache) {
+    // Build the shared grid up front (the workers would race to the same
+    // build anyway) so its size is on record even for an empty topology.
+    if (const auto grid = expected_rtt_grid(meas))
+      pm->grid_cells.set(static_cast<std::int64_t>(grid->location_count() * grid->vp_count()));
+  }
 
   std::size_t threads = util::ThreadPool::resolve(config_.threads);
   if (!groups.empty()) threads = std::min(threads, groups.size());
   if (threads <= 1) {
-    for (std::size_t i = 0; i < groups.size(); ++i) slots[i] = run_suffix(groups[i], meas);
+    for (std::size_t i = 0; i < groups.size(); ++i)
+      slots[i] = run_suffix_instrumented(groups[i], meas, pm, tracer);
   } else {
     // Suffix runs are independent: each reads only the shared const inputs
     // (dictionary, topology, measurements) and writes its own slot. Results
     // land by group index, so output order matches the sequential path.
     util::ThreadPool pool(threads);
     for (std::size_t i = 0; i < groups.size(); ++i)
-      pool.submit([this, &slots, &groups, &meas, i] { slots[i] = run_suffix(groups[i], meas); });
+      pool.submit([this, &slots, &groups, &meas, pm, tracer, i] {
+        slots[i] = run_suffix_instrumented(groups[i], meas, pm, tracer);
+      });
     pool.wait_idle();
+    if (pm != nullptr) {
+      const util::ThreadPool::Stats ps = pool.stats();
+      pm->pool_tasks_submitted.add(static_cast<std::int64_t>(ps.submitted));
+      pm->pool_tasks_executed.add(static_cast<std::int64_t>(ps.executed));
+      pm->pool_max_queue_depth.set(
+          std::max(pm->pool_max_queue_depth.load(), static_cast<std::int64_t>(ps.max_queue_depth)));
+    }
   }
 
   HoihoResult result;
   for (SuffixResult& sr : slots)
     if (sr.hostname_count > 0) result.suffixes.push_back(std::move(sr));
   return result;
+}
+
+HoihoResult Hoiho::run(const topo::Topology& topo, const measure::Measurements& meas) const {
+  return run_instrumented(topo, meas, config_.registry, config_.tracer);
+}
+
+RunReport Hoiho::run_report(const topo::Topology& topo,
+                            const measure::Measurements& meas) const {
+  // Private sinks when the config doesn't supply shared ones, so the report
+  // is self-contained either way.
+  std::optional<obs::Registry> own_registry;
+  std::optional<obs::Tracer> own_tracer;
+  obs::Registry* registry = config_.registry;
+  obs::Tracer* tracer = config_.tracer;
+  if (registry == nullptr) registry = &own_registry.emplace();
+  if (tracer == nullptr) tracer = &own_tracer.emplace();
+
+  RunReport report;
+  report.result = run_instrumented(topo, meas, registry, tracer);
+  report.metrics = registry->snapshot();
+  report.spans = tracer->spans();
+  report.dropped_spans = tracer->dropped();
+  return report;
 }
 
 }  // namespace hoiho::core

@@ -20,6 +20,8 @@
 #include "core/rank.h"
 #include "core/regex_gen.h"
 #include "core/regex_sets.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hoiho::core {
 
@@ -70,6 +72,16 @@ struct HoihoConfig {
   // way (tests/test_regex_differential.cc); the knob exists for that test
   // and for before/after benchmarking.
   bool compiled_regex = true;
+
+  // Observability (DESIGN.md §11). A non-null registry/tracer receives the
+  // pipeline's counters, cache hit rates, and stage spans — pass a shared
+  // registry to land learner metrics in the same snapshot as serving or
+  // ingestion metrics. Null (the default) means run() carries no
+  // instrumentation cost beyond untaken null checks; run_report() supplies
+  // private instances when these are null, so callers wanting a report
+  // don't have to manage them.
+  obs::Registry* registry = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 // Wall time per pipeline stage of one suffix run; benches aggregate these
@@ -103,10 +115,13 @@ struct SuffixResult {
   std::vector<LearnedHint> learned;    // stage-4 output
 
   // Consistency-cache counters for this suffix run (all zero when the
-  // cache is disabled); benches aggregate these into pipeline hit rates.
+  // cache is disabled). Deprecated alias kept one release: prefer the
+  // registry's `consistency_cache_*` counters in RunReport::metrics.
   measure::ConsistencyCache::Stats cache_stats;
 
-  // Per-stage wall time of this suffix run.
+  // Per-stage wall time of this suffix run. Deprecated alias kept one
+  // release: prefer the `pipeline_stage_us{stage=...}` counters and the
+  // stage spans in RunReport.
   StageTimes stage_ms;
 
   bool has_nc() const { return !nc.empty(); }
@@ -123,13 +138,40 @@ struct HoihoResult {
   std::size_t count(NcClass c) const;
 };
 
+// The full account of one run: per-suffix outcomes plus everything the
+// observability layer captured while producing them — pipeline counters,
+// cache hit rates, set-matching work, and per-stage spans. This is the one
+// struct consumers (benches, the daemon's demo path, tests) read instead of
+// aggregating SuffixResult stat fields by hand.
+struct RunReport {
+  HoihoResult result;
+  obs::Snapshot metrics;               // registry snapshot taken after the run
+  std::vector<obs::SpanRecord> spans;  // stage spans, oldest first
+  std::uint64_t dropped_spans = 0;     // ring overflow (0 unless the run is huge)
+
+  // {"metrics": {...}, "spans": [...], "dropped_spans": N} — the metrics
+  // half is obs::Snapshot::to_json, so one schema serves every consumer.
+  std::string to_json(std::string_view indent = "") const;
+};
+
 class Hoiho {
  public:
   explicit Hoiho(const geo::GeoDictionary& dict, HoihoConfig config = {})
       : dict_(dict), config_(config) {}
 
   // Runs the full pipeline over every suffix group in `topo`.
+  //
+  // Kept as the compact form of run_report() for callers that only want the
+  // results: instrumentation still lands in config.registry / config.tracer
+  // when those are set, but nothing is snapshotted. Code that used to sum
+  // SuffixResult::cache_stats / stage_ms (deprecated) should migrate to
+  // run_report().
   HoihoResult run(const topo::Topology& topo, const measure::Measurements& meas) const;
+
+  // run() plus the observability report. Uses config.registry/tracer when
+  // set (snapshotting whatever else the shared registry holds), otherwise
+  // instruments into private instances scoped to this call.
+  RunReport run_report(const topo::Topology& topo, const measure::Measurements& meas) const;
 
   // Runs the pipeline for one suffix group.
   SuffixResult run_suffix(const topo::SuffixGroup& group,
@@ -139,6 +181,8 @@ class Hoiho {
   const geo::GeoDictionary& dictionary() const { return dict_; }
 
  private:
+  struct PipelineMetrics;  // registry handles, built once per run (hoiho.cc)
+
   // Expected-RTT grid memo, keyed by the VP coordinates it was built for
   // (the dictionary half of the key is fixed per Hoiho). Held behind a
   // shared_ptr so Hoiho stays copyable and worker threads can share one
@@ -154,8 +198,17 @@ class Hoiho {
   std::shared_ptr<const measure::ExpectedRttGrid> expected_rtt_grid(
       const measure::Measurements& meas) const;
 
+  // run() with explicit instrumentation sinks (either may be null).
+  HoihoResult run_instrumented(const topo::Topology& topo, const measure::Measurements& meas,
+                               obs::Registry* registry, obs::Tracer* tracer) const;
+
+  SuffixResult run_suffix_instrumented(const topo::SuffixGroup& group,
+                                       const measure::Measurements& meas, PipelineMetrics* pm,
+                                       obs::Tracer* tracer) const;
+
   SuffixResult run_suffix_impl(const topo::SuffixGroup& group, const measure::Measurements& meas,
-                               measure::ConsistencyCache* cache) const;
+                               measure::ConsistencyCache* cache, PipelineMetrics* pm,
+                               obs::Tracer* tracer) const;
 
   const geo::GeoDictionary& dict_;
   HoihoConfig config_;

@@ -37,6 +37,26 @@ bool LoadReport::skip(const LoadOptions& opt, std::string_view category, std::si
 
 void LoadReport::fail(std::string detail) { error = std::move(detail); }
 
+void LoadReport::publish(obs::Registry& registry, std::string_view source) const {
+  // Labels are part of the metric name (obs/metrics.h); build them once.
+  const std::string src_label =
+      source.empty() ? std::string() : ",source=\"" + std::string(source) + "\"";
+  const auto name = [&](std::string_view base, std::string_view category) {
+    std::string n(base);
+    if (category.empty() && src_label.empty()) return n;
+    n += '{';
+    if (!category.empty()) n += "category=\"" + std::string(category) + "\"";
+    if (!src_label.empty()) n += category.empty() ? src_label.substr(1) : src_label;
+    n += '}';
+    return n;
+  };
+  registry.counter(name("ingest_lines", {})).add(lines);
+  registry.counter(name("ingest_records", {})).add(records);
+  for (const auto& [category, count] : skipped)
+    registry.counter(name("ingest_skipped", category)).add(count);
+  if (!ok()) registry.counter(name("ingest_failures", {})).inc();
+}
+
 std::string LoadReport::summary() const {
   if (!ok()) return "failed: " + error;
   std::string out = std::to_string(records) + " records";

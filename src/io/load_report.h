@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace hoiho::io {
 
 struct LoadOptions {
@@ -63,6 +65,15 @@ struct LoadReport {
   // One-line human summary: "1900 records, skipped 100 lines
   // (bad_fields=60, bad_number=40)" or "ok, N records".
   std::string summary() const;
+
+  // Folds this report into `registry` as the unified ingest counters
+  // (DESIGN.md §11): ingest_lines / ingest_records plus one
+  // ingest_skipped{category="..."} counter per skip category — the registry
+  // rendering of the `skipped` table, so ingest quality lands in the same
+  // snapshot as pipeline and serving metrics. `source`, if non-empty, is
+  // added as a source="..." label on every counter. Call once per completed
+  // load; counters are cumulative across loads into the same registry.
+  void publish(obs::Registry& registry, std::string_view source = {}) const;
 };
 
 }  // namespace hoiho::io

@@ -30,6 +30,25 @@
 
 namespace hoiho::rx {
 
+// Set-matching work accounting, accumulated on the per-thread scratch so
+// counting costs a plain (non-atomic) increment. Consumers fold the totals
+// into an obs::Registry at a coarser granularity (per suffix run, per
+// batch); the scratch itself never synchronizes.
+struct MatchStats {
+  std::uint64_t subjects = 0;      // match_all() calls
+  std::uint64_t candidates = 0;    // programs surviving the tail trie
+  std::uint64_t programs_run = 0;  // programs that passed every prefilter
+  std::uint64_t hits = 0;          // programs that matched
+
+  MatchStats& operator+=(const MatchStats& o) {
+    subjects += o.subjects;
+    candidates += o.candidates;
+    programs_run += o.programs_run;
+    hits += o.hits;
+    return *this;
+  }
+};
+
 // Reusable per-thread match state. One scratch serves any number of
 // programs; capacity warms up to the largest program seen, after which
 // matching allocates nothing.
@@ -45,6 +64,9 @@ struct MatchScratch {
 
   // SetMatcher working storage (candidate indices from the tail trie).
   std::vector<std::uint32_t> candidates;
+
+  // Set-matching work counters (see MatchStats).
+  MatchStats set_stats;
 };
 
 class Program {

@@ -33,6 +33,7 @@ void SetMatcher::match_all(std::string_view subject, MatchScratch& scratch,
                            SetMatches& out) const {
   out.clear();
   if (programs_.empty()) return;
+  ++scratch.set_stats.subjects;
 
   // Byte-presence table, computed once and shared by every candidate's
   // required-byte check.
@@ -62,15 +63,18 @@ void SetMatcher::match_all(std::string_view subject, MatchScratch& scratch,
     cand.insert(cand.end(), node->terminal.begin(), node->terminal.end());
   }
   std::sort(cand.begin(), cand.end());
+  scratch.set_stats.candidates += cand.size();
 
   for (const std::uint32_t idx : cand) {
     const Program& p = programs_[idx];
     if ((p.required_bytes() & ~present).any()) continue;
     if (!p.prefilter(subject)) continue;
+    ++scratch.set_stats.programs_run;
     if (!p.run(subject, scratch)) {
       if (scratch.budget_exhausted) out.exhausted.push_back(idx);
       continue;
     }
+    ++scratch.set_stats.hits;
     out.indices.push_back(idx);
     const std::size_t base = out.caps.size();
     out.caps.resize(base + p.capture_count());

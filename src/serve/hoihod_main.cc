@@ -21,11 +21,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "core/geolocate.h"
 #include "core/hoiho.h"
 #include "core/nc_io.h"
+#include "serve/metrics_http.h"
 #include "serve/server.h"
 #include "sim/probing.h"
 #include "util/failpoint.h"
@@ -43,7 +45,10 @@ int usage(const char* argv0) {
                "usage: %s --model FILE [--port N] [--workers N] [--bind-any]\n"
                "          [--port-file FILE] [--watch-ms N] [--deadline-ms N]\n"
                "          [--idle-timeout-ms N] [--max-inflight N] [--drain-timeout-ms N]\n"
+               "          [--metrics-port N]\n"
                "       %s --write-demo-model FILE [--operators N] [--hosts-out FILE]\n"
+               "--metrics-port serves Prometheus text over HTTP (GET /metrics); the\n"
+               "same data is available in-protocol via the METRICS and STATS2 verbs.\n"
                "HOIHO_FAILPOINTS=site=spec;... injects faults (testing only).\n",
                argv0, argv0);
   return 1;
@@ -102,6 +107,7 @@ int main(int argc, char** argv) {
   int deadline_ms = 0, idle_timeout_ms = 0, drain_timeout_ms = 5000;
   std::size_t max_inflight = 0;
   bool bind_any = false;
+  int metrics_port = -1;  // < 0 = exporter off; 0 = ephemeral
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -156,6 +162,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       drain_timeout_ms = std::atoi(v);
+    } else if (arg == "--metrics-port") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      metrics_port = std::atoi(v);
     } else if (arg == "--bind-any") {
       bind_any = true;
     } else {
@@ -221,10 +231,10 @@ int main(int argc, char** argv) {
     }
     if (sig == SIGHUP) {
       if (const auto err = store.reload()) {
-        server_ptr->metrics().reload_failures.fetch_add(1, std::memory_order_relaxed);
+        server_ptr->metrics().reload_failures.inc();
         std::fprintf(stderr, "hoihod: reload failed: %s\n", err->c_str());
       } else {
-        server_ptr->metrics().reloads.fetch_add(1, std::memory_order_relaxed);
+        server_ptr->metrics().reloads.inc();
         std::printf("hoihod: reloaded (generation %llu)\n",
                     static_cast<unsigned long long>(store.generation()));
       }
@@ -234,18 +244,18 @@ int main(int argc, char** argv) {
     std::string watch_error;
     switch (store.poll_watch(&watch_error)) {
       case serve::ModelStore::WatchOutcome::kReloaded:
-        server_ptr->metrics().reloads.fetch_add(1, std::memory_order_relaxed);
+        server_ptr->metrics().reloads.inc();
         std::printf("hoihod: model file changed, reloaded (generation %llu)\n",
                     static_cast<unsigned long long>(store.generation()));
         break;
       case serve::ModelStore::WatchOutcome::kReloadFailed:
         // Reported once per file change (the watcher reloads only after the
         // mtime holds still), not once per poll.
-        server_ptr->metrics().reload_failures.fetch_add(1, std::memory_order_relaxed);
+        server_ptr->metrics().reload_failures.inc();
         std::fprintf(stderr, "hoihod: reload failed: %s\n", watch_error.c_str());
         break;
       case serve::ModelStore::WatchOutcome::kDebounced:
-        server_ptr->metrics().reload_debounced.fetch_add(1, std::memory_order_relaxed);
+        server_ptr->metrics().reload_debounced.inc();
         break;
       case serve::ModelStore::WatchOutcome::kMissing:
       case serve::ModelStore::WatchOutcome::kUnchanged:
@@ -259,6 +269,17 @@ int main(int argc, char** argv) {
   if (!server.start(&error)) {
     std::fprintf(stderr, "hoihod: %s\n", error.c_str());
     return 1;
+  }
+  std::unique_ptr<serve::MetricsHttp> exporter;
+  if (metrics_port >= 0) {
+    exporter = std::make_unique<serve::MetricsHttp>(
+        server.metrics().registry(), static_cast<std::uint16_t>(metrics_port), bind_any);
+    if (!exporter->start(&error)) {
+      std::fprintf(stderr, "hoihod: metrics exporter: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("hoihod: metrics on http://%s:%u/metrics\n",
+                bind_any ? "0.0.0.0" : "127.0.0.1", static_cast<unsigned>(exporter->port()));
   }
   if (!port_file.empty()) {
     std::ofstream pf(port_file);

@@ -1,0 +1,70 @@
+#include "serve/metrics.h"
+
+namespace hoiho::serve {
+
+Metrics::Metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    owned_ = std::make_unique<obs::Registry>();
+    registry = owned_.get();
+  }
+  registry_ = registry;
+  obs::Registry& r = *registry_;
+
+  // Effects before causes: snapshot() reads in registration order, so
+  // reading hits/misses/errors *before* requests keeps
+  // requests >= hits + misses in every snapshot (a counter registered
+  // earlier can only be older). Same for the reload and batch families.
+  hits = r.counter("serve_hits");
+  misses = r.counter("serve_misses");
+  errors = r.counter("serve_errors");
+  requests = r.counter("serve_requests");
+  admin = r.counter("serve_admin");
+
+  reload_failures = r.counter("serve_reload_failures");
+  reloads = r.counter("serve_reloads");
+  reload_debounced = r.counter("serve_reload_debounced");
+
+  deadline_expired = r.counter("serve_deadline_expired");
+  shed_busy = r.counter("serve_shed_busy");
+  idle_closed = r.counter("serve_idle_closed");
+  injected_faults = r.counter("serve_injected_faults");
+
+  batched_lines = r.counter("serve_batched_lines");
+  batches = r.counter("serve_batches");
+
+  connections_closed = r.counter("serve_connections_closed");
+  connections_opened = r.counter("serve_connections_opened");
+
+  parse_ns = r.counter("serve_parse_ns");
+  lookup_ns = r.counter("serve_lookup_ns");
+  write_ns = r.counter("serve_write_ns");
+
+  batch_ns = r.histogram("serve_batch_ns");
+}
+
+Metrics::Snapshot Metrics::snapshot() const {
+  const obs::Snapshot snap = registry_->snapshot();
+  Snapshot s;
+  s.requests = snap.value("serve_requests");
+  s.hits = snap.value("serve_hits");
+  s.misses = snap.value("serve_misses");
+  s.errors = snap.value("serve_errors");
+  s.admin = snap.value("serve_admin");
+  s.reloads = snap.value("serve_reloads");
+  s.reload_failures = snap.value("serve_reload_failures");
+  s.reload_debounced = snap.value("serve_reload_debounced");
+  s.deadline_expired = snap.value("serve_deadline_expired");
+  s.shed_busy = snap.value("serve_shed_busy");
+  s.idle_closed = snap.value("serve_idle_closed");
+  s.injected_faults = snap.value("serve_injected_faults");
+  s.batches = snap.value("serve_batches");
+  s.batched_lines = snap.value("serve_batched_lines");
+  s.connections_opened = snap.value("serve_connections_opened");
+  s.connections_closed = snap.value("serve_connections_closed");
+  s.parse_ns = snap.value("serve_parse_ns");
+  s.lookup_ns = snap.value("serve_lookup_ns");
+  s.write_ns = snap.value("serve_write_ns");
+  return s;
+}
+
+}  // namespace hoiho::serve

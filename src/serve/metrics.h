@@ -1,51 +1,76 @@
-// Lock-free serving counters.
+// Serving counters as registry handles (DESIGN.md §11).
 //
-// One Metrics object lives for the lifetime of a Server; workers and the
-// event loop bump counters with relaxed atomics (each counter is an
-// independent statistic — no cross-counter invariant is promised, so a
-// snapshot taken mid-flight may show e.g. hits+misses briefly behind
-// requests). snapshot() materializes a plain-struct copy for formatting.
-// The header is deliberately free of serving-specific types so later
-// subsystems (sharding proxies, replication feeders) can reuse it.
+// One Metrics object lives for the lifetime of a Server. Historically this
+// was a bag of raw atomics; it is now a facade over obs::Registry so the
+// serving counters land in the same substrate (and the same snapshot) as
+// the learner pipeline and ingest counters. Pass a shared registry to merge
+// them; the default constructor owns a private one.
+//
+// Field names are unchanged, and obs::Counter keeps inc()/add()/load(), so
+// callers read the same way they always did. The STATS v1 wire format
+// (protocol.h format_stats) is byte-identical to the raw-atomics era.
+//
+// Snapshot consistency: snapshot() reads through obs::Registry::snapshot(),
+// which materializes metrics in *registration order* behind an acquire
+// fence. The constructor registers effect counters before their cause —
+// hits/misses/errors before requests — so a snapshot taken mid-flight can
+// no longer show hits+misses ahead of requests on TSO hardware (the old
+// field-by-field relaxed loads made that skew easy to observe under load).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+#include <memory>
+
+#include "obs/metrics.h"
 
 namespace hoiho::serve {
 
-struct Metrics {
-  // Request outcomes.
-  std::atomic<std::uint64_t> requests{0};  // lookup lines received
-  std::atomic<std::uint64_t> hits{0};      // lookups that produced a location
-  std::atomic<std::uint64_t> misses{0};    // well-formed lookups with no answer
-  std::atomic<std::uint64_t> errors{0};    // malformed/oversized/unservable lines
-  std::atomic<std::uint64_t> admin{0};     // STATS / RELOAD verbs
+class Metrics {
+ public:
+  // `registry` null means this Metrics owns a private registry; non-null
+  // shares the caller's (which must outlive this object).
+  explicit Metrics(obs::Registry* registry = nullptr);
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  // Request outcomes. NOTE: registration order in the constructor, not
+  // declaration order here, is what snapshot consistency hangs on.
+  obs::Counter requests;  // lookup lines received
+  obs::Counter hits;      // lookups that produced a location
+  obs::Counter misses;    // well-formed lookups with no answer
+  obs::Counter errors;    // malformed/oversized/unservable lines
+  obs::Counter admin;     // STATS / STATS2 / METRICS / RELOAD verbs
 
   // Model lifecycle.
-  std::atomic<std::uint64_t> reloads{0};
-  std::atomic<std::uint64_t> reload_failures{0};
-  std::atomic<std::uint64_t> reload_debounced{0};  // watch polls deferred for stability
+  obs::Counter reloads;
+  obs::Counter reload_failures;
+  obs::Counter reload_debounced;  // watch polls deferred for stability
 
   // Fault tolerance (see DESIGN.md §9).
-  std::atomic<std::uint64_t> deadline_expired{0};  // lines answered ERR,deadline
-  std::atomic<std::uint64_t> shed_busy{0};         // lines answered ERR,busy
-  std::atomic<std::uint64_t> idle_closed{0};       // connections reaped for idleness
-  std::atomic<std::uint64_t> injected_faults{0};   // failpoint firings observed
+  obs::Counter deadline_expired;  // lines answered ERR,deadline
+  obs::Counter shed_busy;         // lines answered ERR,busy
+  obs::Counter idle_closed;       // connections reaped for idleness
+  obs::Counter injected_faults;   // failpoint firings observed
 
   // Batching shape: avg batch size = batched_lines / batches.
-  std::atomic<std::uint64_t> batches{0};
-  std::atomic<std::uint64_t> batched_lines{0};
+  obs::Counter batches;
+  obs::Counter batched_lines;
 
   // Connection churn.
-  std::atomic<std::uint64_t> connections_opened{0};
-  std::atomic<std::uint64_t> connections_closed{0};
+  obs::Counter connections_opened;
+  obs::Counter connections_closed;
 
   // Per-stage wall time, nanoseconds (event-loop parse/write, worker lookup).
-  std::atomic<std::uint64_t> parse_ns{0};
-  std::atomic<std::uint64_t> lookup_ns{0};
-  std::atomic<std::uint64_t> write_ns{0};
+  obs::Counter parse_ns;
+  obs::Counter lookup_ns;
+  obs::Counter write_ns;
 
+  // Per-batch worker latency (dequeue to answers formatted); the histogram
+  // behind the STATS2 percentiles.
+  obs::Histogram batch_ns;
+
+  // Plain-struct copy for STATS v1 formatting; field set unchanged.
   struct Snapshot {
     std::uint64_t requests = 0, hits = 0, misses = 0, errors = 0, admin = 0;
     std::uint64_t reloads = 0, reload_failures = 0, reload_debounced = 0;
@@ -60,33 +85,19 @@ struct Metrics {
     }
   };
 
-  Snapshot snapshot() const {
-    Snapshot s;
-    s.requests = requests.load(std::memory_order_relaxed);
-    s.hits = hits.load(std::memory_order_relaxed);
-    s.misses = misses.load(std::memory_order_relaxed);
-    s.errors = errors.load(std::memory_order_relaxed);
-    s.admin = admin.load(std::memory_order_relaxed);
-    s.reloads = reloads.load(std::memory_order_relaxed);
-    s.reload_failures = reload_failures.load(std::memory_order_relaxed);
-    s.reload_debounced = reload_debounced.load(std::memory_order_relaxed);
-    s.deadline_expired = deadline_expired.load(std::memory_order_relaxed);
-    s.shed_busy = shed_busy.load(std::memory_order_relaxed);
-    s.idle_closed = idle_closed.load(std::memory_order_relaxed);
-    s.injected_faults = injected_faults.load(std::memory_order_relaxed);
-    s.batches = batches.load(std::memory_order_relaxed);
-    s.batched_lines = batched_lines.load(std::memory_order_relaxed);
-    s.connections_opened = connections_opened.load(std::memory_order_relaxed);
-    s.connections_closed = connections_closed.load(std::memory_order_relaxed);
-    s.parse_ns = parse_ns.load(std::memory_order_relaxed);
-    s.lookup_ns = lookup_ns.load(std::memory_order_relaxed);
-    s.write_ns = write_ns.load(std::memory_order_relaxed);
-    return s;
-  }
+  // One consistent materialization (see header comment). Derived from
+  // registry().snapshot(), never from per-field loads.
+  Snapshot snapshot() const;
 
-  void add(std::atomic<std::uint64_t>& counter, std::uint64_t n) {
-    counter.fetch_add(n, std::memory_order_relaxed);
-  }
+  // The registry behind the handles — what STATS2 / METRICS / the HTTP
+  // endpoint snapshot. Holds every serve_* metric plus whatever else a
+  // shared registry carries.
+  obs::Registry& registry() { return *registry_; }
+  const obs::Registry& registry() const { return *registry_; }
+
+ private:
+  std::unique_ptr<obs::Registry> owned_;
+  obs::Registry* registry_ = nullptr;
 };
 
 }  // namespace hoiho::serve

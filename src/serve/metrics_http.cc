@@ -1,0 +1,72 @@
+#include "serve/metrics_http.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace hoiho::serve {
+
+bool MetricsHttp::start(std::string* error) {
+  listen_fd_ = util::listen_tcp(port_, error, bind_any_);
+  if (!listen_fd_) return false;
+  if (!util::set_nonblocking(listen_fd_.get())) {
+    if (error != nullptr) *error = "cannot set metrics socket non-blocking";
+    return false;
+  }
+  const auto bound = util::local_port(listen_fd_.get());
+  if (!bound) {
+    if (error != nullptr) *error = "getsockname failed";
+    return false;
+  }
+  port_ = *bound;
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void MetricsHttp::stop() {
+  if (!thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  thread_.join();
+  listen_fd_.reset();
+}
+
+void MetricsHttp::loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_.get(), POLLIN, 0};
+    const int n = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (n <= 0) continue;  // timeout (stop check) or EINTR
+
+    util::Fd conn(::accept(listen_fd_.get(), nullptr, nullptr));
+    if (!conn) continue;
+    // Blocking I/O with timeouts: a scraper that stalls cannot wedge the
+    // exporter for more than a second per request.
+    util::set_io_timeouts(conn.get(), /*recv_timeout_ms=*/1000, /*send_timeout_ms=*/1000);
+
+    // Drain the request head (we answer any request with the metrics page;
+    // headers only need to be consumed, not parsed).
+    char buf[4096];
+    std::string head;
+    while (head.find("\r\n\r\n") == std::string::npos && head.size() < (64u << 10)) {
+      const ssize_t r = ::recv(conn.get(), buf, sizeof(buf), 0);
+      if (r > 0) {
+        head.append(buf, static_cast<std::size_t>(r));
+      } else if (r < 0 && errno == EINTR) {
+        continue;
+      } else {
+        break;  // EOF, timeout, or error: respond with what we have anyway
+      }
+    }
+
+    const std::string body = registry_.snapshot().to_prometheus();
+    std::string resp = "HTTP/1.0 200 OK\r\n";
+    resp += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+    resp += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    resp += "Connection: close\r\n\r\n";
+    resp += body;
+    util::write_all(conn.get(), resp);
+  }
+}
+
+}  // namespace hoiho::serve

@@ -1,0 +1,53 @@
+// A one-endpoint HTTP exporter: GET anything, receive the Prometheus text
+// exposition of a metrics registry (the same bytes as the line protocol's
+// METRICS verb, minus the "# EOF" framing line, which is a line-protocol
+// artifact — HTTP frames with Content-Length).
+//
+// This exists so a scraper can be pointed at hoihod (--metrics-port)
+// without speaking the lookup protocol. It is deliberately not an HTTP
+// server: one blocking-ish poll loop on its own thread, one response per
+// connection, connection closed after the write. Request bytes are read
+// only to drain them; any request gets the metrics page.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/net.h"
+
+namespace hoiho::serve {
+
+class MetricsHttp {
+ public:
+  // Snapshots `registry` per request; it must outlive stop().
+  MetricsHttp(const obs::Registry& registry, std::uint16_t port, bool bind_any = false)
+      : registry_(registry), port_(port), bind_any_(bind_any) {}
+  ~MetricsHttp() { stop(); }
+
+  MetricsHttp(const MetricsHttp&) = delete;
+  MetricsHttp& operator=(const MetricsHttp&) = delete;
+
+  // Binds and starts the exporter thread; false (with *error) on failure.
+  bool start(std::string* error = nullptr);
+
+  // Joins the exporter thread. Idempotent; called by the destructor.
+  void stop();
+
+  // The bound port (valid after start(); useful with port = 0).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void loop();
+
+  const obs::Registry& registry_;
+  std::uint16_t port_;
+  bool bind_any_;
+  util::Fd listen_fd_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace hoiho::serve

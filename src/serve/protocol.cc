@@ -11,6 +11,10 @@ Request parse_request(std::string_view line) {
     req.kind = RequestKind::kEmpty;
   } else if (line == "STATS") {
     req.kind = RequestKind::kStats;
+  } else if (line == "STATS2") {
+    req.kind = RequestKind::kStats2;
+  } else if (line == "METRICS") {
+    req.kind = RequestKind::kMetrics;
   } else if (line == "RELOAD") {
     req.kind = RequestKind::kReload;
   } else {
@@ -72,6 +76,53 @@ std::string format_stats(const Metrics::Snapshot& m, std::uint64_t generation,
   return out;
 }
 
+std::string format_stats_v2(const obs::Snapshot& snap, std::uint64_t generation,
+                            std::size_t conventions, std::size_t programs) {
+  std::string out = "STATS2";
+  for (const obs::Snapshot::Entry& e : snap.entries) {
+    out += ',';
+    out += e.name;
+    switch (e.kind) {
+      case obs::Kind::kCounter:
+        out += ":c=" + std::to_string(e.value);
+        break;
+      case obs::Kind::kGauge:
+        out += ":g=" + std::to_string(e.gauge);
+        break;
+      case obs::Kind::kHistogram:
+        out += ":h=count:" + std::to_string(e.hist.count);
+        out += ";sum:" + util::fmt_double(e.hist.sum, 0);
+        out += ";p50:" + util::fmt_double(e.hist.percentile(0.50), 0);
+        out += ";p90:" + util::fmt_double(e.hist.percentile(0.90), 0);
+        out += ";p99:" + util::fmt_double(e.hist.percentile(0.99), 0);
+        break;
+    }
+  }
+  out += ",generation:g=" + std::to_string(generation);
+  out += ",conventions:g=" + std::to_string(conventions);
+  out += ",programs:g=" + std::to_string(programs);
+  return out;
+}
+
+std::string format_metrics_text(const obs::Snapshot& snap, std::uint64_t generation,
+                                std::size_t conventions, std::size_t programs) {
+  std::string out = snap.to_prometheus();
+  const auto gauge = [&out](std::string_view name, std::uint64_t v) {
+    out += "# TYPE ";
+    out += name;
+    out += " gauge\n";
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  };
+  gauge("hoihod_generation", generation);
+  gauge("hoihod_conventions", conventions);
+  gauge("hoihod_programs", programs);
+  out += "# EOF";
+  return out;
+}
+
 std::string format_reload_ok(std::uint64_t generation, std::size_t conventions) {
   return "RELOAD,ok,generation=" + std::to_string(generation) +
          ",conventions=" + std::to_string(conventions);
@@ -84,6 +135,8 @@ std::string format_reload_error(std::string_view message) {
 ResponseKind classify_response(std::string_view line) {
   if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
   if (line == "MISS") return ResponseKind::kMiss;
+  if (util::starts_with(line, "#")) return ResponseKind::kMetrics;
+  if (util::starts_with(line, "STATS2")) return ResponseKind::kStats2;
   if (util::starts_with(line, "STATS")) return ResponseKind::kStats;
   if (util::starts_with(line, "RELOAD,ok")) return ResponseKind::kReload;
   if (util::starts_with(line, "RELOAD,error")) return ResponseKind::kReloadError;

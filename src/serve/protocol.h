@@ -2,17 +2,28 @@
 //
 // Grammar (all lines '\n'-terminated; '\r' before '\n' is tolerated):
 //
-//   request   = lookup | "STATS" | "RELOAD"
+//   request   = lookup | "STATS" | "STATS2" | "METRICS" | "RELOAD"
 //   lookup    = hostname                     ; anything that is not a verb
 //
-//   response  = hit | miss | stats | reload-ok | reload-err | err
+//   response  = hit | miss | stats | stats2 | metrics | reload-ok
+//             | reload-err | err
 //   hit       = lat "," lon "," code "," method
 //   method    = "learned" | "dictionary"     ; how the code was resolved
 //   miss      = "MISS"                       ; no convention / unknown code
 //   stats     = "STATS," kv *("," kv)        ; kv = key "=" value
+//   stats2    = "STATS2," tkv *("," tkv)     ; tkv = name ":" type "=" value
+//                                            ; type = "c" | "g" | "h"
+//   metrics   = *( "#" ... | sample ) "# EOF"  ; Prometheus text, multi-line;
+//                                            ; clients read until "# EOF"
 //   reload-ok = "RELOAD,ok,generation=" N ",conventions=" N
 //   reload-err= "RELOAD,error," message
 //   err       = "ERR," reason                ; empty or oversized line
+//
+// STATS is the v1 surface and is frozen: keys, order, and formatting are
+// byte-compatible with pre-registry builds. STATS2 exposes every metric in
+// the server's registry (typed, histograms with count/sum/percentiles).
+// METRICS is the same snapshot in Prometheus text exposition; it is the
+// one multi-line response in the protocol, terminated by a "# EOF" line.
 //
 // Responses preserve request order within a connection. Requests are
 // independent across connections; pipelining any number of request lines
@@ -30,7 +41,7 @@
 
 namespace hoiho::serve {
 
-enum class RequestKind { kLookup, kStats, kReload, kEmpty };
+enum class RequestKind { kLookup, kStats, kStats2, kMetrics, kReload, kEmpty };
 
 struct Request {
   RequestKind kind = RequestKind::kLookup;
@@ -47,11 +58,25 @@ std::string format_miss();
 std::string format_error(std::string_view reason);
 std::string format_stats(const Metrics::Snapshot& m, std::uint64_t generation,
                          std::size_t conventions, std::size_t programs = 0);
+
+// STATS2: every entry of `snap` as name:type=value (type c/g/h), histograms
+// as count;sum;p50;p90;p99, then the model identity as gauges.
+std::string format_stats_v2(const obs::Snapshot& snap, std::uint64_t generation,
+                            std::size_t conventions, std::size_t programs = 0);
+
+// METRICS: Prometheus text exposition of `snap` plus hoihod_generation /
+// hoihod_conventions / hoihod_programs gauges, terminated by a "# EOF"
+// line (without its trailing '\n'; the server frames it like any response).
+std::string format_metrics_text(const obs::Snapshot& snap, std::uint64_t generation,
+                                std::size_t conventions, std::size_t programs = 0);
+
 std::string format_reload_ok(std::uint64_t generation, std::size_t conventions);
 std::string format_reload_error(std::string_view message);
 
-// Response classification (client side: tests, load generator).
-enum class ResponseKind { kHit, kMiss, kStats, kReload, kReloadError, kError };
+// Response classification (client side: tests, load generator). kMetrics
+// matches any '#'-comment line — for a METRICS response, classify the first
+// line and consume until "# EOF".
+enum class ResponseKind { kHit, kMiss, kStats, kStats2, kMetrics, kReload, kReloadError, kError };
 ResponseKind classify_response(std::string_view line);
 
 }  // namespace hoiho::serve

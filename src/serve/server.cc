@@ -38,7 +38,7 @@ bool epoll_add(int epfd, int fd, std::uint64_t token, std::uint32_t events) {
 }  // namespace
 
 Server::Server(ModelStore& store, ServerConfig config)
-    : store_(store), config_(std::move(config)) {}
+    : store_(store), config_(std::move(config)), metrics_(config_.registry) {}
 
 Server::~Server() {
   // Drain the worker pool before tearing down the members its tasks touch
@@ -164,7 +164,7 @@ void Server::sweep_idle() {
   for (const std::uint64_t id : reap) {
     const auto it = conns_.find(id);
     if (it == conns_.end()) continue;
-    metrics_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+    metrics_.idle_closed.inc();
     close_connection(*it->second);
   }
 }
@@ -199,7 +199,7 @@ void Server::accept_ready() {
     if (util::failpoint::any_active()) {
       const auto f = util::failpoint::hit("serve.accept");
       if (f.kind != util::failpoint::Kind::kOff)
-        metrics_.injected_faults.fetch_add(1, std::memory_order_relaxed);
+        metrics_.injected_faults.inc();
       if (f.kind == util::failpoint::Kind::kError)
         return;  // simulated EMFILE/ENFILE: listen socket stays armed
     }
@@ -216,7 +216,7 @@ void Server::accept_ready() {
     conn->fd.reset(fd);
     conn->last_activity_ms = now_ms();
     if (!epoll_add(epoll_fd_.get(), fd, conn->id, EPOLLIN)) continue;
-    metrics_.connections_opened.fetch_add(1, std::memory_order_relaxed);
+    metrics_.connections_opened.inc();
     conns_.emplace(conn->id, std::move(conn));
   }
 }
@@ -270,13 +270,13 @@ void Server::on_readable(Connection& c) {
     // protocol violation. Answer through the ordered completion path
     // (after any lines dispatched above), then drop the connection once
     // everything is flushed.
-    metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+    metrics_.errors.inc();
     c.done[c.next_submit_seq++] = format_error("oversized line") + "\n";
     c.in_buf.clear();
     c.peer_closed = true;
     update_epoll(c);
   }
-  metrics_.parse_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+  metrics_.parse_ns.add(now_ns() - t0);
 
   const std::uint64_t id = c.id;
   drain_completions();
@@ -290,7 +290,7 @@ void Server::dispatch(Connection& c, std::vector<std::string> lines) {
     // Shed at admission: answer every line ERR,busy through the ordered
     // completion path without touching the worker pool, so an overloaded
     // server degrades to fast rejections instead of unbounded queueing.
-    metrics_.shed_busy.fetch_add(lines.size(), std::memory_order_relaxed);
+    metrics_.shed_busy.add(lines.size());
     std::string out;
     out.reserve(lines.size() * 10);
     for (std::size_t i = 0; i < lines.size(); ++i) out += format_error("busy") + "\n";
@@ -298,8 +298,8 @@ void Server::dispatch(Connection& c, std::vector<std::string> lines) {
     return;
   }
   inflight_lines_ += lines.size();
-  metrics_.batches.fetch_add(1, std::memory_order_relaxed);
-  metrics_.batched_lines.fetch_add(lines.size(), std::memory_order_relaxed);
+  metrics_.batches.inc();
+  metrics_.batched_lines.add(lines.size());
   pool_->submit(
       [this, id = c.id, seq, t0 = now_ns(), lines = std::move(lines)]() mutable {
         process_batch(id, seq, t0, std::move(lines));
@@ -313,14 +313,14 @@ void Server::process_batch(std::uint64_t conn_id, std::uint64_t seq,
     // tests use to force deadline expiry and inflight shedding on demand.
     const auto f = util::failpoint::hit("serve.process");
     if (f.kind != util::failpoint::Kind::kOff)
-      metrics_.injected_faults.fetch_add(1, std::memory_order_relaxed);
+      metrics_.injected_faults.inc();
   }
   const std::uint64_t t0 = now_ns();
   if (config_.request_deadline_ms > 0 &&
       t0 - enqueue_ns > static_cast<std::uint64_t>(config_.request_deadline_ms) * 1000000u) {
     // The batch sat queued past its deadline; the client has likely timed
     // out, so answer cheaply rather than burn lookup time on dead requests.
-    metrics_.deadline_expired.fetch_add(lines.size(), std::memory_order_relaxed);
+    metrics_.deadline_expired.add(lines.size());
     std::string out;
     out.reserve(lines.size() * 14);
     for (std::size_t i = 0; i < lines.size(); ++i) out += format_error("deadline") + "\n";
@@ -340,30 +340,40 @@ void Server::process_batch(std::uint64_t conn_id, std::uint64_t seq,
     const Request req = parse_request(line);
     switch (req.kind) {
       case RequestKind::kLookup: {
-        metrics_.requests.fetch_add(1, std::memory_order_relaxed);
+        metrics_.requests.inc();
         const auto loc = snap->geolocator.locate(req.hostname);
         if (loc) {
-          metrics_.hits.fetch_add(1, std::memory_order_relaxed);
+          metrics_.hits.inc();
           out += format_hit(*loc);
         } else {
-          metrics_.misses.fetch_add(1, std::memory_order_relaxed);
+          metrics_.misses.inc();
           out += format_miss();
         }
         break;
       }
       case RequestKind::kStats:
-        metrics_.admin.fetch_add(1, std::memory_order_relaxed);
+        metrics_.admin.inc();
         out += format_stats(metrics_.snapshot(), snap->generation,
                             snap->convention_count, snap->program_count);
         break;
+      case RequestKind::kStats2:
+        metrics_.admin.inc();
+        out += format_stats_v2(metrics_.registry().snapshot(), snap->generation,
+                               snap->convention_count, snap->program_count);
+        break;
+      case RequestKind::kMetrics:
+        metrics_.admin.inc();
+        out += format_metrics_text(metrics_.registry().snapshot(), snap->generation,
+                                   snap->convention_count, snap->program_count);
+        break;
       case RequestKind::kReload: {
-        metrics_.admin.fetch_add(1, std::memory_order_relaxed);
+        metrics_.admin.inc();
         const auto err = store_.reload();
         if (err) {
-          metrics_.reload_failures.fetch_add(1, std::memory_order_relaxed);
+          metrics_.reload_failures.inc();
           out += format_reload_error(*err);
         } else {
-          metrics_.reloads.fetch_add(1, std::memory_order_relaxed);
+          metrics_.reloads.inc();
           const auto fresh = store_.current();
           out += format_reload_ok(fresh->generation, fresh->convention_count);
           snap = fresh;  // later lines in this batch see the new model
@@ -371,13 +381,15 @@ void Server::process_batch(std::uint64_t conn_id, std::uint64_t seq,
         break;
       }
       case RequestKind::kEmpty:
-        metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+        metrics_.errors.inc();
         out += format_error("empty request");
         break;
     }
     out += '\n';
   }
-  metrics_.lookup_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+  const std::uint64_t batch_ns = now_ns() - t0;
+  metrics_.lookup_ns.add(batch_ns);
+  metrics_.batch_ns.observe(static_cast<double>(batch_ns));
   {
     std::lock_guard lock(completions_mu_);
     completions_.push_back(Completion{conn_id, seq, lines.size(), std::move(out)});
@@ -428,10 +440,10 @@ void Server::flush(Connection& c) {
     if (util::failpoint::any_active()) {
       const auto f = util::failpoint::hit("serve.write");
       if (f.kind != util::failpoint::Kind::kOff)
-        metrics_.injected_faults.fetch_add(1, std::memory_order_relaxed);
+        metrics_.injected_faults.inc();
       if (f.kind == util::failpoint::Kind::kEintr) continue;
       if (f.kind == util::failpoint::Kind::kError) {
-        metrics_.write_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+        metrics_.write_ns.add(now_ns() - t0);
         close_connection(c);  // simulated peer reset
         return;
       }
@@ -447,7 +459,7 @@ void Server::flush(Connection& c) {
     } else if (n < 0 && errno == EINTR) {
       continue;
     } else {
-      metrics_.write_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+      metrics_.write_ns.add(now_ns() - t0);
       close_connection(c);
       return;
     }
@@ -468,7 +480,7 @@ void Server::flush(Connection& c) {
     c.reads_paused = pause;
     update_epoll(c);
   }
-  metrics_.write_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+  metrics_.write_ns.add(now_ns() - t0);
 }
 
 void Server::update_epoll(Connection& c) {
@@ -488,7 +500,7 @@ void Server::maybe_close(Connection& c) {
 
 void Server::close_connection(Connection& c) {
   ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, c.fd.get(), nullptr);
-  metrics_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  metrics_.connections_closed.inc();
   conns_.erase(c.id);  // destroys c
 }
 

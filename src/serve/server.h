@@ -61,6 +61,11 @@ struct ServerConfig {
   // the daemon for SIGHUP polling and model-file mtime watching).
   int tick_ms = 0;
   std::function<void()> on_tick;
+
+  // Metrics registry the server's counters land in. Null (default) gives
+  // the Server a private registry; pass a shared one to merge the serve_*
+  // metrics into a process-wide snapshot (must outlive the Server).
+  obs::Registry* registry = nullptr;
 };
 
 class Server {
@@ -144,7 +149,7 @@ class Server {
 
   ModelStore& store_;
   ServerConfig config_;
-  Metrics metrics_;
+  Metrics metrics_;  // constructed over config_.registry (or a private one)
 
   util::Fd epoll_fd_;
   util::Fd listen_fd_;

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace hoiho::util {
@@ -29,8 +30,15 @@ void ThreadPool::submit(std::function<void()> task) {
     if (stopping_) return;  // shutting down: drop the task
     queue_.push_back(std::move(task));
     ++in_flight_;
+    ++submitted_;
+    max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
   }
   cv_work_.notify_one();
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard lock(mu_);
+  return Stats{submitted_, executed_, queue_.size(), max_queue_depth_};
 }
 
 void ThreadPool::wait_idle() {
@@ -53,6 +61,7 @@ void ThreadPool::worker(std::stop_token stop) {
     {
       std::lock_guard lock(mu_);
       --in_flight_;
+      ++executed_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }
   }

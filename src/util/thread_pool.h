@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -40,6 +41,17 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  // Queue accounting, maintained under the existing queue mutex (no extra
+  // synchronization on the task path). Consumers fold these into an
+  // obs::Registry — the pool itself stays dependency-free.
+  struct Stats {
+    std::uint64_t submitted = 0;       // tasks accepted by submit()
+    std::uint64_t executed = 0;        // tasks that finished running
+    std::size_t queue_depth = 0;       // queued-but-unstarted right now
+    std::size_t max_queue_depth = 0;   // high-water mark since construction
+  };
+  Stats stats() const;
+
   // Maps a config knob to a worker count: 0 means "use the hardware"
   // (hardware_concurrency, at least 1), anything else passes through.
   static std::size_t resolve(std::size_t requested);
@@ -47,13 +59,16 @@ class ThreadPool {
  private:
   void worker(std::stop_token stop);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_room_;  // queue has room (producers wait here)
   std::condition_variable cv_work_;  // queue has work, or stop requested
   std::condition_variable cv_idle_;  // in-flight count reached zero
   std::deque<std::function<void()>> queue_;
   std::size_t queue_capacity_;
   std::size_t in_flight_ = 0;  // queued + currently executing
+  std::uint64_t submitted_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t max_queue_depth_ = 0;
   bool stopping_ = false;
   std::vector<std::jthread> workers_;  // last member: joins before the rest die
 };
