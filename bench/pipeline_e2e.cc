@@ -11,17 +11,34 @@
 // old one. Each run's snapshot is embedded under "registry"; CI guards
 // that schema (a counter disappearing fails the perf-smoke job).
 //
-// Emits BENCH_PIPELINE.json (path overridable via argv) so the perf
+// Scale tiers (--scale={S,M,L,XL}, default S):
+//
+//   S   48-operator materialized world, the historical CI baseline corpus
+//       (uncached/legacy/cached x thread-count matrix, BENCH_PIPELINE.json).
+//   M   200-suffix / ~20k-hostname streaming world   (perf-smoke in CI)
+//   L   1000-suffix / ~100k-hostname streaming world (the ISSUE target)
+//   XL  10000-suffix / ~1M-hostname streaming world  (manual / nightly only)
+//
+// M/L/XL stream through Hoiho::run_stream (work-stealing pool, bounded RSS);
+// their JSON lands in BENCH_PIPELINE_<tier>.json and includes the peak-RSS
+// gauge and steal counters. Note VmHWM is a process-wide high-water mark:
+// within one bench process later runs inherit earlier runs' peak, so the
+// per-run value is an upper bound, and the ceiling CI asserts covers the
+// whole bench.
+//
+// Emits BENCH_PIPELINE*.json (path overridable via argv) so the perf
 // trajectory is tracked across PRs; the checked-in copy records the numbers
 // from the machine that produced this revision.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "common.h"
 #include "obs/metrics.h"
+#include "sim/streaming.h"
 #include "util/thread_pool.h"
 
 using namespace hoiho;
@@ -49,29 +66,62 @@ struct RunResult {
                snap.value("pipeline_stage_us{stage=\"" + std::string(stage) + "\"}")) /
            1e3;
   }
+  std::int64_t gauge(std::string_view name) const {
+    const obs::Snapshot::Entry* e = snap.find(name);
+    return e == nullptr ? 0 : e->gauge;
+  }
 };
 
-RunResult time_run(const std::string& label, const sim::World& world,
-                   const measure::Measurements& pings, std::size_t threads, bool cache,
-                   bool compiled, std::size_t hostnames, int reps) {
+// One timed rep of one configuration; folds the wall time (min) and, on the
+// first rep, the registry snapshot into `out`. Reps are interleaved across
+// configurations by the caller — timing each label's reps back-to-back lets
+// slow process drift (allocator state, thermal/cgroup throttling) bias the
+// later labels, which on a small corpus is larger than the effect measured.
+void time_one_rep(RunResult& out, const sim::World& world, const measure::Measurements& pings,
+                  std::size_t hostnames) {
+  core::HoihoConfig config;
+  config.threads = out.threads;
+  config.consistency_cache = out.cache;
+  config.compiled_regex = out.compiled;
+  // Fresh registry per rep: each snapshot covers exactly one run, and the
+  // timing includes the armed-counter cost every rep.
+  obs::Registry registry;
+  config.registry = &registry;
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::HoihoResult result = bench::run_hoiho(world, pings, config);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  if (out.wall_ms == 0 || ms < out.wall_ms) out.wall_ms = ms;
+  if (out.snap.entries.empty()) {
+    out.snap = registry.snapshot();
+    out.suffixes = result.suffixes.size();
+    for (const core::SuffixResult& sr : result.suffixes)
+      if (sr.usable()) ++out.usable;
+  }
+  out.hostnames_per_sec =
+      out.wall_ms <= 0 ? 0 : static_cast<double>(hostnames) / (out.wall_ms / 1e3);
+}
+
+// Times Hoiho::run_stream over a fresh StreamingWorld per rep (world
+// rendering overlaps learning by design, so generation cost is part of the
+// measured pipeline, exactly as it would be against a file-backed stream).
+RunResult time_stream_run(const std::string& label, const sim::StreamingWorldConfig& swc,
+                          std::size_t threads, int reps, std::size_t* hostnames_out) {
   core::HoihoConfig config;
   config.threads = threads;
-  config.consistency_cache = cache;
-  config.compiled_regex = compiled;
 
   RunResult out;
   out.label = label;
   out.threads = threads;
-  out.cache = cache;
-  out.compiled = compiled;
   out.wall_ms = 1e300;
+  std::size_t hostnames = 0;
   for (int rep = 0; rep < reps; ++rep) {
-    // Fresh registry per rep: each snapshot covers exactly one run, and the
-    // timing includes the armed-counter cost every rep.
+    sim::StreamingWorld world(geo::builtin_dictionary(), swc);
     obs::Registry registry;
     config.registry = &registry;
     const auto t0 = std::chrono::steady_clock::now();
-    const core::HoihoResult result = bench::run_hoiho(world, pings, config);
+    const core::HoihoResult result =
+        core::Hoiho(geo::builtin_dictionary(), config).run_stream(world);
     const auto t1 = std::chrono::steady_clock::now();
     const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
     if (ms < out.wall_ms) out.wall_ms = ms;
@@ -80,9 +130,12 @@ RunResult time_run(const std::string& label, const sim::World& world,
       out.suffixes = result.suffixes.size();
       for (const core::SuffixResult& sr : result.suffixes)
         if (sr.usable()) ++out.usable;
+      hostnames = world.report().records;
     }
   }
-  out.hostnames_per_sec = out.wall_ms <= 0 ? 0 : static_cast<double>(hostnames) / (out.wall_ms / 1e3);
+  if (hostnames_out != nullptr) *hostnames_out = hostnames;
+  out.hostnames_per_sec =
+      out.wall_ms <= 0 ? 0 : static_cast<double>(hostnames) / (out.wall_ms / 1e3);
   return out;
 }
 
@@ -92,11 +145,133 @@ std::string fmt3(double v) {
   return buf;
 }
 
+sim::StreamingWorldConfig tier_config(char scale) {
+  sim::StreamingWorldConfig swc;
+  swc.seed = 99;
+  swc.traits.geohint_scheme_rate = 0.8;
+  swc.traits.hostname_rate = 0.8;
+  switch (scale) {
+    case 'M':
+      swc.suffixes = 200;
+      swc.target_hostnames = 20000;
+      swc.max_hostnames_per_suffix = 2048;
+      swc.vp_count = 32;
+      swc.batch_hostname_budget = 4096;
+      break;
+    case 'L':
+      swc.suffixes = 1000;
+      swc.target_hostnames = 100000;
+      swc.max_hostnames_per_suffix = 8192;
+      swc.vp_count = 64;
+      swc.batch_hostname_budget = 8192;
+      break;
+    case 'X':  // XL
+      swc.suffixes = 10000;
+      swc.target_hostnames = 1000000;
+      swc.max_hostnames_per_suffix = 16384;
+      swc.vp_count = 64;
+      swc.batch_hostname_budget = 16384;
+      break;
+  }
+  return swc;
+}
+
+int run_stream_tier(const std::string& scale, const std::string& out_path, int reps) {
+  const sim::StreamingWorldConfig swc = tier_config(scale[0]);
+  const std::size_t hw = util::ThreadPool::resolve(0);
+  std::printf("pipeline_e2e --scale=%s: %zu suffixes, ~%zu hostnames target, %zu VPs, "
+              "batch budget %zu, %zu hardware threads, best of %d reps\n\n",
+              scale.c_str(), swc.suffixes, swc.target_hostnames, swc.vp_count,
+              swc.batch_hostname_budget, hw, reps);
+
+  std::size_t hostnames = 0;
+  std::vector<RunResult> runs;
+  runs.push_back(time_stream_run("stream_1t", swc, 1, reps, &hostnames));
+  runs.push_back(time_stream_run("stream_4t", swc, 4, reps, nullptr));
+  if (hw > 4)
+    runs.push_back(time_stream_run("stream_" + std::to_string(hw) + "t", swc, hw, reps, nullptr));
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"run", "threads", "wall ms", "hostnames/s", "batches", "stolen",
+                  "steal fails", "peak RSS MB", "usable NCs"});
+  for (const RunResult& r : runs) {
+    rows.push_back(
+        {r.label, std::to_string(r.threads), fmt3(r.wall_ms), fmt3(r.hostnames_per_sec),
+         std::to_string(r.snap.value("pipeline_stream_batches")),
+         std::to_string(r.snap.value("pool_tasks_stolen")),
+         std::to_string(r.snap.value("pool_steal_failures")),
+         fmt3(static_cast<double>(r.gauge("pipeline_peak_rss_bytes")) / (1024.0 * 1024.0)),
+         std::to_string(r.usable) + "/" + std::to_string(r.suffixes)});
+  }
+  bench::print_table(rows);
+
+  const double scale4 = runs[1].wall_ms <= 0 ? 0 : runs[0].wall_ms / runs[1].wall_ms;
+  std::int64_t peak_rss = 0;
+  for (const RunResult& r : runs)
+    peak_rss = std::max(peak_rss, r.gauge("pipeline_peak_rss_bytes"));
+  std::printf("\n4-thread speedup over 1: %.2fx; peak RSS %.1f MB\n", scale4,
+              static_cast<double>(peak_rss) / (1024.0 * 1024.0));
+
+  std::ofstream out(out_path);
+  out << "{\n";
+  out << "  \"bench\": \"pipeline_e2e\",\n";
+  out << "  \"scale\": \"" << scale << "\",\n";
+  out << "  \"hardware_concurrency\": " << hw << ",\n";
+  out << "  \"reps\": " << reps << ",\n";
+  out << "  \"world\": {\"suffixes\": " << swc.suffixes << ", \"hostnames\": " << hostnames
+      << ", \"vps\": " << swc.vp_count << ", \"batch_hostname_budget\": "
+      << swc.batch_hostname_budget << "},\n";
+  out << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    out << "    {\"label\": \"" << r.label << "\", \"threads\": " << r.threads
+        << ", \"wall_ms\": " << fmt3(r.wall_ms)
+        << ", \"hostnames_per_sec\": " << fmt3(r.hostnames_per_sec)
+        << ", \"stream_batches\": " << r.snap.value("pipeline_stream_batches")
+        << ", \"tasks_stolen\": " << r.snap.value("pool_tasks_stolen")
+        << ", \"steal_failures\": " << r.snap.value("pool_steal_failures")
+        << ", \"peak_rss_bytes\": " << r.gauge("pipeline_peak_rss_bytes")
+        << ", \"cache_hit_rate\": " << fmt3(r.hit_rate())
+        << ", \"suffixes\": " << r.suffixes << ", \"usable\": " << r.usable
+        << ",\n     \"registry\": " << r.snap.to_json("     ") << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"derived\": {\"speedup_4t_vs_1t\": " << fmt3(scale4)
+      << ", \"peak_rss_bytes\": " << peak_rss << "}\n";
+  out << "}\n";
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PIPELINE.json";
-  const int reps = std::max(1, argc > 2 ? std::atoi(argv[2]) : 3);
+  std::string scale = "S";
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = argv[i] + 8;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (scale != "S" && scale != "M" && scale != "L" && scale != "XL") {
+    std::fprintf(stderr, "usage: pipeline_e2e [--scale={S,M,L,XL}] [out.json] [reps]\n");
+    return 2;
+  }
+  const std::string default_out =
+      scale == "S" ? "BENCH_PIPELINE.json" : "BENCH_PIPELINE_" + scale + ".json";
+  const std::string out_path = positional.size() > 0 ? positional[0] : default_out;
+  const int default_reps = scale == "S" ? 3 : scale == "M" ? 2 : 1;
+  const int reps =
+      std::max(1, positional.size() > 1 ? std::atoi(positional[1].c_str()) : default_reps);
+
+  if (scale != "S") return run_stream_tier(scale, out_path, reps);
 
   // A multi-operator world heavy enough that per-suffix work dominates.
   sim::WorldConfig wc;
@@ -117,16 +292,24 @@ int main(int argc, char** argv) {
               world.operators.size(), world.topology.size(), hostnames, groups.size(), hw, reps);
 
   std::vector<RunResult> runs;
-  runs.push_back(time_run("uncached_1t", world, pings, 1, false, true, hostnames, reps));
-  runs.push_back(time_run("legacy_1t", world, pings, 1, true, false, hostnames, reps));
-  runs.push_back(time_run("cached_1t", world, pings, 1, true, true, hostnames, reps));
-  for (std::size_t t : {std::size_t{2}, std::size_t{4}}) {
-    runs.push_back(time_run("cached_" + std::to_string(t) + "t", world, pings, t, true, true,
-                            hostnames, reps));
-  }
-  if (hw > 4)
-    runs.push_back(time_run("cached_" + std::to_string(hw) + "t", world, pings, hw, true, true,
-                            hostnames, reps));
+  const auto spec = [](std::string label, std::size_t threads, bool cache, bool compiled) {
+    RunResult r;
+    r.label = std::move(label);
+    r.threads = threads;
+    r.cache = cache;
+    r.compiled = compiled;
+    return r;
+  };
+  runs.push_back(spec("uncached_1t", 1, false, true));
+  runs.push_back(spec("legacy_1t", 1, true, false));
+  runs.push_back(spec("cached_1t", 1, true, true));
+  runs.push_back(spec("cached_2t", 2, true, true));
+  runs.push_back(spec("cached_4t", 4, true, true));
+  if (hw > 4) runs.push_back(spec("cached_" + std::to_string(hw) + "t", hw, true, true));
+  // Interleave: rep r of every configuration before rep r+1 of any, so
+  // process-wide drift spreads evenly across labels.
+  for (int rep = 0; rep < reps; ++rep)
+    for (RunResult& r : runs) time_one_rep(r, world, pings, hostnames);
 
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"run", "threads", "cache", "engine", "wall ms", "hostnames/s", "hit rate",

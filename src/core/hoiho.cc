@@ -4,6 +4,7 @@
 #include <chrono>
 #include <optional>
 
+#include "util/sysinfo.h"
 #include "util/thread_pool.h"
 
 namespace hoiho::core {
@@ -43,6 +44,7 @@ std::string RunReport::to_json(std::string_view indent) const {
 // per-suffix hot path only pays relaxed adds. All handles live in the
 // registry passed to run_instrumented and stay valid for its lifetime.
 struct Hoiho::PipelineMetrics {
+  obs::Registry* registry;  // for per-worker gauges resolved at fold time
   obs::Counter suffixes, suffixes_skipped, suffixes_usable;
   obs::Counter hostnames, tagged_hostnames;
   obs::Counter candidates_generated, ncs_built, learned_hints;
@@ -50,12 +52,16 @@ struct Hoiho::PipelineMetrics {
   obs::Counter cache_hits, cache_misses, cache_prefilter_rejects, cache_bypasses;
   obs::Counter rx_subjects, rx_candidates, rx_programs_run, rx_hits, rx_programs_compiled;
   obs::Counter budget_exhausted;
+  obs::Counter pool_tasks_stolen, pool_steal_failures;
+  obs::Counter stream_batches;
   obs::Gauge grid_cells;
-  obs::Gauge pool_tasks_submitted, pool_tasks_executed, pool_max_queue_depth;
-  obs::Histogram suffix_ns;
+  obs::Gauge pool_tasks_submitted, pool_tasks_executed;
+  obs::Gauge peak_rss_bytes;
+  obs::Histogram suffix_ns, pool_queue_wait_ns;
 
   explicit PipelineMetrics(obs::Registry& r)
-      : suffixes(r.counter("pipeline_suffixes")),
+      : registry(&r),
+        suffixes(r.counter("pipeline_suffixes")),
         suffixes_skipped(r.counter("pipeline_suffixes_skipped")),
         suffixes_usable(r.counter("pipeline_suffixes_usable")),
         hostnames(r.counter("pipeline_hostnames")),
@@ -77,11 +83,33 @@ struct Hoiho::PipelineMetrics {
         rx_hits(r.counter("rx_set_hits")),
         rx_programs_compiled(r.counter("rx_programs_compiled")),
         budget_exhausted(r.counter("pipeline_budget_exhausted")),
+        pool_tasks_stolen(r.counter("pool_tasks_stolen")),
+        pool_steal_failures(r.counter("pool_steal_failures")),
+        stream_batches(r.counter("pipeline_stream_batches")),
         grid_cells(r.gauge("pipeline_expected_rtt_grid_cells")),
         pool_tasks_submitted(r.gauge("pipeline_pool_tasks_submitted")),
         pool_tasks_executed(r.gauge("pipeline_pool_tasks_executed")),
-        pool_max_queue_depth(r.gauge("pipeline_pool_max_queue_depth")),
-        suffix_ns(r.histogram("pipeline_suffix_ns")) {}
+        peak_rss_bytes(r.gauge("pipeline_peak_rss_bytes")),
+        suffix_ns(r.histogram("pipeline_suffix_ns")),
+        pool_queue_wait_ns(r.histogram("pool_queue_wait_ns")) {}
+
+  // Folds one pool's stats into the registry: the aggregate counters plus a
+  // per-worker depth/executed gauge pair, labelled by worker index. The
+  // labelled gauges replace the old single pipeline_pool_max_queue_depth
+  // gauge — a shared high-water mark hid which deque actually backed up.
+  void fold_pool(const util::WorkStealingPool::Stats& ps) {
+    pool_tasks_submitted.add(static_cast<std::int64_t>(ps.submitted));
+    pool_tasks_executed.add(static_cast<std::int64_t>(ps.executed));
+    pool_tasks_stolen.add(ps.tasks_stolen);
+    pool_steal_failures.add(ps.steal_failures);
+    for (std::size_t w = 0; w < ps.workers.size(); ++w) {
+      const std::string label = "{worker=\"" + std::to_string(w) + "\"}";
+      obs::Gauge depth = registry->gauge("pipeline_pool_max_queue_depth" + label);
+      depth.set(std::max(depth.load(), static_cast<std::int64_t>(ps.workers[w].max_queue_depth)));
+      registry->gauge("pipeline_pool_worker_executed" + label)
+          .add(static_cast<std::int64_t>(ps.workers[w].executed));
+    }
+  }
 };
 
 std::shared_ptr<const measure::ExpectedRttGrid> Hoiho::expected_rtt_grid(
@@ -369,6 +397,11 @@ HoihoResult Hoiho::run_instrumented(const topo::Topology& topo,
 
   std::size_t threads = util::ThreadPool::resolve(config_.threads);
   if (!groups.empty()) threads = std::min(threads, groups.size());
+  // Never oversubscribe: suffix learning is CPU-bound, so workers beyond the
+  // core count only add preemption (measurably pessimizing small corpora —
+  // the seed bench's cached_4t used to lose to cached_1t on 1-core hosts).
+  // Output is threads-invariant, so the clamp is unobservable in results.
+  threads = std::min(threads, util::ThreadPool::resolve(0));
   if (threads <= 1) {
     for (std::size_t i = 0; i < groups.size(); ++i)
       slots[i] = run_suffix_instrumented(groups[i], meas, pm, tracer);
@@ -376,19 +409,32 @@ HoihoResult Hoiho::run_instrumented(const topo::Topology& topo,
     // Suffix runs are independent: each reads only the shared const inputs
     // (dictionary, topology, measurements) and writes its own slot. Results
     // land by group index, so output order matches the sequential path.
-    util::ThreadPool pool(threads);
-    for (std::size_t i = 0; i < groups.size(); ++i)
-      pool.submit([this, &slots, &groups, &meas, pm, tracer, i] {
-        slots[i] = run_suffix_instrumented(groups[i], meas, pm, tracer);
+    //
+    // Suffix sizes are heavily skewed (one consumer ISP next to dozens of
+    // small operators), so the batch is seeded cost-descending into a
+    // work-stealing pool: every worker starts on one of the k largest
+    // suffixes, and whoever drains first steals the smallest remaining task
+    // from a neighbour instead of idling.
+    util::WorkStealingPool pool(threads);
+    if (pm != nullptr) pool.set_queue_wait_histogram(pm->pool_queue_wait_ns);
+    std::vector<std::size_t> order(groups.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return groups[a].hostnames.size() > groups[b].hostnames.size();
+    });
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(order.size());
+    for (std::size_t idx : order)
+      tasks.push_back([this, &slots, &groups, &meas, pm, tracer, idx] {
+        slots[idx] = run_suffix_instrumented(groups[idx], meas, pm, tracer);
       });
+    pool.seed(std::move(tasks));
     pool.wait_idle();
-    if (pm != nullptr) {
-      const util::ThreadPool::Stats ps = pool.stats();
-      pm->pool_tasks_submitted.add(static_cast<std::int64_t>(ps.submitted));
-      pm->pool_tasks_executed.add(static_cast<std::int64_t>(ps.executed));
-      pm->pool_max_queue_depth.set(
-          std::max(pm->pool_max_queue_depth.load(), static_cast<std::int64_t>(ps.max_queue_depth)));
-    }
+    if (pm != nullptr) pm->fold_pool(pool.stats());
+  }
+  if (pm != nullptr) {
+    pm->peak_rss_bytes.set(
+        std::max(pm->peak_rss_bytes.load(), static_cast<std::int64_t>(util::peak_rss_bytes())));
   }
 
   HoihoResult result;
@@ -397,8 +443,115 @@ HoihoResult Hoiho::run_instrumented(const topo::Topology& topo,
   return result;
 }
 
+HoihoResult Hoiho::run_stream_instrumented(io::SuffixStream& stream, obs::Registry* registry,
+                                           obs::Tracer* tracer) const {
+  std::optional<PipelineMetrics> metrics;
+  if (registry != nullptr) metrics.emplace(*registry);
+  PipelineMetrics* pm = metrics ? &*metrics : nullptr;
+
+  obs::Span run_span(tracer, "run_stream");
+
+  // Per-hostname payloads point into the batch that owns the hostnames;
+  // strip them before the batch dies so streamed results are both safe and
+  // small (aggregate counts, the NC, learned hints, and the class survive).
+  const auto compact = [](SuffixResult& sr) {
+    std::vector<TaggedHostname>().swap(sr.tagged);
+    std::vector<HostnameEval>().swap(sr.eval.per_hostname);
+  };
+
+  // Same no-oversubscription clamp as run_instrumented.
+  const std::size_t threads =
+      std::min(util::ThreadPool::resolve(config_.threads), util::ThreadPool::resolve(0));
+  std::optional<util::WorkStealingPool> pool;
+  if (threads > 1) {
+    pool.emplace(threads);
+    if (pm != nullptr) pool->set_queue_wait_histogram(pm->pool_queue_wait_ns);
+  }
+
+  HoihoResult result;
+  std::size_t total_suffixes = 0;
+  std::optional<io::SuffixBatch> batch = stream.next_batch();
+  while (batch) {
+    const std::vector<topo::SuffixGroup>& groups = batch->groups;
+    const measure::Measurements& meas = batch->pings;
+    total_suffixes += groups.size();
+    std::vector<SuffixResult> slots(groups.size());
+
+    if (pm != nullptr && config_.consistency_cache) {
+      // Every batch shares the campaign VP set, so this builds once and the
+      // grid cache serves every later batch.
+      if (const auto grid = expected_rtt_grid(meas))
+        pm->grid_cells.set(static_cast<std::int64_t>(grid->location_count() * grid->vp_count()));
+    }
+
+    std::optional<io::SuffixBatch> next;
+    if (!pool) {
+      for (std::size_t i = 0; i < groups.size(); ++i)
+        slots[i] = run_suffix_instrumented(groups[i], meas, pm, tracer);
+      next = stream.next_batch();
+    } else {
+      // Same cost-descending seeding as run(); results land by slot index,
+      // so stream order (and threads=1 equivalence) is preserved.
+      std::vector<std::size_t> order(groups.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return groups[a].hostnames.size() > groups[b].hostnames.size();
+      });
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(order.size());
+      for (std::size_t idx : order)
+        tasks.push_back([this, &slots, &groups, &meas, pm, tracer, idx] {
+          slots[idx] = run_suffix_instrumented(groups[idx], meas, pm, tracer);
+        });
+      pool->seed(std::move(tasks));
+      // Double buffering: the main thread renders batch k+1 while the
+      // workers learn batch k. The stream is only ever touched from this
+      // thread; the workers only touch the current batch.
+      next = stream.next_batch();
+      pool->wait_idle();
+    }
+
+    for (SuffixResult& sr : slots) {
+      if (sr.hostname_count == 0) continue;
+      compact(sr);
+      result.suffixes.push_back(std::move(sr));
+    }
+    if (pm != nullptr) {
+      pm->stream_batches.inc();
+      pm->peak_rss_bytes.set(
+          std::max(pm->peak_rss_bytes.load(), static_cast<std::int64_t>(util::peak_rss_bytes())));
+    }
+    batch = std::move(next);
+  }
+  run_span.set_work(total_suffixes);
+
+  if (pool && pm != nullptr) pm->fold_pool(pool->stats());
+  if (registry != nullptr) stream.report().publish(*registry, "stream");
+  return result;
+}
+
 HoihoResult Hoiho::run(const topo::Topology& topo, const measure::Measurements& meas) const {
   return run_instrumented(topo, meas, config_.registry, config_.tracer);
+}
+
+HoihoResult Hoiho::run_stream(io::SuffixStream& stream) const {
+  return run_stream_instrumented(stream, config_.registry, config_.tracer);
+}
+
+RunReport Hoiho::run_stream_report(io::SuffixStream& stream) const {
+  std::optional<obs::Registry> own_registry;
+  std::optional<obs::Tracer> own_tracer;
+  obs::Registry* registry = config_.registry;
+  obs::Tracer* tracer = config_.tracer;
+  if (registry == nullptr) registry = &own_registry.emplace();
+  if (tracer == nullptr) tracer = &own_tracer.emplace();
+
+  RunReport report;
+  report.result = run_stream_instrumented(stream, registry, tracer);
+  report.metrics = registry->snapshot();
+  report.spans = tracer->spans();
+  report.dropped_spans = tracer->dropped();
+  return report;
 }
 
 RunReport Hoiho::run_report(const topo::Topology& topo,

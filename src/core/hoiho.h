@@ -20,6 +20,7 @@
 #include "core/rank.h"
 #include "core/regex_gen.h"
 #include "core/regex_sets.h"
+#include "io/suffix_stream.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -173,6 +174,25 @@ class Hoiho {
   // instruments into private instances scoped to this call.
   RunReport run_report(const topo::Topology& topo, const measure::Measurements& meas) const;
 
+  // Streaming run (DESIGN.md §12): pulls suffix batches from `stream`,
+  // learns each batch's suffixes (work-stealing across workers, exactly
+  // like run()), frees the batch, and pulls the next — peak memory is one
+  // or two batches, never the world. While the workers chew on batch k the
+  // main thread renders batch k+1 (double buffering), so generation and
+  // learning overlap.
+  //
+  // Results arrive in stream order, byte-identical for threads=1 and
+  // threads=N. To keep memory bounded, the per-hostname payloads
+  // (SuffixResult::tagged, eval.per_hostname) are cleared after each batch
+  // — they point into batch-owned hostnames — so streamed results carry the
+  // learned NC, hints, class, and aggregate counts, but not per-hostname
+  // outcomes (HoihoResult::geolocated_router_count() reports 0).
+  HoihoResult run_stream(io::SuffixStream& stream) const;
+
+  // run_stream() plus the observability report; also publishes the
+  // stream's ingest accounting (ingest_* counters, source="stream").
+  RunReport run_stream_report(io::SuffixStream& stream) const;
+
   // Runs the pipeline for one suffix group.
   SuffixResult run_suffix(const topo::SuffixGroup& group,
                           const measure::Measurements& meas) const;
@@ -201,6 +221,9 @@ class Hoiho {
   // run() with explicit instrumentation sinks (either may be null).
   HoihoResult run_instrumented(const topo::Topology& topo, const measure::Measurements& meas,
                                obs::Registry* registry, obs::Tracer* tracer) const;
+
+  HoihoResult run_stream_instrumented(io::SuffixStream& stream, obs::Registry* registry,
+                                      obs::Tracer* tracer) const;
 
   SuffixResult run_suffix_instrumented(const topo::SuffixGroup& group,
                                        const measure::Measurements& meas, PipelineMetrics* pm,

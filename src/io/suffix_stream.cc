@@ -1,0 +1,8 @@
+#include "io/suffix_stream.h"
+
+namespace hoiho::io {
+
+// Key function: anchors the vtable so every consumer doesn't emit its own.
+SuffixStream::~SuffixStream() = default;
+
+}  // namespace hoiho::io

@@ -75,9 +75,37 @@ std::vector<measure::VantagePoint> make_vps(const geo::GeoDictionary& dict, std:
   return vps;
 }
 
-void add_operator(World& world, OperatorSpec spec, double hostname_rate, double stale_rate,
-                  util::Rng& rng) {
-  const geo::GeoDictionary& dict = *world.dict;
+LocationPools build_location_pools(const geo::GeoDictionary& dict) {
+  LocationPools pools;
+  for (geo::LocationId id = 0; id < dict.size(); ++id) {
+    pools.all.push_back(id);
+    const geo::LocationCodes& codes = dict.codes(id);
+    if (!codes.iata.empty()) pools.with_iata.push_back(id);
+    if (!codes.clli.empty()) pools.with_clli.push_back(id);
+    if (!codes.locode.empty()) pools.with_locode.push_back(id);
+    if (!dict.facility_addresses(id).empty()) pools.with_facility.push_back(id);
+    if (!dict.location(id).state.empty()) pools.with_state.push_back(id);
+  }
+  // Well-known custom-hint locations (paper table 5): looked up once.
+  for (const char* name : {"Ashburn", "Toronto", "Washington", "Tokyo", "Zurich", "London"}) {
+    const auto ids = dict.lookup(geo::HintType::kCityName, geo::squash_place_name(name));
+    for (geo::LocationId id : ids) {
+      const geo::Location& loc = dict.location(id);
+      // Disambiguate to the famous instance (facility-bearing).
+      if (loc.has_facility) {
+        pools.well_known.push_back(id);
+        break;
+      }
+    }
+  }
+  return pools;
+}
+
+topo::RouterId render_operator(const OperatorSpec& spec, const geo::GeoDictionary& dict,
+                               bool ipv6, double hostname_rate, double stale_rate,
+                               std::size_t& addr_counter, util::Rng& rng,
+                               topo::Topology& topology, std::vector<HostnameTruth>& truths) {
+  const topo::RouterId first = static_cast<topo::RouterId>(topology.size());
 
   // Population weights (dampened) over the footprint for router placement:
   // router deployment correlates with population density (Lakhina et al.)
@@ -95,13 +123,13 @@ void add_operator(World& world, OperatorSpec spec, double hostname_rate, double 
     const geo::LocationId loc = i < guaranteed
                                     ? spec.footprint[i % spec.footprint.size()]
                                     : spec.footprint[rng.next_weighted(weights)];
-    const topo::RouterId rid = world.topology.add_router(loc);
+    const topo::RouterId rid = topology.add_router(loc);
     const bool named = rng.next_bool(hostname_rate);
     const std::size_t n_ifaces = 1 + rng.next_below(3);
     for (std::size_t k = 0; k < n_ifaces; ++k) {
-      const std::string addr = make_address(world.ipv6, ++world.addr_counter);
+      const std::string addr = make_address(ipv6, ++addr_counter);
       if (!named) {
-        world.topology.add_interface(rid, addr, {});
+        topology.add_interface(rid, addr, {});
         continue;
       }
       // Stale hostname: the name encodes a different footprint city.
@@ -119,21 +147,198 @@ void add_operator(World& world, OperatorSpec spec, double hostname_rate, double 
       }
       const auto rendered = render_hostname(spec.scheme, dict, intended, spec.suffix, rng);
       if (!rendered) {
-        world.topology.add_interface(rid, addr, {});
+        topology.add_interface(rid, addr, {});
         continue;
       }
-      world.topology.add_interface(rid, addr, rendered->hostname);
+      topology.add_interface(rid, addr, rendered->hostname);
       HostnameTruth truth;
       truth.router = rid;
       truth.hostname = rendered->hostname;
       truth.has_geohint = rendered->has_geohint;
       truth.intended = rendered->has_geohint ? intended : geo::kInvalidLocation;
       truth.stale = stale && rendered->has_geohint;
-      world.truth_index.emplace(truth.hostname, world.truths.size());
-      world.truths.push_back(std::move(truth));
+      truths.push_back(std::move(truth));
     }
   }
+  return first;
+}
+
+void add_operator(World& world, OperatorSpec spec, double hostname_rate, double stale_rate,
+                  util::Rng& rng) {
+  const std::size_t first_truth = world.truths.size();
+  render_operator(spec, *world.dict, world.ipv6, hostname_rate, stale_rate, world.addr_counter,
+                  rng, world.topology, world.truths);
+  for (std::size_t i = first_truth; i < world.truths.size(); ++i)
+    world.truth_index.emplace(world.truths[i].hostname, i);
   world.operators.push_back(std::move(spec));
+}
+
+SampledOperator sample_operator(const geo::GeoDictionary& dict, const LocationPools& pools,
+                                const WorldConfig& config, std::string suffix, util::Rng& rng,
+                                std::size_t forced_router_count) {
+  SampledOperator out;
+  OperatorSpec& spec = out.spec;
+  spec.suffix = std::move(suffix);
+  spec.router_count =
+      forced_router_count != 0
+          ? forced_router_count
+          : std::min<std::size_t>(
+                config.max_routers_per_operator,
+                2 + static_cast<std::size_t>(rng.next_pareto(config.size_xm, config.size_alpha)));
+
+  // Large operators (consumer access networks) contribute most hostnames
+  // but rarely embed geohints; transit/backbone operators (smaller router
+  // counts) usually do. This reproduces the paper's aggregate: ~55% of
+  // routers have hostnames but only ~9% have apparent geohints.
+  double p_geo = config.geohint_scheme_rate;
+  if (spec.router_count > 60) p_geo *= 0.25;       // consumer access networks
+  else if (spec.router_count < 6) p_geo *= 0.5;    // too small to bother
+  else p_geo *= 1.5;                               // transit/backbone operators
+  const bool has_geo = rng.next_bool(std::min(1.0, p_geo));
+  core::Role role = core::Role::kIata;
+  bool cc = false, st = false;
+  if (has_geo) {
+    const std::size_t pick = rng.next_weighted(
+        {config.w_iata, config.w_city, config.w_clli, config.w_locode, config.w_facility});
+    switch (pick) {
+      case 0:
+        role = core::Role::kIata;
+        cc = rng.next_bool(config.p_country_iata);
+        st = !cc && rng.next_bool(config.p_state_iata);
+        break;
+      case 1:
+        role = core::Role::kCityName;
+        cc = rng.next_bool(config.p_country_city);
+        st = rng.next_bool(config.p_state_city);
+        break;
+      case 2:
+        role = core::Role::kClli;
+        cc = rng.next_bool(config.p_country_clli);
+        break;
+      case 3: role = core::Role::kLocode; break;
+      default: role = core::Role::kFacility; break;
+    }
+  }
+  spec.scheme = sample_scheme(role, cc, st, rng);
+  spec.scheme.has_geohint = has_geo;
+  if (!has_geo) {
+    // Strip geohint parts: the operator names routers without locations.
+    for (LabelTemplate& label : spec.scheme.labels) {
+      std::erase_if(label, [](const Part& p) { return p.kind == PartKind::kGeo; });
+    }
+    std::erase_if(spec.scheme.labels, [](const LabelTemplate& l) { return l.empty(); });
+    if (spec.scheme.labels.empty())
+      spec.scheme.labels = {{Part::role(), Part::num()}};
+    // Customer / vanity labels (paper challenge 5 noise).
+    if (rng.next_bool(0.55))
+      spec.scheme.labels.insert(spec.scheme.labels.begin(), {Part::word(), Part::num()});
+  } else if (rng.next_bool(0.15)) {
+    spec.scheme.labels.insert(spec.scheme.labels.begin(), {Part::word(), Part::dash(),
+                                                           Part::num()});
+  }
+  if (role == core::Role::kClli && rng.next_bool(config.p_split_clli))
+    spec.scheme.split_clli = true;
+  if (rng.next_bool(config.inconsistent_rate)) spec.scheme.inconsistency = 0.35;
+  if (rng.next_bool(0.35)) spec.scheme.extra_label_rate = 0.4;
+
+  // Footprint: population-weighted sample from the pool the scheme can
+  // name; state-annotated schemes stay in countries with subdivisions.
+  const std::vector<geo::LocationId>* pool = &pools.all;
+  if (has_geo) {
+    switch (role) {
+      case core::Role::kIata: pool = &pools.with_iata; break;
+      case core::Role::kClli: pool = &pools.with_clli; break;
+      case core::Role::kLocode: pool = &pools.with_locode; break;
+      case core::Role::kFacility: pool = &pools.with_facility; break;
+      default: pool = &pools.all; break;
+    }
+    if (st) pool = &pools.with_state;
+  }
+  std::vector<geo::LocationId> candidates = *pool;
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  for (geo::LocationId id : candidates)
+    weights.push_back(1.0 + static_cast<double>(dict.location(id).population));
+  // Several routers per site: typical sites host 4-6 routers.
+  const std::size_t footprint_size = std::min(
+      candidates.size(), std::max<std::size_t>(4, spec.router_count / 5));
+  if (config.spatial_footprint && !candidates.empty()) {
+    // Spatially-embedded deployment: a home site, its nearest code-bearing
+    // neighbours, plus the occasional far satellite (an IXP presence or an
+    // acquired PoP on another continent).
+    const geo::LocationId home = candidates[rng.next_weighted(weights)];
+    const geo::Coordinate& at = dict.location(home).coord;
+    std::vector<geo::LocationId> by_distance = candidates;
+    std::stable_sort(by_distance.begin(), by_distance.end(),
+                     [&](geo::LocationId a, geo::LocationId b) {
+                       return geo::distance_km(at, dict.location(a).coord) <
+                              geo::distance_km(at, dict.location(b).coord);
+                     });
+    std::set<geo::LocationId> chosen;
+    std::size_t next_near = 0;
+    while (chosen.size() < footprint_size && next_near < by_distance.size()) {
+      if (rng.next_bool(config.satellite_site_rate)) {
+        chosen.insert(by_distance[rng.next_below(by_distance.size())]);
+      } else {
+        chosen.insert(by_distance[next_near++]);
+      }
+    }
+    spec.footprint.assign(chosen.begin(), chosen.end());
+  } else {
+    std::set<geo::LocationId> chosen;
+    for (int attempt = 0; chosen.size() < footprint_size && attempt < 2000; ++attempt)
+      chosen.insert(candidates[rng.next_weighted(weights)]);
+    spec.footprint.assign(chosen.begin(), chosen.end());
+  }
+
+  // Custom geohints. Only operators with enough routers per site can
+  // anchor a learnable custom code (three congruent routers, §5.4).
+  const bool custom_capable = has_geo && spec.router_count >= 12 &&
+                              (role == core::Role::kIata ||
+                               role == core::Role::kLocode ||
+                               role == core::Role::kClli);
+  if (custom_capable && rng.next_bool(config.custom_operator_rate)) {
+    // Bias IATA operators toward the community custom locations (paper
+    // table 5: many suffixes independently converge on ash/tor/wdc/...).
+    if (role == core::Role::kIata) {
+      for (int k = 0; k < 2; ++k) {
+        if (pools.well_known.empty() || !rng.next_bool(0.55)) continue;
+        const geo::LocationId id = pools.well_known[rng.next_below(pools.well_known.size())];
+        if (std::find(spec.footprint.begin(), spec.footprint.end(), id) ==
+            spec.footprint.end())
+          spec.footprint.push_back(id);
+      }
+    }
+    std::size_t n_custom = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(spec.footprint.size()) *
+                                    config.custom_loc_frac));
+    std::vector<geo::LocationId> shuffled = spec.footprint;
+    rng.shuffle(shuffled);
+    // Prefer well-known custom locations, then the biggest sites (which
+    // host the most routers, so the codes are learnable).
+    std::stable_sort(shuffled.begin(), shuffled.end(), [&](geo::LocationId a, geo::LocationId b) {
+      const bool wa =
+          std::find(pools.well_known.begin(), pools.well_known.end(), a) != pools.well_known.end();
+      const bool wb =
+          std::find(pools.well_known.begin(), pools.well_known.end(), b) != pools.well_known.end();
+      if (wa != wb) return wa;
+      return dict.location(a).population > dict.location(b).population;
+    });
+    for (geo::LocationId id : shuffled) {
+      if (spec.scheme.custom_codes.size() >= n_custom) break;
+      const auto code = make_custom_code(role, dict, id, rng);
+      if (code) spec.scheme.custom_codes[id] = *code;
+    }
+  }
+
+  out.stale_rate = config.stale_rate;
+  if (rng.next_bool(config.mislabel_operator_rate)) out.stale_rate += config.mislabel_rate;
+  // Backbone/transit operators name nearly all their routers; consumer
+  // networks name far fewer (tuned so the aggregate matches the
+  // configured hostname rate).
+  out.hostname_rate = has_geo ? std::min(0.92, config.hostname_rate * 1.35)
+                              : config.hostname_rate * 0.85;
+  return out;
 }
 
 World generate_world(const geo::GeoDictionary& dict, const WorldConfig& config) {
@@ -143,167 +348,14 @@ World generate_world(const geo::GeoDictionary& dict, const WorldConfig& config) 
   world.ipv6 = config.ipv6;
   world.vps = make_vps(dict, config.vp_count);
 
-  // Location pools per geohint type.
-  std::vector<geo::LocationId> all, with_iata, with_clli, with_locode, with_facility, with_state;
-  for (geo::LocationId id = 0; id < dict.size(); ++id) {
-    all.push_back(id);
-    const geo::LocationCodes& codes = dict.codes(id);
-    if (!codes.iata.empty()) with_iata.push_back(id);
-    if (!codes.clli.empty()) with_clli.push_back(id);
-    if (!codes.locode.empty()) with_locode.push_back(id);
-    if (!dict.facility_addresses(id).empty()) with_facility.push_back(id);
-    if (!dict.location(id).state.empty()) with_state.push_back(id);
-  }
-
-  // Well-known custom-hint locations (paper table 5): looked up once.
-  std::vector<geo::LocationId> well_known;
-  for (const char* name : {"Ashburn", "Toronto", "Washington", "Tokyo", "Zurich", "London"}) {
-    const auto ids = dict.lookup(geo::HintType::kCityName, geo::squash_place_name(name));
-    for (geo::LocationId id : ids) {
-      const geo::Location& loc = dict.location(id);
-      // Disambiguate to the famous instance (facility-bearing).
-      if (loc.has_facility) {
-        well_known.push_back(id);
-        break;
-      }
-    }
-  }
+  const LocationPools pools = build_location_pools(dict);
 
   std::set<std::string> used_suffixes;
   for (std::size_t op = 0; op < config.operators; ++op) {
-    OperatorSpec spec;
-    spec.suffix = make_suffix(rng, used_suffixes);
-    spec.router_count = std::min<std::size_t>(
-        config.max_routers_per_operator,
-        2 + static_cast<std::size_t>(rng.next_pareto(config.size_xm, config.size_alpha)));
-
-    // Large operators (consumer access networks) contribute most hostnames
-    // but rarely embed geohints; transit/backbone operators (smaller router
-    // counts) usually do. This reproduces the paper's aggregate: ~55% of
-    // routers have hostnames but only ~9% have apparent geohints.
-    double p_geo = config.geohint_scheme_rate;
-    if (spec.router_count > 60) p_geo *= 0.25;       // consumer access networks
-    else if (spec.router_count < 6) p_geo *= 0.5;    // too small to bother
-    else p_geo *= 1.5;                               // transit/backbone operators
-    const bool has_geo = rng.next_bool(std::min(1.0, p_geo));
-    core::Role role = core::Role::kIata;
-    bool cc = false, st = false;
-    if (has_geo) {
-      const std::size_t pick = rng.next_weighted(
-          {config.w_iata, config.w_city, config.w_clli, config.w_locode, config.w_facility});
-      switch (pick) {
-        case 0:
-          role = core::Role::kIata;
-          cc = rng.next_bool(config.p_country_iata);
-          st = !cc && rng.next_bool(config.p_state_iata);
-          break;
-        case 1:
-          role = core::Role::kCityName;
-          cc = rng.next_bool(config.p_country_city);
-          st = rng.next_bool(config.p_state_city);
-          break;
-        case 2:
-          role = core::Role::kClli;
-          cc = rng.next_bool(config.p_country_clli);
-          break;
-        case 3: role = core::Role::kLocode; break;
-        default: role = core::Role::kFacility; break;
-      }
-    }
-    spec.scheme = sample_scheme(role, cc, st, rng);
-    spec.scheme.has_geohint = has_geo;
-    if (!has_geo) {
-      // Strip geohint parts: the operator names routers without locations.
-      for (LabelTemplate& label : spec.scheme.labels) {
-        std::erase_if(label, [](const Part& p) { return p.kind == PartKind::kGeo; });
-      }
-      std::erase_if(spec.scheme.labels, [](const LabelTemplate& l) { return l.empty(); });
-      if (spec.scheme.labels.empty())
-        spec.scheme.labels = {{Part::role(), Part::num()}};
-      // Customer / vanity labels (paper challenge 5 noise).
-      if (rng.next_bool(0.55))
-        spec.scheme.labels.insert(spec.scheme.labels.begin(), {Part::word(), Part::num()});
-    } else if (rng.next_bool(0.15)) {
-      spec.scheme.labels.insert(spec.scheme.labels.begin(), {Part::word(), Part::dash(),
-                                                             Part::num()});
-    }
-    if (role == core::Role::kClli && rng.next_bool(config.p_split_clli))
-      spec.scheme.split_clli = true;
-    if (rng.next_bool(config.inconsistent_rate)) spec.scheme.inconsistency = 0.35;
-    if (rng.next_bool(0.35)) spec.scheme.extra_label_rate = 0.4;
-
-    // Footprint: population-weighted sample from the pool the scheme can
-    // name; state-annotated schemes stay in countries with subdivisions.
-    const std::vector<geo::LocationId>* pool = &all;
-    if (has_geo) {
-      switch (role) {
-        case core::Role::kIata: pool = &with_iata; break;
-        case core::Role::kClli: pool = &with_clli; break;
-        case core::Role::kLocode: pool = &with_locode; break;
-        case core::Role::kFacility: pool = &with_facility; break;
-        default: pool = &all; break;
-      }
-      if (st) pool = &with_state;
-    }
-    std::vector<geo::LocationId> candidates = *pool;
-    std::vector<double> weights;
-    weights.reserve(candidates.size());
-    for (geo::LocationId id : candidates)
-      weights.push_back(1.0 + static_cast<double>(dict.location(id).population));
-    // Several routers per site: typical sites host 4-6 routers.
-    const std::size_t footprint_size = std::min(
-        candidates.size(), std::max<std::size_t>(4, spec.router_count / 5));
-    std::set<geo::LocationId> chosen;
-    for (int attempt = 0; chosen.size() < footprint_size && attempt < 2000; ++attempt)
-      chosen.insert(candidates[rng.next_weighted(weights)]);
-    spec.footprint.assign(chosen.begin(), chosen.end());
-
-    // Custom geohints. Only operators with enough routers per site can
-    // anchor a learnable custom code (three congruent routers, §5.4).
-    const bool custom_capable = has_geo && spec.router_count >= 12 &&
-                                (role == core::Role::kIata ||
-                                 role == core::Role::kLocode ||
-                                 role == core::Role::kClli);
-    if (custom_capable && rng.next_bool(config.custom_operator_rate)) {
-      // Bias IATA operators toward the community custom locations (paper
-      // table 5: many suffixes independently converge on ash/tor/wdc/...).
-      if (role == core::Role::kIata) {
-        for (int k = 0; k < 2; ++k) {
-          if (well_known.empty() || !rng.next_bool(0.55)) continue;
-          const geo::LocationId id = well_known[rng.next_below(well_known.size())];
-          if (std::find(spec.footprint.begin(), spec.footprint.end(), id) ==
-              spec.footprint.end())
-            spec.footprint.push_back(id);
-        }
-      }
-      std::size_t n_custom = std::max<std::size_t>(
-          1, static_cast<std::size_t>(static_cast<double>(spec.footprint.size()) *
-                                      config.custom_loc_frac));
-      std::vector<geo::LocationId> shuffled = spec.footprint;
-      rng.shuffle(shuffled);
-      // Prefer well-known custom locations, then the biggest sites (which
-      // host the most routers, so the codes are learnable).
-      std::stable_sort(shuffled.begin(), shuffled.end(), [&](geo::LocationId a, geo::LocationId b) {
-        const bool wa = std::find(well_known.begin(), well_known.end(), a) != well_known.end();
-        const bool wb = std::find(well_known.begin(), well_known.end(), b) != well_known.end();
-        if (wa != wb) return wa;
-        return dict.location(a).population > dict.location(b).population;
-      });
-      for (geo::LocationId id : shuffled) {
-        if (spec.scheme.custom_codes.size() >= n_custom) break;
-        const auto code = make_custom_code(role, dict, id, rng);
-        if (code) spec.scheme.custom_codes[id] = *code;
-      }
-    }
-
-    double stale = config.stale_rate;
-    if (rng.next_bool(config.mislabel_operator_rate)) stale += config.mislabel_rate;
-    // Backbone/transit operators name nearly all their routers; consumer
-    // networks name far fewer (tuned so the aggregate matches the
-    // configured hostname rate).
-    const double host_rate = has_geo ? std::min(0.92, config.hostname_rate * 1.35)
-                                     : config.hostname_rate * 0.85;
-    add_operator(world, std::move(spec), host_rate, stale, rng);
+    SampledOperator sampled =
+        sample_operator(dict, pools, config, make_suffix(rng, used_suffixes), rng);
+    add_operator(world, std::move(sampled.spec), sampled.hostname_rate, sampled.stale_rate,
+                 rng);
   }
   return world;
 }

@@ -7,6 +7,10 @@
 // truth record (does this hostname embed a geohint, and for which intended
 // location). Ground truth lets the benches score inferences exactly — the
 // luxury the paper could only obtain from 13 cooperating operators.
+//
+// The building blocks (location pools, operator sampling, operator
+// rendering) are exposed separately so sim::StreamingWorld can generate
+// ITDK-scale worlds suffix-by-suffix without materializing a World.
 #pragma once
 
 #include <string>
@@ -88,7 +92,53 @@ struct WorldConfig {
   double p_country_iata = 0.22, p_state_iata = 0.02;
   double p_country_city = 0.015, p_state_city = 0.05;
   double p_country_clli = 0.05;
+
+  // Spatially-embedded footprints ("Evidence of spatial embedding",
+  // PAPERS.md): pick a population-weighted home site, then deploy to its
+  // nearest code-bearing neighbours, with an occasional far satellite site.
+  // Off by default — the batch generator keeps its historical
+  // global-population sampling so seeded worlds are unchanged; the
+  // streaming generator turns it on.
+  bool spatial_footprint = false;
+  double satellite_site_rate = 0.12;  // footprint slots drawn far from home
 };
+
+// Location id pools per geohint code type, plus the community custom-hint
+// cities of paper table 5. Built once per dictionary and shared across
+// operator samples.
+struct LocationPools {
+  std::vector<geo::LocationId> all, with_iata, with_clli, with_locode, with_facility,
+      with_state;
+  std::vector<geo::LocationId> well_known;
+};
+
+LocationPools build_location_pools(const geo::GeoDictionary& dict);
+
+// One sampled operator plus the render-time rates derived with it.
+struct SampledOperator {
+  OperatorSpec spec;
+  double stale_rate = 0;
+  double hostname_rate = 0;
+};
+
+// Samples an operator's size, naming scheme, footprint, and custom codes
+// from `rng` — the per-operator half of generate_world, reusable by the
+// streaming generator. `forced_router_count`, when nonzero, replaces the
+// Pareto size draw (the streaming generator plans sizes from a Zipf
+// schedule instead).
+SampledOperator sample_operator(const geo::GeoDictionary& dict, const LocationPools& pools,
+                                const WorldConfig& config, std::string suffix, util::Rng& rng,
+                                std::size_t forced_router_count = 0);
+
+// Renders one operator's routers, interfaces, and hostnames into
+// `topology`, appending ground truth to `truths`. `addr_counter` is the
+// interface-address ordinal (a World uses one global counter; the streaming
+// generator uses a per-suffix base). Returns the id of the first router
+// added.
+topo::RouterId render_operator(const OperatorSpec& spec, const geo::GeoDictionary& dict,
+                               bool ipv6, double hostname_rate, double stale_rate,
+                               std::size_t& addr_counter, util::Rng& rng,
+                               topo::Topology& topology, std::vector<HostnameTruth>& truths);
 
 // Builds the vantage-point set: the `count` highest-ranked locations
 // (facility first, then population), one VP each, named by IATA code.

@@ -18,11 +18,11 @@ double sample_rtt(util::Rng& rng, double base_ms, double inflation_min, double i
 
 }  // namespace
 
-measure::Measurements probe_pings(const World& world, const PingConfig& config) {
-  util::Rng rng(config.seed);
-  measure::Measurements meas(world.vps, world.topology.size());
-  const geo::GeoDictionary& dict = *world.dict;
-  for (const topo::Router& router : world.topology.routers()) {
+void probe_pings_range(const geo::GeoDictionary& dict, const topo::Topology& topology,
+                       topo::RouterId begin, topo::RouterId end, const PingConfig& config,
+                       util::Rng& rng, measure::Measurements& meas) {
+  for (topo::RouterId r = begin; r < end; ++r) {
+    const topo::Router& router = topology.router(r);
     if (!rng.next_bool(config.router_response_rate)) continue;
     const geo::Coordinate& at = dict.location(router.true_location).coord;
     for (measure::VpId v = 0; v < meas.vps.size(); ++v) {
@@ -33,6 +33,13 @@ measure::Measurements probe_pings(const World& world, const PingConfig& config) 
                                                  config.noise_max_ms));
     }
   }
+}
+
+measure::Measurements probe_pings(const World& world, const PingConfig& config) {
+  util::Rng rng(config.seed);
+  measure::Measurements meas(world.vps, world.topology.size());
+  probe_pings_range(*world.dict, world.topology, 0,
+                    static_cast<topo::RouterId>(world.topology.size()), config, rng, meas);
   return meas;
 }
 

@@ -30,6 +30,16 @@ struct PingConfig {
 
 measure::Measurements probe_pings(const World& world, const PingConfig& config = {});
 
+// Range form of probe_pings, for streaming generation: probes routers
+// [begin, end) of `topology` (which must carry true locations) from
+// `meas.vps`, recording into `meas.pings`. Drawing from one rng across the
+// whole range reproduces probe_pings exactly; the streaming generator
+// instead calls this once per suffix with a per-suffix rng so the samples
+// are independent of batch boundaries.
+void probe_pings_range(const geo::GeoDictionary& dict, const topo::Topology& topology,
+                       topo::RouterId begin, topo::RouterId end, const PingConfig& config,
+                       util::Rng& rng, measure::Measurements& meas);
+
 struct TraceConfig {
   std::uint64_t seed = 3;
   double router_seen_rate = 1.0;   // routers appearing in any traceroute

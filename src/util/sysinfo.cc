@@ -1,0 +1,38 @@
+#include "util/sysinfo.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace hoiho::util {
+
+namespace {
+
+// Reads a "Vm...: N kB" field from /proc/self/status. Returns bytes, 0 on
+// any failure (non-Linux, procfs unavailable).
+std::uint64_t read_status_kb(const char* field) {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0 || line[field_len] != ':') continue;
+    std::sscanf(line + field_len + 1, "%lu", &kb);
+    break;
+  }
+  std::fclose(f);
+  return kb * 1024;
+#else
+  (void)field;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_bytes() { return read_status_kb("VmHWM"); }
+
+std::uint64_t current_rss_bytes() { return read_status_kb("VmRSS"); }
+
+}  // namespace hoiho::util

@@ -1,0 +1,19 @@
+// Process memory accounting for the scale benches and the streaming-ingest
+// RSS gauge (DESIGN.md §12): the XL acceptance criterion is "the generator
+// never materializes the full world", which is only checkable if peak RSS
+// is on record next to the wall time.
+#pragma once
+
+#include <cstdint>
+
+namespace hoiho::util {
+
+// Peak resident set size of this process in bytes (VmHWM on Linux).
+// Returns 0 where unsupported.
+std::uint64_t peak_rss_bytes();
+
+// Current resident set size in bytes (VmRSS on Linux). Returns 0 where
+// unsupported.
+std::uint64_t current_rss_bytes();
+
+}  // namespace hoiho::util

@@ -1,12 +1,25 @@
-// A small fixed-size worker pool over a bounded task queue.
+// Worker pools for the per-suffix learning pipeline and the serving daemon.
 //
-// The pool exists so the learning pipeline can fan out across independent
-// DNS suffixes (paper §5: the method is per-suffix, so suffix runs share no
-// mutable state). submit() applies backpressure — it blocks while the queue
-// is at capacity — so a producer enumerating millions of suffixes cannot
-// balloon memory. wait_idle() is the join point: it returns once every
-// submitted task has finished executing, after which the pool can be reused
-// for another batch.
+// Two pools share this header:
+//
+//   * ThreadPool — a fixed-size worker pool over one bounded shared queue.
+//     submit() applies backpressure (blocks while the queue is at capacity),
+//     which is what the serving data plane wants: producers must slow down
+//     rather than balloon memory.
+//
+//   * WorkStealingPool — per-worker deques with steal-from-back semantics,
+//     built for the learner's suffix fan-out where task sizes are heavily
+//     skewed (Zipf suffix sizes: one giant consumer ISP next to thousands of
+//     small operators). The caller seeds a whole batch at once, cost-ordered
+//     largest-first; seeding round-robins tasks across the deques under one
+//     lock acquisition per worker, so there is no shared-queue convoy.
+//     Workers pop their own deque from the front (big tasks start first) and
+//     steal from the back of a victim's deque when empty (stolen tasks are
+//     the smallest remaining, minimizing contention on the victim's lock).
+//
+// Neither pool imposes an execution order on results: pipeline callers
+// write into index-addressed slots, so threads=1 and threads=N produce
+// byte-identical output regardless of which worker ran what.
 #pragma once
 
 #include <condition_variable>
@@ -18,7 +31,19 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace hoiho::util {
+
+// Per-worker accounting shared by both pools. For ThreadPool (one shared
+// queue) `stolen`/`steal_failures` are always zero and `max_queue_depth`
+// mirrors the shared queue's high-water mark.
+struct WorkerStats {
+  std::uint64_t executed = 0;        // tasks this worker finished
+  std::uint64_t stolen = 0;          // tasks it took from another worker's deque
+  std::uint64_t steal_failures = 0;  // full victim scans that found nothing
+  std::size_t max_queue_depth = 0;   // high-water mark of its own deque
+};
 
 class ThreadPool {
  public:
@@ -49,6 +74,7 @@ class ThreadPool {
     std::uint64_t executed = 0;        // tasks that finished running
     std::size_t queue_depth = 0;       // queued-but-unstarted right now
     std::size_t max_queue_depth = 0;   // high-water mark since construction
+    std::vector<WorkerStats> workers;  // per-worker executed counts
   };
   Stats stats() const;
 
@@ -57,7 +83,7 @@ class ThreadPool {
   static std::size_t resolve(std::size_t requested);
 
  private:
-  void worker(std::stop_token stop);
+  void worker(std::stop_token stop, std::size_t index);
 
   mutable std::mutex mu_;
   std::condition_variable cv_room_;  // queue has room (producers wait here)
@@ -69,7 +95,85 @@ class ThreadPool {
   std::uint64_t submitted_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t max_queue_depth_ = 0;
+  std::vector<std::uint64_t> executed_per_worker_;
   bool stopping_ = false;
+  std::vector<std::jthread> workers_;  // last member: joins before the rest die
+};
+
+// Suffix-sharding pool: per-worker deques, batch seeding, work stealing.
+//
+// Usage is batch-oriented: seed() a whole task list (the caller orders it
+// largest-cost-first), wait_idle(), optionally seed() the next batch. Task
+// i of a seed call lands on worker i % thread_count() — deterministic
+// placement, so a cost-descending order gives every worker one of the k
+// largest tasks. submit() also exists for stragglers; it appends to the
+// least-loaded deque.
+class WorkStealingPool {
+ public:
+  explicit WorkStealingPool(std::size_t threads);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  // Distributes `tasks` round-robin across the worker deques (task i to
+  // worker i % N, preserving order within each deque) and wakes the
+  // workers. One lock acquisition per worker, not per task.
+  void seed(std::vector<std::function<void()>> tasks);
+
+  // Enqueues one task on the currently shallowest deque.
+  void submit(std::function<void()> task);
+
+  // Blocks until every seeded/submitted task has finished executing.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  // Optional queue-wait instrumentation: when set, the pool observes
+  // (execution start - enqueue) in nanoseconds for every task into `h`.
+  // This keeps queue wait out of the caller's per-task stage spans — the
+  // span clock starts when the task runs, and the wait is accounted here.
+  void set_queue_wait_histogram(obs::Histogram h) { queue_wait_ns_ = h; }
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t tasks_stolen = 0;      // sum of workers[].stolen
+    std::uint64_t steal_failures = 0;    // sum of workers[].steal_failures
+    std::size_t max_queue_depth = 0;     // max over workers[].max_queue_depth
+    std::vector<WorkerStats> workers;
+  };
+  Stats stats() const;
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
+  // One deque + its lock, cache-line separated so a worker popping its own
+  // deque never false-shares with a neighbour being stolen from.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::deque<Task> deque;
+    WorkerStats stats;
+  };
+
+  void worker(std::stop_token stop, std::size_t index);
+  bool try_pop_own(std::size_t index, Task& out);
+  bool try_steal(std::size_t thief, Task& out);
+  void run_task(std::size_t index, Task& task);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  obs::Histogram queue_wait_ns_;
+
+  std::mutex idle_mu_;
+  std::condition_variable cv_work_;  // new tasks seeded, or stop requested
+  std::condition_variable cv_idle_;  // in-flight reached zero
+  std::atomic<std::size_t> in_flight_{0};  // queued + executing (wait_idle)
+  std::atomic<std::size_t> queued_{0};     // queued only (worker sleep/steal gate)
+  std::atomic<std::uint64_t> submitted_{0};
+  bool stopping_ = false;  // guarded by idle_mu_
   std::vector<std::jthread> workers_;  // last member: joins before the rest die
 };
 
