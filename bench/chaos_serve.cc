@@ -8,9 +8,11 @@
 //      record the exact response line each hostname must produce;
 //   2. exec hoihod with HOIHO_FAILPOINTS arming short writes, EINTR, accept
 //      failures, and worker latency;
-//   3. drive pipelined lookups from several connections (connect uses the
-//      client's jittered-backoff retry, so injected accept failures are
-//      survived, not special-cased);
+//   3. drive a pipelined mixed workload — LOOKUP, GEO (plain, claimed, and
+//      by interface address), STATS, and an unknown verb — from several
+//      connections, every response verified against a precomputed exact
+//      line (connect uses the client's jittered-backoff retry, so injected
+//      accept failures are survived, not special-cased);
 //   4. mid-run: two same-content atomic rewrites (watcher reloads), one
 //      corrupt-model rewrite (reload must fail; old model keeps answering),
 //      then restore;
@@ -42,6 +44,8 @@
 
 #include "core/hoiho.h"
 #include "core/nc_io.h"
+#include "fuse/audit.h"
+#include "measure/rtt_io.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "sim/probing.h"
@@ -68,32 +72,127 @@ std::string self_dir() {
   return slash == std::string::npos ? "." : path.substr(0, slash);
 }
 
-// Learn a model and precompute the exact wire response for each hostname.
-void build_corpus(std::size_t operators, std::vector<core::StoredConvention>* stored,
-                  std::vector<std::string>* hostnames, std::vector<std::string>* expected) {
+// Expected responses are exact wire lines, except entries starting with
+// '\x01': the rest is a required response *prefix* (used for STATS, whose
+// counters change between requests).
+constexpr char kPrefixSentinel = '\x01';
+
+// Replicates the daemon's GEO handling (Server::process_batch) for one raw
+// request line: parse it exactly as the wire parser will, fuse, classify the
+// claim if one was sent, format. Fusion is deterministic, so this is the
+// byte-exact line the daemon must produce.
+std::string expected_geo(const fuse::Fuser& fuser, const std::string& line) {
+  const serve::Request req = serve::parse_request(line);
+  if (!req.error.empty()) return serve::format_error(req.error);
+  std::optional<geo::Coordinate> claimed;
+  if (req.has_claimed) claimed = req.claimed;
+  const fuse::FuseResult fused = fuser.fuse(req.subject, claimed);
+  std::optional<fuse::AuditOutcome> audit;
+  if (req.has_claimed)
+    audit = fuse::classify_claim(fused, req.claimed, fuse::AuditConfig{}.agree_km);
+  return serve::format_geo(fused, audit);
+}
+
+// Learn a model, write the subjects + RTT files the daemon will arm GEO
+// from, and precompute the exact wire response for a mixed
+// LOOKUP/GEO/STATS/unknown-verb request stream. The in-process fuse context
+// is built from the files' round-tripped contents — the same bytes the
+// daemon loads — so the precomputed GEO lines match it exactly.
+bool build_corpus(std::size_t operators, const std::string& subjects_path,
+                  const std::string& rtt_path, std::vector<core::StoredConvention>* stored,
+                  std::vector<std::string>* requests, std::vector<std::string>* expected) {
   const geo::GeoDictionary& dict = geo::builtin_dictionary();
   sim::WorldConfig config;
   config.seed = 20260805;
   config.operators = operators;
   config.geohint_scheme_rate = 0.8;
   const sim::World world = sim::generate_world(dict, config);
-  const measure::Measurements pings = sim::probe_pings(world, {});
+  measure::Measurements pings = sim::probe_pings(world, {});
   const core::Hoiho hoiho(dict);
   const core::HoihoResult result = hoiho.run(world.topology, pings);
   core::Geolocator check(dict);
   for (const core::SuffixResult& sr : result.suffixes) {
     if (!sr.usable()) continue;
     stored->push_back(core::StoredConvention{sr.nc, sr.cls});
-    check.add(sr.nc);
+    check.add(sr.nc, sr.cls);
   }
-  std::size_t misses_kept = 0;
+
+  // Subjects + RTT files, in the hoihod --subjects-out / --rtt-out format.
+  {
+    std::ofstream subj(subjects_path);
+    for (const topo::Router& router : world.topology.routers()) {
+      std::string first_hostname;
+      for (const topo::Interface& ifc : router.interfaces)
+        if (ifc.hostname) {
+          first_hostname = ifc.hostname->full;
+          break;
+        }
+      for (const topo::Interface& ifc : router.interfaces) {
+        if (ifc.hostname) subj << ifc.hostname->full << ',' << router.id << '\n';
+        if (!ifc.address.empty())
+          subj << ifc.address << ',' << router.id << ',' << first_hostname << '\n';
+      }
+    }
+    std::ofstream rtt(rtt_path);
+    measure::save_measurements(rtt, pings);
+    if (!subj || !rtt) {
+      std::fprintf(stderr, "chaos: cannot write %s / %s\n", subjects_path.c_str(),
+                   rtt_path.c_str());
+      return false;
+    }
+  }
+  // Round-trip through the files so the in-process context sees exactly what
+  // the daemon will load (the RTT format is not double-lossless).
+  std::ifstream sin(subjects_path), rin(rtt_path);
+  const auto subjects = fuse::load_subjects(sin);
+  const auto meas = measure::load_measurements(rin, world.topology.size(), {});
+  if (!subjects || !meas) {
+    std::fprintf(stderr, "chaos: subject/rtt round-trip failed\n");
+    return false;
+  }
+  const auto ctx = fuse::FuseContext::build(*subjects, std::move(*meas), dict);
+  const fuse::Fuser fuser(check, ctx.get());
+
+  std::size_t misses_kept = 0, kept = 0;
   for (const sim::HostnameTruth& truth : world.truths) {
     const auto loc = check.locate(truth.hostname);
     if (!loc && misses_kept >= world.truths.size() / 20) continue;
     if (!loc) ++misses_kept;
-    hostnames->push_back(truth.hostname);
+    requests->push_back(truth.hostname);
     expected->push_back(loc ? serve::format_hit(*loc) : serve::format_miss());
+    ++kept;
+
+    // Interleave the rest of the verb mix, keyed off the kept-row ordinal so
+    // the stream is deterministic: plain GEO, claimed GEO (the claim is the
+    // hostname answer's own coordinate — formatted then re-parsed inside
+    // expected_geo, so truncation matches the wire), GEO by interface
+    // address, STATS, and an unknown verb.
+    if (kept % 3 == 0) {
+      requests->push_back("GEO " + truth.hostname);
+      expected->push_back(expected_geo(fuser, requests->back()));
+    }
+    if (kept % 7 == 1 && loc) {
+      requests->push_back("GEO " + truth.hostname + " " + util::fmt_double(loc->coord.lat, 4) +
+                          "," + util::fmt_double(loc->coord.lon, 4));
+      expected->push_back(expected_geo(fuser, requests->back()));
+    }
+    if (kept % 11 == 2) {
+      const topo::Router& router = world.topology.router(truth.router);
+      if (!router.interfaces.empty() && !router.interfaces.front().address.empty()) {
+        requests->push_back("GEO " + router.interfaces.front().address);
+        expected->push_back(expected_geo(fuser, requests->back()));
+      }
+    }
+    if (kept % 23 == 3) {
+      requests->push_back("STATS");
+      expected->push_back(std::string(1, kPrefixSentinel) + "STATS,");
+    }
+    if (kept % 41 == 4) {
+      requests->push_back("FROBNICATE " + truth.hostname);
+      expected->push_back(serve::format_error("unknown_verb"));
+    }
   }
+  return true;
 }
 
 pid_t spawn_daemon(const std::string& binary, const std::vector<std::string>& args,
@@ -135,6 +234,14 @@ int wait_for_exit(pid_t pid, int timeout_ms) {
   return -1;
 }
 
+// True when `line` satisfies `want` (exact match, or prefix match for
+// sentinel-tagged entries).
+bool matches(const std::string& line, const std::string& want) {
+  if (!want.empty() && want[0] == kPrefixSentinel)
+    return line.compare(0, want.size() - 1, want, 1, want.size() - 1) == 0;
+  return line == want;
+}
+
 void drive(const std::string& host, std::uint16_t port,
            const std::vector<std::string>& hostnames,
            const std::vector<std::string>& expected, std::size_t offset,
@@ -172,7 +279,7 @@ void drive(const std::string& host, std::uint16_t port,
         result->io_failed = true;
         return;
       }
-      if (*line == expected[batch_idx[i]]) {
+      if (matches(*line, expected[batch_idx[i]])) {
         ++result->ok;
       } else if (*line == "ERR,busy" || *line == "ERR,deadline") {
         ++result->shed;  // load shedding is allowed, wrong answers are not
@@ -228,11 +335,14 @@ int main(int argc, char** argv) {
 
   const std::string model_path = "CHAOS_MODEL.txt";
   const std::string port_file = "CHAOS_PORT.txt";
+  const std::string subjects_path = "CHAOS_SUBJECTS.csv";
+  const std::string rtt_path = "CHAOS_RTT.txt";
   ::unlink(port_file.c_str());
 
   std::vector<core::StoredConvention> stored;
   std::vector<std::string> hostnames, expected;
-  build_corpus(operators, &stored, &hostnames, &expected);
+  if (!build_corpus(operators, subjects_path, rtt_path, &stored, &hostnames, &expected))
+    return 1;
   if (hostnames.empty()) {
     std::fprintf(stderr, "chaos: corpus came up empty\n");
     return 1;
@@ -243,7 +353,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "chaos: %s\n", error.c_str());
     return 1;
   }
-  std::printf("chaos: %zu conventions, %zu hostnames\n", stored.size(), hostnames.size());
+  std::printf("chaos: %zu conventions, %zu mixed requests\n", stored.size(),
+              hostnames.size());
 
   // Daemon side: short writes fragment every flush, accept fails for the
   // first attempts, and worker latency makes shedding/deadlines reachable.
@@ -258,7 +369,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::vector<std::string> daemon_args = {
-      "--model", model_path, "--port", "0", "--port-file", port_file,
+      "--model", model_path, "--subjects", subjects_path, "--rtt", rtt_path,
+      "--port", "0", "--port-file", port_file,
       "--watch-ms", "50", "--deadline-ms", "2000", "--idle-timeout-ms", "30000",
       "--max-inflight", "65536", "--drain-timeout-ms", "3000", "--workers", "2"};
 

@@ -17,7 +17,8 @@
 // (when enabled) succeeded.
 //
 // Run: ./build/bench/serve_loadgen [--connections N] [--pipeline W]
-//      [--duration-s S] [--operators N] [--no-reload] [--json PATH]
+//      [--duration-s S] [--operators N] [--geo-frac F] [--no-reload]
+//      [--json PATH]
 
 #include <algorithm>
 #include <atomic>
@@ -50,6 +51,7 @@ std::uint64_t now_ns() {
 
 struct ThreadResult {
   std::uint64_t sent = 0, hits = 0, misses = 0, errors = 0;
+  std::uint64_t geo = 0, geo_miss = 0;  // GEO,... answers / GEO,miss among them
   std::vector<std::uint64_t> latencies_ns;
   bool io_failed = false;
 };
@@ -65,6 +67,9 @@ struct Options {
   double duration_s = 2.0;
   std::size_t operators = 48;
   bool reload_mid_run = true;
+  // Fraction of requests sent as `GEO <hostname>` instead of a bare lookup
+  // (0 = pure-lookup workload, matching the historical bench).
+  double geo_frac = 0.0;
 };
 
 void drive(const Options& opt, const std::vector<std::string>& hostnames,
@@ -79,9 +84,16 @@ void drive(const Options& opt, const std::vector<std::string>& hostnames,
   result->latencies_ns.reserve(1 << 18);
   std::vector<std::string> batch(opt.pipeline);
   std::size_t cursor = offset % hostnames.size();
+  double geo_acc = 0.0;  // deterministic geo_frac spacing, no rng needed
   while (now_ns() < deadline_ns) {
     for (std::string& slot : batch) {
-      slot = hostnames[cursor];
+      geo_acc += opt.geo_frac;
+      if (geo_acc >= 1.0) {
+        geo_acc -= 1.0;
+        slot = "GEO " + hostnames[cursor];
+      } else {
+        slot = hostnames[cursor];
+      }
       cursor = (cursor + 1) % hostnames.size();
     }
     const std::uint64_t t0 = now_ns();
@@ -99,6 +111,10 @@ void drive(const Options& opt, const std::vector<std::string>& hostnames,
       switch (serve::classify_response(*line)) {
         case serve::ResponseKind::kHit: ++result->hits; break;
         case serve::ResponseKind::kMiss: ++result->misses; break;
+        case serve::ResponseKind::kGeo:
+          ++result->geo;
+          if (*line == "GEO,miss") ++result->geo_miss;
+          break;
         default: ++result->errors; break;
       }
       result->latencies_ns.push_back(now_ns() - t0);
@@ -195,6 +211,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return 1;
       opt.operators = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--geo-frac") {
+      const char* v = value();
+      if (v == nullptr) return 1;
+      opt.geo_frac = std::atof(v);
     } else if (arg == "--spawn") {
       opt.spawn = true;
     } else if (arg == "--no-reload") {
@@ -280,7 +300,7 @@ int main(int argc, char** argv) {
   for (std::thread& t : threads) t.join();
   const double wall_s = static_cast<double>(now_ns() - t_start) / 1e9;
 
-  std::uint64_t sent = 0, hits = 0, misses = 0, errors = 0;
+  std::uint64_t sent = 0, hits = 0, misses = 0, errors = 0, geo = 0, geo_miss = 0;
   bool io_failed = false;
   std::vector<std::uint64_t> latencies;
   for (ThreadResult& r : results) {
@@ -288,6 +308,8 @@ int main(int argc, char** argv) {
     hits += r.hits;
     misses += r.misses;
     errors += r.errors;
+    geo += r.geo;
+    geo_miss += r.geo_miss;
     io_failed = io_failed || r.io_failed;
     latencies.insert(latencies.end(), r.latencies_ns.begin(), r.latencies_ns.end());
   }
@@ -306,9 +328,12 @@ int main(int argc, char** argv) {
   std::printf("loadgen: %llu lookups in %.2fs over %zu connections (pipeline %zu)\n",
               static_cast<unsigned long long>(sent), wall_s, opt.connections,
               opt.pipeline);
-  std::printf("loadgen: %.0f lookups/sec, hits %llu, misses %llu, errors %llu\n", rate,
-              static_cast<unsigned long long>(hits),
+  std::printf("loadgen: %.0f lookups/sec, hits %llu, misses %llu, geo %llu "
+              "(%llu miss), errors %llu\n",
+              rate, static_cast<unsigned long long>(hits),
               static_cast<unsigned long long>(misses),
+              static_cast<unsigned long long>(geo),
+              static_cast<unsigned long long>(geo_miss),
               static_cast<unsigned long long>(errors));
   std::printf("loadgen: latency p50 %.3fms  p99 %.3fms  p99.9 %.3fms\n", p50_ms, p99_ms,
               p999_ms);
@@ -325,6 +350,9 @@ int main(int argc, char** argv) {
        << "  \"lookups_per_sec\": " << util::fmt_double(rate, 1) << ",\n"
        << "  \"hits\": " << hits << ",\n"
        << "  \"misses\": " << misses << ",\n"
+       << "  \"geo_frac\": " << util::fmt_double(opt.geo_frac, 3) << ",\n"
+       << "  \"geo_answers\": " << geo << ",\n"
+       << "  \"geo_misses\": " << geo_miss << ",\n"
        << "  \"errors\": " << errors << ",\n"
        << "  \"latency_ms\": {\"p50\": " << util::fmt_double(p50_ms, 3)
        << ", \"p99\": " << util::fmt_double(p99_ms, 3)
@@ -335,7 +363,8 @@ int main(int argc, char** argv) {
   std::printf("loadgen: wrote %s\n", opt.json_path.c_str());
 
   const bool pass = hits > 0 && errors == 0 && !io_failed &&
-                    (!reload_attempted || reload_ok);
+                    (!reload_attempted || reload_ok) &&
+                    (opt.geo_frac <= 0.0 || geo > 0);
   if (!pass) std::fprintf(stderr, "loadgen: FAILED acceptance (see counters above)\n");
   return pass ? 0 : 1;
 }

@@ -4,10 +4,11 @@
 
 namespace hoiho::core {
 
-void Geolocator::add(NamingConvention nc) {
+void Geolocator::add(NamingConvention nc, NcClass cls) {
   if (nc.suffix.empty()) return;
   CompiledConvention cc;
   cc.nc = std::move(nc);
+  cc.cls = cls;
   for (const GeoRegex& gr : cc.nc.regexes) cc.matcher.add(gr.regex);
   cc.matcher.finalize();
   std::string key = cc.nc.suffix;
@@ -20,6 +21,12 @@ const NamingConvention* Geolocator::convention(std::string_view suffix) const {
 }
 
 std::optional<Geolocation> Geolocator::locate(std::string_view hostname) const {
+  auto detail = locate_detailed(hostname);
+  if (!detail) return std::nullopt;
+  return std::move(detail->best);
+}
+
+std::optional<LocateDetail> Geolocator::locate_detailed(std::string_view hostname) const {
   const auto host = dns::parse_hostname(hostname);
   if (!host) return std::nullopt;
   const auto it = by_suffix_.find(host->suffix());
@@ -76,13 +83,16 @@ std::optional<Geolocation> Geolocator::locate(std::string_view hostname) const {
     }
   }
 
-  Geolocation out;
-  out.location = best;
-  out.coord = dict_.location(best).coord;
-  out.code = ex->code;
-  out.role = ex->primary;
-  out.via_learned = via_learned;
-  out.suffix = nc->suffix;
+  LocateDetail out;
+  out.best.location = best;
+  out.best.coord = dict_.location(best).coord;
+  out.best.code = ex->code;
+  out.best.role = ex->primary;
+  out.best.via_learned = via_learned;
+  out.best.suffix = nc->suffix;
+  out.candidates = std::move(candidates);
+  out.hint = dt;
+  out.cls = cc.cls;
   return out;
 }
 

@@ -15,6 +15,7 @@
 #include <optional>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "core/geohint.h"
 #include "dns/hostname.h"
@@ -31,6 +32,18 @@ struct Geolocation {
   std::string suffix;      // convention that matched
 };
 
+// The full account of one locate(): the winning location plus every
+// dictionary sibling that survived cc/st narrowing, in dictionary order.
+// The fusion subsystem (src/fuse/) consumes the candidate list — ambiguity
+// the hostname alone cannot resolve (e.g. "melbourne" FL vs AU) is exactly
+// what RTT feasibility disambiguates.
+struct LocateDetail {
+  Geolocation best;                          // identical to locate()'s answer
+  std::vector<geo::LocationId> candidates;   // all narrowed siblings, best included
+  geo::HintType hint = geo::HintType::kIata; // dictionary the code was looked up in
+  NcClass cls = NcClass::kGood;              // stage-5 class of the convention
+};
+
 class Geolocator {
  public:
   explicit Geolocator(const geo::GeoDictionary& dict) : dict_(dict) {}
@@ -39,9 +52,13 @@ class Geolocator {
   // The convention's regexes are compiled into an rx::SetMatcher here, once,
   // so every locate() runs prebuilt programs (a ModelSnapshot in src/serve/
   // therefore carries its matchers ready-made across hot reloads).
-  void add(NamingConvention nc);
+  // `cls` is the stage-5 classification, carried through to LocateDetail so
+  // downstream ranking (src/fuse/) can weight by convention quality.
+  void add(NamingConvention nc, NcClass cls = NcClass::kGood);
 
   std::size_t convention_count() const { return by_suffix_.size(); }
+
+  const geo::GeoDictionary& dictionary() const { return dict_; }
 
   // Total compiled regex programs across all conventions (serving metrics).
   std::size_t program_count() const {
@@ -61,6 +78,12 @@ class Geolocator {
   // unknown.
   std::optional<Geolocation> locate(std::string_view hostname) const;
 
+  // locate() plus the evidence it was derived from: the full candidate list
+  // before tiebreaking and the convention's classification. Same miss
+  // conditions as locate(); when both return, locate_detailed().best is
+  // byte-identical to locate()'s result (locate() is a thin wrapper).
+  std::optional<LocateDetail> locate_detailed(std::string_view hostname) const;
+
  private:
   // Transparent hash so find(string_view) needs no temporary std::string
   // (locate() runs once per served request; see src/serve/).
@@ -78,6 +101,7 @@ class Geolocator {
   struct CompiledConvention {
     NamingConvention nc;
     rx::SetMatcher matcher;
+    NcClass cls = NcClass::kGood;
   };
 
   const geo::GeoDictionary& dict_;

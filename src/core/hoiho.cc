@@ -114,12 +114,8 @@ struct Hoiho::PipelineMetrics {
 
 std::shared_ptr<const measure::ExpectedRttGrid> Hoiho::expected_rtt_grid(
     const measure::Measurements& meas) const {
-  // Cap the eager build: a 10k-location CSV dictionary against 1k VPs would
-  // be 10M haversines and 80 MB up front; the lazy per-cache memo handles
-  // that regime fine.
-  constexpr std::size_t kMaxGridCells = 4u << 20;
   if (!config_.expected_rtt_grid || meas.vps.empty() ||
-      dict_.size() * meas.vps.size() > kMaxGridCells) {
+      dict_.size() * meas.vps.size() > config_.max_grid_cells) {
     return nullptr;
   }
   GridCache& gc = *grid_cache_;

@@ -64,9 +64,16 @@ struct HoihoConfig {
   // Precompute the (location, VP) speed-of-light RTT grid once per VP set
   // and share it read-only across suffix runs, instead of each suffix cache
   // memoizing haversines lazily. Same doubles, same verdicts; skipped for
-  // dictionaries/VP sets whose product exceeds an internal size cap. Only
+  // dictionaries/VP sets whose product exceeds `max_grid_cells`. Only
   // meaningful with `consistency_cache` on.
   bool expected_rtt_grid = true;
+
+  // Cells (locations x VPs) above which the eager grid build is skipped and
+  // suffix caches fall back to lazy per-location memoization — a
+  // 10k-location CSV dictionary against 1k VPs would be 10M haversines and
+  // 80 MB up front, which the lazy path handles fine. Exposed so the
+  // fallback is testable (tests/test_consistency_cache.cc).
+  std::size_t max_grid_cells = 4u << 20;
 
   // Run regexes on the compiled engine (rx::Program / rx::SetMatcher); off
   // falls back to the AST backtracker. Results are byte-identical either

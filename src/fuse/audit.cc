@@ -1,0 +1,181 @@
+#include "fuse/audit.h"
+
+#include <cstdlib>
+#include <istream>
+
+#include "util/csv.h"
+
+namespace hoiho::fuse {
+
+namespace {
+
+bool parse_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+std::string_view to_string(AuditOutcome o) {
+  switch (o) {
+    case AuditOutcome::kAgree: return "agree";
+    case AuditOutcome::kRefute: return "refute";
+    case AuditOutcome::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+std::optional<std::vector<FeedRow>> load_feed(std::istream& in, const io::LoadOptions& opt,
+                                              io::LoadReport* report) {
+  io::LoadReport local;
+  io::LoadReport& rep = report != nullptr ? *report : local;
+  std::vector<FeedRow> feed;
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    ++rep.lines;
+    if (line.size() > opt.max_line_bytes) {
+      if (!rep.skip(opt, "oversized_line", lineno,
+                    "line exceeds " + std::to_string(opt.max_line_bytes) + " bytes"))
+        return std::nullopt;
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    const util::CsvRow row = util::parse_csv_line(line);
+    if (row.empty()) continue;
+    if (row.size() != 3) {
+      if (!rep.skip(opt, "bad_fields", lineno, "need subject,lat,lon")) return std::nullopt;
+      continue;
+    }
+    FeedRow fr;
+    fr.subject = row[0];
+    if (fr.subject.empty()) {
+      if (!rep.skip(opt, "bad_fields", lineno, "empty subject")) return std::nullopt;
+      continue;
+    }
+    if (!parse_double(row[1], &fr.claimed.lat) || !parse_double(row[2], &fr.claimed.lon)) {
+      if (!rep.skip(opt, "bad_number", lineno, "non-numeric coordinates")) return std::nullopt;
+      continue;
+    }
+    if (!fr.claimed.valid()) {
+      if (!rep.skip(opt, "bad_coords", lineno, "invalid coordinates")) return std::nullopt;
+      continue;
+    }
+    if (opt.max_records > 0 && feed.size() >= opt.max_records) {
+      rep.fail("line " + std::to_string(lineno) + ": more than " +
+               std::to_string(opt.max_records) + " rows (record cap)");
+      return std::nullopt;
+    }
+    feed.push_back(std::move(fr));
+    ++rep.records;
+  }
+  if (in.bad()) {
+    rep.fail("stream read failure");
+    return std::nullopt;
+  }
+  return feed;
+}
+
+Auditor::Auditor(const core::Geolocator& geolocator, const FuseContext* ctx, AuditConfig config,
+                 obs::Registry* registry)
+    : fuser_(geolocator, ctx, config.fuse,
+             registry != nullptr ? FuseMetrics(*registry) : FuseMetrics()),
+      config_(config) {
+  if (registry != nullptr) {
+    agree_ = registry->counter("audit_agree");
+    refute_ = registry->counter("audit_refute");
+    unknown_ = registry->counter("audit_unknown");
+  }
+}
+
+AuditOutcome classify_claim(const FuseResult& fused, const geo::Coordinate& claimed,
+                            double agree_km, double* nearest_km, std::string* evidence) {
+  const Verdict* claimed_verdict = nullptr;
+  const Verdict* nearest = nullptr;  // nearest feasible hostname-derived verdict
+  double nearest_distance = -1.0;
+  for (const Verdict& v : fused.verdicts) {
+    if (v.source == Source::kClaimed) {
+      claimed_verdict = &v;
+      continue;
+    }
+    if (!v.feasible) continue;  // physics already refuted this candidate
+    const double km = geo::distance_km(claimed, v.coord);
+    if (nearest == nullptr || km < nearest_distance) {
+      nearest = &v;
+      nearest_distance = km;
+    }
+  }
+  if (nearest_km != nullptr) *nearest_km = nearest_distance;
+
+  AuditOutcome outcome;
+  const Verdict* deciding = nullptr;
+  if (claimed_verdict != nullptr && claimed_verdict->rtt_checked &&
+      !claimed_verdict->feasible) {
+    // Some VP's measured RTT is impossible from the claimed coordinate —
+    // the strongest contradiction available, independent of the hostname.
+    outcome = AuditOutcome::kRefute;
+    deciding = claimed_verdict;
+  } else if (nearest != nullptr && nearest_distance <= agree_km) {
+    outcome = AuditOutcome::kAgree;
+    deciding = nearest;
+  } else if (nearest != nullptr) {
+    // The hostname names a feasible location, and it is not where the feed
+    // says. (A claim merely *near* no candidate with no hostname evidence
+    // stays unknown — absence of evidence is not refutation.)
+    outcome = AuditOutcome::kRefute;
+    deciding = nearest;
+  } else {
+    outcome = AuditOutcome::kUnknown;
+    deciding = claimed_verdict;  // may be null (invalid claim never fused)
+  }
+  if (evidence != nullptr && deciding != nullptr) *evidence = deciding->evidence;
+  return outcome;
+}
+
+AuditRow Auditor::audit(std::string_view subject, const geo::Coordinate& claimed) const {
+  AuditRow row;
+  row.subject = std::string(subject);
+  row.claimed = claimed;
+  if (!claimed.valid()) {
+    row.outcome = AuditOutcome::kUnknown;
+    return row;
+  }
+
+  // Fuse with the claim in the candidate set so it gets its own RTT verdict.
+  const FuseResult fused = fuser_.fuse(subject, claimed);
+  if (fused.answered()) row.top_score = fused.best().score;
+  row.outcome =
+      classify_claim(fused, claimed, config_.agree_km, &row.nearest_km, &row.evidence);
+  return row;
+}
+
+AuditSummary Auditor::audit_feed(std::span<const FeedRow> feed,
+                                 std::vector<AuditRow>* rows) const {
+  AuditSummary summary;
+  for (const FeedRow& fr : feed) {
+    AuditRow row = audit(fr.subject, fr.claimed);
+    ++summary.rows;
+    switch (row.outcome) {
+      case AuditOutcome::kAgree:
+        ++summary.agree;
+        agree_.inc();
+        break;
+      case AuditOutcome::kRefute:
+        ++summary.refute;
+        refute_.inc();
+        break;
+      case AuditOutcome::kUnknown:
+        ++summary.unknown;
+        unknown_.inc();
+        break;
+    }
+    if (rows != nullptr) rows->push_back(std::move(row));
+  }
+  return summary;
+}
+
+}  // namespace hoiho::fuse

@@ -1,0 +1,101 @@
+// Geolocation-feed audit: score a claimed IP -> location feed against fused
+// verdicts ("IP Geolocation through Reverse DNS"'s headline use case; see
+// PAPERS.md and DESIGN.md §13).
+//
+// For each feed row (subject, claimed lat/lon) the auditor fuses the
+// hostname and RTT evidence and classifies the claim:
+//
+//   agree   — the claim sits within agree_km of some RTT-feasible fused
+//             candidate (the feed and our evidence tell the same story);
+//   refute  — the evidence contradicts the claim: the claimed coordinate is
+//             RTT-infeasible for the subject's router, or every feasible
+//             hostname-derived candidate is farther than agree_km away;
+//   unknown — no convention covers the hostname and no measurement
+//             constrains the claim; the auditor has nothing to say.
+//
+// Verdicts are per-row and deterministic; the summary is exact accounting
+// (rows == agree + refute + unknown), mirrored into the registry as
+// audit_agree / audit_refute / audit_unknown counters.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "fuse/fuser.h"
+
+namespace hoiho::fuse {
+
+enum class AuditOutcome : std::uint8_t { kAgree, kRefute, kUnknown };
+
+std::string_view to_string(AuditOutcome o);
+
+struct AuditConfig {
+  // A claim within this great-circle distance of a feasible candidate
+  // agrees with it (feeds are city-granular; 100 km ~ metro radius).
+  double agree_km = 100.0;
+  FuseConfig fuse;
+};
+
+// One audited feed row.
+struct AuditRow {
+  std::string subject;
+  geo::Coordinate claimed;
+  AuditOutcome outcome = AuditOutcome::kUnknown;
+  double nearest_km = -1.0;  // claim -> nearest feasible candidate; -1 if none
+  double top_score = 0.0;    // best fused verdict's score (0 when unanswered)
+  std::string evidence;      // the deciding verdict's evidence string
+};
+
+struct AuditSummary {
+  std::size_t rows = 0;
+  std::size_t agree = 0;
+  std::size_t refute = 0;
+  std::size_t unknown = 0;
+};
+
+// A feed row as loaded: subject,lat,lon.
+struct FeedRow {
+  std::string subject;
+  geo::Coordinate claimed;
+};
+
+// Lenient feed loader (io::LoadReport machinery): `subject,lat,lon` CSV,
+// '#' comments allowed. Skip categories: bad_fields, bad_number,
+// bad_coords, oversized_line.
+std::optional<std::vector<FeedRow>> load_feed(std::istream& in, const io::LoadOptions& opt = {},
+                                              io::LoadReport* report = nullptr);
+
+// The audit decision kernel, shared by Auditor::audit and the GEO verb:
+// classifies `claimed` against an already-fused result (fused with the claim
+// in the candidate set, so the claim carries its own RTT verdict).
+// `nearest_km` (claim -> nearest feasible non-claimed verdict; -1 if none)
+// and `evidence` (the deciding verdict's evidence string) are optional
+// out-params.
+AuditOutcome classify_claim(const FuseResult& fused, const geo::Coordinate& claimed,
+                            double agree_km, double* nearest_km = nullptr,
+                            std::string* evidence = nullptr);
+
+class Auditor {
+ public:
+  // `ctx` may be null — the auditor then has no RTT evidence and can only
+  // agree/refute on hostname-derived candidates. `registry` non-null wires
+  // the audit_* counters. Referents must outlive the Auditor.
+  Auditor(const core::Geolocator& geolocator, const FuseContext* ctx = nullptr,
+          AuditConfig config = {}, obs::Registry* registry = nullptr);
+
+  // Audits one claim. Thread-safe (const, immutable state).
+  AuditRow audit(std::string_view subject, const geo::Coordinate& claimed) const;
+
+  // Audits a whole feed, accumulating the summary and counters.
+  AuditSummary audit_feed(std::span<const FeedRow> feed,
+                          std::vector<AuditRow>* rows = nullptr) const;
+
+  const AuditConfig& config() const { return config_; }
+
+ private:
+  Fuser fuser_;
+  AuditConfig config_;
+  obs::Counter agree_, refute_, unknown_;
+};
+
+}  // namespace hoiho::fuse

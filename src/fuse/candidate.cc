@@ -1,0 +1,45 @@
+#include "fuse/candidate.h"
+
+namespace hoiho::fuse {
+
+std::string_view to_string(Source s) {
+  switch (s) {
+    case Source::kLearned: return "learned";
+    case Source::kDictionary: return "dictionary";
+    case Source::kClaimed: return "claimed";
+  }
+  return "?";
+}
+
+CandidateSet gather_candidates(const core::Geolocator& geolocator, std::string_view hostname,
+                               const std::optional<geo::Coordinate>& claimed) {
+  CandidateSet out;
+  const geo::GeoDictionary& dict = geolocator.dictionary();
+  if (const auto detail = geolocator.locate_detailed(hostname)) {
+    out.matched = true;
+    out.code = detail->best.code;
+    out.role = detail->best.role;
+    out.hint = detail->hint;
+    out.suffix = detail->best.suffix;
+    out.cls = detail->cls;
+    out.via_learned = detail->best.via_learned;
+    out.hostname_best = detail->best.location;
+    out.candidates.reserve(detail->candidates.size() + (claimed ? 1 : 0));
+    for (const geo::LocationId id : detail->candidates) {
+      Candidate c;
+      c.location = id;
+      c.coord = dict.location(id).coord;
+      c.source = detail->best.via_learned ? Source::kLearned : Source::kDictionary;
+      out.candidates.push_back(c);
+    }
+  }
+  if (claimed && claimed->valid()) {
+    Candidate c;
+    c.coord = *claimed;
+    c.source = Source::kClaimed;
+    out.candidates.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace hoiho::fuse

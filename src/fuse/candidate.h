@@ -1,0 +1,78 @@
+// Candidate gathering: step one of the fusion pipeline (DESIGN.md §13).
+//
+// A hostname's naming convention usually narrows its location to one city,
+// but not always: dictionary codes are ambiguous ("melbourne" is FL and AU,
+// "hnd" is Henderson and Tokyo), and a claimed location from an external
+// feed may disagree with what the hostname encodes. A CandidateSet holds
+// every location still in play after extraction — the learned geohint or
+// all dictionary siblings that survived cc/st narrowing, plus the claimed
+// coordinate when one was supplied — annotated with where each came from.
+// The RTT filter (fuse/rtt_filter.h) then prunes by physics and the Ranker
+// (fuse/rank.h) orders what survives.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/geolocate.h"
+
+namespace hoiho::fuse {
+
+// Where a candidate location came from, in rank-tiebreak order.
+enum class Source : std::uint8_t {
+  kLearned,     // the convention's stage-4 learned geohint
+  kDictionary,  // dictionary expansion of the extracted code
+  kClaimed,     // caller-supplied claimed location (GEO verb, audit feed)
+};
+
+std::string_view to_string(Source s);
+
+struct Candidate {
+  geo::LocationId location = geo::kInvalidLocation;  // kInvalid for raw claimed coords
+  geo::Coordinate coord;
+  Source source = Source::kDictionary;
+
+  // Filled by RttFilter::apply. `rtt_checked` is false when the subject had
+  // no RTT samples (or no filter ran): feasibility is then vacuous, not
+  // evidence. `margin_ms` is the tightest constraint's headroom — the
+  // minimum over sampled VPs of (measured + slack - speed-of-light bound);
+  // negative means some VP's measurement is physically impossible from this
+  // candidate, i.e. infeasible.
+  bool rtt_checked = false;
+  bool feasible = true;
+  double margin_ms = 0.0;
+
+  // Filled by Ranker::rank (fuse/rank.h).
+  double score = 0.0;
+};
+
+// Candidates for one subject plus the extraction evidence they share.
+struct CandidateSet {
+  std::vector<Candidate> candidates;
+
+  bool matched = false;  // a convention matched and decoded a code
+  std::string code;      // extracted geohint ("" when !matched)
+  core::Role role = core::Role::kIata;
+  geo::HintType hint = geo::HintType::kIata;
+  std::string suffix;    // convention that matched
+  core::NcClass cls = core::NcClass::kGood;
+  bool via_learned = false;
+
+  // The hostname-only answer (Geolocator::locate), for baselining fusion
+  // against extraction alone. kInvalidLocation when !matched.
+  geo::LocationId hostname_best = geo::kInvalidLocation;
+};
+
+// Gathers candidates for `hostname`: the convention's narrowed dictionary
+// siblings (or its single learned location) via locate_detailed, plus
+// `claimed` appended last when given. A hostname no convention covers still
+// yields the claimed candidate, so a claimed-only audit can proceed on RTT
+// evidence alone. Candidate order is deterministic: dictionary order, then
+// claimed.
+CandidateSet gather_candidates(const core::Geolocator& geolocator, std::string_view hostname,
+                               const std::optional<geo::Coordinate>& claimed = std::nullopt);
+
+}  // namespace hoiho::fuse

@@ -1,0 +1,108 @@
+// Ranking: step three of the fusion pipeline (DESIGN.md §13 has the
+// worked score formula).
+//
+// Each surviving candidate gets a score in [0, 1]:
+//
+//   score = w_nc * nc_conf + w_rtt * rtt_score + w_pop * pop_score
+//
+//   nc_conf    — how much the extraction is worth: the convention's stage-5
+//                class (kGood 0.95, kPromising 0.70, kPoor 0.40), used as-is
+//                for the learned location and for dictionary expansion;
+//                claimed locations carry a flat 0.50 (an external feed is
+//                trusted less than a good convention, more than a poor one).
+//   rtt_score  — 0 if RTT-infeasible; 0.5 when unchecked (no measurements
+//                is the absence of evidence, not evidence); otherwise
+//                0.5 + 0.5 * min(1, margin / margin_norm_ms) — candidates
+//                the physics barely admits score just above neutral,
+//                comfortably feasible ones approach 1.
+//   pop_score  — log-scaled population prior, log10(pop + 1) / 8 clamped to
+//                [0, 1] (10^8 ~ the largest metro): routers live where
+//                people do, the paper's own stage-4 tiebreak.
+//
+// Determinism: scores are pure arithmetic over the candidate fields, and
+// ties break by (location id, source), so the ranked order is byte-identical
+// across runs and thread counts — tests/test_fuse.cc pins this.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <unordered_map>
+
+#include "fuse/candidate.h"
+#include "io/load_report.h"
+
+namespace hoiho::fuse {
+
+// Population overrides keyed by location, layered over the dictionary's
+// population field without mutating the shared dictionary. Loaded leniently
+// from CSV: `city,country,population` or `city,state,country,population`
+// ('#' comments allowed); rows are resolved by squashed city name narrowed
+// by country (and state when given). Skip categories: bad_fields,
+// bad_number, unknown_place, oversized_line.
+class PopulationPrior {
+ public:
+  PopulationPrior() = default;
+
+  // The effective population of `id`: the override if one was loaded, else
+  // the dictionary's own field.
+  std::uint64_t population(const geo::GeoDictionary& dict, geo::LocationId id) const {
+    const auto it = overrides_.find(id);
+    return it != overrides_.end() ? it->second : dict.location(id).population;
+  }
+
+  std::size_t override_count() const { return overrides_.size(); }
+  void set(geo::LocationId id, std::uint64_t population) { overrides_[id] = population; }
+
+  // Lenient loader (io::LoadReport machinery, like the RTT and ITDK
+  // loaders). Strict mode fails on the first bad row; lenient mode skips
+  // and counts. nullopt only on a failed load (report->error set).
+  static std::optional<PopulationPrior> load(std::istream& in, const geo::GeoDictionary& dict,
+                                             const io::LoadOptions& opt = {},
+                                             io::LoadReport* report = nullptr);
+
+ private:
+  std::unordered_map<geo::LocationId, std::uint64_t> overrides_;
+};
+
+struct RankerConfig {
+  double w_nc = 0.50;
+  double w_rtt = 0.35;
+  double w_pop = 0.15;
+  // RTT margin (ms) at which rtt_score saturates at 1.0.
+  double margin_norm_ms = 50.0;
+};
+
+// One ranked answer: a location (or raw claimed coordinate), its score, and
+// a human-readable account of the inputs that produced the score.
+struct Verdict {
+  geo::LocationId location = geo::kInvalidLocation;
+  geo::Coordinate coord;
+  Source source = Source::kDictionary;
+  bool feasible = true;
+  bool rtt_checked = false;
+  double margin_ms = 0.0;
+  double score = 0.0;
+  std::string evidence;  // "code=mel hint=iata src=dictionary cls=good rtt=+12.3ms pop=4.5M"
+};
+
+class Ranker {
+ public:
+  explicit Ranker(const geo::GeoDictionary& dict, const PopulationPrior* prior = nullptr,
+                  RankerConfig config = {})
+      : dict_(dict), prior_(prior), config_(config) {}
+
+  // Scores every candidate (writing Candidate::score back) and returns the
+  // verdicts ordered best-first: score descending, ties by location id then
+  // source. Infeasible candidates stay in the list — an auditor wants to
+  // see what was refuted — but score at most w_nc + w_pop.
+  std::vector<Verdict> rank(CandidateSet& set) const;
+
+  const RankerConfig& config() const { return config_; }
+
+ private:
+  const geo::GeoDictionary& dict_;
+  const PopulationPrior* prior_;
+  RankerConfig config_;
+};
+
+}  // namespace hoiho::fuse

@@ -1,0 +1,46 @@
+#include "fuse/rtt_filter.h"
+
+#include <limits>
+
+namespace hoiho::fuse {
+
+RttFilter::RttFilter(const measure::Measurements& meas, const measure::ExpectedRttGrid* grid,
+                     RttFilterConfig config)
+    : meas_(meas), grid_(grid), config_(config) {
+  // Same guard as ConsistencyCache: a grid built for a different VP set
+  // would index garbage, so it is ignored rather than trusted.
+  if (grid_ != nullptr && grid_->vp_count() != meas_.vps.size()) grid_ = nullptr;
+}
+
+double RttFilter::expected_rtt(const Candidate& c, measure::VpId v) const {
+  if (grid_ != nullptr && c.location != geo::kInvalidLocation &&
+      c.location < grid_->location_count()) {
+    return grid_->at(c.location, v);
+  }
+  return geo::min_rtt_ms(c.coord, meas_.vps[v].coord);
+}
+
+std::size_t RttFilter::apply(topo::RouterId r, std::span<Candidate> candidates) const {
+  if (r >= meas_.pings.router_count() || !meas_.pings.responsive(r)) return 0;
+  std::size_t infeasible = 0;
+  for (Candidate& c : candidates) {
+    if (!c.coord.valid()) continue;
+    double margin = std::numeric_limits<double>::infinity();
+    bool any = false;
+    for (measure::VpId v = 0; v < meas_.vps.size(); ++v) {
+      const auto measured = meas_.pings.rtt(r, v);
+      if (!measured) continue;
+      any = true;
+      const double headroom = *measured + config_.slack_ms - expected_rtt(c, v);
+      if (headroom < margin) margin = headroom;
+    }
+    if (!any) continue;  // responsive() guarantees a sample, but stay defensive
+    c.rtt_checked = true;
+    c.margin_ms = margin;
+    c.feasible = margin >= 0.0;
+    if (!c.feasible) ++infeasible;
+  }
+  return infeasible;
+}
+
+}  // namespace hoiho::fuse

@@ -1,0 +1,62 @@
+// RTT speed-of-light feasibility: step two of the fusion pipeline.
+//
+// The same physics as the learner's rtt_consistent() (measure/consistency.h),
+// applied per candidate and reported as a continuous margin rather than a
+// verdict: for every VP with a measured minimum RTT to the subject's router,
+// the speed-of-light bound from the candidate location must not exceed
+// measured + slack. The *tightest* constraint's headroom is the candidate's
+// margin — negative means infeasible (some measurement is physically
+// impossible from there), and a large positive margin means the RTT evidence
+// barely constrains the candidate at all. The Ranker turns the margin into a
+// score; CBG-style slack (baselines/cbg.h uses the same constant family)
+// absorbs last-mile queueing so a lone inflated sample doesn't refute a true
+// location.
+//
+// Expected RTTs come from the shared ExpectedRttGrid when one covers the
+// candidate (same doubles as the learner's cache), else from a direct
+// haversine — claimed coordinates are not dictionary locations and always
+// take the haversine path. A filter is immutable after construction and
+// safe to share across threads.
+#pragma once
+
+#include <span>
+
+#include "fuse/candidate.h"
+#include "measure/consistency_cache.h"
+
+namespace hoiho::fuse {
+
+struct RttFilterConfig {
+  // Added to every measured RTT before comparing against the bound. 0
+  // reproduces the learner's strict test; a few ms tolerates asymmetric
+  // paths and timestamping error (CBG's additive correction).
+  double slack_ms = 0.0;
+};
+
+class RttFilter {
+ public:
+  // `grid`, if non-null, must cover the dictionary locations candidates are
+  // drawn from and `meas.vps` (a mismatched VP count is ignored, matching
+  // ConsistencyCache), and must outlive the filter. Both referents must
+  // outlive the filter.
+  RttFilter(const measure::Measurements& meas, const measure::ExpectedRttGrid* grid = nullptr,
+            RttFilterConfig config = {});
+
+  // Tests every candidate against router `r`'s measured minima, setting
+  // rtt_checked / feasible / margin_ms in place. Returns the number marked
+  // infeasible. A router with no samples constrains nothing (all candidates
+  // keep rtt_checked == false); candidates with invalid coordinates are
+  // skipped the same way.
+  std::size_t apply(topo::RouterId r, std::span<Candidate> candidates) const;
+
+  const RttFilterConfig& config() const { return config_; }
+
+ private:
+  double expected_rtt(const Candidate& c, measure::VpId v) const;
+
+  const measure::Measurements& meas_;
+  const measure::ExpectedRttGrid* grid_;
+  RttFilterConfig config_;
+};
+
+}  // namespace hoiho::fuse

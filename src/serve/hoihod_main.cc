@@ -10,11 +10,24 @@
 // In-flight requests keep the snapshot they started with (see
 // serve/model_store.h); a reload never drops a request.
 //
+// The GEO verb fuses hostname extraction with RTT feasibility and a
+// population prior (DESIGN.md §13). Feed it measurements with:
+//
+//   hoihod --model conv.txt --subjects subj.csv --rtt rtt.txt \
+//          [--population pop.csv]
+//
+// --subjects maps servable subjects (addresses/hostnames) to the router
+// ids the RTT file samples; without it GEO still answers from the
+// hostname + population signals alone.
+//
 // For demos/CI without a learned model on hand, --write-demo-model runs
 // the full learning pipeline on a synthetic world and writes a convention
 // file plus (with --hosts-out) a hostname list that the model answers —
-// ready-made input for bench/serve_loadgen.
+// ready-made input for bench/serve_loadgen. --rtt-out and --subjects-out
+// additionally dump the synthetic RTT campaign and subject map, so a
+// fully fused GEO daemon can be stood up from nothing.
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -27,6 +40,9 @@
 #include "core/geolocate.h"
 #include "core/hoiho.h"
 #include "core/nc_io.h"
+#include "fuse/fuser.h"
+#include "fuse/rank.h"
+#include "measure/rtt_io.h"
 #include "serve/metrics_http.h"
 #include "serve/server.h"
 #include "sim/probing.h"
@@ -45,8 +61,13 @@ int usage(const char* argv0) {
                "usage: %s --model FILE [--port N] [--workers N] [--bind-any]\n"
                "          [--port-file FILE] [--watch-ms N] [--deadline-ms N]\n"
                "          [--idle-timeout-ms N] [--max-inflight N] [--drain-timeout-ms N]\n"
-               "          [--metrics-port N]\n"
+               "          [--metrics-port N] [--subjects FILE] [--rtt FILE]\n"
+               "          [--population FILE] [--rtt-slack-ms X]\n"
                "       %s --write-demo-model FILE [--operators N] [--hosts-out FILE]\n"
+               "          [--rtt-out FILE] [--subjects-out FILE]\n"
+               "--subjects + --rtt arm the GEO verb with RTT feasibility filtering\n"
+               "(subject,router[,hostname] CSV + a V/R measurement file); --population\n"
+               "overrides dictionary populations (city[,state],country,population).\n"
                "--metrics-port serves Prometheus text over HTTP (GET /metrics); the\n"
                "same data is available in-protocol via the METRICS and STATS2 verbs.\n"
                "HOIHO_FAILPOINTS=site=spec;... injects faults (testing only).\n",
@@ -55,7 +76,8 @@ int usage(const char* argv0) {
 }
 
 int write_demo_model(const std::string& model_path, std::size_t operators,
-                     const std::string& hosts_path) {
+                     const std::string& hosts_path, const std::string& rtt_path,
+                     const std::string& subjects_path) {
   const geo::GeoDictionary& dict = geo::builtin_dictionary();
   sim::WorldConfig config;
   config.seed = 20260805;
@@ -94,6 +116,45 @@ int write_demo_model(const std::string& model_path, std::size_t operators,
     }
     std::printf("hoihod: wrote %zu answerable hostnames to %s\n", n, hosts_path.c_str());
   }
+
+  if (!rtt_path.empty()) {
+    std::ofstream rtt(rtt_path);
+    if (!rtt) {
+      std::fprintf(stderr, "hoihod: cannot write '%s'\n", rtt_path.c_str());
+      return 2;
+    }
+    measure::save_measurements(rtt, pings);
+    std::printf("hoihod: wrote %zu-VP RTT campaign to %s\n", pings.vps.size(),
+                rtt_path.c_str());
+  }
+
+  if (!subjects_path.empty()) {
+    std::ofstream subj(subjects_path);
+    if (!subj) {
+      std::fprintf(stderr, "hoihod: cannot write '%s'\n", subjects_path.c_str());
+      return 2;
+    }
+    std::size_t n = 0;
+    for (const topo::Router& router : world.topology.routers()) {
+      std::string first_hostname;
+      for (const topo::Interface& ifc : router.interfaces)
+        if (ifc.hostname) {
+          first_hostname = ifc.hostname->full;
+          break;
+        }
+      for (const topo::Interface& ifc : router.interfaces) {
+        if (ifc.hostname) {
+          subj << ifc.hostname->full << ',' << router.id << '\n';
+          ++n;
+        }
+        if (!ifc.address.empty()) {
+          subj << ifc.address << ',' << router.id << ',' << first_hostname << '\n';
+          ++n;
+        }
+      }
+    }
+    std::printf("hoihod: wrote %zu subject bindings to %s\n", n, subjects_path.c_str());
+  }
   return 0;
 }
 
@@ -101,6 +162,7 @@ int write_demo_model(const std::string& model_path, std::size_t operators,
 
 int main(int argc, char** argv) {
   std::string model_path, demo_path, hosts_path, port_file;
+  std::string rtt_path, subjects_path, population_path, rtt_out, subjects_out;
   std::uint16_t port = 9009;
   std::size_t workers = 0, operators = 60;
   int watch_ms = 1000;
@@ -108,6 +170,7 @@ int main(int argc, char** argv) {
   std::size_t max_inflight = 0;
   bool bind_any = false;
   int metrics_port = -1;  // < 0 = exporter off; 0 = ephemeral
+  double rtt_slack_ms = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -126,6 +189,30 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       hosts_path = v;
+    } else if (arg == "--rtt-out") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      rtt_out = v;
+    } else if (arg == "--subjects-out") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      subjects_out = v;
+    } else if (arg == "--rtt") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      rtt_path = v;
+    } else if (arg == "--subjects") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      subjects_path = v;
+    } else if (arg == "--population") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      population_path = v;
+    } else if (arg == "--rtt-slack-ms") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      rtt_slack_ms = std::atof(v);
     } else if (arg == "--port-file") {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
@@ -173,8 +260,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!demo_path.empty()) return write_demo_model(demo_path, operators, hosts_path);
+  if (!demo_path.empty())
+    return write_demo_model(demo_path, operators, hosts_path, rtt_out, subjects_out);
   if (model_path.empty()) return usage(argv[0]);
+  if (!rtt_path.empty() && subjects_path.empty()) {
+    std::fprintf(stderr, "hoihod: --rtt requires --subjects (router id mapping)\n");
+    return usage(argv[0]);
+  }
 
   {
     std::string fp_error;
@@ -199,7 +291,79 @@ int main(int argc, char** argv) {
   for (const std::string& w : snap->warnings)
     std::fprintf(stderr, "hoihod: model warning: %s\n", w.c_str());
 
+  if (!subjects_path.empty() || !population_path.empty()) {
+    io::LoadOptions lopt;
+    lopt.lenient = true;  // measurement archives are messy; skip + count
+
+    std::vector<fuse::SubjectRow> subjects;
+    if (!subjects_path.empty()) {
+      std::ifstream sin(subjects_path);
+      if (!sin) {
+        std::fprintf(stderr, "hoihod: cannot open subjects file '%s'\n", subjects_path.c_str());
+        return 2;
+      }
+      io::LoadReport srep;
+      auto loaded = fuse::load_subjects(sin, lopt, &srep);
+      if (!loaded) {
+        std::fprintf(stderr, "hoihod: subjects file '%s': %s\n", subjects_path.c_str(),
+                     srep.error.c_str());
+        return 2;
+      }
+      subjects = std::move(*loaded);
+    }
+    std::size_t router_count = 0;
+    for (const fuse::SubjectRow& sr : subjects)
+      router_count = std::max(router_count, static_cast<std::size_t>(sr.router) + 1);
+
+    measure::Measurements meas;
+    if (!rtt_path.empty()) {
+      std::ifstream rin(rtt_path);
+      if (!rin) {
+        std::fprintf(stderr, "hoihod: cannot open RTT file '%s'\n", rtt_path.c_str());
+        return 2;
+      }
+      io::LoadReport rrep;
+      auto loaded = measure::load_measurements(rin, router_count, lopt, &rrep);
+      if (!loaded) {
+        std::fprintf(stderr, "hoihod: RTT file '%s': %s\n", rtt_path.c_str(),
+                     rrep.error.c_str());
+        return 2;
+      }
+      meas = std::move(*loaded);
+      if (rrep.skipped_total() > 0)
+        std::fprintf(stderr, "hoihod: RTT file: skipped %zu bad lines\n",
+                     rrep.skipped_total());
+    }
+
+    fuse::PopulationPrior prior;
+    if (!population_path.empty()) {
+      std::ifstream pin(population_path);
+      if (!pin) {
+        std::fprintf(stderr, "hoihod: cannot open population file '%s'\n",
+                     population_path.c_str());
+        return 2;
+      }
+      io::LoadReport prep;
+      auto loaded = fuse::PopulationPrior::load(pin, dict, lopt, &prep);
+      if (!loaded) {
+        std::fprintf(stderr, "hoihod: population file '%s': %s\n", population_path.c_str(),
+                     prep.error.c_str());
+        return 2;
+      }
+      prior = std::move(*loaded);
+    }
+
+    const std::size_t vp_count = meas.vps.size();
+    const auto ctx = fuse::FuseContext::build(subjects, std::move(meas), dict,
+                                              std::move(prior));
+    const bool grid = ctx->grid() != nullptr;
+    store.set_fuse_context(ctx);
+    std::printf("hoihod: GEO armed: %zu subjects, %zu VPs, grid=%s\n",
+                ctx->subject_count(), vp_count, grid ? "dense" : "fallback");
+  }
+
   serve::ServerConfig config;
+  config.audit.fuse.rtt.slack_ms = rtt_slack_ms;
   config.port = port;
   config.bind_any = bind_any;
   config.workers = workers;

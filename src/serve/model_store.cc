@@ -59,9 +59,10 @@ std::optional<std::string> ModelStore::reload_locked() {
   auto snap = std::make_shared<ModelSnapshot>(dict_);
   snap->source = path_;
   snap->warnings = std::move(warnings);
+  snap->fuse = fuse_ctx_;
   for (const core::StoredConvention& sc : *loaded) {
     if (sc.cls == core::NcClass::kPoor) continue;  // unusable per stage 5
-    snap->geolocator.add(sc.nc);
+    snap->geolocator.add(sc.nc, sc.cls);
   }
   snap->convention_count = snap->geolocator.convention_count();
   snap->program_count = snap->geolocator.program_count();
@@ -74,12 +75,29 @@ void ModelStore::install(const std::vector<core::StoredConvention>& conventions,
   std::lock_guard lock(reload_mu_);
   auto snap = std::make_shared<ModelSnapshot>(dict_);
   snap->source = std::move(source);
+  snap->fuse = fuse_ctx_;
   for (const core::StoredConvention& sc : conventions) {
     if (sc.cls == core::NcClass::kPoor) continue;
-    snap->geolocator.add(sc.nc);
+    snap->geolocator.add(sc.nc, sc.cls);
   }
   snap->convention_count = snap->geolocator.convention_count();
   snap->program_count = snap->geolocator.program_count();
+  publish(std::move(snap));
+}
+
+void ModelStore::set_fuse_context(std::shared_ptr<const fuse::FuseContext> ctx) {
+  std::lock_guard lock(reload_mu_);
+  fuse_ctx_ = std::move(ctx);
+  // Republish the live model with the new context: copy the current
+  // snapshot (the Geolocator's compiled matchers copy with it — no regex
+  // recompilation) and swap the context. Readers that pinned the previous
+  // snapshot finish on the old (model, context) pair, consistently.
+  std::shared_ptr<ModelSnapshot> snap;
+  {
+    std::lock_guard slock(snap_mu_);
+    snap = std::make_shared<ModelSnapshot>(*snap_);
+  }
+  snap->fuse = fuse_ctx_;
   publish(std::move(snap));
 }
 

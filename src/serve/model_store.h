@@ -26,6 +26,7 @@
 
 #include "core/geolocate.h"
 #include "core/nc_io.h"
+#include "fuse/fuser.h"
 #include "geo/dictionary.h"
 
 namespace hoiho::serve {
@@ -38,6 +39,12 @@ struct ModelSnapshot {
   std::size_t program_count = 0;     // compiled regex programs prebuilt in add()
   std::string source;                // file path or "<memory>"
   std::vector<std::string> warnings; // loader notes (dropped hints, dupes)
+
+  // Measurement-side context for the GEO verb (null = hostname-only
+  // fusion). Shared across generations: a model reload keeps the context,
+  // a set_fuse_context() republishes the model (RTT campaigns and models
+  // churn on different cadences).
+  std::shared_ptr<const fuse::FuseContext> fuse;
 
   explicit ModelSnapshot(const geo::GeoDictionary& dict) : geolocator(dict) {}
 };
@@ -64,6 +71,12 @@ class ModelStore {
   // matching the daemon's file path). Always succeeds.
   void install(const std::vector<core::StoredConvention>& conventions,
                std::string source = "<memory>");
+
+  // Attaches (or replaces, or clears with null) the fusion context every
+  // snapshot carries. The current snapshot is republished with the new
+  // context under a fresh generation, so readers that pin a snapshot see a
+  // consistent (model, context) pair; subsequent reload()s inherit it.
+  void set_fuse_context(std::shared_ptr<const fuse::FuseContext> ctx);
 
   // One mtime-watch poll step (what --watch-ms drives). Deploys rewrite the
   // model via rename(), so a poll can land mid-deploy: the file may be
@@ -101,6 +114,7 @@ class ModelStore {
 
   const geo::GeoDictionary& dict_;
   std::string path_;
+  std::shared_ptr<const fuse::FuseContext> fuse_ctx_;  // guarded by reload_mu_
   std::mutex reload_mu_;       // serializes reload/install; readers never take it
   std::uint64_t next_generation_ = 1;  // guarded by reload_mu_
   FileStamp loaded_stamp_;             // stamp at last (attempted) load; reload_mu_

@@ -1,8 +1,69 @@
 #include "serve/protocol.h"
 
+#include <charconv>
+
 #include "util/strings.h"
 
 namespace hoiho::serve {
+
+namespace {
+
+// True for a token that could only have been meant as a verb: all
+// [A-Z0-9_] with at least one letter. Hostnames contain dots (and are
+// conventionally lowercase), so they never qualify.
+bool verb_shaped(std::string_view head) {
+  bool letter = false;
+  for (const char ch : head) {
+    if (ch >= 'A' && ch <= 'Z') {
+      letter = true;
+    } else if ((ch < '0' || ch > '9') && ch != '_') {
+      return false;
+    }
+  }
+  return letter;
+}
+
+bool parse_double(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+// "lat,lon" with both halves fully numeric and in range.
+bool parse_coordinate(std::string_view text, geo::Coordinate* out) {
+  const std::size_t comma = text.find(',');
+  if (comma == std::string_view::npos) return false;
+  if (!parse_double(text.substr(0, comma), &out->lat)) return false;
+  if (!parse_double(text.substr(comma + 1), &out->lon)) return false;
+  return out->valid();
+}
+
+Request parse_geo_args(std::string_view rest) {
+  Request req;
+  req.kind = RequestKind::kGeo;
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  while (!rest.empty() && rest.back() == ' ') rest.remove_suffix(1);
+  if (rest.empty()) {
+    req.error = "geo_usage";
+    return req;
+  }
+  const std::size_t space = rest.find(' ');
+  req.subject = space == std::string_view::npos ? rest : rest.substr(0, space);
+  std::string_view claim =
+      space == std::string_view::npos ? std::string_view() : rest.substr(space + 1);
+  while (!claim.empty() && claim.front() == ' ') claim.remove_prefix(1);
+  if (!claim.empty()) {
+    if (!parse_coordinate(claim, &req.claimed)) {
+      req.error = "bad_coordinate";
+      return req;
+    }
+    req.has_claimed = true;
+  }
+  return req;
+}
+
+}  // namespace
 
 Request parse_request(std::string_view line) {
   if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
@@ -18,6 +79,18 @@ Request parse_request(std::string_view line) {
   } else if (line == "RELOAD") {
     req.kind = RequestKind::kReload;
   } else {
+    const std::size_t space = line.find(' ');
+    const std::string_view head =
+        space == std::string_view::npos ? line : line.substr(0, space);
+    if (head == "GEO") return parse_geo_args(space == std::string_view::npos
+                                                 ? std::string_view()
+                                                 : line.substr(space + 1));
+    if (space != std::string_view::npos || verb_shaped(head)) {
+      // A spaced line (hostnames have no spaces) or a bare verb-shaped
+      // token: answer a named error rather than a misleading MISS.
+      req.kind = RequestKind::kUnknownVerb;
+      return req;
+    }
     req.kind = RequestKind::kLookup;
     req.hostname = line;
   }
@@ -36,6 +109,39 @@ std::string format_hit(const core::Geolocation& g) {
 }
 
 std::string format_miss() { return "MISS"; }
+
+std::string format_geo(const fuse::FuseResult& result,
+                       const std::optional<fuse::AuditOutcome>& audit) {
+  std::string out = "GEO,";
+  if (!result.answered()) {
+    out += "miss";
+  } else {
+    const fuse::Verdict& best = result.best();
+    out += util::fmt_double(best.coord.lat, 4);
+    out += ',';
+    out += util::fmt_double(best.coord.lon, 4);
+    out += ',';
+    if (result.set.code.empty()) {
+      out += '-';
+    } else {
+      out += result.set.code;
+    }
+    out += ',';
+    out += fuse::to_string(best.source);
+    out += ',';
+    out += util::fmt_double(best.score, 3);
+    std::size_t feasible = 0;
+    for (const fuse::Candidate& c : result.set.candidates)
+      if (c.feasible) ++feasible;
+    out += ",candidates=" + std::to_string(result.set.candidates.size());
+    out += ",feasible=" + std::to_string(feasible);
+  }
+  if (audit) {
+    out += ",audit=";
+    out += fuse::to_string(*audit);
+  }
+  return out;
+}
 
 std::string format_error(std::string_view reason) {
   return "ERR," + std::string(reason);
@@ -135,6 +241,7 @@ std::string format_reload_error(std::string_view message) {
 ResponseKind classify_response(std::string_view line) {
   if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
   if (line == "MISS") return ResponseKind::kMiss;
+  if (util::starts_with(line, "GEO,")) return ResponseKind::kGeo;
   if (util::starts_with(line, "#")) return ResponseKind::kMetrics;
   if (util::starts_with(line, "STATS2")) return ResponseKind::kStats2;
   if (util::starts_with(line, "STATS")) return ResponseKind::kStats;

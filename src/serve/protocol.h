@@ -2,14 +2,21 @@
 //
 // Grammar (all lines '\n'-terminated; '\r' before '\n' is tolerated):
 //
-//   request   = lookup | "STATS" | "STATS2" | "METRICS" | "RELOAD"
+//   request   = lookup | geo | "STATS" | "STATS2" | "METRICS" | "RELOAD"
 //   lookup    = hostname                     ; anything that is not a verb
+//   geo       = "GEO" SP subject [SP lat "," lon]
+//   subject   = hostname | address           ; address needs a fuse context
 //
-//   response  = hit | miss | stats | stats2 | metrics | reload-ok
-//             | reload-err | err
+//   response  = hit | miss | geo-hit | geo-miss | stats | stats2 | metrics
+//             | reload-ok | reload-err | err
 //   hit       = lat "," lon "," code "," method
 //   method    = "learned" | "dictionary"     ; how the code was resolved
 //   miss      = "MISS"                       ; no convention / unknown code
+//   geo-hit   = "GEO," lat "," lon "," code "," source "," score
+//               ",candidates=" N ",feasible=" N [",audit=" outcome]
+//   source    = "learned" | "dictionary" | "claimed"
+//   outcome   = "agree" | "refute" | "unknown"  ; only when a claim was given
+//   geo-miss  = "GEO,miss"                   ; no candidate from any signal
 //   stats     = "STATS," kv *("," kv)        ; kv = key "=" value
 //   stats2    = "STATS2," tkv *("," tkv)     ; tkv = name ":" type "=" value
 //                                            ; type = "c" | "g" | "h"
@@ -17,7 +24,14 @@
 //                                            ; clients read until "# EOF"
 //   reload-ok = "RELOAD,ok,generation=" N ",conventions=" N
 //   reload-err= "RELOAD,error," message
-//   err       = "ERR," reason                ; empty or oversized line
+//   err       = "ERR," reason                ; empty/oversized line, unknown
+//                                            ; verb, malformed GEO arguments
+//
+// Verb disambiguation: hostnames never contain spaces, so any line with a
+// space whose head is not a known verb — and any spaceless all-caps token
+// like "FLUSH" that could only have been meant as a verb — answers a named
+// "ERR,unknown_verb" instead of being misread as a (guaranteed-miss)
+// lookup. Dotted names remain lookups no matter their case.
 //
 // STATS is the v1 surface and is frozen: keys, order, and formatting are
 // byte-compatible with pre-registry builds. STATS2 exposes every metric in
@@ -36,16 +50,33 @@
 #include <string_view>
 
 #include "core/geolocate.h"
+#include "fuse/audit.h"
 #include "serve/metrics.h"
 #include "serve/model_store.h"
 
 namespace hoiho::serve {
 
-enum class RequestKind { kLookup, kStats, kStats2, kMetrics, kReload, kEmpty };
+enum class RequestKind {
+  kLookup,
+  kGeo,
+  kStats,
+  kStats2,
+  kMetrics,
+  kReload,
+  kEmpty,
+  kUnknownVerb,
+};
 
 struct Request {
   RequestKind kind = RequestKind::kLookup;
   std::string_view hostname;  // views into the request line; kLookup only
+
+  // kGeo only. `error` non-empty means the GEO arguments were malformed
+  // ("geo_usage", "bad_coordinate") and the server should answer ERR,<error>.
+  std::string_view subject;
+  bool has_claimed = false;
+  geo::Coordinate claimed;
+  std::string_view error;
 };
 
 // Classifies one request line (without the trailing newline).
@@ -56,6 +87,12 @@ Request parse_request(std::string_view line);
 std::string format_hit(const core::Geolocation& g);
 std::string format_miss();
 std::string format_error(std::string_view reason);
+
+// GEO: the fused best verdict plus candidate accounting; `audit` (present
+// only when the request carried a claimed coordinate) appends the
+// agree/refute/unknown outcome. An unanswered result formats as "GEO,miss".
+std::string format_geo(const fuse::FuseResult& result,
+                       const std::optional<fuse::AuditOutcome>& audit = std::nullopt);
 std::string format_stats(const Metrics::Snapshot& m, std::uint64_t generation,
                          std::size_t conventions, std::size_t programs = 0);
 
@@ -76,7 +113,17 @@ std::string format_reload_error(std::string_view message);
 // Response classification (client side: tests, load generator). kMetrics
 // matches any '#'-comment line — for a METRICS response, classify the first
 // line and consume until "# EOF".
-enum class ResponseKind { kHit, kMiss, kStats, kStats2, kMetrics, kReload, kReloadError, kError };
+enum class ResponseKind {
+  kHit,
+  kMiss,
+  kGeo,
+  kStats,
+  kStats2,
+  kMetrics,
+  kReload,
+  kReloadError,
+  kError,
+};
 ResponseKind classify_response(std::string_view line);
 
 }  // namespace hoiho::serve

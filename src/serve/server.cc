@@ -38,7 +38,13 @@ bool epoll_add(int epfd, int fd, std::uint64_t token, std::uint32_t events) {
 }  // namespace
 
 Server::Server(ModelStore& store, ServerConfig config)
-    : store_(store), config_(std::move(config)), metrics_(config_.registry) {}
+    : store_(store),
+      config_(std::move(config)),
+      metrics_(config_.registry),
+      fuse_metrics_(metrics_.registry()),
+      audit_agree_(metrics_.registry().counter("audit_agree")),
+      audit_refute_(metrics_.registry().counter("audit_refute")),
+      audit_unknown_(metrics_.registry().counter("audit_unknown")) {}
 
 Server::~Server() {
   // Drain the worker pool before tearing down the members its tasks touch
@@ -351,6 +357,38 @@ void Server::process_batch(std::uint64_t conn_id, std::uint64_t seq,
         }
         break;
       }
+      case RequestKind::kGeo: {
+        metrics_.requests.inc();
+        if (!req.error.empty()) {
+          metrics_.errors.inc();
+          out += format_error(req.error);
+          break;
+        }
+        std::optional<geo::Coordinate> claimed;
+        if (req.has_claimed) claimed = req.claimed;
+        // Cheap per-batch facade over the pinned snapshot: the Fuser itself
+        // holds only references + config, so constructing one here keeps
+        // every GEO line in this batch on one (model, context) generation.
+        const fuse::Fuser fuser(snap->geolocator, snap->fuse.get(),
+                                config_.audit.fuse, fuse_metrics_);
+        const fuse::FuseResult fused = fuser.fuse(req.subject, claimed);
+        std::optional<fuse::AuditOutcome> audit;
+        if (req.has_claimed) {
+          audit = fuse::classify_claim(fused, req.claimed, config_.audit.agree_km);
+          switch (*audit) {
+            case fuse::AuditOutcome::kAgree: audit_agree_.inc(); break;
+            case fuse::AuditOutcome::kRefute: audit_refute_.inc(); break;
+            case fuse::AuditOutcome::kUnknown: audit_unknown_.inc(); break;
+          }
+        }
+        if (fused.answered()) {
+          metrics_.hits.inc();
+        } else {
+          metrics_.misses.inc();
+        }
+        out += format_geo(fused, audit);
+        break;
+      }
       case RequestKind::kStats:
         metrics_.admin.inc();
         out += format_stats(metrics_.snapshot(), snap->generation,
@@ -383,6 +421,10 @@ void Server::process_batch(std::uint64_t conn_id, std::uint64_t seq,
       case RequestKind::kEmpty:
         metrics_.errors.inc();
         out += format_error("empty request");
+        break;
+      case RequestKind::kUnknownVerb:
+        metrics_.errors.inc();
+        out += format_error("unknown_verb");
         break;
     }
     out += '\n';

@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fuse/audit.h"
 #include "serve/metrics.h"
 #include "serve/model_store.h"
 #include "util/net.h"
@@ -56,6 +57,11 @@ struct ServerConfig {
   int idle_timeout_ms = 0;       // >0: reap connections idle this long
   std::size_t max_inflight = 0;  // >0: lines in flight above this answer ERR,busy
   int drain_timeout_ms = 5000;   // drain() waits at most this for in-flight work
+
+  // GEO verb tuning: fusion weights/slack plus the agree radius a claimed
+  // coordinate is audited against. The measurement context itself rides in
+  // the ModelSnapshot (ModelStore::set_fuse_context).
+  fuse::AuditConfig audit;
 
   // If > 0, on_tick runs every tick_ms on the event-loop thread (used by
   // the daemon for SIGHUP polling and model-file mtime watching).
@@ -150,6 +156,12 @@ class Server {
   ModelStore& store_;
   ServerConfig config_;
   Metrics metrics_;  // constructed over config_.registry (or a private one)
+
+  // GEO verb instrumentation, registered once at construction so workers
+  // never take the registry mutex per request. The STATS v1 surface is
+  // frozen; these land in STATS2/METRICS only.
+  fuse::FuseMetrics fuse_metrics_;
+  obs::Counter audit_agree_, audit_refute_, audit_unknown_;
 
   util::Fd epoll_fd_;
   util::Fd listen_fd_;

@@ -86,6 +86,24 @@ LocationPools build_location_pools(const geo::GeoDictionary& dict) {
     if (!dict.facility_addresses(id).empty()) pools.with_facility.push_back(id);
     if (!dict.location(id).state.empty()) pools.with_state.push_back(id);
   }
+  // Ambiguous-name losers: a squashed city name shared with a sibling,
+  // where the sibling wins the Geolocator's facility-then-population
+  // tiebreak (core/geolocate.cc) — hostname-only extraction resolves the
+  // name to the winner, so a router actually at a loser is mislocated.
+  for (geo::LocationId id = 0; id < dict.size(); ++id) {
+    const auto siblings =
+        dict.lookup(geo::HintType::kCityName, geo::squash_place_name(dict.location(id).city));
+    if (siblings.size() < 2) continue;
+    geo::LocationId winner = siblings.front();
+    for (geo::LocationId s : siblings) {
+      const geo::Location& a = dict.location(s);
+      const geo::Location& w = dict.location(winner);
+      const bool better = a.has_facility != w.has_facility ? a.has_facility
+                                                           : a.population > w.population;
+      if (better) winner = s;
+    }
+    if (id != winner) pools.ambiguous_losers.push_back(id);
+  }
   // Well-known custom-hint locations (paper table 5): looked up once.
   for (const char* name : {"Ashburn", "Toronto", "Washington", "Tokyo", "Zurich", "London"}) {
     const auto ids = dict.lookup(geo::HintType::kCityName, geo::squash_place_name(name));
@@ -288,6 +306,22 @@ SampledOperator sample_operator(const geo::GeoDictionary& dict, const LocationPo
     std::set<geo::LocationId> chosen;
     for (int attempt = 0; chosen.size() < footprint_size && attempt < 2000; ++attempt)
       chosen.insert(candidates[rng.next_weighted(weights)]);
+    spec.footprint.assign(chosen.begin(), chosen.end());
+  }
+
+  // Misleading geohints (ambiguous_operator_rate): an affected city-name
+  // operator concentrates its whole deployment at loser namesakes, so
+  // extraction alone sends every one of its routers to the famous sibling.
+  // The rate check comes first so the default (0) takes no rng draw and
+  // seeded worlds stay byte-identical.
+  if (config.ambiguous_operator_rate > 0 && has_geo && role == core::Role::kCityName &&
+      !pools.ambiguous_losers.empty() && rng.next_bool(config.ambiguous_operator_rate)) {
+    std::set<geo::LocationId> chosen;
+    const std::size_t want =
+        std::min(pools.ambiguous_losers.size(), std::max<std::size_t>(2, footprint_size));
+    for (int attempt = 0; chosen.size() < want && attempt < 2000; ++attempt)
+      chosen.insert(
+          pools.ambiguous_losers[rng.next_below(pools.ambiguous_losers.size())]);
     spec.footprint.assign(chosen.begin(), chosen.end());
   }
 

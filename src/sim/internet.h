@@ -101,6 +101,15 @@ struct WorldConfig {
   // streaming generator turns it on.
   bool spatial_footprint = false;
   double satellite_site_rate = 0.12;  // footprint slots drawn far from home
+
+  // Misleading-geohint stress (src/fuse/ evaluation): this fraction of
+  // city-name operators deploy exclusively at "loser" namesakes — cities
+  // that share a squashed name with a more famous sibling and lose the
+  // facility-then-population tiebreak — so hostname-only geolocation
+  // systematically resolves their routers to the wrong sibling. RTT
+  // evidence is what corrects them. 0 (the default) leaves seeded worlds
+  // byte-identical: no rng draw is taken when the knob is off.
+  double ambiguous_operator_rate = 0.0;
 };
 
 // Location id pools per geohint code type, plus the community custom-hint
@@ -110,6 +119,9 @@ struct LocationPools {
   std::vector<geo::LocationId> all, with_iata, with_clli, with_locode, with_facility,
       with_state;
   std::vector<geo::LocationId> well_known;
+  // Locations that share a squashed city name with a sibling and lose the
+  // Geolocator's facility-then-population tiebreak (ambiguous_operator_rate).
+  std::vector<geo::LocationId> ambiguous_losers;
 };
 
 LocationPools build_location_pools(const geo::GeoDictionary& dict);

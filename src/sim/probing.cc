@@ -24,7 +24,13 @@ void probe_pings_range(const geo::GeoDictionary& dict, const topo::Topology& top
   for (topo::RouterId r = begin; r < end; ++r) {
     const topo::Router& router = topology.router(r);
     if (!rng.next_bool(config.router_response_rate)) continue;
-    const geo::Coordinate& at = dict.location(router.true_location).coord;
+    geo::Coordinate at = dict.location(router.true_location).coord;
+    // Anycast contamination: the RTTs describe a random VP's city instead
+    // of the router's true location. Guarded so the default (0) takes no
+    // rng draw and existing seeded campaigns are unchanged.
+    if (config.anycast_rate > 0 && !meas.vps.empty() &&
+        rng.next_bool(config.anycast_rate))
+      at = meas.vps[rng.next_below(meas.vps.size())].coord;
     for (measure::VpId v = 0; v < meas.vps.size(); ++v) {
       if (!rng.next_bool(config.vp_sample_rate)) continue;
       const double base = geo::min_rtt_ms(at, meas.vps[v].coord);

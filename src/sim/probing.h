@@ -26,6 +26,14 @@ struct PingConfig {
   double inflation_max = 2.2;
   double noise_min_ms = 0.5;           // access networks, queueing, processing
   double noise_max_ms = 4.0;
+
+  // Anycast-style contamination (src/fuse/ robustness stress): an affected
+  // router's RTTs are sampled as if it sat at a random VP's city — every
+  // vantage point then sees latency consistent with somewhere other than
+  // the router's true location, the signature of an anycast or
+  // tunnel-terminated address. 0 (the default) takes no rng draw, keeping
+  // seeded campaigns byte-identical.
+  double anycast_rate = 0.0;
 };
 
 measure::Measurements probe_pings(const World& world, const PingConfig& config = {});

@@ -64,6 +64,23 @@ TEST(ConsistencyCache, MismatchedSlackBypassesTable) {
   EXPECT_EQ(cache.stats().hits, 1u);
 }
 
+TEST(ConsistencyCache, MismatchedGridIsIgnoredNotTrusted) {
+  const Measurements meas = one_vp_setup(3.0);
+  const std::vector<geo::Coordinate> coords = {kAshburn, kNashua};
+  // A grid built for a different (two-VP) campaign: its cells mean nothing
+  // for `meas`, so the cache must fall back to lazy per-location haversines
+  // rather than read garbage expected RTTs.
+  const std::vector<VantagePoint> other_vps = {VantagePoint{"was", "us", kDc},
+                                               VantagePoint{"lhr", "uk", kLondon}};
+  const ExpectedRttGrid grid(coords, other_vps);
+  ConsistencyCache with(meas, 2, 0.0, true, &grid);
+  ConsistencyCache without(meas, 2, 0.0, true, nullptr);
+  EXPECT_TRUE(with.consistent(0, 0, kAshburn));
+  EXPECT_FALSE(with.consistent(0, 1, kNashua));
+  EXPECT_EQ(with.consistent(0, 0, kAshburn), without.consistent(0, 0, kAshburn));
+  EXPECT_EQ(with.consistent(0, 1, kNashua), without.consistent(0, 1, kNashua));
+}
+
 TEST(ConsistencyCache, OutOfRangeIdsBypass) {
   const Measurements meas = one_vp_setup(1.0);
   ConsistencyCache cache(meas, 4);

@@ -112,6 +112,28 @@ TEST(BuiltinAtlas, AshIsNashuaNotAshburn) {
   EXPECT_TRUE(dict.location(ashburn).has_facility);
 }
 
+TEST(BuiltinAtlas, AmbiguousCityNamesExpandToEverySibling) {
+  // The fusion subsystem leans on lookup() returning *all* siblings of an
+  // ambiguous city name, in stable dictionary order: "melbourne" must yield
+  // both the Victorian capital and the Florida city as distinct locations.
+  const GeoDictionary& dict = builtin_dictionary();
+  const auto hits = dict.lookup(HintType::kCityName, squash_place_name("Melbourne"));
+  ASSERT_GE(hits.size(), 2u);
+  bool saw_au = false, saw_us = false;
+  for (LocationId id : hits) {
+    const Location& loc = dict.location(id);
+    EXPECT_EQ(squash_place_name(loc.city), "melbourne");
+    if (same_country(loc.country, "au")) saw_au = true;
+    if (same_country(loc.country, "us")) saw_us = true;
+  }
+  EXPECT_TRUE(saw_au);
+  EXPECT_TRUE(saw_us);
+  // The span is deterministic: two lookups see the same ids in the same order.
+  const auto again = dict.lookup(HintType::kCityName, "melbourne");
+  ASSERT_EQ(again.size(), hits.size());
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(again[i], hits[i]);
+}
+
 TEST(BuiltinAtlas, InterfaceTokenCollisions) {
   // Challenge 5: "gig", "eth", "cpe" are all real IATA codes.
   const GeoDictionary& dict = builtin_dictionary();

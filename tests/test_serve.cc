@@ -19,6 +19,7 @@
 #include "serve/server.h"
 #include "util/failpoint.h"
 #include "util/net.h"
+#include "util/strings.h"
 
 namespace hoiho::serve {
 namespace {
@@ -121,6 +122,65 @@ TEST(Protocol, FormatAndClassify) {
   EXPECT_EQ(classify_response(format_reload_error("nope")), ResponseKind::kReloadError);
   Metrics m;
   EXPECT_EQ(classify_response(format_stats(m.snapshot(), 1, 3)), ResponseKind::kStats);
+}
+
+TEST(Protocol, ParseGeoRequests) {
+  const Request plain = parse_request("GEO e0.cr1.ash1.he.net");
+  EXPECT_EQ(plain.kind, RequestKind::kGeo);
+  EXPECT_EQ(plain.subject, "e0.cr1.ash1.he.net");
+  EXPECT_FALSE(plain.has_claimed);
+  EXPECT_TRUE(plain.error.empty());
+
+  const Request claimed = parse_request("GEO 192.0.2.9 38.96,-77.35");
+  EXPECT_EQ(claimed.kind, RequestKind::kGeo);
+  EXPECT_EQ(claimed.subject, "192.0.2.9");
+  ASSERT_TRUE(claimed.has_claimed);
+  EXPECT_DOUBLE_EQ(claimed.claimed.lat, 38.96);
+  EXPECT_DOUBLE_EQ(claimed.claimed.lon, -77.35);
+
+  // Malformed arguments are named errors, not lookups.
+  EXPECT_EQ(parse_request("GEO").error, "geo_usage");
+  EXPECT_EQ(parse_request("GEO   ").error, "geo_usage");
+  EXPECT_EQ(parse_request("GEO host nope").error, "bad_coordinate");
+  EXPECT_EQ(parse_request("GEO host 38.96").error, "bad_coordinate");
+  EXPECT_EQ(parse_request("GEO host 91.0,2.0").error, "bad_coordinate");
+  EXPECT_EQ(parse_request("GEO host 91.0,2.0").kind, RequestKind::kGeo);
+}
+
+TEST(Protocol, UnknownVerbsAreNamedErrorsNotLookups) {
+  // Any spaced line whose head is not a known verb, and any spaceless
+  // verb-shaped token, answers ERR,unknown_verb instead of a MISS.
+  EXPECT_EQ(parse_request("FROBNICATE foo.he.net").kind, RequestKind::kUnknownVerb);
+  EXPECT_EQ(parse_request("FLUSH").kind, RequestKind::kUnknownVerb);
+  EXPECT_EQ(parse_request("STATS3").kind, RequestKind::kUnknownVerb);
+  // Dotted names stay lookups no matter their case; lowercase words too.
+  EXPECT_EQ(parse_request("FLUSH.example.net").kind, RequestKind::kLookup);
+  EXPECT_EQ(parse_request("flush").kind, RequestKind::kLookup);
+}
+
+TEST(Protocol, FormatGeoAndClassify) {
+  fuse::FuseResult result;
+  EXPECT_EQ(format_geo(result), "GEO,miss");
+  EXPECT_EQ(classify_response("GEO,miss"), ResponseKind::kGeo);
+
+  fuse::Verdict v;
+  v.coord = {38.96, -77.35};
+  v.source = fuse::Source::kDictionary;
+  v.score = 0.75;
+  result.verdicts.push_back(v);
+  result.set.code = "ash";
+  fuse::Candidate c;
+  c.feasible = true;
+  result.set.candidates.push_back(c);
+  c.feasible = false;
+  result.set.candidates.push_back(c);
+  EXPECT_EQ(format_geo(result),
+            "GEO,38.9600,-77.3500,ash,dictionary,0.750,candidates=2,feasible=1");
+  EXPECT_EQ(format_geo(result, fuse::AuditOutcome::kRefute),
+            "GEO,38.9600,-77.3500,ash,dictionary,0.750,candidates=2,feasible=1,"
+            "audit=refute");
+  EXPECT_EQ(classify_response(format_geo(result)), ResponseKind::kGeo);
+  EXPECT_EQ(classify_response(format_error("unknown_verb")), ResponseKind::kError);
 }
 
 // --- ModelStore --------------------------------------------------------------
@@ -302,6 +362,62 @@ TEST(Server, ManyConnections) {
   const auto stats = clients[0].request("STATS");
   ASSERT_TRUE(stats.has_value());
   EXPECT_NE(stats->find("connections_opened=20"), std::string::npos) << *stats;
+}
+
+TEST(Server, GeoVerbAnswersFromSnapshotFuseContext) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const geo::LocationId ash = find_city(dict, "Ashburn", "us", "va");
+  ASSERT_NE(ash, geo::kInvalidLocation);
+
+  ModelStore store(dict);
+  store.install(he_net_model(dict));
+  // Without a fuse context the verb still answers (extraction-only).
+  LiveServer server(store);
+  auto client = Client::connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.has_value());
+  const auto bare = client->request("GEO e0.cr1.ash1.he.net");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(classify_response(*bare), ResponseKind::kGeo) << *bare;
+  EXPECT_NE(bare->find(",ash,"), std::string::npos) << *bare;
+
+  // Arm measurements: one VP at Ashburn pins router 0 there; the address
+  // subject resolves through the context to the router's hostname.
+  const std::vector<fuse::SubjectRow> subjects = {
+      {"e0.cr1.ash1.he.net", 0, ""},
+      {"192.0.2.9", 0, "e0.cr1.ash1.he.net"},
+  };
+  measure::Measurements meas({measure::VantagePoint{"iad", "us", dict.location(ash).coord}},
+                             1);
+  meas.pings.record(0, 0, 2.0);
+  store.set_fuse_context(fuse::FuseContext::build(subjects, std::move(meas), dict));
+
+  const auto by_addr = client->request("GEO 192.0.2.9");
+  ASSERT_TRUE(by_addr.has_value());
+  EXPECT_EQ(classify_response(*by_addr), ResponseKind::kGeo) << *by_addr;
+  EXPECT_NE(by_addr->find(",ash,"), std::string::npos) << *by_addr;
+
+  // A claim at the true location agrees; a claim an ocean away is refuted
+  // by the RTT evidence.
+  const std::string true_claim = util::fmt_double(dict.location(ash).coord.lat, 4) + "," +
+                                 util::fmt_double(dict.location(ash).coord.lon, 4);
+  const auto agree = client->request("GEO e0.cr1.ash1.he.net " + true_claim);
+  ASSERT_TRUE(agree.has_value());
+  EXPECT_NE(agree->find("audit=agree"), std::string::npos) << *agree;
+
+  const auto refute = client->request("GEO e0.cr1.ash1.he.net 51.51,-0.13");
+  ASSERT_TRUE(refute.has_value());
+  EXPECT_NE(refute->find("audit=refute"), std::string::npos) << *refute;
+
+  // No convention, no measurement: a miss, not an error.
+  const auto miss = client->request("GEO unknown.example.org");
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_EQ(*miss, "GEO,miss");
+
+  // Malformed GEO arguments and unknown verbs answer named errors in-band.
+  EXPECT_EQ(*client->request("GEO"), "ERR,geo_usage");
+  EXPECT_EQ(*client->request("GEO host 99.0,0.0"), "ERR,bad_coordinate");
+  EXPECT_EQ(*client->request("FLUSH"), "ERR,unknown_verb");
+  EXPECT_EQ(*client->request("FROBNICATE e0.cr1.ash1.he.net"), "ERR,unknown_verb");
 }
 
 // --- fault tolerance (DESIGN.md §9) ------------------------------------------
