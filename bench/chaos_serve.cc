@@ -20,6 +20,21 @@
 //      bring up a replacement that answers correctly;
 //   6. SIGTERM the replacement and require a graceful drain: exit code 0.
 //
+// Durability drills (DESIGN.md §14) ride the same binary:
+//
+//   0. SIGKILL-during-learning: a checkpointed streaming learn in a child
+//      process is killed mid-run (slowed commits guarantee the kill lands
+//      between batches); a resume child must actually replay from the WAL
+//      and the final saved model must be byte-identical to an
+//      uninterrupted run's;
+//   7. lineage gauntlet: a daemon with --keep-generations + --canary-file
+//      under a mixed LOOKUP/GEO load: a diverging (but well-formed) model
+//      rewrite must be canary-rejected without serving a single query, a
+//      same-content rewrite bumps the generation, and an in-band ROLLBACK
+//      mid-load republishes the archived generation — all with zero wrong
+//      answers, GENS telling the true history, and worker stalls (injected
+//      latency) surfacing in serve_worker_stalled.
+//
 // Acceptance: zero wrong answers (ERR,busy / ERR,deadline count as shed,
 // anything else mismatching is wrong), shed fraction bounded, faults
 // actually fired, and both daemons leave with status 0 / SIGKILL as
@@ -46,9 +61,11 @@
 #include "core/nc_io.h"
 #include "fuse/audit.h"
 #include "measure/rtt_io.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "sim/probing.h"
+#include "sim/streaming.h"
 #include "util/failpoint.h"
 #include "util/strings.h"
 
@@ -303,6 +320,140 @@ std::uint64_t stat_value(const std::string& stats, const std::string& key) {
   return std::strtoull(stats.c_str() + pos + needle.size(), nullptr, 10);
 }
 
+// Reads a counter out of a STATS2 response ("name:c=value").
+std::uint64_t stats2_value(const std::string& stats2, const std::string& name) {
+  const std::string needle = "," + name + ":c=";
+  const std::size_t pos = stats2.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(stats2.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// --- drill 0: SIGKILL during a checkpointed streaming learn ------------------
+
+sim::StreamingWorldConfig chaos_stream_config(bool quick) {
+  sim::StreamingWorldConfig swc;
+  swc.seed = 20260809;
+  swc.suffixes = quick ? 40 : 80;
+  swc.target_hostnames = quick ? 1200 : 3000;
+  swc.max_hostnames_per_suffix = 256;
+  swc.vp_count = 16;
+  swc.batch_hostname_budget = 200;
+  swc.traits.geohint_scheme_rate = 0.8;
+  swc.traits.hostname_rate = 0.85;
+  return swc;
+}
+
+// One checkpointed streaming learn, run inside a forked child. mode 0 slows
+// every commit (so the parent's SIGKILL reliably lands mid-run); mode 1 is
+// the resume leg and exits 3 unless it actually replayed committed batches
+// from the WAL. Exits 2 when the model cannot be saved.
+int learn_leg(bool quick, const std::string& ckpt_dir, const std::string& model_out,
+              int mode) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  if (mode == 0) util::failpoint::configure("checkpoint_write", "delay:40");
+  obs::Registry registry;
+  core::HoihoConfig hc;
+  hc.threads = 2;
+  hc.checkpoint_dir = ckpt_dir;
+  hc.registry = &registry;
+  sim::StreamingWorld world(dict, chaos_stream_config(quick));
+  const core::HoihoResult result = core::Hoiho(dict, hc).run_stream(world);
+  if (mode == 1 && registry.snapshot().value("checkpoint_batches_resumed") == 0) return 3;
+  std::vector<core::StoredConvention> stored;
+  for (const core::SuffixResult& sr : result.suffixes)
+    if (sr.usable()) stored.push_back(core::StoredConvention{sr.nc, sr.cls});
+  std::string error;
+  if (!core::save_conventions_to_file(model_out, stored, dict, &error)) {
+    std::fprintf(stderr, "chaos: learn leg save: %s\n", error.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+// The committed-batch count in a checkpoint manifest (0 when unreadable).
+std::uint64_t manifest_batches(const std::string& ckpt_dir) {
+  std::ifstream in(ckpt_dir + "/MANIFEST");
+  std::string line;
+  while (std::getline(in, line))
+    if (line.rfind("batches,", 0) == 0)
+      return std::strtoull(line.c_str() + 8, nullptr, 10);
+  return 0;
+}
+
+bool learning_crash_drill(bool quick) {
+  const std::string ckpt_dir = "CHAOS_CKPT";
+  const std::string ref_path = "CHAOS_STREAM_REF.txt";
+  const std::string out_path = "CHAOS_STREAM_MODEL.txt";
+  ::unlink((ckpt_dir + "/wal.log").c_str());
+  ::unlink((ckpt_dir + "/MANIFEST").c_str());
+  ::unlink(out_path.c_str());
+
+  // Reference: the same learn, uninterrupted and uncheckpointed.
+  if (learn_leg(quick, "", ref_path, 2) != 0) return false;
+  const std::string ref_bytes = slurp_file(ref_path);
+  if (ref_bytes.empty()) return false;
+
+  // Crash leg: kill once at least two batches committed (slowed commits make
+  // the window wide); if the child somehow finishes first, the checkpoint is
+  // simply complete and the resume leg replays everything.
+  pid_t pid = ::fork();
+  if (pid == 0) ::_exit(learn_leg(quick, ckpt_dir, out_path, 0));
+  bool killed = false;
+  for (int i = 0; i < 600; ++i) {
+    if (manifest_batches(ckpt_dir) >= 2) {
+      ::kill(pid, SIGKILL);
+      killed = true;
+      break;
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      pid = -1;  // finished before the kill window
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (pid > 0) {
+    const int status = wait_for_exit(pid, 10000);
+    if (killed && (status < 0 || !WIFSIGNALED(status))) {
+      std::fprintf(stderr, "chaos: learn leg did not die on SIGKILL\n");
+      return false;
+    }
+  }
+  const std::uint64_t committed = manifest_batches(ckpt_dir);
+  std::printf("chaos: learn killed with %llu batches committed\n",
+              static_cast<unsigned long long>(committed));
+  if (committed == 0) {
+    std::fprintf(stderr, "chaos: kill landed before any commit\n");
+    return false;
+  }
+
+  // Resume leg: a fresh process must replay from the WAL (exit 3 if it did
+  // not resume) and finish the run.
+  const pid_t resume = ::fork();
+  if (resume == 0) ::_exit(learn_leg(quick, ckpt_dir, out_path, 1));
+  const int resume_status = wait_for_exit(resume, 60000);
+  if (resume_status < 0 || !WIFEXITED(resume_status) || WEXITSTATUS(resume_status) != 0) {
+    std::fprintf(stderr, "chaos: resume leg failed (status %d%s)\n", resume_status,
+                 resume_status >= 0 && WIFEXITED(resume_status) &&
+                         WEXITSTATUS(resume_status) == 3
+                     ? ", did not resume"
+                     : "");
+    return false;
+  }
+
+  const bool identical = slurp_file(out_path) == ref_bytes;
+  std::printf("chaos: drill0 (kill during learning) resumed model %s\n",
+              identical ? "byte-identical" : "DIVERGED");
+  return identical;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -328,6 +479,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   ::signal(SIGPIPE, SIG_IGN);
+
+  // --- drill 0: SIGKILL during a checkpointed streaming learn --------------
+  // Runs first, before any client-side failpoints are armed, so the
+  // in-process reference learn is clean.
+  const bool crash_drill_pass = learning_crash_drill(quick);
 
   const std::size_t connections = quick ? 2 : 4;
   const std::size_t pipeline = quick ? 16 : 32;
@@ -501,9 +657,157 @@ int main(int argc, char** argv) {
     ::kill(pid, SIGKILL);
   }
 
+  // --- phase 7: lineage gauntlet — canary gate, generations, rollback ------
+  // A fresh daemon with archiving + a canary armed, under live mixed load:
+  // a diverging (empty but well-formed) rewrite must be canary-rejected
+  // without ever serving, a same-content restore bumps the generation, an
+  // in-band ROLLBACK republishes the archived model, and the injected
+  // worker latency must surface as stall detections. Every generation in
+  // play has identical content, so the drivers' precomputed expectations
+  // stay valid across the whole script — zero wrong answers is a real
+  // assertion, not vacuous.
+  const std::string canary_path = "CHAOS_CANARY.txt";
+  bool lineage_ok = false;
+  DriveResult lineage_load;
+  {
+    std::size_t canary_rows = 0;
+    {
+      std::ofstream canary(canary_path, std::ios::trunc);
+      canary << "# chaos canary: pinned lookups the next model must reproduce\n";
+      for (std::size_t i = 0; i < hostnames.size() && canary_rows < 24; ++i) {
+        if (hostnames[i].find(' ') != std::string::npos) continue;  // plain lookups only
+        if (!expected[i].empty() && expected[i][0] == kPrefixSentinel) continue;
+        if (expected[i] == serve::format_miss()) continue;
+        canary << hostnames[i] << ',' << expected[i] << '\n';
+        ++canary_rows;
+      }
+    }
+    if (canary_rows == 0) {
+      std::fprintf(stderr, "chaos: no hit lines available for the canary\n");
+      return 1;
+    }
+    // Fresh lineage: drop any archive left behind by an earlier run.
+    for (int g = 0; g < 64; ++g)
+      ::unlink((model_path + ".gens/gen-" + std::to_string(g) + ".nc").c_str());
+    ::rmdir((model_path + ".gens").c_str());
+    ::unlink(port_file.c_str());
+
+    std::vector<std::string> lineage_args = daemon_args;
+    lineage_args.insert(lineage_args.end(),
+                        {"--keep-generations", "4", "--canary-file", canary_path,
+                         "--worker-stall-ms", "100"});
+    pid = spawn_daemon(binary, lineage_args, "serve.process=delay:300,times=3");
+    port = wait_for_port(port_file, pid);
+    if (port == 0) {
+      std::fprintf(stderr, "chaos: lineage daemon did not come up\n");
+      return 1;
+    }
+    std::thread loader(drive, "127.0.0.1", port, std::cref(hostnames), std::cref(expected),
+                       0, quick ? 150 : 300, pipeline, &lineage_load);
+
+    serve::ClientOptions copts;
+    copts.connect_timeout_ms = 2000;
+    copts.io_timeout_ms = 5000;
+    copts.max_attempts = 10;
+    copts.backoff_initial_ms = 20;
+    auto admin = serve::Client::connect_with_retry("127.0.0.1", port, copts, &error);
+    bool script_ok = admin.has_value();
+    if (!script_ok) std::fprintf(stderr, "chaos: lineage admin connect: %s\n", error.c_str());
+
+    auto expect_line = [&](const char* verb, const std::string& want, bool poll) {
+      if (!script_ok) return;
+      for (int i = 0; i < 200; ++i) {
+        const auto resp = admin->request(verb);
+        if (resp && *resp == want) return;
+        if (!poll || !resp) {
+          std::fprintf(stderr, "chaos: %s -> '%s' (want '%s')\n", verb,
+                       resp ? resp->c_str() : "<io error>", want.c_str());
+          script_ok = false;
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      std::fprintf(stderr, "chaos: %s never settled on '%s'\n", verb, want.c_str());
+      script_ok = false;
+    };
+    auto poll_counter = [&](const std::string& name) {
+      std::uint64_t value = 0;
+      for (int i = 0; i < 200 && script_ok; ++i) {
+        const auto s2 = admin->request("STATS2");
+        if (!s2) {
+          script_ok = false;
+          break;
+        }
+        value = stats2_value(*s2, name);
+        if (value >= 1) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      if (value == 0) {
+        std::fprintf(stderr, "chaos: %s never reached 1\n", name.c_str());
+        script_ok = false;
+      }
+      return value;
+    };
+
+    // Boot: the model file is archived as generation 1, then GEO arming
+    // republishes the snapshot with the fuse context as generation 2
+    // (set_fuse_context bumps the generation but archives nothing).
+    expect_line("GENS", "GENS,serving=2,archived=1", false);
+    // Diverging rewrite: well-formed but empty, so every canary lookup would
+    // MISS. The watcher's reload must be rejected and gen 2 keeps serving.
+    if (script_ok &&
+        !core::save_conventions_to_file(model_path, {}, geo::builtin_dictionary(), &error)) {
+      std::fprintf(stderr, "chaos: empty rewrite: %s\n", error.c_str());
+      script_ok = false;
+    }
+    const std::uint64_t rejected = poll_counter("serve_reload_rejected");
+    expect_line("GENS", "GENS,serving=2,archived=1", false);
+    // Restore (same content): reload passes the canary, generation bumps.
+    if (script_ok &&
+        !core::save_conventions_to_file(model_path, stored, geo::builtin_dictionary(),
+                                        &error)) {
+      std::fprintf(stderr, "chaos: lineage restore: %s\n", error.c_str());
+      script_ok = false;
+    }
+    expect_line("GENS", "GENS,serving=3,archived=1;3", true);
+    // In-band rollback republishes archived gen 1 as a new generation.
+    expect_line("ROLLBACK 1",
+                "ROLLBACK,ok,generation=4,from=1,conventions=" + std::to_string(stored.size()),
+                false);
+    expect_line("GENS", "GENS,serving=4,archived=1;3;4", false);
+    // The injected 300ms worker delays must have tripped the watchdog.
+    const std::uint64_t stalled = poll_counter("serve_worker_stalled");
+
+    loader.join();
+    ::kill(pid, SIGTERM);
+    const int lineage_status = wait_for_exit(pid, 10000);
+    const bool lineage_exit =
+        lineage_status >= 0 && WIFEXITED(lineage_status) && WEXITSTATUS(lineage_status) == 0;
+    if (!lineage_exit) {
+      std::fprintf(stderr, "chaos: lineage daemon drain did not exit 0 (status %d)\n",
+                   lineage_status);
+      ::kill(pid, SIGKILL);
+    }
+    if (!lineage_load.first_wrong.empty())
+      std::fprintf(stderr, "chaos: WRONG ANSWER (lineage): %s\n",
+                   lineage_load.first_wrong.c_str());
+    lineage_ok = script_ok && lineage_exit && !lineage_load.io_failed &&
+                 lineage_load.wrong == 0 && lineage_load.ok > 0;
+    std::printf(
+        "chaos: phase7 (lineage) sent=%llu ok=%llu shed=%llu wrong=%llu "
+        "rejected=%llu stalled=%llu %s\n",
+        static_cast<unsigned long long>(lineage_load.sent),
+        static_cast<unsigned long long>(lineage_load.ok),
+        static_cast<unsigned long long>(lineage_load.shed),
+        static_cast<unsigned long long>(lineage_load.wrong),
+        static_cast<unsigned long long>(rejected), static_cast<unsigned long long>(stalled),
+        lineage_ok ? "ok" : "FAILED");
+  }
+
   bool pass = clean_exit && !io_failed && wrong == 0 && after.wrong == 0 &&
               after.io_failed == false && ok > 0 && after.ok > 0;
   pass = pass && reloads >= 2 && reload_failures >= 1 && injected > 0;
+  pass = pass && crash_drill_pass && lineage_ok;
   // Shedding is allowed but must stay bounded: this load is far below the
   // configured ceilings, so more than 20% shed means something is broken.
   pass = pass && (sent == 0 || shed * 5 <= sent);

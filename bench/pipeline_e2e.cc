@@ -29,6 +29,8 @@
 // Emits BENCH_PIPELINE*.json (path overridable via argv) so the perf
 // trajectory is tracked across PRs; the checked-in copy records the numbers
 // from the machine that produced this revision.
+#include <sys/stat.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -106,7 +108,8 @@ void time_one_rep(RunResult& out, const sim::World& world, const measure::Measur
 // rendering overlaps learning by design, so generation cost is part of the
 // measured pipeline, exactly as it would be against a file-backed stream).
 RunResult time_stream_run(const std::string& label, const sim::StreamingWorldConfig& swc,
-                          std::size_t threads, int reps, std::size_t* hostnames_out) {
+                          std::size_t threads, int reps, std::size_t* hostnames_out,
+                          const std::string& checkpoint_dir) {
   core::HoihoConfig config;
   config.threads = threads;
 
@@ -116,6 +119,12 @@ RunResult time_stream_run(const std::string& label, const sim::StreamingWorldCon
   out.wall_ms = 1e300;
   std::size_t hostnames = 0;
   for (int rep = 0; rep < reps; ++rep) {
+    if (!checkpoint_dir.empty()) {
+      // One WAL directory per (label, rep) so every rep pays the full
+      // commit cost — resuming a finished checkpoint would time nothing.
+      config.checkpoint_dir =
+          checkpoint_dir + "/" + label + "-rep" + std::to_string(rep);
+    }
     sim::StreamingWorld world(geo::builtin_dictionary(), swc);
     obs::Registry registry;
     config.registry = &registry;
@@ -176,28 +185,33 @@ sim::StreamingWorldConfig tier_config(char scale) {
   return swc;
 }
 
-int run_stream_tier(const std::string& scale, const std::string& out_path, int reps) {
+int run_stream_tier(const std::string& scale, const std::string& out_path, int reps,
+                    const std::string& checkpoint_dir) {
   const sim::StreamingWorldConfig swc = tier_config(scale[0]);
   const std::size_t hw = util::ThreadPool::resolve(0);
   std::printf("pipeline_e2e --scale=%s: %zu suffixes, ~%zu hostnames target, %zu VPs, "
-              "batch budget %zu, %zu hardware threads, best of %d reps\n\n",
+              "batch budget %zu, %zu hardware threads, best of %d reps%s\n\n",
               scale.c_str(), swc.suffixes, swc.target_hostnames, swc.vp_count,
-              swc.batch_hostname_budget, hw, reps);
+              swc.batch_hostname_budget, hw, reps,
+              checkpoint_dir.empty() ? "" : " (checkpointed)");
+  if (!checkpoint_dir.empty()) ::mkdir(checkpoint_dir.c_str(), 0755);
 
   std::size_t hostnames = 0;
   std::vector<RunResult> runs;
-  runs.push_back(time_stream_run("stream_1t", swc, 1, reps, &hostnames));
-  runs.push_back(time_stream_run("stream_4t", swc, 4, reps, nullptr));
+  runs.push_back(time_stream_run("stream_1t", swc, 1, reps, &hostnames, checkpoint_dir));
+  runs.push_back(time_stream_run("stream_4t", swc, 4, reps, nullptr, checkpoint_dir));
   if (hw > 4)
-    runs.push_back(time_stream_run("stream_" + std::to_string(hw) + "t", swc, hw, reps, nullptr));
+    runs.push_back(time_stream_run("stream_" + std::to_string(hw) + "t", swc, hw, reps,
+                                   nullptr, checkpoint_dir));
 
   std::vector<std::vector<std::string>> rows;
-  rows.push_back({"run", "threads", "wall ms", "hostnames/s", "batches", "stolen",
-                  "steal fails", "peak RSS MB", "usable NCs"});
+  rows.push_back({"run", "threads", "wall ms", "hostnames/s", "batches", "committed",
+                  "stolen", "steal fails", "peak RSS MB", "usable NCs"});
   for (const RunResult& r : runs) {
     rows.push_back(
         {r.label, std::to_string(r.threads), fmt3(r.wall_ms), fmt3(r.hostnames_per_sec),
          std::to_string(r.snap.value("pipeline_stream_batches")),
+         std::to_string(r.snap.value("checkpoint_batches_committed")),
          std::to_string(r.snap.value("pool_tasks_stolen")),
          std::to_string(r.snap.value("pool_steal_failures")),
          fmt3(static_cast<double>(r.gauge("pipeline_peak_rss_bytes")) / (1024.0 * 1024.0)),
@@ -228,6 +242,8 @@ int run_stream_tier(const std::string& scale, const std::string& out_path, int r
         << ", \"wall_ms\": " << fmt3(r.wall_ms)
         << ", \"hostnames_per_sec\": " << fmt3(r.hostnames_per_sec)
         << ", \"stream_batches\": " << r.snap.value("pipeline_stream_batches")
+        << ", \"checkpoint_batches_committed\": "
+        << r.snap.value("checkpoint_batches_committed")
         << ", \"tasks_stolen\": " << r.snap.value("pool_tasks_stolen")
         << ", \"steal_failures\": " << r.snap.value("pool_steal_failures")
         << ", \"peak_rss_bytes\": " << r.gauge("pipeline_peak_rss_bytes")
@@ -252,16 +268,26 @@ int run_stream_tier(const std::string& scale, const std::string& out_path, int r
 
 int main(int argc, char** argv) {
   std::string scale = "S";
+  std::string checkpoint_dir;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scale=", 8) == 0) {
       scale = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--checkpoint-dir=", 17) == 0) {
+      checkpoint_dir = argv[i] + 17;
     } else {
       positional.push_back(argv[i]);
     }
   }
   if (scale != "S" && scale != "M" && scale != "L" && scale != "XL") {
-    std::fprintf(stderr, "usage: pipeline_e2e [--scale={S,M,L,XL}] [out.json] [reps]\n");
+    std::fprintf(stderr,
+                 "usage: pipeline_e2e [--scale={S,M,L,XL}] [--checkpoint-dir=DIR] "
+                 "[out.json] [reps]\n");
+    return 2;
+  }
+  if (!checkpoint_dir.empty() && scale == "S") {
+    std::fprintf(stderr, "pipeline_e2e: --checkpoint-dir applies to the streaming "
+                         "tiers (M/L/XL) only\n");
     return 2;
   }
   const std::string default_out =
@@ -271,7 +297,7 @@ int main(int argc, char** argv) {
   const int reps =
       std::max(1, positional.size() > 1 ? std::atoi(positional[1].c_str()) : default_reps);
 
-  if (scale != "S") return run_stream_tier(scale, out_path, reps);
+  if (scale != "S") return run_stream_tier(scale, out_path, reps, checkpoint_dir);
 
   // A multi-operator world heavy enough that per-suffix work dominates.
   sim::WorldConfig wc;

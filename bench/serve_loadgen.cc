@@ -300,6 +300,31 @@ int main(int argc, char** argv) {
   for (std::thread& t : threads) t.join();
   const double wall_s = static_cast<double>(now_ns() - t_start) / 1e9;
 
+  // Counter schema probe: read the serving counters CI's schema guard keys
+  // on back over the wire. STATS2 works identically against the in-process
+  // server and an external daemon, so both modes embed real values.
+  bool probe_ok = false;
+  std::uint64_t sc_rejected = 0, sc_rollbacks = 0, sc_stalled = 0;
+  {
+    const auto counter = [](const std::string& s2, const std::string& name,
+                            std::uint64_t* out) {
+      const std::string needle = "," + name + ":c=";
+      const std::size_t pos = s2.find(needle);
+      if (pos == std::string::npos) return false;
+      *out = std::strtoull(s2.c_str() + pos + needle.size(), nullptr, 10);
+      return true;
+    };
+    auto admin = serve::Client::connect(opt.host, opt.port);
+    const auto resp = admin ? admin->request("STATS2") : std::nullopt;
+    if (resp && serve::classify_response(*resp) == serve::ResponseKind::kStats2)
+      probe_ok = counter(*resp, "serve_reload_rejected", &sc_rejected) &&
+                 counter(*resp, "serve_rollbacks", &sc_rollbacks) &&
+                 counter(*resp, "serve_worker_stalled", &sc_stalled);
+    if (!probe_ok)
+      std::fprintf(stderr, "loadgen: STATS2 counter probe failed (%s)\n",
+                   resp ? resp->c_str() : "no response");
+  }
+
   std::uint64_t sent = 0, hits = 0, misses = 0, errors = 0, geo = 0, geo_miss = 0;
   bool io_failed = false;
   std::vector<std::uint64_t> latencies;
@@ -358,11 +383,15 @@ int main(int argc, char** argv) {
        << ", \"p99\": " << util::fmt_double(p99_ms, 3)
        << ", \"p999\": " << util::fmt_double(p999_ms, 3) << "},\n"
        << "  \"reload_mid_run\": {\"attempted\": " << (reload_attempted ? "true" : "false")
-       << ", \"ok\": " << (reload_ok ? "true" : "false") << "}\n"
+       << ", \"ok\": " << (reload_ok ? "true" : "false") << "},\n"
+       << "  \"serve_counters\": {\"probe_ok\": " << (probe_ok ? "true" : "false")
+       << ", \"serve_reload_rejected\": " << sc_rejected
+       << ", \"serve_rollbacks\": " << sc_rollbacks
+       << ", \"serve_worker_stalled\": " << sc_stalled << "}\n"
        << "}\n";
   std::printf("loadgen: wrote %s\n", opt.json_path.c_str());
 
-  const bool pass = hits > 0 && errors == 0 && !io_failed &&
+  const bool pass = hits > 0 && errors == 0 && !io_failed && probe_ok &&
                     (!reload_attempted || reload_ok) &&
                     (opt.geo_frac <= 0.0 || geo > 0);
   if (!pass) std::fprintf(stderr, "loadgen: FAILED acceptance (see counters above)\n");

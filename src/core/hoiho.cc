@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
+#include <span>
 
+#include "io/checkpoint.h"
 #include "util/sysinfo.h"
 #include "util/thread_pool.h"
 
@@ -52,8 +54,10 @@ struct Hoiho::PipelineMetrics {
   obs::Counter cache_hits, cache_misses, cache_prefilter_rejects, cache_bypasses;
   obs::Counter rx_subjects, rx_candidates, rx_programs_run, rx_hits, rx_programs_compiled;
   obs::Counter budget_exhausted;
-  obs::Counter pool_tasks_stolen, pool_steal_failures;
+  obs::Counter pool_tasks_stolen, pool_steal_failures, pool_worker_stalled;
   obs::Counter stream_batches;
+  obs::Counter checkpoint_batches_committed, checkpoint_batches_resumed;
+  obs::Counter checkpoint_results_resumed, checkpoint_commit_failures, checkpoint_discarded;
   obs::Gauge grid_cells;
   obs::Gauge pool_tasks_submitted, pool_tasks_executed;
   obs::Gauge peak_rss_bytes;
@@ -85,7 +89,13 @@ struct Hoiho::PipelineMetrics {
         budget_exhausted(r.counter("pipeline_budget_exhausted")),
         pool_tasks_stolen(r.counter("pool_tasks_stolen")),
         pool_steal_failures(r.counter("pool_steal_failures")),
+        pool_worker_stalled(r.counter("pool_worker_stalled")),
         stream_batches(r.counter("pipeline_stream_batches")),
+        checkpoint_batches_committed(r.counter("checkpoint_batches_committed")),
+        checkpoint_batches_resumed(r.counter("checkpoint_batches_resumed")),
+        checkpoint_results_resumed(r.counter("checkpoint_results_resumed")),
+        checkpoint_commit_failures(r.counter("checkpoint_commit_failures")),
+        checkpoint_discarded(r.counter("checkpoint_discarded")),
         grid_cells(r.gauge("pipeline_expected_rtt_grid_cells")),
         pool_tasks_submitted(r.gauge("pipeline_pool_tasks_submitted")),
         pool_tasks_executed(r.gauge("pipeline_pool_tasks_executed")),
@@ -439,6 +449,48 @@ HoihoResult Hoiho::run_instrumented(const topo::Topology& topo,
   return result;
 }
 
+namespace {
+
+// Fingerprints every config knob that changes learned output, so a
+// checkpoint written under one config never resumes under another.
+// Excluded on purpose (output-invariant): threads, the consistency cache
+// and RTT-grid knobs, compiled_regex / compiled_matcher (differential-
+// tested equal), and the observability pointers.
+std::uint64_t checkpoint_signature(const HoihoConfig& c, const io::SuffixStream& stream,
+                                   std::size_t dict_size) {
+  io::StreamSignature sig;
+  sig.mix(std::uint64_t{1})  // signature format version
+      .mix(c.apparent.slack_ms)
+      .mix(std::uint64_t{c.apparent.consider_icao})
+      .mix(std::uint64_t{c.apparent.consider_facility})
+      .mix(std::uint64_t{c.apparent.min_city_len})
+      .mix(std::uint64_t{c.gen.annotation_free_variants})
+      .mix(std::uint64_t{c.sets.min_unique_per_regex})
+      .mix(c.sets.ppv_tolerance)
+      .mix(std::uint64_t{c.sets.max_singles})
+      .mix(std::uint64_t{c.sets.max_passes})
+      .mix(std::uint64_t{c.learn.min_unique_seed})
+      .mix(c.learn.seed_ppv)
+      .mix(c.learn.accept_ppv)
+      .mix(std::uint64_t{c.learn.tp_improvement})
+      .mix(std::uint64_t{c.learn.congruent_plain})
+      .mix(std::uint64_t{c.learn.congruent_annotated})
+      .mix(std::uint64_t{c.rank.min_unique})
+      .mix(c.rank.good_ppv)
+      .mix(c.rank.promising_ppv)
+      .mix(std::uint64_t{c.rank.tp_margin})
+      .mix(std::uint64_t{c.min_tagged_hostnames})
+      .mix(std::uint64_t{c.max_seed_hostnames})
+      .mix(std::uint64_t{c.max_candidates})
+      .mix(std::uint64_t{c.learn_top_n})
+      .mix(std::uint64_t{c.enable_learning})
+      .mix(stream.signature())
+      .mix(std::uint64_t{dict_size});
+  return sig.value();
+}
+
+}  // namespace
+
 HoihoResult Hoiho::run_stream_instrumented(io::SuffixStream& stream, obs::Registry* registry,
                                            obs::Tracer* tracer) const {
   std::optional<PipelineMetrics> metrics;
@@ -465,8 +517,34 @@ HoihoResult Hoiho::run_stream_instrumented(io::SuffixStream& stream, obs::Regist
   }
 
   HoihoResult result;
+
+  // Durability (DESIGN.md §14): commit every batch's compacted results to a
+  // WAL + manifest, and resume after the last committed batch when the
+  // directory already holds a checkpoint for this exact config and stream.
+  std::optional<io::Checkpoint> ckpt;
+  std::size_t skip_batches = 0;
+  if (!config_.checkpoint_dir.empty()) {
+    ckpt.emplace(config_.checkpoint_dir, checkpoint_signature(config_, stream, dict_.size()),
+                 dict_);
+    io::Checkpoint::Resume resume = ckpt->open();
+    if (pm != nullptr) {
+      if (resume.discarded) pm->checkpoint_discarded.inc();
+      pm->checkpoint_batches_resumed.add(resume.batches);
+      pm->checkpoint_results_resumed.add(resume.results.size());
+    }
+    skip_batches = resume.batches;
+    result.suffixes = std::move(resume.results);
+  }
+
   std::size_t total_suffixes = 0;
   std::optional<io::SuffixBatch> batch = stream.next_batch();
+  // Replay the stream past already-committed batches: the stream is
+  // deterministic (signature-checked), so batch k regenerated now is the
+  // batch k whose results the WAL already holds.
+  while (skip_batches > 0 && batch) {
+    --skip_batches;
+    batch = stream.next_batch();
+  }
   while (batch) {
     const std::vector<topo::SuffixGroup>& groups = batch->groups;
     const measure::Measurements& meas = batch->pings;
@@ -504,13 +582,38 @@ HoihoResult Hoiho::run_stream_instrumented(io::SuffixStream& stream, obs::Regist
       // workers learn batch k. The stream is only ever touched from this
       // thread; the workers only touch the current batch.
       next = stream.next_batch();
-      pool->wait_idle();
+      if (config_.worker_stall_ms > 0) {
+        // Watchdog: surface workers stuck on one suffix (one episode per
+        // task) instead of blocking silently.
+        while (!pool->wait_idle_for(std::chrono::milliseconds(config_.worker_stall_ms))) {
+          const std::size_t stalled =
+              pool->scan_stalled(static_cast<std::uint64_t>(config_.worker_stall_ms));
+          if (pm != nullptr) pm->pool_worker_stalled.add(stalled);
+        }
+      } else {
+        pool->wait_idle();
+      }
     }
 
+    const std::size_t batch_begin = result.suffixes.size();
     for (SuffixResult& sr : slots) {
       if (sr.hostname_count == 0) continue;
       compact(sr);
       result.suffixes.push_back(std::move(sr));
+    }
+    if (ckpt) {
+      std::string err;
+      if (ckpt->commit_batch(
+              std::span<const SuffixResult>(result.suffixes).subspan(batch_begin), &err)) {
+        if (pm != nullptr) pm->checkpoint_batches_committed.inc();
+      } else {
+        // Durability-first: drop the uncommitted batch and stop — exactly
+        // the state a crash at this boundary leaves, so a rerun resumes
+        // here and relearns only this batch.
+        if (pm != nullptr) pm->checkpoint_commit_failures.inc();
+        result.suffixes.resize(batch_begin);
+        break;
+      }
     }
     if (pm != nullptr) {
       pm->stream_batches.inc();

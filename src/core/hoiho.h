@@ -81,6 +81,20 @@ struct HoihoConfig {
   // and for before/after benchmarking.
   bool compiled_regex = true;
 
+  // Durable streaming runs (DESIGN.md §14). Non-empty: run_stream commits
+  // each batch's results to a WAL + manifest under this directory
+  // (io/checkpoint.h) and, when the directory already holds a checkpoint
+  // whose signature matches this config and the stream, resumes after the
+  // last committed batch instead of relearning from suffix 0. The resumed
+  // final model is byte-identical to an uninterrupted run's. Ignored by
+  // run() (batch mode has no incremental commit points).
+  std::string checkpoint_dir;
+
+  // Stall watchdog for the streaming learner's pool (0 = off): while
+  // waiting for a batch to finish, workers busy on one task longer than
+  // this are counted in `pool_worker_stalled` (one episode per task).
+  int worker_stall_ms = 0;
+
   // Observability (DESIGN.md §11). A non-null registry/tracer receives the
   // pipeline's counters, cache hit rates, and stage spans — pass a shared
   // registry to land learner metrics in the same snapshot as serving or

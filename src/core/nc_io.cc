@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "geo/dictionary.h"
+#include "io/load_report.h"
 #include "regex/parser.h"
 #include "util/csv.h"
 #include "util/failpoint.h"
@@ -20,25 +21,8 @@ namespace hoiho::core {
 
 namespace {
 
-// FNV-1a 64 over raw bytes; the integrity footer of model files.
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
 constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
 constexpr std::string_view kChecksumPrefix = "# checksum,fnv1a,";
-
-std::uint64_t fnv1a(std::uint64_t h, std::string_view bytes) {
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-std::string checksum_footer(std::uint64_t hash) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "# checksum,fnv1a,%016llx",
-                static_cast<unsigned long long>(hash));
-  return buf;
-}
 
 int hex_digit(char c) {
   if (c >= '0' && c <= '9') return c - '0';
@@ -55,6 +39,8 @@ std::optional<Role> role_from_token(std::string_view s) {
   return std::nullopt;
 }
 
+}  // namespace
+
 std::optional<geo::HintType> hint_type_from_token(std::string_view s) {
   for (const geo::HintType t :
        {geo::HintType::kIata, geo::HintType::kIcao, geo::HintType::kLocode,
@@ -64,13 +50,51 @@ std::optional<geo::HintType> hint_type_from_token(std::string_view s) {
   return std::nullopt;
 }
 
-std::optional<NcClass> class_from_token(std::string_view s) {
+std::optional<NcClass> nc_class_from_token(std::string_view s) {
   for (const NcClass c : {NcClass::kGood, NcClass::kPromising, NcClass::kPoor})
     if (s == to_string(c)) return c;
   return std::nullopt;
 }
 
-}  // namespace
+std::uint64_t fnv1a_hash(std::string_view bytes, std::uint64_t h) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string checksum_footer_line(std::uint64_t hash) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "# checksum,fnv1a,%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::optional<std::uint64_t> parse_checksum_footer(std::string_view line) {
+  if (!util::starts_with(line, kChecksumPrefix)) return std::nullopt;
+  const std::string_view hex = line.substr(kChecksumPrefix.size());
+  if (hex.size() != 16) return std::nullopt;
+  std::uint64_t stored = 0;
+  for (const char c : hex) {
+    const int v = hex_digit(c);
+    if (v < 0) return std::nullopt;
+    stored = stored * 16 + static_cast<std::uint64_t>(v);
+  }
+  return stored;
+}
+
+geo::LocationId resolve_stored_place(const geo::GeoDictionary& dict, std::string_view city,
+                                     std::string_view state, std::string_view country) {
+  for (geo::LocationId id :
+       dict.lookup(geo::HintType::kCityName, geo::squash_place_name(city))) {
+    const geo::Location& loc = dict.location(id);
+    if (!geo::same_country(loc.country, country)) continue;
+    if (!state.empty() && loc.state != util::to_lower(state)) continue;
+    return id;
+  }
+  return geo::kInvalidLocation;
+}
 
 std::string plan_to_token(const Plan& plan) {
   std::string out;
@@ -140,9 +164,10 @@ bool plausible_suffix(std::string_view s) {
 
 std::optional<std::vector<StoredConvention>> load_conventions(
     std::istream& in, const geo::GeoDictionary& dict, std::string* error,
-    std::vector<std::string>* warnings, const LoadLimits& limits) {
+    std::vector<std::string>* warnings, const LoadLimits& limits, io::LoadReport* report) {
   auto fail = [&](const std::string& msg) -> std::optional<std::vector<StoredConvention>> {
     if (error != nullptr) *error = msg;
+    if (report != nullptr) report->fail(msg);
     return std::nullopt;
   };
   auto note = [&](std::string msg) {
@@ -151,34 +176,39 @@ std::optional<std::vector<StoredConvention>> load_conventions(
   std::vector<StoredConvention> out;
   std::string line;
   std::size_t lineno = 0;
-  std::uint64_t hash = kFnvOffset;
+  std::uint64_t hash = kFnvSeed;
   bool footer_seen = false;
   while (std::getline(in, line)) {
     ++lineno;
+    if (report != nullptr) ++report->lines;
     const std::string where = "line " + std::to_string(lineno);
     if (line.size() > limits.max_line)
       return fail(where + ": line exceeds " + std::to_string(limits.max_line) + " bytes");
     if (util::starts_with(line, kChecksumPrefix)) {
       // Integrity footer (save_conventions_to_file): the FNV-1a of every
-      // byte above it. Verify and require nothing but blank lines after.
+      // byte above it. Verify, and require the file to end here.
       if (footer_seen) return fail(where + ": duplicate checksum footer");
-      const std::string_view hex = std::string_view(line).substr(kChecksumPrefix.size());
-      std::uint64_t stored = 0;
-      if (hex.size() != 16) return fail(where + ": malformed checksum footer");
-      for (const char c : hex) {
-        const int v = hex_digit(c);
-        if (v < 0) return fail(where + ": malformed checksum footer");
-        stored = stored * 16 + static_cast<std::uint64_t>(v);
-      }
-      if (stored != hash)
+      const auto stored = parse_checksum_footer(line);
+      if (!stored) return fail(where + ": malformed checksum footer");
+      if (*stored != hash)
         return fail(where + ": checksum mismatch (file corrupt or torn write)");
       footer_seen = true;
       continue;
     }
-    if (footer_seen && !line.empty())
-      return fail(where + ": content after checksum footer");
-    hash = fnv1a(hash, line);
-    hash = fnv1a(hash, "\n");
+    if (footer_seen) {
+      // The checksum covers everything above the footer, so ANY trailing
+      // line — blank ones included — is unverified input: either a torn
+      // append or bytes smuggled past the integrity check. Named error.
+      if (report != nullptr) {
+        io::LoadOptions count_only;  // lenient so the skip table records it
+        count_only.lenient = true;
+        report->skip(count_only, "trailing_garbage", lineno,
+                     "bytes after checksum footer");
+      }
+      return fail(where + ": bytes after checksum footer");
+    }
+    hash = fnv1a_hash(line, hash);
+    hash = fnv1a_hash("\n", hash);
     if (line.empty() || line[0] == '#') continue;
     const util::CsvRow row = util::parse_csv_line(line);
     if (row.empty() || (row.size() == 1 && row[0].empty())) continue;
@@ -193,7 +223,7 @@ std::optional<std::vector<StoredConvention>> load_conventions(
                     " conventions");
       if (row[1].size() > limits.max_suffix || !plausible_suffix(row[1]))
         return fail(where + ": bad suffix '" + row[1] + "'");
-      const auto cls = class_from_token(row[2]);
+      const auto cls = nc_class_from_token(row[2]);
       if (!cls) return fail(where + ": unknown class '" + row[2] + "'");
       if (!out.empty() && out.back().nc.regexes.empty())
         note("line " + std::to_string(lineno) + ": suffix '" + out.back().nc.suffix +
@@ -244,15 +274,7 @@ std::optional<std::vector<StoredConvention>> load_conventions(
       const auto type = hint_type_from_token(row[1]);
       if (!type) return fail(where + ": unknown dictionary type '" + row[1] + "'");
       // Resolve the stored place against the load-time dictionary.
-      geo::LocationId resolved = geo::kInvalidLocation;
-      for (geo::LocationId id :
-           dict.lookup(geo::HintType::kCityName, geo::squash_place_name(row[3]))) {
-        const geo::Location& loc = dict.location(id);
-        if (!geo::same_country(loc.country, row[5])) continue;
-        if (!row[4].empty() && loc.state != util::to_lower(row[4])) continue;
-        resolved = id;
-        break;
-      }
+      const geo::LocationId resolved = resolve_stored_place(dict, row[3], row[4], row[5]);
       if (resolved == geo::kInvalidLocation) {
         if (warnings != nullptr)
           warnings->push_back(where + ": dropped learned hint '" + row[2] + "' -> " + row[3] +
@@ -267,6 +289,7 @@ std::optional<std::vector<StoredConvention>> load_conventions(
   if (in.bad()) return fail("read error after line " + std::to_string(lineno));
   if (!out.empty() && out.back().nc.regexes.empty())
     note("suffix '" + out.back().nc.suffix + "' has no regexes (truncated file?)");
+  if (report != nullptr) report->records = out.size();
   return out;
 }
 
@@ -297,7 +320,7 @@ bool save_conventions_to_file(const std::string& path,
   std::ostringstream buf;
   save_conventions(buf, conventions, dict);
   std::string data = buf.str();
-  data += checksum_footer(fnv1a(kFnvOffset, data));
+  data += checksum_footer_line(fnv1a_hash(data));
   data += '\n';
 
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());

@@ -15,15 +15,42 @@
 // load resolves them against the dictionary given at load time.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/geohint.h"
 #include "geo/dictionary.h"
 
+namespace hoiho::io {
+struct LoadReport;
+}
+
 namespace hoiho::core {
+
+// FNV-1a 64 over raw bytes — the integrity hash behind the
+// "# checksum,fnv1a,<16 hex>" footer. Shared by model files
+// (save_conventions_to_file), the streaming-checkpoint WAL and manifest
+// (io/checkpoint), and the serving generation archive (serve::ModelStore),
+// so every durable artifact carries the same torn-write detector.
+inline constexpr std::uint64_t kFnvSeed = 1469598103934665603ULL;
+std::uint64_t fnv1a_hash(std::string_view bytes, std::uint64_t h = kFnvSeed);
+
+// Renders / parses the footer line itself (no trailing newline). The hash
+// covers every byte above the footer, each line hashed with its '\n'.
+std::string checksum_footer_line(std::uint64_t hash);
+std::optional<std::uint64_t> parse_checksum_footer(std::string_view line);
+
+// Resolves a stored (city, state, country) place triple against the
+// load-time dictionary — the shared rule for L records and checkpointed
+// learned hints: city-name lookup on the squashed name, filtered by
+// country and (when stored) lowercased state. Returns kInvalidLocation
+// when the place is not in `dict`.
+geo::LocationId resolve_stored_place(const geo::GeoDictionary& dict, std::string_view city,
+                                     std::string_view state, std::string_view country);
 
 // One serialized convention with its stage-5 classification.
 struct StoredConvention {
@@ -66,15 +93,29 @@ struct LoadLimits {
 // regexes also produce warnings. Returns std::nullopt with a message in
 // *error on malformed input: wrong field counts, unknown record/class/plan
 // tokens, regexes outside the dialect, plan/capture mismatches, oversized
-// fields (see LoadLimits), control bytes, a stream read failure, or a
+// fields (see LoadLimits), control bytes, a stream read failure, a
 // checksum-footer mismatch (files written by save_conventions_to_file;
-// files without a footer are accepted unverified for compatibility).
+// files without a footer are accepted unverified for compatibility), or any
+// bytes after the footer — the checksum covers everything above it, so a
+// trailing line (even a blank one) is unverified input and is rejected as
+// "bytes after checksum footer" rather than silently accepted.
+//
+// `report`, if non-null, is filled in either way: lines scanned, records
+// accepted, the failure message (LoadReport::error), and a
+// "trailing_garbage" skip entry counting post-footer lines.
 std::optional<std::vector<StoredConvention>> load_conventions(
     std::istream& in, const geo::GeoDictionary& dict, std::string* error = nullptr,
-    std::vector<std::string>* warnings = nullptr, const LoadLimits& limits = {});
+    std::vector<std::string>* warnings = nullptr, const LoadLimits& limits = {},
+    io::LoadReport* report = nullptr);
 
 // Plan <-> string helpers ("iata", "city+cc+st").
 std::string plan_to_token(const Plan& plan);
 std::optional<Plan> plan_from_token(std::string_view token);
+
+// Token -> enum parsers for the shared record dialect (L/H record dict
+// types, S/X record classes); nullopt on unknown tokens. The inverse is
+// to_string() on the enum.
+std::optional<geo::HintType> hint_type_from_token(std::string_view token);
+std::optional<NcClass> nc_class_from_token(std::string_view token);
 
 }  // namespace hoiho::core

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <limits>
 #include <thread>
 
 #include "util/rng.h"
@@ -27,10 +28,33 @@ std::optional<Client> Client::connect(std::string_view host, std::uint16_t port,
 std::optional<Client> Client::connect_with_retry(std::string_view host, std::uint16_t port,
                                                  const ClientOptions& options,
                                                  std::string* error) {
+  using Clock = std::chrono::steady_clock;
   util::Rng rng(options.backoff_seed);
   const int attempts = std::max(options.max_attempts, 1);
+  const bool deadlined = options.overall_deadline_ms > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(options.overall_deadline_ms);
+  // Remaining overall budget in ms; 1 when the deadline just passed so the
+  // caller still gets exactly one (instant-failing) attempt, 0 afterwards.
+  const auto remaining_ms = [&]() -> long long {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - Clock::now())
+                          .count();
+    return std::max<long long>(left, 0);
+  };
   for (int attempt = 0;; ++attempt) {
-    auto client = connect(host, port, error, options);
+    ClientOptions per_attempt = options;
+    if (deadlined) {
+      const long long left = remaining_ms();
+      if (left <= 0 && attempt > 0) break;
+      // Clamp the connect timeout so one slow attempt cannot blow through
+      // the overall budget (and an unlimited one becomes bounded).
+      const long long budget = std::max<long long>(left, 1);
+      if (per_attempt.connect_timeout_ms <= 0 || per_attempt.connect_timeout_ms > budget)
+        per_attempt.connect_timeout_ms = static_cast<int>(std::min<long long>(
+            budget, std::numeric_limits<int>::max()));
+    }
+    auto client = connect(host, port, error, per_attempt);
     if (client) return client;
     if (attempt + 1 >= attempts) return std::nullopt;
     // Full backoff would synchronize every client that failed at the same
@@ -39,8 +63,21 @@ std::optional<Client> Client::connect_with_retry(std::string_view host, std::uin
     for (int k = 0; k < attempt && delay < options.backoff_max_ms; ++k) delay *= 2;
     delay = std::min<long long>(delay, options.backoff_max_ms);
     delay = static_cast<long long>(static_cast<double>(delay) * rng.next_range(0.5, 1.5));
-    std::this_thread::sleep_for(std::chrono::milliseconds(std::max<long long>(delay, 1)));
+    delay = std::max<long long>(delay, 1);
+    if (deadlined) {
+      const long long left = remaining_ms();
+      if (left <= 0) break;
+      delay = std::min(delay, left);  // never sleep past the deadline
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
   }
+  // Only reached when the overall deadline expired with attempts left; use
+  // the same "timed out" wording as a single timed-out connect so callers
+  // can match one string for both shapes of timeout.
+  if (error != nullptr)
+    *error = "connect timed out after " + std::to_string(options.overall_deadline_ms) +
+             "ms (overall deadline)";
+  return std::nullopt;
 }
 
 bool Client::send_line(std::string_view line) {

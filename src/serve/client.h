@@ -34,6 +34,13 @@ struct ClientOptions {
   int backoff_initial_ms = 50;
   int backoff_max_ms = 2000;
   std::uint64_t backoff_seed = 1;  // jitter is deterministic per seed
+
+  // connect_with_retry() only: overall wall-clock budget across every
+  // attempt and backoff sleep (0 = unlimited, bounded only by
+  // max_attempts). Each attempt's connect timeout and each sleep are
+  // clamped to what remains; exhaustion reports "timed out" — the same
+  // wording a single timed-out connect uses — so callers match one string.
+  int overall_deadline_ms = 0;
 };
 
 class Client {

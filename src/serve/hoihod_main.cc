@@ -63,6 +63,8 @@ int usage(const char* argv0) {
                "          [--idle-timeout-ms N] [--max-inflight N] [--drain-timeout-ms N]\n"
                "          [--metrics-port N] [--subjects FILE] [--rtt FILE]\n"
                "          [--population FILE] [--rtt-slack-ms X]\n"
+               "          [--keep-generations N] [--canary-file FILE]\n"
+               "          [--worker-stall-ms N]\n"
                "       %s --write-demo-model FILE [--operators N] [--hosts-out FILE]\n"
                "          [--rtt-out FILE] [--subjects-out FILE]\n"
                "--subjects + --rtt arm the GEO verb with RTT feasibility filtering\n"
@@ -70,6 +72,11 @@ int usage(const char* argv0) {
                "overrides dictionary populations (city[,state],country,population).\n"
                "--metrics-port serves Prometheus text over HTTP (GET /metrics); the\n"
                "same data is available in-protocol via the METRICS and STATS2 verbs.\n"
+               "--keep-generations archives the last N published models next to\n"
+               "--model (GENS lists them, ROLLBACK <gen> re-serves one);\n"
+               "--canary-file replays pinned queries before publishing a reload and\n"
+               "rejects the new model on any divergence; --worker-stall-ms counts\n"
+               "lookup workers stuck on one batch longer than N ms.\n"
                "HOIHO_FAILPOINTS=site=spec;... injects faults (testing only).\n",
                argv0, argv0);
   return 1;
@@ -171,6 +178,9 @@ int main(int argc, char** argv) {
   bool bind_any = false;
   int metrics_port = -1;  // < 0 = exporter off; 0 = ephemeral
   double rtt_slack_ms = 0.0;
+  std::size_t keep_generations = 0;
+  std::string canary_path;
+  int worker_stall_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -253,6 +263,18 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       metrics_port = std::atoi(v);
+    } else if (arg == "--keep-generations") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      keep_generations = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--canary-file") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      canary_path = v;
+    } else if (arg == "--worker-stall-ms") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      worker_stall_ms = std::atoi(v);
     } else if (arg == "--bind-any") {
       bind_any = true;
     } else {
@@ -280,6 +302,10 @@ int main(int argc, char** argv) {
 
   const geo::GeoDictionary& dict = geo::builtin_dictionary();
   serve::ModelStore store(dict, model_path);
+  // Lineage/canary arm before the first load: the boot model is archived as
+  // a generation too, and a model that fails its canary refuses to serve.
+  if (keep_generations > 0) store.set_keep_generations(keep_generations);
+  if (!canary_path.empty()) store.set_canary(canary_path);
   if (const auto err = store.reload()) {
     std::fprintf(stderr, "hoihod: %s\n", err->c_str());
     return 2;
@@ -371,6 +397,7 @@ int main(int argc, char** argv) {
   config.idle_timeout_ms = idle_timeout_ms;
   config.max_inflight = max_inflight;
   config.drain_timeout_ms = drain_timeout_ms;
+  config.worker_stall_ms = worker_stall_ms;
   config.tick_ms = watch_ms > 0 ? watch_ms : 500;
   // Tick (every tick_ms on the loop thread): translate signals into server
   // actions, and pick up model-file rewrites by mtime. server_ptr is set

@@ -40,6 +40,12 @@ Metrics::Metrics(obs::Registry* registry) {
   write_ns = r.counter("serve_write_ns");
 
   batch_ns = r.histogram("serve_batch_ns");
+
+  // Registered after the frozen STATS v1 set: these surface only through
+  // the registry (STATS2 / METRICS / the bench registry snapshot).
+  reload_rejected = r.counter("serve_reload_rejected");
+  rollbacks = r.counter("serve_rollbacks");
+  worker_stalled = r.counter("serve_worker_stalled");
 }
 
 Metrics::Snapshot Metrics::snapshot() const {

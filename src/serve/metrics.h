@@ -42,10 +42,14 @@ class Metrics {
   obs::Counter errors;    // malformed/oversized/unservable lines
   obs::Counter admin;     // STATS / STATS2 / METRICS / RELOAD verbs
 
-  // Model lifecycle.
+  // Model lifecycle. reload_rejected / rollbacks / worker_stalled are
+  // registry-only (STATS2 / METRICS): the STATS v1 key set is frozen.
   obs::Counter reloads;
   obs::Counter reload_failures;
   obs::Counter reload_debounced;  // watch polls deferred for stability
+  obs::Counter reload_rejected;   // canary gate kept the old generation
+  obs::Counter rollbacks;         // ROLLBACK verbs that republished an archive
+  obs::Counter worker_stalled;    // watchdog: worker stuck on one batch
 
   // Fault tolerance (see DESIGN.md §9).
   obs::Counter deadline_expired;  // lines answered ERR,deadline

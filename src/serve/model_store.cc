@@ -1,13 +1,88 @@
 #include "serve/model_store.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <fstream>
+#include <sstream>
 #include <utility>
 
+#include "serve/protocol.h"
 #include "util/failpoint.h"
+#include "util/strings.h"
 
 namespace hoiho::serve {
+
+namespace {
+
+// Reads a whole file; false on open/read failure. Model files are small
+// (the daemon reloads them whole anyway), so buffering in memory lets one
+// read feed parsing, the canary build, and the generation archive.
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return false;
+  *out = buf.str();
+  return true;
+}
+
+bool write_file_durable(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) {
+      ::unlink(tmp.c_str());
+      return false;
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Parses "gen-<N>.nc"; nullopt for anything else in the archive dir.
+std::optional<std::uint64_t> gen_from_name(std::string_view name) {
+  if (!util::starts_with(name, "gen-") || !util::ends_with(name, ".nc")) return std::nullopt;
+  const std::string_view digits = name.substr(4, name.size() - 4 - 3);
+  if (digits.empty() || digits.size() > 20) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+// Builds a snapshot from parsed conventions — the shared tail of reload and
+// rollback (install has its own copy to keep its always-succeeds contract).
+std::shared_ptr<ModelSnapshot> build_snapshot(const geo::GeoDictionary& dict,
+                                              const std::vector<core::StoredConvention>& loaded,
+                                              std::string source,
+                                              std::vector<std::string> warnings,
+                                              std::shared_ptr<const fuse::FuseContext> fuse) {
+  auto snap = std::make_shared<ModelSnapshot>(dict);
+  snap->source = std::move(source);
+  snap->warnings = std::move(warnings);
+  snap->fuse = std::move(fuse);
+  for (const core::StoredConvention& sc : loaded) {
+    if (sc.cls == core::NcClass::kPoor) continue;  // unusable per stage 5
+    snap->geolocator.add(sc.nc, sc.cls);
+  }
+  snap->convention_count = snap->geolocator.convention_count();
+  snap->program_count = snap->geolocator.program_count();
+  return snap;
+}
+
+}  // namespace
 
 ModelStore::ModelStore(const geo::GeoDictionary& dict, std::string path)
     : dict_(dict), path_(std::move(path)) {
@@ -48,25 +123,133 @@ std::optional<std::string> ModelStore::reload_locked() {
   loaded_stamp_ = file_stamp(path_);
   if (const auto f = util::failpoint::hit("store.reload"))
     return "model file '" + path_ + "': injected reload failure";
-  std::ifstream in(path_);
-  if (!in) return "cannot open model file '" + path_ + "'";
+  std::string bytes;
+  if (!read_file(path_, &bytes)) return "cannot open model file '" + path_ + "'";
 
   std::string error;
   std::vector<std::string> warnings;
+  std::istringstream in(bytes);
   const auto loaded = core::load_conventions(in, dict_, &error, &warnings);
   if (!loaded) return "model file '" + path_ + "': " + error;
 
-  auto snap = std::make_shared<ModelSnapshot>(dict_);
-  snap->source = path_;
-  snap->warnings = std::move(warnings);
-  snap->fuse = fuse_ctx_;
-  for (const core::StoredConvention& sc : *loaded) {
-    if (sc.cls == core::NcClass::kPoor) continue;  // unusable per stage 5
-    snap->geolocator.add(sc.nc, sc.cls);
+  auto snap = build_snapshot(dict_, *loaded, path_, std::move(warnings), fuse_ctx_);
+  if (const auto rejected = canary_check_locked(*snap)) {
+    // The candidate parsed but fails the health gate: keep the previous
+    // generation serving. loaded_stamp_ was already recorded, so the
+    // watcher won't retry the same bad file every poll.
+    if (metrics_ != nullptr) metrics_->reload_rejected.inc();
+    return "model file '" + path_ + "': " + *rejected;
   }
-  snap->convention_count = snap->geolocator.convention_count();
-  snap->program_count = snap->geolocator.program_count();
+  const std::uint64_t gen = next_generation_;
   publish(std::move(snap));
+  archive_locked(gen, bytes);
+  return std::nullopt;
+}
+
+void ModelStore::set_keep_generations(std::size_t n) {
+  std::lock_guard lock(reload_mu_);
+  keep_generations_ = n;
+  if (n > 0 && !path_.empty()) scan_archive_locked();
+}
+
+void ModelStore::set_canary(std::string path, std::size_t max_failures) {
+  std::lock_guard lock(reload_mu_);
+  canary_path_ = std::move(path);
+  canary_max_failures_ = max_failures;
+}
+
+std::string ModelStore::gen_file(std::uint64_t gen) const {
+  return gens_dir() + "/gen-" + std::to_string(gen) + ".nc";
+}
+
+std::vector<std::uint64_t> ModelStore::list_generations_locked() const {
+  std::vector<std::uint64_t> gens;
+  DIR* d = ::opendir(gens_dir().c_str());
+  if (d == nullptr) return gens;
+  while (struct dirent* e = ::readdir(d)) {
+    if (const auto g = gen_from_name(e->d_name)) gens.push_back(*g);
+  }
+  ::closedir(d);
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+std::vector<std::uint64_t> ModelStore::list_generations() {
+  std::lock_guard lock(reload_mu_);
+  return list_generations_locked();
+}
+
+void ModelStore::scan_archive_locked() {
+  const std::vector<std::uint64_t> gens = list_generations_locked();
+  if (!gens.empty()) next_generation_ = std::max(next_generation_, gens.back() + 1);
+}
+
+void ModelStore::archive_locked(std::uint64_t gen, const std::string& bytes) {
+  if (keep_generations_ == 0 || path_.empty()) return;
+  ::mkdir(gens_dir().c_str(), 0755);  // EEXIST is the common case
+  // Best-effort: a full disk must not turn a healthy publish into a failed
+  // reload — the archive exists to serve rollbacks, not to gate serving.
+  if (!write_file_durable(gen_file(gen), bytes)) return;
+  std::vector<std::uint64_t> gens = list_generations_locked();
+  for (std::size_t i = 0; gens.size() - i > keep_generations_; ++i)
+    ::unlink(gen_file(gens[i]).c_str());
+}
+
+std::optional<std::string> ModelStore::canary_check_locked(
+    const ModelSnapshot& candidate) const {
+  if (canary_path_.empty()) return std::nullopt;
+  std::string text;
+  if (!read_file(canary_path_, &text))
+    return "canary file '" + canary_path_ + "' unreadable (failing closed)";
+  std::size_t queries = 0, failures = 0;
+  std::string first;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = std::string_view(text).substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t comma = line.find(',');
+    const std::string_view host = comma == std::string_view::npos ? line : line.substr(0, comma);
+    ++queries;
+    const auto loc = candidate.geolocator.locate(host);
+    const std::string got = loc ? format_hit(*loc) : format_miss();
+    const bool ok = comma == std::string_view::npos ? loc.has_value()
+                                                    : got == line.substr(comma + 1);
+    if (!ok) {
+      ++failures;
+      if (first.empty()) first = std::string(host) + " -> " + got;
+    }
+  }
+  if (queries == 0)
+    return "canary file '" + canary_path_ + "' has no queries (failing closed)";
+  if (failures > canary_max_failures_)
+    return "canary rejected: " + std::to_string(failures) + "/" + std::to_string(queries) +
+           " queries diverged (first: " + first + ")";
+  return std::nullopt;
+}
+
+std::optional<std::string> ModelStore::rollback(std::uint64_t gen,
+                                                std::uint64_t* new_generation) {
+  std::lock_guard lock(reload_mu_);
+  if (path_.empty()) return "model store has no file path";
+  if (keep_generations_ == 0) return "generation archive disabled (--keep-generations)";
+  std::string bytes;
+  if (!read_file(gen_file(gen), &bytes))
+    return "generation " + std::to_string(gen) + " is not in the archive";
+  std::string error;
+  std::vector<std::string> warnings;
+  std::istringstream in(bytes);
+  const auto loaded = core::load_conventions(in, dict_, &error, &warnings);
+  if (!loaded) return "archived generation " + std::to_string(gen) + ": " + error;
+  auto snap = build_snapshot(dict_, *loaded, gen_file(gen), std::move(warnings), fuse_ctx_);
+  const std::uint64_t published = next_generation_;
+  publish(std::move(snap));
+  archive_locked(published, bytes);
+  if (metrics_ != nullptr) metrics_->rollbacks.inc();
+  if (new_generation != nullptr) *new_generation = published;
   return std::nullopt;
 }
 

@@ -28,6 +28,7 @@
 #include "core/nc_io.h"
 #include "fuse/fuser.h"
 #include "geo/dictionary.h"
+#include "serve/metrics.h"
 
 namespace hoiho::serve {
 
@@ -92,6 +93,44 @@ class ModelStore {
   enum class WatchOutcome { kUnchanged, kMissing, kDebounced, kReloaded, kReloadFailed };
   WatchOutcome poll_watch(std::string* error = nullptr);
 
+  // --- Versioned lineage & health-gated publishing (DESIGN.md §14) ---
+
+  // Keeps the last `n` published model files as `<path>.gens/gen-<N>.nc`
+  // (oldest pruned past n). 0 (the default) disables archiving. The archive
+  // directory is rescanned here so generation numbers keep increasing
+  // across daemon restarts — a rollback target never collides with a fresh
+  // install's number.
+  void set_keep_generations(std::size_t n);
+
+  // Canary gate: before a reload() (or watch-triggered reload) publishes,
+  // replay the queries in `path` against the candidate snapshot. Each line
+  // is `<hostname>` (must not answer MISS) or `<hostname>,<expected>` where
+  // <expected> is the exact wire response ("MISS" or "lat,lon,code,method");
+  // '#' lines are comments. More than `max_failures` divergences reject the
+  // reload: the serving snapshot is untouched, the error names the first
+  // divergence, and serve_reload_rejected is bumped. An unreadable canary
+  // file also rejects (fail closed — a gate that silently vanishes is worse
+  // than a loud one). Empty `path` disables the gate. install() and
+  // rollback() bypass it (explicit operator actions).
+  void set_canary(std::string path, std::size_t max_failures = 0);
+
+  // Counters for rejected reloads / rollbacks (serve_reload_rejected,
+  // serve_rollbacks); null = uncounted. Must outlive the store.
+  void set_metrics(Metrics* metrics) { metrics_ = metrics; }
+
+  // Archived generation numbers, ascending. Empty when archiving is off.
+  std::vector<std::uint64_t> list_generations();
+
+  // Republishes archived generation `gen` under a fresh generation number
+  // (lineage is append-only: a rollback is a new generation whose bytes are
+  // an old one's, so GENS shows the full history). Bypasses the canary.
+  // The rolled-back model is re-archived, and the mtime watcher will not
+  // re-load the bad on-disk file afterwards (its stamp was recorded at the
+  // failed/rolled-back load). Returns the error message on failure;
+  // *new_generation (if non-null) receives the published number on success.
+  std::optional<std::string> rollback(std::uint64_t gen,
+                                      std::uint64_t* new_generation = nullptr);
+
   std::uint64_t generation() const { return current()->generation; }
   const std::string& path() const { return path_; }
   const geo::GeoDictionary& dictionary() const { return dict_; }
@@ -112,11 +151,23 @@ class ModelStore {
   void publish(std::shared_ptr<ModelSnapshot> snap);
   std::optional<std::string> reload_locked();  // requires reload_mu_
 
+  // Lineage helpers; all require reload_mu_.
+  std::string gens_dir() const { return path_ + ".gens"; }
+  std::string gen_file(std::uint64_t gen) const;
+  std::vector<std::uint64_t> list_generations_locked() const;
+  void scan_archive_locked();  // advances next_generation_ past archived gens
+  void archive_locked(std::uint64_t gen, const std::string& bytes);
+  std::optional<std::string> canary_check_locked(const ModelSnapshot& candidate) const;
+
   const geo::GeoDictionary& dict_;
   std::string path_;
   std::shared_ptr<const fuse::FuseContext> fuse_ctx_;  // guarded by reload_mu_
   std::mutex reload_mu_;       // serializes reload/install; readers never take it
   std::uint64_t next_generation_ = 1;  // guarded by reload_mu_
+  std::size_t keep_generations_ = 0;   // guarded by reload_mu_
+  std::string canary_path_;            // guarded by reload_mu_
+  std::size_t canary_max_failures_ = 0;  // guarded by reload_mu_
+  Metrics* metrics_ = nullptr;         // set once before serving; not guarded
   FileStamp loaded_stamp_;             // stamp at last (attempted) load; reload_mu_
   FileStamp pending_stamp_;            // candidate stamp awaiting debounce; reload_mu_
   bool pending_valid_ = false;         // guarded by reload_mu_

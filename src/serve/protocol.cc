@@ -39,6 +39,27 @@ bool parse_coordinate(std::string_view text, geo::Coordinate* out) {
   return out->valid();
 }
 
+Request parse_rollback_args(std::string_view rest) {
+  Request req;
+  req.kind = RequestKind::kRollback;
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  while (!rest.empty() && rest.back() == ' ') rest.remove_suffix(1);
+  std::uint64_t gen = 0;
+  if (rest.empty() || rest.size() > 20) {
+    req.error = "rollback_usage";
+    return req;
+  }
+  for (const char c : rest) {
+    if (c < '0' || c > '9') {
+      req.error = "rollback_usage";
+      return req;
+    }
+    gen = gen * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  req.rollback_gen = gen;
+  return req;
+}
+
 Request parse_geo_args(std::string_view rest) {
   Request req;
   req.kind = RequestKind::kGeo;
@@ -78,6 +99,8 @@ Request parse_request(std::string_view line) {
     req.kind = RequestKind::kMetrics;
   } else if (line == "RELOAD") {
     req.kind = RequestKind::kReload;
+  } else if (line == "GENS") {
+    req.kind = RequestKind::kGens;
   } else {
     const std::size_t space = line.find(' ');
     const std::string_view head =
@@ -85,6 +108,9 @@ Request parse_request(std::string_view line) {
     if (head == "GEO") return parse_geo_args(space == std::string_view::npos
                                                  ? std::string_view()
                                                  : line.substr(space + 1));
+    if (head == "ROLLBACK")
+      return parse_rollback_args(space == std::string_view::npos ? std::string_view()
+                                                                 : line.substr(space + 1));
     if (space != std::string_view::npos || verb_shaped(head)) {
       // A spaced line (hostnames have no spaces) or a bare verb-shaped
       // token: answer a named error rather than a misleading MISS.
@@ -238,6 +264,29 @@ std::string format_reload_error(std::string_view message) {
   return "RELOAD,error," + std::string(message);
 }
 
+std::string format_gens(std::uint64_t serving, const std::vector<std::uint64_t>& archived) {
+  std::string out = "GENS,serving=" + std::to_string(serving) + ",archived=";
+  if (archived.empty()) {
+    out += '-';
+    return out;
+  }
+  for (std::size_t i = 0; i < archived.size(); ++i) {
+    if (i != 0) out += ';';
+    out += std::to_string(archived[i]);
+  }
+  return out;
+}
+
+std::string format_rollback_ok(std::uint64_t generation, std::uint64_t from,
+                               std::size_t conventions) {
+  return "ROLLBACK,ok,generation=" + std::to_string(generation) +
+         ",from=" + std::to_string(from) + ",conventions=" + std::to_string(conventions);
+}
+
+std::string format_rollback_error(std::string_view message) {
+  return "ROLLBACK,error," + std::string(message);
+}
+
 ResponseKind classify_response(std::string_view line) {
   if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
   if (line == "MISS") return ResponseKind::kMiss;
@@ -247,6 +296,9 @@ ResponseKind classify_response(std::string_view line) {
   if (util::starts_with(line, "STATS")) return ResponseKind::kStats;
   if (util::starts_with(line, "RELOAD,ok")) return ResponseKind::kReload;
   if (util::starts_with(line, "RELOAD,error")) return ResponseKind::kReloadError;
+  if (util::starts_with(line, "GENS,")) return ResponseKind::kGens;
+  if (util::starts_with(line, "ROLLBACK,ok")) return ResponseKind::kRollback;
+  if (util::starts_with(line, "ROLLBACK,error")) return ResponseKind::kRollbackError;
   if (util::starts_with(line, "ERR,")) return ResponseKind::kError;
   return ResponseKind::kHit;
 }

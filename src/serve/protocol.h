@@ -3,12 +3,15 @@
 // Grammar (all lines '\n'-terminated; '\r' before '\n' is tolerated):
 //
 //   request   = lookup | geo | "STATS" | "STATS2" | "METRICS" | "RELOAD"
+//             | "GENS" | rollback
 //   lookup    = hostname                     ; anything that is not a verb
 //   geo       = "GEO" SP subject [SP lat "," lon]
 //   subject   = hostname | address           ; address needs a fuse context
+//   rollback  = "ROLLBACK" SP generation     ; decimal archived generation
 //
 //   response  = hit | miss | geo-hit | geo-miss | stats | stats2 | metrics
-//             | reload-ok | reload-err | err
+//             | reload-ok | reload-err | gens | rollback-ok | rollback-err
+//             | err
 //   hit       = lat "," lon "," code "," method
 //   method    = "learned" | "dictionary"     ; how the code was resolved
 //   miss      = "MISS"                       ; no convention / unknown code
@@ -24,6 +27,10 @@
 //                                            ; clients read until "# EOF"
 //   reload-ok = "RELOAD,ok,generation=" N ",conventions=" N
 //   reload-err= "RELOAD,error," message
+//   gens      = "GENS,serving=" N ",archived=" gen *(";" gen)
+//                                            ; "archived=-" when none
+//   rollback-ok  = "ROLLBACK,ok,generation=" N ",from=" N ",conventions=" N
+//   rollback-err = "ROLLBACK,error," message
 //   err       = "ERR," reason                ; empty/oversized line, unknown
 //                                            ; verb, malformed GEO arguments
 //
@@ -45,14 +52,15 @@
 // throughput.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/geolocate.h"
 #include "fuse/audit.h"
 #include "serve/metrics.h"
-#include "serve/model_store.h"
 
 namespace hoiho::serve {
 
@@ -63,6 +71,8 @@ enum class RequestKind {
   kStats2,
   kMetrics,
   kReload,
+  kGens,
+  kRollback,
   kEmpty,
   kUnknownVerb,
 };
@@ -77,6 +87,10 @@ struct Request {
   bool has_claimed = false;
   geo::Coordinate claimed;
   std::string_view error;
+
+  // kRollback only (error, shared with kGeo above, is "rollback_usage"
+  // when the generation argument is missing or non-numeric).
+  std::uint64_t rollback_gen = 0;
 };
 
 // Classifies one request line (without the trailing newline).
@@ -110,6 +124,13 @@ std::string format_metrics_text(const obs::Snapshot& snap, std::uint64_t generat
 std::string format_reload_ok(std::uint64_t generation, std::size_t conventions);
 std::string format_reload_error(std::string_view message);
 
+// GENS: the serving generation plus the archived generation numbers
+// (semicolon-separated — commas delimit the outer kv list).
+std::string format_gens(std::uint64_t serving, const std::vector<std::uint64_t>& archived);
+std::string format_rollback_ok(std::uint64_t generation, std::uint64_t from,
+                               std::size_t conventions);
+std::string format_rollback_error(std::string_view message);
+
 // Response classification (client side: tests, load generator). kMetrics
 // matches any '#'-comment line — for a METRICS response, classify the first
 // line and consume until "# EOF".
@@ -122,6 +143,9 @@ enum class ResponseKind {
   kMetrics,
   kReload,
   kReloadError,
+  kGens,
+  kRollback,
+  kRollbackError,
   kError,
 };
 ResponseKind classify_response(std::string_view line);

@@ -44,7 +44,10 @@ Server::Server(ModelStore& store, ServerConfig config)
       fuse_metrics_(metrics_.registry()),
       audit_agree_(metrics_.registry().counter("audit_agree")),
       audit_refute_(metrics_.registry().counter("audit_refute")),
-      audit_unknown_(metrics_.registry().counter("audit_unknown")) {}
+      audit_unknown_(metrics_.registry().counter("audit_unknown")) {
+  // The store's canary/rollback counters land in this server's registry.
+  store_.set_metrics(&metrics_);
+}
 
 Server::~Server() {
   // Drain the worker pool before tearing down the members its tasks touch
@@ -129,6 +132,13 @@ void Server::run() {
     }
     if (config_.tick_ms > 0 && Clock::now() >= next_tick) {
       next_tick = Clock::now() + std::chrono::milliseconds(config_.tick_ms);
+      // Watchdog: a worker wedged on one batch (slow model, livelocked
+      // lookup) is surfaced as a counter instead of silently eating a
+      // thread. One episode per batch (see util::Heartbeat).
+      if (config_.worker_stall_ms > 0 && pool_ != nullptr) {
+        metrics_.worker_stalled.add(
+            pool_->scan_stalled(static_cast<std::uint64_t>(config_.worker_stall_ms)));
+      }
       if (config_.on_tick) config_.on_tick();
     }
     for (int i = 0; i < n; ++i) {
@@ -415,6 +425,28 @@ void Server::process_batch(std::uint64_t conn_id, std::uint64_t seq,
           const auto fresh = store_.current();
           out += format_reload_ok(fresh->generation, fresh->convention_count);
           snap = fresh;  // later lines in this batch see the new model
+        }
+        break;
+      }
+      case RequestKind::kGens:
+        metrics_.admin.inc();
+        out += format_gens(store_.generation(), store_.list_generations());
+        break;
+      case RequestKind::kRollback: {
+        metrics_.admin.inc();
+        if (!req.error.empty()) {
+          metrics_.errors.inc();
+          out += format_error(req.error);
+          break;
+        }
+        std::uint64_t published = 0;
+        const std::uint64_t from = req.rollback_gen;
+        if (const auto err = store_.rollback(from, &published)) {
+          out += format_rollback_error(*err);
+        } else {
+          const auto fresh = store_.current();
+          out += format_rollback_ok(published, from, fresh->convention_count);
+          snap = fresh;  // later lines in this batch see the restored model
         }
         break;
       }

@@ -68,6 +68,11 @@ struct ServerConfig {
   int tick_ms = 0;
   std::function<void()> on_tick;
 
+  // Worker watchdog (0 = off): each tick, lookup workers busy on one batch
+  // longer than this are counted in serve_worker_stalled (one episode per
+  // batch). Needs tick_ms > 0 — the scan rides the tick.
+  int worker_stall_ms = 0;
+
   // Metrics registry the server's counters land in. Null (default) gives
   // the Server a private registry; pass a shared one to merge the serve_*
   // metrics into a process-wide snapshot (must outlive the Server).

@@ -15,12 +15,34 @@ std::uint64_t steady_now_ns() {
           .count());
 }
 
+// Shared scan_stalled body (contract in the header). The scanner reads
+// busy_since first, then task_seq: if the worker finishes and starts a new
+// task in between, the worst case is one stall attributed to the newer seq
+// — an off-by-one in attribution, never a double count.
+std::size_t scan_heartbeats(std::vector<Heartbeat>& hbs, std::vector<std::uint64_t>& reported,
+                            std::uint64_t threshold_ms) {
+  if (reported.size() != hbs.size()) reported.assign(hbs.size(), 0);
+  const std::uint64_t now = steady_now_ns();
+  const std::uint64_t threshold_ns = threshold_ms * 1'000'000ULL;
+  std::size_t fresh = 0;
+  for (std::size_t i = 0; i < hbs.size(); ++i) {
+    const std::uint64_t busy = hbs[i].busy_since_ns.load(std::memory_order_acquire);
+    if (busy == 0 || now - busy < threshold_ns) continue;
+    const std::uint64_t seq = hbs[i].task_seq.load(std::memory_order_acquire);
+    if (seq == reported[i]) continue;  // this episode already counted
+    reported[i] = seq;
+    ++fresh;
+  }
+  return fresh;
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
     : queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
   if (threads == 0) threads = 1;
   executed_per_worker_.assign(threads, 0);
+  heartbeats_ = std::vector<Heartbeat>(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
     workers_.emplace_back([this, i](std::stop_token stop) { worker(stop, i); });
@@ -76,7 +98,11 @@ void ThreadPool::worker(std::stop_token stop, std::size_t index) {
       queue_.pop_front();
     }
     cv_room_.notify_one();
+    Heartbeat& hb = heartbeats_[index];
+    hb.task_seq.fetch_add(1, std::memory_order_relaxed);
+    hb.busy_since_ns.store(steady_now_ns(), std::memory_order_release);
     task();
+    hb.busy_since_ns.store(0, std::memory_order_release);
     {
       std::lock_guard lock(mu_);
       --in_flight_;
@@ -85,6 +111,10 @@ void ThreadPool::worker(std::stop_token stop, std::size_t index) {
       if (in_flight_ == 0) cv_idle_.notify_all();
     }
   }
+}
+
+std::size_t ThreadPool::scan_stalled(std::uint64_t threshold_ms) {
+  return scan_heartbeats(heartbeats_, stall_reported_, threshold_ms);
 }
 
 std::size_t ThreadPool::resolve(std::size_t requested) {
@@ -99,6 +129,7 @@ WorkStealingPool::WorkStealingPool(std::size_t threads) {
   if (threads == 0) threads = 1;
   shards_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) shards_.push_back(std::make_unique<Shard>());
+  heartbeats_ = std::vector<Heartbeat>(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
     workers_.emplace_back([this, i](std::stop_token stop) { worker(stop, i); });
@@ -171,6 +202,16 @@ void WorkStealingPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return in_flight_.load(std::memory_order_acquire) == 0; });
 }
 
+bool WorkStealingPool::wait_idle_for(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(idle_mu_);
+  return cv_idle_.wait_for(lock, timeout,
+                           [this] { return in_flight_.load(std::memory_order_acquire) == 0; });
+}
+
+std::size_t WorkStealingPool::scan_stalled(std::uint64_t threshold_ms) {
+  return scan_heartbeats(heartbeats_, stall_reported_, threshold_ms);
+}
+
 WorkStealingPool::Stats WorkStealingPool::stats() const {
   Stats s;
   s.submitted = submitted_.load(std::memory_order_acquire);
@@ -220,7 +261,11 @@ bool WorkStealingPool::try_steal(std::size_t thief, Task& out) {
 void WorkStealingPool::run_task(std::size_t index, Task& task) {
   if (queue_wait_ns_)
     queue_wait_ns_.observe(static_cast<double>(steady_now_ns() - task.enqueue_ns));
+  Heartbeat& hb = heartbeats_[index];
+  hb.task_seq.fetch_add(1, std::memory_order_relaxed);
+  hb.busy_since_ns.store(steady_now_ns(), std::memory_order_release);
   task.fn();
+  hb.busy_since_ns.store(0, std::memory_order_release);
   {
     Shard& own = *shards_[index];
     const std::lock_guard lock(own.mu);

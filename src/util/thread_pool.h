@@ -22,6 +22,8 @@
 // byte-identical output regardless of which worker ran what.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -34,6 +36,16 @@
 #include "obs/metrics.h"
 
 namespace hoiho::util {
+
+// Watchdog heartbeat, one per worker (both pools). The worker bumps
+// task_seq and stamps busy_since_ns when it starts a task and zeroes
+// busy_since_ns when the task finishes; scan_stalled() reads them to count
+// workers stuck on one task past a threshold — one episode per task, so a
+// slow task is reported once, not once per scan.
+struct Heartbeat {
+  std::atomic<std::uint64_t> busy_since_ns{0};  // 0 = idle
+  std::atomic<std::uint64_t> task_seq{0};
+};
 
 // Per-worker accounting shared by both pools. For ThreadPool (one shared
 // queue) `stolen`/`steal_failures` are always zero and `max_queue_depth`
@@ -78,6 +90,12 @@ class ThreadPool {
   };
   Stats stats() const;
 
+  // Counts workers that have been busy on one task for longer than
+  // `threshold_ms`, each stall episode reported once (keyed by the worker's
+  // task_seq). Call from a single scanner thread (e.g. a server event
+  // loop); the per-worker last-reported bookkeeping is not synchronized.
+  std::size_t scan_stalled(std::uint64_t threshold_ms);
+
   // Maps a config knob to a worker count: 0 means "use the hardware"
   // (hardware_concurrency, at least 1), anything else passes through.
   static std::size_t resolve(std::size_t requested);
@@ -85,6 +103,8 @@ class ThreadPool {
  private:
   void worker(std::stop_token stop, std::size_t index);
 
+  std::vector<Heartbeat> heartbeats_;          // one per worker, fixed size
+  std::vector<std::uint64_t> stall_reported_;  // scanner-owned (see scan_stalled)
   mutable std::mutex mu_;
   std::condition_variable cv_room_;  // queue has room (producers wait here)
   std::condition_variable cv_work_;  // queue has work, or stop requested
@@ -127,6 +147,13 @@ class WorkStealingPool {
   // Blocks until every seeded/submitted task has finished executing.
   void wait_idle();
 
+  // wait_idle() with a timeout: true if the pool went idle, false if the
+  // wait timed out (callers typically scan_stalled() and wait again).
+  bool wait_idle_for(std::chrono::milliseconds timeout);
+
+  // Same contract as ThreadPool::scan_stalled (single scanner thread).
+  std::size_t scan_stalled(std::uint64_t threshold_ms);
+
   std::size_t thread_count() const { return workers_.size(); }
 
   // Optional queue-wait instrumentation: when set, the pool observes
@@ -165,6 +192,8 @@ class WorkStealingPool {
   void run_task(std::size_t index, Task& task);
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Heartbeat> heartbeats_;          // one per worker, fixed size
+  std::vector<std::uint64_t> stall_reported_;  // scanner-owned (see scan_stalled)
   obs::Histogram queue_wait_ns_;
 
   std::mutex idle_mu_;

@@ -1,0 +1,293 @@
+// Crash/resume durability for checkpointed streaming runs (DESIGN.md §14):
+//
+//   * kill-at-every-boundary — a run that dies on any batch commit resumes
+//     from the WAL and produces a byte-identical final model;
+//   * torn tail — bytes past the last committed manifest state are
+//     truncated on open, not treated as corruption;
+//   * corrupt manifest / signature mismatch — the whole checkpoint is
+//     discarded and the run starts fresh (never trusts a half-valid WAL);
+//   * counters — committed/resumed/discarded surface in the registry.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/hoiho.h"
+#include "core/nc_io.h"
+#include "obs/metrics.h"
+#include "sim/streaming.h"
+#include "util/failpoint.h"
+
+namespace hoiho::core {
+namespace {
+
+sim::StreamingWorldConfig small_config() {
+  sim::StreamingWorldConfig config;
+  config.seed = 77;
+  config.suffixes = 40;
+  config.target_hostnames = 1200;
+  config.max_hostnames_per_suffix = 256;
+  config.vp_count = 16;
+  config.batch_hostname_budget = 300;
+  config.traits.geohint_scheme_rate = 0.8;
+  config.traits.hostname_rate = 0.85;
+  return config;
+}
+
+// The exact bytes a finished run would publish as its model file (minus the
+// checksum footer, which save_conventions_to_file adds). "Byte-identical
+// resume" is asserted against this serialization.
+std::string model_bytes(const HoihoResult& result) {
+  std::vector<StoredConvention> stored;
+  for (const SuffixResult& sr : result.suffixes)
+    if (sr.usable()) stored.push_back(StoredConvention{sr.nc, sr.cls});
+  std::ostringstream os;
+  save_conventions(os, stored, geo::builtin_dictionary());
+  return os.str();
+}
+
+// Every per-suffix outcome a streamed run retains, including the eval
+// counts the model file does not carry — a stricter equality than the
+// serialized model alone.
+std::string compact_dump(const HoihoResult& result) {
+  std::ostringstream os;
+  for (const SuffixResult& sr : result.suffixes) {
+    os << sr.suffix << " hostnames=" << sr.hostname_count << " tagged=" << sr.tagged_count
+       << " cls=" << to_string(sr.cls) << " tp=" << sr.eval.counts.tp
+       << " fp=" << sr.eval.counts.fp << " fn=" << sr.eval.counts.fn
+       << " unk=" << sr.eval.counts.unk << " none=" << sr.eval.counts.none
+       << " sets=" << sr.eval.regex_unique_tp.size()
+       << " uniq=" << sr.eval.unique_tp_codes.size() << "\n";
+    for (const GeoRegex& gr : sr.nc.regexes)
+      os << "  rx " << gr.to_string() << " (" << gr.plan.to_string() << ")\n";
+    for (const LearnedHint& lh : sr.learned)
+      os << "  learned " << static_cast<int>(lh.type) << ":" << lh.code << "->" << lh.location
+         << "\n";
+  }
+  return os.str();
+}
+
+struct StreamRun {
+  HoihoResult result;
+  obs::Snapshot snap;
+};
+
+StreamRun run_with_checkpoint(const std::string& dir) {
+  sim::StreamingWorld world(geo::builtin_dictionary(), small_config());
+  HoihoConfig hc;
+  hc.threads = 1;
+  hc.checkpoint_dir = dir;
+  obs::Registry registry;
+  hc.registry = &registry;
+  StreamRun run;
+  run.result = Hoiho(geo::builtin_dictionary(), hc).run_stream(world);
+  run.snap = registry.snapshot();
+  return run;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::remove((dir + "/wal.log").c_str());
+  std::remove((dir + "/MANIFEST").c_str());
+  ::rmdir(dir.c_str());
+  return dir;
+}
+
+TEST(Checkpoint, KillAtEveryBatchBoundaryResumesByteIdentical) {
+  // Golden: one uninterrupted checkpointed run.
+  const StreamRun golden = run_with_checkpoint(fresh_dir("ckpt_golden"));
+  const std::string golden_model = model_bytes(golden.result);
+  const std::string golden_dump = compact_dump(golden.result);
+  const std::uint64_t batches = golden.snap.value("pipeline_stream_batches");
+  ASSERT_GT(batches, 2u) << "need multiple batches to exercise boundaries";
+  EXPECT_EQ(golden.snap.value("checkpoint_batches_committed"), batches);
+  EXPECT_EQ(golden.snap.value("checkpoint_commit_failures"), 0u);
+  EXPECT_FALSE(golden_model.empty());
+
+  for (std::uint64_t k = 1; k <= batches; ++k) {
+    const std::string dir = fresh_dir("ckpt_kill_" + std::to_string(k));
+
+    // "Crash" on the k-th commit: commits 1..k-1 land, the k-th batch's
+    // results are dropped exactly as a SIGKILL at that instant would.
+    ASSERT_TRUE(util::failpoint::configure(
+        "checkpoint_write", "error:EIO,every=" + std::to_string(k) + ",times=1"));
+    const StreamRun killed = run_with_checkpoint(dir);
+    util::failpoint::reset();
+    EXPECT_EQ(killed.snap.value("checkpoint_commit_failures"), 1u) << "boundary " << k;
+    EXPECT_EQ(killed.snap.value("checkpoint_batches_committed"), k - 1);
+    EXPECT_LT(killed.result.suffixes.size(), golden.result.suffixes.size());
+
+    // Resume: a fresh process replays only the uncommitted batches.
+    const StreamRun resumed = run_with_checkpoint(dir);
+    EXPECT_EQ(resumed.snap.value("checkpoint_batches_resumed"), k - 1) << "boundary " << k;
+    EXPECT_EQ(resumed.snap.value("checkpoint_discarded"), 0u);
+    EXPECT_EQ(resumed.snap.value("checkpoint_batches_committed"), batches - (k - 1));
+    EXPECT_EQ(model_bytes(resumed.result), golden_model) << "boundary " << k;
+    EXPECT_EQ(compact_dump(resumed.result), golden_dump) << "boundary " << k;
+  }
+}
+
+TEST(Checkpoint, ResumingACompleteRunReplaysNothing) {
+  const std::string dir = fresh_dir("ckpt_complete");
+  const StreamRun first = run_with_checkpoint(dir);
+  const std::uint64_t batches = first.snap.value("pipeline_stream_batches");
+
+  const StreamRun again = run_with_checkpoint(dir);
+  EXPECT_EQ(again.snap.value("checkpoint_batches_resumed"), batches);
+  EXPECT_EQ(again.snap.value("checkpoint_batches_committed"), 0u);
+  EXPECT_EQ(again.snap.value("checkpoint_results_resumed"), first.result.suffixes.size());
+  EXPECT_EQ(compact_dump(again.result), compact_dump(first.result));
+  EXPECT_EQ(model_bytes(again.result), model_bytes(first.result));
+}
+
+TEST(Checkpoint, TornWalTailIsTruncatedNotFatal) {
+  const std::string dir = fresh_dir("ckpt_torn");
+  ASSERT_TRUE(util::failpoint::configure("checkpoint_write", "error:EIO,every=3,times=1"));
+  run_with_checkpoint(dir);
+  util::failpoint::reset();
+
+  // A crash mid-append leaves bytes past the committed manifest state; they
+  // must be dropped on open, not treated as corruption.
+  {
+    std::ofstream wal(dir + "/wal.log", std::ios::app | std::ios::binary);
+    ASSERT_TRUE(wal.is_open());
+    wal << "B,9999,1\nGARBAGE que no parsea\n";
+  }
+  const StreamRun resumed = run_with_checkpoint(dir);
+  EXPECT_EQ(resumed.snap.value("checkpoint_discarded"), 0u);
+  EXPECT_EQ(resumed.snap.value("checkpoint_batches_resumed"), 2u);
+
+  const StreamRun golden = run_with_checkpoint(fresh_dir("ckpt_torn_golden"));
+  EXPECT_EQ(model_bytes(resumed.result), model_bytes(golden.result));
+  EXPECT_EQ(compact_dump(resumed.result), compact_dump(golden.result));
+}
+
+TEST(Checkpoint, CorruptManifestDiscardsAndStartsFresh) {
+  const std::string dir = fresh_dir("ckpt_badmanifest");
+  run_with_checkpoint(dir);
+
+  std::string manifest;
+  {
+    std::ifstream in(dir + "/MANIFEST", std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    manifest = os.str();
+  }
+  ASSERT_FALSE(manifest.empty());
+  manifest[manifest.size() / 2] ^= 0x20;  // flip one bit under the checksum
+  {
+    std::ofstream out(dir + "/MANIFEST", std::ios::binary | std::ios::trunc);
+    out << manifest;
+  }
+
+  const StreamRun rerun = run_with_checkpoint(dir);
+  EXPECT_EQ(rerun.snap.value("checkpoint_discarded"), 1u);
+  EXPECT_EQ(rerun.snap.value("checkpoint_batches_resumed"), 0u);
+  // The discarded state is replaced: the rerun recommits every batch and the
+  // model matches an uninterrupted run.
+  EXPECT_EQ(rerun.snap.value("checkpoint_batches_committed"),
+            rerun.snap.value("pipeline_stream_batches"));
+  const StreamRun golden = run_with_checkpoint(fresh_dir("ckpt_badmanifest_golden"));
+  EXPECT_EQ(model_bytes(rerun.result), model_bytes(golden.result));
+}
+
+TEST(Checkpoint, ShortWalDiscardsAndStartsFresh) {
+  const std::string dir = fresh_dir("ckpt_shortwal");
+  run_with_checkpoint(dir);
+  // Truncate the WAL below what the manifest committed: the prefix hash
+  // cannot verify, so the checkpoint must be discarded wholesale.
+  {
+    std::ifstream in(dir + "/wal.log", std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    const std::string wal = os.str();
+    std::ofstream out(dir + "/wal.log", std::ios::binary | std::ios::trunc);
+    out << wal.substr(0, wal.size() / 2);
+  }
+  const StreamRun rerun = run_with_checkpoint(dir);
+  EXPECT_EQ(rerun.snap.value("checkpoint_discarded"), 1u);
+  EXPECT_EQ(rerun.snap.value("checkpoint_batches_resumed"), 0u);
+}
+
+TEST(Checkpoint, ConfigChangeInvalidatesTheCheckpoint) {
+  const std::string dir = fresh_dir("ckpt_sig");
+  run_with_checkpoint(dir);
+
+  // Same directory, different learning config: the signature differs, so
+  // resuming would splice results from another run — discard instead.
+  sim::StreamingWorld world(geo::builtin_dictionary(), small_config());
+  HoihoConfig hc;
+  hc.threads = 1;
+  hc.checkpoint_dir = dir;
+  hc.learn_top_n = hc.learn_top_n + 1;
+  obs::Registry registry;
+  hc.registry = &registry;
+  Hoiho(geo::builtin_dictionary(), hc).run_stream(world);
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.value("checkpoint_discarded"), 1u);
+  EXPECT_EQ(snap.value("checkpoint_batches_resumed"), 0u);
+}
+
+TEST(Checkpoint, WorldChangeInvalidatesTheCheckpoint) {
+  const std::string dir = fresh_dir("ckpt_world");
+  run_with_checkpoint(dir);
+
+  sim::StreamingWorldConfig wc = small_config();
+  wc.seed = 78;  // a different stream must not resume another stream's WAL
+  sim::StreamingWorld world(geo::builtin_dictionary(), wc);
+  HoihoConfig hc;
+  hc.threads = 1;
+  hc.checkpoint_dir = dir;
+  obs::Registry registry;
+  hc.registry = &registry;
+  Hoiho(geo::builtin_dictionary(), hc).run_stream(world);
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.value("checkpoint_discarded"), 1u);
+  EXPECT_EQ(snap.value("checkpoint_batches_resumed"), 0u);
+}
+
+TEST(Checkpoint, ParallelRunsCheckpointIdenticallyToSequential) {
+  const StreamRun seq = run_with_checkpoint(fresh_dir("ckpt_seq"));
+
+  sim::StreamingWorld world(geo::builtin_dictionary(), small_config());
+  HoihoConfig hc;
+  hc.threads = 8;
+  hc.checkpoint_dir = fresh_dir("ckpt_par");
+  obs::Registry registry;
+  hc.registry = &registry;
+  const HoihoResult par = Hoiho(geo::builtin_dictionary(), hc).run_stream(world);
+  EXPECT_EQ(model_bytes(par), model_bytes(seq.result));
+  EXPECT_EQ(compact_dump(par), compact_dump(seq.result));
+
+  // And the parallel run's WAL resumes under a sequential config: batch
+  // contents are thread-count invariant, so the signatures must agree.
+  const StreamRun resumed = run_with_checkpoint(hc.checkpoint_dir);
+  EXPECT_EQ(resumed.snap.value("checkpoint_discarded"), 0u);
+  EXPECT_EQ(resumed.snap.value("checkpoint_batches_resumed"),
+            seq.snap.value("pipeline_stream_batches"));
+  EXPECT_EQ(model_bytes(resumed.result), model_bytes(seq.result));
+}
+
+TEST(Checkpoint, UncheckpointedRunsAreUnaffected) {
+  sim::StreamingWorld world(geo::builtin_dictionary(), small_config());
+  HoihoConfig hc;
+  hc.threads = 1;
+  obs::Registry registry;
+  hc.registry = &registry;
+  const HoihoResult result = Hoiho(geo::builtin_dictionary(), hc).run_stream(world);
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.value("checkpoint_batches_committed"), 0u);
+  EXPECT_EQ(snap.value("checkpoint_discarded"), 0u);
+  const StreamRun checkpointed = run_with_checkpoint(fresh_dir("ckpt_off_golden"));
+  EXPECT_EQ(model_bytes(result), model_bytes(checkpointed.result));
+}
+
+}  // namespace
+}  // namespace hoiho::core

@@ -11,6 +11,7 @@
 
 #include "core/geolocate.h"
 #include "core/hoiho.h"
+#include "io/load_report.h"
 #include "regex/parser.h"
 #include "sim/probing.h"
 #include "util/failpoint.h"
@@ -374,6 +375,25 @@ TEST(NcIo, ContentAfterFooterRejected) {
   std::istringstream in(content);
   EXPECT_FALSE(load_conventions(in, dict, &error).has_value());
   EXPECT_NE(error.find("after checksum footer"), std::string::npos) << error;
+}
+
+TEST(NcIo, TrailingGarbageIsCountedInTheLoadReport) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = ::testing::TempDir() + "/nc_save_trailer_report.txt";
+  std::string error;
+  ASSERT_TRUE(save_conventions_to_file(path, sample(dict), dict, &error)) << error;
+  std::string content = slurp(path);
+  // Everything after the footer is unverified — even a blank line counts;
+  // the load aborts at the first trailing line (a named error, so nothing
+  // downstream ever consumes unverified bytes) and the report records it.
+  content += "\nS,sneaky.net,good\n";
+
+  std::istringstream in(content);
+  io::LoadReport report;
+  EXPECT_FALSE(load_conventions(in, dict, &error, nullptr, {}, &report).has_value());
+  EXPECT_NE(error.find("after checksum footer"), std::string::npos) << error;
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.skipped_count("trailing_garbage"), 1u);
 }
 
 TEST(NcIo, FooterlessFilesStillLoad) {

@@ -183,6 +183,31 @@ TEST(Protocol, FormatGeoAndClassify) {
   EXPECT_EQ(classify_response(format_error("unknown_verb")), ResponseKind::kError);
 }
 
+TEST(Protocol, ParseAndFormatGensRollback) {
+  EXPECT_EQ(parse_request("GENS").kind, RequestKind::kGens);
+  EXPECT_EQ(parse_request("GENS\r").kind, RequestKind::kGens);
+
+  const Request rb = parse_request("ROLLBACK 7");
+  EXPECT_EQ(rb.kind, RequestKind::kRollback);
+  EXPECT_TRUE(rb.error.empty());
+  EXPECT_EQ(rb.rollback_gen, 7u);
+  EXPECT_EQ(parse_request("ROLLBACK  12 ").rollback_gen, 12u);
+
+  // Missing/non-numeric generations are named usage errors, not lookups.
+  EXPECT_EQ(parse_request("ROLLBACK").error, "rollback_usage");
+  EXPECT_EQ(parse_request("ROLLBACK ").error, "rollback_usage");
+  EXPECT_EQ(parse_request("ROLLBACK seven").error, "rollback_usage");
+  EXPECT_EQ(parse_request("ROLLBACK -1").error, "rollback_usage");
+
+  EXPECT_EQ(format_gens(3, {}), "GENS,serving=3,archived=-");
+  EXPECT_EQ(format_gens(3, {1, 2, 3}), "GENS,serving=3,archived=1;2;3");
+  EXPECT_EQ(format_rollback_ok(4, 2, 9), "ROLLBACK,ok,generation=4,from=2,conventions=9");
+  EXPECT_EQ(format_rollback_error("nope"), "ROLLBACK,error,nope");
+  EXPECT_EQ(classify_response(format_gens(3, {1})), ResponseKind::kGens);
+  EXPECT_EQ(classify_response(format_rollback_ok(4, 2, 9)), ResponseKind::kRollback);
+  EXPECT_EQ(classify_response(format_rollback_error("x")), ResponseKind::kRollbackError);
+}
+
 // --- ModelStore --------------------------------------------------------------
 
 TEST(ModelStore, InstallPublishesNewGeneration) {
@@ -227,6 +252,162 @@ TEST(ModelStore, SnapshotOutlivesSwap) {
   // The current one answers with the new model only.
   EXPECT_FALSE(store.current()->geolocator.locate("e0.cr1.ash1.he.net").has_value());
   EXPECT_TRUE(store.current()->geolocator.locate("lhr1.zayo.com").has_value());
+}
+
+// --- lineage, canary & rollback (DESIGN.md §14) ------------------------------
+
+// Removes a model path's generation archive so reruns start clean.
+void wipe_gens(const std::string& model_path) {
+  const std::string dir = model_path + ".gens";
+  for (std::uint64_t g = 0; g < 64; ++g)
+    std::remove((dir + "/gen-" + std::to_string(g) + ".nc").c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(ModelStore, ArchivesGenerationsAndPrunesPastKeep) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = temp_path("lineage_model.txt");
+  wipe_gens(path);
+  write_model(path, he_net_model(dict), dict);
+  ModelStore store(dict, path);
+  store.set_keep_generations(2);
+
+  ASSERT_FALSE(store.reload().has_value());  // gen 1
+  write_model(path, zayo_model(dict), dict);
+  ASSERT_FALSE(store.reload().has_value());  // gen 2
+  write_model(path, he_net_model(dict), dict);
+  ASSERT_FALSE(store.reload().has_value());  // gen 3; gen 1 pruned
+  EXPECT_EQ(store.generation(), 3u);
+  EXPECT_EQ(store.list_generations(), (std::vector<std::uint64_t>{2, 3}));
+}
+
+TEST(ModelStore, GenerationNumbersSurviveRestart) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = temp_path("restart_model.txt");
+  wipe_gens(path);
+  write_model(path, he_net_model(dict), dict);
+  {
+    ModelStore store(dict, path);
+    store.set_keep_generations(4);
+    ASSERT_FALSE(store.reload().has_value());  // gen 1
+    ASSERT_FALSE(store.reload().has_value());  // gen 2
+  }
+  // A fresh store rescans the archive: new generations continue past the
+  // archived maximum instead of reusing (and clobbering) old numbers.
+  ModelStore store(dict, path);
+  store.set_keep_generations(4);
+  ASSERT_FALSE(store.reload().has_value());
+  EXPECT_EQ(store.generation(), 3u);
+  EXPECT_EQ(store.list_generations(), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(ModelStore, RollbackRepublishesAnArchivedGeneration) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = temp_path("rollback_model.txt");
+  wipe_gens(path);
+  write_model(path, he_net_model(dict), dict);
+  ModelStore store(dict, path);
+  store.set_keep_generations(4);
+  ASSERT_FALSE(store.reload().has_value());  // gen 1: he.net
+  write_model(path, zayo_model(dict), dict);
+  ASSERT_FALSE(store.reload().has_value());  // gen 2: zayo
+  ASSERT_FALSE(store.current()->geolocator.locate("e0.cr1.ash1.he.net").has_value());
+
+  std::uint64_t published = 0;
+  EXPECT_FALSE(store.rollback(1, &published).has_value());
+  // Lineage is append-only: the old model comes back under a NEW number, so
+  // GENS history never lies about what served when.
+  EXPECT_EQ(published, 3u);
+  EXPECT_EQ(store.generation(), 3u);
+  EXPECT_TRUE(store.current()->geolocator.locate("e0.cr1.ash1.he.net").has_value());
+  EXPECT_EQ(store.list_generations(), (std::vector<std::uint64_t>{1, 2, 3}));
+
+  // Unknown generation: a named error, nothing published.
+  const auto err = store.rollback(42);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("not in the archive"), std::string::npos) << *err;
+  EXPECT_EQ(store.generation(), 3u);
+}
+
+TEST(ModelStore, RollbackRequiresAnArchive) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = temp_path("noarchive_model.txt");
+  wipe_gens(path);
+  write_model(path, he_net_model(dict), dict);
+  ModelStore store(dict, path);
+  ASSERT_FALSE(store.reload().has_value());
+  const auto err = store.rollback(1);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("keep-generations"), std::string::npos) << *err;
+}
+
+TEST(ModelStore, CanaryGateRejectsDivergingReload) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = temp_path("canary_model.txt");
+  const std::string canary = temp_path("canary_queries.txt");
+  wipe_gens(path);
+  {
+    core::Geolocator check(dict);
+    for (const core::StoredConvention& sc : he_net_model(dict)) check.add(sc.nc);
+    const auto lhr = check.locate("e0.cr1.lhr1.he.net");
+    ASSERT_TRUE(lhr.has_value());
+    std::ofstream out(canary);
+    out << "# pinned queries: the ash deviation must keep answering\n";
+    out << "e0.cr1.ash1.he.net\n";                             // any non-MISS
+    out << "e0.cr1.lhr1.he.net," << format_hit(*lhr) << "\n";  // exact answer
+  }
+  write_model(path, he_net_model(dict), dict);
+  ModelStore store(dict, path);
+  store.set_canary(canary);
+  ASSERT_FALSE(store.reload().has_value());  // he.net passes its own canary
+
+  // A model that breaks the pinned queries must not publish.
+  write_model(path, zayo_model(dict), dict);
+  const auto err = store.reload();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("canary rejected"), std::string::npos) << *err;
+  EXPECT_EQ(store.generation(), 1u);
+  EXPECT_TRUE(store.current()->geolocator.locate("e0.cr1.ash1.he.net").has_value());
+
+  // Restoring a passing model publishes again.
+  write_model(path, he_net_model(dict), dict);
+  EXPECT_FALSE(store.reload().has_value());
+  EXPECT_EQ(store.generation(), 2u);
+}
+
+TEST(ModelStore, CanaryFailsClosed) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = temp_path("canary_closed_model.txt");
+  wipe_gens(path);
+  write_model(path, he_net_model(dict), dict);
+  ModelStore store(dict, path);
+  // Unreadable canary: every reload is rejected rather than unguarded.
+  store.set_canary(temp_path("no_such_canary.txt"));
+  const auto err = store.reload();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("failing closed"), std::string::npos) << *err;
+  EXPECT_EQ(store.generation(), 0u);
+}
+
+TEST(ModelStore, RollbackBypassesTheCanary) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = temp_path("canary_rollback_model.txt");
+  const std::string canary = temp_path("canary_rollback_queries.txt");
+  wipe_gens(path);
+  { std::ofstream out(canary); out << "lhr1.zayo.com\n"; }
+  write_model(path, zayo_model(dict), dict);
+  ModelStore store(dict, path);
+  store.set_keep_generations(4);
+  ASSERT_FALSE(store.reload().has_value());  // gen 1: zayo
+  write_model(path, he_net_model(dict), dict);
+  ASSERT_FALSE(store.reload().has_value());  // gen 2: he.net
+  store.set_canary(canary);
+  // he.net fails the zayo canary, but ROLLBACK is the operator's explicit
+  // escape hatch — it must not be vetoed by the very gate being escaped.
+  std::uint64_t published = 0;
+  EXPECT_FALSE(store.rollback(2, &published).has_value());
+  EXPECT_EQ(published, 3u);
+  EXPECT_TRUE(store.current()->geolocator.locate("e0.cr1.ash1.he.net").has_value());
 }
 
 // --- Server ------------------------------------------------------------------
@@ -420,6 +601,76 @@ TEST(Server, GeoVerbAnswersFromSnapshotFuseContext) {
   EXPECT_EQ(*client->request("FROBNICATE e0.cr1.ash1.he.net"), "ERR,unknown_verb");
 }
 
+TEST(Server, GensAndRollbackVerbsEndToEnd) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = temp_path("serve_rollback_model.txt");
+  wipe_gens(path);
+  write_model(path, he_net_model(dict), dict);
+  ModelStore store(dict, path);
+  store.set_keep_generations(4);
+  ASSERT_FALSE(store.reload().has_value());  // gen 1: he.net
+  LiveServer server(store);
+  auto client = Client::connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.has_value());
+
+  const auto gens1 = client->request("GENS");
+  ASSERT_TRUE(gens1.has_value());
+  EXPECT_EQ(*gens1, "GENS,serving=1,archived=1");
+
+  // Deploy a bad-for-he.net model, then roll it back in-band.
+  write_model(path, zayo_model(dict), dict);
+  ASSERT_EQ(classify_response(*client->request("RELOAD")), ResponseKind::kReload);
+  EXPECT_EQ(*client->request("e0.cr1.ash1.he.net"), "MISS");
+
+  const auto rb = client->request("ROLLBACK 1");
+  ASSERT_TRUE(rb.has_value());
+  EXPECT_EQ(*rb, "ROLLBACK,ok,generation=3,from=1,conventions=1");
+  EXPECT_EQ(classify_response(*client->request("e0.cr1.ash1.he.net")), ResponseKind::kHit);
+
+  const auto gens2 = client->request("GENS");
+  ASSERT_TRUE(gens2.has_value());
+  EXPECT_EQ(*gens2, "GENS,serving=3,archived=1;2;3");
+
+  // Failure shapes stay in-band and leave the serving model alone.
+  EXPECT_EQ(classify_response(*client->request("ROLLBACK 42")),
+            ResponseKind::kRollbackError);
+  EXPECT_EQ(*client->request("ROLLBACK zero"), "ERR,rollback_usage");
+  EXPECT_EQ(classify_response(*client->request("e0.cr1.ash1.he.net")), ResponseKind::kHit);
+  EXPECT_EQ(server->metrics().rollbacks.load(), 1u);
+}
+
+TEST(Server, CanaryRejectedReloadKeepsServingAndCounts) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string path = temp_path("serve_canary_model.txt");
+  const std::string canary = temp_path("serve_canary_queries.txt");
+  wipe_gens(path);
+  { std::ofstream out(canary); out << "e0.cr1.ash1.he.net\n"; }
+  write_model(path, he_net_model(dict), dict);
+  ModelStore store(dict, path);
+  store.set_canary(canary);
+  ASSERT_FALSE(store.reload().has_value());
+  LiveServer server(store);
+  auto client = Client::connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.has_value());
+
+  write_model(path, zayo_model(dict), dict);
+  const auto bad = client->request("RELOAD");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(classify_response(*bad), ResponseKind::kReloadError) << *bad;
+  EXPECT_NE(bad->find("canary rejected"), std::string::npos) << *bad;
+  // The gated generation never serves a single query.
+  EXPECT_EQ(classify_response(*client->request("e0.cr1.ash1.he.net")), ResponseKind::kHit);
+  EXPECT_EQ(server->metrics().reload_rejected.load(), 1u);
+
+  // The rejection surfaces in STATS2 (registry), not the frozen STATS v1.
+  const auto stats2 = client->request("STATS2");
+  ASSERT_TRUE(stats2.has_value());
+  EXPECT_NE(stats2->find("serve_reload_rejected:c=1"), std::string::npos) << *stats2;
+  const auto stats = client->request("STATS");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->find("reload_rejected"), std::string::npos) << *stats;
+}
+
 // --- fault tolerance (DESIGN.md §9) ------------------------------------------
 
 // mtime on most filesystems ticks at jiffy granularity; back-to-back writes
@@ -584,6 +835,25 @@ TEST(Client, ConnectWithRetryGivesUpAfterMaxAttempts) {
   const auto client = Client::connect_with_retry("127.0.0.1", 1, options, &error);
   EXPECT_FALSE(client.has_value());
   EXPECT_FALSE(error.empty());
+}
+
+TEST(Client, ConnectWithRetryHonorsOverallDeadline) {
+  ClientOptions options;
+  options.max_attempts = 1000000;  // attempts would retry for ~forever
+  options.backoff_initial_ms = 20;
+  options.backoff_max_ms = 40;
+  options.overall_deadline_ms = 150;
+  std::string error;
+  const auto start = std::chrono::steady_clock::now();
+  // Port 1 on loopback refuses instantly, so only the deadline can stop us.
+  const auto client = Client::connect_with_retry("127.0.0.1", 1, options, &error);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(client.has_value());
+  // Exhaustion reports the same "timed out" wording a single timed-out
+  // connect uses, so callers match one string for both shapes.
+  EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+  EXPECT_GE(waited, std::chrono::milliseconds(100));
+  EXPECT_LT(waited, std::chrono::seconds(5));
 }
 
 TEST(Client, ConnectWithRetrySurvivesLateServer) {

@@ -206,5 +206,49 @@ TEST(WorkStealingPool, TracksMaxQueueDepth) {
   EXPECT_LE(pool.stats().max_queue_depth, 50u);
 }
 
+TEST(ThreadPool, ScanStalledReportsEachSlowTaskOnce) {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  // Poll until the watchdog sees the worker stuck past the threshold (the
+  // submit -> task-start handoff time is scheduler-dependent).
+  std::size_t stalled = 0;
+  for (int i = 0; i < 400 && stalled == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    stalled = pool.scan_stalled(10);
+  }
+  EXPECT_EQ(stalled, 1u);
+  // Same task, same episode: a stall is reported once, not once per scan.
+  EXPECT_EQ(pool.scan_stalled(10), 0u);
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(pool.scan_stalled(10), 0u);  // idle workers never count
+}
+
+TEST(WorkStealingPool, ScanStalledPairsWithWaitIdleFor) {
+  WorkStealingPool pool(2);
+  std::atomic<bool> release{false};
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&] {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  pool.seed(std::move(tasks));
+  // The stuck task keeps the pool from going idle...
+  EXPECT_FALSE(pool.wait_idle_for(std::chrono::milliseconds(30)));
+  // ...and the scanner attributes the stall to exactly one worker, once.
+  std::size_t stalled = 0;
+  for (int i = 0; i < 400 && stalled == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    stalled = pool.scan_stalled(10);
+  }
+  EXPECT_EQ(stalled, 1u);
+  EXPECT_EQ(pool.scan_stalled(10), 0u);
+  release.store(true);
+  EXPECT_TRUE(pool.wait_idle_for(std::chrono::seconds(10)));
+  EXPECT_EQ(pool.scan_stalled(10), 0u);
+}
+
 }  // namespace
 }  // namespace hoiho::util
