@@ -59,6 +59,7 @@
 
 #include "core/hoiho.h"
 #include "core/nc_io.h"
+#include "core/ncb.h"
 #include "fuse/audit.h"
 #include "measure/rtt_io.h"
 #include "obs/metrics.h"
@@ -370,7 +371,9 @@ int learn_leg(bool quick, const std::string& ckpt_dir, const std::string& model_
   for (const core::SuffixResult& sr : result.suffixes)
     if (sr.usable()) stored.push_back(core::StoredConvention{sr.nc, sr.cls});
   std::string error;
-  if (!core::save_conventions_to_file(model_out, stored, dict, &error)) {
+  // Extension-dispatched: the drill saves .ncb, so byte-identical resume is
+  // asserted on the binary image the serving store actually mmaps.
+  if (!core::save_model_to_file(model_out, stored, dict, &error)) {
     std::fprintf(stderr, "chaos: learn leg save: %s\n", error.c_str());
     return 2;
   }
@@ -389,8 +392,8 @@ std::uint64_t manifest_batches(const std::string& ckpt_dir) {
 
 bool learning_crash_drill(bool quick) {
   const std::string ckpt_dir = "CHAOS_CKPT";
-  const std::string ref_path = "CHAOS_STREAM_REF.txt";
-  const std::string out_path = "CHAOS_STREAM_MODEL.txt";
+  const std::string ref_path = "CHAOS_STREAM_REF.ncb";
+  const std::string out_path = "CHAOS_STREAM_MODEL.ncb";
   ::unlink((ckpt_dir + "/wal.log").c_str());
   ::unlink((ckpt_dir + "/MANIFEST").c_str());
   ::unlink(out_path.c_str());
@@ -686,13 +689,26 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "chaos: no hit lines available for the canary\n");
       return 1;
     }
-    // Fresh lineage: drop any archive left behind by an earlier run.
-    for (int g = 0; g < 64; ++g)
-      ::unlink((model_path + ".gens/gen-" + std::to_string(g) + ".nc").c_str());
-    ::rmdir((model_path + ".gens").c_str());
+    // The lineage gauntlet runs on the binary format: the same canary gate,
+    // generation archive, and ROLLBACK path, but over .ncb images the store
+    // mmaps (archives land as .gens/gen-<G>.ncb).
+    const std::string lineage_model = "CHAOS_MODEL.ncb";
+    if (!core::save_model_to_file(lineage_model, stored, geo::builtin_dictionary(), &error)) {
+      std::fprintf(stderr, "chaos: lineage model write: %s\n", error.c_str());
+      return 1;
+    }
+    // Fresh lineage: drop any archive left behind by an earlier run (either
+    // extension — the archive keeps each generation in its source format).
+    for (int g = 0; g < 64; ++g) {
+      ::unlink((lineage_model + ".gens/gen-" + std::to_string(g) + ".nc").c_str());
+      ::unlink((lineage_model + ".gens/gen-" + std::to_string(g) + ".ncb").c_str());
+    }
+    ::rmdir((lineage_model + ".gens").c_str());
     ::unlink(port_file.c_str());
 
     std::vector<std::string> lineage_args = daemon_args;
+    for (std::size_t i = 0; i + 1 < lineage_args.size(); ++i)
+      if (lineage_args[i] == "--model") lineage_args[i + 1] = lineage_model;
     lineage_args.insert(lineage_args.end(),
                         {"--keep-generations", "4", "--canary-file", canary_path,
                          "--worker-stall-ms", "100"});
@@ -756,7 +772,7 @@ int main(int argc, char** argv) {
     // Diverging rewrite: well-formed but empty, so every canary lookup would
     // MISS. The watcher's reload must be rejected and gen 2 keeps serving.
     if (script_ok &&
-        !core::save_conventions_to_file(model_path, {}, geo::builtin_dictionary(), &error)) {
+        !core::save_model_to_file(lineage_model, {}, geo::builtin_dictionary(), &error)) {
       std::fprintf(stderr, "chaos: empty rewrite: %s\n", error.c_str());
       script_ok = false;
     }
@@ -764,8 +780,8 @@ int main(int argc, char** argv) {
     expect_line("GENS", "GENS,serving=2,archived=1", false);
     // Restore (same content): reload passes the canary, generation bumps.
     if (script_ok &&
-        !core::save_conventions_to_file(model_path, stored, geo::builtin_dictionary(),
-                                        &error)) {
+        !core::save_model_to_file(lineage_model, stored, geo::builtin_dictionary(),
+                                  &error)) {
       std::fprintf(stderr, "chaos: lineage restore: %s\n", error.c_str());
       script_ok = false;
     }

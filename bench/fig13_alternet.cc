@@ -18,6 +18,7 @@ namespace {
 
 struct Fixture {
   measure::Measurements meas{{}, 32};
+  util::Arena arena;  // backs hostnames (dns::Hostname is a view)
   std::deque<dns::Hostname> hostnames;
   std::vector<core::TaggedHostname> tagged;
   topo::RouterId next = 0;
@@ -40,7 +41,7 @@ struct Fixture {
     const topo::RouterId r = next++;
     for (measure::VpId v = 0; v < meas.vps.size(); ++v)
       meas.pings.record(r, v, v == vp ? rtt : 250.0);
-    hostnames.push_back(*dns::parse_hostname(raw));
+    hostnames.push_back(*dns::parse_hostname(raw, arena));
     const core::ApparentTagger tagger(geo::builtin_dictionary(), meas, {});
     tagged.push_back(tagger.tag(topo::HostnameRef{r, &hostnames.back()}));
   }

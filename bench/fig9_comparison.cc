@@ -45,7 +45,8 @@ int main() {
 
   for (const sim::HostnameTruth& truth : sc.world.truths) {
     if (!truth.has_geohint) continue;
-    const auto host = dns::parse_hostname(truth.hostname);
+    std::string canonical;
+    const auto host = dns::parse_hostname(truth.hostname, canonical);
     if (!host) continue;
     const std::string suffix(host->suffix());
     const geo::LocationId router_truth = sc.world.topology.router(truth.router).true_location;

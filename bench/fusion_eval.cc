@@ -173,7 +173,9 @@ int main(int argc, char** argv) {
           cb && geo::distance_km(cb->estimate, true_coord) <= bench::kCorrectKm);
 
     std::optional<geo::LocationId> ud;
-    if (const auto parsed = dns::parse_hostname(truth.hostname)) ud = undns.locate(*parsed);
+    std::string canonical;
+    if (const auto parsed = dns::parse_hostname(truth.hostname, canonical))
+      ud = undns.locate(*parsed);
     score(undns_t, ud.has_value(),
           ud && bench::within_correct_distance(dict, *ud, true_loc));
   }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/hoiho.h"
+#include "core/ncb.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -230,6 +231,11 @@ int main(int argc, char** argv) {
   std::unique_ptr<serve::ModelStore> store;
   std::unique_ptr<serve::Server> server;
   std::thread server_thread;
+  // Model save/load wall time per format (spawn mode only): the reload cost
+  // the daemon pays on every hot swap — text parse+compile vs ncb heap
+  // build vs ncb mmap. -1 when not measured (external mode).
+  double save_text_us = -1, save_ncb_us = -1;
+  double load_text_us = -1, load_ncb_us = -1, load_ncb_mmap_us = -1;
   if (opt.spawn) {
     std::vector<core::StoredConvention> stored;
     build_corpus(opt.operators, &stored, &hostnames);
@@ -237,11 +243,41 @@ int main(int argc, char** argv) {
     // full disk -> nc_io -> snapshot-swap path, same as the daemon.
     const std::string model_path = opt.json_path + ".model.tmp";
     std::string save_error;
+    std::uint64_t t0 = now_ns();
     if (!core::save_conventions_to_file(model_path, stored, geo::builtin_dictionary(),
                                         &save_error)) {
       std::fprintf(stderr, "loadgen: %s\n", save_error.c_str());
       return 2;
     }
+    save_text_us = static_cast<double>(now_ns() - t0) / 1e3;
+
+    // The same model as a binary image, loaded all three ways.
+    const std::string ncb_path = model_path + ".ncb";
+    t0 = now_ns();
+    if (!core::save_model_to_file(ncb_path, stored, geo::builtin_dictionary(),
+                                  &save_error)) {
+      std::fprintf(stderr, "loadgen: %s\n", save_error.c_str());
+      return 2;
+    }
+    save_ncb_us = static_cast<double>(now_ns() - t0) / 1e3;
+    const auto time_reload = [](serve::ModelStore& s) -> double {
+      const std::uint64_t r0 = now_ns();
+      if (s.reload()) return -1;  // error
+      return static_cast<double>(now_ns() - r0) / 1e3;
+    };
+    {
+      serve::ModelStore text_store(geo::builtin_dictionary(), model_path);
+      load_text_us = time_reload(text_store);
+      serve::ModelStore heap_store(geo::builtin_dictionary(), ncb_path);
+      heap_store.set_map_binary(false);
+      load_ncb_us = time_reload(heap_store);
+      serve::ModelStore mmap_store(geo::builtin_dictionary(), ncb_path);
+      load_ncb_mmap_us = time_reload(mmap_store);
+    }
+    std::remove(ncb_path.c_str());
+    std::printf("loadgen: model reload: text %.0fus, ncb %.0fus, ncb_mmap %.0fus\n",
+                load_text_us, load_ncb_us, load_ncb_mmap_us);
+
     store = std::make_unique<serve::ModelStore>(geo::builtin_dictionary(), model_path);
     if (const auto err = store->reload()) {
       std::fprintf(stderr, "loadgen: %s\n", err->c_str());
@@ -305,6 +341,7 @@ int main(int argc, char** argv) {
   // server and an external daemon, so both modes embed real values.
   bool probe_ok = false;
   std::uint64_t sc_rejected = 0, sc_rollbacks = 0, sc_stalled = 0;
+  std::uint64_t sc_bytes_mapped = 0, sc_build_text = 0, sc_build_ncb = 0, sc_build_mmap = 0;
   {
     const auto counter = [](const std::string& s2, const std::string& name,
                             std::uint64_t* out) {
@@ -319,7 +356,12 @@ int main(int argc, char** argv) {
     if (resp && serve::classify_response(*resp) == serve::ResponseKind::kStats2)
       probe_ok = counter(*resp, "serve_reload_rejected", &sc_rejected) &&
                  counter(*resp, "serve_rollbacks", &sc_rollbacks) &&
-                 counter(*resp, "serve_worker_stalled", &sc_stalled);
+                 counter(*resp, "serve_worker_stalled", &sc_stalled) &&
+                 counter(*resp, "model_load_bytes_mapped", &sc_bytes_mapped) &&
+                 counter(*resp, "model_load_build_us{format=\"text\"}", &sc_build_text) &&
+                 counter(*resp, "model_load_build_us{format=\"ncb\"}", &sc_build_ncb) &&
+                 counter(*resp, "model_load_build_us{format=\"ncb_mmap\"}", &sc_build_mmap) &&
+                 resp->find(",serve_reload_us:h=") != std::string::npos;
     if (!probe_ok)
       std::fprintf(stderr, "loadgen: STATS2 counter probe failed (%s)\n",
                    resp ? resp->c_str() : "no response");
@@ -384,10 +426,19 @@ int main(int argc, char** argv) {
        << ", \"p999\": " << util::fmt_double(p999_ms, 3) << "},\n"
        << "  \"reload_mid_run\": {\"attempted\": " << (reload_attempted ? "true" : "false")
        << ", \"ok\": " << (reload_ok ? "true" : "false") << "},\n"
+       << "  \"model_io_us\": {\"save_text\": " << util::fmt_double(save_text_us, 0)
+       << ", \"save_ncb\": " << util::fmt_double(save_ncb_us, 0)
+       << ", \"load_text\": " << util::fmt_double(load_text_us, 0)
+       << ", \"load_ncb\": " << util::fmt_double(load_ncb_us, 0)
+       << ", \"load_ncb_mmap\": " << util::fmt_double(load_ncb_mmap_us, 0) << "},\n"
        << "  \"serve_counters\": {\"probe_ok\": " << (probe_ok ? "true" : "false")
        << ", \"serve_reload_rejected\": " << sc_rejected
        << ", \"serve_rollbacks\": " << sc_rollbacks
-       << ", \"serve_worker_stalled\": " << sc_stalled << "}\n"
+       << ", \"serve_worker_stalled\": " << sc_stalled
+       << ", \"model_load_bytes_mapped\": " << sc_bytes_mapped
+       << ", \"model_load_build_us_text\": " << sc_build_text
+       << ", \"model_load_build_us_ncb\": " << sc_build_ncb
+       << ", \"model_load_build_us_ncb_mmap\": " << sc_build_mmap << "}\n"
        << "}\n";
   std::printf("loadgen: wrote %s\n", opt.json_path.c_str());
 

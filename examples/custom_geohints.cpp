@@ -26,6 +26,7 @@ namespace {
 
 struct Bench {
   measure::Measurements meas{{}, 16};
+  util::Arena arena;  // backs hostnames (dns::Hostname is a view)
   std::deque<dns::Hostname> hostnames;
   std::vector<core::TaggedHostname> tagged;
   topo::RouterId next = 0;
@@ -39,7 +40,7 @@ struct Bench {
     const topo::RouterId r = next++;
     for (measure::VpId v = 0; v < meas.vps.size(); ++v)
       meas.pings.record(r, v, v == vp ? rtt : 250.0);
-    hostnames.push_back(*dns::parse_hostname(raw));
+    hostnames.push_back(*dns::parse_hostname(raw, arena));
     const core::ApparentTagger tagger(geo::builtin_dictionary(), meas, {});
     tagged.push_back(tagger.tag(topo::HostnameRef{r, &hostnames.back()}));
   }

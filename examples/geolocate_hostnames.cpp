@@ -134,7 +134,8 @@ int main(int argc, char** argv) {
     if (!truth.has_geohint) continue;
     ++total;
     const geo::Coordinate& at = dict.location(world.topology.router(truth.router).true_location).coord;
-    const auto host = dns::parse_hostname(truth.hostname);
+    std::string canonical;
+    const auto host = dns::parse_hostname(truth.hostname, canonical);
     if (!host) continue;
 
     if (const auto loc = geolocator.locate(truth.hostname)) judge("hoiho", loc->coord, at);

@@ -60,14 +60,14 @@ std::optional<Extraction> Evaluator::extract_compiled(const NamingConvention& nc
   // Byte-presence table for this subject, shared across the NC's programs:
   // a program whose required bytes are not all present cannot match (the
   // same screen SetMatcher::match_all applies to its candidates).
-  std::bitset<128> present;
+  rx::ClassBits present;
   for (const char c : host.full) {
     const auto u = static_cast<unsigned char>(c);
     if (u < 128) present.set(u);
   }
   for (std::size_t i = 0; i < progs.size(); ++i) {
     const rx::Program& p = *progs[i];
-    if ((p.required_bytes() & ~present).any()) continue;
+    if (p.required_bytes().any_not_in(present)) continue;
     if (!p.match(host.full, scratch_)) {
       if (scratch_.budget_exhausted && budget_exhausted != nullptr) *budget_exhausted = true;
       continue;

@@ -5,12 +5,18 @@
 namespace hoiho::core {
 
 void Geolocator::add(NamingConvention nc, NcClass cls) {
+  rx::SetMatcher matcher;
+  for (const GeoRegex& gr : nc.regexes) matcher.add(gr.regex);
+  matcher.finalize();
+  add_compiled(std::move(nc), std::move(matcher), cls);
+}
+
+void Geolocator::add_compiled(NamingConvention nc, rx::SetMatcher matcher, NcClass cls) {
   if (nc.suffix.empty()) return;
   CompiledConvention cc;
   cc.nc = std::move(nc);
+  cc.matcher = std::move(matcher);
   cc.cls = cls;
-  for (const GeoRegex& gr : cc.nc.regexes) cc.matcher.add(gr.regex);
-  cc.matcher.finalize();
   std::string key = cc.nc.suffix;
   by_suffix_[std::move(key)] = std::move(cc);
 }
@@ -27,7 +33,10 @@ std::optional<Geolocation> Geolocator::locate(std::string_view hostname) const {
 }
 
 std::optional<LocateDetail> Geolocator::locate_detailed(std::string_view hostname) const {
-  const auto host = dns::parse_hostname(hostname);
+  // Reused per thread so the hot lookup path canonicalizes without a fresh
+  // allocation per call (the capacity sticks across queries).
+  static thread_local std::string canonical;
+  const auto host = dns::parse_hostname(hostname, canonical);
   if (!host) return std::nullopt;
   const auto it = by_suffix_.find(host->suffix());
   if (it == by_suffix_.end()) return std::nullopt;

@@ -56,7 +56,18 @@ class Geolocator {
   // downstream ranking (src/fuse/) can weight by convention quality.
   void add(NamingConvention nc, NcClass cls = NcClass::kGood);
 
+  // Registers a convention whose SetMatcher is already built — the binary
+  // model loader (core/ncb.*) hands in matchers assembled as views over a
+  // read-only mapping, skipping recompilation entirely. The convention's
+  // GeoRegex entries may carry empty ASTs: locate() decodes matches from
+  // the plan plus compiled captures only (decode_extraction), never the AST.
+  void add_compiled(NamingConvention nc, rx::SetMatcher matcher, NcClass cls = NcClass::kGood);
+
   std::size_t convention_count() const { return by_suffix_.size(); }
+
+  // Pre-sizes the suffix table for a known-cardinality install (a model
+  // loader adding every convention at once) so the build doesn't rehash.
+  void reserve(std::size_t conventions) { by_suffix_.reserve(conventions); }
 
   const geo::GeoDictionary& dictionary() const { return dict_; }
 

@@ -5,6 +5,7 @@
 #include <optional>
 #include <span>
 
+#include "core/ncb.h"
 #include "io/checkpoint.h"
 #include "util/sysinfo.h"
 #include "util/thread_pool.h"
@@ -58,6 +59,7 @@ struct Hoiho::PipelineMetrics {
   obs::Counter stream_batches;
   obs::Counter checkpoint_batches_committed, checkpoint_batches_resumed;
   obs::Counter checkpoint_results_resumed, checkpoint_commit_failures, checkpoint_discarded;
+  obs::Counter model_save_failures;
   obs::Gauge grid_cells;
   obs::Gauge pool_tasks_submitted, pool_tasks_executed;
   obs::Gauge peak_rss_bytes;
@@ -96,6 +98,7 @@ struct Hoiho::PipelineMetrics {
         checkpoint_results_resumed(r.counter("checkpoint_results_resumed")),
         checkpoint_commit_failures(r.counter("checkpoint_commit_failures")),
         checkpoint_discarded(r.counter("checkpoint_discarded")),
+        model_save_failures(r.counter("pipeline_model_save_failures")),
         grid_cells(r.gauge("pipeline_expected_rtt_grid_cells")),
         pool_tasks_submitted(r.gauge("pipeline_pool_tasks_submitted")),
         pool_tasks_executed(r.gauge("pipeline_pool_tasks_executed")),
@@ -537,6 +540,7 @@ HoihoResult Hoiho::run_stream_instrumented(io::SuffixStream& stream, obs::Regist
   }
 
   std::size_t total_suffixes = 0;
+  bool truncated = false;  // a commit failure cut the run short mid-stream
   std::optional<io::SuffixBatch> batch = stream.next_batch();
   // Replay the stream past already-committed batches: the stream is
   // deterministic (signature-checked), so batch k regenerated now is the
@@ -612,6 +616,7 @@ HoihoResult Hoiho::run_stream_instrumented(io::SuffixStream& stream, obs::Regist
         // here and relearns only this batch.
         if (pm != nullptr) pm->checkpoint_commit_failures.inc();
         result.suffixes.resize(batch_begin);
+        truncated = true;
         break;
       }
     }
@@ -623,6 +628,21 @@ HoihoResult Hoiho::run_stream_instrumented(io::SuffixStream& stream, obs::Regist
     batch = std::move(next);
   }
   run_span.set_work(total_suffixes);
+
+  // Emit the serving model straight from the learner (extension picks the
+  // format, ".ncb" → binary) — no convert step between learning and
+  // serving. A truncated run holds a prefix of the stream, not the model
+  // the caller asked for, so it does not overwrite a previous good file.
+  if (!config_.model_out.empty() && !truncated) {
+    std::vector<StoredConvention> stored;
+    stored.reserve(result.suffixes.size());
+    for (const SuffixResult& sr : result.suffixes)
+      if (sr.has_nc()) stored.push_back(StoredConvention{sr.nc, sr.cls});
+    std::string err;
+    if (!save_model_to_file(config_.model_out, stored, dict_, &err)) {
+      if (pm != nullptr) pm->model_save_failures.inc();
+    }
+  }
 
   if (pool && pm != nullptr) pm->fold_pool(pool->stats());
   if (registry != nullptr) stream.report().publish(*registry, "stream");

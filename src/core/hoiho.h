@@ -95,6 +95,13 @@ struct HoihoConfig {
   // this are counted in `pool_worker_stalled` (one episode per task).
   int worker_stall_ms = 0;
 
+  // Non-empty: run_stream writes the final learned model here when the
+  // stream completes, dispatched by extension (".ncb" → binary, else text)
+  // — the learner emits the serving format directly, no convert step. A
+  // checkpoint-truncated run (commit failure mid-stream) does not write;
+  // failures bump `pipeline_model_save_failures`. Ignored by run().
+  std::string model_out;
+
   // Observability (DESIGN.md §11). A non-null registry/tracer receives the
   // pipeline's counters, cache hit rates, and stage spans — pass a shared
   // registry to land learner metrics in the same snapshot as serving or

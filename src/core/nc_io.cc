@@ -309,20 +309,13 @@ bool fd_write_all(int fd, std::string_view data) {
 
 }  // namespace
 
-bool save_conventions_to_file(const std::string& path,
-                              const std::vector<StoredConvention>& conventions,
-                              const geo::GeoDictionary& dict, std::string* error) {
+bool write_model_file_atomic(const std::string& path, std::string_view data,
+                             std::string* error) {
   auto fail = [&](const std::string& what, const std::string& tmp) {
     if (error != nullptr) *error = what + ": " + std::strerror(errno);
     if (!tmp.empty()) ::unlink(tmp.c_str());
     return false;
   };
-  std::ostringstream buf;
-  save_conventions(buf, conventions, dict);
-  std::string data = buf.str();
-  data += checksum_footer_line(fnv1a_hash(data));
-  data += '\n';
-
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
   if (const auto f = util::failpoint::hit("nc.save")) {
     errno = f.err;
@@ -353,6 +346,17 @@ bool save_conventions_to_file(const std::string& path,
     ::close(dfd);
   }
   return true;
+}
+
+bool save_conventions_to_file(const std::string& path,
+                              const std::vector<StoredConvention>& conventions,
+                              const geo::GeoDictionary& dict, std::string* error) {
+  std::ostringstream buf;
+  save_conventions(buf, conventions, dict);
+  std::string data = buf.str();
+  data += checksum_footer_line(fnv1a_hash(data));
+  data += '\n';
+  return write_model_file_atomic(path, data, error);
 }
 
 }  // namespace hoiho::core

@@ -1,0 +1,511 @@
+#include "core/ncb.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "core/geolocate.h"
+#include "geo/dictionary.h"
+#include "io/load_report.h"
+#include "regex/parser.h"
+#include "util/strings.h"
+
+namespace hoiho::core {
+
+// The format stores multi-byte integers in native little-endian order and
+// is only read back on little-endian hosts (DESIGN.md §15 versioning rules:
+// a big-endian port would bump the version, not byte-swap on load).
+static_assert(std::endian::native == std::endian::little,
+              "ncb serialization assumes a little-endian host");
+
+namespace {
+
+constexpr std::size_t kSectionAlign = 16;
+
+std::size_t align_up(std::size_t n) {
+  return (n + kSectionAlign - 1) & ~(kSectionAlign - 1);
+}
+
+void append_bytes(std::string& out, const void* p, std::size_t n) {
+  out.append(reinterpret_cast<const char*>(p), n);
+}
+
+template <typename T>
+void append_vec(std::string& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  append_bytes(out, v.data(), v.size() * sizeof(T));
+}
+
+// Dedup string interner for the single pool (SNIPPETS.md snippet 2 idiom,
+// offset-based so references survive serialization).
+class StringInterner {
+ public:
+  ncb::StrRef intern(std::string_view s) {
+    const auto it = index_.find(std::string(s));
+    if (it != index_.end()) return it->second;
+    ncb::StrRef ref;
+    ref.off = static_cast<std::uint32_t>(pool_.size());
+    ref.len = static_cast<std::uint32_t>(s.size());
+    pool_.append(s);
+    index_.emplace(std::string(s), ref);
+    return ref;
+  }
+  const std::string& pool() const { return pool_; }
+
+ private:
+  std::string pool_;
+  std::unordered_map<std::string, ncb::StrRef> index_;
+};
+
+}  // namespace
+
+ModelFormat detect_model_format(std::string_view head) {
+  if (head.size() >= sizeof(ncb::kMagic) &&
+      std::memcmp(head.data(), ncb::kMagic, sizeof(ncb::kMagic)) == 0)
+    return ModelFormat::kNcb;
+  return ModelFormat::kText;
+}
+
+std::string_view to_string(ModelFormat f) {
+  return f == ModelFormat::kNcb ? "ncb" : "text";
+}
+
+std::string serialize_conventions_ncb(const std::vector<StoredConvention>& conventions,
+                                      const geo::GeoDictionary& dict) {
+  StringInterner strings;
+  std::vector<ncb::SuffixEntry> suffixes;
+  std::vector<ncb::RegexEntry> regexes;
+  std::vector<std::uint32_t> plan_roles;
+  std::vector<ncb::LearnedEntry> learned;
+  rx::ProgramPools pools;
+
+  suffixes.reserve(conventions.size());
+  for (const StoredConvention& sc : conventions) {
+    ncb::SuffixEntry se;
+    se.suffix = strings.intern(sc.nc.suffix);
+    se.cls = static_cast<std::uint32_t>(sc.cls);
+    se.regex_off = static_cast<std::uint32_t>(regexes.size());
+    se.regex_count = static_cast<std::uint32_t>(sc.nc.regexes.size());
+    rx::SetMatcher matcher;
+    for (const GeoRegex& gr : sc.nc.regexes) {
+      ncb::RegexEntry re;
+      re.source = strings.intern(gr.regex.to_string());
+      re.plan_off = static_cast<std::uint32_t>(plan_roles.size());
+      re.plan_count = static_cast<std::uint32_t>(gr.plan.roles.size());
+      for (const Role r : gr.plan.roles) plan_roles.push_back(static_cast<std::uint32_t>(r));
+      regexes.push_back(re);
+      matcher.add(gr.regex);
+    }
+    matcher.finalize();
+    se.matcher = pools.add(matcher);
+    se.learned_off = static_cast<std::uint32_t>(learned.size());
+    se.learned_count = static_cast<std::uint32_t>(sc.nc.learned.size());
+    // Stored by place triple, exactly like the text L record, so the binary
+    // file survives dictionary rebuilds the same way.
+    for (const auto& [key, loc] : sc.nc.learned) {
+      const geo::Location& l = dict.location(loc);
+      ncb::LearnedEntry le;
+      le.hint_type = static_cast<std::uint32_t>(key.first);
+      le.code = strings.intern(key.second);
+      le.city = strings.intern(l.city);
+      le.state = strings.intern(l.state);
+      le.country = strings.intern(l.country);
+      learned.push_back(le);
+    }
+    suffixes.push_back(se);
+  }
+
+  // Section payloads in SectionKind order.
+  std::string bodies[ncb::kSectionCount];
+  bodies[0] = strings.pool();
+  append_vec(bodies[1], suffixes);
+  append_vec(bodies[2], regexes);
+  append_vec(bodies[3], plan_roles);
+  append_vec(bodies[4], learned);
+  append_vec(bodies[5], pools.programs);
+  append_vec(bodies[6], pools.instrs);
+  append_vec(bodies[7], pools.classes);
+  bodies[8] = pools.pool;
+  append_vec(bodies[9], pools.groups);
+  append_vec(bodies[10], pools.matchers);
+  append_vec(bodies[11], pools.nodes);
+  append_vec(bodies[12], pools.edges);
+  append_vec(bodies[13], pools.terms);
+
+  const std::size_t table_end =
+      sizeof(ncb::FileHeader) + ncb::kSectionCount * sizeof(ncb::Section);
+  const std::size_t payload_off = align_up(table_end);
+
+  ncb::Section sections[ncb::kSectionCount];
+  std::string payload;
+  for (std::uint32_t k = 0; k < ncb::kSectionCount; ++k) {
+    payload.resize(align_up(payload.size()), '\0');
+    sections[k].kind = k;
+    sections[k].offset = payload_off + payload.size();
+    sections[k].size = bodies[k].size();
+    payload += bodies[k];
+  }
+
+  ncb::FileHeader hdr;
+  std::memcpy(hdr.magic, ncb::kMagic, sizeof(hdr.magic));
+  hdr.version = ncb::kVersion;
+  hdr.section_count = ncb::kSectionCount;
+  hdr.file_size = payload_off + payload.size();
+  hdr.payload_hash = fnv1a_hash(payload);
+  // header_hash covers the header (with this field zeroed) + section table.
+  std::uint64_t h = kFnvSeed;
+  h = fnv1a_hash({reinterpret_cast<const char*>(&hdr), sizeof(hdr)}, h);
+  h = fnv1a_hash({reinterpret_cast<const char*>(sections), sizeof(sections)}, h);
+  hdr.header_hash = h;
+
+  std::string out;
+  out.reserve(hdr.file_size);
+  append_bytes(out, &hdr, sizeof(hdr));
+  append_bytes(out, sections, sizeof(sections));
+  out.resize(payload_off, '\0');
+  out += payload;
+  return out;
+}
+
+bool save_conventions_ncb_to_file(const std::string& path,
+                                  const std::vector<StoredConvention>& conventions,
+                                  const geo::GeoDictionary& dict, std::string* error) {
+  return write_model_file_atomic(path, serialize_conventions_ncb(conventions, dict), error);
+}
+
+bool save_model_to_file(const std::string& path,
+                        const std::vector<StoredConvention>& conventions,
+                        const geo::GeoDictionary& dict, std::string* error) {
+  const bool binary = path.size() >= 4 && path.compare(path.size() - 4, 4, ".ncb") == 0;
+  return binary ? save_conventions_ncb_to_file(path, conventions, dict, error)
+                : save_conventions_to_file(path, conventions, dict, error);
+}
+
+// ---------------------------------------------------------------------------
+// Loading
+
+struct NcbModel::Mapping {
+  void* addr = nullptr;
+  std::size_t len = 0;
+  ~Mapping() {
+    if (addr != nullptr) ::munmap(addr, len);
+  }
+};
+
+NcbModel::~NcbModel() = default;
+
+namespace {
+
+// Casts a validated section to a typed span. Returns false (caller emits a
+// named error) when the size is not a whole number of records or the base
+// pointer is misaligned for the record type (can only happen with a
+// hand-corrupted offset — section offsets are 16-byte aligned).
+template <typename T>
+bool section_span(std::string_view bytes, const ncb::Section& s, std::span<const T>& out) {
+  if (s.size % sizeof(T) != 0) return false;
+  const char* base = bytes.data() + s.offset;
+  if (reinterpret_cast<std::uintptr_t>(base) % alignof(T) != 0) return false;
+  out = {reinterpret_cast<const T*>(base), static_cast<std::size_t>(s.size / sizeof(T))};
+  return true;
+}
+
+bool str_ref_ok(const ncb::StrRef& r, std::string_view pool) {
+  return std::uint64_t{r.off} + std::uint64_t{r.len} <= pool.size();
+}
+
+bool range_ok(std::uint32_t off, std::uint32_t count, std::size_t limit) {
+  return std::uint64_t{off} + std::uint64_t{count} <= limit;
+}
+
+}  // namespace
+
+std::shared_ptr<const NcbModel> NcbModel::validate_and_adopt(std::shared_ptr<NcbModel> m,
+                                                             std::string* error,
+                                                             io::LoadReport* report,
+                                                             const OpenOptions& opt) {
+  auto fail = [&](const std::string& msg) -> std::shared_ptr<const NcbModel> {
+    const std::string full = "ncb: " + msg;
+    if (error != nullptr) *error = full;
+    if (report != nullptr) report->fail(full);
+    return nullptr;
+  };
+  const std::string_view bytes = m->bytes_;
+  if (bytes.size() < sizeof(ncb::FileHeader)) return fail("file too small for header");
+  ncb::FileHeader hdr;
+  std::memcpy(&hdr, bytes.data(), sizeof(hdr));
+  if (std::memcmp(hdr.magic, ncb::kMagic, sizeof(hdr.magic)) != 0) return fail("bad magic");
+  if (hdr.version != ncb::kVersion)
+    return fail("unsupported version " + std::to_string(hdr.version));
+  if (hdr.section_count < ncb::kSectionCount || hdr.section_count > 64)
+    return fail("implausible section count " + std::to_string(hdr.section_count));
+  const std::size_t table_end =
+      sizeof(ncb::FileHeader) + hdr.section_count * sizeof(ncb::Section);
+  if (bytes.size() < table_end) return fail("truncated section table");
+  if (hdr.file_size != bytes.size())
+    return fail("file size mismatch (header says " + std::to_string(hdr.file_size) +
+                ", file has " + std::to_string(bytes.size()) + " bytes)");
+
+  // Header integrity first: cheap, and everything below trusts these fields.
+  ncb::FileHeader zeroed = hdr;
+  zeroed.header_hash = 0;
+  std::uint64_t h = kFnvSeed;
+  h = fnv1a_hash({reinterpret_cast<const char*>(&zeroed), sizeof(zeroed)}, h);
+  h = fnv1a_hash(bytes.substr(sizeof(ncb::FileHeader), table_end - sizeof(ncb::FileHeader)),
+                 h);
+  if (h != hdr.header_hash) return fail("header checksum mismatch (corrupt or torn file)");
+
+  std::vector<ncb::Section> sections(hdr.section_count);
+  std::memcpy(sections.data(), bytes.data() + sizeof(ncb::FileHeader),
+              hdr.section_count * sizeof(ncb::Section));
+
+  const std::size_t payload_off = align_up(table_end);
+  if (opt.verify_payload) {
+    if (fnv1a_hash(bytes.substr(payload_off)) != hdr.payload_hash)
+      return fail("payload checksum mismatch (corrupt or torn file)");
+  }
+
+  // Section table: aligned, in-bounds, non-overlapping, each known kind
+  // exactly once (unknown kinds from newer minor writers are ignored).
+  const ncb::Section* by_kind[ncb::kSectionCount] = {};
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> extents;
+  for (const ncb::Section& s : sections) {
+    if (s.offset % kSectionAlign != 0)
+      return fail("misaligned section at offset " + std::to_string(s.offset));
+    if (s.offset < payload_off || s.offset > bytes.size() ||
+        s.size > bytes.size() - s.offset)
+      return fail("section out of bounds (offset " + std::to_string(s.offset) + ", size " +
+                  std::to_string(s.size) + ")");
+    if (s.kind < ncb::kSectionCount) {
+      if (by_kind[s.kind] != nullptr)
+        return fail("duplicate section kind " + std::to_string(s.kind));
+      by_kind[s.kind] = &s;
+    }
+    extents.emplace_back(s.offset, s.size);
+  }
+  for (std::uint32_t k = 0; k < ncb::kSectionCount; ++k)
+    if (by_kind[k] == nullptr) return fail("missing section kind " + std::to_string(k));
+  std::sort(extents.begin(), extents.end());
+  for (std::size_t i = 1; i < extents.size(); ++i) {
+    if (extents[i].first < extents[i - 1].first + extents[i - 1].second)
+      return fail("overlapping sections at offset " + std::to_string(extents[i].first));
+  }
+
+  // Typed views.
+  auto sec = [&](ncb::SectionKind k) -> const ncb::Section& {
+    return *by_kind[static_cast<std::uint32_t>(k)];
+  };
+  const ncb::Section& sp = sec(ncb::SectionKind::kStringPool);
+  m->pool_ = bytes.substr(sp.offset, sp.size);
+  const ncb::Section& pp = sec(ncb::SectionKind::kProgPool);
+  m->rx_.pool = bytes.substr(pp.offset, pp.size);
+  if (!section_span(bytes, sec(ncb::SectionKind::kSuffixes), m->suffixes_) ||
+      !section_span(bytes, sec(ncb::SectionKind::kRegexes), m->regexes_) ||
+      !section_span(bytes, sec(ncb::SectionKind::kPlanRoles), m->plan_roles_) ||
+      !section_span(bytes, sec(ncb::SectionKind::kLearned), m->learned_) ||
+      !section_span(bytes, sec(ncb::SectionKind::kPrograms), m->rx_.programs) ||
+      !section_span(bytes, sec(ncb::SectionKind::kInstr), m->rx_.instrs) ||
+      !section_span(bytes, sec(ncb::SectionKind::kClasses), m->rx_.classes) ||
+      !section_span(bytes, sec(ncb::SectionKind::kGroups), m->rx_.groups) ||
+      !section_span(bytes, sec(ncb::SectionKind::kMatchers), m->rx_.matchers) ||
+      !section_span(bytes, sec(ncb::SectionKind::kTrieNodes), m->rx_.nodes) ||
+      !section_span(bytes, sec(ncb::SectionKind::kTrieEdges), m->rx_.edges) ||
+      !section_span(bytes, sec(ncb::SectionKind::kTrieTerms), m->rx_.terms))
+    return fail("section size not a whole number of records (or misaligned base)");
+
+  // Model-level references: every index and string ref in range before any
+  // of them is dereferenced. Error context is formatted only on the failing
+  // path — these loops run for every record of every load, and the success
+  // path must not allocate (it is most of what a mmap open() costs).
+  const auto at = [](const char* kind, std::size_t i, const char* msg) {
+    return std::string(kind) + " " + std::to_string(i) + msg;
+  };
+  for (std::size_t i = 0; i < m->suffixes_.size(); ++i) {
+    const ncb::SuffixEntry& se = m->suffixes_[i];
+    if (!str_ref_ok(se.suffix, m->pool_) || se.suffix.len == 0)
+      return fail(at("convention", i, ": suffix string ref out of range"));
+    if (se.cls > static_cast<std::uint32_t>(NcClass::kPoor))
+      return fail(at("convention", i, ": unknown convention class ") + std::to_string(se.cls));
+    if (!range_ok(se.regex_off, se.regex_count, m->regexes_.size()))
+      return fail(at("convention", i, ": regex range out of bounds"));
+    if (!range_ok(se.learned_off, se.learned_count, m->learned_.size()))
+      return fail(at("convention", i, ": learned range out of bounds"));
+    if (se.matcher >= m->rx_.matchers.size())
+      return fail(at("convention", i, ": matcher index out of range"));
+    if (m->rx_.matchers[se.matcher].program_count != se.regex_count)
+      return fail(at("convention", i, ": regex/program count mismatch"));
+  }
+  for (std::size_t i = 0; i < m->regexes_.size(); ++i) {
+    const ncb::RegexEntry& re = m->regexes_[i];
+    if (!str_ref_ok(re.source, m->pool_))
+      return fail(at("regex", i, ": source string ref out of range"));
+    if (!range_ok(re.plan_off, re.plan_count, m->plan_roles_.size()))
+      return fail(at("regex", i, ": plan range out of bounds"));
+    for (std::uint32_t k = 0; k < re.plan_count; ++k) {
+      if (m->plan_roles_[re.plan_off + k] > static_cast<std::uint32_t>(Role::kStateCode))
+        return fail(at("regex", i, ": unknown plan role"));
+    }
+  }
+  for (std::size_t i = 0; i < m->learned_.size(); ++i) {
+    const ncb::LearnedEntry& le = m->learned_[i];
+    if (le.hint_type > static_cast<std::uint32_t>(geo::HintType::kFacility))
+      return fail(at("learned hint", i, ": unknown dictionary type ") +
+                  std::to_string(le.hint_type));
+    if (!str_ref_ok(le.code, m->pool_) || !str_ref_ok(le.city, m->pool_) ||
+        !str_ref_ok(le.state, m->pool_) || !str_ref_ok(le.country, m->pool_))
+      return fail(at("learned hint", i, ": string ref out of range"));
+    if (le.code.len == 0) return fail(at("learned hint", i, ": empty learned code"));
+  }
+  if (auto err = rx::validate(m->rx_)) return fail(*err);
+
+  if (report != nullptr) report->records = m->suffixes_.size();
+  return m;
+}
+
+std::shared_ptr<const NcbModel> NcbModel::open(const std::string& path, std::string* error,
+                                               io::LoadReport* report,
+                                               const OpenOptions& opt) {
+  auto fail = [&](const std::string& msg) -> std::shared_ptr<const NcbModel> {
+    const std::string full = "ncb: " + msg + ": " + std::strerror(errno);
+    if (error != nullptr) *error = full;
+    if (report != nullptr) report->fail(full);
+    return nullptr;
+  };
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return fail("open '" + path + "'");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return fail("stat '" + path + "'");
+  }
+  const auto len = static_cast<std::size_t>(st.st_size);
+  if (len == 0) {
+    ::close(fd);
+    errno = EINVAL;
+    return fail("empty file '" + path + "'");
+  }
+  void* addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) return fail("mmap '" + path + "'");
+
+  auto m = std::shared_ptr<NcbModel>(new NcbModel());
+  m->mapping_ = std::make_shared<Mapping>();
+  m->mapping_->addr = addr;
+  m->mapping_->len = len;
+  m->bytes_ = {static_cast<const char*>(addr), len};
+  return validate_and_adopt(std::move(m), error, report, opt);
+}
+
+std::shared_ptr<const NcbModel> NcbModel::from_bytes(std::string_view bytes,
+                                                     std::string* error,
+                                                     io::LoadReport* report,
+                                                     const OpenOptions& opt) {
+  // Copy into a u64-aligned buffer: std::string storage has no alignment
+  // guarantee, and the typed section views need 8-byte alignment.
+  auto m = std::shared_ptr<NcbModel>(new NcbModel());
+  const std::size_t words = (bytes.size() + 7) / 8;
+  std::shared_ptr<std::uint64_t[]> buf(new std::uint64_t[words]());
+  std::memcpy(buf.get(), bytes.data(), bytes.size());
+  m->owned_ = std::move(buf);
+  m->bytes_ = {reinterpret_cast<const char*>(m->owned_.get()), bytes.size()};
+  return validate_and_adopt(std::move(m), error, report, opt);
+}
+
+// ---------------------------------------------------------------------------
+// Consumers
+
+void NcbModel::build_geolocator(Geolocator& out, std::vector<std::string>* warnings,
+                                bool include_poor) const {
+  const geo::GeoDictionary& dict = out.dictionary();
+  auto keepalive = shared_from_this();
+  out.reserve(out.convention_count() + suffixes_.size());
+  auto str = [&](const ncb::StrRef& r) { return pool_.substr(r.off, r.len); };
+  for (const ncb::SuffixEntry& se : suffixes_) {
+    const auto cls = static_cast<NcClass>(se.cls);
+    if (cls == NcClass::kPoor && !include_poor) continue;
+    NamingConvention nc;
+    nc.suffix = std::string(str(se.suffix));
+    nc.regexes.reserve(se.regex_count);
+    for (std::uint32_t k = 0; k < se.regex_count; ++k) {
+      const ncb::RegexEntry& re = regexes_[se.regex_off + k];
+      // The AST stays empty: locate() decodes matches from plan + compiled
+      // captures only; the source text is for conversion tooling.
+      GeoRegex gr;
+      gr.plan.roles.reserve(re.plan_count);
+      for (std::uint32_t r = 0; r < re.plan_count; ++r)
+        gr.plan.roles.push_back(static_cast<Role>(plan_roles_[re.plan_off + r]));
+      nc.regexes.push_back(std::move(gr));
+    }
+    for (std::uint32_t k = 0; k < se.learned_count; ++k) {
+      const ncb::LearnedEntry& le = learned_[se.learned_off + k];
+      // Same resolution rule as the text loader: by place triple against
+      // the load-time dictionary, drop (with a note) when absent.
+      const geo::LocationId resolved =
+          resolve_stored_place(dict, str(le.city), str(le.state), str(le.country));
+      if (resolved == geo::kInvalidLocation) {
+        if (warnings != nullptr)
+          warnings->push_back("suffix '" + nc.suffix + "': dropped learned hint '" +
+                              std::string(str(le.code)) + "' -> " + std::string(str(le.city)) +
+                              " (place not in dictionary)");
+        continue;
+      }
+      nc.learned[LearnedKey{static_cast<geo::HintType>(le.hint_type),
+                            util::to_lower(str(le.code))}] = resolved;
+    }
+    out.add_compiled(std::move(nc), rx::view_matcher(rx_, se.matcher, keepalive), cls);
+  }
+}
+
+std::optional<std::vector<StoredConvention>> NcbModel::to_stored(
+    const geo::GeoDictionary& dict, std::string* error,
+    std::vector<std::string>* warnings) const {
+  auto fail = [&](const std::string& msg) -> std::optional<std::vector<StoredConvention>> {
+    if (error != nullptr) *error = "ncb: " + msg;
+    return std::nullopt;
+  };
+  auto str = [&](const ncb::StrRef& r) { return pool_.substr(r.off, r.len); };
+  std::vector<StoredConvention> out;
+  out.reserve(suffixes_.size());
+  for (const ncb::SuffixEntry& se : suffixes_) {
+    StoredConvention sc;
+    sc.nc.suffix = std::string(str(se.suffix));
+    sc.cls = static_cast<NcClass>(se.cls);
+    for (std::uint32_t k = 0; k < se.regex_count; ++k) {
+      const ncb::RegexEntry& re = regexes_[se.regex_off + k];
+      std::string rx_error;
+      const auto regex = rx::parse(str(re.source), &rx_error);
+      if (!regex)
+        return fail("suffix '" + sc.nc.suffix + "': stored regex does not parse: " + rx_error);
+      GeoRegex gr;
+      gr.regex = *regex;
+      for (std::uint32_t r = 0; r < re.plan_count; ++r)
+        gr.plan.roles.push_back(static_cast<Role>(plan_roles_[re.plan_off + r]));
+      if (gr.regex.capture_count() != gr.plan.roles.size())
+        return fail("suffix '" + sc.nc.suffix + "': plan/capture count mismatch");
+      sc.nc.regexes.push_back(std::move(gr));
+    }
+    for (std::uint32_t k = 0; k < se.learned_count; ++k) {
+      const ncb::LearnedEntry& le = learned_[se.learned_off + k];
+      const geo::LocationId resolved =
+          resolve_stored_place(dict, str(le.city), str(le.state), str(le.country));
+      if (resolved == geo::kInvalidLocation) {
+        if (warnings != nullptr)
+          warnings->push_back("suffix '" + sc.nc.suffix + "': dropped learned hint '" +
+                              std::string(str(le.code)) + "' (place not in dictionary)");
+        continue;
+      }
+      sc.nc.learned[LearnedKey{static_cast<geo::HintType>(le.hint_type),
+                               util::to_lower(str(le.code))}] = resolved;
+    }
+    out.push_back(std::move(sc));
+  }
+  return out;
+}
+
+}  // namespace hoiho::core

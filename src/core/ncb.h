@@ -1,0 +1,245 @@
+// ncb: the mmap-able binary model format.
+//
+// The text format (nc_io.h) is the interop artifact — the paper's published
+// regex dictionary as human-readable CSV. Loading it re-parses every regex
+// and recompiles every matcher, so a ModelStore hot reload is O(model) even
+// when nothing changed. ncb is the serving-side twin: the same conventions
+// laid out so a Geolocator can be assembled as views over a read-only
+// mapping — one interned string pool, flat offset tables for suffixes →
+// regexes → learned geohints, and the compiled rx::Program / rx::SetMatcher
+// pools (regex/serialize.h) verbatim. Reload cost becomes O(pages touched):
+// header + tables fault in, instruction pages fault lazily on first match.
+//
+// File layout (all little-endian, sections 16-byte aligned, zero padding):
+//
+//   FileHeader            magic "hoihoNCB", version, counts, hashes
+//   Section[section_count]  kind + byte offset/size, ascending offsets
+//   ---- payload (covered by payload_hash) ----
+//   kStringPool   raw bytes; every StrRef{off,len} points here
+//   kSuffixes     SuffixEntry[] — one per convention, file order = save order
+//   kRegexes      RegexEntry[]  — source text + plan slice per regex
+//   kPlanRoles    u32[]         — Role values, concatenated plan slices
+//   kLearned      LearnedEntry[] — learned geohints stored by place triple
+//   kPrograms..kTrieTerms  the nine rx pools (regex/serialize.h)
+//
+// Integrity: header_hash (FNV-1a over header+section table with the field
+// zeroed) is always verified — it is cheap and catches torn/foreign files.
+// payload_hash covers the full payload region; from_bytes() verifies it by
+// default, open() (mmap) skips it by default because touching every page
+// would defeat O(pages) reload — the atomic rename publish plus structural
+// validation already rule out torn writes, and callers that want the full
+// check (e.g. archive restore) can opt in.
+//
+// Equivalence contract: answers are byte-identical to the text path. The
+// loader re-resolves learned places against the load-time dictionary with
+// resolve_stored_place — the exact rule load_conventions applies — rather
+// than trusting serialized LocationIds, so a model file survives dictionary
+// rebuilds the same way the text format does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/nc_io.h"
+#include "regex/serialize.h"
+
+namespace hoiho::io {
+struct LoadReport;
+}
+
+namespace hoiho::core {
+
+class Geolocator;
+
+namespace ncb {
+
+inline constexpr char kMagic[8] = {'h', 'o', 'i', 'h', 'o', 'N', 'C', 'B'};
+inline constexpr std::uint32_t kVersion = 1;
+
+struct FileHeader {
+  char magic[8] = {};
+  std::uint32_t version = 0;
+  std::uint32_t section_count = 0;
+  std::uint64_t file_size = 0;     // total bytes, must equal the real size
+  std::uint64_t payload_hash = 0;  // FNV-1a over [payload_off, file_size)
+  std::uint64_t header_hash = 0;   // FNV-1a over header+sections, this field 0
+  std::uint64_t reserved[2] = {0, 0};
+};
+static_assert(sizeof(FileHeader) == 56);
+
+enum class SectionKind : std::uint32_t {
+  kStringPool = 0,
+  kSuffixes = 1,
+  kRegexes = 2,
+  kPlanRoles = 3,
+  kLearned = 4,
+  // The nine compiled-regex pools, in regex/serialize.h order.
+  kPrograms = 5,
+  kInstr = 6,
+  kClasses = 7,
+  kProgPool = 8,
+  kGroups = 9,
+  kMatchers = 10,
+  kTrieNodes = 11,
+  kTrieEdges = 12,
+  kTrieTerms = 13,
+};
+inline constexpr std::uint32_t kSectionCount = 14;
+
+struct Section {
+  std::uint32_t kind = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t offset = 0;  // from file start, 16-byte aligned
+  std::uint64_t size = 0;    // bytes (zero padding up to the next section)
+};
+static_assert(sizeof(Section) == 24);
+
+// Reference into the interned string pool.
+struct StrRef {
+  std::uint32_t off = 0;
+  std::uint32_t len = 0;
+};
+static_assert(sizeof(StrRef) == 8);
+
+// One convention: suffix + class + its regex / learned slices + the index
+// of its serialized SetMatcher (regex k of the convention is program k of
+// that matcher — the loader validates the counts agree).
+struct SuffixEntry {
+  StrRef suffix;
+  std::uint32_t cls = 0;  // NcClass
+  std::uint32_t regex_off = 0, regex_count = 0;      // -> kRegexes
+  std::uint32_t learned_off = 0, learned_count = 0;  // -> kLearned
+  std::uint32_t matcher = 0;                         // -> kMatchers
+};
+static_assert(sizeof(SuffixEntry) == 32);
+
+// One regex: dialect source text (for conversion back to text / relearn
+// tooling) + its interpretation plan as a slice of kPlanRoles.
+struct RegexEntry {
+  StrRef source;
+  std::uint32_t plan_off = 0, plan_count = 0;  // -> kPlanRoles
+};
+static_assert(sizeof(RegexEntry) == 16);
+
+// One learned geohint, stored by place triple exactly like the text L
+// record so the file survives dictionary rebuilds.
+struct LearnedEntry {
+  std::uint32_t hint_type = 0;  // geo::HintType
+  StrRef code, city, state, country;
+};
+static_assert(sizeof(LearnedEntry) == 36);
+
+}  // namespace ncb
+
+// Format sniff for model files/buffers: binary iff the bytes start with the
+// ncb magic. Everything else is treated as the text format.
+enum class ModelFormat { kText, kNcb };
+ModelFormat detect_model_format(std::string_view head);
+std::string_view to_string(ModelFormat f);
+
+// Serializes `conventions` (all of them, classes included — same coverage
+// as save_conventions) into an ncb image.
+std::string serialize_conventions_ncb(const std::vector<StoredConvention>& conventions,
+                                      const geo::GeoDictionary& dict);
+
+// serialize + crash-safe publish (write_model_file_atomic).
+bool save_conventions_ncb_to_file(const std::string& path,
+                                  const std::vector<StoredConvention>& conventions,
+                                  const geo::GeoDictionary& dict, std::string* error = nullptr);
+
+// Extension-dispatched save: ".ncb" → binary, anything else → text. The
+// learner and daemon demo-model paths use this so one flag value picks the
+// format.
+bool save_model_to_file(const std::string& path,
+                        const std::vector<StoredConvention>& conventions,
+                        const geo::GeoDictionary& dict, std::string* error = nullptr);
+
+// Load knobs (namespace scope so `{}` defaults below stay well-formed —
+// a nested class's member initializers are not complete-class-parsed until
+// the enclosing class closes).
+struct NcbOpenOptions {
+  // Verify payload_hash over the whole payload. Defaults preserve the
+  // O(pages) property: off for mmap, on for heap loads.
+  bool verify_payload = false;
+};
+
+// A validated, immutable binary model: typed views over either a read-only
+// mmap or an owned aligned buffer. The shared_ptr<const NcbModel> is the
+// keepalive every derived view (Geolocator matchers) pins — the mapping
+// outlives any snapshot built from it.
+class NcbModel : public std::enable_shared_from_this<NcbModel> {
+ public:
+  using OpenOptions = NcbOpenOptions;
+
+  // mmap `path` read-only and validate. nullptr with a named *error (also
+  // mirrored into *report) on any structural violation — bad magic,
+  // truncated or overlapping sections, out-of-range offsets, misaligned
+  // refs — never UB.
+  static std::shared_ptr<const NcbModel> open(const std::string& path,
+                                              std::string* error = nullptr,
+                                              io::LoadReport* report = nullptr,
+                                              const OpenOptions& opt = {});
+
+  // Validate an in-memory image (copied into an aligned owned buffer).
+  // Payload hash is verified by default on this path.
+  static std::shared_ptr<const NcbModel> from_bytes(std::string_view bytes,
+                                                    std::string* error = nullptr,
+                                                    io::LoadReport* report = nullptr,
+                                                    const OpenOptions& opt = {
+                                                        .verify_payload = true});
+
+  ~NcbModel();
+  NcbModel(const NcbModel&) = delete;
+  NcbModel& operator=(const NcbModel&) = delete;
+
+  // Populates `out` with every convention (skipping NcClass::kPoor unless
+  // `include_poor` — the daemon's build path skips them), assembling each
+  // SetMatcher as views over this model. Learned hints are re-resolved
+  // against out.dictionary(); unresolvable places are dropped with a note
+  // in *warnings, exactly like the text loader.
+  void build_geolocator(Geolocator& out, std::vector<std::string>* warnings = nullptr,
+                        bool include_poor = false) const;
+
+  // Back-converts to StoredConvention records (re-parsing regex source
+  // text; O(model) — conversion tooling, not the serving path). nullopt
+  // with *error if a stored regex fails to parse or mismatches its plan.
+  std::optional<std::vector<StoredConvention>> to_stored(
+      const geo::GeoDictionary& dict, std::string* error = nullptr,
+      std::vector<std::string>* warnings = nullptr) const;
+
+  std::size_t convention_count() const { return suffixes_.size(); }
+  std::size_t program_count() const { return rx_.programs.size(); }
+  std::size_t bytes_mapped() const { return bytes_.size(); }
+  bool mapped() const { return mapping_ != nullptr; }
+
+  // The whole validated file image (for the serving generation archive;
+  // reading it faults every page in, so it is off the reload fast path).
+  std::string_view raw_bytes() const { return bytes_; }
+
+ private:
+  NcbModel() = default;
+
+  struct Mapping;  // munmap RAII
+
+  static std::shared_ptr<const NcbModel> validate_and_adopt(
+      std::shared_ptr<NcbModel> m, std::string* error, io::LoadReport* report,
+      const OpenOptions& opt);
+
+  std::string_view bytes_;  // whole file image
+  std::shared_ptr<Mapping> mapping_;              // mmap path
+  std::shared_ptr<const std::uint64_t[]> owned_;  // heap path (aligned copy)
+
+  // Typed section views, set during validation.
+  std::string_view pool_;
+  std::span<const ncb::SuffixEntry> suffixes_;
+  std::span<const ncb::RegexEntry> regexes_;
+  std::span<const std::uint32_t> plan_roles_;
+  std::span<const ncb::LearnedEntry> learned_;
+  rx::ProgramPoolsView rx_;
+};
+
+}  // namespace hoiho::core

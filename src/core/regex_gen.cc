@@ -271,7 +271,9 @@ std::vector<GeoRegex> RegexGenerator::merge(std::span<const GeoRegex> regexes) c
 std::optional<GeoRegex> RegexGenerator::embed_classes(
     const GeoRegex& gr, std::span<const TaggedHostname> tagged) const {
   const std::size_t n_nodes = gr.regex.nodes.size();
-  std::vector<std::vector<std::string>> texts(n_nodes);
+  // Views, not copies: the spans point into hostname storage (the batch
+  // arena), which outlives this call — no per-(node, hostname) allocation.
+  std::vector<std::vector<std::string_view>> texts(n_nodes);
   std::size_t matched = 0;
   if (config_.compiled_matcher) {
     // Compile once, then one prefiltered run per hostname; the successful
@@ -314,7 +316,7 @@ std::optional<GeoRegex> RegexGenerator::embed_classes(
     std::vector<std::vector<util::Token>> runs;
     runs.reserve(texts[i].size());
     bool uniform = true;
-    for (const std::string& t : texts[i]) {
+    for (const std::string_view t : texts[i]) {
       runs.push_back(util::kind_runs(t));
       if (runs.back().empty()) uniform = false;
     }

@@ -21,14 +21,40 @@ bool valid_hostname(std::string_view s) {
   return label_len > 0;
 }
 
-std::optional<Hostname> parse_hostname(std::string_view raw, const PublicSuffixList& psl) {
-  Hostname h;
-  h.full = util::to_lower(raw);
-  if (!valid_hostname(h.full)) return std::nullopt;
-  const std::string_view suffix = psl.registered_domain(h.full);
+namespace {
+
+// Parses already-canonical (lower-cased) bytes the caller owns.
+std::optional<Hostname> parse_canonical(std::string_view canonical, const PublicSuffixList& psl) {
+  if (!valid_hostname(canonical)) return std::nullopt;
+  const std::string_view suffix = psl.registered_domain(canonical);
   if (suffix.empty()) return std::nullopt;
-  h.suffix_pos = h.full.size() - suffix.size();
+  Hostname h;
+  h.full = canonical;
+  h.suffix_pos = canonical.size() - suffix.size();
   return h;
+}
+
+}  // namespace
+
+std::optional<Hostname> parse_hostname(std::string_view raw, util::Arena& arena,
+                                       const PublicSuffixList& psl) {
+  // Lower-case into a stack buffer first: rejects (oversized, bad charset,
+  // no registered domain) leave no residue in the arena.
+  char buf[256];
+  if (raw.empty() || raw.size() > 255) return std::nullopt;
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    buf[i] = static_cast<char>(std::tolower(static_cast<unsigned char>(raw[i])));
+  const auto h = parse_canonical({buf, raw.size()}, psl);
+  if (!h) return std::nullopt;
+  Hostname out = *h;
+  out.full = arena.intern(h->full);
+  return out;
+}
+
+std::optional<Hostname> parse_hostname(std::string_view raw, std::string& storage,
+                                       const PublicSuffixList& psl) {
+  storage = util::to_lower(raw);
+  return parse_canonical(storage, psl);
 }
 
 }  // namespace hoiho::dns

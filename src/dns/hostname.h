@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dns/public_suffix.h"
+#include "util/arena.h"
 #include "util/strings.h"
 
 namespace hoiho::dns {
@@ -21,17 +22,22 @@ namespace hoiho::dns {
 // Expects lower-case input.
 bool valid_hostname(std::string_view s);
 
+// A parsed hostname is a *view*: the canonical lower-cased bytes live in
+// whatever storage the parse call was given (a batch arena for ingestion, a
+// caller string for one-off lookups), not in per-hostname heap strings. A
+// streamed batch's hostnames pack contiguously in its Topology's arena and
+// free together when the batch retires. Copying a Hostname copies the view;
+// the storage must outlive every copy.
 struct Hostname {
-  std::string full;    // lower-cased full hostname
+  std::string_view full;       // lower-cased full hostname
   std::size_t suffix_pos = 0;  // offset of the registered-domain suffix
 
   // The registered-domain suffix, e.g. "ntt.net".
-  std::string_view suffix() const { return std::string_view(full).substr(suffix_pos); }
+  std::string_view suffix() const { return full.substr(suffix_pos); }
 
   // Everything before ".suffix" — may be empty for the apex name.
   std::string_view prefix() const {
-    return suffix_pos == 0 ? std::string_view{}
-                           : std::string_view(full).substr(0, suffix_pos - 1);
+    return suffix_pos == 0 ? std::string_view{} : full.substr(0, suffix_pos - 1);
   }
 
   // Dot-separated labels of the prefix, with positions into full.
@@ -39,8 +45,16 @@ struct Hostname {
 };
 
 // Canonicalizes (lower-cases) and parses `raw`; std::nullopt if the hostname
-// is invalid or has no registered-domain suffix under `psl`.
-std::optional<Hostname> parse_hostname(std::string_view raw,
+// is invalid or has no registered-domain suffix under `psl`. The canonical
+// bytes are interned into `arena` (only for accepted names — rejects leave
+// no residue), and the returned Hostname views them.
+std::optional<Hostname> parse_hostname(std::string_view raw, util::Arena& arena,
+                                       const PublicSuffixList& psl = PublicSuffixList::builtin());
+
+// One-off form for call sites without an arena (the serving lookup path,
+// small tools): the canonical bytes go into `storage`, which must outlive
+// the returned Hostname.
+std::optional<Hostname> parse_hostname(std::string_view raw, std::string& storage,
                                        const PublicSuffixList& psl = PublicSuffixList::builtin());
 
 }  // namespace hoiho::dns

@@ -5,38 +5,30 @@ namespace hoiho::measure {
 void RttMatrix::record(topo::RouterId r, VpId v, double rtt_ms) {
   float& cell = cells_[index(r, v)];
   const float x = static_cast<float>(rtt_ms);
-  if (cell < 0 || x < cell) cell = x;
-  auto& [best, best_vp] = closest_[r];
+  if (cell < 0) {
+    ++sample_count_[r];
+    cell = x;
+  } else if (x < cell) {
+    cell = x;
+  }
+  float& best = closest_rtt_[r];
+  VpId& best_vp = closest_vp_[r];
   if (best < 0 || x < best || (x == best && v < best_vp)) {
     best = x;
     best_vp = v;
   }
 }
 
-bool RttMatrix::responsive(topo::RouterId r) const {
-  for (VpId v = 0; v < vps_; ++v)
-    if (cells_[index(r, v)] >= 0) return true;
-  return false;
-}
-
-std::size_t RttMatrix::sample_count(topo::RouterId r) const {
-  std::size_t n = 0;
-  for (VpId v = 0; v < vps_; ++v)
-    if (cells_[index(r, v)] >= 0) ++n;
-  return n;
-}
-
 std::optional<std::pair<VpId, double>> RttMatrix::closest_vp(topo::RouterId r) const {
   std::optional<std::pair<VpId, double>> best;
-  const auto& [min_rtt, min_vp] = closest_[r];
-  if (min_rtt >= 0) best = {min_vp, min_rtt};
+  if (closest_rtt_[r] >= 0) best = {closest_vp_[r], closest_rtt_[r]};
   return best;
 }
 
 std::size_t RttMatrix::responsive_router_count() const {
   std::size_t n = 0;
-  for (topo::RouterId r = 0; r < router_count(); ++r)
-    if (responsive(r)) ++n;
+  for (const std::uint32_t c : sample_count_)
+    if (c > 0) ++n;
   return n;
 }
 

@@ -28,10 +28,21 @@ struct VantagePoint {
 
 // Dense router x VP matrix of minimum RTTs in milliseconds. Missing samples
 // are encoded as a negative sentinel. Memory: 4 bytes per cell.
+//
+// Per-router summaries are SoA — parallel closest_rtt_ / closest_vp_ /
+// sample_count_ arrays rather than a vector of structs — because the hot
+// consumers stride over exactly one field at a time: the learner's
+// consistency pass reads only minima, responsive_router_count() reads only
+// counts. Packing them as pairs made every such sweep pull the unused field
+// through cache (and padded the row to 8 bytes anyway).
 class RttMatrix {
  public:
   RttMatrix(std::size_t routers, std::size_t vps)
-      : vps_(vps), cells_(routers * vps, kNoSample), closest_(routers, {kNoSample, 0}) {}
+      : vps_(vps),
+        cells_(routers * vps, kNoSample),
+        closest_rtt_(routers, kNoSample),
+        closest_vp_(routers, 0),
+        sample_count_(routers, 0) {}
 
   std::size_t router_count() const { return vps_ == 0 ? 0 : cells_.size() / vps_; }
   std::size_t vp_count() const { return vps_; }
@@ -46,11 +57,11 @@ class RttMatrix {
     return x;
   }
 
-  // True if any VP has a sample for r.
-  bool responsive(topo::RouterId r) const;
+  // True if any VP has a sample for r. O(1).
+  bool responsive(topo::RouterId r) const { return sample_count_[r] > 0; }
 
-  // Number of VPs with a sample for r.
-  std::size_t sample_count(topo::RouterId r) const;
+  // Number of VPs with a sample for r. O(1): maintained by record().
+  std::size_t sample_count(topo::RouterId r) const { return sample_count_[r]; }
 
   // The VP with the smallest RTT to r, with that RTT; nullopt if none.
   // O(1): maintained incrementally by record() (ties keep the lowest VpId,
@@ -69,7 +80,10 @@ class RttMatrix {
 
   std::size_t vps_;
   std::vector<float> cells_;
-  std::vector<std::pair<float, VpId>> closest_;  // per router: (min RTT, its VP)
+  // Per-router SoA summaries (see class comment).
+  std::vector<float> closest_rtt_;          // min RTT, kNoSample if unmeasured
+  std::vector<VpId> closest_vp_;            // the VP behind closest_rtt_
+  std::vector<std::uint32_t> sample_count_; // VPs with a sample
 };
 
 // A full measurement campaign: the VPs plus the matrix they produced.

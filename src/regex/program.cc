@@ -4,18 +4,42 @@
 
 namespace hoiho::rx {
 
+unsigned ClassBits::count() const {
+  unsigned n = 0;
+  for (const std::uint64_t word : w) {
+    std::uint64_t v = word;
+    while (v) {
+      v &= v - 1;
+      ++n;
+    }
+  }
+  return n;
+}
+
+ClassBits to_class_bits(const std::bitset<128>& set) {
+  ClassBits out;
+  for (unsigned b = 0; b < 128; ++b) {
+    if (set[b]) out.set(b);
+  }
+  return out;
+}
+
 Program Program::compile(const Regex& rx) {
+  auto st = std::make_shared<Storage>();
   Program p;
-  p.code_.reserve(rx.nodes.size());
-  p.groups_ = rx.groups;
+  st->code.reserve(rx.nodes.size());
+  st->groups.reserve(rx.groups.size());
+  for (const Group& g : rx.groups)
+    st->groups.push_back(GroupRef{static_cast<std::uint32_t>(g.first),
+                                  static_cast<std::uint32_t>(g.last)});
 
   for (const Node& node : rx.nodes) {
     Instr in;
     if (node.kind == Node::Kind::kLiteral) {
       in.op = Instr::Op::kLiteral;
-      in.arg = static_cast<std::uint32_t>(p.pool_.size());
+      in.arg = static_cast<std::uint32_t>(st->pool.size());
       in.len = static_cast<std::uint32_t>(node.literal.size());
-      p.pool_ += node.literal;
+      st->pool += node.literal;
       p.min_len_ += node.literal.size();
       if (p.max_len_ >= 0) p.max_len_ += static_cast<long>(node.literal.size());
       for (const char c : node.literal) {
@@ -30,22 +54,23 @@ Program Program::compile(const Regex& rx) {
       in.min = node.quant.min;
       in.max = node.quant.max;
       // Deduplicate classes: candidate sets reuse a handful of them.
-      const auto it = std::find(p.classes_.begin(), p.classes_.end(), node.cls.set);
-      in.arg = static_cast<std::uint32_t>(it - p.classes_.begin());
-      if (it == p.classes_.end()) p.classes_.push_back(node.cls.set);
+      const ClassBits bits = to_class_bits(node.cls.set);
+      const auto it = std::find(st->classes.begin(), st->classes.end(), bits);
+      in.arg = static_cast<std::uint32_t>(it - st->classes.begin());
+      if (it == st->classes.end()) st->classes.push_back(bits);
       p.min_len_ += static_cast<std::size_t>(node.quant.min);
       if (node.quant.max < 0) {
         p.max_len_ = -1;
       } else if (p.max_len_ >= 0) {
         p.max_len_ += node.quant.max;
       }
-      if (node.quant.min >= 1 && node.cls.set.count() == 1) {
-        for (std::size_t b = 0; b < 128; ++b) {
-          if (node.cls.set[b]) p.required_.set(b);
+      if (node.quant.min >= 1 && bits.count() == 1) {
+        for (unsigned b = 0; b < 128; ++b) {
+          if (bits.test(b)) p.required_.set(b);
         }
       }
     }
-    p.code_.push_back(in);
+    st->code.push_back(in);
   }
 
   // Literal texts land in the pool in node order, so the leading and
@@ -62,7 +87,13 @@ Program Program::compile(const Regex& rx) {
     tail += rx.nodes[i].literal.size();
   }
   p.tail_len_ = static_cast<std::uint32_t>(tail);
-  p.tail_off_ = static_cast<std::uint32_t>(p.pool_.size() - tail);
+  p.tail_off_ = static_cast<std::uint32_t>(st->pool.size() - tail);
+
+  p.code_ = st->code;
+  p.classes_ = st->classes;
+  p.pool_ = st->pool;
+  p.groups_ = st->groups;
+  p.backing_ = std::move(st);
   return p;
 }
 
@@ -96,7 +127,7 @@ bool Program::run(std::string_view s, MatchScratch& scratch) const {
           continue;
         }
       } else {
-        const std::bitset<128>& cls = classes_[in.arg];
+        const ClassBits& cls = classes_[in.arg];
         const std::size_t remaining = s.size() - p;
         const std::size_t cap =
             in.max < 0 ? remaining
@@ -104,7 +135,7 @@ bool Program::run(std::string_view s, MatchScratch& scratch) const {
         std::size_t avail = 0;
         while (avail < cap) {
           const auto u = static_cast<unsigned char>(s[p + avail]);
-          if (u >= 128 || !cls[u]) break;
+          if (u >= 128 || !cls.test(u)) break;
           ++avail;
         }
         if (avail >= static_cast<std::size_t>(in.min)) {

@@ -14,14 +14,25 @@
 // without touching the instruction array; SetMatcher (set_matcher.h) shares
 // them across a whole candidate set.
 //
+// Storage layout (the zero-copy refactor behind the ncb model format): a
+// Program does not own vectors directly — it holds spans over either
+//   * a shared immutable Storage block built by compile(), or
+//   * an external read-only mapping (an ncb model file), assembled by
+//     rx::view_program (serialize.h) with no per-instruction work.
+// Every record type below (Instr, ClassBits, GroupRef) is a padding-free
+// trivially-copyable POD whose bytes ARE the on-disk representation, so an
+// mmap'ed model runs the exact matcher the compiler produced. A copied
+// Program shares its backing block (programs are immutable once built).
+//
 // Execution is an explicit-stack rendering of the same greedy-longest-first
 // search the backtracker performs, so results — including capture spans,
 // per-node spans, and the work-bound behaviour — are byte-identical to
 // rx::match (tests/test_regex_differential.cc holds the two engines to that).
 #pragma once
 
-#include <bitset>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -29,6 +40,52 @@
 #include "regex/matcher.h"
 
 namespace hoiho::rx {
+
+// 16-byte character-class bitmap (bit b set = byte b matches). The
+// mmap-viewable replacement for std::bitset<128> inside compiled programs;
+// also used for the per-subject byte-presence table in SetMatcher.
+struct ClassBits {
+  std::uint64_t w[2] = {0, 0};
+
+  bool test(unsigned b) const { return (w[b >> 6] >> (b & 63)) & 1u; }
+  void set(unsigned b) { w[b >> 6] |= std::uint64_t{1} << (b & 63); }
+
+  // True if this mask has a bit the other lacks (required-byte prefilter:
+  // "some required byte is absent from the subject").
+  bool any_not_in(const ClassBits& o) const {
+    return ((w[0] & ~o.w[0]) | (w[1] & ~o.w[1])) != 0;
+  }
+  unsigned count() const;
+
+  friend bool operator==(const ClassBits&, const ClassBits&) = default;
+};
+static_assert(sizeof(ClassBits) == 16 && alignof(ClassBits) == 8);
+
+ClassBits to_class_bits(const std::bitset<128>& set);
+
+// One compiled instruction. Op is 32-bit so the struct has no padding —
+// its bytes are written to (and mapped back from) ncb model files verbatim.
+struct Instr {
+  enum class Op : std::uint32_t {
+    kLiteral,          // pool[arg, arg+len)
+    kClassGreedy,      // classes[arg], quant [min, max], backtracks
+    kClassPossessive,  // classes[arg], takes the longest run, no backtrack
+  };
+  Op op = Op::kLiteral;
+  std::uint32_t arg = 0;
+  std::uint32_t len = 0;
+  std::int32_t min = 1;
+  std::int32_t max = 1;  // < 0 = unbounded
+};
+static_assert(sizeof(Instr) == 20);
+
+// A capture group as node indices [first, last] — the fixed-width form of
+// rx::Group used by compiled programs and the on-disk format.
+struct GroupRef {
+  std::uint32_t first = 0;
+  std::uint32_t last = 0;
+};
+static_assert(sizeof(GroupRef) == 8);
 
 // Set-matching work accounting, accumulated on the per-thread scratch so
 // counting costs a plain (non-atomic) increment. Consumers fold the totals
@@ -104,9 +161,9 @@ class Program {
   // --- prefilter facts (shared with SetMatcher) ------------------------------
   std::size_t min_len() const { return min_len_; }
   long max_len() const { return max_len_; }  // -1 = unbounded
-  std::string_view literal_head() const { return {pool_.data(), head_len_}; }
-  std::string_view literal_tail() const { return {pool_.data() + tail_off_, tail_len_}; }
-  const std::bitset<128>& required_bytes() const { return required_; }
+  std::string_view literal_head() const { return pool_.substr(0, head_len_); }
+  std::string_view literal_tail() const { return pool_.substr(tail_off_, tail_len_); }
+  const ClassBits& required_bytes() const { return required_; }
 
   // Length + anchored head/tail checks (everything except byte presence,
   // which needs a per-subject table the caller may want to share).
@@ -122,28 +179,27 @@ class Program {
   }
 
  private:
-  struct Instr {
-    enum class Op : std::uint8_t {
-      kLiteral,          // pool_[arg, arg+len)
-      kClassGreedy,      // classes_[arg], quant [min, max], backtracks
-      kClassPossessive,  // classes_[arg], takes the longest run, no backtrack
-    };
-    Op op = Op::kLiteral;
-    std::uint32_t arg = 0;
-    std::uint32_t len = 0;
-    std::int32_t min = 1;
-    std::int32_t max = 1;  // < 0 = unbounded
+  friend struct ProgramIO;  // serialize.h: pool extraction + view assembly
+
+  // Owned backing for compiled programs; view programs pin the mapping via
+  // the same type-erased shared_ptr instead.
+  struct Storage {
+    std::vector<Instr> code;
+    std::vector<ClassBits> classes;
+    std::string pool;
+    std::vector<GroupRef> groups;
   };
 
-  std::vector<Instr> code_;
-  std::vector<std::bitset<128>> classes_;
-  std::string pool_;
-  std::vector<Group> groups_;
+  std::span<const Instr> code_;
+  std::span<const ClassBits> classes_;
+  std::string_view pool_;
+  std::span<const GroupRef> groups_;
   std::size_t min_len_ = 0;
   long max_len_ = 0;
   std::uint32_t head_len_ = 0;
   std::uint32_t tail_off_ = 0, tail_len_ = 0;
-  std::bitset<128> required_;
+  ClassBits required_;
+  std::shared_ptr<const void> backing_;  // Storage block or model mapping
 };
 
 }  // namespace hoiho::rx

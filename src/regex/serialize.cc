@@ -1,0 +1,206 @@
+#include "regex/serialize.h"
+
+namespace hoiho::rx {
+
+// Friend shims: the only code with access to Program/SetMatcher internals
+// besides compile()/finalize() themselves.
+struct ProgramIO {
+  static ProgramHeader append(const Program& p, ProgramPools& pools) {
+    ProgramHeader h;
+    h.code_off = static_cast<std::uint32_t>(pools.instrs.size());
+    h.code_count = static_cast<std::uint32_t>(p.code_.size());
+    h.class_off = static_cast<std::uint32_t>(pools.classes.size());
+    h.class_count = static_cast<std::uint32_t>(p.classes_.size());
+    h.pool_off = static_cast<std::uint32_t>(pools.pool.size());
+    h.pool_len = static_cast<std::uint32_t>(p.pool_.size());
+    h.group_off = static_cast<std::uint32_t>(pools.groups.size());
+    h.group_count = static_cast<std::uint32_t>(p.groups_.size());
+    h.min_len = static_cast<std::uint32_t>(p.min_len_);
+    h.max_len = static_cast<std::int32_t>(p.max_len_);
+    h.head_len = p.head_len_;
+    h.tail_off = p.tail_off_;
+    h.tail_len = p.tail_len_;
+    h.required = p.required_;
+    pools.instrs.insert(pools.instrs.end(), p.code_.begin(), p.code_.end());
+    pools.classes.insert(pools.classes.end(), p.classes_.begin(), p.classes_.end());
+    pools.pool.append(p.pool_);
+    pools.groups.insert(pools.groups.end(), p.groups_.begin(), p.groups_.end());
+    return h;
+  }
+
+  static Program view(const ProgramPoolsView& v, const ProgramHeader& h,
+                      std::shared_ptr<const void> keepalive) {
+    Program p;
+    p.code_ = v.instrs.subspan(h.code_off, h.code_count);
+    p.classes_ = v.classes.subspan(h.class_off, h.class_count);
+    p.pool_ = v.pool.substr(h.pool_off, h.pool_len);
+    p.groups_ = v.groups.subspan(h.group_off, h.group_count);
+    p.min_len_ = h.min_len;
+    p.max_len_ = h.max_len;
+    p.head_len_ = h.head_len;
+    p.tail_off_ = h.tail_off;
+    p.tail_len_ = h.tail_len;
+    p.required_ = h.required;
+    p.backing_ = std::move(keepalive);
+    return p;
+  }
+};
+
+struct SetMatcherIO {
+  static MatcherHeader append(const SetMatcher& m, ProgramPools& pools) {
+    MatcherHeader h;
+    h.program_off = static_cast<std::uint32_t>(pools.programs.size());
+    h.program_count = static_cast<std::uint32_t>(m.programs_.size());
+    for (const Program& p : m.programs_) pools.programs.push_back(ProgramIO::append(p, pools));
+    h.node_off = static_cast<std::uint32_t>(pools.nodes.size());
+    h.node_count = static_cast<std::uint32_t>(m.nodes_.size());
+    h.edge_off = static_cast<std::uint32_t>(pools.edges.size());
+    h.edge_count = static_cast<std::uint32_t>(m.edges_.size());
+    h.term_off = static_cast<std::uint32_t>(pools.terms.size());
+    h.term_count = static_cast<std::uint32_t>(m.terminals_.size());
+    pools.nodes.insert(pools.nodes.end(), m.nodes_.begin(), m.nodes_.end());
+    pools.edges.insert(pools.edges.end(), m.edges_.begin(), m.edges_.end());
+    pools.terms.insert(pools.terms.end(), m.terminals_.begin(), m.terminals_.end());
+    return h;
+  }
+
+  static SetMatcher view(const ProgramPoolsView& v, const MatcherHeader& h,
+                         const std::shared_ptr<const void>& keepalive) {
+    SetMatcher m;
+    m.programs_.reserve(h.program_count);
+    for (std::uint32_t k = 0; k < h.program_count; ++k)
+      m.programs_.push_back(ProgramIO::view(v, v.programs[h.program_off + k], keepalive));
+    m.nodes_ = v.nodes.subspan(h.node_off, h.node_count);
+    m.edges_ = v.edges.subspan(h.edge_off, h.edge_count);
+    m.terminals_ = v.terms.subspan(h.term_off, h.term_count);
+    m.trie_backing_ = keepalive;
+    return m;
+  }
+};
+
+std::uint32_t ProgramPools::add(const Program& p) {
+  const auto index = static_cast<std::uint32_t>(programs.size());
+  programs.push_back(ProgramIO::append(p, *this));
+  return index;
+}
+
+std::uint32_t ProgramPools::add(const SetMatcher& m) {
+  const auto index = static_cast<std::uint32_t>(matchers.size());
+  matchers.push_back(SetMatcherIO::append(m, *this));
+  return index;
+}
+
+namespace {
+
+// 32-bit offsets + counts are checked in 64-bit so `off + count` can't wrap.
+bool range_ok(std::uint32_t off, std::uint32_t count, std::size_t limit) {
+  return std::uint64_t{off} + std::uint64_t{count} <= limit;
+}
+
+std::optional<std::string> validate_program(const ProgramPoolsView& v, const ProgramHeader& h,
+                                            std::size_t index) {
+  // Error context is formatted only on the failing path: this runs for every
+  // program of every loaded model, and success must not allocate.
+  const auto where = [index](const char* msg) {
+    return "program " + std::to_string(index) + msg;
+  };
+  const auto at = [index](std::uint32_t k, const char* msg) {
+    return "program " + std::to_string(index) + " instr " + std::to_string(k) + msg;
+  };
+  if (!range_ok(h.code_off, h.code_count, v.instrs.size()))
+    return where(": code range out of bounds");
+  if (!range_ok(h.class_off, h.class_count, v.classes.size()))
+    return where(": class range out of bounds");
+  if (!range_ok(h.pool_off, h.pool_len, v.pool.size()))
+    return where(": pool range out of bounds");
+  if (!range_ok(h.group_off, h.group_count, v.groups.size()))
+    return where(": group range out of bounds");
+  if (h.head_len > h.pool_len) return where(": literal head past pool slice");
+  if (!range_ok(h.tail_off, h.tail_len, h.pool_len))
+    return where(": literal tail past pool slice");
+  for (std::uint32_t k = 0; k < h.code_count; ++k) {
+    const Instr& in = v.instrs[h.code_off + k];
+    switch (in.op) {
+      case Instr::Op::kLiteral:
+        if (!range_ok(in.arg, in.len, h.pool_len))
+          return at(k, ": literal ref past pool slice");
+        break;
+      case Instr::Op::kClassGreedy:
+      case Instr::Op::kClassPossessive:
+        if (in.arg >= h.class_count) return at(k, ": class index out of range");
+        if (in.min < 0) return at(k, ": negative quantifier min");
+        if (in.max >= 0 && in.max < in.min) return at(k, ": quantifier max below min");
+        break;
+      default:
+        return at(k, ": unknown opcode");
+    }
+  }
+  for (std::uint32_t g = 0; g < h.group_count; ++g) {
+    const GroupRef& gr = v.groups[h.group_off + g];
+    if (gr.first > gr.last || gr.last >= h.code_count)
+      return "program " + std::to_string(index) + " group " + std::to_string(g) +
+             ": node range out of bounds";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> validate_matcher(const ProgramPoolsView& v, const MatcherHeader& h,
+                                            std::size_t index) {
+  // Same as validate_program: context strings only materialize on failure.
+  const auto where = [index](const char* msg) {
+    return "matcher " + std::to_string(index) + msg;
+  };
+  const auto sub = [index](const char* kind, std::uint32_t k, const char* msg) {
+    return "matcher " + std::to_string(index) + " " + kind + " " + std::to_string(k) + msg;
+  };
+  if (!range_ok(h.program_off, h.program_count, v.programs.size()))
+    return where(": program range out of bounds");
+  if (!range_ok(h.node_off, h.node_count, v.nodes.size()))
+    return where(": node range out of bounds");
+  if (!range_ok(h.edge_off, h.edge_count, v.edges.size()))
+    return where(": edge range out of bounds");
+  if (!range_ok(h.term_off, h.term_count, v.terms.size()))
+    return where(": terminal range out of bounds");
+  if (h.program_count > 0 && h.node_count == 0)
+    return where(": non-empty matcher without a trie root");
+  for (std::uint32_t n = 0; n < h.node_count; ++n) {
+    const TrieNodeRec& rec = v.nodes[h.node_off + n];
+    if (!range_ok(rec.edge_off, rec.edge_count, h.edge_count))
+      return sub("node", n, ": edge slice out of bounds");
+    if (!range_ok(rec.term_off, rec.term_count, h.term_count))
+      return sub("node", n, ": terminal slice out of bounds");
+  }
+  for (std::uint32_t e = 0; e < h.edge_count; ++e) {
+    if (v.edges[h.edge_off + e].node >= h.node_count)
+      return sub("edge", e, ": target node out of range");
+  }
+  for (std::uint32_t t = 0; t < h.term_count; ++t) {
+    if (v.terms[h.term_off + t] >= h.program_count)
+      return sub("terminal", t, ": program index out of range");
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> validate(const ProgramPoolsView& v) {
+  for (std::size_t i = 0; i < v.programs.size(); ++i) {
+    if (auto err = validate_program(v, v.programs[i], i)) return err;
+  }
+  for (std::size_t i = 0; i < v.matchers.size(); ++i) {
+    if (auto err = validate_matcher(v, v.matchers[i], i)) return err;
+  }
+  return std::nullopt;
+}
+
+Program view_program(const ProgramPoolsView& v, std::uint32_t index,
+                     std::shared_ptr<const void> keepalive) {
+  return ProgramIO::view(v, v.programs[index], std::move(keepalive));
+}
+
+SetMatcher view_matcher(const ProgramPoolsView& v, std::uint32_t index,
+                        const std::shared_ptr<const void>& keepalive) {
+  return SetMatcherIO::view(v, v.matchers[index], keepalive);
+}
+
+}  // namespace hoiho::rx

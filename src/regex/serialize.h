@@ -1,0 +1,101 @@
+// Serialization of compiled rx::Program / rx::SetMatcher as flat pools.
+//
+// A model file carries many matchers; rather than one blob per matcher,
+// every compiled artifact is appended into nine shared pools (instructions,
+// class bitmaps, literal-pool characters, capture groups, program headers,
+// trie nodes/edges/terminals, matcher headers). Offsets INSIDE records stay
+// local — a ProgramHeader's instruction args index its own code/class/pool
+// slices, a TrieNodeRec's edge_off indexes its matcher's edge slice — so
+// loading never rewrites anything: view_program()/view_matcher() hand back
+// objects whose spans are subspans of the pools, pinned by a caller-provided
+// keepalive (the model mapping). Assembling an M-scale model's matchers this
+// way touches only header bytes; instruction pages fault in on first match.
+//
+// validate() bounds-checks every record against malicious or truncated input
+// (out-of-range offsets, group indices past code, trie edges past nodes)
+// before any view is constructed — the core of the "never UB" loader
+// contract (core/ncb.cc layers file-level section checks on top).
+//
+// All record types are padding-free little-endian PODs; core/ncb.cc defines
+// the file container (sections, checksums) around these pools.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "regex/set_matcher.h"
+
+namespace hoiho::rx {
+
+// Fixed-width descriptor of one compiled Program. Offsets are element
+// indices into the shared pools; the instruction args inside the code slice
+// are local to this program's class/pool slices.
+struct ProgramHeader {
+  std::uint32_t code_off = 0, code_count = 0;    // -> pools.instrs
+  std::uint32_t class_off = 0, class_count = 0;  // -> pools.classes
+  std::uint32_t pool_off = 0, pool_len = 0;      // -> pools.pool (bytes)
+  std::uint32_t group_off = 0, group_count = 0;  // -> pools.groups
+  std::uint32_t min_len = 0;
+  std::int32_t max_len = 0;  // -1 = unbounded
+  std::uint32_t head_len = 0;
+  std::uint32_t tail_off = 0, tail_len = 0;  // local to this program's pool slice
+  std::uint32_t reserved = 0;
+  ClassBits required;
+};
+static_assert(sizeof(ProgramHeader) == 72);
+
+// Fixed-width descriptor of one finalized SetMatcher. Programs are appended
+// contiguously, so program k of the matcher is pools.programs[program_off+k]
+// — trie terminals index that local range.
+struct MatcherHeader {
+  std::uint32_t program_off = 0, program_count = 0;  // -> pools.programs
+  std::uint32_t node_off = 0, node_count = 0;        // -> pools.nodes
+  std::uint32_t edge_off = 0, edge_count = 0;        // -> pools.edges
+  std::uint32_t term_off = 0, term_count = 0;        // -> pools.terms
+};
+static_assert(sizeof(MatcherHeader) == 32);
+
+// Builder-side owned pools: add() compiled artifacts, then write each
+// vector's bytes out as one file section.
+struct ProgramPools {
+  std::vector<Instr> instrs;
+  std::vector<ClassBits> classes;
+  std::string pool;
+  std::vector<GroupRef> groups;
+  std::vector<ProgramHeader> programs;
+  std::vector<TrieNodeRec> nodes;
+  std::vector<TrieEdgeRec> edges;
+  std::vector<std::uint32_t> terms;
+  std::vector<MatcherHeader> matchers;
+
+  std::uint32_t add(const Program& p);      // returns index into `programs`
+  std::uint32_t add(const SetMatcher& m);   // returns index into `matchers`
+};
+
+// Load-side read-only views over the same nine pools (typically
+// reinterpreted from mapped file sections).
+struct ProgramPoolsView {
+  std::span<const Instr> instrs;
+  std::span<const ClassBits> classes;
+  std::string_view pool;
+  std::span<const GroupRef> groups;
+  std::span<const ProgramHeader> programs;
+  std::span<const TrieNodeRec> nodes;
+  std::span<const TrieEdgeRec> edges;
+  std::span<const std::uint32_t> terms;
+  std::span<const MatcherHeader> matchers;
+};
+
+// Full structural validation of every program and matcher record. Returns a
+// named error on the first violation, nullopt when every offset, index, and
+// quantifier is in range. view_program()/view_matcher() assume this passed.
+std::optional<std::string> validate(const ProgramPoolsView& v);
+
+// Assemble a Program / SetMatcher as views over validated pools. `keepalive`
+// must own (or pin) the memory the view spans point into.
+Program view_program(const ProgramPoolsView& v, std::uint32_t index,
+                     std::shared_ptr<const void> keepalive);
+SetMatcher view_matcher(const ProgramPoolsView& v, std::uint32_t index,
+                        const std::shared_ptr<const void>& keepalive);
+
+}  // namespace hoiho::rx

@@ -5,28 +5,58 @@
 namespace hoiho::rx {
 
 void SetMatcher::finalize() {
-  trie_.assign(1, TrieNode{});
+  // Build a temporary pointer trie (cheap to grow), then flatten it into
+  // the SoA arrays in node-index order. Edge order within a node is
+  // insertion order; terminal order is program-add order — neither affects
+  // results because candidates are sorted ascending before execution.
+  struct BuildNode {
+    std::vector<std::pair<char, std::uint32_t>> next;
+    std::vector<std::uint32_t> terminal;
+  };
+  std::vector<BuildNode> build(1);
   for (std::uint32_t idx = 0; idx < programs_.size(); ++idx) {
     const std::string_view tail = programs_[idx].literal_tail();
     std::uint32_t node = 0;
     for (std::size_t d = 0; d < tail.size(); ++d) {
       const char c = tail[tail.size() - 1 - d];
       std::uint32_t child = 0;
-      for (const auto& [ec, en] : trie_[node].next) {
+      for (const auto& [ec, en] : build[node].next) {
         if (ec == c) {
           child = en;
           break;
         }
       }
       if (child == 0) {
-        child = static_cast<std::uint32_t>(trie_.size());
-        trie_[node].next.emplace_back(c, child);
-        trie_.emplace_back();
+        child = static_cast<std::uint32_t>(build.size());
+        build[node].next.emplace_back(c, child);
+        build.emplace_back();
       }
       node = child;
     }
-    trie_[node].terminal.push_back(idx);
+    build[node].terminal.push_back(idx);
   }
+
+  auto st = std::make_shared<TrieStorage>();
+  st->nodes.reserve(build.size());
+  for (const BuildNode& bn : build) {
+    TrieNodeRec rec;
+    rec.edge_off = static_cast<std::uint32_t>(st->edges.size());
+    rec.edge_count = static_cast<std::uint32_t>(bn.next.size());
+    rec.term_off = static_cast<std::uint32_t>(st->terminals.size());
+    rec.term_count = static_cast<std::uint32_t>(bn.terminal.size());
+    for (const auto& [c, child] : bn.next) {
+      TrieEdgeRec e;
+      e.node = child;
+      e.c = static_cast<std::uint8_t>(c);
+      st->edges.push_back(e);
+    }
+    st->terminals.insert(st->terminals.end(), bn.terminal.begin(), bn.terminal.end());
+    st->nodes.push_back(rec);
+  }
+  nodes_ = st->nodes;
+  edges_ = st->edges;
+  terminals_ = st->terminals;
+  trie_backing_ = std::move(st);
 }
 
 void SetMatcher::match_all(std::string_view subject, MatchScratch& scratch,
@@ -37,7 +67,7 @@ void SetMatcher::match_all(std::string_view subject, MatchScratch& scratch,
 
   // Byte-presence table, computed once and shared by every candidate's
   // required-byte check.
-  std::bitset<128> present;
+  ClassBits present;
   for (const char c : subject) {
     const auto u = static_cast<unsigned char>(c);
     if (u < 128) present.set(u);
@@ -47,27 +77,30 @@ void SetMatcher::match_all(std::string_view subject, MatchScratch& scratch,
   // is a program whose anchored literal tail the subject ends with.
   std::vector<std::uint32_t>& cand = scratch.candidates;
   cand.clear();
-  const TrieNode* node = &trie_[0];
-  cand.insert(cand.end(), node->terminal.begin(), node->terminal.end());
+  const TrieNodeRec* node = &nodes_[0];
+  cand.insert(cand.end(), terminals_.data() + node->term_off,
+              terminals_.data() + node->term_off + node->term_count);
   for (std::size_t d = 0; d < subject.size(); ++d) {
-    const char c = subject[subject.size() - 1 - d];
+    const auto c = static_cast<std::uint8_t>(subject[subject.size() - 1 - d]);
     std::uint32_t child = 0;
-    for (const auto& [ec, en] : node->next) {
-      if (ec == c) {
-        child = en;
+    const TrieEdgeRec* const edges = edges_.data() + node->edge_off;
+    for (std::uint32_t e = 0; e < node->edge_count; ++e) {
+      if (edges[e].c == c) {
+        child = edges[e].node;
         break;
       }
     }
     if (child == 0) break;
-    node = &trie_[child];
-    cand.insert(cand.end(), node->terminal.begin(), node->terminal.end());
+    node = &nodes_[child];
+    cand.insert(cand.end(), terminals_.data() + node->term_off,
+                terminals_.data() + node->term_off + node->term_count);
   }
   std::sort(cand.begin(), cand.end());
   scratch.set_stats.candidates += cand.size();
 
   for (const std::uint32_t idx : cand) {
     const Program& p = programs_[idx];
-    if ((p.required_bytes() & ~present).any()) continue;
+    if (p.required_bytes().any_not_in(present)) continue;
     if (!p.prefilter(subject)) continue;
     ++scratch.set_stats.programs_run;
     if (!p.run(subject, scratch)) {

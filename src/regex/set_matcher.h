@@ -13,6 +13,13 @@
 // head, and a required-byte check against a byte-presence table computed
 // once per subject — before the compiled program runs.
 //
+// The trie is stored flat (SoA: node records + edge records + terminal
+// indices in three arrays) rather than as per-node vectors. That makes
+// finalize()'d matchers both cache-friendlier to walk and directly
+// serializable: an ncb model file stores the three arrays verbatim and
+// rx::view_matcher (serialize.h) reassembles a matcher as spans over the
+// mapping, sharing this exact match_all() path.
+//
 // Results are deterministic: hits are reported in ascending regex index, so
 // "first matching regex wins" (naming-convention semantics) is hits[0].
 #pragma once
@@ -22,6 +29,22 @@
 #include "regex/program.h"
 
 namespace hoiho::rx {
+
+// Flat-trie records (on-disk representation — keep padding-free and pinned).
+struct TrieNodeRec {
+  std::uint32_t edge_off = 0;   // first edge in the edge array
+  std::uint32_t edge_count = 0;
+  std::uint32_t term_off = 0;   // first terminal program index
+  std::uint32_t term_count = 0;
+};
+static_assert(sizeof(TrieNodeRec) == 16);
+
+struct TrieEdgeRec {
+  std::uint32_t node = 0;  // child node index
+  std::uint8_t c = 0;      // edge label
+  std::uint8_t pad[3] = {0, 0, 0};
+};
+static_assert(sizeof(TrieEdgeRec) == 8);
 
 // Reusable result buffer: indices of the matching programs plus a shared
 // capture arena (no per-hit allocation once capacity has warmed).
@@ -64,13 +87,21 @@ class SetMatcher {
   void match_all(std::string_view subject, MatchScratch& scratch, SetMatches& out) const;
 
  private:
-  struct TrieNode {
-    std::vector<std::pair<char, std::uint32_t>> next;  // small fan-out: linear scan
-    std::vector<std::uint32_t> terminal;  // programs whose whole tail ends here
+  friend struct SetMatcherIO;  // serialize.h: trie extraction + view assembly
+
+  // Owned flat-trie backing for finalize()'d matchers; view matchers pin
+  // the model mapping instead (programs then share that same keepalive).
+  struct TrieStorage {
+    std::vector<TrieNodeRec> nodes;
+    std::vector<TrieEdgeRec> edges;
+    std::vector<std::uint32_t> terminals;
   };
 
   std::vector<Program> programs_;
-  std::vector<TrieNode> trie_;  // trie_[0] = root (programs with no literal tail)
+  std::span<const TrieNodeRec> nodes_;  // nodes_[0] = root (no-literal-tail programs)
+  std::span<const TrieEdgeRec> edges_;
+  std::span<const std::uint32_t> terminals_;
+  std::shared_ptr<const void> trie_backing_;
 };
 
 }  // namespace hoiho::rx

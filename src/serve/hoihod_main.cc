@@ -40,6 +40,7 @@
 #include "core/geolocate.h"
 #include "core/hoiho.h"
 #include "core/nc_io.h"
+#include "core/ncb.h"
 #include "fuse/fuser.h"
 #include "fuse/rank.h"
 #include "measure/rtt_io.h"
@@ -102,8 +103,10 @@ int write_demo_model(const std::string& model_path, std::size_t operators,
     stored.push_back(core::StoredConvention{sr.nc, sr.cls});
     check.add(sr.nc);
   }
+  // Extension-dispatched: FILE ending in .ncb gets the binary format the
+  // store mmaps; anything else stays text.
   std::string save_error;
-  if (!core::save_conventions_to_file(model_path, stored, dict, &save_error)) {
+  if (!core::save_model_to_file(model_path, stored, dict, &save_error)) {
     std::fprintf(stderr, "hoihod: %s\n", save_error.c_str());
     return 2;
   }

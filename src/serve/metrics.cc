@@ -46,6 +46,15 @@ Metrics::Metrics(obs::Registry* registry) {
   reload_rejected = r.counter("serve_reload_rejected");
   rollbacks = r.counter("serve_rollbacks");
   worker_stalled = r.counter("serve_worker_stalled");
+
+  // Model-format family (DESIGN.md §15). Registered unconditionally so the
+  // names exist (at zero) even before the first reload — schema guards and
+  // dashboards key on presence.
+  reload_us = r.histogram("serve_reload_us");
+  load_bytes_mapped = r.counter("model_load_bytes_mapped");
+  load_build_us_text = r.counter("model_load_build_us{format=\"text\"}");
+  load_build_us_ncb = r.counter("model_load_build_us{format=\"ncb\"}");
+  load_build_us_ncb_mmap = r.counter("model_load_build_us{format=\"ncb_mmap\"}");
 }
 
 Metrics::Snapshot Metrics::snapshot() const {

@@ -51,6 +51,15 @@ class Metrics {
   obs::Counter rollbacks;         // ROLLBACK verbs that republished an archive
   obs::Counter worker_stalled;    // watchdog: worker stuck on one batch
 
+  // Model-format observability (DESIGN.md §15): end-to-end reload latency
+  // plus per-format load accounting, so dashboards can tell a cheap mmap
+  // republish from a full text parse. Registry-only (STATS2 / METRICS).
+  obs::Histogram reload_us;             // serve_reload_us (publishes + rollbacks)
+  obs::Counter load_bytes_mapped;       // model_load_bytes_mapped (mmap'ed model bytes)
+  obs::Counter load_build_us_text;      // model_load_build_us{format="text"}
+  obs::Counter load_build_us_ncb;       // model_load_build_us{format="ncb"}
+  obs::Counter load_build_us_ncb_mmap;  // model_load_build_us{format="ncb_mmap"}
+
   // Fault tolerance (see DESIGN.md §9).
   obs::Counter deadline_expired;  // lines answered ERR,deadline
   obs::Counter shed_busy;         // lines answered ERR,busy

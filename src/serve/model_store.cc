@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -30,7 +31,19 @@ bool read_file(const std::string& path, std::string* out) {
   return true;
 }
 
-bool write_file_durable(const std::string& path, const std::string& bytes) {
+// Reads just enough of the file to sniff the model format (the ncb magic is
+// 8 bytes). Keeps the mmap reload path from reading the whole model only to
+// decide how to load it.
+bool read_head(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  char buf[8] = {};
+  in.read(buf, sizeof buf);
+  out->assign(buf, static_cast<std::size_t>(in.gcount()));
+  return true;
+}
+
+bool write_file_durable(const std::string& path, std::string_view bytes) {
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -49,10 +62,18 @@ bool write_file_durable(const std::string& path, const std::string& bytes) {
   return true;
 }
 
-// Parses "gen-<N>.nc"; nullopt for anything else in the archive dir.
+// Parses "gen-<N>.nc" / "gen-<N>.ncb"; nullopt for anything else in the
+// archive dir. Archives carry the extension of the format they hold.
 std::optional<std::uint64_t> gen_from_name(std::string_view name) {
-  if (!util::starts_with(name, "gen-") || !util::ends_with(name, ".nc")) return std::nullopt;
-  const std::string_view digits = name.substr(4, name.size() - 4 - 3);
+  if (!util::starts_with(name, "gen-")) return std::nullopt;
+  std::size_t ext = 0;
+  if (util::ends_with(name, ".ncb"))
+    ext = 4;
+  else if (util::ends_with(name, ".nc"))
+    ext = 3;
+  else
+    return std::nullopt;
+  const std::string_view digits = name.substr(4, name.size() - 4 - ext);
   if (digits.empty() || digits.size() > 20) return std::nullopt;
   std::uint64_t v = 0;
   for (const char c : digits) {
@@ -62,8 +83,9 @@ std::optional<std::uint64_t> gen_from_name(std::string_view name) {
   return v;
 }
 
-// Builds a snapshot from parsed conventions — the shared tail of reload and
-// rollback (install has its own copy to keep its always-succeeds contract).
+// Builds a snapshot from parsed conventions — the shared tail of the text
+// reload and rollback paths (install has its own copy to keep its
+// always-succeeds contract).
 std::shared_ptr<ModelSnapshot> build_snapshot(const geo::GeoDictionary& dict,
                                               const std::vector<core::StoredConvention>& loaded,
                                               std::string source,
@@ -80,6 +102,29 @@ std::shared_ptr<ModelSnapshot> build_snapshot(const geo::GeoDictionary& dict,
   snap->convention_count = snap->geolocator.convention_count();
   snap->program_count = snap->geolocator.program_count();
   return snap;
+}
+
+// Binary twin: the Geolocator is assembled as views over the model (no
+// regex recompilation); the snapshot pins the mapping via snap->ncb.
+std::shared_ptr<ModelSnapshot> build_snapshot_ncb(const geo::GeoDictionary& dict,
+                                                  std::shared_ptr<const core::NcbModel> model,
+                                                  std::string source,
+                                                  std::shared_ptr<const fuse::FuseContext> fuse) {
+  auto snap = std::make_shared<ModelSnapshot>(dict);
+  snap->source = std::move(source);
+  snap->fuse = std::move(fuse);
+  snap->format = model->mapped() ? "ncb_mmap" : "ncb";
+  model->build_geolocator(snap->geolocator, &snap->warnings);
+  snap->convention_count = snap->geolocator.convention_count();
+  snap->program_count = snap->geolocator.program_count();
+  snap->ncb = std::move(model);
+  return snap;
+}
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - t0)
+                                        .count());
 }
 
 }  // namespace
@@ -118,21 +163,44 @@ std::optional<std::string> ModelStore::reload() {
 
 std::optional<std::string> ModelStore::reload_locked() {
   if (path_.empty()) return "model store has no file path";
+  const auto t0 = std::chrono::steady_clock::now();
   // Record the stamp before parsing so a write racing the load triggers one
   // more watch cycle rather than being missed.
   loaded_stamp_ = file_stamp(path_);
   if (const auto f = util::failpoint::hit("store.reload"))
     return "model file '" + path_ + "': injected reload failure";
-  std::string bytes;
-  if (!read_file(path_, &bytes)) return "cannot open model file '" + path_ + "'";
 
-  std::string error;
-  std::vector<std::string> warnings;
-  std::istringstream in(bytes);
-  const auto loaded = core::load_conventions(in, dict_, &error, &warnings);
-  if (!loaded) return "model file '" + path_ + "': " + error;
+  // Sniff the format from the first bytes so one store serves both: the ncb
+  // magic picks the binary loader, anything else is text.
+  std::string head;
+  if (!read_head(path_, &head)) return "cannot open model file '" + path_ + "'";
 
-  auto snap = build_snapshot(dict_, *loaded, path_, std::move(warnings), fuse_ctx_);
+  std::shared_ptr<ModelSnapshot> snap;
+  std::string owned_bytes;            // text / heap-ncb bytes, kept for the archive
+  std::string_view archive_bytes;    // what archive_locked persists
+  if (core::detect_model_format(head) == core::ModelFormat::kNcb) {
+    std::string error;
+    std::shared_ptr<const core::NcbModel> model;
+    if (map_binary_) {
+      model = core::NcbModel::open(path_, &error);
+    } else {
+      if (!read_file(path_, &owned_bytes)) return "cannot open model file '" + path_ + "'";
+      model = core::NcbModel::from_bytes(owned_bytes, &error);
+    }
+    if (model == nullptr) return "model file '" + path_ + "': " + error;
+    snap = build_snapshot_ncb(dict_, std::move(model), path_, fuse_ctx_);
+    archive_bytes = snap->ncb->raw_bytes();
+  } else {
+    if (!read_file(path_, &owned_bytes)) return "cannot open model file '" + path_ + "'";
+    std::string error;
+    std::vector<std::string> warnings;
+    std::istringstream in(owned_bytes);
+    const auto loaded = core::load_conventions(in, dict_, &error, &warnings);
+    if (!loaded) return "model file '" + path_ + "': " + error;
+    snap = build_snapshot(dict_, *loaded, path_, std::move(warnings), fuse_ctx_);
+    archive_bytes = owned_bytes;
+  }
+
   if (const auto rejected = canary_check_locked(*snap)) {
     // The candidate parsed but fails the health gate: keep the previous
     // generation serving. loaded_stamp_ was already recorded, so the
@@ -140,10 +208,40 @@ std::optional<std::string> ModelStore::reload_locked() {
     if (metrics_ != nullptr) metrics_->reload_rejected.inc();
     return "model file '" + path_ + "': " + *rejected;
   }
+  const std::string format = snap->format;
+  const std::size_t mapped = snap->ncb != nullptr ? snap->ncb->bytes_mapped() : 0;
   const std::uint64_t gen = next_generation_;
   publish(std::move(snap));
-  archive_locked(gen, bytes);
+  // Stash the load facts even when no metrics are attached yet: the boot
+  // load precedes the server's registry, and set_metrics replays the stash
+  // so the load-path counters are truthful for a daemon that never swaps.
+  pending_load_us_ = static_cast<long long>(elapsed_us(t0));
+  pending_load_format_ = format;
+  pending_load_mapped_ = mapped;
+  if (metrics_ != nullptr) record_pending_load_locked();
+  archive_locked(gen, archive_bytes);
   return std::nullopt;
+}
+
+void ModelStore::record_pending_load_locked() {
+  if (pending_load_us_ < 0) return;
+  const auto us = static_cast<std::uint64_t>(pending_load_us_);
+  metrics_->reload_us.observe(static_cast<double>(us));
+  if (pending_load_format_ == "ncb_mmap") {
+    metrics_->load_build_us_ncb_mmap.add(us);
+    metrics_->load_bytes_mapped.add(pending_load_mapped_);
+  } else if (pending_load_format_ == "ncb") {
+    metrics_->load_build_us_ncb.add(us);
+  } else {
+    metrics_->load_build_us_text.add(us);
+  }
+  pending_load_us_ = -1;
+}
+
+void ModelStore::set_metrics(Metrics* metrics) {
+  std::lock_guard lock(reload_mu_);
+  metrics_ = metrics;
+  if (metrics_ != nullptr) record_pending_load_locked();
 }
 
 void ModelStore::set_keep_generations(std::size_t n) {
@@ -158,8 +256,14 @@ void ModelStore::set_canary(std::string path, std::size_t max_failures) {
   canary_max_failures_ = max_failures;
 }
 
-std::string ModelStore::gen_file(std::uint64_t gen) const {
-  return gens_dir() + "/gen-" + std::to_string(gen) + ".nc";
+void ModelStore::set_map_binary(bool on) {
+  std::lock_guard lock(reload_mu_);
+  map_binary_ = on;
+}
+
+std::string ModelStore::gen_file(std::uint64_t gen, core::ModelFormat format) const {
+  return gens_dir() + "/gen-" + std::to_string(gen) +
+         (format == core::ModelFormat::kNcb ? ".ncb" : ".nc");
 }
 
 std::vector<std::uint64_t> ModelStore::list_generations_locked() const {
@@ -171,6 +275,7 @@ std::vector<std::uint64_t> ModelStore::list_generations_locked() const {
   }
   ::closedir(d);
   std::sort(gens.begin(), gens.end());
+  gens.erase(std::unique(gens.begin(), gens.end()), gens.end());
   return gens;
 }
 
@@ -184,15 +289,17 @@ void ModelStore::scan_archive_locked() {
   if (!gens.empty()) next_generation_ = std::max(next_generation_, gens.back() + 1);
 }
 
-void ModelStore::archive_locked(std::uint64_t gen, const std::string& bytes) {
+void ModelStore::archive_locked(std::uint64_t gen, std::string_view bytes) {
   if (keep_generations_ == 0 || path_.empty()) return;
   ::mkdir(gens_dir().c_str(), 0755);  // EEXIST is the common case
   // Best-effort: a full disk must not turn a healthy publish into a failed
   // reload — the archive exists to serve rollbacks, not to gate serving.
-  if (!write_file_durable(gen_file(gen), bytes)) return;
+  if (!write_file_durable(gen_file(gen, core::detect_model_format(bytes)), bytes)) return;
   std::vector<std::uint64_t> gens = list_generations_locked();
-  for (std::size_t i = 0; gens.size() - i > keep_generations_; ++i)
-    ::unlink(gen_file(gens[i]).c_str());
+  for (std::size_t i = 0; gens.size() - i > keep_generations_; ++i) {
+    ::unlink(gen_file(gens[i], core::ModelFormat::kText).c_str());
+    ::unlink(gen_file(gens[i], core::ModelFormat::kNcb).c_str());
+  }
 }
 
 std::optional<std::string> ModelStore::canary_check_locked(
@@ -236,19 +343,40 @@ std::optional<std::string> ModelStore::rollback(std::uint64_t gen,
   std::lock_guard lock(reload_mu_);
   if (path_.empty()) return "model store has no file path";
   if (keep_generations_ == 0) return "generation archive disabled (--keep-generations)";
+  const auto t0 = std::chrono::steady_clock::now();
+  // Probe both archive extensions; the bytes themselves (not the name)
+  // pick the loader, so a mislabeled archive still restores correctly.
+  std::string source = gen_file(gen, core::ModelFormat::kText);
   std::string bytes;
-  if (!read_file(gen_file(gen), &bytes))
-    return "generation " + std::to_string(gen) + " is not in the archive";
-  std::string error;
-  std::vector<std::string> warnings;
-  std::istringstream in(bytes);
-  const auto loaded = core::load_conventions(in, dict_, &error, &warnings);
-  if (!loaded) return "archived generation " + std::to_string(gen) + ": " + error;
-  auto snap = build_snapshot(dict_, *loaded, gen_file(gen), std::move(warnings), fuse_ctx_);
+  if (!read_file(source, &bytes)) {
+    source = gen_file(gen, core::ModelFormat::kNcb);
+    if (!read_file(source, &bytes))
+      return "generation " + std::to_string(gen) + " is not in the archive";
+  }
+  std::shared_ptr<ModelSnapshot> snap;
+  if (core::detect_model_format(bytes) == core::ModelFormat::kNcb) {
+    // Archive restore is the opt-in-to-full-verification path: from_bytes
+    // checks the payload hash, catching archives that rotted on disk.
+    std::string error;
+    auto model = core::NcbModel::from_bytes(bytes, &error);
+    if (model == nullptr)
+      return "archived generation " + std::to_string(gen) + ": " + error;
+    snap = build_snapshot_ncb(dict_, std::move(model), source, fuse_ctx_);
+  } else {
+    std::string error;
+    std::vector<std::string> warnings;
+    std::istringstream in(bytes);
+    const auto loaded = core::load_conventions(in, dict_, &error, &warnings);
+    if (!loaded) return "archived generation " + std::to_string(gen) + ": " + error;
+    snap = build_snapshot(dict_, *loaded, source, std::move(warnings), fuse_ctx_);
+  }
   const std::uint64_t published = next_generation_;
   publish(std::move(snap));
   archive_locked(published, bytes);
-  if (metrics_ != nullptr) metrics_->rollbacks.inc();
+  if (metrics_ != nullptr) {
+    metrics_->rollbacks.inc();
+    metrics_->reload_us.observe(static_cast<double>(elapsed_us(t0)));
+  }
   if (new_generation != nullptr) *new_generation = published;
   return std::nullopt;
 }

@@ -26,6 +26,7 @@
 
 #include "core/geolocate.h"
 #include "core/nc_io.h"
+#include "core/ncb.h"
 #include "fuse/fuser.h"
 #include "geo/dictionary.h"
 #include "serve/metrics.h"
@@ -39,7 +40,15 @@ struct ModelSnapshot {
   std::size_t convention_count = 0;  // usable conventions actually added
   std::size_t program_count = 0;     // compiled regex programs prebuilt in add()
   std::string source;                // file path or "<memory>"
+  std::string format = "text";       // "text" | "ncb" | "ncb_mmap"
   std::vector<std::string> warnings; // loader notes (dropped hints, dupes)
+
+  // When the snapshot was built from a binary model, this pins the mapping
+  // (or aligned buffer) the Geolocator's matchers are views over. Must
+  // outlive the geolocator member — declared after it, destroyed first is
+  // fine because the matchers also hold their own keepalives; this handle
+  // additionally lets admin surfaces report bytes_mapped().
+  std::shared_ptr<const core::NcbModel> ncb;
 
   // Measurement-side context for the GEO verb (null = hostname-only
   // fusion). Shared across generations: a model reload keeps the context,
@@ -115,8 +124,18 @@ class ModelStore {
   void set_canary(std::string path, std::size_t max_failures = 0);
 
   // Counters for rejected reloads / rollbacks (serve_reload_rejected,
-  // serve_rollbacks); null = uncounted. Must outlive the store.
-  void set_metrics(Metrics* metrics) { metrics_ = metrics; }
+  // serve_rollbacks) and the model load-path metrics; null = uncounted.
+  // Must outlive the store. A load that happened before metrics were
+  // attached (the daemon's boot load precedes the server's registry) is
+  // replayed here so the load-path counters are truthful for a process
+  // that never hot-swaps.
+  void set_metrics(Metrics* metrics);
+
+  // Binary models are mmap'ed by default (reload cost O(pages touched)).
+  // false loads them into an owned buffer instead — with full payload
+  // verification — for callers that must not hold a file mapping (tests,
+  // benches comparing load strategies).
+  void set_map_binary(bool on);
 
   // Archived generation numbers, ascending. Empty when archiving is off.
   std::vector<std::uint64_t> list_generations();
@@ -153,11 +172,14 @@ class ModelStore {
 
   // Lineage helpers; all require reload_mu_.
   std::string gens_dir() const { return path_ + ".gens"; }
-  std::string gen_file(std::uint64_t gen) const;
+  // Archives carry the extension of the format they hold: gen-<N>.nc for
+  // text bytes, gen-<N>.ncb for binary (rollback probes both).
+  std::string gen_file(std::uint64_t gen, core::ModelFormat format) const;
   std::vector<std::uint64_t> list_generations_locked() const;
   void scan_archive_locked();  // advances next_generation_ past archived gens
-  void archive_locked(std::uint64_t gen, const std::string& bytes);
+  void archive_locked(std::uint64_t gen, std::string_view bytes);
   std::optional<std::string> canary_check_locked(const ModelSnapshot& candidate) const;
+  void record_pending_load_locked();  // flushes the stashed load into metrics_
 
   const geo::GeoDictionary& dict_;
   std::string path_;
@@ -165,9 +187,13 @@ class ModelStore {
   std::mutex reload_mu_;       // serializes reload/install; readers never take it
   std::uint64_t next_generation_ = 1;  // guarded by reload_mu_
   std::size_t keep_generations_ = 0;   // guarded by reload_mu_
+  bool map_binary_ = true;             // guarded by reload_mu_
   std::string canary_path_;            // guarded by reload_mu_
   std::size_t canary_max_failures_ = 0;  // guarded by reload_mu_
   Metrics* metrics_ = nullptr;         // set once before serving; not guarded
+  long long pending_load_us_ = -1;     // boot-load cost awaiting metrics; reload_mu_
+  std::string pending_load_format_;    // guarded by reload_mu_
+  std::size_t pending_load_mapped_ = 0;  // guarded by reload_mu_
   FileStamp loaded_stamp_;             // stamp at last (attempted) load; reload_mu_
   FileStamp pending_stamp_;            // candidate stamp awaiting debounce; reload_mu_
   bool pending_valid_ = false;         // guarded by reload_mu_

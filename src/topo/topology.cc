@@ -20,7 +20,7 @@ bool Topology::add_interface(RouterId router, std::string_view address,
   ifc.address = std::string(address);
   bool ok = true;
   if (!raw_hostname.empty()) {
-    ifc.hostname = dns::parse_hostname(raw_hostname, psl);
+    ifc.hostname = dns::parse_hostname(raw_hostname, arena_, psl);
     ok = ifc.hostname.has_value();
   }
   routers_[router].interfaces.push_back(std::move(ifc));

@@ -16,6 +16,7 @@
 
 #include "dns/hostname.h"
 #include "geo/location.h"
+#include "util/arena.h"
 
 namespace hoiho::topo {
 
@@ -77,8 +78,17 @@ class Topology {
   // is alive and unmodified. Groups are sorted by suffix for determinism.
   std::vector<SuffixGroup> group_by_suffix(std::size_t min_hostnames = 1) const;
 
+  // Bytes of canonical hostname text interned in this topology's arena —
+  // the per-batch string footprint the streaming learner frees wholesale.
+  std::size_t hostname_bytes() const { return arena_.bytes_used(); }
+
  private:
   std::vector<Router> routers_;
+  // Backs every Interface hostname's bytes (dns::Hostname is a view). One
+  // arena per topology keeps a streamed batch's names contiguous and makes
+  // freeing the batch a chunk drop, not N string frees. Moves with the
+  // topology (views stay valid); makes Topology move-only.
+  util::Arena arena_;
 };
 
 }  // namespace hoiho::topo

@@ -1,0 +1,89 @@
+// Chunked bump allocator for batch-scoped byte storage.
+//
+// The streaming learner allocates one short string per hostname (the
+// canonical lower-cased PTR name) and frees them all together when the
+// batch retires — the textbook arena shape. Individually heap-allocated
+// std::strings pay a malloc/free per name plus per-allocation headers and
+// scatter a batch's hostnames across the heap; an arena packs them
+// contiguously (cache-friendly for the tagger's sequential sweeps) and
+// frees the whole batch by dropping chunks.
+//
+// Not thread-safe; one arena per owner (Topology, test fixture). Move-only:
+// views handed out point into the chunks, so a copy could not preserve
+// them. Moving the arena keeps every view valid (chunks move by pointer).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace hoiho::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = 64 * 1024) : chunk_bytes_(chunk_bytes) {}
+
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // `n` bytes with the given alignment (power of two). Never null; a
+  // request larger than the chunk size gets a dedicated chunk.
+  char* alloc(std::size_t n, std::size_t align = 1) {
+    if (!chunks_.empty()) {
+      Chunk& c = chunks_.back();
+      const std::size_t at = (c.used + (align - 1)) & ~(align - 1);
+      if (at + n <= c.size) {
+        c.used = at + n;
+        used_ += n;
+        return c.data.get() + at;
+      }
+    }
+    const std::size_t size = n > chunk_bytes_ ? n : chunk_bytes_;
+    Chunk c{std::make_unique<char[]>(size), size, n};
+    char* p = c.data.get();
+    chunks_.push_back(std::move(c));
+    used_ += n;
+    return p;
+  }
+
+  // Copies `s` into the arena; the returned view lives as long as the arena.
+  std::string_view intern(std::string_view s) {
+    if (s.empty()) return {};
+    char* p = alloc(s.size());
+    std::memcpy(p, s.data(), s.size());
+    return {p, s.size()};
+  }
+
+  // Payload bytes handed out (excludes alignment waste and chunk slack).
+  std::size_t bytes_used() const { return used_; }
+
+  // Total bytes reserved from the heap.
+  std::size_t bytes_reserved() const {
+    std::size_t n = 0;
+    for (const Chunk& c : chunks_) n += c.size;
+    return n;
+  }
+
+  // Drops every chunk; all views into the arena are invalidated.
+  void clear() {
+    chunks_.clear();
+    used_ = 0;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::size_t chunk_bytes_;
+  std::size_t used_ = 0;
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace hoiho::util

@@ -26,7 +26,7 @@ class ApparentTest : public ::testing::Test {
 
   // Registers hostname `raw` for router `r` and tags it.
   TaggedHostname tag(topo::RouterId r, std::string_view raw, ApparentConfig config = {}) {
-    hostnames_.push_back(*dns::parse_hostname(raw));
+    hostnames_.push_back(*dns::parse_hostname(raw, arena_));
     const ApparentTagger tagger(dict_, meas_, config);
     return tagger.tag(topo::HostnameRef{r, &hostnames_.back()});
   }
@@ -40,6 +40,7 @@ class ApparentTest : public ::testing::Test {
 
   const geo::GeoDictionary& dict_;
   measure::Measurements meas_;
+  util::Arena arena_;  // backs hostnames_ (dns::Hostname is a view)
   std::deque<dns::Hostname> hostnames_;
 };
 

@@ -36,12 +36,13 @@ class BaselineTest : public ::testing::Test {
   }
 
   const dns::Hostname& host(std::string_view raw) {
-    hostnames_.push_back(*dns::parse_hostname(raw));
+    hostnames_.push_back(*dns::parse_hostname(raw, arena_));
     return hostnames_.back();
   }
 
   const geo::GeoDictionary& dict_;
   measure::Measurements meas_;
+  util::Arena arena_;  // backs hostnames_ (dns::Hostname is a view)
   std::deque<dns::Hostname> hostnames_;
 };
 

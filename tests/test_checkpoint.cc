@@ -21,6 +21,7 @@
 
 #include "core/hoiho.h"
 #include "core/nc_io.h"
+#include "core/ncb.h"
 #include "obs/metrics.h"
 #include "sim/streaming.h"
 #include "util/failpoint.h"
@@ -287,6 +288,63 @@ TEST(Checkpoint, UncheckpointedRunsAreUnaffected) {
   EXPECT_EQ(snap.value("checkpoint_discarded"), 0u);
   const StreamRun checkpointed = run_with_checkpoint(fresh_dir("ckpt_off_golden"));
   EXPECT_EQ(model_bytes(result), model_bytes(checkpointed.result));
+}
+
+TEST(Checkpoint, RunStreamEmitsModelOutInTheExtensionFormat) {
+  // The learner writes the serving model itself — ".ncb" picks the binary
+  // format, and the emitted file round-trips through the binary loader to
+  // the same conventions the run produced.
+  const std::string path = ::testing::TempDir() + "/stream_model_out.ncb";
+  std::remove(path.c_str());
+  sim::StreamingWorld world(geo::builtin_dictionary(), small_config());
+  HoihoConfig hc;
+  hc.threads = 1;
+  hc.model_out = path;
+  obs::Registry registry;
+  hc.registry = &registry;
+  const HoihoResult result = Hoiho(geo::builtin_dictionary(), hc).run_stream(world);
+  EXPECT_EQ(registry.snapshot().value("pipeline_model_save_failures"), 0u);
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "run_stream did not write " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  ASSERT_EQ(detect_model_format(os.str()), ModelFormat::kNcb);
+
+  std::string err;
+  const auto model = NcbModel::from_bytes(os.str(), &err);
+  ASSERT_NE(model, nullptr) << err;
+  std::size_t expected = 0;
+  for (const SuffixResult& sr : result.suffixes)
+    if (sr.has_nc()) ++expected;
+  EXPECT_EQ(model->convention_count(), expected);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedRunDoesNotOverwriteModelOut) {
+  // A commit failure leaves a prefix of the stream, not the model the
+  // caller asked for: the previous good file must survive untouched.
+  const std::string path = ::testing::TempDir() + "/stream_model_trunc.ncb";
+  const std::string sentinel = "previous good model bytes";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << sentinel;
+  }
+  const std::string dir = fresh_dir("ckpt_model_trunc");
+  sim::StreamingWorld world(geo::builtin_dictionary(), small_config());
+  HoihoConfig hc;
+  hc.threads = 1;
+  hc.checkpoint_dir = dir;
+  hc.model_out = path;
+  ASSERT_TRUE(util::failpoint::configure("checkpoint_write", "error:EIO,every=2,times=1"));
+  Hoiho(geo::builtin_dictionary(), hc).run_stream(world);
+  util::failpoint::reset();
+
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  EXPECT_EQ(os.str(), sentinel);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -30,7 +30,7 @@ class EvalTest : public ::testing::Test {
   }
 
   TaggedHostname tag(topo::RouterId r, std::string_view raw) {
-    hostnames_.push_back(*dns::parse_hostname(raw));
+    hostnames_.push_back(*dns::parse_hostname(raw, arena_));
     const ApparentTagger tagger(dict_, meas_, {});
     return tagger.tag(topo::HostnameRef{r, &hostnames_.back()});
   }
@@ -52,6 +52,7 @@ class EvalTest : public ::testing::Test {
 
   const geo::GeoDictionary& dict_;
   measure::Measurements meas_;
+  util::Arena arena_;  // backs hostnames_ (dns::Hostname is a view)
   std::deque<dns::Hostname> hostnames_;
 };
 

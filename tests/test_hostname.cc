@@ -24,20 +24,23 @@ TEST(ValidHostname, RejectsMalformed) {
 }
 
 TEST(ParseHostname, CanonicalizesCase) {
-  const auto h = parse_hostname("Core1.ASH1.He.Net");
+  util::Arena arena;
+  const auto h = parse_hostname("Core1.ASH1.He.Net", arena);
   ASSERT_TRUE(h.has_value());
   EXPECT_EQ(h->full, "core1.ash1.he.net");
 }
 
 TEST(ParseHostname, SuffixAndPrefix) {
-  const auto h = parse_hostname("xe-0-0-ash1-bcr1.bb.ebay.com");
+  std::string storage;
+  const auto h = parse_hostname("xe-0-0-ash1-bcr1.bb.ebay.com", storage);
   ASSERT_TRUE(h.has_value());
   EXPECT_EQ(h->suffix(), "ebay.com");
   EXPECT_EQ(h->prefix(), "xe-0-0-ash1-bcr1.bb");
 }
 
 TEST(ParseHostname, ApexHasEmptyPrefix) {
-  const auto h = parse_hostname("ebay.com");
+  std::string storage;
+  const auto h = parse_hostname("ebay.com", storage);
   ASSERT_TRUE(h.has_value());
   EXPECT_EQ(h->suffix(), "ebay.com");
   EXPECT_EQ(h->prefix(), "");
@@ -45,11 +48,15 @@ TEST(ParseHostname, ApexHasEmptyPrefix) {
 }
 
 TEST(ParseHostname, RejectsUnknownTld) {
-  EXPECT_FALSE(parse_hostname("router.something.invalidtld").has_value());
+  util::Arena arena;
+  EXPECT_FALSE(parse_hostname("router.something.invalidtld", arena).has_value());
+  // Rejects leave no residue in the arena.
+  EXPECT_EQ(arena.bytes_used(), 0u);
 }
 
 TEST(ParseHostname, LabelsCarryPositionsInFull) {
-  const auto h = parse_hostname("gw1.sfo16.alter.net");
+  util::Arena arena;
+  const auto h = parse_hostname("gw1.sfo16.alter.net", arena);
   ASSERT_TRUE(h.has_value());
   const auto labels = h->labels();
   ASSERT_EQ(labels.size(), 2u);
@@ -62,7 +69,8 @@ TEST(ParseHostname, LabelsCarryPositionsInFull) {
 TEST(ParseHostname, CustomPsl) {
   PublicSuffixList psl;
   psl.add_rule("lab");
-  const auto h = parse_hostname("r1.group.lab", psl);
+  std::string storage;
+  const auto h = parse_hostname("r1.group.lab", storage, psl);
   ASSERT_TRUE(h.has_value());
   EXPECT_EQ(h->suffix(), "group.lab");
 }

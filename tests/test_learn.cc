@@ -30,7 +30,7 @@ class LearnTest : public ::testing::Test {
     const topo::RouterId r = next_router_++;
     for (measure::VpId v = 0; v < meas_.vps.size(); ++v)
       meas_.pings.record(r, v, v == vp ? rtt : 300.0);
-    hostnames_.push_back(*dns::parse_hostname(raw));
+    hostnames_.push_back(*dns::parse_hostname(raw, arena_));
     const ApparentTagger tagger(dict_, meas_, {});
     tagged_.push_back(tagger.tag(topo::HostnameRef{r, &hostnames_.back()}));
   }
@@ -77,6 +77,7 @@ class LearnTest : public ::testing::Test {
 
   const geo::GeoDictionary& dict_;
   measure::Measurements meas_;
+  util::Arena arena_;  // backs hostnames_ (dns::Hostname is a view)
   std::deque<dns::Hostname> hostnames_;
   std::vector<TaggedHostname> tagged_;
   topo::RouterId next_router_ = 0;

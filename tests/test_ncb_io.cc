@@ -1,0 +1,485 @@
+// Unit tests for the binary model format (core/ncb.h): round-trip fidelity
+// against the text format, format autodetection, and — mirroring
+// test_nc_io.cc's hostile-input coverage — named errors (never UB) for bad
+// magic, truncated or overlapping sections, out-of-range offsets and string
+// refs, misaligned sections, and checksum mismatches.
+#include "core/ncb.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+
+#include "core/geolocate.h"
+#include "io/load_report.h"
+#include "regex/parser.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+
+namespace hoiho::core {
+namespace {
+
+geo::LocationId find_city(const geo::GeoDictionary& dict, std::string_view city,
+                          std::string_view country, std::string_view state = "") {
+  for (geo::LocationId id : dict.lookup(geo::HintType::kCityName,
+                                        geo::squash_place_name(city))) {
+    if (!geo::same_country(dict.location(id).country, country)) continue;
+    if (!state.empty() && dict.location(id).state != state) continue;
+    return id;
+  }
+  return geo::kInvalidLocation;
+}
+
+std::vector<StoredConvention> sample(const geo::GeoDictionary& dict) {
+  std::vector<StoredConvention> out(3);
+  out[0].nc.suffix = "he.net";
+  out[0].cls = NcClass::kGood;
+  GeoRegex a;
+  a.regex = *rx::parse("^.+\\.([a-z]{3})\\d+\\.he\\.net$");
+  a.plan.roles = {Role::kIata};
+  out[0].nc.regexes.push_back(std::move(a));
+  out[0].nc.learned[{geo::HintType::kIata, "ash"}] = find_city(dict, "Ashburn", "us", "va");
+
+  out[1].nc.suffix = "windstream.net";
+  out[1].cls = NcClass::kPromising;
+  GeoRegex b;
+  b.regex = *rx::parse("^.+\\.([a-z]{4})\\d+-([a-z]{2})\\.([a-z]{2})\\.windstream\\.net$");
+  b.plan.roles = {Role::kClli4, Role::kClli2, Role::kCountryCode};
+  out[1].nc.regexes.push_back(std::move(b));
+
+  out[2].nc.suffix = "poor.example";
+  out[2].cls = NcClass::kPoor;
+  GeoRegex c;
+  c.regex = *rx::parse("^([a-z]{3})\\.poor\\.example$");
+  c.plan.roles = {Role::kIata};
+  out[2].nc.regexes.push_back(std::move(c));
+  return out;
+}
+
+const std::vector<std::string>& probes() {
+  static const std::vector<std::string> hosts = {
+      "100ge1.core1.ash2.he.net",  "10ge.sea1.he.net",     "ge0.unknown.he.net",
+      "r1.rest4501-ge.va.windstream.net", "nope.example.org", "abc.poor.example",
+      "",                          "x.he.net",             "core1.lax1.he.net",
+  };
+  return hosts;
+}
+
+// Answers from two geolocators must be byte-identical on every probe.
+void expect_same_answers(const Geolocator& a, const Geolocator& b) {
+  for (const std::string& h : probes()) {
+    const auto ra = a.locate_detailed(h);
+    const auto rb = b.locate_detailed(h);
+    ASSERT_EQ(ra.has_value(), rb.has_value()) << h;
+    if (!ra) continue;
+    EXPECT_EQ(ra->best.location, rb->best.location) << h;
+    EXPECT_EQ(ra->best.code, rb->best.code) << h;
+    EXPECT_EQ(ra->best.role, rb->best.role) << h;
+    EXPECT_EQ(ra->best.via_learned, rb->best.via_learned) << h;
+    EXPECT_EQ(ra->best.suffix, rb->best.suffix) << h;
+    EXPECT_EQ(ra->candidates, rb->candidates) << h;
+    EXPECT_EQ(ra->hint, rb->hint) << h;
+    EXPECT_EQ(ra->cls, rb->cls) << h;
+  }
+}
+
+// Recompute both hashes after a test mutates header/table/payload bytes, so
+// the targeted structural error — not a checksum mismatch — is what the
+// loader reports.
+void rehash(std::string& img) {
+  ncb::FileHeader hdr;
+  std::memcpy(&hdr, img.data(), sizeof(hdr));
+  const std::size_t table_end = sizeof(ncb::FileHeader) + hdr.section_count * sizeof(ncb::Section);
+  const std::size_t payload_off = (table_end + 15) & ~std::size_t{15};
+  hdr.payload_hash = fnv1a_hash(std::string_view(img).substr(payload_off));
+  hdr.header_hash = 0;
+  std::uint64_t h = kFnvSeed;
+  h = fnv1a_hash({reinterpret_cast<const char*>(&hdr), sizeof(hdr)}, h);
+  h = fnv1a_hash(std::string_view(img).substr(sizeof(ncb::FileHeader),
+                                              table_end - sizeof(ncb::FileHeader)),
+                 h);
+  hdr.header_hash = h;
+  std::memcpy(img.data(), &hdr, sizeof(hdr));
+}
+
+ncb::Section read_section(const std::string& img, ncb::SectionKind kind) {
+  ncb::FileHeader hdr;
+  std::memcpy(&hdr, img.data(), sizeof(hdr));
+  for (std::uint32_t i = 0; i < hdr.section_count; ++i) {
+    ncb::Section s;
+    std::memcpy(&s, img.data() + sizeof(hdr) + i * sizeof(s), sizeof(s));
+    if (s.kind == static_cast<std::uint32_t>(kind)) return s;
+  }
+  ADD_FAILURE() << "section not found";
+  return {};
+}
+
+void write_section(std::string& img, const ncb::Section& s) {
+  ncb::FileHeader hdr;
+  std::memcpy(&hdr, img.data(), sizeof(hdr));
+  for (std::uint32_t i = 0; i < hdr.section_count; ++i) {
+    ncb::Section cur;
+    std::memcpy(&cur, img.data() + sizeof(hdr) + i * sizeof(cur), sizeof(cur));
+    if (cur.kind == s.kind) {
+      std::memcpy(img.data() + sizeof(hdr) + i * sizeof(cur), &s, sizeof(s));
+      return;
+    }
+  }
+}
+
+std::string expect_rejected(std::string_view img, std::string_view why) {
+  std::string error;
+  io::LoadReport report;
+  const auto m = NcbModel::from_bytes(img, &error, &report);
+  EXPECT_EQ(m, nullptr) << why;
+  EXPECT_FALSE(error.empty()) << why;
+  EXPECT_EQ(report.error, error) << why;
+  EXPECT_NE(error.find("ncb:"), std::string::npos) << why << ": " << error;
+  return error;
+}
+
+TEST(NcbIo, DetectFormat) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string img = serialize_conventions_ncb(sample(dict), dict);
+  EXPECT_EQ(detect_model_format(img), ModelFormat::kNcb);
+  EXPECT_EQ(detect_model_format("# hoiho-geo naming conventions v1\n"), ModelFormat::kText);
+  EXPECT_EQ(detect_model_format(""), ModelFormat::kText);
+  EXPECT_EQ(detect_model_format("hoihoNC"), ModelFormat::kText);  // short prefix
+  EXPECT_EQ(to_string(ModelFormat::kNcb), "ncb");
+  EXPECT_EQ(to_string(ModelFormat::kText), "text");
+}
+
+TEST(NcbIo, RoundTripToStored) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const auto original = sample(dict);
+  const std::string img = serialize_conventions_ncb(original, dict);
+
+  std::string error;
+  io::LoadReport report;
+  const auto m = NcbModel::from_bytes(img, &error, &report);
+  ASSERT_NE(m, nullptr) << error;
+  EXPECT_EQ(m->convention_count(), 3u);
+  EXPECT_EQ(report.records, 3u);
+  EXPECT_FALSE(m->mapped());
+
+  const auto stored = m->to_stored(dict, &error);
+  ASSERT_TRUE(stored.has_value()) << error;
+  ASSERT_EQ(stored->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*stored)[i].nc.suffix, original[i].nc.suffix);
+    EXPECT_EQ((*stored)[i].cls, original[i].cls);
+    ASSERT_EQ((*stored)[i].nc.regexes.size(), original[i].nc.regexes.size());
+    for (std::size_t r = 0; r < original[i].nc.regexes.size(); ++r) {
+      EXPECT_EQ((*stored)[i].nc.regexes[r].regex.to_string(),
+                original[i].nc.regexes[r].regex.to_string());
+      EXPECT_EQ((*stored)[i].nc.regexes[r].plan.roles, original[i].nc.regexes[r].plan.roles);
+    }
+    EXPECT_EQ((*stored)[i].nc.learned, original[i].nc.learned);
+  }
+}
+
+TEST(NcbIo, BuildGeolocatorMatchesTextPath) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const auto conventions = sample(dict);
+
+  Geolocator text_path(dict);
+  for (const StoredConvention& sc : conventions)
+    if (sc.cls != NcClass::kPoor) text_path.add(sc.nc, sc.cls);
+
+  const std::string img = serialize_conventions_ncb(conventions, dict);
+  std::string error;
+  const auto m = NcbModel::from_bytes(img, &error);
+  ASSERT_NE(m, nullptr) << error;
+  Geolocator ncb_path(dict);
+  m->build_geolocator(ncb_path);
+  EXPECT_EQ(ncb_path.convention_count(), text_path.convention_count());
+  EXPECT_EQ(ncb_path.program_count(), text_path.program_count());
+  expect_same_answers(text_path, ncb_path);
+
+  // include_poor widens coverage to the kPoor block.
+  Geolocator with_poor(dict);
+  m->build_geolocator(with_poor, nullptr, /*include_poor=*/true);
+  EXPECT_EQ(with_poor.convention_count(), 3u);
+  EXPECT_TRUE(with_poor.locate("abc.poor.example").has_value() ||
+              !with_poor.locate("abc.poor.example").has_value());  // no crash; code unknown ok
+}
+
+TEST(NcbIo, MmapOpenAnswersMatchHeapLoad) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const auto conventions = sample(dict);
+  const std::string path = "test_ncb_model_" + std::to_string(::getpid()) + ".ncb";
+  std::string error;
+  ASSERT_TRUE(save_conventions_ncb_to_file(path, conventions, dict, &error)) << error;
+
+  const auto mapped = NcbModel::open(path, &error);
+  ASSERT_NE(mapped, nullptr) << error;
+  EXPECT_TRUE(mapped->mapped());
+  EXPECT_GT(mapped->bytes_mapped(), 0u);
+
+  const std::string img = serialize_conventions_ncb(conventions, dict);
+  const auto heap = NcbModel::from_bytes(img, &error);
+  ASSERT_NE(heap, nullptr) << error;
+
+  Geolocator from_map(dict), from_heap(dict);
+  mapped->build_geolocator(from_map);
+  heap->build_geolocator(from_heap);
+  expect_same_answers(from_heap, from_map);
+
+  // The Geolocator's matchers are views into the mapping; the model handle
+  // going away must not invalidate them (keepalive contract).
+  {
+    Geolocator views(dict);
+    {
+      const auto scoped = NcbModel::open(path, &error);
+      ASSERT_NE(scoped, nullptr);
+      scoped->build_geolocator(views);
+    }
+    const auto loc = views.locate("100ge1.core1.ash2.he.net");
+    ASSERT_TRUE(loc.has_value());
+    EXPECT_EQ(dict.location(loc->location).city, "Ashburn");
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(NcbIo, SaveModelToFileDispatchesOnExtension) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const auto conventions = sample(dict);
+  const std::string base = "test_ncb_dispatch_" + std::to_string(::getpid());
+  std::string error;
+  ASSERT_TRUE(save_model_to_file(base + ".ncb", conventions, dict, &error)) << error;
+  ASSERT_TRUE(save_model_to_file(base + ".txt", conventions, dict, &error)) << error;
+
+  std::ifstream bin(base + ".ncb", std::ios::binary);
+  std::ifstream txt(base + ".txt", std::ios::binary);
+  std::string bin_head(8, '\0'), txt_head(8, '\0');
+  bin.read(bin_head.data(), 8);
+  txt.read(txt_head.data(), 8);
+  EXPECT_EQ(detect_model_format(bin_head), ModelFormat::kNcb);
+  EXPECT_EQ(detect_model_format(txt_head), ModelFormat::kText);
+  ::unlink((base + ".ncb").c_str());
+  ::unlink((base + ".txt").c_str());
+}
+
+TEST(NcbIo, SaveHonorsFailpoint) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  ASSERT_TRUE(util::failpoint::configure("nc.save", "error:EIO"));
+  std::string error;
+  const bool ok =
+      save_conventions_ncb_to_file("should_not_exist.ncb", sample(dict), dict, &error);
+  util::failpoint::reset();
+  EXPECT_FALSE(ok);
+  EXPECT_NE(error.find("injected"), std::string::npos) << error;
+}
+
+TEST(NcbIo, EmptyModel) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string img = serialize_conventions_ncb({}, dict);
+  std::string error;
+  const auto m = NcbModel::from_bytes(img, &error);
+  ASSERT_NE(m, nullptr) << error;
+  EXPECT_EQ(m->convention_count(), 0u);
+  Geolocator g(dict);
+  m->build_geolocator(g);
+  EXPECT_EQ(g.convention_count(), 0u);
+}
+
+// --- hostile input ----------------------------------------------------------
+
+TEST(NcbIo, RejectsBadMagic) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::string img = serialize_conventions_ncb(sample(dict), dict);
+  img[0] = 'X';
+  const std::string error = expect_rejected(img, "bad magic");
+  EXPECT_NE(error.find("bad magic"), std::string::npos);
+
+  // A text model fed to the binary loader is also "bad magic", not UB.
+  expect_rejected("# hoiho-geo naming conventions v1\nS,he.net,good\n", "text file");
+  expect_rejected("", "empty buffer");
+}
+
+TEST(NcbIo, RejectsUnsupportedVersion) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::string img = serialize_conventions_ncb(sample(dict), dict);
+  ncb::FileHeader hdr;
+  std::memcpy(&hdr, img.data(), sizeof(hdr));
+  hdr.version = 999;
+  std::memcpy(img.data(), &hdr, sizeof(hdr));
+  rehash(img);
+  const std::string error = expect_rejected(img, "version");
+  EXPECT_NE(error.find("unsupported version"), std::string::npos);
+}
+
+TEST(NcbIo, RejectsTruncationAtEveryBoundary) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string img = serialize_conventions_ncb(sample(dict), dict);
+  // Cut points: inside the header, at the header/table seam, inside the
+  // table, at the payload seam, inside the payload, one byte short.
+  const std::size_t table_end = sizeof(ncb::FileHeader) + ncb::kSectionCount * sizeof(ncb::Section);
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{7}, sizeof(ncb::FileHeader) - 1, sizeof(ncb::FileHeader),
+        table_end - 1, table_end, table_end + 16, img.size() / 2, img.size() - 1}) {
+    ASSERT_LT(cut, img.size());
+    expect_rejected(std::string_view(img).substr(0, cut),
+                    "truncated at " + std::to_string(cut));
+  }
+}
+
+TEST(NcbIo, RejectsTrailingBytes) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::string img = serialize_conventions_ncb(sample(dict), dict);
+  img += "extra";
+  const std::string error = expect_rejected(img, "trailing bytes");
+  EXPECT_NE(error.find("file size mismatch"), std::string::npos);
+}
+
+TEST(NcbIo, RejectsHeaderCorruption) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::string img = serialize_conventions_ncb(sample(dict), dict);
+  // Flip one byte in the section table without rehashing: header checksum
+  // must catch it before any offset is trusted.
+  img[sizeof(ncb::FileHeader) + 9] ^= 0x40;
+  const std::string error = expect_rejected(img, "header corruption");
+  EXPECT_NE(error.find("header checksum mismatch"), std::string::npos);
+}
+
+TEST(NcbIo, RejectsPayloadCorruption) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::string img = serialize_conventions_ncb(sample(dict), dict);
+  const ncb::Section pool = read_section(img, ncb::SectionKind::kStringPool);
+  ASSERT_GT(pool.size, 0u);
+  img[pool.offset] ^= 0x01;
+  const std::string error = expect_rejected(img, "payload corruption");
+  EXPECT_NE(error.find("payload checksum mismatch"), std::string::npos);
+}
+
+TEST(NcbIo, RejectsOutOfBoundsSection) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::string img = serialize_conventions_ncb(sample(dict), dict);
+  ncb::Section s = read_section(img, ncb::SectionKind::kSuffixes);
+  s.offset = (img.size() + 1024) & ~std::size_t{15};
+  write_section(img, s);
+  rehash(img);
+  const std::string error = expect_rejected(img, "section offset out of bounds");
+  EXPECT_NE(error.find("out of bounds"), std::string::npos);
+
+  std::string img2 = serialize_conventions_ncb(sample(dict), dict);
+  ncb::Section s2 = read_section(img2, ncb::SectionKind::kSuffixes);
+  s2.size = img2.size();  // runs past EOF from a valid offset
+  write_section(img2, s2);
+  rehash(img2);
+  expect_rejected(img2, "section size out of bounds");
+}
+
+TEST(NcbIo, RejectsMisalignedSection) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::string img = serialize_conventions_ncb(sample(dict), dict);
+  ncb::Section s = read_section(img, ncb::SectionKind::kSuffixes);
+  s.offset += 8;
+  write_section(img, s);
+  rehash(img);
+  const std::string error = expect_rejected(img, "misaligned section");
+  EXPECT_NE(error.find("misaligned"), std::string::npos);
+}
+
+TEST(NcbIo, RejectsOverlappingSections) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::string img = serialize_conventions_ncb(sample(dict), dict);
+  const ncb::Section a = read_section(img, ncb::SectionKind::kSuffixes);
+  ncb::Section b = read_section(img, ncb::SectionKind::kRegexes);
+  b.offset = a.offset;  // two tables claim the same bytes
+  write_section(img, b);
+  rehash(img);
+  const std::string error = expect_rejected(img, "overlapping sections");
+  EXPECT_NE(error.find("overlapping"), std::string::npos);
+}
+
+TEST(NcbIo, RejectsRaggedSectionSize) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::string img = serialize_conventions_ncb(sample(dict), dict);
+  ncb::Section s = read_section(img, ncb::SectionKind::kSuffixes);
+  s.size -= 1;  // no longer a whole number of SuffixEntry records
+  write_section(img, s);
+  rehash(img);
+  const std::string error = expect_rejected(img, "ragged section");
+  EXPECT_NE(error.find("whole number of records"), std::string::npos);
+}
+
+TEST(NcbIo, RejectsOutOfRangeStringRef) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::string img = serialize_conventions_ncb(sample(dict), dict);
+  const ncb::Section s = read_section(img, ncb::SectionKind::kSuffixes);
+  ncb::SuffixEntry se;
+  std::memcpy(&se, img.data() + s.offset, sizeof(se));
+  se.suffix.len = 1u << 30;  // ref far past the string pool
+  std::memcpy(img.data() + s.offset, &se, sizeof(se));
+  rehash(img);
+  const std::string error = expect_rejected(img, "string ref");
+  EXPECT_NE(error.find("string ref out of range"), std::string::npos);
+}
+
+TEST(NcbIo, RejectsOutOfRangeMatcherIndex) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::string img = serialize_conventions_ncb(sample(dict), dict);
+  const ncb::Section s = read_section(img, ncb::SectionKind::kSuffixes);
+  ncb::SuffixEntry se;
+  std::memcpy(&se, img.data() + s.offset, sizeof(se));
+  se.matcher = 999;
+  std::memcpy(img.data() + s.offset, &se, sizeof(se));
+  rehash(img);
+  const std::string error = expect_rejected(img, "matcher index");
+  EXPECT_NE(error.find("matcher index out of range"), std::string::npos);
+}
+
+TEST(NcbIo, RejectsCorruptCompiledProgram) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  std::string img = serialize_conventions_ncb(sample(dict), dict);
+  const ncb::Section s = read_section(img, ncb::SectionKind::kInstr);
+  ASSERT_GE(s.size, sizeof(rx::Instr));
+  rx::Instr in;
+  std::memcpy(&in, img.data() + s.offset, sizeof(in));
+  in.arg = 1u << 28;  // literal/class ref far out of range either way
+  std::memcpy(img.data() + s.offset, &in, sizeof(in));
+  rehash(img);
+  const std::string error = expect_rejected(img, "corrupt instruction");
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+// Random single-byte flips anywhere in the image: the loader must reject or
+// load cleanly — never crash, hang, or trip a sanitizer. (With payload
+// verification on, only flips in alignment padding can survive to a load.)
+TEST(NcbIo, FuzzSingleByteFlips) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string img = serialize_conventions_ncb(sample(dict), dict);
+  util::Rng rng(20260809);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string bad = img;
+    const std::size_t at = rng.next_u64() % bad.size();
+    bad[at] ^= static_cast<char>(1u << (rng.next_u64() % 8));
+    std::string error;
+    const auto m = NcbModel::from_bytes(bad, &error);
+    if (m == nullptr) {
+      EXPECT_FALSE(error.empty());
+      continue;
+    }
+    Geolocator g(dict);
+    m->build_geolocator(g);
+    for (const std::string& h : probes()) g.locate(h);
+  }
+}
+
+// Random truncations: every prefix must be rejected by name.
+TEST(NcbIo, FuzzTruncations) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  const std::string img = serialize_conventions_ncb(sample(dict), dict);
+  util::Rng rng(4242);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t cut = rng.next_u64() % img.size();
+    expect_rejected(std::string_view(img).substr(0, cut),
+                    "fuzz truncation at " + std::to_string(cut));
+  }
+}
+
+}  // namespace
+}  // namespace hoiho::core

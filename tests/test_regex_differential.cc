@@ -222,7 +222,8 @@ TEST(RegexBudget, EvaluatorCountsExhaustedHostnames) {
   // grind through all class splits until the work bound trips.
   const std::string label(60, 'a');
   const std::string pathological = label + "." + label + "." + label + ".qq.net";
-  const auto host = dns::parse_hostname(pathological);
+  std::string canonical;
+  const auto host = dns::parse_hostname(pathological, canonical);
   ASSERT_TRUE(host.has_value());
   core::TaggedHostname th;
   th.ref.hostname = &*host;

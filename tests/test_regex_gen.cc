@@ -33,7 +33,7 @@ class RegexGenTest : public ::testing::Test {
   }
 
   const TaggedHostname& add(topo::RouterId r, std::string_view raw) {
-    hostnames_.push_back(*dns::parse_hostname(raw));
+    hostnames_.push_back(*dns::parse_hostname(raw, arena_));
     const ApparentTagger tagger(dict_, meas_, {});
     tagged_.push_back(tagger.tag(topo::HostnameRef{r, &hostnames_.back()}));
     return tagged_.back();
@@ -48,6 +48,7 @@ class RegexGenTest : public ::testing::Test {
 
   const geo::GeoDictionary& dict_;
   measure::Measurements meas_;
+  util::Arena arena_;  // backs hostnames_ (dns::Hostname is a view)
   std::deque<dns::Hostname> hostnames_;
   std::vector<TaggedHostname> tagged_;
   RegexGenerator gen_;

@@ -85,7 +85,8 @@ TEST(Naming, ExtraLabelRateVariesShape) {
   for (int i = 0; i < 40; ++i) {
     const auto rendered = render_hostname(scheme, dict, london, "x.net", rng);
     ASSERT_TRUE(rendered.has_value());
-    const auto h = dns::parse_hostname(rendered->hostname);
+    std::string canonical;
+    const auto h = dns::parse_hostname(rendered->hostname, canonical);
     ASSERT_TRUE(h.has_value()) << rendered->hostname;
     label_counts.insert(h->labels().size());
   }
