@@ -33,7 +33,13 @@
 //      same-content rewrite bumps the generation, and an in-band ROLLBACK
 //      mid-load republishes the archived generation — all with zero wrong
 //      answers, GENS telling the true history, and worker stalls (injected
-//      latency) surfacing in serve_worker_stalled.
+//      latency) surfacing in serve_worker_stalled;
+//   8. torn model delta: a daemon with --delta-watch armed first sees a
+//      truncated delta file (checksum footer missing) — it must be rejected
+//      with the serving generation untouched and serve_delta_rejected
+//      bumped — then the intact delta applies and bumps the generation, and
+//      replaying the now-stale file through the DELTA verb must answer
+//      DELTA,error in-band.
 //
 // Acceptance: zero wrong answers (ERR,busy / ERR,deadline count as shed,
 // anything else mismatching is wrong), shed fraction bounded, faults
@@ -57,6 +63,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/delta.h"
 #include "core/hoiho.h"
 #include "core/nc_io.h"
 #include "core/ncb.h"
@@ -457,6 +464,149 @@ bool learning_crash_drill(bool quick) {
   return identical;
 }
 
+// --- drill 8: torn model delta ----------------------------------------------
+//
+// A daemon with --delta-watch armed. The script: a truncated (torn) delta
+// file lands first — the loader requires the checksum footer, so it must be
+// rejected (serve_delta_rejected bumps) with the serving generation
+// untouched; then the intact delta (a same-content upsert, so lookup
+// expectations stay valid) applies and bumps the generation; finally the
+// DELTA verb replays the same file, which now targets a stale base
+// generation and must answer DELTA,error in-band.
+bool torn_delta_drill(const std::string& binary, const std::string& model_path,
+                      const std::string& port_file,
+                      const std::vector<core::StoredConvention>& stored,
+                      const std::vector<std::string>& requests,
+                      const std::vector<std::string>& expected) {
+  const std::string delta_path = "CHAOS_DELTA.txt";
+  ::unlink(delta_path.c_str());
+  ::unlink(port_file.c_str());
+  // No --subjects/--rtt: the boot publish is the only one, so the serving
+  // generation starts at 1 and every move below is delta-driven.
+  const std::vector<std::string> args = {"--model",    model_path, "--port",       "0",
+                                         "--port-file", port_file,  "--watch-ms",   "50",
+                                         "--delta-watch", delta_path};
+  const pid_t pid = spawn_daemon(binary, args, "");
+  const std::uint16_t port = wait_for_port(port_file, pid);
+  if (port == 0) {
+    std::fprintf(stderr, "chaos: delta daemon did not come up\n");
+    return false;
+  }
+
+  bool ok = true;
+  std::string error;
+  serve::ClientOptions copts;
+  copts.connect_timeout_ms = 2000;
+  copts.io_timeout_ms = 5000;
+  copts.max_attempts = 10;
+  copts.backoff_initial_ms = 20;
+  auto admin = serve::Client::connect_with_retry("127.0.0.1", port, copts, &error);
+  if (!admin) {
+    std::fprintf(stderr, "chaos: delta admin connect: %s\n", error.c_str());
+    ::kill(pid, SIGKILL);
+    return false;
+  }
+  const auto expect_line = [&](const std::string& verb, const std::string& want, bool poll) {
+    if (!ok) return;
+    for (int i = 0; i < 200; ++i) {
+      const auto resp = admin->request(verb);
+      if (resp && *resp == want) return;
+      if (!poll || !resp) {
+        std::fprintf(stderr, "chaos: %s -> '%s' (want '%s')\n", verb.c_str(),
+                     resp ? resp->c_str() : "<io error>", want.c_str());
+        ok = false;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::fprintf(stderr, "chaos: %s never settled on '%s'\n", verb.c_str(), want.c_str());
+    ok = false;
+  };
+  const auto poll_counter = [&](const std::string& name) {
+    std::uint64_t value = 0;
+    for (int i = 0; i < 200 && ok; ++i) {
+      const auto s2 = admin->request("STATS2");
+      if (!s2) {
+        ok = false;
+        break;
+      }
+      value = stats2_value(*s2, name);
+      if (value >= 1) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (value == 0) {
+      std::fprintf(stderr, "chaos: %s never reached 1\n", name.c_str());
+      ok = false;
+    }
+    return value;
+  };
+
+  expect_line("GENS", "GENS,serving=1,archived=-", false);
+
+  // The delta: one upsert carrying a convention the model already serves
+  // byte-identically, so applying it changes the generation but no answer.
+  core::ModelDelta delta;
+  delta.base_generation = 1;
+  delta.upserts.push_back(stored.front());
+  const std::string bytes = core::serialize_model_delta(delta, geo::builtin_dictionary());
+
+  // Torn: half the serialized delta — the checksum footer is gone, so the
+  // watcher must reject it without publishing.
+  {
+    std::ofstream out(delta_path, std::ios::trunc | std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  const std::uint64_t rejected = poll_counter("serve_delta_rejected");
+  expect_line("GENS", "GENS,serving=1,archived=-", false);
+
+  // Intact: the watcher applies it and the generation moves.
+  {
+    std::ofstream out(delta_path, std::ios::trunc | std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  expect_line("GENS", "GENS,serving=2,archived=-", true);
+
+  // In-band replay: the same file now targets a stale base generation.
+  if (ok) {
+    const auto resp = admin->request("DELTA " + delta_path);
+    if (!resp || serve::classify_response(*resp) != serve::ResponseKind::kDeltaError) {
+      std::fprintf(stderr, "chaos: stale DELTA -> '%s' (want DELTA,error,...)\n",
+                   resp ? resp->c_str() : "<io error>");
+      ok = false;
+    }
+  }
+
+  // Spot-check plain lookups against the precomputed answers (this daemon
+  // has no fuse context, so only space-free lookup rows are comparable).
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < requests.size() && checked < 32 && ok; ++i) {
+    if (requests[i].find(' ') != std::string::npos) continue;
+    if (!expected[i].empty() && expected[i][0] == kPrefixSentinel) continue;
+    const auto resp = admin->request(requests[i]);
+    if (!resp || *resp != expected[i]) {
+      std::fprintf(stderr, "chaos: post-delta lookup %s -> '%s' (want '%s')\n",
+                   requests[i].c_str(), resp ? resp->c_str() : "<io error>",
+                   expected[i].c_str());
+      ok = false;
+      break;
+    }
+    ++checked;
+  }
+  ok = ok && checked > 0;
+
+  ::kill(pid, SIGTERM);
+  const int status = wait_for_exit(pid, 10000);
+  const bool clean = status >= 0 && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  if (!clean) {
+    std::fprintf(stderr, "chaos: delta daemon drain did not exit 0 (status %d)\n", status);
+    ::kill(pid, SIGKILL);
+  }
+  ok = ok && clean;
+  std::printf("chaos: drill8 (torn delta) rejected=%llu checked=%zu %s\n",
+              static_cast<unsigned long long>(rejected), checked, ok ? "ok" : "FAILED");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -820,10 +970,14 @@ int main(int argc, char** argv) {
         lineage_ok ? "ok" : "FAILED");
   }
 
+  // --- drill 8: torn model delta -----------------------------------------
+  const bool delta_drill_pass =
+      torn_delta_drill(binary, model_path, port_file, stored, hostnames, expected);
+
   bool pass = clean_exit && !io_failed && wrong == 0 && after.wrong == 0 &&
               after.io_failed == false && ok > 0 && after.ok > 0;
   pass = pass && reloads >= 2 && reload_failures >= 1 && injected > 0;
-  pass = pass && crash_drill_pass && lineage_ok;
+  pass = pass && crash_drill_pass && lineage_ok && delta_drill_pass;
   // Shedding is allowed but must stay bounded: this load is far below the
   // configured ceilings, so more than 20% shed means something is broken.
   pass = pass && (sent == 0 || shed * 5 <= sent);

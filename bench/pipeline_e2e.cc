@@ -38,7 +38,11 @@
 #include <string>
 #include <vector>
 
+#include <sstream>
+#include <unordered_set>
+
 #include "common.h"
+#include "core/delta.h"
 #include "core/nc_io.h"
 #include "core/ncb.h"
 #include "obs/metrics.h"
@@ -220,6 +224,158 @@ std::string model_io_json(const ModelIo& io) {
          ", \"load_ncb_mmap_us\": " + fmt3(io.load_ncb_mmap_us) + "}";
 }
 
+// --- Incremental relearning (--delta-frac) --------------------------------
+//
+// Measures the whole delta pipeline against its from-scratch equivalent:
+// base run → churn churn_frac of the suffixes → (a) full relearn of the
+// churned world, (b) render only the churned suffixes + Hoiho::run_delta +
+// ModelStore::apply_delta. Byte-identity of (a)'s and (b)'s serialized
+// models is asserted (the DESIGN.md §16 contract), and the headline ratio
+// delta_wall_ms / full_wall_ms is what CI gates (< 0.10 at 5% churn).
+struct DeltaBench {
+  double frac = 0;
+  std::size_t churned = 0, dirty = 0, reused = 0, added = 0, removed = 0;
+  std::size_t upserts = 0, removes = 0, delta_bytes = 0;
+  double full_wall_ms = 0, delta_wall_ms = 0, relearn_wall_ms = 0, apply_us = 0;
+  bool byte_identical = false, store_identical = false;
+  std::string error;
+};
+
+std::string serialized_model(std::vector<core::StoredConvention> stored) {
+  core::sort_conventions(stored);
+  std::ostringstream out;
+  core::save_conventions(out, stored, geo::builtin_dictionary());
+  return out.str();
+}
+
+// Everything with a convention, kPoor included — the model-file contract
+// (Hoiho::run_stream's model_out path and ModelSnapshot::stored both keep
+// kPoor records; only the Geolocator skips them).
+std::vector<core::StoredConvention> model_stored(const core::HoihoResult& result) {
+  std::vector<core::StoredConvention> stored;
+  for (const core::SuffixResult& sr : result.suffixes)
+    if (sr.has_nc()) stored.push_back(core::StoredConvention{sr.nc, sr.cls});
+  return stored;
+}
+
+DeltaBench run_delta_bench(const sim::StreamingWorldConfig& base_swc, double frac,
+                           std::size_t threads, const std::string& tmp_prefix) {
+  using Clock = std::chrono::steady_clock;
+  const auto ms_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  };
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  DeltaBench db;
+  db.frac = frac;
+
+  core::HoihoConfig config;
+  config.threads = threads;
+  const core::Hoiho hoiho(dict, config);
+
+  // Base run over the unchurned world; its results become the PriorRun.
+  sim::StreamingWorld base_world(dict, base_swc);
+  core::HoihoResult base_result = hoiho.run_stream(base_world);
+  const std::vector<core::StoredConvention> base_stored = model_stored(base_result);
+  const core::PriorRun prior = core::PriorRun::capture(
+      std::move(base_result), config, dict.size(), base_world.vps(), /*generation=*/1);
+
+  sim::StreamingWorldConfig churned_swc = base_swc;
+  churned_swc.churn_frac = frac;
+  churned_swc.churn_seed = 4242;
+
+  // (a) From-scratch relearn of the churned world — the cost a non-
+  // incremental deployment pays for any churn at all.
+  sim::StreamingWorld full_world(dict, churned_swc);
+  const auto t_full = Clock::now();
+  const core::HoihoResult full_result = hoiho.run_stream(full_world);
+  db.full_wall_ms = ms_since(t_full);
+  const std::string full_bytes = serialized_model(model_stored(full_result));
+
+  // (b) Incremental: render only the churned suffixes, diff, relearn dirty.
+  // The timed region covers rendering + diffing + relearning + merging —
+  // everything a production incremental pass would do given a change feed.
+  sim::StreamingWorld delta_world(dict, churned_swc);
+  const std::vector<std::size_t> ks = delta_world.churned_suffixes();
+  db.churned = ks.size();
+  const auto t_delta = Clock::now();
+  core::WorldDelta wd;
+  wd.changed = delta_world.render_batch(ks);
+  {
+    // A churned operator that rendered no usable hostnames left the world.
+    std::unordered_set<std::string_view> present;
+    for (const topo::SuffixGroup& g : wd.changed.groups) present.insert(g.suffix);
+    for (const std::size_t k : ks) {
+      std::string name = delta_world.suffix_name(k);
+      if (present.find(name) == present.end()) wd.removed.push_back(std::move(name));
+    }
+  }
+  const core::DeltaRunReport rep = hoiho.run_delta(wd, prior);
+  db.delta_wall_ms = ms_since(t_delta);
+  if (!rep.ok()) {
+    db.error = rep.error;
+    return db;
+  }
+  db.dirty = rep.dirty;
+  db.reused = rep.reused;
+  db.added = rep.added;
+  db.removed = rep.removed;
+  db.relearn_wall_ms = rep.relearn_wall_ms;
+  db.upserts = rep.delta.upserts.size();
+  db.removes = rep.delta.removes.size();
+  db.delta_bytes = core::serialize_model_delta(rep.delta, dict).size();
+  db.byte_identical = serialized_model(model_stored(rep.result)) == full_bytes;
+
+  // Serving half: publish the base model, apply the ModelDelta live, and
+  // check the successor snapshot re-serializes to the from-scratch bytes.
+  const std::string base_path = tmp_prefix + ".delta-base.nc";
+  std::string save_error;
+  if (!core::save_conventions_to_file(base_path, base_stored, dict, &save_error)) {
+    db.error = "save base model: " + save_error;
+    return db;
+  }
+  serve::ModelStore store(dict, base_path);
+  if (const auto err = store.reload()) {
+    db.error = "load base model: " + *err;
+    std::remove(base_path.c_str());
+    return db;
+  }
+  core::ModelDelta delta = rep.delta;
+  delta.base_generation = store.generation();  // the reload's published number
+  serve::ModelStore::DeltaApply applied;
+  const auto t_apply = Clock::now();
+  const auto apply_err = store.apply_delta(delta, &applied);
+  db.apply_us = ms_since(t_apply) * 1e3;
+  if (apply_err) {
+    db.error = "apply_delta: " + *apply_err;
+  } else {
+    db.store_identical = serialized_model(store.current()->stored) == full_bytes;
+  }
+  std::remove(base_path.c_str());
+  return db;
+}
+
+std::string delta_json(const DeltaBench& db) {
+  const double ratio = db.full_wall_ms <= 0 ? 0 : db.delta_wall_ms / db.full_wall_ms;
+  std::string out = "{\"frac\": " + fmt3(db.frac);
+  out += ", \"churned\": " + std::to_string(db.churned);
+  out += ", \"dirty\": " + std::to_string(db.dirty);
+  out += ", \"reused\": " + std::to_string(db.reused);
+  out += ", \"added\": " + std::to_string(db.added);
+  out += ", \"removed\": " + std::to_string(db.removed);
+  out += ", \"upserts\": " + std::to_string(db.upserts);
+  out += ", \"removes\": " + std::to_string(db.removes);
+  out += ", \"delta_bytes\": " + std::to_string(db.delta_bytes);
+  out += ", \"full_wall_ms\": " + fmt3(db.full_wall_ms);
+  out += ", \"delta_wall_ms\": " + fmt3(db.delta_wall_ms);
+  out += ", \"relearn_wall_ms\": " + fmt3(db.relearn_wall_ms);
+  out += ", \"apply_us\": " + fmt3(db.apply_us);
+  out += ", \"delta_relearn_wall_over_full\": " + fmt3(ratio);
+  out += ", \"byte_identical\": " + std::string(db.byte_identical ? "true" : "false");
+  out += ", \"store_identical\": " + std::string(db.store_identical ? "true" : "false");
+  out += "}";
+  return out;
+}
+
 sim::StreamingWorldConfig tier_config(char scale) {
   sim::StreamingWorldConfig swc;
   swc.seed = 99;
@@ -252,7 +408,7 @@ sim::StreamingWorldConfig tier_config(char scale) {
 }
 
 int run_stream_tier(const std::string& scale, const std::string& out_path, int reps,
-                    const std::string& checkpoint_dir) {
+                    const std::string& checkpoint_dir, double delta_frac) {
   const sim::StreamingWorldConfig swc = tier_config(scale[0]);
   const std::size_t hw = util::ThreadPool::resolve(0);
   std::printf("pipeline_e2e --scale=%s: %zu suffixes, ~%zu hostnames target, %zu VPs, "
@@ -300,6 +456,27 @@ int run_stream_tier(const std::string& scale, const std::string& out_path, int r
               io.conventions, io.save_text_us, io.save_ncb_us, io.load_text_us,
               io.load_ncb_us, io.load_ncb_mmap_us);
 
+  DeltaBench db;
+  if (delta_frac > 0) {
+    db = run_delta_bench(swc, delta_frac, hw, out_path);
+    if (!db.error.empty()) {
+      std::fprintf(stderr, "delta bench failed: %s\n", db.error.c_str());
+      return 1;
+    }
+    std::printf("\ndelta relearn (%.0f%% churn): %zu churned (%zu dirty, %zu reused, "
+                "%zu added, %zu removed); full %.1fms vs delta %.1fms (ratio %.3f); "
+                "apply %.0fus; model bytes %s, store bytes %s\n",
+                100.0 * delta_frac, db.churned, db.dirty, db.reused, db.added, db.removed,
+                db.full_wall_ms, db.delta_wall_ms,
+                db.full_wall_ms <= 0 ? 0.0 : db.delta_wall_ms / db.full_wall_ms,
+                db.apply_us, db.byte_identical ? "identical" : "DIVERGED",
+                db.store_identical ? "identical" : "DIVERGED");
+    if (!db.byte_identical || !db.store_identical) {
+      std::fprintf(stderr, "delta bench: merged model diverged from from-scratch run\n");
+      return 1;
+    }
+  }
+
   std::ofstream out(out_path);
   out << "{\n";
   out << "  \"bench\": \"pipeline_e2e\",\n";
@@ -328,6 +505,7 @@ int run_stream_tier(const std::string& scale, const std::string& out_path, int r
         << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
+  if (delta_frac > 0) out << "  \"delta\": " << delta_json(db) << ",\n";
   out << "  \"derived\": {\"speedup_4t_vs_1t\": " << fmt3(scale4)
       << ", \"peak_rss_bytes\": " << peak_rss << "}\n";
   out << "}\n";
@@ -344,12 +522,15 @@ int run_stream_tier(const std::string& scale, const std::string& out_path, int r
 int main(int argc, char** argv) {
   std::string scale = "S";
   std::string checkpoint_dir;
+  double delta_frac = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scale=", 8) == 0) {
       scale = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--checkpoint-dir=", 17) == 0) {
       checkpoint_dir = argv[i] + 17;
+    } else if (std::strncmp(argv[i], "--delta-frac=", 13) == 0) {
+      delta_frac = std::atof(argv[i] + 13);
     } else {
       positional.push_back(argv[i]);
     }
@@ -357,12 +538,17 @@ int main(int argc, char** argv) {
   if (scale != "S" && scale != "M" && scale != "L" && scale != "XL") {
     std::fprintf(stderr,
                  "usage: pipeline_e2e [--scale={S,M,L,XL}] [--checkpoint-dir=DIR] "
-                 "[out.json] [reps]\n");
+                 "[--delta-frac=F] [out.json] [reps]\n");
     return 2;
   }
   if (!checkpoint_dir.empty() && scale == "S") {
     std::fprintf(stderr, "pipeline_e2e: --checkpoint-dir applies to the streaming "
                          "tiers (M/L/XL) only\n");
+    return 2;
+  }
+  if (delta_frac < 0 || delta_frac >= 1 || (delta_frac > 0 && scale == "S")) {
+    std::fprintf(stderr, "pipeline_e2e: --delta-frac takes 0<F<1 and applies to the "
+                         "streaming tiers (M/L/XL) only\n");
     return 2;
   }
   const std::string default_out =
@@ -372,7 +558,7 @@ int main(int argc, char** argv) {
   const int reps =
       std::max(1, positional.size() > 1 ? std::atoi(positional[1].c_str()) : default_reps);
 
-  if (scale != "S") return run_stream_tier(scale, out_path, reps, checkpoint_dir);
+  if (scale != "S") return run_stream_tier(scale, out_path, reps, checkpoint_dir, delta_frac);
 
   // A multi-operator world heavy enough that per-suffix work dominates.
   sim::WorldConfig wc;

@@ -17,8 +17,8 @@
 // (when enabled) succeeded.
 //
 // Run: ./build/bench/serve_loadgen [--connections N] [--pipeline W]
-//      [--duration-s S] [--operators N] [--geo-frac F] [--no-reload]
-//      [--json PATH]
+//      [--duration-s S] [--operators N] [--geo-frac F] [--batch-size N]
+//      [--no-reload] [--json PATH]
 
 #include <algorithm>
 #include <atomic>
@@ -71,6 +71,20 @@ struct Options {
   // Fraction of requests sent as `GEO <hostname>` instead of a bare lookup
   // (0 = pure-lookup workload, matching the historical bench).
   double geo_frac = 0.0;
+  // When > 0, a GEOB phase after the main run: one connection sends
+  // `GEOB <batch_size>` blocks for ~1s and the per-subject latency lands in
+  // the JSON's "geob" section (the single-GEO numbers above are the
+  // baseline it amortizes against).
+  std::size_t batch_size = 0;
+};
+
+// The GEOB phase accounting: whole-block round trips divided by the batch
+// size give per-subject latency.
+struct GeobResult {
+  std::uint64_t batches = 0, subjects = 0, geo = 0, geo_miss = 0, errors = 0;
+  double per_subject_us_p50 = 0, per_subject_us_p99 = 0;
+  double subjects_per_sec = 0;
+  bool io_failed = false;
 };
 
 void drive(const Options& opt, const std::vector<std::string>& hostnames,
@@ -128,6 +142,55 @@ std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, double p) {
   const std::size_t idx = static_cast<std::size_t>(
       p * static_cast<double>(sorted.size() - 1) / 100.0 + 0.5);
   return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+GeobResult drive_geob(const Options& opt, const std::vector<std::string>& hostnames,
+                      double duration_s) {
+  GeobResult out;
+  std::string error;
+  auto client = serve::Client::connect(opt.host, opt.port, &error);
+  if (!client) {
+    std::fprintf(stderr, "loadgen: geob connect: %s\n", error.c_str());
+    out.io_failed = true;
+    return out;
+  }
+  std::vector<std::uint64_t> per_subject_ns;
+  std::size_t cursor = 0;
+  const std::uint64_t t_start = now_ns();
+  const std::uint64_t deadline = t_start + static_cast<std::uint64_t>(duration_s * 1e9);
+  while (now_ns() < deadline) {
+    std::vector<std::string_view> subjects;
+    subjects.reserve(opt.batch_size);
+    for (std::size_t i = 0; i < opt.batch_size; ++i) {
+      subjects.push_back(hostnames[cursor]);
+      cursor = (cursor + 1) % hostnames.size();
+    }
+    const std::uint64_t t0 = now_ns();
+    const auto block = client->geolocate_batch(subjects, &error);
+    const std::uint64_t dt = now_ns() - t0;
+    if (!block) {
+      std::fprintf(stderr, "loadgen: geob: %s\n", error.c_str());
+      out.io_failed = true;
+      return out;
+    }
+    ++out.batches;
+    out.subjects += block->size();
+    per_subject_ns.push_back(dt / std::max<std::uint64_t>(opt.batch_size, 1));
+    for (const std::string& line : *block) {
+      if (serve::classify_response(line) != serve::ResponseKind::kGeo) {
+        ++out.errors;
+      } else {
+        ++out.geo;
+        if (line == "GEO,miss") ++out.geo_miss;
+      }
+    }
+  }
+  const double wall_s = static_cast<double>(now_ns() - t_start) / 1e9;
+  std::sort(per_subject_ns.begin(), per_subject_ns.end());
+  out.per_subject_us_p50 = static_cast<double>(percentile(per_subject_ns, 50)) / 1e3;
+  out.per_subject_us_p99 = static_cast<double>(percentile(per_subject_ns, 99)) / 1e3;
+  out.subjects_per_sec = wall_s > 0 ? static_cast<double>(out.subjects) / wall_s : 0;
+  return out;
 }
 
 // Builds the spawn-mode model + hostname corpus: learn on a synthetic
@@ -216,6 +279,14 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return 1;
       opt.geo_frac = std::atof(v);
+    } else if (arg == "--batch-size") {
+      const char* v = value();
+      if (v == nullptr) return 1;
+      opt.batch_size = static_cast<std::size_t>(std::atoi(v));
+      if (opt.batch_size == 0 || opt.batch_size > serve::kMaxGeobBatch) {
+        std::fprintf(stderr, "loadgen: --batch-size takes 1..%zu\n", serve::kMaxGeobBatch);
+        return 1;
+      }
     } else if (arg == "--spawn") {
       opt.spawn = true;
     } else if (arg == "--no-reload") {
@@ -336,12 +407,27 @@ int main(int argc, char** argv) {
   for (std::thread& t : threads) t.join();
   const double wall_s = static_cast<double>(now_ns() - t_start) / 1e9;
 
+  // GEOB phase (after the main run so its counters sit on top of a settled
+  // baseline): one connection, whole blocks of --batch-size subjects.
+  GeobResult geob;
+  if (opt.batch_size > 0) {
+    geob = drive_geob(opt, hostnames, std::min(opt.duration_s, 1.0));
+    std::printf("loadgen: GEOB x%zu: %llu batches (%llu subjects), per-subject "
+                "p50 %.1fus p99 %.1fus, %.0f subjects/sec, errors %llu\n",
+                opt.batch_size, static_cast<unsigned long long>(geob.batches),
+                static_cast<unsigned long long>(geob.subjects), geob.per_subject_us_p50,
+                geob.per_subject_us_p99, geob.subjects_per_sec,
+                static_cast<unsigned long long>(geob.errors));
+  }
+
   // Counter schema probe: read the serving counters CI's schema guard keys
   // on back over the wire. STATS2 works identically against the in-process
   // server and an external daemon, so both modes embed real values.
   bool probe_ok = false;
   std::uint64_t sc_rejected = 0, sc_rollbacks = 0, sc_stalled = 0;
   std::uint64_t sc_bytes_mapped = 0, sc_build_text = 0, sc_build_ncb = 0, sc_build_mmap = 0;
+  std::uint64_t sc_geob_batches = 0, sc_geob_subjects = 0;
+  std::uint64_t sc_delta_applies = 0, sc_delta_rejected = 0;
   {
     const auto counter = [](const std::string& s2, const std::string& name,
                             std::uint64_t* out) {
@@ -361,6 +447,10 @@ int main(int argc, char** argv) {
                  counter(*resp, "model_load_build_us{format=\"text\"}", &sc_build_text) &&
                  counter(*resp, "model_load_build_us{format=\"ncb\"}", &sc_build_ncb) &&
                  counter(*resp, "model_load_build_us{format=\"ncb_mmap\"}", &sc_build_mmap) &&
+                 counter(*resp, "serve_geob_batches", &sc_geob_batches) &&
+                 counter(*resp, "serve_geob_subjects", &sc_geob_subjects) &&
+                 counter(*resp, "serve_delta_applies", &sc_delta_applies) &&
+                 counter(*resp, "serve_delta_rejected", &sc_delta_rejected) &&
                  resp->find(",serve_reload_us:h=") != std::string::npos;
     if (!probe_ok)
       std::fprintf(stderr, "loadgen: STATS2 counter probe failed (%s)\n",
@@ -431,6 +521,13 @@ int main(int argc, char** argv) {
        << ", \"load_text\": " << util::fmt_double(load_text_us, 0)
        << ", \"load_ncb\": " << util::fmt_double(load_ncb_us, 0)
        << ", \"load_ncb_mmap\": " << util::fmt_double(load_ncb_mmap_us, 0) << "},\n"
+       << "  \"geob\": {\"batch_size\": " << opt.batch_size
+       << ", \"batches\": " << geob.batches << ", \"subjects\": " << geob.subjects
+       << ", \"geo_answers\": " << geob.geo << ", \"geo_misses\": " << geob.geo_miss
+       << ", \"errors\": " << geob.errors
+       << ", \"per_subject_us\": {\"p50\": " << util::fmt_double(geob.per_subject_us_p50, 1)
+       << ", \"p99\": " << util::fmt_double(geob.per_subject_us_p99, 1) << "}"
+       << ", \"subjects_per_sec\": " << util::fmt_double(geob.subjects_per_sec, 1) << "},\n"
        << "  \"serve_counters\": {\"probe_ok\": " << (probe_ok ? "true" : "false")
        << ", \"serve_reload_rejected\": " << sc_rejected
        << ", \"serve_rollbacks\": " << sc_rollbacks
@@ -438,13 +535,19 @@ int main(int argc, char** argv) {
        << ", \"model_load_bytes_mapped\": " << sc_bytes_mapped
        << ", \"model_load_build_us_text\": " << sc_build_text
        << ", \"model_load_build_us_ncb\": " << sc_build_ncb
-       << ", \"model_load_build_us_ncb_mmap\": " << sc_build_mmap << "}\n"
+       << ", \"model_load_build_us_ncb_mmap\": " << sc_build_mmap
+       << ", \"serve_geob_batches\": " << sc_geob_batches
+       << ", \"serve_geob_subjects\": " << sc_geob_subjects
+       << ", \"serve_delta_applies\": " << sc_delta_applies
+       << ", \"serve_delta_rejected\": " << sc_delta_rejected << "}\n"
        << "}\n";
   std::printf("loadgen: wrote %s\n", opt.json_path.c_str());
 
   const bool pass = hits > 0 && errors == 0 && !io_failed && probe_ok &&
                     (!reload_attempted || reload_ok) &&
-                    (opt.geo_frac <= 0.0 || geo > 0);
+                    (opt.geo_frac <= 0.0 || geo > 0) &&
+                    (opt.batch_size == 0 ||
+                     (geob.batches > 0 && geob.errors == 0 && !geob.io_failed));
   if (!pass) std::fprintf(stderr, "loadgen: FAILED acceptance (see counters above)\n");
   return pass ? 0 : 1;
 }

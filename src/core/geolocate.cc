@@ -21,6 +21,13 @@ void Geolocator::add_compiled(NamingConvention nc, rx::SetMatcher matcher, NcCla
   by_suffix_[std::move(key)] = std::move(cc);
 }
 
+bool Geolocator::remove(std::string_view suffix) {
+  const auto it = by_suffix_.find(suffix);
+  if (it == by_suffix_.end()) return false;
+  by_suffix_.erase(it);
+  return true;
+}
+
 const NamingConvention* Geolocator::convention(std::string_view suffix) const {
   const auto it = by_suffix_.find(suffix);
   return it == by_suffix_.end() ? nullptr : &it->second.nc;

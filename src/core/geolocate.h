@@ -63,6 +63,12 @@ class Geolocator {
   // the plan plus compiled captures only (decode_extraction), never the AST.
   void add_compiled(NamingConvention nc, rx::SetMatcher matcher, NcClass cls = NcClass::kGood);
 
+  // Drops the convention registered for `suffix` (false if none was). The
+  // delta-apply path (serve::ModelStore) retires suffixes whose convention
+  // an incremental relearn removed; everything else keeps the Geolocator
+  // immutable after its last mutation, per the thread-safety note above.
+  bool remove(std::string_view suffix);
+
   std::size_t convention_count() const { return by_suffix_.size(); }
 
   // Pre-sizes the suffix table for a known-cardinality install (a model

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <optional>
 #include <span>
+#include <unordered_set>
 
+#include "core/delta.h"
 #include "core/ncb.h"
 #include "io/checkpoint.h"
 #include "util/sysinfo.h"
@@ -60,6 +62,7 @@ struct Hoiho::PipelineMetrics {
   obs::Counter checkpoint_batches_committed, checkpoint_batches_resumed;
   obs::Counter checkpoint_results_resumed, checkpoint_commit_failures, checkpoint_discarded;
   obs::Counter model_save_failures;
+  obs::Counter delta_dirty, delta_reused, delta_added, delta_removed, delta_relearn_us;
   obs::Gauge grid_cells;
   obs::Gauge pool_tasks_submitted, pool_tasks_executed;
   obs::Gauge peak_rss_bytes;
@@ -99,6 +102,11 @@ struct Hoiho::PipelineMetrics {
         checkpoint_commit_failures(r.counter("checkpoint_commit_failures")),
         checkpoint_discarded(r.counter("checkpoint_discarded")),
         model_save_failures(r.counter("pipeline_model_save_failures")),
+        delta_dirty(r.counter("delta_suffixes_dirty")),
+        delta_reused(r.counter("delta_suffixes_reused")),
+        delta_added(r.counter("delta_suffixes_added")),
+        delta_removed(r.counter("delta_suffixes_removed")),
+        delta_relearn_us(r.counter("delta_relearn_us")),
         grid_cells(r.gauge("pipeline_expected_rtt_grid_cells")),
         pool_tasks_submitted(r.gauge("pipeline_pool_tasks_submitted")),
         pool_tasks_executed(r.gauge("pipeline_pool_tasks_executed")),
@@ -163,8 +171,10 @@ SuffixResult Hoiho::run_suffix_instrumented(const topo::SuffixGroup& group,
   span.set_work(group.hostnames.size());
 
   SuffixResult result;
+  StageTimes stages;
+  measure::ConsistencyCache::Stats cache_stats;
   if (!config_.consistency_cache) {
-    result = run_suffix_impl(group, meas, nullptr, pm, tracer);
+    result = run_suffix_impl(group, meas, nullptr, pm, tracer, stages);
   } else {
     // One cache per suffix run, shared by stages 2-4. The cache is used from
     // this thread only; cross-suffix parallelism in run() gives each worker
@@ -173,9 +183,13 @@ SuffixResult Hoiho::run_suffix_instrumented(const topo::SuffixGroup& group,
     const std::shared_ptr<const measure::ExpectedRttGrid> grid = expected_rtt_grid(meas);
     measure::ConsistencyCache cache(meas, dict_.size(), config_.apparent.slack_ms,
                                     /*prefilter=*/true, grid.get());
-    result = run_suffix_impl(group, meas, &cache, pm, tracer);
-    result.cache_stats = cache.stats();
+    result = run_suffix_impl(group, meas, &cache, pm, tracer, stages);
+    cache_stats = cache.stats();
   }
+  // Stamp the content fingerprint on every path (skipped suffixes too):
+  // incremental runs diff against it, and a prior entry without one would
+  // read as always-dirty.
+  result.fingerprint = suffix_fingerprint(group, meas);
 
   if (pm != nullptr) {
     pm->suffixes.inc();
@@ -184,15 +198,14 @@ SuffixResult Hoiho::run_suffix_instrumented(const topo::SuffixGroup& group,
     if (result.usable()) pm->suffixes_usable.inc();
     pm->learned_hints.add(result.learned.size());
     pm->budget_exhausted.add(result.eval.counts.budget_exhausted);
-    pm->stage_us_tag.add(static_cast<std::uint64_t>(result.stage_ms.tag_ms * 1e3));
-    pm->stage_us_regex.add(static_cast<std::uint64_t>(result.stage_ms.regex_ms * 1e3));
-    pm->stage_us_eval.add(static_cast<std::uint64_t>(result.stage_ms.eval_ms * 1e3));
-    pm->stage_us_learn.add(static_cast<std::uint64_t>(result.stage_ms.learn_ms * 1e3));
-    const measure::ConsistencyCache::Stats& cs = result.cache_stats;
-    pm->cache_hits.add(cs.hits);
-    pm->cache_misses.add(cs.misses);
-    pm->cache_prefilter_rejects.add(cs.prefilter_rejects);
-    pm->cache_bypasses.add(cs.bypasses);
+    pm->stage_us_tag.add(static_cast<std::uint64_t>(stages.tag_ms * 1e3));
+    pm->stage_us_regex.add(static_cast<std::uint64_t>(stages.regex_ms * 1e3));
+    pm->stage_us_eval.add(static_cast<std::uint64_t>(stages.eval_ms * 1e3));
+    pm->stage_us_learn.add(static_cast<std::uint64_t>(stages.learn_ms * 1e3));
+    pm->cache_hits.add(cache_stats.hits);
+    pm->cache_misses.add(cache_stats.misses);
+    pm->cache_prefilter_rejects.add(cache_stats.prefilter_rejects);
+    pm->cache_bypasses.add(cache_stats.bypasses);
     pm->suffix_ns.observe(static_cast<double>(obs::Tracer::now_ns() - t0));
   }
   return result;
@@ -219,14 +232,14 @@ class Stopwatch {
 SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
                                     const measure::Measurements& meas,
                                     measure::ConsistencyCache* cache, PipelineMetrics* pm,
-                                    obs::Tracer* tracer) const {
+                                    obs::Tracer* tracer, StageTimes& stages) const {
   SuffixResult result;
   result.suffix = group.suffix;
   result.hostname_count = group.hostnames.size();
 
   // Stage 2: tag apparent geohints.
   {
-    const Stopwatch sw(result.stage_ms.tag_ms);
+    const Stopwatch sw(stages.tag_ms);
     obs::Span span(tracer, "tag", group.suffix);
     span.set_work(group.hostnames.size());
     const ApparentTagger tagger(dict_, meas, config_.apparent, cache);
@@ -264,7 +277,7 @@ SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
   const RegexGenerator generator(gen_config);
   std::vector<GeoRegex> candidates;
   {
-    const Stopwatch sw(result.stage_ms.regex_ms);
+    const Stopwatch sw(stages.regex_ms);
     obs::Span span(tracer, "regex_gen", group.suffix);
     std::vector<TaggedHostname> seeds;
     for (const TaggedHostname& th : result.tagged) {
@@ -284,7 +297,7 @@ SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
   // merge/embed add below them.
   std::vector<NcEvaluation> base_evals;
   {
-    const Stopwatch sw(result.stage_ms.eval_ms);
+    const Stopwatch sw(stages.eval_ms);
     obs::Span span(tracer, "eval", group.suffix);
     span.set_work(candidates.size());
     std::vector<NcEvaluation> evals = evaluator.evaluate_candidates(candidates, result.tagged);
@@ -312,7 +325,7 @@ SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
   if (candidates.empty()) return result;
 
   {
-    const Stopwatch sw(result.stage_ms.regex_ms);
+    const Stopwatch sw(stages.regex_ms);
     obs::Span span(tracer, "regex_gen", group.suffix);
     // Stage 3 phase 2: merge similar regexes.
     {
@@ -334,7 +347,7 @@ SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
   const NcBuilder builder(evaluator, config_.sets);
   std::vector<NcBuilder::Candidate> ncs;
   {
-    const Stopwatch sw(result.stage_ms.eval_ms);
+    const Stopwatch sw(stages.eval_ms);
     obs::Span span(tracer, "eval", group.suffix);
     // The pruned base regexes sit (deduplicated, in rank order) at the front
     // of `candidates`: merge/embed only append, and dedup keeps first
@@ -350,7 +363,7 @@ SuffixResult Hoiho::run_suffix_impl(const topo::SuffixGroup& group,
   // re-evaluate them (learning can reorder the ranking).
   std::vector<std::vector<LearnedHint>> learned_per(ncs.size());
   if (config_.enable_learning) {
-    const Stopwatch sw(result.stage_ms.learn_ms);
+    const Stopwatch sw(stages.learn_ms);
     obs::Span span(tracer, "learn", group.suffix);
     const GeohintLearner learner(evaluator, config_.learn);
     const std::size_t n = std::min(ncs.size(), config_.learn_top_n);
@@ -454,41 +467,15 @@ HoihoResult Hoiho::run_instrumented(const topo::Topology& topo,
 
 namespace {
 
-// Fingerprints every config knob that changes learned output, so a
-// checkpoint written under one config never resumes under another.
-// Excluded on purpose (output-invariant): threads, the consistency cache
-// and RTT-grid knobs, compiled_regex / compiled_matcher (differential-
-// tested equal), and the observability pointers.
+// Fingerprints every config knob that changes learned output
+// (learn_signature, shared with incremental relearning) plus the stream
+// identity, so a checkpoint written under one config/world never resumes
+// under another. Output-invariant knobs (threads, caches, compiled_regex,
+// observability pointers) are excluded by learn_signature.
 std::uint64_t checkpoint_signature(const HoihoConfig& c, const io::SuffixStream& stream,
                                    std::size_t dict_size) {
   io::StreamSignature sig;
-  sig.mix(std::uint64_t{1})  // signature format version
-      .mix(c.apparent.slack_ms)
-      .mix(std::uint64_t{c.apparent.consider_icao})
-      .mix(std::uint64_t{c.apparent.consider_facility})
-      .mix(std::uint64_t{c.apparent.min_city_len})
-      .mix(std::uint64_t{c.gen.annotation_free_variants})
-      .mix(std::uint64_t{c.sets.min_unique_per_regex})
-      .mix(c.sets.ppv_tolerance)
-      .mix(std::uint64_t{c.sets.max_singles})
-      .mix(std::uint64_t{c.sets.max_passes})
-      .mix(std::uint64_t{c.learn.min_unique_seed})
-      .mix(c.learn.seed_ppv)
-      .mix(c.learn.accept_ppv)
-      .mix(std::uint64_t{c.learn.tp_improvement})
-      .mix(std::uint64_t{c.learn.congruent_plain})
-      .mix(std::uint64_t{c.learn.congruent_annotated})
-      .mix(std::uint64_t{c.rank.min_unique})
-      .mix(c.rank.good_ppv)
-      .mix(c.rank.promising_ppv)
-      .mix(std::uint64_t{c.rank.tp_margin})
-      .mix(std::uint64_t{c.min_tagged_hostnames})
-      .mix(std::uint64_t{c.max_seed_hostnames})
-      .mix(std::uint64_t{c.max_candidates})
-      .mix(std::uint64_t{c.learn_top_n})
-      .mix(std::uint64_t{c.enable_learning})
-      .mix(stream.signature())
-      .mix(std::uint64_t{dict_size});
+  sig.mix(learn_signature(c, dict_size)).mix(stream.signature());
   return sig.value();
 }
 
@@ -638,6 +625,9 @@ HoihoResult Hoiho::run_stream_instrumented(io::SuffixStream& stream, obs::Regist
     stored.reserve(result.suffixes.size());
     for (const SuffixResult& sr : result.suffixes)
       if (sr.has_nc()) stored.push_back(StoredConvention{sr.nc, sr.cls});
+    // Canonical (suffix-sorted) order: what makes delta application
+    // byte-identical to a from-scratch save (core/delta.h).
+    sort_conventions(stored);
     std::string err;
     if (!save_model_to_file(config_.model_out, stored, dict_, &err)) {
       if (pm != nullptr) pm->model_save_failures.inc();
@@ -647,6 +637,161 @@ HoihoResult Hoiho::run_stream_instrumented(io::SuffixStream& stream, obs::Regist
   if (pool && pm != nullptr) pm->fold_pool(pool->stats());
   if (registry != nullptr) stream.report().publish(*registry, "stream");
   return result;
+}
+
+DeltaRunReport Hoiho::run_delta(const WorldDelta& world, const PriorRun& prior) const {
+  DeltaRunReport report;
+  std::optional<PipelineMetrics> metrics;
+  if (config_.registry != nullptr) metrics.emplace(*config_.registry);
+  PipelineMetrics* pm = metrics ? &*metrics : nullptr;
+  obs::Tracer* tracer = config_.tracer;
+
+  obs::Span run_span(tracer, "run_delta");
+  const std::vector<topo::SuffixGroup>& groups = world.changed.groups;
+  const measure::Measurements& meas = world.changed.pings;
+  run_span.set_work(groups.size());
+
+  // Compatibility gates: a prior run under a different learner config or a
+  // different VP campaign cannot seed reuse — the expected-RTT geometry
+  // moved under every suffix, so the caller must fall back to a full run.
+  const std::uint64_t sig = learn_signature(config_, dict_.size());
+  if (prior.learn_sig != 0 && prior.learn_sig != sig) {
+    report.error = "prior run learner-config signature mismatch (full relearn required)";
+    return report;
+  }
+  if (!groups.empty() && prior.vp_hash != 0 &&
+      vp_set_hash(meas.vps) != prior.vp_hash) {
+    report.error = "vantage-point set changed since the prior run (full relearn required)";
+    return report;
+  }
+  {
+    std::unordered_set<std::string_view> removed(world.removed.begin(), world.removed.end());
+    for (const topo::SuffixGroup& g : groups)
+      if (removed.contains(g.suffix)) {
+        report.error = "suffix '" + g.suffix + "' both changed and removed";
+        return report;
+      }
+  }
+
+  // Diff: fingerprint every incoming group; an unchanged fingerprint means
+  // the prior result (and all its ConsistencyCache/eval work) is reused
+  // verbatim. A prior fingerprint of 0 (pre-fingerprint checkpoint) never
+  // matches — unknown content is always dirty.
+  std::vector<std::size_t> dirty_idx;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const std::uint64_t fp = suffix_fingerprint(groups[i], meas);
+    const SuffixResult* prev = prior.find(groups[i].suffix);
+    if (prev != nullptr && prev->fingerprint != 0 && prev->fingerprint == fp)
+      ++report.reused;
+    else
+      dirty_idx.push_back(i);
+  }
+
+  // Relearn only the dirty suffixes — same clamp and cost-descending
+  // work-stealing seeding as run(); the shared expected-RTT grid memo
+  // serves every rerun.
+  const auto t_relearn = std::chrono::steady_clock::now();
+  std::vector<SuffixResult> fresh(dirty_idx.size());
+  if (!dirty_idx.empty()) {
+    if (pm != nullptr && config_.consistency_cache) {
+      if (const auto grid = expected_rtt_grid(meas))
+        pm->grid_cells.set(static_cast<std::int64_t>(grid->location_count() * grid->vp_count()));
+    }
+    std::size_t threads = util::ThreadPool::resolve(config_.threads);
+    threads = std::min(threads, dirty_idx.size());
+    threads = std::min(threads, util::ThreadPool::resolve(0));
+    if (threads <= 1) {
+      for (std::size_t k = 0; k < dirty_idx.size(); ++k)
+        fresh[k] = run_suffix_instrumented(groups[dirty_idx[k]], meas, pm, tracer);
+    } else {
+      util::WorkStealingPool pool(threads);
+      if (pm != nullptr) pool.set_queue_wait_histogram(pm->pool_queue_wait_ns);
+      std::vector<std::size_t> order(dirty_idx.size());
+      for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return groups[dirty_idx[a]].hostnames.size() > groups[dirty_idx[b]].hostnames.size();
+      });
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(order.size());
+      for (std::size_t k : order)
+        tasks.push_back([this, &fresh, &groups, &dirty_idx, &meas, pm, tracer, k] {
+          fresh[k] = run_suffix_instrumented(groups[dirty_idx[k]], meas, pm, tracer);
+        });
+      pool.seed(std::move(tasks));
+      pool.wait_idle();
+      if (pm != nullptr) pm->fold_pool(pool.stats());
+    }
+  }
+  report.dirty = dirty_idx.size();
+  report.relearn_wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t_relearn)
+          .count();
+
+  // Merge: prior order with dirty results swapped in and removals dropped;
+  // brand-new suffixes append in group order. Fresh results are compacted
+  // like run_stream's so chained PriorRuns stay bounded.
+  const auto compact = [](SuffixResult& sr) {
+    std::vector<TaggedHostname>().swap(sr.tagged);
+    std::vector<HostnameEval>().swap(sr.eval.per_hostname);
+  };
+  std::unordered_set<std::string_view> removed_set(world.removed.begin(), world.removed.end());
+  std::unordered_map<std::string_view, std::size_t> fresh_by_suffix;
+  fresh_by_suffix.reserve(fresh.size());
+  for (std::size_t k = 0; k < fresh.size(); ++k)
+    fresh_by_suffix[groups[dirty_idx[k]].suffix] = k;
+
+  report.delta.base_generation = prior.generation;
+  std::vector<char> fresh_used(fresh.size(), 0);
+  report.result.suffixes.reserve(prior.results.size() + groups.size());
+  for (const SuffixResult& prev : prior.results) {
+    if (removed_set.contains(prev.suffix)) {
+      ++report.removed;
+      if (prev.has_nc()) report.delta.removes.push_back(prev.suffix);
+      continue;
+    }
+    const auto fit = fresh_by_suffix.find(prev.suffix);
+    if (fit != fresh_by_suffix.end()) {
+      SuffixResult& nr = fresh[fit->second];
+      fresh_used[fit->second] = 1;
+      if (nr.hostname_count == 0) {  // run() drops empty groups; so does the merge
+        ++report.removed;
+        if (prev.has_nc()) report.delta.removes.push_back(prev.suffix);
+        continue;
+      }
+      if (nr.has_nc())
+        report.delta.upserts.push_back(StoredConvention{nr.nc, nr.cls});
+      else if (prev.has_nc())
+        report.delta.removes.push_back(prev.suffix);  // lost its convention
+      compact(nr);
+      report.result.suffixes.push_back(std::move(nr));
+      continue;
+    }
+    report.result.suffixes.push_back(prev);  // untouched or fingerprint-reused
+  }
+  for (std::size_t k = 0; k < fresh.size(); ++k) {
+    if (fresh_used[k]) continue;
+    SuffixResult& nr = fresh[k];
+    if (nr.hostname_count == 0) continue;
+    ++report.added;
+    if (nr.has_nc()) report.delta.upserts.push_back(StoredConvention{nr.nc, nr.cls});
+    compact(nr);
+    report.result.suffixes.push_back(std::move(nr));
+  }
+  // Canonical order (core/delta.h): merge-by-suffix application stays
+  // byte-identical to a from-scratch save.
+  sort_conventions(report.delta.upserts);
+  std::sort(report.delta.removes.begin(), report.delta.removes.end());
+
+  if (pm != nullptr) {
+    pm->delta_dirty.add(report.dirty);
+    pm->delta_reused.add(report.reused);
+    pm->delta_added.add(report.added);
+    pm->delta_removed.add(report.removed);
+    pm->delta_relearn_us.add(static_cast<std::uint64_t>(report.relearn_wall_ms * 1e3));
+    pm->peak_rss_bytes.set(
+        std::max(pm->peak_rss_bytes.load(), static_cast<std::int64_t>(util::peak_rss_bytes())));
+  }
+  return report;
 }
 
 HoihoResult Hoiho::run(const topo::Topology& topo, const measure::Measurements& meas) const {

@@ -143,15 +143,12 @@ struct SuffixResult {
   NcClass cls = NcClass::kPoor;
   std::vector<LearnedHint> learned;    // stage-4 output
 
-  // Consistency-cache counters for this suffix run (all zero when the
-  // cache is disabled). Deprecated alias kept one release: prefer the
-  // registry's `consistency_cache_*` counters in RunReport::metrics.
-  measure::ConsistencyCache::Stats cache_stats;
-
-  // Per-stage wall time of this suffix run. Deprecated alias kept one
-  // release: prefer the `pipeline_stage_us{stage=...}` counters and the
-  // stage spans in RunReport.
-  StageTimes stage_ms;
+  // Content fingerprint of the suffix's inputs (hostnames + RTT rows;
+  // core/delta.h). Because the method is per-suffix, an equal fingerprint
+  // on a later run means this exact result would be reproduced — the basis
+  // for incremental relearning. 0 = unknown (pre-fingerprint checkpoints),
+  // treated as always dirty.
+  std::uint64_t fingerprint = 0;
 
   bool has_nc() const { return !nc.empty(); }
   bool usable() const { return has_nc() && is_usable(cls); }
@@ -183,6 +180,11 @@ struct RunReport {
   std::string to_json(std::string_view indent = "") const;
 };
 
+// Incremental-relearning types (core/delta.h).
+struct WorldDelta;
+struct PriorRun;
+struct DeltaRunReport;
+
 class Hoiho {
  public:
   explicit Hoiho(const geo::GeoDictionary& dict, HoihoConfig config = {})
@@ -192,9 +194,10 @@ class Hoiho {
   //
   // Kept as the compact form of run_report() for callers that only want the
   // results: instrumentation still lands in config.registry / config.tracer
-  // when those are set, but nothing is snapshotted. Code that used to sum
-  // SuffixResult::cache_stats / stage_ms (deprecated) should migrate to
-  // run_report().
+  // when those are set, but nothing is snapshotted. Per-suffix stage times
+  // and cache counters are reported exclusively through the registry
+  // (pipeline_stage_us, consistency_cache_*) — RunReport is the one
+  // reporting API.
   HoihoResult run(const topo::Topology& topo, const measure::Measurements& meas) const;
 
   // run() plus the observability report. Uses config.registry/tracer when
@@ -220,6 +223,21 @@ class Hoiho {
   // run_stream() plus the observability report; also publishes the
   // stream's ingest accounting (ingest_* counters, source="stream").
   RunReport run_stream_report(io::SuffixStream& stream) const;
+
+  // Incremental relearning (DESIGN.md §16): diffs `world` — the changed
+  // suffixes rendered as one self-contained batch, plus removals — against
+  // the prior run's per-suffix fingerprints, re-runs only the dirty
+  // suffixes (same work-stealing pool and cost-descending seeding as
+  // run()), and reuses the prior SuffixResult verbatim for untouched ones
+  // (their ConsistencyCache/eval work is never repeated; the shared
+  // expected-RTT grid is reused across the dirty reruns). The report
+  // carries the merged result set — equal to a from-scratch run over the
+  // churned world, modulo streaming compaction — and a ModelDelta against
+  // prior.generation. Fails (report.error) without running anything when
+  // the prior's learner-config or VP-set signature doesn't match; a
+  // changed campaign invalidates every suffix, so the caller must fall
+  // back to a full run.
+  DeltaRunReport run_delta(const WorldDelta& world, const PriorRun& prior) const;
 
   // Runs the pipeline for one suffix group.
   SuffixResult run_suffix(const topo::SuffixGroup& group,
@@ -257,9 +275,11 @@ class Hoiho {
                                        const measure::Measurements& meas, PipelineMetrics* pm,
                                        obs::Tracer* tracer) const;
 
+  // `stages` receives the per-stage wall time of this run (fed into the
+  // pipeline_stage_us counters by run_suffix_instrumented).
   SuffixResult run_suffix_impl(const topo::SuffixGroup& group, const measure::Measurements& meas,
                                measure::ConsistencyCache* cache, PipelineMetrics* pm,
-                               obs::Tracer* tracer) const;
+                               obs::Tracer* tracer, StageTimes& stages) const;
 
   const geo::GeoDictionary& dict_;
   HoihoConfig config_;

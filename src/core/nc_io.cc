@@ -116,29 +116,26 @@ std::optional<Plan> plan_from_token(std::string_view token) {
   return plan;
 }
 
-void save_conventions(std::ostream& out, const std::vector<StoredConvention>& conventions,
-                      const geo::GeoDictionary& dict) {
-  out << "# hoiho-geo naming conventions v1\n";
-  for (const StoredConvention& sc : conventions) {
-    util::write_csv_row(out, {"S", sc.nc.suffix, std::string(to_string(sc.cls))});
-    for (const GeoRegex& gr : sc.nc.regexes)
-      util::write_csv_row(out, {"R", plan_to_token(gr.plan), gr.regex.to_string()});
-    // Learned geohints are stored by place name so the file survives
-    // dictionary rebuilds.
-    for (const auto& [key, loc] : sc.nc.learned) {
-      const geo::Location& l = dict.location(loc);
-      util::write_csv_row(out, {"L", std::string(to_string(key.first)), key.second, l.city,
-                                l.state, l.country});
-    }
+void save_convention_block(std::ostream& out, const StoredConvention& sc,
+                           const geo::GeoDictionary& dict) {
+  util::write_csv_row(out, {"S", sc.nc.suffix, std::string(to_string(sc.cls))});
+  for (const GeoRegex& gr : sc.nc.regexes)
+    util::write_csv_row(out, {"R", plan_to_token(gr.plan), gr.regex.to_string()});
+  // Learned geohints are stored by place name so the file survives
+  // dictionary rebuilds.
+  for (const auto& [key, loc] : sc.nc.learned) {
+    const geo::Location& l = dict.location(loc);
+    util::write_csv_row(out, {"L", std::string(to_string(key.first)), key.second, l.city,
+                              l.state, l.country});
   }
 }
 
-namespace {
+void save_conventions(std::ostream& out, const std::vector<StoredConvention>& conventions,
+                      const geo::GeoDictionary& dict) {
+  out << "# hoiho-geo naming conventions v1\n";
+  for (const StoredConvention& sc : conventions) save_convention_block(out, sc, dict);
+}
 
-// True if any byte falls outside printable ASCII. The file format is
-// ASCII-only (parse_csv_line already strips '\r'); control characters or
-// high bytes can only come from corruption, and the regex engine's
-// 128-wide character classes must never see them.
 bool has_control_bytes(std::string_view s) {
   for (const char c : s) {
     const unsigned char u = static_cast<unsigned char>(c);
@@ -147,9 +144,6 @@ bool has_control_bytes(std::string_view s) {
   return false;
 }
 
-// Loose structural check for a stored suffix: dot-separated labels of
-// hostname-legal characters (the file stores what save wrote, which came
-// from parsed hostnames — anything else is corruption).
 bool plausible_suffix(std::string_view s) {
   if (s.empty()) return false;
   for (const char c : s) {
@@ -160,7 +154,94 @@ bool plausible_suffix(std::string_view s) {
   return s.front() != '.' && s.back() != '.';
 }
 
-}  // namespace
+ConventionReader::ConventionReader(const geo::GeoDictionary& dict, const LoadLimits& limits,
+                                   std::vector<std::string>* warnings)
+    : dict_(dict), limits_(limits), warnings_(warnings) {}
+
+bool ConventionReader::feed(const std::vector<std::string>& row, const std::string& where,
+                            std::string* error) {
+  auto fail = [&](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  auto note = [&](std::string msg) {
+    if (warnings_ != nullptr) warnings_->push_back(std::move(msg));
+  };
+  if (row[0] == "S") {
+    if (row.size() != 3)
+      return fail("S record needs 3 fields, got " + std::to_string(row.size()));
+    if (out_.size() >= limits_.max_conventions)
+      return fail("more than " + std::to_string(limits_.max_conventions) + " conventions");
+    if (row[1].size() > limits_.max_suffix || !plausible_suffix(row[1]))
+      return fail("bad suffix '" + row[1] + "'");
+    const auto cls = nc_class_from_token(row[2]);
+    if (!cls) return fail("unknown class '" + row[2] + "'");
+    if (!out_.empty() && out_.back().nc.regexes.empty())
+      note(where + ": suffix '" + out_.back().nc.suffix +
+           "' has no regexes (truncated block?)");
+    for (const StoredConvention& sc : out_)
+      if (sc.nc.suffix == row[1]) {
+        note(where + ": duplicate suffix '" + row[1] +
+             "' (last block wins when applied)");
+        break;
+      }
+    StoredConvention sc;
+    sc.nc.suffix = row[1];
+    sc.cls = *cls;
+    out_.push_back(std::move(sc));
+  } else if (row[0] == "R") {
+    if (out_.empty()) return fail("R record before any S record");
+    if (row.size() != 3)
+      return fail("R record needs 3 fields, got " + std::to_string(row.size()));
+    if (row[1].size() > limits_.max_plan)
+      return fail("plan token exceeds " + std::to_string(limits_.max_plan) + " bytes");
+    if (row[2].size() > limits_.max_regex)
+      return fail("regex exceeds " + std::to_string(limits_.max_regex) + " bytes");
+    const auto plan = plan_from_token(row[1]);
+    if (!plan) return fail("bad plan '" + row[1] + "'");
+    std::string rx_error;
+    const auto regex = rx::parse(row[2], &rx_error);
+    if (!regex) return fail("bad regex: " + rx_error);
+    if (regex->capture_count() != plan->roles.size())
+      return fail("plan has " + std::to_string(plan->roles.size()) +
+                  " roles but regex has " + std::to_string(regex->capture_count()) +
+                  " captures");
+    GeoRegex gr;
+    gr.regex = *regex;
+    gr.plan = *plan;
+    out_.back().nc.regexes.push_back(std::move(gr));
+  } else if (row[0] == "L") {
+    if (out_.empty()) return fail("L record before any S record");
+    if (row.size() != 6)
+      return fail("L record needs 6 fields, got " + std::to_string(row.size()));
+    if (row[2].size() > limits_.max_code)
+      return fail("code exceeds " + std::to_string(limits_.max_code) + " bytes");
+    if (row[3].size() > limits_.max_place || row[4].size() > limits_.max_place ||
+        row[5].size() > limits_.max_place)
+      return fail("place field exceeds " + std::to_string(limits_.max_place) + " bytes");
+    if (row[2].empty()) return fail("empty learned code");
+    const auto type = hint_type_from_token(row[1]);
+    if (!type) return fail("unknown dictionary type '" + row[1] + "'");
+    // Resolve the stored place against the load-time dictionary.
+    const geo::LocationId resolved = resolve_stored_place(dict_, row[3], row[4], row[5]);
+    if (resolved == geo::kInvalidLocation) {
+      note(where + ": dropped learned hint '" + row[2] + "' -> " + row[3] +
+           " (place not in dictionary)");
+      return true;
+    }
+    out_.back().nc.learned[LearnedKey{*type, util::to_lower(row[2])}] = resolved;
+  } else {
+    return fail("unknown record type '" + row[0] + "'");
+  }
+  return true;
+}
+
+std::vector<StoredConvention> ConventionReader::take() {
+  if (!out_.empty() && out_.back().nc.regexes.empty() && warnings_ != nullptr)
+    warnings_->push_back("suffix '" + out_.back().nc.suffix +
+                         "' has no regexes (truncated file?)");
+  return std::move(out_);
+}
 
 std::optional<std::vector<StoredConvention>> load_conventions(
     std::istream& in, const geo::GeoDictionary& dict, std::string* error,
@@ -170,10 +251,7 @@ std::optional<std::vector<StoredConvention>> load_conventions(
     if (report != nullptr) report->fail(msg);
     return std::nullopt;
   };
-  auto note = [&](std::string msg) {
-    if (warnings != nullptr) warnings->push_back(std::move(msg));
-  };
-  std::vector<StoredConvention> out;
+  ConventionReader reader(dict, limits, warnings);
   std::string line;
   std::size_t lineno = 0;
   std::uint64_t hash = kFnvSeed;
@@ -215,80 +293,11 @@ std::optional<std::vector<StoredConvention>> load_conventions(
     for (const std::string& field : row)
       if (has_control_bytes(field))
         return fail(where + ": control bytes in field");
-    if (row[0] == "S") {
-      if (row.size() != 3)
-        return fail(where + ": S record needs 3 fields, got " + std::to_string(row.size()));
-      if (out.size() >= limits.max_conventions)
-        return fail(where + ": more than " + std::to_string(limits.max_conventions) +
-                    " conventions");
-      if (row[1].size() > limits.max_suffix || !plausible_suffix(row[1]))
-        return fail(where + ": bad suffix '" + row[1] + "'");
-      const auto cls = nc_class_from_token(row[2]);
-      if (!cls) return fail(where + ": unknown class '" + row[2] + "'");
-      if (!out.empty() && out.back().nc.regexes.empty())
-        note("line " + std::to_string(lineno) + ": suffix '" + out.back().nc.suffix +
-             "' has no regexes (truncated block?)");
-      for (const StoredConvention& sc : out)
-        if (sc.nc.suffix == row[1]) {
-          note(where + ": duplicate suffix '" + row[1] +
-               "' (last block wins when applied)");
-          break;
-        }
-      StoredConvention sc;
-      sc.nc.suffix = row[1];
-      sc.cls = *cls;
-      out.push_back(std::move(sc));
-    } else if (row[0] == "R") {
-      if (out.empty()) return fail(where + ": R record before any S record");
-      if (row.size() != 3)
-        return fail(where + ": R record needs 3 fields, got " + std::to_string(row.size()));
-      if (row[1].size() > limits.max_plan)
-        return fail(where + ": plan token exceeds " + std::to_string(limits.max_plan) +
-                    " bytes");
-      if (row[2].size() > limits.max_regex)
-        return fail(where + ": regex exceeds " + std::to_string(limits.max_regex) + " bytes");
-      const auto plan = plan_from_token(row[1]);
-      if (!plan) return fail(where + ": bad plan '" + row[1] + "'");
-      std::string rx_error;
-      const auto regex = rx::parse(row[2], &rx_error);
-      if (!regex) return fail(where + ": bad regex: " + rx_error);
-      if (regex->capture_count() != plan->roles.size())
-        return fail(where + ": plan has " + std::to_string(plan->roles.size()) +
-                    " roles but regex has " + std::to_string(regex->capture_count()) +
-                    " captures");
-      GeoRegex gr;
-      gr.regex = *regex;
-      gr.plan = *plan;
-      out.back().nc.regexes.push_back(std::move(gr));
-    } else if (row[0] == "L") {
-      if (out.empty()) return fail(where + ": L record before any S record");
-      if (row.size() != 6)
-        return fail(where + ": L record needs 6 fields, got " + std::to_string(row.size()));
-      if (row[2].size() > limits.max_code)
-        return fail(where + ": code exceeds " + std::to_string(limits.max_code) + " bytes");
-      if (row[3].size() > limits.max_place || row[4].size() > limits.max_place ||
-          row[5].size() > limits.max_place)
-        return fail(where + ": place field exceeds " + std::to_string(limits.max_place) +
-                    " bytes");
-      if (row[2].empty()) return fail(where + ": empty learned code");
-      const auto type = hint_type_from_token(row[1]);
-      if (!type) return fail(where + ": unknown dictionary type '" + row[1] + "'");
-      // Resolve the stored place against the load-time dictionary.
-      const geo::LocationId resolved = resolve_stored_place(dict, row[3], row[4], row[5]);
-      if (resolved == geo::kInvalidLocation) {
-        if (warnings != nullptr)
-          warnings->push_back(where + ": dropped learned hint '" + row[2] + "' -> " + row[3] +
-                              " (place not in dictionary)");
-        continue;
-      }
-      out.back().nc.learned[LearnedKey{*type, util::to_lower(row[2])}] = resolved;
-    } else {
-      return fail(where + ": unknown record type '" + row[0] + "'");
-    }
+    std::string msg;
+    if (!reader.feed(row, where, &msg)) return fail(where + ": " + msg);
   }
   if (in.bad()) return fail("read error after line " + std::to_string(lineno));
-  if (!out.empty() && out.back().nc.regexes.empty())
-    note("suffix '" + out.back().nc.suffix + "' has no regexes (truncated file?)");
+  std::vector<StoredConvention> out = reader.take();
   if (report != nullptr) report->records = out.size();
   return out;
 }

@@ -115,6 +115,56 @@ std::optional<std::vector<StoredConvention>> load_conventions(
     std::vector<std::string>* warnings = nullptr, const LoadLimits& limits = {},
     io::LoadReport* report = nullptr);
 
+// Writes one convention block (the S record plus its R/L records) — the
+// unit save_conventions emits per convention and the model-delta format
+// reuses for upsert records.
+void save_convention_block(std::ostream& out, const StoredConvention& sc,
+                           const geo::GeoDictionary& dict);
+
+// Structural validity of a stored suffix field: dot-separated labels of
+// hostname-legal characters, no leading/trailing dot. The file stores what
+// save wrote, which came from parsed hostnames — anything else is
+// corruption.
+bool plausible_suffix(std::string_view s);
+
+// True if any byte falls outside printable ASCII. The model formats are
+// ASCII-only; control characters or high bytes can only come from
+// corruption, and the regex engine's 128-wide character classes must never
+// see them.
+bool has_control_bytes(std::string_view s);
+
+// Record-level parser for S/R/L convention rows, shared by
+// load_conventions and the model-delta loader (core/delta.h) so both
+// formats validate blocks under exactly the same rules — field counts,
+// limits, plan/capture agreement, place resolution, duplicate-suffix and
+// truncated-block warnings. Feed parsed CSV rows in file order; the
+// accumulated conventions come out of take().
+class ConventionReader {
+ public:
+  // All three references/pointers must outlive the reader; `warnings` may
+  // be null.
+  ConventionReader(const geo::GeoDictionary& dict, const LoadLimits& limits,
+                   std::vector<std::string>* warnings);
+
+  // Handles one "S"/"R"/"L" row (any other record type is an error).
+  // `where` ("line N") prefixes warnings; errors are returned bare in
+  // *error for the caller to contextualize. False on malformed records.
+  bool feed(const std::vector<std::string>& row, const std::string& where,
+            std::string* error);
+
+  // Runs the end-of-input check (trailing regex-less block note) and
+  // returns the accumulated conventions.
+  std::vector<StoredConvention> take();
+
+  std::size_t count() const { return out_.size(); }
+
+ private:
+  const geo::GeoDictionary& dict_;
+  const LoadLimits& limits_;
+  std::vector<std::string>* warnings_;
+  std::vector<StoredConvention> out_;
+};
+
 // Plan <-> string helpers ("iata", "city+cc+st").
 std::string plan_to_token(const Plan& plan);
 std::optional<Plan> plan_from_token(std::string_view token);

@@ -115,7 +115,11 @@ void append_batch(std::ostream& out, std::size_t batch_index,
               std::to_string(r.hostname_count), std::to_string(r.tagged_count),
               std::to_string(r.eval.regex_unique_tp.size()), std::to_string(c.tp),
               std::to_string(c.fp), std::to_string(c.fn), std::to_string(c.unk),
-              std::to_string(c.none), std::to_string(c.budget_exhausted)});
+              std::to_string(c.none), std::to_string(c.budget_exhausted),
+              // Trailing content fingerprint (hex16): lets run_delta trust a
+              // resumed result's dirtiness without re-reading the world.
+              // Absent (12-field X record) in pre-delta WALs; 0 = unknown.
+              hex16(r.fingerprint)});
     for (const core::GeoRegex& gr : r.nc.regexes)
       util::write_csv_row(out, {"R", core::plan_to_token(gr.plan), gr.regex.to_string()});
     for (const auto& [key, loc] : r.nc.learned) {
@@ -210,7 +214,11 @@ class WalParser {
     }
     if (!in_batch_) return fail(why, where + ": record outside a batch");
     if (kind == "X") {
-      if (row.size() != 12) return fail(why, where + ": X record needs 12 fields");
+      // 12 fields is the pre-delta layout; 13 appends the hex16 content
+      // fingerprint. Both load — an old WAL resumes with fingerprint 0
+      // (always-dirty for run_delta, which is the safe direction).
+      if (row.size() != 12 && row.size() != 13)
+        return fail(why, where + ": X record needs 12 or 13 fields");
       if (!finish_result(why, where)) return false;
       core::SuffixResult r;
       r.suffix = row[1];
@@ -218,11 +226,14 @@ class WalParser {
       std::uint64_t hosts = 0, tagged = 0, sets = 0;
       core::EvalCounts& c = r.eval.counts;
       std::uint64_t tp = 0, fp = 0, fn = 0, unk = 0, none = 0, budget = 0;
+      std::uint64_t fingerprint = 0;
       if (!cls || !parse_u64(row[3], &hosts) || !parse_u64(row[4], &tagged) ||
           !parse_u64(row[5], &sets) || !parse_u64(row[6], &tp) || !parse_u64(row[7], &fp) ||
           !parse_u64(row[8], &fn) || !parse_u64(row[9], &unk) || !parse_u64(row[10], &none) ||
-          !parse_u64(row[11], &budget) || hosts == 0 || r.suffix.empty())
+          !parse_u64(row[11], &budget) || hosts == 0 || r.suffix.empty() ||
+          (row.size() == 13 && !parse_hex16(row[12], &fingerprint)))
         return fail(why, where + ": bad X record");
+      r.fingerprint = fingerprint;
       r.cls = *cls;
       r.hostname_count = hosts;
       r.tagged_count = tagged;

@@ -9,6 +9,7 @@
 #include <limits>
 #include <thread>
 
+#include "serve/protocol.h"
 #include "util/rng.h"
 
 namespace hoiho::serve {
@@ -136,6 +137,50 @@ std::optional<std::string> Client::read_line() {
 std::optional<std::string> Client::request(std::string_view line) {
   if (!send_line(line)) return std::nullopt;
   return read_line();
+}
+
+std::optional<std::vector<std::string>> Client::geolocate_batch(
+    const std::vector<std::string_view>& subjects, std::string* error) {
+  const auto fail = [&](std::string msg) -> std::optional<std::vector<std::string>> {
+    if (error != nullptr) *error = std::move(msg);
+    return std::nullopt;
+  };
+  if (subjects.empty()) return std::vector<std::string>{};
+  // One write for the whole group: the server's framing requires the
+  // header and every subject line before it dispatches the block.
+  std::string framed = "GEOB " + std::to_string(subjects.size());
+  framed += '\n';
+  for (const std::string_view s : subjects) {
+    framed += s;
+    framed += '\n';
+  }
+  if (!fd_ || !util::write_all(fd_.get(), framed)) return fail("socket write failed");
+  const auto header = read_line();
+  if (!header) return fail("socket read failed");
+  if (classify_response(*header) != ResponseKind::kGeoBatch)
+    return fail("unexpected response: " + *header);
+  std::vector<std::string> out;
+  out.reserve(subjects.size());
+  for (std::size_t i = 0; i < subjects.size(); ++i) {
+    auto line = read_line();
+    if (!line) return fail("short GEOB block (" + std::to_string(i) + "/" +
+                           std::to_string(subjects.size()) + " lines)");
+    out.push_back(std::move(*line));
+  }
+  return out;
+}
+
+std::optional<std::string> Client::apply_delta(std::string_view path, std::string* error) {
+  const auto resp = request("DELTA " + std::string(path));
+  if (!resp) {
+    if (error != nullptr) *error = "socket error";
+    return std::nullopt;
+  }
+  if (classify_response(*resp) != ResponseKind::kDelta) {
+    if (error != nullptr) *error = *resp;
+    return std::nullopt;
+  }
+  return resp;
 }
 
 }  // namespace hoiho::serve

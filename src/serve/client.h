@@ -70,6 +70,20 @@ class Client {
   // send_line + read_line.
   std::optional<std::string> request(std::string_view line);
 
+  // GEOB round trip: sends "GEOB <n>" plus the subject lines in one write,
+  // reads the block header plus n per-subject GEO responses. Returns the n
+  // response lines in subject order; nullopt on socket error, a short
+  // block, or a server-side ERR (e.g. over kMaxGeobBatch — check *error).
+  std::optional<std::vector<std::string>> geolocate_batch(
+      const std::vector<std::string_view>& subjects, std::string* error = nullptr);
+
+  // DELTA round trip: asks the daemon to apply the model-delta file at
+  // `path` (a path on the *server's* filesystem). Returns the response
+  // line ("DELTA,ok,...") or nullopt with *error on socket failure or a
+  // "DELTA,error,..." / "ERR,..." response.
+  std::optional<std::string> apply_delta(std::string_view path,
+                                         std::string* error = nullptr);
+
   // True when the last failed read_line() hit the io_timeout_ms budget
   // rather than EOF/error. Cleared by the next successful read.
   bool timed_out() const { return timed_out_; }

@@ -65,7 +65,7 @@ int usage(const char* argv0) {
                "          [--metrics-port N] [--subjects FILE] [--rtt FILE]\n"
                "          [--population FILE] [--rtt-slack-ms X]\n"
                "          [--keep-generations N] [--canary-file FILE]\n"
-               "          [--worker-stall-ms N]\n"
+               "          [--worker-stall-ms N] [--delta-watch FILE]\n"
                "       %s --write-demo-model FILE [--operators N] [--hosts-out FILE]\n"
                "          [--rtt-out FILE] [--subjects-out FILE]\n"
                "--subjects + --rtt arm the GEO verb with RTT feasibility filtering\n"
@@ -78,6 +78,9 @@ int usage(const char* argv0) {
                "--canary-file replays pinned queries before publishing a reload and\n"
                "rejects the new model on any divergence; --worker-stall-ms counts\n"
                "lookup workers stuck on one batch longer than N ms.\n"
+               "--delta-watch (or HOIHO_DELTA=FILE) polls FILE for model deltas:\n"
+               "each rewrite is applied onto the serving generation via DELTA\n"
+               "semantics (stale-base and torn files are rejected, not served).\n"
                "HOIHO_FAILPOINTS=site=spec;... injects faults (testing only).\n",
                argv0, argv0);
   return 1;
@@ -182,7 +185,7 @@ int main(int argc, char** argv) {
   int metrics_port = -1;  // < 0 = exporter off; 0 = ephemeral
   double rtt_slack_ms = 0.0;
   std::size_t keep_generations = 0;
-  std::string canary_path;
+  std::string canary_path, delta_path;
   int worker_stall_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -278,6 +281,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       worker_stall_ms = std::atoi(v);
+    } else if (arg == "--delta-watch") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      delta_path = v;
     } else if (arg == "--bind-any") {
       bind_any = true;
     } else {
@@ -309,6 +316,12 @@ int main(int argc, char** argv) {
   // a generation too, and a model that fails its canary refuses to serve.
   if (keep_generations > 0) store.set_keep_generations(keep_generations);
   if (!canary_path.empty()) store.set_canary(canary_path);
+  // Flag wins over the env var so a unit file can pin the env default and a
+  // one-off run can still override it.
+  if (delta_path.empty())
+    if (const char* env = std::getenv("HOIHO_DELTA"); env != nullptr && env[0] != '\0')
+      delta_path = env;
+  if (!delta_path.empty()) store.set_delta_watch(delta_path);
   if (const auto err = store.reload()) {
     std::fprintf(stderr, "hoihod: %s\n", err->c_str());
     return 2;
@@ -406,7 +419,8 @@ int main(int argc, char** argv) {
   // actions, and pick up model-file rewrites by mtime. server_ptr is set
   // right after construction, before run() can tick.
   serve::Server* server_ptr = nullptr;
-  config.on_tick = [&server_ptr, &store, watch_ms]() {
+  const bool has_delta_watch = !delta_path.empty();
+  config.on_tick = [&server_ptr, &store, watch_ms, has_delta_watch]() {
     const int sig = g_signal.exchange(0, std::memory_order_relaxed);
     if (sig == SIGTERM) {
       // Graceful: finish in-flight work, flush, then exit 0. A second
@@ -451,6 +465,23 @@ int main(int argc, char** argv) {
       case serve::ModelStore::WatchOutcome::kDebounced:
         server_ptr->metrics().reload_debounced.inc();
         break;
+      case serve::ModelStore::WatchOutcome::kMissing:
+      case serve::ModelStore::WatchOutcome::kUnchanged:
+        break;
+    }
+    if (!has_delta_watch) return;
+    std::string delta_error;
+    switch (store.poll_delta_watch(&delta_error)) {
+      case serve::ModelStore::WatchOutcome::kReloaded:
+        std::printf("hoihod: delta file changed, applied (generation %llu)\n",
+                    static_cast<unsigned long long>(store.generation()));
+        break;
+      case serve::ModelStore::WatchOutcome::kReloadFailed:
+        // Like the model watch: one report per file change, not per poll.
+        // delta_rejected is counted by the store itself.
+        std::fprintf(stderr, "hoihod: delta apply failed: %s\n", delta_error.c_str());
+        break;
+      case serve::ModelStore::WatchOutcome::kDebounced:
       case serve::ModelStore::WatchOutcome::kMissing:
       case serve::ModelStore::WatchOutcome::kUnchanged:
         break;

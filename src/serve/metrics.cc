@@ -55,6 +55,16 @@ Metrics::Metrics(obs::Registry* registry) {
   load_build_us_text = r.counter("model_load_build_us{format=\"text\"}");
   load_build_us_ncb = r.counter("model_load_build_us{format=\"ncb\"}");
   load_build_us_ncb_mmap = r.counter("model_load_build_us{format=\"ncb_mmap\"}");
+
+  // Incremental-delta family (DESIGN.md §16). Rejections before applies,
+  // same effects-before-causes discipline as above.
+  delta_rejected = r.counter("serve_delta_rejected");
+  delta_applies = r.counter("serve_delta_applies");
+  delta_apply_us = r.histogram("serve_delta_apply_us");
+  model_generation = r.gauge("model_generation");
+
+  geob_subjects = r.counter("serve_geob_subjects");
+  geob_batches = r.counter("serve_geob_batches");
 }
 
 Metrics::Snapshot Metrics::snapshot() const {

@@ -42,14 +42,24 @@ class Metrics {
   obs::Counter errors;    // malformed/oversized/unservable lines
   obs::Counter admin;     // STATS / STATS2 / METRICS / RELOAD verbs
 
-  // Model lifecycle. reload_rejected / rollbacks / worker_stalled are
-  // registry-only (STATS2 / METRICS): the STATS v1 key set is frozen.
+  // Model lifecycle. reload_rejected / rollbacks / worker_stalled and the
+  // delta family are registry-only (STATS2 / METRICS): the STATS v1 key set
+  // is frozen.
   obs::Counter reloads;
   obs::Counter reload_failures;
   obs::Counter reload_debounced;  // watch polls deferred for stability
   obs::Counter reload_rejected;   // canary gate kept the old generation
   obs::Counter rollbacks;         // ROLLBACK verbs that republished an archive
   obs::Counter worker_stalled;    // watchdog: worker stuck on one batch
+  obs::Counter delta_applies;     // model deltas published (DELTA verb / watch)
+  obs::Counter delta_rejected;    // stale base / unknown suffix / torn file
+  obs::Histogram delta_apply_us;  // wall time of one apply_delta publish
+  obs::Gauge model_generation;    // the serving generation, updated per publish
+
+  // GEOB batch accounting: subjects counted under requests/hits/misses as
+  // usual; these add per-batch shape (avg GEOB size = subjects / batches).
+  obs::Counter geob_batches;   // GEOB blocks answered
+  obs::Counter geob_subjects;  // subject lines across all GEOB blocks
 
   // Model-format observability (DESIGN.md §15): end-to-end reload latency
   // plus per-format load accounting, so dashboards can tell a cheap mmap

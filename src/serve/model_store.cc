@@ -85,9 +85,10 @@ std::optional<std::uint64_t> gen_from_name(std::string_view name) {
 
 // Builds a snapshot from parsed conventions — the shared tail of the text
 // reload and rollback paths (install has its own copy to keep its
-// always-succeeds contract).
+// always-succeeds contract). The full list (kPoor included) is retained as
+// snap->stored in canonical order so apply_delta can merge against it.
 std::shared_ptr<ModelSnapshot> build_snapshot(const geo::GeoDictionary& dict,
-                                              const std::vector<core::StoredConvention>& loaded,
+                                              std::vector<core::StoredConvention> loaded,
                                               std::string source,
                                               std::vector<std::string> warnings,
                                               std::shared_ptr<const fuse::FuseContext> fuse) {
@@ -101,6 +102,8 @@ std::shared_ptr<ModelSnapshot> build_snapshot(const geo::GeoDictionary& dict,
   }
   snap->convention_count = snap->geolocator.convention_count();
   snap->program_count = snap->geolocator.program_count();
+  core::sort_conventions(loaded);
+  snap->stored = std::move(loaded);
   return snap;
 }
 
@@ -147,13 +150,40 @@ ModelStore::FileStamp ModelStore::file_stamp(const std::string& path) {
   return fs;
 }
 
-void ModelStore::publish(std::shared_ptr<ModelSnapshot> snap) {
+void ModelStore::swap_in_locked(std::shared_ptr<ModelSnapshot> snap) {
   snap->generation = next_generation_++;
+  if (metrics_ != nullptr)
+    metrics_->model_generation.set(static_cast<std::int64_t>(snap->generation));
   std::shared_ptr<const ModelSnapshot> next(std::move(snap));
-  std::lock_guard lock(snap_mu_);
-  snap_.swap(next);
+  {
+    std::lock_guard lock(snap_mu_);
+    snap_.swap(next);
+  }
   // `next` (the previous snapshot) is released outside the lock when it
   // goes out of scope — possibly the last reference, freeing the model.
+}
+
+std::optional<std::string> ModelStore::publish_locked(std::shared_ptr<ModelSnapshot> snap,
+                                                      const PublishOptions& opts,
+                                                      std::uint64_t* new_generation) {
+  if (!opts.bypass_canary) {
+    if (const auto rejected = canary_check_locked(*snap)) {
+      if (metrics_ != nullptr) metrics_->reload_rejected.inc();
+      return rejected;
+    }
+  }
+  const std::uint64_t gen = next_generation_;
+  swap_in_locked(std::move(snap));
+  if (!opts.archive_bytes.empty()) archive_locked(gen, opts.archive_bytes);
+  if (new_generation != nullptr) *new_generation = gen;
+  return std::nullopt;
+}
+
+std::optional<std::string> ModelStore::publish(std::shared_ptr<ModelSnapshot> snap,
+                                               const PublishOptions& opts,
+                                               std::uint64_t* new_generation) {
+  std::lock_guard lock(reload_mu_);
+  return publish_locked(std::move(snap), opts, new_generation);
 }
 
 std::optional<std::string> ModelStore::reload() {
@@ -195,23 +225,22 @@ std::optional<std::string> ModelStore::reload_locked() {
     std::string error;
     std::vector<std::string> warnings;
     std::istringstream in(owned_bytes);
-    const auto loaded = core::load_conventions(in, dict_, &error, &warnings);
+    auto loaded = core::load_conventions(in, dict_, &error, &warnings);
     if (!loaded) return "model file '" + path_ + "': " + error;
-    snap = build_snapshot(dict_, *loaded, path_, std::move(warnings), fuse_ctx_);
+    snap = build_snapshot(dict_, std::move(*loaded), path_, std::move(warnings), fuse_ctx_);
     archive_bytes = owned_bytes;
   }
 
-  if (const auto rejected = canary_check_locked(*snap)) {
+  const std::string format = snap->format;
+  const std::size_t mapped = snap->ncb != nullptr ? snap->ncb->bytes_mapped() : 0;
+  PublishOptions opts;
+  opts.archive_bytes = archive_bytes;
+  if (const auto rejected = publish_locked(std::move(snap), opts, nullptr)) {
     // The candidate parsed but fails the health gate: keep the previous
     // generation serving. loaded_stamp_ was already recorded, so the
     // watcher won't retry the same bad file every poll.
-    if (metrics_ != nullptr) metrics_->reload_rejected.inc();
     return "model file '" + path_ + "': " + *rejected;
   }
-  const std::string format = snap->format;
-  const std::size_t mapped = snap->ncb != nullptr ? snap->ncb->bytes_mapped() : 0;
-  const std::uint64_t gen = next_generation_;
-  publish(std::move(snap));
   // Stash the load facts even when no metrics are attached yet: the boot
   // load precedes the server's registry, and set_metrics replays the stash
   // so the load-path counters are truthful for a daemon that never swaps.
@@ -219,7 +248,6 @@ std::optional<std::string> ModelStore::reload_locked() {
   pending_load_format_ = format;
   pending_load_mapped_ = mapped;
   if (metrics_ != nullptr) record_pending_load_locked();
-  archive_locked(gen, archive_bytes);
   return std::nullopt;
 }
 
@@ -241,7 +269,12 @@ void ModelStore::record_pending_load_locked() {
 void ModelStore::set_metrics(Metrics* metrics) {
   std::lock_guard lock(reload_mu_);
   metrics_ = metrics;
-  if (metrics_ != nullptr) record_pending_load_locked();
+  if (metrics_ != nullptr) {
+    record_pending_load_locked();
+    // Publishes that preceded the registry (the boot load) still surface
+    // through the generation gauge.
+    metrics_->model_generation.set(static_cast<std::int64_t>(generation()));
+  }
 }
 
 void ModelStore::set_keep_generations(std::size_t n) {
@@ -366,13 +399,15 @@ std::optional<std::string> ModelStore::rollback(std::uint64_t gen,
     std::string error;
     std::vector<std::string> warnings;
     std::istringstream in(bytes);
-    const auto loaded = core::load_conventions(in, dict_, &error, &warnings);
+    auto loaded = core::load_conventions(in, dict_, &error, &warnings);
     if (!loaded) return "archived generation " + std::to_string(gen) + ": " + error;
-    snap = build_snapshot(dict_, *loaded, source, std::move(warnings), fuse_ctx_);
+    snap = build_snapshot(dict_, std::move(*loaded), source, std::move(warnings), fuse_ctx_);
   }
-  const std::uint64_t published = next_generation_;
-  publish(std::move(snap));
-  archive_locked(published, bytes);
+  PublishOptions opts;
+  opts.bypass_canary = true;  // explicit operator action
+  opts.archive_bytes = bytes;
+  std::uint64_t published = 0;
+  if (const auto err = publish_locked(std::move(snap), opts, &published)) return err;
   if (metrics_ != nullptr) {
     metrics_->rollbacks.inc();
     metrics_->reload_us.observe(static_cast<double>(elapsed_us(t0)));
@@ -393,7 +428,11 @@ void ModelStore::install(const std::vector<core::StoredConvention>& conventions,
   }
   snap->convention_count = snap->geolocator.convention_count();
   snap->program_count = snap->geolocator.program_count();
-  publish(std::move(snap));
+  snap->stored = conventions;
+  core::sort_conventions(snap->stored);
+  PublishOptions opts;
+  opts.bypass_canary = true;  // install() always succeeds
+  publish_locked(std::move(snap), opts, nullptr);
 }
 
 void ModelStore::set_fuse_context(std::shared_ptr<const fuse::FuseContext> ctx) {
@@ -409,7 +448,9 @@ void ModelStore::set_fuse_context(std::shared_ptr<const fuse::FuseContext> ctx) 
     snap = std::make_shared<ModelSnapshot>(*snap_);
   }
   snap->fuse = fuse_ctx_;
-  publish(std::move(snap));
+  PublishOptions opts;
+  opts.bypass_canary = true;  // the model bytes are unchanged
+  publish_locked(std::move(snap), opts, nullptr);
 }
 
 ModelStore::WatchOutcome ModelStore::poll_watch(std::string* error) {
@@ -436,6 +477,166 @@ ModelStore::WatchOutcome ModelStore::poll_watch(std::string* error) {
   }
   pending_valid_ = false;
   if (const auto err = reload_locked()) {
+    if (error != nullptr) *error = *err;
+    return WatchOutcome::kReloadFailed;
+  }
+  return WatchOutcome::kReloaded;
+}
+
+std::optional<std::string> ModelStore::apply_delta(const core::ModelDelta& delta,
+                                                   DeltaApply* out) {
+  std::lock_guard lock(reload_mu_);
+  return apply_delta_locked(delta, out);
+}
+
+std::optional<std::string> ModelStore::apply_delta_locked(const core::ModelDelta& delta,
+                                                          DeltaApply* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto reject = [&](std::string msg) -> std::optional<std::string> {
+    if (metrics_ != nullptr) metrics_->delta_rejected.inc();
+    return msg;
+  };
+
+  const std::shared_ptr<const ModelSnapshot> base = current();
+  if (delta.base_generation != base->generation)
+    return reject("delta targets generation " + std::to_string(delta.base_generation) +
+                  " but generation " + std::to_string(base->generation) + " is serving");
+
+  // The merge base: the snapshot's stored list, materialized from the ncb
+  // image the first time a delta lands on a binary generation.
+  std::vector<core::StoredConvention> stored;
+  if (base->stored.empty() && base->ncb != nullptr) {
+    std::string error;
+    auto s = base->ncb->to_stored(dict_, &error);
+    if (!s) return reject("base model: " + error);
+    stored = std::move(*s);
+    core::sort_conventions(stored);
+  } else {
+    stored = base->stored;
+  }
+
+  // Successor snapshot by structural sharing: the copied Geolocator keeps
+  // every unchanged suffix's compiled matcher (for an ncb base, views into
+  // the mapping the copied snap->ncb handle pins).
+  auto snap = std::make_shared<ModelSnapshot>(*base);
+  snap->source = "delta onto gen " + std::to_string(base->generation);
+  snap->warnings.clear();
+
+  const auto find_stored = [&stored](std::string_view suffix) {
+    return std::find_if(stored.begin(), stored.end(), [&](const core::StoredConvention& sc) {
+      return sc.nc.suffix == suffix;
+    });
+  };
+  for (const std::string& suffix : delta.removes) {
+    const auto it = find_stored(suffix);
+    if (it == stored.end())
+      return reject("delta removes unknown suffix '" + suffix + "'");
+    stored.erase(it);
+    snap->geolocator.remove(suffix);  // no-op for kPoor entries (never added)
+  }
+  for (const core::StoredConvention& sc : delta.upserts) {
+    const auto it = find_stored(sc.nc.suffix);
+    if (it == stored.end())
+      stored.push_back(sc);
+    else
+      *it = sc;
+    if (sc.cls == core::NcClass::kPoor)
+      snap->geolocator.remove(sc.nc.suffix);  // demoted: stored, not served
+    else
+      snap->geolocator.add(sc.nc, sc.cls);
+  }
+  core::sort_conventions(stored);
+  snap->stored = std::move(stored);
+  snap->convention_count = snap->geolocator.convention_count();
+  snap->program_count = snap->geolocator.program_count();
+
+  // Archive bytes re-serialized in the base's format, so a delta-built
+  // generation is as self-contained a rollback target as a full load.
+  std::string bytes;
+  if (keep_generations_ > 0 && !path_.empty()) {
+    if (base->ncb != nullptr) {
+      bytes = core::serialize_conventions_ncb(snap->stored, dict_);
+    } else {
+      std::ostringstream buf;
+      core::save_conventions(buf, snap->stored, dict_);
+      bytes = buf.str();
+      bytes += core::checksum_footer_line(core::fnv1a_hash(bytes));
+      bytes += '\n';
+    }
+  }
+  const std::size_t upserts = delta.upserts.size();
+  const std::size_t removes = delta.removes.size();
+  const std::size_t conventions = snap->convention_count;
+  PublishOptions opts;
+  opts.archive_bytes = bytes;
+  std::uint64_t published = 0;
+  if (const auto err = publish_locked(std::move(snap), opts, &published))
+    return reject(*err);
+  if (metrics_ != nullptr) {
+    metrics_->delta_applies.inc();
+    metrics_->delta_apply_us.observe(static_cast<double>(elapsed_us(t0)));
+  }
+  if (out != nullptr) {
+    out->base_generation = delta.base_generation;
+    out->new_generation = published;
+    out->upserts = upserts;
+    out->removes = removes;
+    out->conventions = conventions;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ModelStore::apply_delta_file(const std::string& path,
+                                                        DeltaApply* out) {
+  std::lock_guard lock(reload_mu_);
+  std::string bytes;
+  if (!read_file(path, &bytes)) {
+    if (metrics_ != nullptr) metrics_->delta_rejected.inc();
+    return "cannot open delta file '" + path + "'";
+  }
+  std::string error;
+  std::istringstream in(bytes);
+  const auto delta = core::load_model_delta(in, dict_, &error);
+  if (!delta) {
+    if (metrics_ != nullptr) metrics_->delta_rejected.inc();
+    return "delta file '" + path + "': " + error;
+  }
+  return apply_delta_locked(*delta, out);
+}
+
+void ModelStore::set_delta_watch(std::string path) {
+  std::lock_guard lock(reload_mu_);
+  delta_path_ = std::move(path);
+  delta_stamp_ = FileStamp{};
+  delta_pending_valid_ = false;
+}
+
+ModelStore::WatchOutcome ModelStore::poll_delta_watch(std::string* error) {
+  std::unique_lock lock(reload_mu_);
+  if (delta_path_.empty()) return WatchOutcome::kUnchanged;
+  const FileStamp now = file_stamp(delta_path_);
+  if (!now.exists) {
+    delta_pending_valid_ = false;
+    return WatchOutcome::kMissing;
+  }
+  if (now.same(delta_stamp_)) {
+    delta_pending_valid_ = false;
+    return WatchOutcome::kUnchanged;
+  }
+  if (!delta_pending_valid_ || !now.same(delta_pending_stamp_)) {
+    // Same debounce as the model watch: a delta is dropped in by rename,
+    // but a new mtime must hold still for one poll before we read it.
+    delta_pending_stamp_ = now;
+    delta_pending_valid_ = true;
+    return WatchOutcome::kDebounced;
+  }
+  delta_pending_valid_ = false;
+  // Record before applying: a failed or stale delta is reported once per
+  // file change, not once per poll (same contract as poll_watch).
+  delta_stamp_ = now;
+  const std::string path = delta_path_;
+  lock.unlock();
+  if (const auto err = apply_delta_file(path)) {
     if (error != nullptr) *error = *err;
     return WatchOutcome::kReloadFailed;
   }

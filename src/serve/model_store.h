@@ -14,6 +14,17 @@
 //
 // Failed reloads (missing file, malformed model) keep the previous snapshot
 // serving and report the error; there is no window with no model installed.
+//
+// Since the incremental-relearning redesign (DESIGN.md §16) the store's
+// public surface is generation-addressed rather than file-addressed: every
+// way a model can change — reload(), install(), rollback(), apply_delta()
+// — routes through one publish(snapshot, options) pipeline that numbers,
+// canary-gates, swaps, and archives the generation. apply_delta() takes a
+// core::ModelDelta (the learner's run_delta output, or a delta file) and
+// builds the successor snapshot by structural sharing: unchanged suffixes
+// keep the base generation's compiled matchers (for an mmap'd ncb base,
+// views into the base mapping, which the new snapshot pins), so the apply
+// cost scales with the delta, not the model.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "core/delta.h"
 #include "core/geolocate.h"
 #include "core/nc_io.h"
 #include "core/ncb.h"
@@ -42,6 +54,14 @@ struct ModelSnapshot {
   std::string source;                // file path or "<memory>"
   std::string format = "text";       // "text" | "ncb" | "ncb_mmap"
   std::vector<std::string> warnings; // loader notes (dropped hints, dupes)
+
+  // The full stored convention list (kPoor included — the serialized model
+  // keeps them even though the Geolocator skips them), in canonical
+  // suffix-sorted order. This is what apply_delta merges against and what
+  // re-serializes byte-identically for the archive. Text loads and
+  // install() populate it eagerly; an ncb base leaves it empty and the
+  // first apply_delta materializes it via NcbModel::to_stored().
+  std::vector<core::StoredConvention> stored;
 
   // When the snapshot was built from a binary model, this pins the mapping
   // (or aligned buffer) the Geolocator's matchers are views over. Must
@@ -101,6 +121,61 @@ class ModelStore {
   // within the same second are still detected.
   enum class WatchOutcome { kUnchanged, kMissing, kDebounced, kReloaded, kReloadFailed };
   WatchOutcome poll_watch(std::string* error = nullptr);
+
+  // --- Generation-addressed publishing (DESIGN.md §16) ---
+
+  // Knobs for one publish. Defaults match reload(): canary-gated, archived
+  // when archive_bytes is non-empty.
+  struct PublishOptions {
+    bool bypass_canary = false;        // install()/rollback(): operator actions
+    std::string_view archive_bytes{};  // serialized model for the lineage archive
+  };
+
+  // The single pipeline every model change goes through: canary-gate the
+  // candidate (unless bypassed), assign the next generation number, swap it
+  // in for readers, archive the bytes, and update model lifecycle metrics.
+  // On rejection the serving snapshot is untouched and the error names the
+  // divergence. *new_generation (if non-null) receives the published number.
+  std::optional<std::string> publish(std::shared_ptr<ModelSnapshot> snap,
+                                     const PublishOptions& opts,
+                                     std::uint64_t* new_generation = nullptr);
+  std::optional<std::string> publish(std::shared_ptr<ModelSnapshot> snap) {
+    return publish(std::move(snap), PublishOptions{}, nullptr);
+  }
+
+  // What one apply_delta() did, for admin responses and benches.
+  struct DeltaApply {
+    std::uint64_t base_generation = 0;  // generation the delta was applied on
+    std::uint64_t new_generation = 0;
+    std::size_t upserts = 0;
+    std::size_t removes = 0;
+    std::size_t conventions = 0;  // usable conventions in the new snapshot
+  };
+
+  // Applies a model delta (core/delta.h) to the *serving* generation and
+  // publishes the successor. Rejects — previous snapshot stays current,
+  // serve_delta_rejected bumps — when the delta's base generation is not
+  // the serving one (stale delta: the world moved underneath it) or when it
+  // removes a suffix the base does not carry (a torn or mismatched delta).
+  // The successor shares every unchanged suffix's compiled matcher with the
+  // base snapshot and is archived re-serialized in the base's format, so
+  // rollback targets stay self-contained. Canary-gated like a reload.
+  std::optional<std::string> apply_delta(const core::ModelDelta& delta,
+                                         DeltaApply* out = nullptr);
+
+  // Loads a delta file (strict: checksum footer required — a torn delta
+  // never publishes) and applies it. The DELTA admin verb and the delta
+  // watcher both land here.
+  std::optional<std::string> apply_delta_file(const std::string& path,
+                                              DeltaApply* out = nullptr);
+
+  // Watches `path` for model *deltas* the way poll_watch watches the model
+  // file: missing file is idle (deploys drop the delta in by rename), a new
+  // ns-mtime must hold still for one poll before the file is applied, and a
+  // failed/rejected apply is reported once per file change, not per poll.
+  // Empty path disables. Driven by the daemon's --delta-watch flag.
+  void set_delta_watch(std::string path);
+  WatchOutcome poll_delta_watch(std::string* error = nullptr);
 
   // --- Versioned lineage & health-gated publishing (DESIGN.md §14) ---
 
@@ -167,8 +242,15 @@ class ModelStore {
   };
 
   static FileStamp file_stamp(const std::string& path);
-  void publish(std::shared_ptr<ModelSnapshot> snap);
-  std::optional<std::string> reload_locked();  // requires reload_mu_
+  // The swap itself (numbers the snapshot, flips snap_); publish() adds the
+  // gate/archive/metrics around it. Requires reload_mu_.
+  void swap_in_locked(std::shared_ptr<ModelSnapshot> snap);
+  std::optional<std::string> publish_locked(std::shared_ptr<ModelSnapshot> snap,
+                                            const PublishOptions& opts,
+                                            std::uint64_t* new_generation);
+  std::optional<std::string> reload_locked();       // requires reload_mu_
+  std::optional<std::string> apply_delta_locked(const core::ModelDelta& delta,
+                                                DeltaApply* out);  // requires reload_mu_
 
   // Lineage helpers; all require reload_mu_.
   std::string gens_dir() const { return path_ + ".gens"; }
@@ -197,6 +279,10 @@ class ModelStore {
   FileStamp loaded_stamp_;             // stamp at last (attempted) load; reload_mu_
   FileStamp pending_stamp_;            // candidate stamp awaiting debounce; reload_mu_
   bool pending_valid_ = false;         // guarded by reload_mu_
+  std::string delta_path_;             // delta watch target; reload_mu_
+  FileStamp delta_stamp_;              // stamp at last (attempted) apply; reload_mu_
+  FileStamp delta_pending_stamp_;      // candidate awaiting debounce; reload_mu_
+  bool delta_pending_valid_ = false;   // guarded by reload_mu_
   mutable std::mutex snap_mu_;         // guards snap_ swap/copy only
   std::shared_ptr<const ModelSnapshot> snap_;
 };

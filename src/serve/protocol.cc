@@ -39,24 +39,51 @@ bool parse_coordinate(std::string_view text, geo::Coordinate* out) {
   return out->valid();
 }
 
+std::string_view trim_spaces(std::string_view s) {
+  while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
+  while (!s.empty() && s.back() == ' ') s.remove_suffix(1);
+  return s;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  if (s.empty() || s.size() > 20) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
 Request parse_rollback_args(std::string_view rest) {
   Request req;
   req.kind = RequestKind::kRollback;
-  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
-  while (!rest.empty() && rest.back() == ' ') rest.remove_suffix(1);
-  std::uint64_t gen = 0;
-  if (rest.empty() || rest.size() > 20) {
+  const auto gen = parse_u64(trim_spaces(rest));
+  if (!gen) {
     req.error = "rollback_usage";
     return req;
   }
-  for (const char c : rest) {
-    if (c < '0' || c > '9') {
-      req.error = "rollback_usage";
-      return req;
-    }
-    gen = gen * 10 + static_cast<std::uint64_t>(c - '0');
+  req.rollback_gen = *gen;
+  return req;
+}
+
+Request parse_geob_args(std::string_view rest) {
+  Request req;
+  req.kind = RequestKind::kGeoBatch;
+  const auto count = parse_u64(trim_spaces(rest));
+  if (!count || *count == 0 || *count > kMaxGeobBatch) {
+    req.error = "geob_usage";
+    return req;
   }
-  req.rollback_gen = gen;
+  req.geob_count = static_cast<std::size_t>(*count);
+  return req;
+}
+
+Request parse_delta_args(std::string_view rest) {
+  Request req;
+  req.kind = RequestKind::kDelta;
+  req.path = trim_spaces(rest);
+  if (req.path.empty()) req.error = "delta_usage";
   return req;
 }
 
@@ -84,6 +111,28 @@ Request parse_geo_args(std::string_view rest) {
   return req;
 }
 
+// The verb table: one row per wire verb, shared by every caller. Argless
+// verbs (parse == nullptr) must appear bare — a trailing argument makes the
+// line an unknown verb, exactly as before the table existed. Verbs with a
+// parser own their argument grammar, arity checks, and named usage errors.
+struct VerbSpec {
+  std::string_view name;
+  RequestKind kind;                         // argless verbs: the result kind
+  Request (*parse)(std::string_view rest);  // non-null: verb takes arguments
+};
+
+constexpr VerbSpec kVerbs[] = {
+    {"STATS", RequestKind::kStats, nullptr},
+    {"STATS2", RequestKind::kStats2, nullptr},
+    {"METRICS", RequestKind::kMetrics, nullptr},
+    {"RELOAD", RequestKind::kReload, nullptr},
+    {"GENS", RequestKind::kGens, nullptr},
+    {"GEO", RequestKind::kGeo, parse_geo_args},
+    {"GEOB", RequestKind::kGeoBatch, parse_geob_args},
+    {"ROLLBACK", RequestKind::kRollback, parse_rollback_args},
+    {"DELTA", RequestKind::kDelta, parse_delta_args},
+};
+
 }  // namespace
 
 Request parse_request(std::string_view line) {
@@ -91,36 +140,39 @@ Request parse_request(std::string_view line) {
   Request req;
   if (line.empty()) {
     req.kind = RequestKind::kEmpty;
-  } else if (line == "STATS") {
-    req.kind = RequestKind::kStats;
-  } else if (line == "STATS2") {
-    req.kind = RequestKind::kStats2;
-  } else if (line == "METRICS") {
-    req.kind = RequestKind::kMetrics;
-  } else if (line == "RELOAD") {
-    req.kind = RequestKind::kReload;
-  } else if (line == "GENS") {
-    req.kind = RequestKind::kGens;
-  } else {
-    const std::size_t space = line.find(' ');
-    const std::string_view head =
-        space == std::string_view::npos ? line : line.substr(0, space);
-    if (head == "GEO") return parse_geo_args(space == std::string_view::npos
-                                                 ? std::string_view()
-                                                 : line.substr(space + 1));
-    if (head == "ROLLBACK")
-      return parse_rollback_args(space == std::string_view::npos ? std::string_view()
-                                                                 : line.substr(space + 1));
-    if (space != std::string_view::npos || verb_shaped(head)) {
-      // A spaced line (hostnames have no spaces) or a bare verb-shaped
-      // token: answer a named error rather than a misleading MISS.
-      req.kind = RequestKind::kUnknownVerb;
+    return req;
+  }
+  const std::size_t space = line.find(' ');
+  const std::string_view head =
+      space == std::string_view::npos ? line : line.substr(0, space);
+  const std::string_view rest =
+      space == std::string_view::npos ? std::string_view() : line.substr(space + 1);
+  for (const VerbSpec& verb : kVerbs) {
+    if (head != verb.name) continue;
+    if (verb.parse != nullptr) return verb.parse(rest);
+    if (space == std::string_view::npos) {
+      req.kind = verb.kind;
       return req;
     }
-    req.kind = RequestKind::kLookup;
-    req.hostname = line;
+    break;  // argless verb with arguments: unknown verb (below)
   }
+  if (space != std::string_view::npos || verb_shaped(head)) {
+    // A spaced line (hostnames have no spaces) or a bare verb-shaped
+    // token: answer a named error rather than a misleading MISS.
+    req.kind = RequestKind::kUnknownVerb;
+    return req;
+  }
+  req.kind = RequestKind::kLookup;
+  req.hostname = line;
   return req;
+}
+
+std::optional<std::size_t> parse_geob_count(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  if (!util::starts_with(line, "GEOB ")) return std::nullopt;
+  const Request req = parse_geob_args(line.substr(5));
+  if (!req.error.empty()) return std::nullopt;
+  return req.geob_count;
 }
 
 std::string format_hit(const core::Geolocation& g) {
@@ -255,6 +307,23 @@ std::string format_metrics_text(const obs::Snapshot& snap, std::uint64_t generat
   return out;
 }
 
+std::string format_geob_header(std::size_t count) {
+  return "GEOB," + std::to_string(count);
+}
+
+std::string format_delta_ok(std::uint64_t generation, std::uint64_t from,
+                            std::size_t upserts, std::size_t removes,
+                            std::size_t conventions) {
+  return "DELTA,ok,generation=" + std::to_string(generation) +
+         ",from=" + std::to_string(from) + ",upserts=" + std::to_string(upserts) +
+         ",removes=" + std::to_string(removes) +
+         ",conventions=" + std::to_string(conventions);
+}
+
+std::string format_delta_error(std::string_view message) {
+  return "DELTA,error," + std::string(message);
+}
+
 std::string format_reload_ok(std::uint64_t generation, std::size_t conventions) {
   return "RELOAD,ok,generation=" + std::to_string(generation) +
          ",conventions=" + std::to_string(conventions);
@@ -290,6 +359,7 @@ std::string format_rollback_error(std::string_view message) {
 ResponseKind classify_response(std::string_view line) {
   if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
   if (line == "MISS") return ResponseKind::kMiss;
+  if (util::starts_with(line, "GEOB,")) return ResponseKind::kGeoBatch;
   if (util::starts_with(line, "GEO,")) return ResponseKind::kGeo;
   if (util::starts_with(line, "#")) return ResponseKind::kMetrics;
   if (util::starts_with(line, "STATS2")) return ResponseKind::kStats2;
@@ -299,6 +369,8 @@ ResponseKind classify_response(std::string_view line) {
   if (util::starts_with(line, "GENS,")) return ResponseKind::kGens;
   if (util::starts_with(line, "ROLLBACK,ok")) return ResponseKind::kRollback;
   if (util::starts_with(line, "ROLLBACK,error")) return ResponseKind::kRollbackError;
+  if (util::starts_with(line, "DELTA,ok")) return ResponseKind::kDelta;
+  if (util::starts_with(line, "DELTA,error")) return ResponseKind::kDeltaError;
   if (util::starts_with(line, "ERR,")) return ResponseKind::kError;
   return ResponseKind::kHit;
 }

@@ -2,16 +2,20 @@
 //
 // Grammar (all lines '\n'-terminated; '\r' before '\n' is tolerated):
 //
-//   request   = lookup | geo | "STATS" | "STATS2" | "METRICS" | "RELOAD"
-//             | "GENS" | rollback
+//   request   = lookup | geo | geob | "STATS" | "STATS2" | "METRICS"
+//             | "RELOAD" | "GENS" | rollback | delta
 //   lookup    = hostname                     ; anything that is not a verb
 //   geo       = "GEO" SP subject [SP lat "," lon]
+//   geob      = "GEOB" SP count CRLF *count( subject CRLF )
+//                                            ; batch: count subject lines
+//                                            ; follow the header (1..1024)
 //   subject   = hostname | address           ; address needs a fuse context
 //   rollback  = "ROLLBACK" SP generation     ; decimal archived generation
+//   delta     = "DELTA" SP file              ; model-delta file to apply
 //
-//   response  = hit | miss | geo-hit | geo-miss | stats | stats2 | metrics
-//             | reload-ok | reload-err | gens | rollback-ok | rollback-err
-//             | err
+//   response  = hit | miss | geo-hit | geo-miss | geob-block | stats
+//             | stats2 | metrics | reload-ok | reload-err | gens
+//             | rollback-ok | rollback-err | delta-ok | delta-err | err
 //   hit       = lat "," lon "," code "," method
 //   method    = "learned" | "dictionary"     ; how the code was resolved
 //   miss      = "MISS"                       ; no convention / unknown code
@@ -31,6 +35,13 @@
 //                                            ; "archived=-" when none
 //   rollback-ok  = "ROLLBACK,ok,generation=" N ",from=" N ",conventions=" N
 //   rollback-err = "ROLLBACK,error," message
+//   geob-block = "GEOB," count CRLF *count( geo-hit | geo-miss CRLF )
+//                                            ; one line per subject, in
+//                                            ; request order; the block is
+//                                            ; a single ordered response
+//   delta-ok  = "DELTA,ok,generation=" N ",from=" N ",upserts=" N
+//               ",removes=" N ",conventions=" N
+//   delta-err = "DELTA,error," message
 //   err       = "ERR," reason                ; empty/oversized line, unknown
 //                                            ; verb, malformed GEO arguments
 //
@@ -67,34 +78,60 @@ namespace hoiho::serve {
 enum class RequestKind {
   kLookup,
   kGeo,
+  kGeoBatch,
   kStats,
   kStats2,
   kMetrics,
   kReload,
   kGens,
   kRollback,
+  kDelta,
   kEmpty,
   kUnknownVerb,
 };
 
+// Hard cap on GEOB batch size: bounds what one header line can make the
+// server buffer before dispatching (the framing holds the whole group).
+inline constexpr std::size_t kMaxGeobBatch = 1024;
+
+// One parsed request line. Every verb shares this shape: `kind` selects
+// the handler, `error` (when non-empty) is the named usage error the server
+// answers as ERR,<error> instead of running the verb — the dispatch table
+// in protocol.cc owns all arity/argument checking, so server.cc never
+// string-matches a line.
 struct Request {
   RequestKind kind = RequestKind::kLookup;
   std::string_view hostname;  // views into the request line; kLookup only
 
-  // kGeo only. `error` non-empty means the GEO arguments were malformed
+  // kGeo only. `error` non-empty means the arguments were malformed
   // ("geo_usage", "bad_coordinate") and the server should answer ERR,<error>.
   std::string_view subject;
   bool has_claimed = false;
   geo::Coordinate claimed;
   std::string_view error;
 
-  // kRollback only (error, shared with kGeo above, is "rollback_usage"
-  // when the generation argument is missing or non-numeric).
+  // kRollback only (error is "rollback_usage" when the generation argument
+  // is missing or non-numeric).
   std::uint64_t rollback_gen = 0;
+
+  // kGeoBatch only: subject lines that follow the header (error is
+  // "geob_usage" when the count is missing, zero, non-numeric, or over
+  // kMaxGeobBatch).
+  std::size_t geob_count = 0;
+
+  // kDelta only: the model-delta file to apply (error is "delta_usage"
+  // when missing).
+  std::string_view path;
 };
 
 // Classifies one request line (without the trailing newline).
 Request parse_request(std::string_view line);
+
+// Fast framing probe for the server's read loop: the subject count of a
+// *well-formed* GEOB header line, nullopt otherwise (including over-cap
+// counts — a malformed header is answered ERR without consuming any
+// subject lines). Shares the parser with parse_request.
+std::optional<std::size_t> parse_geob_count(std::string_view line);
 
 // Response formatters. None include the trailing '\n'; the server appends
 // it when framing.
@@ -121,8 +158,18 @@ std::string format_stats_v2(const obs::Snapshot& snap, std::uint64_t generation,
 std::string format_metrics_text(const obs::Snapshot& snap, std::uint64_t generation,
                                 std::size_t conventions, std::size_t programs = 0);
 
+// GEOB: the block header; the server appends one GEO-formatted line per
+// subject after it, in request order.
+std::string format_geob_header(std::size_t count);
+
 std::string format_reload_ok(std::uint64_t generation, std::size_t conventions);
 std::string format_reload_error(std::string_view message);
+
+// DELTA: what an applied model delta published.
+std::string format_delta_ok(std::uint64_t generation, std::uint64_t from,
+                            std::size_t upserts, std::size_t removes,
+                            std::size_t conventions);
+std::string format_delta_error(std::string_view message);
 
 // GENS: the serving generation plus the archived generation numbers
 // (semicolon-separated — commas delimit the outer kv list).
@@ -138,6 +185,7 @@ enum class ResponseKind {
   kHit,
   kMiss,
   kGeo,
+  kGeoBatch,  // GEOB block header; read `count` more GEO lines
   kStats,
   kStats2,
   kMetrics,
@@ -146,6 +194,8 @@ enum class ResponseKind {
   kGens,
   kRollback,
   kRollbackError,
+  kDelta,
+  kDeltaError,
   kError,
 };
 ResponseKind classify_response(std::string_view line);

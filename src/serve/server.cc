@@ -266,13 +266,47 @@ void Server::on_readable(Connection& c) {
   std::vector<std::string> lines;
   std::size_t start = 0;
   bool oversized = false;
-  for (std::size_t pos; (pos = c.in_buf.find('\n', start)) != std::string::npos;
-       start = pos + 1) {
+  for (;;) {
+    const std::size_t pos = c.in_buf.find('\n', start);
+    if (pos == std::string::npos) break;
     if (pos - start > config_.max_line) {
       oversized = true;
       break;
     }
-    lines.emplace_back(c.in_buf, start, pos - start);
+    const std::string_view line(c.in_buf.data() + start, pos - start);
+    if (const auto count = parse_geob_count(line)) {
+      // GEOB group framing: the header and its `count` subject lines enter
+      // one batch together or not at all. An incomplete group stays in
+      // in_buf (start is not advanced) until the subjects arrive; the
+      // group may push the batch past max_batch — it is never split. A
+      // *malformed* header takes the ordinary path below and is answered
+      // ERR without consuming any subject lines.
+      std::vector<std::pair<std::size_t, std::size_t>> subjects;
+      subjects.reserve(*count);
+      std::size_t scan = pos + 1;
+      bool complete = true;
+      while (subjects.size() < *count) {
+        const std::size_t eol = c.in_buf.find('\n', scan);
+        if (eol == std::string::npos) {
+          complete = false;
+          break;
+        }
+        if (eol - scan > config_.max_line) {
+          oversized = true;
+          complete = false;
+          break;
+        }
+        subjects.emplace_back(scan, eol - scan);
+        scan = eol + 1;
+      }
+      if (!complete) break;
+      lines.emplace_back(line);
+      for (const auto& [s, len] : subjects) lines.emplace_back(c.in_buf, s, len);
+      start = scan;
+    } else {
+      lines.emplace_back(line);
+      start = pos + 1;
+    }
     if (lines.size() >= config_.max_batch) {
       dispatch(c, std::move(lines));
       lines.clear();
@@ -281,7 +315,13 @@ void Server::on_readable(Connection& c) {
   c.in_buf.erase(0, start);
   if (!lines.empty()) dispatch(c, std::move(lines));
 
-  if (oversized || c.in_buf.size() >= config_.max_line) {
+  // A retained incomplete GEOB group keeps complete (bounded) lines in
+  // in_buf, so the oversize check applies to the trailing partial line
+  // only — exactly what the pre-GEOB `in_buf.size()` check measured.
+  const std::size_t last_nl = c.in_buf.rfind('\n');
+  const std::size_t partial =
+      last_nl == std::string::npos ? c.in_buf.size() : c.in_buf.size() - last_nl - 1;
+  if (oversized || partial >= config_.max_line) {
     // A line over the cap — terminated or still streaming in — is a
     // protocol violation. Answer through the ordered completion path
     // (after any lines dispatched above), then drop the connection once
@@ -352,8 +392,22 @@ void Server::process_batch(std::uint64_t conn_id, std::uint64_t seq,
   std::shared_ptr<const ModelSnapshot> snap = store_.current();
   std::string out;
   out.reserve(lines.size() * 24);
-  for (const std::string& line : lines) {
-    const Request req = parse_request(line);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const Request req = parse_request(lines[i]);
+    if (!req.error.empty()) {
+      // Shared named-error emission: the verb table (protocol.cc) did the
+      // arity/argument checking; every malformed verb answers here so the
+      // handlers below only ever see well-formed requests.
+      if (req.kind == RequestKind::kGeo || req.kind == RequestKind::kGeoBatch) {
+        metrics_.requests.inc();
+      } else {
+        metrics_.admin.inc();
+      }
+      metrics_.errors.inc();
+      out += format_error(req.error);
+      out += '\n';
+      continue;
+    }
     switch (req.kind) {
       case RequestKind::kLookup: {
         metrics_.requests.inc();
@@ -369,11 +423,6 @@ void Server::process_batch(std::uint64_t conn_id, std::uint64_t seq,
       }
       case RequestKind::kGeo: {
         metrics_.requests.inc();
-        if (!req.error.empty()) {
-          metrics_.errors.inc();
-          out += format_error(req.error);
-          break;
-        }
         std::optional<geo::Coordinate> claimed;
         if (req.has_claimed) claimed = req.claimed;
         // Cheap per-batch facade over the pinned snapshot: the Fuser itself
@@ -397,6 +446,52 @@ void Server::process_batch(std::uint64_t conn_id, std::uint64_t seq,
           metrics_.misses.inc();
         }
         out += format_geo(fused, audit);
+        break;
+      }
+      case RequestKind::kGeoBatch: {
+        // The framing in on_readable guarantees the subject lines follow
+        // the header inside this batch; a short group can only mean a bug,
+        // answered as a named error rather than misreading subjects.
+        const std::size_t n = req.geob_count;
+        if (lines.size() - i - 1 < n) {
+          metrics_.requests.inc();
+          metrics_.errors.inc();
+          out += format_error("geob_truncated");
+          break;
+        }
+        metrics_.geob_batches.inc();
+        metrics_.geob_subjects.add(n);
+        out += format_geob_header(n);
+        out += '\n';
+        // One Fuser — one snapshot, one RTT-filter context — for the whole
+        // block: the batch verb's point is amortizing this over n subjects.
+        const fuse::Fuser fuser(snap->geolocator, snap->fuse.get(),
+                                config_.audit.fuse, fuse_metrics_);
+        for (std::size_t k = 0; k < n; ++k) {
+          std::string_view subject = lines[++i];
+          if (!subject.empty() && subject.back() == '\r') subject.remove_suffix(1);
+          metrics_.requests.inc();
+          const fuse::FuseResult fused = fuser.fuse(subject, std::nullopt);
+          if (fused.answered()) {
+            metrics_.hits.inc();
+          } else {
+            metrics_.misses.inc();
+          }
+          out += format_geo(fused);
+          if (k + 1 < n) out += '\n';  // the shared tail adds the last one
+        }
+        break;
+      }
+      case RequestKind::kDelta: {
+        metrics_.admin.inc();
+        ModelStore::DeltaApply applied;
+        if (const auto err = store_.apply_delta_file(std::string(req.path), &applied)) {
+          out += format_delta_error(*err);
+        } else {
+          out += format_delta_ok(applied.new_generation, applied.base_generation,
+                                 applied.upserts, applied.removes, applied.conventions);
+          snap = store_.current();  // later lines in this batch see the new model
+        }
         break;
       }
       case RequestKind::kStats:
@@ -434,11 +529,6 @@ void Server::process_batch(std::uint64_t conn_id, std::uint64_t seq,
         break;
       case RequestKind::kRollback: {
         metrics_.admin.inc();
-        if (!req.error.empty()) {
-          metrics_.errors.inc();
-          out += format_error(req.error);
-          break;
-        }
         std::uint64_t published = 0;
         const std::uint64_t from = req.rollback_gen;
         if (const auto err = store_.rollback(from, &published)) {

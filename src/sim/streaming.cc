@@ -159,16 +159,46 @@ std::uint64_t StreamingWorld::signature() const {
       .mix(p.noise_min_ms)
       .mix(p.noise_max_ms)
       .mix(p.anycast_rate);
+  // Mixed only when active so churn-free worlds keep their pre-churn
+  // signatures (checkpoints from older builds still resume).
+  if (c.churn_frac > 0) sig.mix(std::uint64_t{2}).mix(c.churn_seed).mix(c.churn_frac);
   return sig.value();
+}
+
+bool StreamingWorld::is_churned(std::size_t k) const {
+  if (config_.churn_frac <= 0) return false;
+  if (config_.churn_frac >= 1) return true;
+  // mix() gives 64 uniform bits per (churn_seed, k); take the top 53 as a
+  // uniform double in [0, 1) so the selection matches churn_frac in
+  // expectation and is stable across batch groupings.
+  const double u = static_cast<double>(mix(config_.churn_seed ^ 0xc0ffee, k) >> 11) *
+                   0x1.0p-53;
+  return u < config_.churn_frac;
+}
+
+std::vector<std::size_t> StreamingWorld::churned_suffixes() const {
+  std::vector<std::size_t> out;
+  for (std::size_t k = 0; k < config_.suffixes; ++k)
+    if (is_churned(k)) out.push_back(k);
+  return out;
+}
+
+std::string StreamingWorld::suffix_name(std::size_t k) const {
+  util::Rng rng(mix(config_.seed, k));
+  return make_streaming_suffix(k, rng);
 }
 
 std::vector<topo::HostnameRef> StreamingWorld::render_suffix(std::size_t k,
                                                              io::SuffixBatch& batch,
                                                              topo::RouterId* first_router) {
   util::Rng rng(mix(config_.seed, k));
+  // The name is drawn before any churn reseed: a churned operator keeps its
+  // suffix and turns over everything behind it.
+  std::string name = make_streaming_suffix(k, rng);
+  if (is_churned(k)) rng = util::Rng(mix(mix(config_.seed, config_.churn_seed | 1), k));
   WorldConfig traits = config_.traits;
-  const SampledOperator op = sample_operator(dict_, pools_, traits, make_streaming_suffix(k, rng),
-                                             rng, router_plan_[k]);
+  const SampledOperator op =
+      sample_operator(dict_, pools_, traits, std::move(name), rng, router_plan_[k]);
 
   // Per-suffix address base: unique within a suffix, stable across batch
   // groupings. (Cross-suffix textual collisions are possible in the 24-bit
@@ -241,6 +271,41 @@ std::optional<io::SuffixBatch> StreamingWorld::next_batch() {
     batch.groups.push_back(topo::SuffixGroup{std::move(p.suffix), std::move(p.refs)});
 
   if (batch.groups.empty()) return next_batch();  // every suffix was empty; advance
+  return batch;
+}
+
+io::SuffixBatch StreamingWorld::render_batch(const std::vector<std::size_t>& ks) {
+  io::SuffixBatch batch;
+  batch.first_suffix_index = ks.empty() ? 0 : ks.front();
+
+  struct Pending {
+    std::size_t suffix_index;
+    topo::RouterId first_router;
+    topo::RouterId end_router;
+    std::vector<topo::HostnameRef> refs;
+    std::string suffix;
+  };
+  std::vector<Pending> pending;
+  for (const std::size_t k : ks) {
+    Pending p;
+    p.suffix_index = k;
+    p.refs = render_suffix(k, batch, &p.first_router);
+    p.end_router = static_cast<topo::RouterId>(batch.topology.size());
+    if (p.refs.empty()) continue;  // caller maps the omission to a removal
+    p.suffix = std::string(p.refs.front().hostname->suffix());
+    pending.push_back(std::move(p));
+  }
+
+  batch.pings = measure::Measurements(vps_, batch.topology.size());
+  for (const Pending& p : pending) {
+    util::Rng ping_rng(mix(config_.seed ^ config_.ping.seed, p.suffix_index));
+    probe_pings_range(dict_, batch.topology, p.first_router, p.end_router, config_.ping,
+                      ping_rng, batch.pings);
+  }
+
+  batch.groups.reserve(pending.size());
+  for (Pending& p : pending)
+    batch.groups.push_back(topo::SuffixGroup{std::move(p.suffix), std::move(p.refs)});
   return batch;
 }
 

@@ -44,6 +44,15 @@ struct StreamingWorldConfig {
   std::size_t vp_count = 64;
   std::size_t batch_hostname_budget = 8192;  // whole suffixes per batch up to this
 
+  // Churn (incremental-relearn simulation): when churn_frac > 0, that
+  // fraction of suffixes — selected deterministically from churn_seed — is
+  // re-rendered from a churned rng stream. A churned suffix keeps its name
+  // (the operator persists; its routers/hostnames turn over), so against an
+  // unchurned world with the same seed it reads as content change on the
+  // same suffix — exactly what Hoiho::run_delta re-learns.
+  std::uint64_t churn_seed = 0;
+  double churn_frac = 0.0;
+
   // Operator character (scheme mix, rates). spatial_footprint is forced on.
   WorldConfig traits;
   PingConfig ping;
@@ -75,6 +84,24 @@ class StreamingWorld final : public io::SuffixStream {
   // The Zipf router plan for suffix k (set at construction; tests assert
   // skew and totals against it).
   std::size_t planned_routers(std::size_t k) const { return router_plan_[k]; }
+
+  // True when suffix k re-renders from the churned rng stream under the
+  // current churn knobs (always false at churn_frac = 0).
+  bool is_churned(std::size_t k) const;
+
+  // Indices of every churned suffix, ascending.
+  std::vector<std::size_t> churned_suffixes() const;
+
+  // The stable name of suffix k — identical whether or not k is churned
+  // (the name is drawn before the churn reseed).
+  std::string suffix_name(std::size_t k) const;
+
+  // Renders exactly the given suffixes (churn applied) into one batch —
+  // the WorldDelta.changed payload for an incremental relearn. Suffixes
+  // whose operator renders no usable hostnames are omitted (the caller
+  // turns those into WorldDelta.removed entries via suffix_name()).
+  // Independent of streaming position; adds to report() like next_batch.
+  io::SuffixBatch render_batch(const std::vector<std::size_t>& ks);
 
  private:
   // Renders suffix k (operator sample + routers + hostnames) into the

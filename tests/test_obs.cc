@@ -354,17 +354,18 @@ TEST(PipelineObs, ParallelRunMatchesSequentialCounters) {
     EXPECT_EQ(b.metrics.value("pipeline_pool_tasks_executed"), 0u);
 }
 
-TEST(PipelineObs, DeprecatedAliasesStillAgreeWithRegistry) {
-  // SuffixResult::cache_stats / stage_ms are kept one release; until they
-  // go, they must agree with the registry's counters.
+TEST(PipelineObs, RegistryIsTheOnlyCacheTelemetryPath) {
+  // SuffixResult::cache_stats / stage_ms are gone; the registry is now the
+  // sole carrier of cache telemetry, so a run that exercises the
+  // consistency cache must surface activity there.
   const sim::World world = small_world();
   const measure::Measurements meas = sim::probe_pings(world, {});
   const core::Hoiho hoiho(*world.dict, core::HoihoConfig{});
   const core::RunReport report = hoiho.run_report(world.topology, meas);
-  measure::ConsistencyCache::Stats total;
-  for (const core::SuffixResult& sr : report.result.suffixes) total += sr.cache_stats;
-  EXPECT_EQ(report.metrics.value("consistency_cache_hits"), total.hits);
-  EXPECT_EQ(report.metrics.value("consistency_cache_misses"), total.misses);
+  EXPECT_GT(report.metrics.value("consistency_cache_hits") +
+                report.metrics.value("consistency_cache_misses"),
+            0u);
+  EXPECT_GT(report.metrics.value("pipeline_suffixes"), 0u);
 }
 
 // --- the one-registry contract --------------------------------------------

@@ -12,6 +12,7 @@
 #include <sstream>
 #include <thread>
 
+#include "core/delta.h"
 #include "core/nc_io.h"
 #include "regex/parser.h"
 #include "serve/client.h"
@@ -637,6 +638,122 @@ TEST(Server, GensAndRollbackVerbsEndToEnd) {
   EXPECT_EQ(*client->request("ROLLBACK zero"), "ERR,rollback_usage");
   EXPECT_EQ(classify_response(*client->request("e0.cr1.ash1.he.net")), ResponseKind::kHit);
   EXPECT_EQ(server->metrics().rollbacks.load(), 1u);
+}
+
+TEST(Protocol, ParseGeobRequests) {
+  const Request ok = parse_request("GEOB 3");
+  EXPECT_EQ(ok.kind, RequestKind::kGeoBatch);
+  EXPECT_TRUE(ok.error.empty());
+  EXPECT_EQ(ok.geob_count, 3u);
+  EXPECT_EQ(parse_geob_count("GEOB 3"), std::optional<std::size_t>(3));
+
+  // Usage errors: missing, zero, non-numeric, over-cap counts. The framing
+  // probe returns nullopt for all of them — a malformed header must be
+  // answered without consuming subject lines.
+  for (const char* bad : {"GEOB", "GEOB 0", "GEOB abc",
+                          "GEOB 1025" /* kMaxGeobBatch + 1 */}) {
+    const Request r = parse_request(bad);
+    EXPECT_EQ(r.kind, RequestKind::kGeoBatch) << bad;
+    EXPECT_EQ(r.error, "geob_usage") << bad;
+    EXPECT_FALSE(parse_geob_count(bad).has_value()) << bad;
+  }
+  EXPECT_EQ(parse_geob_count("GEOB 1024"), std::optional<std::size_t>(kMaxGeobBatch));
+
+  EXPECT_EQ(format_geob_header(7), "GEOB,7");
+  EXPECT_EQ(classify_response("GEOB,7"), ResponseKind::kGeoBatch);
+}
+
+TEST(Protocol, ParseDeltaRequests) {
+  const Request ok = parse_request("DELTA /tmp/model.delta");
+  EXPECT_EQ(ok.kind, RequestKind::kDelta);
+  EXPECT_TRUE(ok.error.empty());
+  EXPECT_EQ(ok.path, "/tmp/model.delta");
+
+  const Request missing = parse_request("DELTA");
+  EXPECT_EQ(missing.kind, RequestKind::kDelta);
+  EXPECT_EQ(missing.error, "delta_usage");
+
+  EXPECT_EQ(format_delta_ok(5, 4, 3, 1, 42),
+            "DELTA,ok,generation=5,from=4,upserts=3,removes=1,conventions=42");
+  EXPECT_EQ(classify_response(format_delta_ok(5, 4, 3, 1, 42)), ResponseKind::kDelta);
+  EXPECT_EQ(format_delta_error("stale"), "DELTA,error,stale");
+  EXPECT_EQ(classify_response("DELTA,error,stale"), ResponseKind::kDeltaError);
+}
+
+TEST(Server, GeobBatchAnswersInSubjectOrder) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  ModelStore store(dict);
+  store.install(he_net_model(dict));
+  LiveServer server(store);
+  auto client = Client::connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.has_value());
+
+  std::string error;
+  const auto lines = client->geolocate_batch(
+      {"e0.cr1.ash1.he.net", "unknown.example.org", "e0.cr1.lhr1.he.net"}, &error);
+  ASSERT_TRUE(lines.has_value()) << error;
+  ASSERT_EQ(lines->size(), 3u);
+  EXPECT_EQ(classify_response((*lines)[0]), ResponseKind::kGeo) << (*lines)[0];
+  EXPECT_NE((*lines)[0].find(",ash,"), std::string::npos) << (*lines)[0];
+  EXPECT_EQ((*lines)[1], "GEO,miss");
+  EXPECT_NE((*lines)[2].find(",lhr,"), std::string::npos) << (*lines)[2];
+
+  // The batch counters saw one batch of three subjects.
+  EXPECT_EQ(server->metrics().geob_batches.load(), 1u);
+  EXPECT_EQ(server->metrics().geob_subjects.load(), 3u);
+
+  // The connection stays usable for singles after a batch.
+  EXPECT_EQ(classify_response(*client->request("e0.cr1.ash1.he.net")),
+            ResponseKind::kHit);
+
+  // An over-cap header is a named in-band error, not a framing stall.
+  std::vector<std::string_view> too_many(kMaxGeobBatch + 1, "x.example.org");
+  const auto rejected = client->geolocate_batch(too_many, &error);
+  EXPECT_FALSE(rejected.has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Server, DeltaVerbAppliesRejectsStaleAndMissing) {
+  const geo::GeoDictionary& dict = geo::builtin_dictionary();
+  ModelStore store(dict);
+  store.install(he_net_model(dict));
+  LiveServer server(store);
+  auto client = Client::connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.has_value());
+
+  // A delta against the serving generation: upsert zayo.com alongside the
+  // installed he.net convention.
+  const std::string delta_path = temp_path("serve_delta_file.txt");
+  core::ModelDelta delta;
+  delta.base_generation = store.generation();
+  delta.upserts = zayo_model(dict);
+  std::string error;
+  ASSERT_TRUE(core::save_model_delta_to_file(delta_path, delta, dict, &error)) << error;
+
+  const auto ok = client->apply_delta(delta_path, &error);
+  ASSERT_TRUE(ok.has_value()) << error;
+  EXPECT_EQ(classify_response(*ok), ResponseKind::kDelta) << *ok;
+  EXPECT_NE(ok->find("upserts=1"), std::string::npos) << *ok;
+  EXPECT_EQ(server->metrics().delta_applies.load(), 1u);
+
+  // Both the base and the upserted convention now serve.
+  EXPECT_EQ(classify_response(*client->request("e0.cr1.ash1.he.net")),
+            ResponseKind::kHit);
+  EXPECT_EQ(classify_response(*client->request("lhr1.zayo.com")), ResponseKind::kHit);
+
+  // Replaying the same file targets a now-stale base generation.
+  const auto stale = client->apply_delta(delta_path, &error);
+  EXPECT_FALSE(stale.has_value());
+  EXPECT_NE(error.find("generation"), std::string::npos) << error;
+  EXPECT_EQ(server->metrics().delta_rejected.load(), 1u);
+
+  // Missing file and missing argument are in-band errors too.
+  EXPECT_FALSE(client->apply_delta(temp_path("no_such.delta"), &error).has_value());
+  EXPECT_EQ(*client->request("DELTA"), "ERR,delta_usage");
+
+  // The serving model was never disturbed by the failures.
+  EXPECT_EQ(classify_response(*client->request("lhr1.zayo.com")), ResponseKind::kHit);
+  std::remove(delta_path.c_str());
 }
 
 TEST(Server, CanaryRejectedReloadKeepsServingAndCounts) {
